@@ -1,0 +1,62 @@
+// Ablation: maximum points per MBR (the partitioning algorithm's `max`
+// parameter) and, as the degenerate case, fixed-length partitioning.
+//
+// A huge side growth makes the marginal cost monotonically decreasing, so
+// the partitioner degenerates into fixed-length pieces of exactly
+// `max_points` — that row quantifies the value of the adaptive MCOST rule.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_flags.h"
+#include "eval/experiment.h"
+#include "eval/table.h"
+#include "figure_common.h"
+
+int main(int argc, char** argv) {
+  using namespace mdseq;
+  const bench::Flags flags(argc, argv);
+  bench::PrintPaperBanner(
+      "Ablation: max points per MBR / fixed-length partitioning",
+      "adaptive MCOST partitioning should beat fixed-length pieces at equal "
+      "granularity");
+
+  const double eval_eps = flags.GetDouble("eps", 0.20);
+  TextTable table({"partitioner", "max_pts", "MBRs/seq", "PR(Dmbr)",
+                   "PR(Dnorm)", "PR_SI", "recall"});
+
+  auto run = [&](const char* label, size_t max_points, double growth) {
+    WorkloadConfig config =
+        bench::ConfigFromFlags(flags, DataKind::kVideo, 300);
+    config.num_queries = flags.GetSize("queries", 10);
+    config.database.partitioning.max_points = max_points;
+    config.database.partitioning.side_growth = growth;
+    const Workload workload = BuildWorkload(config);
+    SweepOptions options;
+    options.measure_time = false;
+    const SweepRow row = RunThresholdSweep(*workload.database,
+                                           workload.queries, {eval_eps},
+                                           options)[0];
+    char max_str[16], mbrs[16], pr1[16], pr2[16], si[16], rc[16];
+    std::snprintf(max_str, sizeof(max_str), "%zu", max_points);
+    std::snprintf(mbrs, sizeof(mbrs), "%.1f",
+                  static_cast<double>(workload.database->total_mbrs()) /
+                      workload.database->num_sequences());
+    std::snprintf(pr1, sizeof(pr1), "%.3f", row.pr_dmbr);
+    std::snprintf(pr2, sizeof(pr2), "%.3f", row.pr_dnorm);
+    std::snprintf(si, sizeof(si), "%.3f", row.pr_si);
+    std::snprintf(rc, sizeof(rc), "%.3f", row.recall);
+    table.AddRow({label, max_str, mbrs, pr1, pr2, si, rc});
+  };
+
+  for (size_t max_points : {8u, 16u, 32u, 64u, 128u}) {
+    run("mcost", max_points, 0.3);
+  }
+  for (size_t max_points : {16u, 64u}) {
+    run("fixed", max_points, 1e6);  // degenerate MCOST = fixed pieces
+  }
+
+  std::printf("At eps = %.2f:\n", eval_eps);
+  table.Print();
+  return 0;
+}

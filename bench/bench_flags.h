@@ -1,0 +1,13 @@
+#ifndef MDSEQ_BENCH_BENCH_FLAGS_H_
+#define MDSEQ_BENCH_BENCH_FLAGS_H_
+
+#include "util/flags.h"
+
+namespace mdseq::bench {
+
+/// The harness flag parser; see `mdseq::Flags`.
+using Flags = ::mdseq::Flags;
+
+}  // namespace mdseq::bench
+
+#endif  // MDSEQ_BENCH_BENCH_FLAGS_H_

@@ -1,0 +1,33 @@
+// Reproduces Figure 7: pruning rate of Dmbr and Dnorm versus the search
+// threshold on the (synthetic) video data set.
+//
+// Paper expectation: Dmbr prunes 65-91% and Dnorm 73-94%, Dnorm constantly
+// 3-10% better, both decreasing as the threshold grows.
+
+#include "figure_common.h"
+
+int main(int argc, char** argv) {
+  using namespace mdseq;
+  const bench::Flags flags(argc, argv);
+  bench::PrintPaperBanner(
+      "Figure 7: pruning rate (video data)",
+      "PR(Dmbr) 0.65-0.91, PR(Dnorm) 0.73-0.94, Dnorm 3-10% above Dmbr, "
+      "both decreasing in eps");
+
+  const WorkloadConfig config =
+      bench::ConfigFromFlags(flags, DataKind::kVideo, 1408);
+  const Workload workload = BuildWorkload(config);
+  PrintWorkloadSummary(config, *workload.database, workload.queries);
+
+  SweepOptions options;
+  options.measure_time = false;
+  options.evaluate_intervals = false;
+  const std::vector<SweepRow> rows = RunThresholdSweep(
+      *workload.database, workload.queries, PaperEpsilons(), options);
+  PrintSweepRows("Figure 7 (measured):", rows, /*with_time=*/false);
+  const std::string csv_path = flags.GetString("csv", "");
+  if (!csv_path.empty() && WriteSweepCsv(csv_path, rows)) {
+    std::printf("rows written to %s\n", csv_path.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,39 @@
+#ifndef MDSEQ_BENCH_FIGURE_COMMON_H_
+#define MDSEQ_BENCH_FIGURE_COMMON_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_flags.h"
+#include "eval/experiment.h"
+
+namespace mdseq::bench {
+
+/// Builds the workload configuration every figure harness shares, honoring
+/// the rescaling flags `--sequences`, `--queries`, `--min_len`, `--max_len`,
+/// `--qmin`, `--qmax`, `--seed`.
+inline WorkloadConfig ConfigFromFlags(const Flags& flags, DataKind kind,
+                                      size_t default_sequences) {
+  WorkloadConfig config;
+  config.kind = kind;
+  config.num_sequences = flags.GetSize("sequences", default_sequences);
+  config.min_length = flags.GetSize("min_len", 56);
+  config.max_length = flags.GetSize("max_len", 512);
+  config.num_queries = flags.GetSize("queries", 20);
+  config.query.min_length = flags.GetSize("qmin", 24);
+  config.query.max_length = flags.GetSize("qmax", 64);
+  config.seed = flags.GetSize("seed", 42);
+  return config;
+}
+
+/// Prints the paper-vs-measured banner used by every figure harness.
+inline void PrintPaperBanner(const std::string& figure,
+                             const std::string& paper_expectation) {
+  std::printf("=== %s ===\n", figure.c_str());
+  std::printf("Paper reports: %s\n\n", paper_expectation.c_str());
+}
+
+}  // namespace mdseq::bench
+
+#endif  // MDSEQ_BENCH_FIGURE_COMMON_H_

@@ -1,0 +1,60 @@
+// Microbenchmarks of the distance kernels (point distance, Dmean, window
+// profiles, full sequence distance).
+
+#include <benchmark/benchmark.h>
+
+#include "core/distance.h"
+#include "gen/fractal.h"
+#include "util/random.h"
+
+namespace {
+
+using namespace mdseq;
+
+Sequence MakeSequence(size_t length, uint64_t seed) {
+  Rng rng(seed);
+  return GenerateFractalSequence(length, FractalOptions(), &rng);
+}
+
+void BM_PointDistance(benchmark::State& state) {
+  const Sequence s = MakeSequence(2, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(PointDistance(s[0], s[1]));
+  }
+}
+BENCHMARK(BM_PointDistance);
+
+void BM_MeanDistance(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const Sequence a = MakeSequence(n, 2);
+  const Sequence b = MakeSequence(n, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MeanDistance(a.View(), b.View()));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_MeanDistance)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_WindowDistanceProfile(benchmark::State& state) {
+  const size_t query_length = static_cast<size_t>(state.range(0));
+  const Sequence query = MakeSequence(query_length, 4);
+  const Sequence data = MakeSequence(512, 5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(WindowDistanceProfile(query.View(),
+                                                   data.View()));
+  }
+}
+BENCHMARK(BM_WindowDistanceProfile)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_SequenceDistance(benchmark::State& state) {
+  const Sequence query = MakeSequence(static_cast<size_t>(state.range(0)),
+                                      6);
+  const Sequence data = MakeSequence(512, 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SequenceDistance(query.View(), data.View()));
+  }
+}
+BENCHMARK(BM_SequenceDistance)->Arg(32)->Arg(128);
+
+}  // namespace

@@ -1,0 +1,84 @@
+// Microbenchmarks of the MBR distance metrics (Dmbr, Dnorm) and the full
+// three-phase search.
+
+#include <benchmark/benchmark.h>
+
+#include "core/database.h"
+#include "core/mbr_distance.h"
+#include "core/search.h"
+#include "gen/fractal.h"
+#include "gen/query_workload.h"
+#include "util/random.h"
+
+namespace {
+
+using namespace mdseq;
+
+struct Fixture {
+  SequenceDatabase database{3};
+  std::vector<Sequence> corpus;
+  Sequence query{3};
+
+  explicit Fixture(size_t sequences) {
+    Rng rng(1);
+    for (size_t i = 0; i < sequences; ++i) {
+      corpus.push_back(GenerateFractalSequence(256, FractalOptions(), &rng));
+      database.Add(corpus.back());
+    }
+    query = DrawQuery(corpus, QueryWorkloadOptions(), &rng);
+  }
+};
+
+void BM_MbrDistance(benchmark::State& state) {
+  const Fixture fixture(2);
+  const Mbr& a = fixture.database.partition(0)[0].mbr;
+  const Mbr& b = fixture.database.partition(1)[0].mbr;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MbrDistance(a, b));
+  }
+}
+BENCHMARK(BM_MbrDistance);
+
+void BM_NormalizedDistanceAllPairs(benchmark::State& state) {
+  const Fixture fixture(2);
+  const Partition& query_partition =
+      PartitionSequence(fixture.query.View(),
+                        fixture.database.options().partitioning);
+  const Partition& target = fixture.database.partition(0);
+  for (auto _ : state) {
+    double best = 1e18;
+    for (const SequenceMbr& probe : query_partition) {
+      const std::vector<double> dmbr =
+          ComputeMbrDistances(probe.mbr, target);
+      for (size_t j = 0; j < target.size(); ++j) {
+        best = std::min(best, NormalizedDistance(probe.count(), target, j,
+                                                 dmbr)
+                                  .distance);
+      }
+    }
+    benchmark::DoNotOptimize(best);
+  }
+}
+BENCHMARK(BM_NormalizedDistanceAllPairs);
+
+void BM_FullSearch(benchmark::State& state) {
+  const Fixture fixture(static_cast<size_t>(state.range(0)));
+  const SimilaritySearch engine(&fixture.database);
+  const double epsilon = 0.15;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.Search(fixture.query.View(), epsilon));
+  }
+}
+BENCHMARK(BM_FullSearch)->Arg(100)->Arg(400);
+
+void BM_Phase2Only(benchmark::State& state) {
+  const Fixture fixture(400);
+  const SimilaritySearch engine(&fixture.database);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        engine.SearchCandidates(fixture.query.View(), 0.15));
+  }
+}
+BENCHMARK(BM_Phase2Only);
+
+}  // namespace

@@ -1,0 +1,73 @@
+// Microbenchmarks of the data generation substrate: fractal sequences,
+// rendered video (raster synthesis + feature extraction), segmented images,
+// and query extraction.
+
+#include <benchmark/benchmark.h>
+
+#include "gen/fractal.h"
+#include "gen/image.h"
+#include "gen/query_workload.h"
+#include "gen/video.h"
+#include "util/random.h"
+
+namespace {
+
+using namespace mdseq;
+
+void BM_FractalSequence(benchmark::State& state) {
+  Rng rng(1);
+  const auto length = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        GenerateFractalSequence(length, FractalOptions(), &rng));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_FractalSequence)->Arg(56)->Arg(512);
+
+void BM_VideoStreamRendering(benchmark::State& state) {
+  Rng rng(2);
+  const auto frames = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        GenerateVideoStream(frames, VideoOptions(), &rng));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_VideoStreamRendering)->Arg(128);
+
+void BM_VideoFeatureExtraction(benchmark::State& state) {
+  Rng rng(3);
+  const VideoStream stream = GenerateVideoStream(256, VideoOptions(), &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ExtractColorFeatures(stream));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 256);
+}
+BENCHMARK(BM_VideoFeatureExtraction);
+
+void BM_ImageSequence(benchmark::State& state) {
+  Rng rng(4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        GenerateImageSequence(ImageOptions(), CurveKind::kHilbert, &rng));
+  }
+}
+BENCHMARK(BM_ImageSequence);
+
+void BM_DrawQuery(benchmark::State& state) {
+  Rng rng(5);
+  std::vector<Sequence> corpus;
+  for (int i = 0; i < 50; ++i) {
+    corpus.push_back(GenerateFractalSequence(256, FractalOptions(), &rng));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        DrawQuery(corpus, QueryWorkloadOptions(), &rng));
+  }
+}
+BENCHMARK(BM_DrawQuery);
+
+}  // namespace

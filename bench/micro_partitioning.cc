@@ -1,0 +1,58 @@
+// Microbenchmarks of the MCOST partitioning algorithm.
+
+#include <benchmark/benchmark.h>
+
+#include "core/partitioning.h"
+#include "gen/fractal.h"
+#include "gen/video.h"
+#include "util/random.h"
+
+namespace {
+
+using namespace mdseq;
+
+void BM_PartitionFractal(benchmark::State& state) {
+  Rng rng(1);
+  const Sequence s = GenerateFractalSequence(
+      static_cast<size_t>(state.range(0)), FractalOptions(), &rng);
+  const PartitioningOptions options;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(PartitionSequence(s.View(), options));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_PartitionFractal)->Arg(56)->Arg(512);
+
+void BM_PartitionVideo(benchmark::State& state) {
+  Rng rng(2);
+  const Sequence s = GenerateVideoSequence(
+      static_cast<size_t>(state.range(0)), VideoOptions(), &rng);
+  const PartitioningOptions options;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(PartitionSequence(s.View(), options));
+  }
+}
+BENCHMARK(BM_PartitionVideo)->Arg(512);
+
+void BM_PartitionAdditiveCost(benchmark::State& state) {
+  Rng rng(3);
+  const Sequence s = GenerateFractalSequence(512, FractalOptions(), &rng);
+  PartitioningOptions options;
+  options.cost_model = PartitioningOptions::CostModel::kAdditive;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(PartitionSequence(s.View(), options));
+  }
+}
+BENCHMARK(BM_PartitionAdditiveCost);
+
+void BM_PartitionFixed(benchmark::State& state) {
+  Rng rng(4);
+  const Sequence s = GenerateFractalSequence(512, FractalOptions(), &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(PartitionFixed(s.View(), 32));
+  }
+}
+BENCHMARK(BM_PartitionFixed);
+
+}  // namespace

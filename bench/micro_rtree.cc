@@ -1,0 +1,84 @@
+// Microbenchmarks of the R*-tree substrate: insertion, bulk loading, and
+// range queries against the flat-scan baseline.
+
+#include <benchmark/benchmark.h>
+
+#include "index/linear_index.h"
+#include "index/rstar_tree.h"
+#include "util/random.h"
+
+namespace {
+
+using namespace mdseq;
+
+std::vector<IndexEntry> MakeEntries(size_t count, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<IndexEntry> entries;
+  entries.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    Point low{rng.Uniform(), rng.Uniform(), rng.Uniform()};
+    Point high = low;
+    for (double& v : high) v += 0.05 * rng.Uniform();
+    entries.push_back(IndexEntry{Mbr(low, high), i});
+  }
+  return entries;
+}
+
+void BM_RStarInsert(benchmark::State& state) {
+  const auto entries = MakeEntries(static_cast<size_t>(state.range(0)), 1);
+  for (auto _ : state) {
+    RStarTree tree(3);
+    for (const IndexEntry& e : entries) tree.Insert(e.mbr, e.value);
+    benchmark::DoNotOptimize(tree.size());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_RStarInsert)->Arg(1000)->Arg(10000);
+
+void BM_RStarBulkLoad(benchmark::State& state) {
+  const auto entries = MakeEntries(static_cast<size_t>(state.range(0)), 2);
+  for (auto _ : state) {
+    auto copy = entries;
+    RStarTree tree = RStarTree::BulkLoad(3, std::move(copy));
+    benchmark::DoNotOptimize(tree.size());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_RStarBulkLoad)->Arg(1000)->Arg(10000);
+
+void BM_RStarRangeSearch(benchmark::State& state) {
+  const auto entries = MakeEntries(20000, 3);
+  RStarTree tree = RStarTree::BulkLoad(3, entries);
+  Rng rng(4);
+  const double epsilon = static_cast<double>(state.range(0)) / 100.0;
+  std::vector<uint64_t> out;
+  for (auto _ : state) {
+    out.clear();
+    const Mbr query = Mbr::FromPoint(
+        Point{rng.Uniform(), rng.Uniform(), rng.Uniform()});
+    tree.RangeSearch(query, epsilon, &out);
+    benchmark::DoNotOptimize(out.size());
+  }
+}
+BENCHMARK(BM_RStarRangeSearch)->Arg(1)->Arg(10)->Arg(30);
+
+void BM_LinearRangeSearch(benchmark::State& state) {
+  const auto entries = MakeEntries(20000, 3);
+  LinearIndex index;
+  for (const IndexEntry& e : entries) index.Insert(e.mbr, e.value);
+  Rng rng(4);
+  const double epsilon = static_cast<double>(state.range(0)) / 100.0;
+  std::vector<uint64_t> out;
+  for (auto _ : state) {
+    out.clear();
+    const Mbr query = Mbr::FromPoint(
+        Point{rng.Uniform(), rng.Uniform(), rng.Uniform()});
+    index.RangeSearch(query, epsilon, &out);
+    benchmark::DoNotOptimize(out.size());
+  }
+}
+BENCHMARK(BM_LinearRangeSearch)->Arg(1)->Arg(10)->Arg(30);
+
+}  // namespace

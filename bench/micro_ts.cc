@@ -1,0 +1,97 @@
+// Microbenchmarks of the time-series substrate: the three reductions
+// (DFT, Haar, PAA), DTW, FRM trail construction, and PCA fitting.
+
+#include <benchmark/benchmark.h>
+
+#include "gen/fractal.h"
+#include "gen/walk.h"
+#include "ts/dft.h"
+#include "ts/dtw.h"
+#include "ts/frm.h"
+#include "ts/paa.h"
+#include "ts/pca.h"
+#include "ts/wavelet.h"
+#include "util/random.h"
+
+namespace {
+
+using namespace mdseq;
+
+Sequence Walk(size_t length, uint64_t seed) {
+  Rng rng(seed);
+  return GenerateRandomWalk(length, WalkOptions(), &rng);
+}
+
+void BM_DftFeature(benchmark::State& state) {
+  const Sequence s = Walk(static_cast<size_t>(state.range(0)), 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(DftFeature(s.View(), 4));
+  }
+}
+BENCHMARK(BM_DftFeature)->Arg(64)->Arg(256);
+
+void BM_HaarFeature(benchmark::State& state) {
+  const Sequence s = Walk(static_cast<size_t>(state.range(0)), 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(HaarFeature(s.View(), 4));
+  }
+}
+BENCHMARK(BM_HaarFeature)->Arg(64)->Arg(256);
+
+void BM_PaaFeature(benchmark::State& state) {
+  const Sequence s = Walk(static_cast<size_t>(state.range(0)), 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(PaaFeature(s.View(), 4));
+  }
+}
+BENCHMARK(BM_PaaFeature)->Arg(64)->Arg(256);
+
+void BM_DtwDistance(benchmark::State& state) {
+  Rng rng(4);
+  FractalOptions options;
+  const Sequence a = GenerateFractalSequence(
+      static_cast<size_t>(state.range(0)), options, &rng);
+  const Sequence b = GenerateFractalSequence(
+      static_cast<size_t>(state.range(0)), options, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(DtwDistance(a.View(), b.View()));
+  }
+}
+BENCHMARK(BM_DtwDistance)->Arg(64)->Arg(256);
+
+void BM_DtwDistanceBanded(benchmark::State& state) {
+  Rng rng(5);
+  FractalOptions options;
+  const Sequence a = GenerateFractalSequence(256, options, &rng);
+  const Sequence b = GenerateFractalSequence(256, options, &rng);
+  DtwOptions dtw;
+  dtw.window = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(DtwDistance(a.View(), b.View(), dtw));
+  }
+}
+BENCHMARK(BM_DtwDistanceBanded)->Arg(8)->Arg(32);
+
+void BM_FrmAddSeries(benchmark::State& state) {
+  const Sequence s = Walk(256, 6);
+  for (auto _ : state) {
+    FrmIndex index(16, 3);
+    index.Add(s);
+    benchmark::DoNotOptimize(index.total_mbrs());
+  }
+}
+BENCHMARK(BM_FrmAddSeries);
+
+void BM_PcaFit(benchmark::State& state) {
+  Rng rng(7);
+  std::vector<Sequence> corpus;
+  for (int i = 0; i < 10; ++i) {
+    corpus.push_back(GenerateFractalSequence(256, FractalOptions(), &rng));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(PcaModel::Fit(corpus, 2));
+  }
+}
+BENCHMARK(BM_PcaFit);
+
+}  // namespace

@@ -1,0 +1,111 @@
+// Stock patterns: the classic time-series queries the paper generalizes
+// (Section 1): "Identify companies whose stock prices show similar
+// movements during the last year to that of a given company."
+//
+// One-dimensional price series are a special case of multidimensional
+// sequences (Definition 1 with n = 1). This example runs the same MBR
+// machinery on 1-d random-walk "price histories", and also demonstrates the
+// sliding-window embedding and the Agrawal '93 DFT whole-matching baseline
+// from the related work.
+
+#include <cstdio>
+#include <vector>
+
+#include "baseline/sequential_scan.h"
+#include "core/search.h"
+#include "gen/walk.h"
+#include "ts/dtw.h"
+#include "ts/frm.h"
+#include "ts/sliding_window.h"
+#include "ts/whole_matching.h"
+#include "util/random.h"
+
+int main() {
+  using namespace mdseq;
+  Rng rng(1987);
+
+  // 1. 200 "companies", each a year of daily prices (252 trading days),
+  //    modeled as clamped random walks in [0, 1).
+  WalkOptions walk;
+  walk.dim = 1;
+  walk.step_stddev = 0.01;
+  const size_t days = 252;
+  std::vector<Sequence> prices;
+  SequenceDatabase database(/*dim=*/1);
+  for (int company = 0; company < 200; ++company) {
+    prices.push_back(GenerateRandomWalk(days, walk, &rng));
+    database.Add(prices.back());
+  }
+  std::printf("database: %zu price histories x %zu days, %zu MBRs\n\n",
+              database.num_sequences(), days, database.total_mbrs());
+
+  // 2. Subsequence query: "which companies had a quarter that moved like
+  //    company 42's second quarter?" — the paper's engine on 1-d data.
+  const Sequence pattern = prices[42].Slice(63, 126).Materialize();
+  const double epsilon = 0.01;
+  SimilaritySearch engine(&database);
+  const SearchResult result = engine.SearchVerified(pattern.View(), epsilon);
+  std::printf("subsequence query (63-day pattern, eps=%.3f):\n", epsilon);
+  std::printf("  MBR filter kept %zu of %zu; %zu verified match(es)\n",
+              result.candidates.size(), database.num_sequences(),
+              result.matches.size());
+  for (const SequenceMatch& match : result.matches) {
+    std::printf("  company %3zu (distance %.4f), matching window(s):",
+                match.sequence_id, match.exact_distance);
+    for (const Interval& iv : match.solution_interval) {
+      std::printf(" days [%zu, %zu)", iv.begin, iv.end);
+    }
+    std::printf("\n");
+  }
+
+  // 3. Whole matching with the DFT F-index (related work, Section 2):
+  //    "whose whole year moved most like company 42's?"
+  WholeMatchingIndex findex(days, /*num_coefficients=*/4);
+  for (const Sequence& series : prices) findex.Add(series);
+  double eps_whole = 0.25;
+  std::vector<size_t> similar = findex.Search(prices[42].View(), eps_whole);
+  std::printf("\nwhole-year matching (F-index, eps=%.2f): %zu compan%s\n",
+              eps_whole, similar.size(), similar.size() == 1 ? "y" : "ies");
+  const std::vector<size_t> candidates =
+      findex.SearchCandidates(prices[42].View(), eps_whole);
+  std::printf("  DFT filter kept %zu of %zu series before verification\n",
+              candidates.size(), findex.size());
+
+  // 4. The sliding-window embedding of FRM: a 1-d series becomes a
+  //    w-dimensional sequence; shown here for completeness.
+  const Sequence embedded = SlidingWindowEmbed(prices[42].View(), 5);
+  std::printf("\nsliding-window embedding: %zu days -> %zu points of "
+              "dimension %zu\n",
+              days, embedded.size(), embedded.dim());
+
+  // 5. FRM subsequence matching (the 1-d ancestor of the paper's method):
+  //    DFT feature trails, MBR-partitioned and indexed.
+  FrmIndex frm(/*window=*/16, /*num_coefficients=*/3);
+  for (const Sequence& series : prices) frm.Add(series);
+  const std::vector<size_t> frm_hits = frm.Search(pattern.View(), 0.1);
+  std::printf("\nFRM subsequence matching (rss distance, eps=0.1): "
+              "%zu compan%s, %zu feature MBRs indexed\n",
+              frm_hits.size(), frm_hits.size() == 1 ? "y" : "ies",
+              frm.total_mbrs());
+
+  // 6. Dynamic time warping: "which company's year tracks company 42's,
+  //    allowing local accelerations?" — the related work's elastic
+  //    distance, usable for re-ranking the index's candidates.
+  size_t best_company = 0;
+  double best_dtw = 1e300;
+  for (size_t c = 0; c < prices.size(); ++c) {
+    if (c == 42) continue;
+    DtwOptions dtw_options;
+    dtw_options.window = 10;  // Sakoe-Chiba band: at most 10 days of warp
+    const double d = NormalizedDtwDistance(prices[42].View(),
+                                           prices[c].View(), dtw_options);
+    if (d < best_dtw) {
+      best_dtw = d;
+      best_company = c;
+    }
+  }
+  std::printf("\nclosest company to 42 under banded DTW: company %zu "
+              "(normalized warp cost %.4f)\n",
+              best_company, best_dtw);
+  return 0;
+}

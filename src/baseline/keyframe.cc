@@ -1,0 +1,72 @@
+#include "baseline/keyframe.h"
+
+#include "core/partitioning.h"
+#include "geom/point.h"
+#include "util/check.h"
+
+namespace mdseq {
+
+KeyframeSearch::KeyframeSearch(const SequenceDatabase* database,
+                               const KeyframeOptions& options)
+    : database_(database), options_(options) {
+  MDSEQ_CHECK(database != nullptr);
+}
+
+std::vector<size_t> KeyframeSearch::KeyframesOfSequence(
+    SequenceView sequence, const Partition& partition) const {
+  std::vector<size_t> keyframes;
+  switch (options_.source) {
+    case KeyframeOptions::Source::kPartitions:
+      keyframes.reserve(partition.size());
+      for (const SequenceMbr& piece : partition) {
+        keyframes.push_back(piece.begin + piece.count() / 2);
+      }
+      break;
+    case KeyframeOptions::Source::kDetectedShots:
+      for (const auto& [begin, end] :
+           DetectShots(sequence, options_.detection)) {
+        keyframes.push_back(begin + (end - begin) / 2);
+      }
+      break;
+  }
+  return keyframes;
+}
+
+std::vector<size_t> KeyframeSearch::KeyframesOf(size_t id) const {
+  return KeyframesOfSequence(database_->sequence(id).View(),
+                             database_->partition(id));
+}
+
+std::vector<size_t> KeyframeSearch::Search(SequenceView query,
+                                           double epsilon) const {
+  MDSEQ_CHECK(!query.empty());
+  MDSEQ_CHECK(query.dim() == database_->dim());
+  MDSEQ_CHECK(epsilon >= 0.0);
+
+  const Partition query_partition = PartitionSequence(
+      query, database_->options().partitioning);
+  const std::vector<size_t> query_keyframes =
+      KeyframesOfSequence(query, query_partition);
+
+  const double eps2 = epsilon * epsilon;
+  std::vector<size_t> results;
+  for (size_t id = 0; id < database_->num_sequences(); ++id) {
+    if (database_->is_removed(id)) continue;
+    const Sequence& data = database_->sequence(id);
+    const std::vector<size_t> data_keyframes = KeyframesOf(id);
+    bool hit = false;
+    for (size_t qi : query_keyframes) {
+      for (size_t di : data_keyframes) {
+        if (SquaredDistance(query[qi], data[di]) <= eps2) {
+          hit = true;
+          break;
+        }
+      }
+      if (hit) break;
+    }
+    if (hit) results.push_back(id);
+  }
+  return results;
+}
+
+}  // namespace mdseq

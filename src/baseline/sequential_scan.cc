@@ -1,0 +1,34 @@
+#include "baseline/sequential_scan.h"
+
+#include <algorithm>
+
+#include "core/distance.h"
+#include "util/check.h"
+
+namespace mdseq {
+
+SequentialScan::SequentialScan(const SequenceDatabase* database)
+    : database_(database) {
+  MDSEQ_CHECK(database != nullptr);
+}
+
+std::vector<ScanMatch> SequentialScan::Search(SequenceView query,
+                                              double epsilon) const {
+  MDSEQ_CHECK(!query.empty());
+  MDSEQ_CHECK(query.dim() == database_->dim());
+  std::vector<ScanMatch> matches;
+  for (size_t id = 0; id < database_->num_sequences(); ++id) {
+    if (database_->is_removed(id)) continue;
+    const SequenceView data = database_->sequence(id).View();
+    const double distance = SequenceDistance(query, data);
+    if (distance > epsilon) continue;
+    ScanMatch match;
+    match.sequence_id = id;
+    match.distance = distance;
+    match.solution_interval = ExactSolutionInterval(query, data, epsilon);
+    matches.push_back(std::move(match));
+  }
+  return matches;
+}
+
+}  // namespace mdseq

@@ -1,0 +1,46 @@
+#include "baseline/shot_detection.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace mdseq {
+
+std::vector<std::pair<size_t, size_t>> DetectShots(
+    SequenceView features, const ShotDetectionOptions& options) {
+  MDSEQ_CHECK(!features.empty());
+  std::vector<std::pair<size_t, size_t>> shots;
+  if (features.size() == 1) {
+    shots.emplace_back(0, 1);
+    return shots;
+  }
+
+  // Step lengths between consecutive frames.
+  std::vector<double> steps(features.size() - 1);
+  double mean = 0.0;
+  for (size_t i = 0; i + 1 < features.size(); ++i) {
+    steps[i] = PointDistance(features[i], features[i + 1]);
+    mean += steps[i];
+  }
+  mean /= static_cast<double>(steps.size());
+  double variance = 0.0;
+  for (double s : steps) variance += (s - mean) * (s - mean);
+  variance /= static_cast<double>(steps.size());
+  const double threshold =
+      std::max(options.min_absolute_jump,
+               mean + options.threshold_sigmas * std::sqrt(variance));
+
+  size_t shot_begin = 0;
+  for (size_t i = 0; i < steps.size(); ++i) {
+    const size_t boundary = i + 1;  // a cut between frame i and i+1
+    if (steps[i] > threshold &&
+        boundary - shot_begin >= options.min_shot_length) {
+      shots.emplace_back(shot_begin, boundary);
+      shot_begin = boundary;
+    }
+  }
+  shots.emplace_back(shot_begin, features.size());
+  return shots;
+}
+
+}  // namespace mdseq

@@ -1,0 +1,38 @@
+#ifndef MDSEQ_BASELINE_SHOT_DETECTION_H_
+#define MDSEQ_BASELINE_SHOT_DETECTION_H_
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "geom/sequence.h"
+
+namespace mdseq {
+
+/// Parameters of the feature-space shot detector.
+struct ShotDetectionOptions {
+  /// A boundary is declared where the distance between consecutive feature
+  /// points exceeds `threshold_sigmas` standard deviations above the mean
+  /// (the deviation estimate includes the cut outliers themselves, so the
+  /// multiplier is small)
+  /// step length (adaptive thresholding), and also exceeds
+  /// `min_absolute_jump`.
+  double threshold_sigmas = 1.5;
+  double min_absolute_jump = 0.05;
+  /// Boundaries closer than this to the previous one are suppressed
+  /// (shots shorter than a few frames are noise).
+  size_t min_shot_length = 4;
+};
+
+/// Classic cut detection on a feature sequence: the practice the paper's
+/// introduction describes ("a key frame is selected for each shot") needs
+/// shots first; real systems find them as jumps in consecutive frame
+/// features. Returns half-open [begin, end) frame ranges covering the
+/// sequence (a single range when no boundary is found). Requires a
+/// non-empty sequence.
+std::vector<std::pair<size_t, size_t>> DetectShots(
+    SequenceView features, const ShotDetectionOptions& options = {});
+
+}  // namespace mdseq
+
+#endif  // MDSEQ_BASELINE_SHOT_DETECTION_H_

@@ -1,0 +1,84 @@
+#include "core/database.h"
+
+#include "index/linear_index.h"
+#include "index/rstar_tree.h"
+#include "util/check.h"
+
+namespace mdseq {
+
+SequenceDatabase::SequenceDatabase(size_t dim, const DatabaseOptions& options)
+    : dim_(dim), options_(options) {
+  MDSEQ_CHECK(dim > 0);
+  switch (options_.index_kind) {
+    case DatabaseOptions::IndexKind::kRStarTree:
+      index_ = std::make_unique<RStarTree>(
+          dim, RStarTreeOptions::ForFanout(options_.index_fanout));
+      break;
+    case DatabaseOptions::IndexKind::kGuttmanQuadratic:
+      index_ = std::make_unique<RStarTree>(
+          dim, RStarTreeOptions::ForFanout(
+                   options_.index_fanout,
+                   RTreeVariant::kGuttmanQuadratic));
+      break;
+    case DatabaseOptions::IndexKind::kGuttmanLinear:
+      index_ = std::make_unique<RStarTree>(
+          dim, RStarTreeOptions::ForFanout(options_.index_fanout,
+                                           RTreeVariant::kGuttmanLinear));
+      break;
+    case DatabaseOptions::IndexKind::kLinear:
+      index_ = std::make_unique<LinearIndex>(options_.index_fanout);
+      break;
+  }
+}
+
+size_t SequenceDatabase::Add(Sequence sequence) {
+  MDSEQ_CHECK(sequence.dim() == dim_);
+  MDSEQ_CHECK(!sequence.empty());
+  const size_t id = sequences_.size();
+  Partition partition =
+      PartitionSequence(sequence.View(), options_.partitioning);
+  for (size_t ordinal = 0; ordinal < partition.size(); ++ordinal) {
+    index_->Insert(partition[ordinal].mbr, PackEntry(id, ordinal));
+  }
+  total_points_ += sequence.size();
+  sequences_.push_back(std::move(sequence));
+  partitions_.push_back(std::move(partition));
+  removed_.push_back(false);
+  return id;
+}
+
+bool SequenceDatabase::Remove(size_t id) {
+  MDSEQ_CHECK(id < sequences_.size());
+  if (removed_[id]) return false;
+  const Partition& partition = partitions_[id];
+  for (size_t ordinal = 0; ordinal < partition.size(); ++ordinal) {
+    const bool removed =
+        index_->Remove(partition[ordinal].mbr, PackEntry(id, ordinal));
+    MDSEQ_CHECK(removed);
+  }
+  total_points_ -= sequences_[id].size();
+  sequences_[id].Clear();
+  partitions_[id].clear();
+  removed_[id] = true;
+  ++removed_count_;
+  return true;
+}
+
+bool SequenceDatabase::is_removed(size_t id) const {
+  MDSEQ_CHECK(id < removed_.size());
+  return removed_[id];
+}
+
+const Sequence& SequenceDatabase::sequence(size_t id) const {
+  MDSEQ_CHECK(id < sequences_.size());
+  MDSEQ_CHECK(!removed_[id]);
+  return sequences_[id];
+}
+
+const Partition& SequenceDatabase::partition(size_t id) const {
+  MDSEQ_CHECK(id < partitions_.size());
+  MDSEQ_CHECK(!removed_[id]);
+  return partitions_[id];
+}
+
+}  // namespace mdseq

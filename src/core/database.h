@@ -1,0 +1,103 @@
+#ifndef MDSEQ_CORE_DATABASE_H_
+#define MDSEQ_CORE_DATABASE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/partitioning.h"
+#include "geom/sequence.h"
+#include "index/spatial_index.h"
+
+namespace mdseq {
+
+/// Configuration of a `SequenceDatabase`.
+struct DatabaseOptions {
+  /// Which spatial index stores the subsequence MBRs (the paper's "R-tree
+  /// or its variants").
+  enum class IndexKind {
+    kRStarTree,         ///< default
+    kGuttmanQuadratic,  ///< classic R-tree, quadratic split
+    kGuttmanLinear,     ///< classic R-tree, linear split
+    kLinear,            ///< flat page scan, used by the index ablation
+  };
+
+  PartitioningOptions partitioning;
+  IndexKind index_kind = IndexKind::kRStarTree;
+  /// Index page fanout (entries per node).
+  size_t index_fanout = 32;
+};
+
+/// The stored collection the paper searches: every added sequence is
+/// partitioned into subsequences (Section 3.4.1 "Index construction"), each
+/// subsequence's MBR is inserted into the spatial index, and the raw
+/// sequence is retained for interval reporting and exact post-processing.
+///
+/// Index entry payloads pack `(sequence id, MBR ordinal)`; see `PackEntry`.
+class SequenceDatabase {
+ public:
+  explicit SequenceDatabase(size_t dim,
+                            const DatabaseOptions& options = DatabaseOptions());
+
+  /// Adds a sequence (must be non-empty and of the database dimensionality);
+  /// returns its id. Ids are dense, starting at 0, and are never reused.
+  size_t Add(Sequence sequence);
+
+  /// Removes a sequence: its MBRs leave the index immediately (queries can
+  /// no longer return it) and its id becomes a tombstone. Returns false if
+  /// the id was already removed. Removing does not invalidate other ids.
+  bool Remove(size_t id);
+
+  /// True when `id` has been removed; `sequence()`/`partition()` must not
+  /// be called for removed ids.
+  bool is_removed(size_t id) const;
+
+  size_t dim() const { return dim_; }
+
+  /// Number of ids ever assigned (including tombstones); iterate
+  /// `[0, num_sequences())` and skip `is_removed` ids.
+  size_t num_sequences() const { return sequences_.size(); }
+
+  /// Number of live (non-removed) sequences.
+  size_t num_live_sequences() const { return sequences_.size() - removed_count_; }
+
+  /// Total number of points across all stored sequences.
+  size_t total_points() const { return total_points_; }
+
+  /// Total number of subsequence MBRs across all stored sequences.
+  size_t total_mbrs() const { return index_->size(); }
+
+  const Sequence& sequence(size_t id) const;
+  const Partition& partition(size_t id) const;
+
+  const SpatialIndex& index() const { return *index_; }
+  SpatialIndex* mutable_index() { return index_.get(); }
+
+  const DatabaseOptions& options() const { return options_; }
+
+  /// Packs a (sequence id, MBR ordinal) pair into an index payload.
+  static uint64_t PackEntry(size_t sequence_id, size_t mbr_ordinal) {
+    return (static_cast<uint64_t>(sequence_id) << 32) |
+           static_cast<uint64_t>(mbr_ordinal);
+  }
+  static size_t UnpackSequenceId(uint64_t value) {
+    return static_cast<size_t>(value >> 32);
+  }
+  static size_t UnpackMbrOrdinal(uint64_t value) {
+    return static_cast<size_t>(value & 0xffffffffULL);
+  }
+
+ private:
+  size_t dim_;
+  DatabaseOptions options_;
+  std::unique_ptr<SpatialIndex> index_;
+  std::vector<Sequence> sequences_;
+  std::vector<Partition> partitions_;
+  std::vector<bool> removed_;
+  size_t removed_count_ = 0;
+  size_t total_points_ = 0;
+};
+
+}  // namespace mdseq
+
+#endif  // MDSEQ_CORE_DATABASE_H_

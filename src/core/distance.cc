@@ -1,0 +1,63 @@
+#include "core/distance.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/check.h"
+
+namespace mdseq {
+
+double MeanDistance(SequenceView a, SequenceView b) {
+  MDSEQ_CHECK(a.size() == b.size());
+  MDSEQ_CHECK(!a.empty());
+  MDSEQ_CHECK(a.dim() == b.dim());
+  double sum = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    sum += PointDistance(a[i], b[i]);
+  }
+  return sum / static_cast<double>(a.size());
+}
+
+std::vector<double> WindowDistanceProfile(SequenceView query,
+                                          SequenceView data) {
+  MDSEQ_CHECK(!query.empty());
+  MDSEQ_CHECK(query.size() <= data.size());
+  MDSEQ_CHECK(query.dim() == data.dim());
+  const size_t k = query.size();
+  const size_t num_windows = data.size() - k + 1;
+  std::vector<double> profile(num_windows);
+  for (size_t j = 0; j < num_windows; ++j) {
+    double sum = 0.0;
+    for (size_t i = 0; i < k; ++i) {
+      sum += PointDistance(query[i], data[j + i]);
+    }
+    profile[j] = sum / static_cast<double>(k);
+  }
+  return profile;
+}
+
+double SequenceDistance(SequenceView a, SequenceView b) {
+  MDSEQ_CHECK(!a.empty() && !b.empty());
+  // Definition 3 slides the shorter sequence along the longer one.
+  SequenceView shorter = a.size() <= b.size() ? a : b;
+  SequenceView longer = a.size() <= b.size() ? b : a;
+  const std::vector<double> profile = WindowDistanceProfile(shorter, longer);
+  return *std::min_element(profile.begin(), profile.end());
+}
+
+double DistanceToSimilarity(double distance, size_t dim) {
+  MDSEQ_CHECK(dim > 0);
+  MDSEQ_CHECK(distance >= 0.0);
+  const double diagonal = std::sqrt(static_cast<double>(dim));
+  return std::clamp(1.0 - distance / diagonal, 0.0, 1.0);
+}
+
+double SimilarityToDistance(double similarity, size_t dim) {
+  MDSEQ_CHECK(dim > 0);
+  MDSEQ_CHECK(similarity >= 0.0 && similarity <= 1.0);
+  const double diagonal = std::sqrt(static_cast<double>(dim));
+  return (1.0 - similarity) * diagonal;
+}
+
+}  // namespace mdseq

@@ -1,0 +1,167 @@
+#include "core/mbr_distance.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/check.h"
+
+namespace mdseq {
+
+std::vector<double> ComputeMbrDistances(const Mbr& probe,
+                                        const Partition& target) {
+  std::vector<double> dmbr;
+  dmbr.reserve(target.size());
+  for (const SequenceMbr& piece : target) {
+    dmbr.push_back(MbrDistance(probe, piece.mbr));
+  }
+  return dmbr;
+}
+
+namespace {
+
+// Total number of sequence points covered by the partition.
+size_t TotalPoints(const Partition& target) {
+  return target.empty() ? 0 : target.back().end - target.front().begin;
+}
+
+}  // namespace
+
+namespace {
+
+// Enumerates every window of Definition 5 for the pair (probe, target[j])
+// and invokes `visit(distance, point_begin, point_end)` for each. Shared by
+// the minimum and the qualifying-window queries below.
+template <typename Visitor>
+void VisitDnormWindows(size_t probe_count, const Partition& target, size_t j,
+                       const std::vector<double>& dmbr,
+                       const Visitor& visit) {
+  MDSEQ_CHECK(!target.empty());
+  MDSEQ_CHECK(j < target.size());
+  MDSEQ_CHECK(probe_count >= 1);
+  MDSEQ_CHECK(dmbr.size() == target.size());
+
+  const double probe_points = static_cast<double>(probe_count);
+
+  // Case 1 (Example 2): the target MBR alone holds enough points.
+  if (target[j].count() >= probe_count) {
+    visit(dmbr[j], target[j].begin, target[j].end);
+    return;
+  }
+
+  // Case 3 (fallback, see header): the whole sequence is smaller than the
+  // probe; weight every MBR fully and normalize by the sequence length.
+  const size_t total = TotalPoints(target);
+  if (total < probe_count) {
+    double weighted = 0.0;
+    for (size_t t = 0; t < target.size(); ++t) {
+      weighted += dmbr[t] * static_cast<double>(target[t].count());
+    }
+    visit(weighted / static_cast<double>(total), target.front().begin,
+          target.back().end);
+    return;
+  }
+
+  // Case 2 (Definition 5): grow windows around j until the participating
+  // point count reaches probe_count.
+
+  // LD windows: start at k <= j, fully count MBRs k..l-1 and take the first
+  // `partial` points of MBR l, with j < l (j fully counted).
+  for (size_t k = j + 1; k-- > 0;) {
+    // Accumulate full counts from k rightward until reaching probe_count.
+    double weighted = 0.0;
+    size_t accumulated = 0;
+    size_t l = k;
+    while (l < target.size() &&
+           accumulated + target[l].count() < probe_count) {
+      weighted += dmbr[l] * static_cast<double>(target[l].count());
+      accumulated += target[l].count();
+      ++l;
+    }
+    if (l >= target.size()) continue;  // tail too short for this start
+    if (l <= j) break;  // j would not be fully counted; smaller k only worse
+    const size_t partial = probe_count - accumulated;
+    weighted += dmbr[l] * static_cast<double>(partial);
+    visit(weighted / probe_points, target[k].begin,
+          target[l].begin + partial);
+  }
+
+  // RD windows: end at q >= j, fully count MBRs p+1..q and take the last
+  // `partial` points of MBR p, with p < j (j fully counted).
+  for (size_t q = j; q < target.size(); ++q) {
+    double weighted = 0.0;
+    size_t accumulated = 0;
+    size_t p = q + 1;
+    while (p > 0 && accumulated + target[p - 1].count() < probe_count) {
+      --p;
+      weighted += dmbr[p] * static_cast<double>(target[p].count());
+      accumulated += target[p].count();
+    }
+    if (p == 0) continue;  // head too short for this end
+    --p;
+    if (p >= j) break;  // j would not be fully counted; larger q only worse
+    const size_t partial = probe_count - accumulated;
+    weighted += dmbr[p] * static_cast<double>(partial);
+    visit(weighted / probe_points, target[p].end - partial, target[q].end);
+  }
+}
+
+}  // namespace
+
+NormalizedDistanceResult NormalizedDistance(size_t probe_count,
+                                            const Partition& target, size_t j,
+                                            const std::vector<double>& dmbr) {
+  NormalizedDistanceResult best;
+  best.distance = std::numeric_limits<double>::infinity();
+  VisitDnormWindows(probe_count, target, j, dmbr,
+                    [&best](double distance, size_t begin, size_t end) {
+                      if (distance < best.distance) {
+                        best.distance = distance;
+                        best.point_begin = begin;
+                        best.point_end = end;
+                      }
+                    });
+  MDSEQ_CHECK(best.distance < std::numeric_limits<double>::infinity());
+  return best;
+}
+
+double QualifyingDnormWindows(size_t probe_count, const Partition& target,
+                              size_t j, const std::vector<double>& dmbr,
+                              double epsilon,
+                              std::vector<NormalizedDistanceResult>* out) {
+  MDSEQ_CHECK(out != nullptr);
+  double best = std::numeric_limits<double>::infinity();
+  VisitDnormWindows(
+      probe_count, target, j, dmbr,
+      [&](double distance, size_t begin, size_t end) {
+        best = std::min(best, distance);
+        if (distance <= epsilon) {
+          out->push_back(NormalizedDistanceResult{distance, begin, end});
+        }
+      });
+  MDSEQ_CHECK(best < std::numeric_limits<double>::infinity());
+  return best;
+}
+
+double MinNormalizedDistance(const Mbr& probe, size_t probe_count,
+                             const Partition& target) {
+  const std::vector<double> dmbr = ComputeMbrDistances(probe, target);
+  double best = std::numeric_limits<double>::infinity();
+  for (size_t j = 0; j < target.size(); ++j) {
+    best = std::min(best,
+                    NormalizedDistance(probe_count, target, j, dmbr).distance);
+  }
+  return best;
+}
+
+double MinMbrDistance(const Partition& a, const Partition& b) {
+  MDSEQ_CHECK(!a.empty() && !b.empty());
+  double best = std::numeric_limits<double>::infinity();
+  for (const SequenceMbr& pa : a) {
+    for (const SequenceMbr& pb : b) {
+      best = std::min(best, MbrDistance(pa.mbr, pb.mbr));
+    }
+  }
+  return best;
+}
+
+}  // namespace mdseq

@@ -1,0 +1,77 @@
+#ifndef MDSEQ_CORE_MBR_DISTANCE_H_
+#define MDSEQ_CORE_MBR_DISTANCE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/partitioning.h"
+#include "geom/mbr.h"
+
+namespace mdseq {
+
+/// Result of one normalized-distance evaluation `Dnorm(probe, target[j])`.
+///
+/// Besides the distance itself, it records the contiguous run of target
+/// sequence points `[point_begin, point_end)` that participated in the
+/// winning window — the paper approximates the solution interval by exactly
+/// this set (Section 3.3, Example 3).
+struct NormalizedDistanceResult {
+  double distance = 0.0;
+  size_t point_begin = 0;
+  size_t point_end = 0;
+};
+
+/// Precomputes `Dmbr(probe, target[t])` for every MBR of `target` — the
+/// inputs shared by all `Dnorm` evaluations of one (probe MBR, sequence)
+/// pair.
+std::vector<double> ComputeMbrDistances(const Mbr& probe,
+                                        const Partition& target);
+
+/// The paper's normalized distance `Dnorm` (Definition 5) between a probe
+/// MBR holding `probe_count` points (a query MBR in the usual direction) and
+/// the `j`-th MBR of the partitioned data sequence `target`.
+///
+/// When `target[j]` holds at least `probe_count` points, `Dnorm` equals
+/// `Dmbr(probe, target[j])`. Otherwise neighboring MBRs of `target[j]` are
+/// folded in until the participating point count reaches `probe_count`:
+/// every window of consecutive MBRs that contains `j` fully counted and is
+/// grown rightward (`LD`, the last MBR partially counted) or leftward
+/// (`RD`, the first MBR partially counted) is evaluated as the point-count
+/// weighted average of member `Dmbr`s, and the minimum is returned.
+///
+/// If the whole sequence holds fewer than `probe_count` points, all MBRs
+/// participate with full weight and the average is normalized by the
+/// sequence's point count — the lower-bounding property versus
+/// `SequenceDistance` is preserved because Definition 3 then slides the
+/// (shorter) data sequence over the query and averages over its length.
+///
+/// `dmbr` must be `ComputeMbrDistances(probe, target)`.
+/// Requires a non-empty partition, `j < target.size()` and
+/// `probe_count >= 1`.
+NormalizedDistanceResult NormalizedDistance(size_t probe_count,
+                                            const Partition& target, size_t j,
+                                            const std::vector<double>& dmbr);
+
+/// Appends to `out` one entry per Definition-5 window of the pair
+/// (probe, target[j]) whose weighted distance is within `epsilon`, and
+/// returns the minimum window distance (the `Dnorm` value). The union of
+/// the appended spans is the paper's solution-interval contribution of this
+/// pair (Section 3.3): *all* points involved in qualifying `Dnorm`
+/// computations.
+double QualifyingDnormWindows(size_t probe_count, const Partition& target,
+                              size_t j, const std::vector<double>& dmbr,
+                              double epsilon,
+                              std::vector<NormalizedDistanceResult>* out);
+
+/// Minimum of `NormalizedDistance` over every target MBR `j`. Convenience
+/// used by tests and by candidate checks that do not need intervals.
+double MinNormalizedDistance(const Mbr& probe, size_t probe_count,
+                             const Partition& target);
+
+/// Minimum `Dmbr` between any probe MBR of `a` and any MBR of `b` — the
+/// quantity of Lemma 1.
+double MinMbrDistance(const Partition& a, const Partition& b);
+
+}  // namespace mdseq
+
+#endif  // MDSEQ_CORE_MBR_DISTANCE_H_

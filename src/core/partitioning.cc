@@ -1,0 +1,75 @@
+#include "core/partitioning.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace mdseq {
+
+double EstimatedAccessCost(const Mbr& mbr,
+                           const PartitioningOptions& options) {
+  MDSEQ_CHECK(mbr.is_valid());
+  MDSEQ_CHECK(options.side_growth >= 0.0);
+  if (options.cost_model == PartitioningOptions::CostModel::kAdditive) {
+    double sum = 0.0;
+    for (size_t k = 0; k < mbr.dim(); ++k) {
+      sum += mbr.Side(k) + options.side_growth;
+    }
+    return sum;
+  }
+  double volume = 1.0;
+  for (size_t k = 0; k < mbr.dim(); ++k) {
+    volume *= mbr.Side(k) + options.side_growth;
+  }
+  return volume;
+}
+
+Partition PartitionSequence(SequenceView seq,
+                            const PartitioningOptions& options) {
+  MDSEQ_CHECK(options.max_points >= 1);
+  Partition partition;
+  if (seq.empty()) return partition;
+
+  Mbr current(seq.dim());
+  current.Expand(seq[0]);
+  size_t begin = 0;
+  size_t count = 1;
+  double current_mcost =
+      EstimatedAccessCost(current, options) / static_cast<double>(count);
+
+  for (size_t i = 1; i < seq.size(); ++i) {
+    Mbr grown = current;
+    grown.Expand(seq[i]);
+    const double grown_mcost =
+        EstimatedAccessCost(grown, options) / static_cast<double>(count + 1);
+    if (grown_mcost > current_mcost || count + 1 > options.max_points) {
+      // Close the current subsequence and start another MBR at this point.
+      partition.push_back(SequenceMbr{current, begin, i});
+      current = Mbr(seq.dim());
+      current.Expand(seq[i]);
+      begin = i;
+      count = 1;
+      current_mcost =
+          EstimatedAccessCost(current, options) / static_cast<double>(count);
+    } else {
+      current = grown;
+      ++count;
+      current_mcost = grown_mcost;
+    }
+  }
+  partition.push_back(SequenceMbr{current, begin, seq.size()});
+  return partition;
+}
+
+Partition PartitionFixed(SequenceView seq, size_t piece_length) {
+  MDSEQ_CHECK(piece_length >= 1);
+  Partition partition;
+  for (size_t begin = 0; begin < seq.size(); begin += piece_length) {
+    const size_t end = std::min(begin + piece_length, seq.size());
+    partition.push_back(
+        SequenceMbr{seq.Slice(begin, end).BoundingBox(), begin, end});
+  }
+  return partition;
+}
+
+}  // namespace mdseq

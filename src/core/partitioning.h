@@ -1,0 +1,72 @@
+#ifndef MDSEQ_CORE_PARTITIONING_H_
+#define MDSEQ_CORE_PARTITIONING_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "geom/mbr.h"
+#include "geom/sequence.h"
+
+namespace mdseq {
+
+/// One subsequence of a partitioned sequence together with its enclosing
+/// MBR: points `[begin, end)` of the owning sequence (zero-based,
+/// half-open; the paper's `S[begin+1 : end]`).
+struct SequenceMbr {
+  Mbr mbr;
+  size_t begin = 0;
+  size_t end = 0;
+
+  size_t count() const { return end - begin; }
+};
+
+/// A partitioning of a sequence into consecutive subsequences; `begin/end`
+/// ranges are contiguous and cover the whole sequence.
+using Partition = std::vector<SequenceMbr>;
+
+/// Options of the marginal-cost partitioning algorithm (Section 3.4.3).
+struct PartitioningOptions {
+  /// How the estimated number of disk accesses `DA` of an MBR with sides
+  /// `L` is computed. The paper adapts FRM's marginal cost; FRM uses the
+  /// Minkowski-sum volume, and the paper's printed formula is ambiguous
+  /// between a product and a sum, so both are provided (see DESIGN.md; the
+  /// ablation bench shows the conclusions are insensitive).
+  enum class CostModel {
+    /// `DA = prod_k (L_k + side_growth)` — FRM-style volume (default).
+    kMinkowskiVolume,
+    /// `DA = sum_k (L_k + side_growth)` — the literal additive reading.
+    kAdditive,
+  };
+
+  /// The per-side growth `Q_k + epsilon` accounting for the query MBR extent
+  /// and the search threshold; the paper adopts 0.3 after tuning.
+  double side_growth = 0.3;
+
+  /// Hard cap on points per MBR (the algorithm's `max`).
+  size_t max_points = 64;
+
+  CostModel cost_model = CostModel::kMinkowskiVolume;
+};
+
+/// Estimated disk accesses of an MBR under the given options (the `DA` term
+/// of the marginal cost `MCOST = DA / m`).
+double EstimatedAccessCost(const Mbr& mbr, const PartitioningOptions& options);
+
+/// Partitions `seq` into subsequences using the paper's greedy marginal-cost
+/// rule: a point joins the current MBR unless doing so would increase the
+/// per-point cost `MCOST` (or overflow `max_points`), in which case a new
+/// MBR is started (algorithm PARTITIONING_SEQUENCE).
+///
+/// The result covers `seq` exactly with contiguous, non-empty pieces.
+/// An empty sequence yields an empty partition.
+Partition PartitionSequence(SequenceView seq,
+                            const PartitioningOptions& options);
+
+/// Splits `seq` into fixed-length pieces of `piece_length` points (the last
+/// piece may be shorter). A simple alternative partitioner used by ablation
+/// benchmarks to quantify the value of the MCOST heuristic.
+Partition PartitionFixed(SequenceView seq, size_t piece_length);
+
+}  // namespace mdseq
+
+#endif  // MDSEQ_CORE_PARTITIONING_H_

@@ -1,0 +1,234 @@
+#include "core/search.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "core/distance.h"
+#include "core/mbr_distance.h"
+#include "util/check.h"
+
+namespace mdseq {
+
+void MergeIntervals(std::vector<Interval>* intervals) {
+  if (intervals->size() <= 1) return;
+  std::sort(intervals->begin(), intervals->end(),
+            [](const Interval& a, const Interval& b) {
+              return a.begin < b.begin || (a.begin == b.begin && a.end < b.end);
+            });
+  std::vector<Interval> merged;
+  merged.push_back(intervals->front());
+  for (size_t i = 1; i < intervals->size(); ++i) {
+    const Interval& next = (*intervals)[i];
+    if (next.begin <= merged.back().end) {
+      merged.back().end = std::max(merged.back().end, next.end);
+    } else {
+      merged.push_back(next);
+    }
+  }
+  *intervals = std::move(merged);
+}
+
+size_t CoveredPoints(const std::vector<Interval>& intervals) {
+  size_t covered = 0;
+  for (const Interval& iv : intervals) covered += iv.length();
+  return covered;
+}
+
+std::vector<Interval> ExactSolutionInterval(SequenceView query,
+                                            SequenceView data,
+                                            double epsilon) {
+  MDSEQ_CHECK(!query.empty() && !data.empty());
+  MDSEQ_CHECK(epsilon >= 0.0);
+  std::vector<Interval> intervals;
+  if (query.size() > data.size()) {
+    // Long query: Definition 3 slides `data` along `query`; when any
+    // alignment qualifies, the whole data sequence participates.
+    const std::vector<double> profile = WindowDistanceProfile(data, query);
+    if (*std::min_element(profile.begin(), profile.end()) <= epsilon) {
+      intervals.push_back(Interval{0, data.size()});
+    }
+    return intervals;
+  }
+  const size_t k = query.size();
+  const std::vector<double> profile = WindowDistanceProfile(query, data);
+  for (size_t j = 0; j < profile.size(); ++j) {
+    if (profile[j] <= epsilon) {
+      intervals.push_back(Interval{j, j + k});
+    }
+  }
+  MergeIntervals(&intervals);
+  return intervals;
+}
+
+SimilaritySearch::SimilaritySearch(const SequenceDatabase* database,
+                                   const SearchOptions& options)
+    : database_(database), options_(options) {
+  MDSEQ_CHECK(database != nullptr);
+}
+
+std::vector<size_t> SimilaritySearch::SearchCandidates(
+    SequenceView query, double epsilon, SearchStats* stats) const {
+  MDSEQ_CHECK(!query.empty());
+  MDSEQ_CHECK(query.dim() == database_->dim());
+  MDSEQ_CHECK(epsilon >= 0.0);
+
+  // Phase 1: partition the query with the database's partitioning options.
+  const Partition query_partition = PartitionSequence(
+      query, database_->options().partitioning);
+
+  // Phase 2: one index range search per query MBR; a sequence is a candidate
+  // as soon as one of its MBRs lies within Dmbr <= epsilon of one query MBR.
+  const SpatialIndex& index = database_->index();
+  const uint64_t accesses_before = index.node_accesses();
+  std::vector<uint64_t> hits;
+  std::vector<size_t> candidates;
+  for (const SequenceMbr& piece : query_partition) {
+    hits.clear();
+    index.RangeSearch(piece.mbr, epsilon, &hits);
+    for (uint64_t value : hits) {
+      candidates.push_back(SequenceDatabase::UnpackSequenceId(value));
+    }
+  }
+  std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
+  if (stats != nullptr) {
+    stats->node_accesses += index.node_accesses() - accesses_before;
+    stats->phase2_candidates = candidates.size();
+  }
+  return candidates;
+}
+
+namespace internal {
+
+bool EvaluatePhase3(const Partition& query_partition, size_t query_length,
+                    const Partition& data_partition, size_t data_length,
+                    double epsilon, const SearchOptions& options,
+                    SequenceMatch* match, SearchStats* stats) {
+  MDSEQ_CHECK(match != nullptr && stats != nullptr);
+  match->min_dnorm = std::numeric_limits<double>::infinity();
+  match->solution_interval.clear();
+  bool qualified = false;
+
+  // Definition 3 slides the shorter side, so the shorter side's MBRs act
+  // as probes; for long queries the roles swap and a qualifying data MBR
+  // contributes its own span to the reported interval instead.
+  const bool swapped = query_length > data_length;
+  const Partition& probes = swapped ? data_partition : query_partition;
+  const Partition& targets = swapped ? query_partition : data_partition;
+
+  // Per-probe minimum Dnorm, for the optional composite bound.
+  double composite_weighted = 0.0;
+  size_t composite_points = 0;
+
+  std::vector<NormalizedDistanceResult> windows;
+  for (const SequenceMbr& probe : probes) {
+    const std::vector<double> dmbr = ComputeMbrDistances(probe.mbr, targets);
+    double probe_min = std::numeric_limits<double>::infinity();
+    for (size_t j = 0; j < targets.size(); ++j) {
+      ++stats->dnorm_evaluations;
+      windows.clear();
+      const double dnorm = QualifyingDnormWindows(
+          probe.count(), targets, j, dmbr, epsilon, &windows);
+      probe_min = std::min(probe_min, dnorm);
+      if (!windows.empty()) {
+        qualified = true;
+        if (swapped) {
+          match->solution_interval.push_back(
+              Interval{probe.begin, probe.end});
+        } else {
+          for (const NormalizedDistanceResult& w : windows) {
+            match->solution_interval.push_back(
+                Interval{w.point_begin, w.point_end});
+          }
+        }
+      }
+    }
+    match->min_dnorm = std::min(match->min_dnorm, probe_min);
+    composite_weighted += probe_min * static_cast<double>(probe.count());
+    composite_points += probe.count();
+  }
+
+  if (qualified && options.composite_bound && composite_points > 0) {
+    // The alignment-weighted average of per-probe minima also lower-bounds
+    // D(Q, S); prune when it already exceeds the threshold.
+    const double composite =
+        composite_weighted / static_cast<double>(composite_points);
+    if (composite > epsilon) qualified = false;
+  }
+
+  if (qualified) MergeIntervals(&match->solution_interval);
+  return qualified;
+}
+
+}  // namespace internal
+
+SearchResult SimilaritySearch::Search(SequenceView query,
+                                      double epsilon) const {
+  SearchResult result;
+  result.candidates = SearchCandidates(query, epsilon, &result.stats);
+
+  const Partition query_partition = PartitionSequence(
+      query, database_->options().partitioning);
+
+  // Phase 3: second pruning with Dnorm plus solution-interval assembly.
+  for (size_t id : result.candidates) {
+    SequenceMatch match;
+    match.sequence_id = id;
+    if (internal::EvaluatePhase3(query_partition, query.size(),
+                                 database_->partition(id),
+                                 database_->sequence(id).size(), epsilon,
+                                 options_, &match, &result.stats)) {
+      result.matches.push_back(std::move(match));
+    }
+  }
+  result.stats.phase3_matches = result.matches.size();
+  return result;
+}
+
+SearchResult SimilaritySearch::SearchVerified(SequenceView query,
+                                              double epsilon) const {
+  SearchResult result = Search(query, epsilon);
+  std::vector<SequenceMatch> verified;
+  verified.reserve(result.matches.size());
+  for (SequenceMatch& match : result.matches) {
+    const SequenceView data = database_->sequence(match.sequence_id).View();
+    const double exact = SequenceDistance(query, data);
+    if (exact > epsilon) continue;
+    match.exact_distance = exact;
+    match.solution_interval = ExactSolutionInterval(query, data, epsilon);
+    verified.push_back(std::move(match));
+  }
+  result.matches = std::move(verified);
+  result.stats.phase3_matches = result.matches.size();
+  return result;
+}
+
+std::vector<SequenceMatch> SimilaritySearch::SearchNearest(SequenceView query,
+                                                           size_t k) const {
+  k = std::min(k, database_->num_live_sequences());
+  if (k == 0) return {};
+  // Grow the threshold until k verified matches exist. SearchVerified
+  // returns *every* sequence within the threshold, so once it holds at
+  // least k the global top-k is among them.
+  const double max_epsilon =
+      std::sqrt(static_cast<double>(database_->dim()));
+  double epsilon = 0.05;
+  while (true) {
+    SearchResult result = SearchVerified(query, epsilon);
+    if (result.matches.size() >= k || epsilon >= max_epsilon) {
+      std::sort(result.matches.begin(), result.matches.end(),
+                [](const SequenceMatch& a, const SequenceMatch& b) {
+                  return a.exact_distance < b.exact_distance ||
+                         (a.exact_distance == b.exact_distance &&
+                          a.sequence_id < b.sequence_id);
+                });
+      if (result.matches.size() > k) result.matches.resize(k);
+      return std::move(result.matches);
+    }
+    epsilon *= 2.0;
+  }
+}
+
+}  // namespace mdseq

@@ -1,0 +1,160 @@
+#ifndef MDSEQ_CORE_SEARCH_H_
+#define MDSEQ_CORE_SEARCH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/database.h"
+#include "geom/sequence.h"
+
+namespace mdseq {
+
+/// A half-open run of point indices `[begin, end)` within one sequence.
+struct Interval {
+  size_t begin = 0;
+  size_t end = 0;
+
+  size_t length() const { return end - begin; }
+  friend bool operator==(const Interval& a, const Interval& b) = default;
+};
+
+/// Sorts and coalesces overlapping/adjacent intervals in place.
+void MergeIntervals(std::vector<Interval>* intervals);
+
+/// Total number of points covered by a set of disjoint intervals.
+size_t CoveredPoints(const std::vector<Interval>& intervals);
+
+/// One sequence that survived both pruning phases.
+struct SequenceMatch {
+  size_t sequence_id = 0;
+  /// Minimum `Dnorm` over all (query MBR, data MBR) pairs — a lower bound of
+  /// the true `SequenceDistance` to the query.
+  double min_dnorm = 0.0;
+  /// Approximated solution interval (Definition 6 / Section 3.3): merged,
+  /// disjoint, ascending runs of points involved in qualifying `Dnorm`
+  /// evaluations. For `SearchVerified` results these are the *exact*
+  /// intervals instead.
+  std::vector<Interval> solution_interval;
+  /// Exact `SequenceDistance` to the query; only set (>= 0) by
+  /// `SearchVerified`, -1 for plain `Search` results.
+  double exact_distance = -1.0;
+};
+
+/// Exact solution interval of `data` with respect to `query` (Definition
+/// 6): every point covered by some alignment window whose mean distance is
+/// within the threshold. Long queries slide the data sequence inside the
+/// query instead (Definition 3); the whole data sequence is then the
+/// interval whenever some alignment qualifies.
+std::vector<Interval> ExactSolutionInterval(SequenceView query,
+                                            SequenceView data,
+                                            double epsilon);
+
+/// Counters describing one query's execution.
+struct SearchStats {
+  /// Index node accesses during Phase 2.
+  uint64_t node_accesses = 0;
+  /// Sequences surviving Phase 2 (the paper's ASmbr).
+  size_t phase2_candidates = 0;
+  /// Sequences surviving Phase 3 (the paper's ASnorm).
+  size_t phase3_matches = 0;
+  /// `Dnorm` evaluations performed in Phase 3.
+  size_t dnorm_evaluations = 0;
+};
+
+/// Full result of one similarity query.
+struct SearchResult {
+  /// Ids of Phase-2 candidates (ASmbr), ascending.
+  std::vector<size_t> candidates;
+  /// Phase-3 matches (ASnorm) with their solution intervals, ascending id.
+  std::vector<SequenceMatch> matches;
+  SearchStats stats;
+};
+
+/// Knobs of the search algorithm beyond the paper's defaults.
+struct SearchOptions {
+  /// The paper's Phase 3 admits a sequence as soon as *one* (query MBR,
+  /// data MBR) pair satisfies `Dnorm <= epsilon`. When enabled, this
+  /// applies the tighter *composite* test as well: for an equal-length
+  /// alignment, `D(Q,S') = sum_i |q_i| * Dmean(Q_i, S_i) / |Q|`, and each
+  /// term is lower-bounded by that query MBR's own minimum Dnorm
+  /// (Lemma 2), so
+  ///
+  ///   (sum_i |q_i| * min_j Dnorm(i, j)) / |Q|  <=  D(Q, S)
+  ///
+  /// is a valid — and strictly larger — lower bound than the single best
+  /// pair. Still no false dismissals; strictly better pruning (see
+  /// bench/ablation_composite).
+  bool composite_bound = false;
+};
+
+/// The paper's three-phase SIMILARITY_SEARCH algorithm (Section 3.4.2):
+///
+///  1. the query sequence is partitioned into MBRs with the same
+///     marginal-cost algorithm used for data sequences;
+///  2. *first pruning*: for every query MBR, the spatial index returns the
+///     data MBRs within `Dmbr <= epsilon`, yielding candidate sequences
+///     (no false dismissal by Lemma 1);
+///  3. *second pruning*: candidates are re-checked with the tighter `Dnorm`
+///     (no false dismissal by Lemmas 2-3), and the solution intervals of
+///     surviving sequences are assembled from the points involved in
+///     qualifying `Dnorm` windows.
+///
+/// Queries may be longer than data sequences ("long queries", Section 1);
+/// the roles of the two sides are swapped per pair, mirroring Definition 3.
+class SimilaritySearch {
+ public:
+  /// The database must outlive this object.
+  explicit SimilaritySearch(const SequenceDatabase* database,
+                            const SearchOptions& options = SearchOptions());
+
+  /// Runs the full three-phase search. `query` must be non-empty and of the
+  /// database dimensionality; `epsilon >= 0`.
+  ///
+  /// Faithful to the paper, the result is the *pruned candidate set*: every
+  /// truly similar sequence is present (no false dismissal), but false hits
+  /// may remain — the evaluation section measures precisely how few.
+  SearchResult Search(SequenceView query, double epsilon) const;
+
+  /// Filter-and-refine: runs `Search`, then verifies every match against
+  /// the raw stored sequence — matches whose exact `SequenceDistance`
+  /// exceeds `epsilon` are dropped, survivors carry their exact distance
+  /// and the exact solution intervals. This is the step a complete
+  /// retrieval system adds on top of the paper's filter.
+  SearchResult SearchVerified(SequenceView query, double epsilon) const;
+
+  /// Runs Phase 1+2 only and returns candidate sequence ids (ASmbr),
+  /// ascending. Used by evaluation to measure the phases separately.
+  std::vector<size_t> SearchCandidates(SequenceView query, double epsilon,
+                                       SearchStats* stats = nullptr) const;
+
+  /// The `k` most similar sequences by exact `SequenceDistance`, nearest
+  /// first (fewer if the database holds fewer than `k` sequences). Runs the
+  /// filter at a growing threshold until `k` verified matches exist — every
+  /// reported distance is exact. Solution intervals are relative to the
+  /// final (grown) threshold, i.e. they cover everything at least that
+  /// similar.
+  std::vector<SequenceMatch> SearchNearest(SequenceView query,
+                                           size_t k) const;
+
+ private:
+  const SequenceDatabase* database_;
+  SearchOptions options_;
+};
+
+namespace internal {
+
+/// Evaluates the paper's Phase 3 (Dnorm pruning + solution-interval
+/// assembly) for one candidate pair. Returns true when the candidate
+/// qualifies and fills `match` (everything except `sequence_id`). Shared by
+/// the in-memory `SimilaritySearch` and the disk-backed engine.
+bool EvaluatePhase3(const Partition& query_partition, size_t query_length,
+                    const Partition& data_partition, size_t data_length,
+                    double epsilon, const SearchOptions& options,
+                    SequenceMatch* match, SearchStats* stats);
+
+}  // namespace internal
+
+}  // namespace mdseq
+
+#endif  // MDSEQ_CORE_SEARCH_H_

@@ -1,0 +1,263 @@
+#include "eval/experiment.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <limits>
+
+#include "baseline/sequential_scan.h"
+#include "core/distance.h"
+#include "core/search.h"
+#include "eval/metrics.h"
+#include "eval/table.h"
+#include "util/csv.h"
+#include "gen/fractal.h"
+#include "gen/video.h"
+#include "util/check.h"
+
+namespace mdseq {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double MillisecondsSince(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+Workload BuildWorkload(const WorkloadConfig& config) {
+  MDSEQ_CHECK(config.num_sequences >= 1);
+  MDSEQ_CHECK(config.min_length >= 1);
+  MDSEQ_CHECK(config.min_length <= config.max_length);
+  Rng rng(config.seed);
+
+  std::vector<Sequence> corpus;
+  corpus.reserve(config.num_sequences);
+  const FractalOptions fractal_options;
+  const VideoOptions video_options;
+  for (size_t i = 0; i < config.num_sequences; ++i) {
+    const size_t length = static_cast<size_t>(
+        rng.UniformInt(static_cast<int64_t>(config.min_length),
+                       static_cast<int64_t>(config.max_length)));
+    switch (config.kind) {
+      case DataKind::kSynthetic:
+        corpus.push_back(GenerateFractalSequence(length, fractal_options,
+                                                 &rng));
+        break;
+      case DataKind::kVideo:
+        corpus.push_back(GenerateVideoSequence(length, video_options, &rng));
+        break;
+    }
+  }
+
+  Workload workload;
+  workload.database = std::make_unique<SequenceDatabase>(3, config.database);
+  for (const Sequence& seq : corpus) {
+    workload.database->Add(seq);
+  }
+  workload.queries = DrawQueries(corpus, config.num_queries, config.query,
+                                 &rng);
+  return workload;
+}
+
+std::vector<double> PaperEpsilons() {
+  std::vector<double> epsilons;
+  for (int i = 1; i <= 10; ++i) epsilons.push_back(0.05 * i);
+  return epsilons;
+}
+
+std::vector<SweepRow> RunThresholdSweep(const SequenceDatabase& database,
+                                        const std::vector<Sequence>& queries,
+                                        const std::vector<double>& epsilons,
+                                        const SweepOptions& options) {
+  MDSEQ_CHECK(!queries.empty());
+  MDSEQ_CHECK(!epsilons.empty());
+  const size_t total = database.num_sequences();
+  const SimilaritySearch engine(&database);
+
+  struct RowAccumulator {
+    MeanAccumulator pr_dmbr, pr_dnorm, pr_si, recall, time_ratio;
+    MeanAccumulator relevant, candidates, matches, node_accesses;
+    MeanAccumulator scan_ms, search_ms;
+  };
+  std::vector<RowAccumulator> acc(epsilons.size());
+
+  for (const Sequence& query : queries) {
+    const SequenceView q = query.View();
+
+    // Ground truth: one exact pass over the database computes, for every
+    // stored sequence, the full alignment profile (Definition 3's inner
+    // values). Everything threshold-dependent is derived from the profiles.
+    // The timed portion is exactly the work a sequential scan cannot avoid.
+    const auto scan_start = Clock::now();
+    std::vector<std::vector<double>> profiles(total);
+    std::vector<double> exact_distance(total);
+    std::vector<bool> swapped(total, false);  // long-query pairs
+    for (size_t id = 0; id < total; ++id) {
+      if (database.is_removed(id)) {
+        exact_distance[id] = std::numeric_limits<double>::infinity();
+        continue;
+      }
+      const SequenceView data = database.sequence(id).View();
+      if (q.size() <= data.size()) {
+        profiles[id] = WindowDistanceProfile(q, data);
+      } else {
+        profiles[id] = WindowDistanceProfile(data, q);
+        swapped[id] = true;
+      }
+      exact_distance[id] = *std::min_element(profiles[id].begin(),
+                                             profiles[id].end());
+    }
+    const double scan_ms = MillisecondsSince(scan_start);
+
+    for (size_t e = 0; e < epsilons.size(); ++e) {
+      const double epsilon = epsilons[e];
+      RowAccumulator& row = acc[e];
+
+      size_t relevant = 0;
+      for (size_t id = 0; id < total; ++id) {
+        if (exact_distance[id] <= epsilon) ++relevant;
+      }
+
+      const auto search_start = Clock::now();
+      const SearchResult result = engine.Search(q, epsilon);
+      const double search_ms = MillisecondsSince(search_start);
+
+      row.pr_dmbr.Add(PruningRate(total, result.candidates.size(), relevant));
+      row.pr_dnorm.Add(PruningRate(total, result.matches.size(), relevant));
+      row.relevant.Add(static_cast<double>(relevant));
+      row.candidates.Add(static_cast<double>(result.candidates.size()));
+      row.matches.Add(static_cast<double>(result.matches.size()));
+      row.node_accesses.Add(static_cast<double>(result.stats.node_accesses));
+      if (options.measure_time) {
+        row.scan_ms.Add(scan_ms);
+        row.search_ms.Add(search_ms);
+        if (search_ms > 0.0) row.time_ratio.Add(scan_ms / search_ms);
+      }
+
+      if (options.evaluate_intervals) {
+        // Interval quality over the sequences the method selected: how much
+        // of those sequences must still be browsed (PR_SI) and how much of
+        // the true answer the approximation covers (Recall).
+        size_t total_points = 0;
+        size_t norm_points = 0;
+        size_t scan_points = 0;
+        size_t intersection = 0;
+        for (const SequenceMatch& match : result.matches) {
+          const size_t id = match.sequence_id;
+          const size_t length = database.sequence(id).size();
+          total_points += length;
+          norm_points += CoveredPoints(match.solution_interval);
+          std::vector<Interval> exact;
+          if (swapped[id]) {
+            if (exact_distance[id] <= epsilon) {
+              exact.push_back(Interval{0, length});
+            }
+          } else {
+            const size_t k = q.size();
+            for (size_t j = 0; j < profiles[id].size(); ++j) {
+              if (profiles[id][j] <= epsilon) {
+                exact.push_back(Interval{j, j + k});
+              }
+            }
+            MergeIntervals(&exact);
+          }
+          scan_points += CoveredPoints(exact);
+          intersection +=
+              IntervalIntersectionSize(exact, match.solution_interval);
+        }
+        row.pr_si.Add(SolutionIntervalPruningRate(total_points, norm_points,
+                                                  scan_points));
+        row.recall.Add(Recall(intersection, scan_points));
+      }
+    }
+  }
+
+  std::vector<SweepRow> rows(epsilons.size());
+  for (size_t e = 0; e < epsilons.size(); ++e) {
+    SweepRow& row = rows[e];
+    row.epsilon = epsilons[e];
+    row.pr_dmbr = acc[e].pr_dmbr.Mean();
+    row.pr_dnorm = acc[e].pr_dnorm.Mean();
+    row.pr_si = acc[e].pr_si.Mean();
+    row.recall = options.evaluate_intervals ? acc[e].recall.Mean() : 1.0;
+    row.time_ratio = acc[e].time_ratio.Mean();
+    row.avg_relevant = acc[e].relevant.Mean();
+    row.avg_candidates = acc[e].candidates.Mean();
+    row.avg_matches = acc[e].matches.Mean();
+    row.avg_node_accesses = acc[e].node_accesses.Mean();
+    row.avg_scan_ms = acc[e].scan_ms.Mean();
+    row.avg_search_ms = acc[e].search_ms.Mean();
+  }
+  return rows;
+}
+
+void PrintWorkloadSummary(const WorkloadConfig& config,
+                          const SequenceDatabase& database,
+                          const std::vector<Sequence>& queries) {
+  std::printf("Workload (paper Table 2):\n");
+  std::printf("  data kind            : %s\n",
+              config.kind == DataKind::kSynthetic ? "synthetic (fractal)"
+                                                  : "video (synthetic shots)");
+  std::printf("  # of data sequences  : %zu\n", database.num_sequences());
+  std::printf("  sequence length      : %zu-%zu points\n", config.min_length,
+              config.max_length);
+  std::printf("  total points         : %zu\n", database.total_points());
+  std::printf("  total MBRs indexed   : %zu\n", database.total_mbrs());
+  std::printf("  # of query sequences : %zu (length %zu-%zu)\n",
+              queries.size(), config.query.min_length,
+              config.query.max_length);
+  std::printf("  seed                 : %llu\n",
+              static_cast<unsigned long long>(config.seed));
+  std::printf("\n");
+}
+
+bool WriteSweepCsv(const std::string& path,
+                   const std::vector<SweepRow>& rows) {
+  CsvWriter csv({"epsilon", "pr_dmbr", "pr_dnorm", "pr_si", "recall",
+                 "time_ratio", "avg_relevant", "avg_candidates",
+                 "avg_matches", "avg_node_accesses", "avg_scan_ms",
+                 "avg_search_ms"});
+  for (const SweepRow& row : rows) {
+    csv.AddRow(std::vector<double>{
+        row.epsilon, row.pr_dmbr, row.pr_dnorm, row.pr_si, row.recall,
+        row.time_ratio, row.avg_relevant, row.avg_candidates,
+        row.avg_matches, row.avg_node_accesses, row.avg_scan_ms,
+        row.avg_search_ms});
+  }
+  return csv.WriteFile(path);
+}
+
+void PrintSweepRows(const std::string& title,
+                    const std::vector<SweepRow>& rows, bool with_time) {
+  std::printf("%s\n", title.c_str());
+  std::vector<std::string> header = {"eps",     "PR(Dmbr)", "PR(Dnorm)",
+                                     "PR_SI",   "Recall",   "relevant",
+                                     "cand",    "matched",  "nodes"};
+  if (with_time) {
+    header.push_back("scan ms");
+    header.push_back("ours ms");
+    header.push_back("speedup");
+  }
+  TextTable table(header);
+  for (const SweepRow& row : rows) {
+    std::vector<double> cells = {row.epsilon,        row.pr_dmbr,
+                                 row.pr_dnorm,       row.pr_si,
+                                 row.recall,         row.avg_relevant,
+                                 row.avg_candidates, row.avg_matches,
+                                 row.avg_node_accesses};
+    if (with_time) {
+      cells.push_back(row.avg_scan_ms);
+      cells.push_back(row.avg_search_ms);
+      cells.push_back(row.time_ratio);
+    }
+    table.AddNumericRow(cells, 3);
+  }
+  table.Print();
+  std::printf("\n");
+}
+
+}  // namespace mdseq

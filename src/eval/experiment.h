@@ -1,0 +1,109 @@
+#ifndef MDSEQ_EVAL_EXPERIMENT_H_
+#define MDSEQ_EVAL_EXPERIMENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/database.h"
+#include "gen/query_workload.h"
+#include "geom/sequence.h"
+
+namespace mdseq {
+
+/// Which generator populates a workload's database.
+enum class DataKind {
+  kSynthetic,  ///< fractal sequences (paper Section 4.1, Figure 4)
+  kVideo,      ///< synthetic video streams + color features (Figure 5)
+};
+
+/// A paper-style experimental setup (Table 2): a database of variable-length
+/// sequences plus a set of query sequences drawn from the same corpus.
+struct WorkloadConfig {
+  DataKind kind = DataKind::kSynthetic;
+  /// 1600 synthetic / 1408 video sequences in the paper.
+  size_t num_sequences = 1600;
+  /// Sequence lengths are uniform in [min_length, max_length] (56-512).
+  size_t min_length = 56;
+  size_t max_length = 512;
+  /// Queries per threshold (20 in the paper; we reuse the same queries
+  /// across thresholds, which matches averaging over random queries).
+  size_t num_queries = 20;
+  QueryWorkloadOptions query;
+  DatabaseOptions database;
+  uint64_t seed = 42;
+};
+
+/// A built workload: the populated database and the query set.
+struct Workload {
+  std::unique_ptr<SequenceDatabase> database;
+  std::vector<Sequence> queries;
+};
+
+/// Generates the data set, loads the database, and draws the queries.
+Workload BuildWorkload(const WorkloadConfig& config);
+
+/// One row of a threshold sweep — everything Figures 6-10 plot at one
+/// epsilon, averaged over the query set.
+struct SweepRow {
+  double epsilon = 0.0;
+  /// Pruning rate of the Dmbr phase (Figures 6-7, "Dmbr" series).
+  double pr_dmbr = 0.0;
+  /// Pruning rate after the Dnorm phase (Figures 6-7, "Dnorm" series).
+  double pr_dnorm = 0.0;
+  /// Solution-interval pruning rate (Figures 8-9, "Pruning Rate").
+  double pr_si = 0.0;
+  /// Solution-interval recall (Figures 8-9, "Recall").
+  double recall = 1.0;
+  /// Sequential-scan time divided by the method's time (Figure 10).
+  double time_ratio = 0.0;
+
+  // Raw averages backing the ratios, for EXPERIMENTS.md and debugging.
+  double avg_relevant = 0.0;
+  double avg_candidates = 0.0;
+  double avg_matches = 0.0;
+  double avg_node_accesses = 0.0;
+  double avg_scan_ms = 0.0;
+  double avg_search_ms = 0.0;
+};
+
+/// Options of `RunThresholdSweep`.
+struct SweepOptions {
+  /// Measure wall-clock times and fill `time_ratio` (costs one extra timed
+  /// scan per query).
+  bool measure_time = true;
+  /// Evaluate solution-interval quality (`pr_si`, `recall`).
+  bool evaluate_intervals = true;
+};
+
+/// Runs the full evaluation protocol of Section 4.2 over one workload:
+/// for every query, the exact scan provides ground truth (relevant
+/// sequences and exact solution intervals); the three-phase engine is then
+/// run at every threshold and its pruning rates, interval quality, and
+/// speedup are averaged over the queries.
+std::vector<SweepRow> RunThresholdSweep(const SequenceDatabase& database,
+                                        const std::vector<Sequence>& queries,
+                                        const std::vector<double>& epsilons,
+                                        const SweepOptions& options = {});
+
+/// The paper's threshold grid: 0.05, 0.10, ..., 0.50 (Table 2).
+std::vector<double> PaperEpsilons();
+
+/// Prints the Table-2-style parameter block for a workload.
+void PrintWorkloadSummary(const WorkloadConfig& config,
+                          const SequenceDatabase& database,
+                          const std::vector<Sequence>& queries);
+
+/// Prints sweep rows as a fixed-width table with the given title.
+void PrintSweepRows(const std::string& title,
+                    const std::vector<SweepRow>& rows, bool with_time);
+
+/// Writes sweep rows as CSV (all columns) for external plotting. Returns
+/// false on I/O failure.
+bool WriteSweepCsv(const std::string& path,
+                   const std::vector<SweepRow>& rows);
+
+}  // namespace mdseq
+
+#endif  // MDSEQ_EVAL_EXPERIMENT_H_

@@ -1,0 +1,57 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace mdseq {
+
+namespace {
+
+double Rate(size_t total, size_t kept, size_t floor) {
+  MDSEQ_CHECK(kept <= total);
+  MDSEQ_CHECK(floor <= total);
+  const size_t prunable = total - floor;
+  if (prunable == 0) return kept <= floor ? 1.0 : 0.0;
+  const size_t pruned = total > kept ? total - kept : 0;
+  return std::min(1.0, static_cast<double>(pruned) /
+                           static_cast<double>(prunable));
+}
+
+}  // namespace
+
+double PruningRate(size_t total, size_t retrieved, size_t relevant) {
+  return Rate(total, retrieved, relevant);
+}
+
+double SolutionIntervalPruningRate(size_t total_points, size_t norm_points,
+                                   size_t scan_points) {
+  return Rate(total_points, norm_points, scan_points);
+}
+
+double Recall(size_t intersection_points, size_t scan_points) {
+  MDSEQ_CHECK(intersection_points <= scan_points);
+  if (scan_points == 0) return 1.0;
+  return static_cast<double>(intersection_points) /
+         static_cast<double>(scan_points);
+}
+
+size_t IntervalIntersectionSize(const std::vector<Interval>& a,
+                                const std::vector<Interval>& b) {
+  size_t count = 0;
+  size_t i = 0;
+  size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    const size_t lo = std::max(a[i].begin, b[j].begin);
+    const size_t hi = std::min(a[i].end, b[j].end);
+    if (hi > lo) count += hi - lo;
+    if (a[i].end < b[j].end) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return count;
+}
+
+}  // namespace mdseq

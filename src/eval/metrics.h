@@ -1,0 +1,50 @@
+#ifndef MDSEQ_EVAL_METRICS_H_
+#define MDSEQ_EVAL_METRICS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/search.h"
+
+namespace mdseq {
+
+/// The paper's pruning rate (Section 4.2.1):
+/// `PR = (|total| - |retrieved|) / (|total| - |relevant|)` — the fraction of
+/// prunable sequences the method actually pruned. Returns 1.0 when nothing
+/// is prunable (`total == relevant`) and the method retrieved only relevant
+/// sequences, 0.0 when nothing is prunable but extra sequences were
+/// retrieved anyway (degenerate; cannot happen for correct methods).
+double PruningRate(size_t total, size_t retrieved, size_t relevant);
+
+/// The paper's solution-interval pruning rate (Section 4.2.2):
+/// `PR_SI = (|Ptotal| - |Pnorm|) / (|Ptotal| - |Pscan|)`, with the same
+/// degenerate-case conventions as `PruningRate`.
+double SolutionIntervalPruningRate(size_t total_points, size_t norm_points,
+                                   size_t scan_points);
+
+/// The paper's recall of the approximated solution interval:
+/// `|Pscan ∩ Pnorm| / |Pscan|`; 1.0 when the exact interval is empty.
+double Recall(size_t intersection_points, size_t scan_points);
+
+/// Number of points common to two sets of disjoint, sorted intervals.
+size_t IntervalIntersectionSize(const std::vector<Interval>& a,
+                                const std::vector<Interval>& b);
+
+/// Incremental mean helper used by the experiment harness.
+class MeanAccumulator {
+ public:
+  void Add(double value) {
+    ++count_;
+    sum_ += value;
+  }
+  double Mean() const { return count_ == 0 ? 0.0 : sum_ / count_; }
+  size_t count() const { return count_; }
+
+ private:
+  size_t count_ = 0;
+  double sum_ = 0.0;
+};
+
+}  // namespace mdseq
+
+#endif  // MDSEQ_EVAL_METRICS_H_

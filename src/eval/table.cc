@@ -1,0 +1,64 @@
+#include "eval/table.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/check.h"
+
+namespace mdseq {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TextTable::AddRow(std::vector<std::string> cells) {
+  MDSEQ_CHECK(cells.size() == header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TextTable::AddNumericRow(const std::vector<double>& cells,
+                              int precision) {
+  std::vector<std::string> formatted;
+  formatted.reserve(cells.size());
+  char buf[64];
+  for (double v : cells) {
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    formatted.emplace_back(buf);
+  }
+  AddRow(std::move(formatted));
+}
+
+std::string TextTable::ToString() const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto append_row = [&](std::string* out,
+                        const std::vector<std::string>& cells) {
+    for (size_t c = 0; c < cells.size(); ++c) {
+      if (c > 0) *out += "  ";
+      out->append(widths[c] - cells[c].size(), ' ');
+      *out += cells[c];
+    }
+    *out += '\n';
+  };
+  std::string out;
+  append_row(&out, header_);
+  size_t total = 0;
+  for (size_t c = 0; c < widths.size(); ++c) {
+    total += widths[c] + (c > 0 ? 2 : 0);
+  }
+  out.append(total, '-');
+  out += '\n';
+  for (const auto& row : rows_) append_row(&out, row);
+  return out;
+}
+
+void TextTable::Print(std::FILE* out) const {
+  const std::string rendered = ToString();
+  std::fwrite(rendered.data(), 1, rendered.size(), out);
+}
+
+}  // namespace mdseq

@@ -1,0 +1,34 @@
+#ifndef MDSEQ_EVAL_TABLE_H_
+#define MDSEQ_EVAL_TABLE_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace mdseq {
+
+/// Fixed-width plain-text table used by the benchmark harnesses to print
+/// paper-style result rows.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  void AddNumericRow(const std::vector<double>& cells, int precision = 3);
+
+  /// Renders the table with a separator under the header.
+  std::string ToString() const;
+
+  /// Prints to `out` (stdout by default).
+  void Print(std::FILE* out = stdout) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace mdseq
+
+#endif  // MDSEQ_EVAL_TABLE_H_

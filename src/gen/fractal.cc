@@ -1,0 +1,66 @@
+#include "gen/fractal.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/check.h"
+
+namespace mdseq {
+
+namespace {
+
+// Largest representable value strictly below 1.0, so clamped coordinates
+// stay inside the half-open unit cube [0, 1) the paper works in.
+constexpr double kUnitCubeMax = 0x1.fffffffffffffp-1;
+
+// Recursively fills points (lo, hi) exclusive by displacing the midpoint of
+// the segment between the already-fixed endpoints.
+void Subdivide(std::vector<Point>* points, size_t lo, size_t hi, double dev,
+               const FractalOptions& options, Rng* rng) {
+  if (hi - lo <= 1) return;
+  const size_t mid = lo + (hi - lo) / 2;
+  Point& p = (*points)[mid];
+  const Point& a = (*points)[lo];
+  const Point& b = (*points)[hi];
+  for (size_t k = 0; k < options.dim; ++k) {
+    const double displacement = options.centered_displacement
+                                    ? dev * (2.0 * rng->Uniform() - 1.0)
+                                    : dev * rng->Uniform();
+    p[k] = std::clamp(0.5 * (a[k] + b[k]) + displacement, 0.0, kUnitCubeMax);
+  }
+  const double next_dev = dev * options.scale;
+  Subdivide(points, lo, mid, next_dev, options, rng);
+  Subdivide(points, mid, hi, next_dev, options, rng);
+}
+
+}  // namespace
+
+Sequence GenerateFractalSequence(size_t length, const FractalOptions& options,
+                                 Rng* rng) {
+  MDSEQ_CHECK(length >= 1);
+  MDSEQ_CHECK(options.dim >= 1);
+  MDSEQ_CHECK(rng != nullptr);
+  MDSEQ_CHECK(options.dev_min >= 0.0 && options.dev_min <= options.dev_max);
+  MDSEQ_CHECK(options.scale >= 0.0 && options.scale < 1.0);
+
+  std::vector<Point> points(length, Point(options.dim, 0.0));
+  for (size_t k = 0; k < options.dim; ++k) {
+    points.front()[k] = rng->Uniform();
+  }
+  if (length > 1) {
+    for (size_t k = 0; k < options.dim; ++k) {
+      const double offset =
+          rng->Uniform(-options.max_span, options.max_span);
+      points.back()[k] =
+          std::clamp(points.front()[k] + offset, 0.0, kUnitCubeMax);
+    }
+    const double dev = rng->Uniform(options.dev_min, options.dev_max);
+    Subdivide(&points, 0, length - 1, dev, options, rng);
+  }
+
+  Sequence seq(options.dim);
+  for (const Point& p : points) seq.Append(p);
+  return seq;
+}
+
+}  // namespace mdseq

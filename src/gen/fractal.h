@@ -1,0 +1,46 @@
+#ifndef MDSEQ_GEN_FRACTAL_H_
+#define MDSEQ_GEN_FRACTAL_H_
+
+#include <cstddef>
+
+#include "geom/sequence.h"
+#include "util/random.h"
+
+namespace mdseq {
+
+/// Parameters of the paper's synthetic generator (Section 4.1): recursive
+/// midpoint displacement ("Fractal function") inside the unit cube.
+struct FractalOptions {
+  /// Dimensionality of the generated points (the paper uses 3).
+  size_t dim = 3;
+  /// Initial displacement amplitude `dev`, drawn per sequence from
+  /// [dev_min, dev_max) (the paper selects dev in [0, 1) to control the
+  /// amplitude).
+  double dev_min = 0.05;
+  double dev_max = 0.35;
+  /// Geometric decay of `dev` per recursion level, in [0, 1).
+  double scale = 0.55;
+  /// The paper's formula adds `dev * random()` with random() in [0, 1),
+  /// which biases the trail upward before clamping; the default centers the
+  /// displacement (`dev * (2*random() - 1)`), which matches the look of the
+  /// paper's Figure 4. Set to false for the literal formula.
+  bool centered_displacement = true;
+  /// Maximum per-dimension offset of the end point from the start point.
+  /// The paper draws both uniformly from the unit cube; a full-cube span
+  /// makes every trail cross most of the space, which collapses
+  /// inter-sequence distances and with them the pruning rates the paper
+  /// reports. Localizing each trail to a sub-region (while keeping the
+  /// start uniform) restores the separation; 1.0 reproduces the literal
+  /// uniform-end behaviour. See DESIGN.md.
+  double max_span = 0.35;
+};
+
+/// Generates one fractal sequence with `length` points in [0, 1)^dim:
+/// random start and end points, then recursive midpoint displacement with
+/// geometrically decaying amplitude, clamped to the unit cube.
+Sequence GenerateFractalSequence(size_t length, const FractalOptions& options,
+                                 Rng* rng);
+
+}  // namespace mdseq
+
+#endif  // MDSEQ_GEN_FRACTAL_H_

@@ -1,0 +1,62 @@
+#include "gen/image.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace mdseq {
+
+RegionGrid SynthesizeImage(const ImageOptions& options, Rng* rng) {
+  MDSEQ_CHECK(rng != nullptr);
+  MDSEQ_CHECK(options.side >= 1);
+  MDSEQ_CHECK((options.side & (options.side - 1)) == 0);
+  MDSEQ_CHECK(options.min_blobs <= options.max_blobs);
+  MDSEQ_CHECK(options.min_radius > 0.0);
+  MDSEQ_CHECK(options.min_radius <= options.max_radius);
+
+  RegionGrid grid;
+  grid.side = options.side;
+  grid.colors.assign(options.side * options.side, Point{0.5, 0.5, 0.5});
+
+  const auto blobs = static_cast<size_t>(
+      rng->UniformInt(static_cast<int64_t>(options.min_blobs),
+                      static_cast<int64_t>(options.max_blobs)));
+  for (size_t b = 0; b < blobs; ++b) {
+    const double cx = rng->Uniform() * static_cast<double>(options.side);
+    const double cy = rng->Uniform() * static_cast<double>(options.side);
+    const double radius =
+        rng->Uniform(options.min_radius, options.max_radius);
+    const Point color{rng->Uniform(0.1, 0.9), rng->Uniform(0.1, 0.9),
+                      rng->Uniform(0.1, 0.9)};
+    for (size_t y = 0; y < options.side; ++y) {
+      for (size_t x = 0; x < options.side; ++x) {
+        const double dx = (static_cast<double>(x) + 0.5) - cx;
+        const double dy = (static_cast<double>(y) + 0.5) - cy;
+        const double w =
+            std::exp(-(dx * dx + dy * dy) / (radius * radius));
+        Point& region = grid.colors[y * options.side + x];
+        for (size_t c = 0; c < 3; ++c) {
+          region[c] = (1.0 - w) * region[c] + w * color[c];
+        }
+      }
+    }
+  }
+  return grid;
+}
+
+Sequence RegionsToSequence(const RegionGrid& grid, CurveKind curve) {
+  MDSEQ_CHECK(grid.colors.size() == grid.side * grid.side);
+  Sequence sequence(3);
+  for (const auto& [x, y] :
+       GridOrder(static_cast<uint32_t>(grid.side), curve)) {
+    sequence.Append(grid.at(x, y));
+  }
+  return sequence;
+}
+
+Sequence GenerateImageSequence(const ImageOptions& options, CurveKind curve,
+                               Rng* rng) {
+  return RegionsToSequence(SynthesizeImage(options, rng), curve);
+}
+
+}  // namespace mdseq

@@ -1,0 +1,52 @@
+#ifndef MDSEQ_GEN_IMAGE_H_
+#define MDSEQ_GEN_IMAGE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "geom/sequence.h"
+#include "geom/space_filling.h"
+#include "util/random.h"
+
+namespace mdseq {
+
+/// Parameters of the synthetic segmented-image source (the paper's second
+/// data model, Section 1: an image is segmented into regions, the regions
+/// are ordered along a space-filling curve, and each region contributes a
+/// feature vector).
+struct ImageOptions {
+  /// The image is segmented into a side x side grid of regions; `side`
+  /// must be a power of two so the space-filling curves apply.
+  size_t side = 8;
+  /// Number of color blobs composited over the neutral background.
+  size_t min_blobs = 3;
+  size_t max_blobs = 6;
+  /// Blob radius range, in region units.
+  double min_radius = 1.5;
+  double max_radius = 4.0;
+};
+
+/// A segmented image: one average color (3-d point in [0,1]^3) per region,
+/// row-major.
+struct RegionGrid {
+  size_t side = 0;
+  std::vector<Point> colors;  ///< side * side region colors
+
+  const Point& at(size_t x, size_t y) const { return colors[y * side + x]; }
+};
+
+/// Synthesizes a segmented image from a few soft color blobs, so that
+/// neighboring regions correlate the way real segmentations do.
+RegionGrid SynthesizeImage(const ImageOptions& options, Rng* rng);
+
+/// Serializes the region grid into a multidimensional data sequence along
+/// the chosen space-filling curve.
+Sequence RegionsToSequence(const RegionGrid& grid, CurveKind curve);
+
+/// Convenience: synthesize and serialize in one step.
+Sequence GenerateImageSequence(const ImageOptions& options, CurveKind curve,
+                               Rng* rng);
+
+}  // namespace mdseq
+
+#endif  // MDSEQ_GEN_IMAGE_H_

@@ -1,0 +1,53 @@
+#include "gen/query_workload.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace mdseq {
+
+Sequence DrawQuery(const std::vector<Sequence>& corpus,
+                   const QueryWorkloadOptions& options, Rng* rng) {
+  MDSEQ_CHECK(!corpus.empty());
+  MDSEQ_CHECK(options.min_length >= 1);
+  MDSEQ_CHECK(options.min_length <= options.max_length);
+  MDSEQ_CHECK(rng != nullptr);
+
+  constexpr double kUnitCubeMax = 0x1.fffffffffffffp-1;
+  const Sequence& source = corpus[static_cast<size_t>(
+      rng->UniformInt(0, static_cast<int64_t>(corpus.size()) - 1))];
+  const size_t length = std::min(
+      source.size(),
+      static_cast<size_t>(rng->UniformInt(
+          static_cast<int64_t>(options.min_length),
+          static_cast<int64_t>(options.max_length))));
+  const size_t offset = static_cast<size_t>(
+      rng->UniformInt(0, static_cast<int64_t>(source.size() - length)));
+
+  Sequence query(source.dim());
+  Point buffer(source.dim());
+  for (size_t i = 0; i < length; ++i) {
+    const PointView p = source[offset + i];
+    for (size_t k = 0; k < p.size(); ++k) {
+      buffer[k] = std::clamp(
+          p[k] + rng->Uniform(-options.noise, options.noise), 0.0,
+          kUnitCubeMax);
+    }
+    query.Append(buffer);
+  }
+  return query;
+}
+
+std::vector<Sequence> DrawQueries(const std::vector<Sequence>& corpus,
+                                  size_t count,
+                                  const QueryWorkloadOptions& options,
+                                  Rng* rng) {
+  std::vector<Sequence> queries;
+  queries.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    queries.push_back(DrawQuery(corpus, options, rng));
+  }
+  return queries;
+}
+
+}  // namespace mdseq

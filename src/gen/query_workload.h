@@ -1,0 +1,37 @@
+#ifndef MDSEQ_GEN_QUERY_WORKLOAD_H_
+#define MDSEQ_GEN_QUERY_WORKLOAD_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "geom/sequence.h"
+#include "util/random.h"
+
+namespace mdseq {
+
+/// How query sequences are derived from a data set (Section 4.2 issues
+/// "randomly selected" queries against the stored sequences).
+struct QueryWorkloadOptions {
+  /// Query lengths are drawn uniformly from [min_length, max_length].
+  size_t min_length = 32;
+  size_t max_length = 128;
+  /// Per-coordinate uniform noise amplitude added to the extracted
+  /// subsequence, so queries are near — but not identical to — stored data.
+  double noise = 0.01;
+};
+
+/// Draws one query: picks a random source sequence, extracts a random
+/// subsequence of a random length (clamped to the source length), and
+/// perturbs each coordinate with uniform noise, clamping back to [0, 1).
+Sequence DrawQuery(const std::vector<Sequence>& corpus,
+                   const QueryWorkloadOptions& options, Rng* rng);
+
+/// Draws `count` queries.
+std::vector<Sequence> DrawQueries(const std::vector<Sequence>& corpus,
+                                  size_t count,
+                                  const QueryWorkloadOptions& options,
+                                  Rng* rng);
+
+}  // namespace mdseq
+
+#endif  // MDSEQ_GEN_QUERY_WORKLOAD_H_

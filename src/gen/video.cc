@@ -1,0 +1,162 @@
+#include "gen/video.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace mdseq {
+
+double Frame::AverageChannel(size_t c) const {
+  MDSEQ_CHECK(c < 3);
+  MDSEQ_CHECK(rgb.size() == 3 * width * height);
+  const size_t pixels = width * height;
+  uint64_t sum = 0;
+  for (size_t i = 0; i < pixels; ++i) sum += rgb[3 * i + c];
+  return static_cast<double>(sum) / (255.0 * static_cast<double>(pixels));
+}
+
+namespace {
+
+uint8_t QuantizeChannel(double value) {
+  return static_cast<uint8_t>(
+      std::clamp(value, 0.0, 1.0) * 255.0 + 0.5);
+}
+
+// A shot's visual model: an anchor color plus a fixed linear gradient. The
+// anchor is drawn around the stream's base palette color.
+struct ShotModel {
+  double anchor[3];
+  double gradient_x[3];
+  double gradient_y[3];
+
+  static ShotModel Random(const double (&palette)[3],
+                          const VideoOptions& options, Rng* rng) {
+    ShotModel m;
+    for (size_t c = 0; c < 3; ++c) {
+      m.anchor[c] = std::clamp(
+          palette[c] + rng->Uniform(-options.palette_spread,
+                                    options.palette_spread),
+          0.05, 0.95);
+      m.gradient_x[c] = rng->Uniform(-1.0, 1.0) * options.texture_amplitude;
+      m.gradient_y[c] = rng->Uniform(-1.0, 1.0) * options.texture_amplitude;
+    }
+    return m;
+  }
+};
+
+// Renders one frame: `blend` in [0,1] mixes `model` toward `next` (used for
+// dissolves; blend == 0 renders `model` alone).
+Frame RenderFrame(const ShotModel& model, const ShotModel& next, double blend,
+                  const VideoOptions& options, Rng* rng) {
+  Frame frame;
+  frame.width = options.frame_width;
+  frame.height = options.frame_height;
+  frame.rgb.resize(3 * frame.width * frame.height);
+  const double wx = frame.width > 1 ? 1.0 / (frame.width - 1) : 0.0;
+  const double wy = frame.height > 1 ? 1.0 / (frame.height - 1) : 0.0;
+  size_t i = 0;
+  for (size_t y = 0; y < frame.height; ++y) {
+    for (size_t x = 0; x < frame.width; ++x) {
+      const double fx = static_cast<double>(x) * wx - 0.5;
+      const double fy = static_cast<double>(y) * wy - 0.5;
+      for (size_t c = 0; c < 3; ++c) {
+        const double a = model.anchor[c] + model.gradient_x[c] * fx +
+                         model.gradient_y[c] * fy;
+        const double b = next.anchor[c] + next.gradient_x[c] * fx +
+                         next.gradient_y[c] * fy;
+        double value = (1.0 - blend) * a + blend * b;
+        value += rng->Uniform(-options.pixel_noise, options.pixel_noise);
+        frame.rgb[i++] = QuantizeChannel(value);
+      }
+    }
+  }
+  return frame;
+}
+
+}  // namespace
+
+VideoStream GenerateVideoStream(size_t num_frames, const VideoOptions& options,
+                                Rng* rng) {
+  MDSEQ_CHECK(num_frames >= 1);
+  MDSEQ_CHECK(rng != nullptr);
+  MDSEQ_CHECK(options.frame_width >= 1 && options.frame_height >= 1);
+  MDSEQ_CHECK(options.min_shot_length >= 1);
+  MDSEQ_CHECK(options.min_shot_length <= options.max_shot_length);
+
+  VideoStream stream;
+  stream.frames.reserve(num_frames);
+
+  // Per-stream palette: each channel leans dark or bright (dim dramas,
+  // bright studio shows), giving programs distinct looks; see VideoOptions.
+  double palette[3];
+  for (double& c : palette) {
+    c = rng->Bernoulli(0.5) ? rng->Uniform(0.12, 0.38)
+                            : rng->Uniform(0.62, 0.88);
+  }
+  ShotModel current = ShotModel::Random(palette, options, rng);
+  size_t frame_index = 0;
+  while (frame_index < num_frames) {
+    const size_t shot_begin = frame_index;
+    const size_t shot_length = static_cast<size_t>(rng->UniformInt(
+        static_cast<int64_t>(options.min_shot_length),
+        static_cast<int64_t>(options.max_shot_length)));
+    const size_t shot_end = std::min(frame_index + shot_length, num_frames);
+
+    // Steady portion of the shot: anchor drifts slowly, texture is fixed.
+    for (; frame_index < shot_end; ++frame_index) {
+      stream.frames.push_back(
+          RenderFrame(current, current, 0.0, options, rng));
+      for (size_t c = 0; c < 3; ++c) {
+        current.anchor[c] = std::clamp(
+            current.anchor[c] +
+                rng->Uniform(-options.anchor_drift, options.anchor_drift),
+            0.05, 0.95);
+      }
+    }
+    stream.shots.emplace_back(shot_begin, shot_end);
+    if (frame_index >= num_frames) break;
+
+    ShotModel next = ShotModel::Random(palette, options, rng);
+    if (rng->Bernoulli(options.dissolve_probability) &&
+        options.dissolve_frames > 0) {
+      // Gradual transition: blend toward the next shot. The dissolve frames
+      // are attributed to the next shot's range.
+      const size_t dissolve_end =
+          std::min(frame_index + options.dissolve_frames, num_frames);
+      const size_t dissolve_begin = frame_index;
+      for (; frame_index < dissolve_end; ++frame_index) {
+        const double blend =
+            static_cast<double>(frame_index - dissolve_begin + 1) /
+            static_cast<double>(options.dissolve_frames + 1);
+        stream.frames.push_back(
+            RenderFrame(current, next, blend, options, rng));
+      }
+      if (frame_index > dissolve_begin) {
+        stream.shots.emplace_back(dissolve_begin, frame_index);
+      }
+    }
+    current = next;
+  }
+  return stream;
+}
+
+Point ExtractFrameFeature(const Frame& frame) {
+  return Point{frame.AverageChannel(0), frame.AverageChannel(1),
+               frame.AverageChannel(2)};
+}
+
+Sequence ExtractColorFeatures(const VideoStream& stream) {
+  Sequence seq(3);
+  for (const Frame& frame : stream.frames) {
+    seq.Append(ExtractFrameFeature(frame));
+  }
+  return seq;
+}
+
+Sequence GenerateVideoSequence(size_t num_frames, const VideoOptions& options,
+                               Rng* rng) {
+  return ExtractColorFeatures(GenerateVideoStream(num_frames, options, rng));
+}
+
+}  // namespace mdseq

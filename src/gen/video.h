@@ -1,0 +1,84 @@
+#ifndef MDSEQ_GEN_VIDEO_H_
+#define MDSEQ_GEN_VIDEO_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "geom/sequence.h"
+#include "util/random.h"
+
+namespace mdseq {
+
+/// One synthetic video frame: a small interleaved 8-bit RGB raster.
+struct Frame {
+  size_t width = 0;
+  size_t height = 0;
+  std::vector<uint8_t> rgb;  ///< `3 * width * height` bytes, row-major
+
+  /// Mean of channel `c` (0=R, 1=G, 2=B) over all pixels, scaled to [0, 1].
+  double AverageChannel(size_t c) const;
+};
+
+/// Parameters of the synthetic video source.
+///
+/// The paper evaluates on real TV news/drama/documentary streams whose
+/// frames, mapped to average-color features, form tightly clustered trails —
+/// one cluster per shot (Figure 5). This generator reproduces that
+/// structure: a stream is a series of shots; each shot renders frames around
+/// a slowly drifting anchor color with per-pixel texture and noise, and
+/// shots are joined by cuts or gradual dissolves. Features are then
+/// extracted from the rendered pixels exactly as the paper does (averaging
+/// color values of the pixels of a frame, Section 1).
+struct VideoOptions {
+  size_t frame_width = 16;
+  size_t frame_height = 12;
+  /// Shot lengths are drawn uniformly from [min, max] frames.
+  size_t min_shot_length = 8;
+  size_t max_shot_length = 48;
+  /// Per-frame random drift of the shot anchor color.
+  double anchor_drift = 0.004;
+  /// Amplitude of the static spatial gradient texture within a shot.
+  double texture_amplitude = 0.08;
+  /// Per-pixel uniform noise amplitude.
+  double pixel_noise = 0.03;
+  /// Probability that a shot boundary is a gradual dissolve, not a cut.
+  double dissolve_probability = 0.25;
+  /// Length of a dissolve in frames.
+  size_t dissolve_frames = 5;
+  /// Shot anchor colors are drawn within `palette_spread` of a per-stream
+  /// base color: a program (one news broadcast, one drama episode) has a
+  /// consistent look, so its shots cluster in a sub-region of color space
+  /// rather than uniformly over the cube. This is what makes different
+  /// streams separable and is the property the paper's pruning rates rely
+  /// on (Figure 5 / Section 4.2.2).
+  double palette_spread = 0.18;
+};
+
+/// A rendered stream plus its ground-truth shot boundaries.
+struct VideoStream {
+  std::vector<Frame> frames;
+  /// Half-open frame ranges, one per shot, covering the stream.
+  std::vector<std::pair<size_t, size_t>> shots;
+};
+
+/// Renders a synthetic stream with `num_frames` frames.
+VideoStream GenerateVideoStream(size_t num_frames, const VideoOptions& options,
+                                Rng* rng);
+
+/// The paper's video feature pipeline: one 3-d point per frame holding the
+/// frame's average (R, G, B) in [0, 1].
+Point ExtractFrameFeature(const Frame& frame);
+
+/// Applies `ExtractFrameFeature` to every frame of the stream, yielding the
+/// multidimensional data sequence the paper indexes.
+Sequence ExtractColorFeatures(const VideoStream& stream);
+
+/// Convenience: render a stream and return its feature sequence directly.
+Sequence GenerateVideoSequence(size_t num_frames, const VideoOptions& options,
+                               Rng* rng);
+
+}  // namespace mdseq
+
+#endif  // MDSEQ_GEN_VIDEO_H_

@@ -1,0 +1,34 @@
+#include "gen/walk.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace mdseq {
+
+Sequence GenerateRandomWalk(size_t length, const WalkOptions& options,
+                            Rng* rng) {
+  MDSEQ_CHECK(length >= 1);
+  MDSEQ_CHECK(options.dim >= 1);
+  MDSEQ_CHECK(rng != nullptr);
+  MDSEQ_CHECK(options.start_min <= options.start_max);
+
+  constexpr double kUnitCubeMax = 0x1.fffffffffffffp-1;
+  Sequence seq(options.dim);
+  Point current(options.dim);
+  for (size_t k = 0; k < options.dim; ++k) {
+    current[k] = rng->Uniform(options.start_min, options.start_max);
+  }
+  seq.Append(current);
+  for (size_t i = 1; i < length; ++i) {
+    for (size_t k = 0; k < options.dim; ++k) {
+      current[k] = std::clamp(
+          current[k] + rng->Normal(0.0, options.step_stddev), 0.0,
+          kUnitCubeMax);
+    }
+    seq.Append(current);
+  }
+  return seq;
+}
+
+}  // namespace mdseq

@@ -1,0 +1,29 @@
+#ifndef MDSEQ_GEN_WALK_H_
+#define MDSEQ_GEN_WALK_H_
+
+#include <cstddef>
+
+#include "geom/sequence.h"
+#include "util/random.h"
+
+namespace mdseq {
+
+/// Parameters of a clamped Gaussian random walk in the unit cube.
+struct WalkOptions {
+  size_t dim = 1;
+  /// Standard deviation of each step per dimension.
+  double step_stddev = 0.01;
+  /// Starting point is drawn uniformly from [start_min, start_max)^dim.
+  double start_min = 0.2;
+  double start_max = 0.8;
+};
+
+/// Generates a random-walk sequence of `length` points clamped to [0, 1).
+/// With `dim == 1` this models the classic stock-price-style time series of
+/// the related work (Agrawal '93, Faloutsos '94).
+Sequence GenerateRandomWalk(size_t length, const WalkOptions& options,
+                            Rng* rng);
+
+}  // namespace mdseq
+
+#endif  // MDSEQ_GEN_WALK_H_

@@ -1,0 +1,184 @@
+#include "geom/mbr.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+#include "util/csv.h"
+
+namespace mdseq {
+
+Mbr::Mbr(size_t dim) : low_(dim, 0.0), high_(dim, 0.0), valid_(false) {
+  MDSEQ_CHECK(dim > 0);
+}
+
+Mbr::Mbr(Point low, Point high)
+    : low_(std::move(low)), high_(std::move(high)), valid_(true) {
+  MDSEQ_CHECK(!low_.empty());
+  MDSEQ_CHECK(low_.size() == high_.size());
+  for (size_t k = 0; k < low_.size(); ++k) MDSEQ_CHECK(low_[k] <= high_[k]);
+}
+
+Mbr Mbr::FromPoint(PointView p) {
+  Mbr m(p.size());
+  m.Expand(p);
+  return m;
+}
+
+void Mbr::Expand(PointView p) {
+  MDSEQ_CHECK(p.size() == dim());
+  if (!valid_) {
+    std::copy(p.begin(), p.end(), low_.begin());
+    std::copy(p.begin(), p.end(), high_.begin());
+    valid_ = true;
+    return;
+  }
+  for (size_t k = 0; k < p.size(); ++k) {
+    low_[k] = std::min(low_[k], p[k]);
+    high_[k] = std::max(high_[k], p[k]);
+  }
+}
+
+void Mbr::Expand(const Mbr& other) {
+  MDSEQ_CHECK(other.dim() == dim());
+  if (!other.valid_) return;
+  if (!valid_) {
+    *this = other;
+    return;
+  }
+  for (size_t k = 0; k < dim(); ++k) {
+    low_[k] = std::min(low_[k], other.low_[k]);
+    high_[k] = std::max(high_[k], other.high_[k]);
+  }
+}
+
+void Mbr::Inflate(double delta) {
+  MDSEQ_CHECK(valid_);
+  MDSEQ_CHECK(delta >= 0.0);
+  for (size_t k = 0; k < dim(); ++k) {
+    low_[k] -= delta;
+    high_[k] += delta;
+  }
+}
+
+double Mbr::Volume() const {
+  MDSEQ_DCHECK(valid_);
+  double v = 1.0;
+  for (size_t k = 0; k < dim(); ++k) v *= Side(k);
+  return v;
+}
+
+double Mbr::Margin() const {
+  MDSEQ_DCHECK(valid_);
+  double m = 0.0;
+  for (size_t k = 0; k < dim(); ++k) m += Side(k);
+  return m;
+}
+
+bool Mbr::Intersects(const Mbr& other) const {
+  MDSEQ_DCHECK(valid_ && other.valid_);
+  for (size_t k = 0; k < dim(); ++k) {
+    if (high_[k] < other.low_[k] || other.high_[k] < low_[k]) return false;
+  }
+  return true;
+}
+
+bool Mbr::Contains(PointView p) const {
+  MDSEQ_DCHECK(valid_);
+  MDSEQ_DCHECK(p.size() == dim());
+  for (size_t k = 0; k < dim(); ++k) {
+    if (p[k] < low_[k] || p[k] > high_[k]) return false;
+  }
+  return true;
+}
+
+bool Mbr::Contains(const Mbr& other) const {
+  MDSEQ_DCHECK(valid_ && other.valid_);
+  for (size_t k = 0; k < dim(); ++k) {
+    if (other.low_[k] < low_[k] || other.high_[k] > high_[k]) return false;
+  }
+  return true;
+}
+
+double Mbr::OverlapVolume(const Mbr& other) const {
+  MDSEQ_DCHECK(valid_ && other.valid_);
+  double v = 1.0;
+  for (size_t k = 0; k < dim(); ++k) {
+    const double lo = std::max(low_[k], other.low_[k]);
+    const double hi = std::min(high_[k], other.high_[k]);
+    if (hi <= lo) return 0.0;
+    v *= hi - lo;
+  }
+  return v;
+}
+
+double Mbr::Enlargement(const Mbr& other) const {
+  MDSEQ_DCHECK(valid_ && other.valid_);
+  double enlarged = 1.0;
+  for (size_t k = 0; k < dim(); ++k) {
+    const double lo = std::min(low_[k], other.low_[k]);
+    const double hi = std::max(high_[k], other.high_[k]);
+    enlarged *= hi - lo;
+  }
+  return enlarged - Volume();
+}
+
+double Mbr::MinDist2(const Mbr& other) const {
+  MDSEQ_DCHECK(valid_ && other.valid_);
+  MDSEQ_DCHECK(other.dim() == dim());
+  double sum = 0.0;
+  for (size_t k = 0; k < dim(); ++k) {
+    double gap = 0.0;
+    if (high_[k] < other.low_[k]) {
+      gap = other.low_[k] - high_[k];
+    } else if (other.high_[k] < low_[k]) {
+      gap = low_[k] - other.high_[k];
+    }
+    sum += gap * gap;
+  }
+  return sum;
+}
+
+double Mbr::MinDist2(PointView p) const {
+  MDSEQ_DCHECK(valid_);
+  MDSEQ_DCHECK(p.size() == dim());
+  double sum = 0.0;
+  for (size_t k = 0; k < dim(); ++k) {
+    double gap = 0.0;
+    if (p[k] < low_[k]) {
+      gap = low_[k] - p[k];
+    } else if (p[k] > high_[k]) {
+      gap = p[k] - high_[k];
+    }
+    sum += gap * gap;
+  }
+  return sum;
+}
+
+double Mbr::MaxDist2(const Mbr& other) const {
+  MDSEQ_DCHECK(valid_ && other.valid_);
+  double sum = 0.0;
+  for (size_t k = 0; k < dim(); ++k) {
+    const double span = std::max(other.high_[k] - low_[k],
+                                 high_[k] - other.low_[k]);
+    sum += span * span;
+  }
+  return sum;
+}
+
+std::string Mbr::ToString() const {
+  if (!valid_) return "[invalid]";
+  std::string out = "[(";
+  for (size_t k = 0; k < dim(); ++k) {
+    if (k > 0) out += ", ";
+    out += FormatDouble(low_[k]);
+  }
+  out += "), (";
+  for (size_t k = 0; k < dim(); ++k) {
+    if (k > 0) out += ", ";
+    out += FormatDouble(high_[k]);
+  }
+  out += ")]";
+  return out;
+}
+
+}  // namespace mdseq

@@ -1,0 +1,114 @@
+#ifndef MDSEQ_GEOM_MBR_H_
+#define MDSEQ_GEOM_MBR_H_
+
+#include <cmath>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "geom/point.h"
+
+namespace mdseq {
+
+/// A minimum bounding rectangle (hyper-rectangle) in n-dimensional space,
+/// represented by the two endpoints L (low) and H (high) of its major
+/// diagonal, following the paper's Section 3.2: `M = (L, H)` with
+/// `l_i <= h_i` for every dimension.
+///
+/// An `Mbr` is also the unit stored in the spatial index: every subsequence
+/// produced by the partitioning algorithm is enclosed by one Mbr.
+class Mbr {
+ public:
+  /// Creates an empty (invalid) MBR of the given dimensionality; expanding it
+  /// with the first point makes it valid.
+  explicit Mbr(size_t dim);
+
+  /// Creates an MBR from explicit corner points (must satisfy low <= high).
+  Mbr(Point low, Point high);
+
+  /// Creates the degenerate MBR covering a single point.
+  static Mbr FromPoint(PointView p);
+
+  /// Dimensionality of the space the rectangle lives in.
+  size_t dim() const { return low_.size(); }
+
+  /// True once at least one point or rectangle has been accumulated.
+  bool is_valid() const { return valid_; }
+
+  /// Low / high diagonal endpoints. Undefined content while `!is_valid()`.
+  const Point& low() const { return low_; }
+  const Point& high() const { return high_; }
+
+  /// Grows the rectangle to cover `p`.
+  void Expand(PointView p);
+
+  /// Grows the rectangle to cover `other`.
+  void Expand(const Mbr& other);
+
+  /// Grows every side outward by `delta` (Minkowski sum with an L∞ ball),
+  /// used by range queries that search with threshold `delta`.
+  void Inflate(double delta);
+
+  /// Side length along dimension `k` (`h_k - l_k`).
+  double Side(size_t k) const { return high_[k] - low_[k]; }
+
+  /// Product of side lengths (area / volume / hyper-volume).
+  double Volume() const;
+
+  /// Sum of side lengths (the R*-tree "margin" criterion).
+  double Margin() const;
+
+  /// Center coordinate along dimension `k`.
+  double Center(size_t k) const { return 0.5 * (low_[k] + high_[k]); }
+
+  /// True iff the rectangles share at least one point.
+  bool Intersects(const Mbr& other) const;
+
+  /// True iff `p` lies inside the rectangle (boundaries inclusive).
+  bool Contains(PointView p) const;
+
+  /// True iff `other` lies fully inside this rectangle.
+  bool Contains(const Mbr& other) const;
+
+  /// Volume of the intersection with `other` (0 when disjoint).
+  double OverlapVolume(const Mbr& other) const;
+
+  /// Volume increase required to also cover `other`.
+  double Enlargement(const Mbr& other) const;
+
+  /// Squared minimum Euclidean distance between this rectangle and `other`.
+  ///
+  /// This is the square of the paper's `Dmbr` (Definition 4): per dimension
+  /// the gap is `l_B - h_A` if A lies fully below B, `l_A - h_B` if above,
+  /// and 0 when the projections overlap.
+  double MinDist2(const Mbr& other) const;
+
+  /// Squared minimum Euclidean distance from `p` to this rectangle.
+  double MinDist2(PointView p) const;
+
+  /// Squared *maximum* Euclidean distance to `other` (distance between the
+  /// farthest pair of points). Used by upper-bound pruning diagnostics.
+  double MaxDist2(const Mbr& other) const;
+
+  /// Human-readable form, e.g. "[(0, 0), (1, 0.5)]".
+  std::string ToString() const;
+
+  friend bool operator==(const Mbr& a, const Mbr& b) {
+    return a.valid_ == b.valid_ && a.low_ == b.low_ && a.high_ == b.high_;
+  }
+
+ private:
+  Point low_;
+  Point high_;
+  bool valid_ = false;
+};
+
+/// The paper's `Dmbr` (Definition 4): minimum Euclidean distance between two
+/// hyper-rectangles. Zero when they intersect.
+inline double MbrDistance(const Mbr& a, const Mbr& b) {
+  return std::sqrt(a.MinDist2(b));
+}
+
+}  // namespace mdseq
+
+#endif  // MDSEQ_GEOM_MBR_H_

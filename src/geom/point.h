@@ -1,0 +1,42 @@
+#ifndef MDSEQ_GEOM_POINT_H_
+#define MDSEQ_GEOM_POINT_H_
+
+#include <cmath>
+#include <span>
+#include <vector>
+
+#include "util/check.h"
+
+namespace mdseq {
+
+/// An owning n-dimensional point. Sequences store their points contiguously,
+/// so most APIs traffic in `PointView` (a borrowed span of coordinates);
+/// `Point` is the owning spelling used at construction sites and in tests.
+using Point = std::vector<double>;
+
+/// A borrowed view of one point's coordinates. Valid only as long as the
+/// owning `Point` or `Sequence` is alive and unmodified.
+using PointView = std::span<const double>;
+
+/// Squared Euclidean distance between two points of equal dimensionality.
+///
+/// This is the innermost kernel of every distance in the paper; it is kept
+/// header-inline so the compiler can vectorize the loop at call sites.
+inline double SquaredDistance(PointView a, PointView b) {
+  MDSEQ_DCHECK(a.size() == b.size());
+  double sum = 0.0;
+  for (size_t t = 0; t < a.size(); ++t) {
+    const double diff = a[t] - b[t];
+    sum += diff * diff;
+  }
+  return sum;
+}
+
+/// Euclidean distance `d(a, b)` between two points (paper Section 3.1).
+inline double PointDistance(PointView a, PointView b) {
+  return std::sqrt(SquaredDistance(a, b));
+}
+
+}  // namespace mdseq
+
+#endif  // MDSEQ_GEOM_POINT_H_

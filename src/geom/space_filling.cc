@@ -1,0 +1,135 @@
+#include "geom/space_filling.h"
+
+#include <utility>
+
+#include "util/check.h"
+
+namespace mdseq {
+
+namespace {
+
+uint32_t SpreadBits(uint32_t v) {
+  v &= 0xffff;
+  v = (v | (v << 8)) & 0x00ff00ff;
+  v = (v | (v << 4)) & 0x0f0f0f0f;
+  v = (v | (v << 2)) & 0x33333333;
+  v = (v | (v << 1)) & 0x55555555;
+  return v;
+}
+
+uint32_t CompactBits(uint32_t v) {
+  v &= 0x55555555;
+  v = (v | (v >> 1)) & 0x33333333;
+  v = (v | (v >> 2)) & 0x0f0f0f0f;
+  v = (v | (v >> 4)) & 0x00ff00ff;
+  v = (v | (v >> 8)) & 0x0000ffff;
+  return v;
+}
+
+}  // namespace
+
+uint32_t MortonIndex(uint32_t x, uint32_t y) {
+  MDSEQ_CHECK(x <= 0xffff && y <= 0xffff);
+  return SpreadBits(x) | (SpreadBits(y) << 1);
+}
+
+void MortonDecode(uint32_t index, uint32_t* x, uint32_t* y) {
+  MDSEQ_CHECK(x != nullptr && y != nullptr);
+  *x = CompactBits(index);
+  *y = CompactBits(index >> 1);
+}
+
+uint32_t HilbertIndex(uint32_t order, uint32_t x, uint32_t y) {
+  MDSEQ_CHECK(order >= 1 && order <= 16);
+  MDSEQ_CHECK(x < (1u << order) && y < (1u << order));
+  // Classic iterative d2xy/xy2d conversion (Hilbert curve via quadrant
+  // rotation).
+  uint32_t rx = 0;
+  uint32_t ry = 0;
+  uint32_t d = 0;
+  for (uint32_t s = 1u << (order - 1); s > 0; s /= 2) {
+    rx = (x & s) > 0 ? 1 : 0;
+    ry = (y & s) > 0 ? 1 : 0;
+    d += s * s * ((3 * rx) ^ ry);
+    // Rotate the quadrant.
+    if (ry == 0) {
+      if (rx == 1) {
+        x = s - 1 - x;
+        y = s - 1 - y;
+      }
+      std::swap(x, y);
+    }
+  }
+  return d;
+}
+
+void HilbertDecode(uint32_t order, uint32_t index, uint32_t* x, uint32_t* y) {
+  MDSEQ_CHECK(order >= 1 && order <= 16);
+  MDSEQ_CHECK(x != nullptr && y != nullptr);
+  uint32_t t = index;
+  *x = 0;
+  *y = 0;
+  for (uint32_t s = 1; s < (1u << order); s *= 2) {
+    const uint32_t rx = 1 & (t / 2);
+    const uint32_t ry = 1 & (t ^ rx);
+    if (ry == 0) {
+      if (rx == 1) {
+        *x = s - 1 - *x;
+        *y = s - 1 - *y;
+      }
+      std::swap(*x, *y);
+    }
+    *x += s * rx;
+    *y += s * ry;
+    t /= 4;
+  }
+}
+
+uint32_t GrayCode(uint32_t i) { return i ^ (i >> 1); }
+
+uint32_t GrayDecode(uint32_t code) {
+  uint32_t value = 0;
+  for (; code != 0; code >>= 1) value ^= code;
+  return value;
+}
+
+std::vector<std::pair<uint32_t, uint32_t>> GridOrder(uint32_t side,
+                                                     CurveKind kind) {
+  MDSEQ_CHECK(side >= 1);
+  MDSEQ_CHECK((side & (side - 1)) == 0);  // power of two
+  uint32_t order = 0;
+  while ((1u << order) < side) ++order;
+
+  std::vector<std::pair<uint32_t, uint32_t>> cells;
+  cells.reserve(static_cast<size_t>(side) * side);
+  switch (kind) {
+    case CurveKind::kRowMajor:
+      for (uint32_t y = 0; y < side; ++y) {
+        for (uint32_t x = 0; x < side; ++x) cells.emplace_back(x, y);
+      }
+      break;
+    case CurveKind::kMorton:
+      for (uint32_t i = 0; i < side * side; ++i) {
+        uint32_t x = 0;
+        uint32_t y = 0;
+        MortonDecode(i, &x, &y);
+        cells.emplace_back(x, y);
+      }
+      break;
+    case CurveKind::kHilbert:
+      if (side == 1) {
+        cells.emplace_back(0, 0);
+        break;
+      }
+      for (uint32_t i = 0; i < side * side; ++i) {
+        uint32_t x = 0;
+        uint32_t y = 0;
+        HilbertDecode(order, i, &x, &y);
+        cells.emplace_back(x, y);
+      }
+      break;
+  }
+  return cells;
+}
+
+}  // namespace mdseq

@@ -1,0 +1,45 @@
+#ifndef MDSEQ_GEOM_SPACE_FILLING_H_
+#define MDSEQ_GEOM_SPACE_FILLING_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace mdseq {
+
+/// Space-filling curve orderings of a 2-d grid, used to serialize image
+/// regions into a sequence (paper Section 1: "regions ... can be ordered
+/// appropriately, based on space filling curves such as the Z-curve, gray
+/// coding, or the Hilbert curve").
+///
+/// Coordinates are cell indices in a 2^order x 2^order grid.
+
+/// Morton (Z-curve) index of cell (x, y): bit interleaving. Both
+/// coordinates must fit in 16 bits.
+uint32_t MortonIndex(uint32_t x, uint32_t y);
+
+/// Inverse of `MortonIndex`.
+void MortonDecode(uint32_t index, uint32_t* x, uint32_t* y);
+
+/// Hilbert curve index of cell (x, y) on a 2^order x 2^order grid
+/// (0 < order <= 16; x, y < 2^order).
+uint32_t HilbertIndex(uint32_t order, uint32_t x, uint32_t y);
+
+/// Inverse of `HilbertIndex`.
+void HilbertDecode(uint32_t order, uint32_t index, uint32_t* x, uint32_t* y);
+
+/// Gray code of `i` — the third ordering the paper names. Consecutive codes
+/// differ in exactly one bit.
+uint32_t GrayCode(uint32_t i);
+
+/// Inverse of `GrayCode`.
+uint32_t GrayDecode(uint32_t code);
+
+/// Convenience: the (x, y) cells of a side x side grid (side a power of
+/// two) in the given curve order.
+enum class CurveKind { kRowMajor, kMorton, kHilbert };
+std::vector<std::pair<uint32_t, uint32_t>> GridOrder(uint32_t side,
+                                                     CurveKind kind);
+
+}  // namespace mdseq
+
+#endif  // MDSEQ_GEOM_SPACE_FILLING_H_

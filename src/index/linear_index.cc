@@ -1,0 +1,37 @@
+#include "index/linear_index.h"
+
+#include "util/check.h"
+
+namespace mdseq {
+
+LinearIndex::LinearIndex(size_t page_capacity)
+    : page_capacity_(page_capacity) {
+  MDSEQ_CHECK(page_capacity > 0);
+}
+
+void LinearIndex::Insert(const Mbr& mbr, uint64_t value) {
+  MDSEQ_CHECK(mbr.is_valid());
+  entries_.push_back(IndexEntry{mbr, value});
+}
+
+bool LinearIndex::Remove(const Mbr& mbr, uint64_t value) {
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    if (entries_[i].value == value && entries_[i].mbr == mbr) {
+      entries_.erase(entries_.begin() + static_cast<ptrdiff_t>(i));
+      return true;
+    }
+  }
+  return false;
+}
+
+void LinearIndex::RangeSearch(const Mbr& query, double epsilon,
+                              std::vector<uint64_t>* out) const {
+  MDSEQ_CHECK(epsilon >= 0.0);
+  const double eps2 = epsilon * epsilon;
+  node_accesses_ += (entries_.size() + page_capacity_ - 1) / page_capacity_;
+  for (const IndexEntry& e : entries_) {
+    if (query.MinDist2(e.mbr) <= eps2) out->push_back(e.value);
+  }
+}
+
+}  // namespace mdseq

@@ -1,0 +1,37 @@
+#ifndef MDSEQ_INDEX_LINEAR_INDEX_H_
+#define MDSEQ_INDEX_LINEAR_INDEX_H_
+
+#include <vector>
+
+#include "index/spatial_index.h"
+
+namespace mdseq {
+
+/// Flat-array baseline implementation of `SpatialIndex`.
+///
+/// Every query scans all entries; node accesses are accounted as one access
+/// per simulated page of `page_capacity` entries so the ablation benchmark
+/// can compare its "disk" cost against the R*-tree on equal terms.
+class LinearIndex : public SpatialIndex {
+ public:
+  /// `page_capacity` is the number of entries per simulated page (defaults
+  /// to the R*-tree's default fanout).
+  explicit LinearIndex(size_t page_capacity = 32);
+
+  void Insert(const Mbr& mbr, uint64_t value) override;
+  bool Remove(const Mbr& mbr, uint64_t value) override;
+  void RangeSearch(const Mbr& query, double epsilon,
+                   std::vector<uint64_t>* out) const override;
+  size_t size() const override { return entries_.size(); }
+  uint64_t node_accesses() const override { return node_accesses_; }
+  void ResetNodeAccesses() override { node_accesses_ = 0; }
+
+ private:
+  size_t page_capacity_;
+  std::vector<IndexEntry> entries_;
+  mutable uint64_t node_accesses_ = 0;
+};
+
+}  // namespace mdseq
+
+#endif  // MDSEQ_INDEX_LINEAR_INDEX_H_

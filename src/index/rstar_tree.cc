@@ -1,0 +1,822 @@
+#include "index/rstar_tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <numeric>
+#include <queue>
+
+#include "util/check.h"
+
+namespace mdseq {
+
+// An entry of a tree node: leaf entries carry a payload value and no child;
+// internal entries carry the child subtree whose bounding box is `mbr`.
+struct RStarTree::NodeEntry {
+  Mbr mbr;
+  uint64_t value = 0;
+  std::unique_ptr<Node> child;
+
+  NodeEntry(Mbr m, uint64_t v) : mbr(std::move(m)), value(v) {}
+  NodeEntry(Mbr m, std::unique_ptr<Node> c)
+      : mbr(std::move(m)), child(std::move(c)) {}
+};
+
+// Level 0 is the leaf level; a node at level L holds children at level L-1.
+struct RStarTree::Node {
+  size_t level;
+  std::vector<NodeEntry> entries;
+
+  explicit Node(size_t lvl) : level(lvl) {}
+  bool is_leaf() const { return level == 0; }
+
+  Mbr BoundingBox(size_t dim) const {
+    Mbr box(dim);
+    for (const NodeEntry& e : entries) box.Expand(e.mbr);
+    return box;
+  }
+};
+
+// An entry waiting to be (re-)inserted at a specific level.
+struct RStarTree::PendingInsert {
+  NodeEntry entry;
+  size_t target_level;
+};
+
+RStarTreeOptions RStarTreeOptions::ForFanout(size_t fanout,
+                                             RTreeVariant variant) {
+  RStarTreeOptions o;
+  o.max_entries = fanout;
+  o.min_entries = std::max<size_t>(2, fanout * 2 / 5);    // 40%
+  o.reinsert_entries = std::max<size_t>(1, fanout * 3 / 10);  // 30%
+  o.variant = variant;
+  return o;
+}
+
+RStarTree::RStarTree(size_t dim, const RStarTreeOptions& options)
+    : dim_(dim), options_(options), root_(std::make_unique<Node>(0)) {
+  MDSEQ_CHECK(dim > 0);
+  MDSEQ_CHECK(options_.max_entries >= 4);
+  MDSEQ_CHECK(options_.min_entries >= 2);
+  MDSEQ_CHECK(options_.min_entries <= options_.max_entries / 2);
+  MDSEQ_CHECK(options_.reinsert_entries >= 1);
+  MDSEQ_CHECK(options_.reinsert_entries + options_.min_entries <=
+              options_.max_entries);
+}
+
+RStarTree::~RStarTree() = default;
+RStarTree::RStarTree(RStarTree&&) noexcept = default;
+RStarTree& RStarTree::operator=(RStarTree&&) noexcept = default;
+
+// ---------------------------------------------------------------------------
+// Insertion
+// ---------------------------------------------------------------------------
+
+void RStarTree::Insert(const Mbr& mbr, uint64_t value) {
+  MDSEQ_CHECK(mbr.is_valid());
+  MDSEQ_CHECK(mbr.dim() == dim_);
+  // Forced reinsertion is allowed once per level within one logical insert
+  // (Beckmann et al., Section 4.3).
+  std::vector<bool> reinserted_levels(root_->level + 1, false);
+  InsertEntryAtLevel(NodeEntry(mbr, value), 0, &reinserted_levels);
+  ++size_;
+}
+
+void RStarTree::InsertEntryAtLevel(NodeEntry&& entry, size_t target_level,
+                                   std::vector<bool>* reinserted_levels) {
+  std::vector<PendingInsert> pending;
+  pending.push_back(PendingInsert{std::move(entry), target_level});
+  while (!pending.empty()) {
+    PendingInsert item = std::move(pending.back());
+    pending.pop_back();
+    std::unique_ptr<Node> split;
+    InsertRecursive(root_.get(), std::move(item.entry), item.target_level,
+                    &pending, reinserted_levels, &split);
+    if (split != nullptr) {
+      GrowRoot(std::move(split));
+      reinserted_levels->resize(root_->level + 1, false);
+    }
+  }
+}
+
+void RStarTree::GrowRoot(std::unique_ptr<Node> sibling) {
+  auto new_root = std::make_unique<Node>(root_->level + 1);
+  new_root->entries.emplace_back(root_->BoundingBox(dim_), std::move(root_));
+  new_root->entries.emplace_back(sibling->BoundingBox(dim_),
+                                 std::move(sibling));
+  root_ = std::move(new_root);
+}
+
+RStarTree::Node* RStarTree::ChooseSubtree(Node* node, const Mbr& mbr,
+                                          size_t target_level) const {
+  MDSEQ_DCHECK(node->level > target_level);
+  // At the level just above the target, R* picks the child with the minimum
+  // *overlap* enlargement; higher up, the minimum volume enlargement.
+  // Guttman's ChooseLeaf uses minimum volume enlargement at every level.
+  const bool use_overlap = options_.variant == RTreeVariant::kRStar &&
+                           node->level == target_level + 1;
+  size_t best = 0;
+  double best_primary = std::numeric_limits<double>::infinity();
+  double best_secondary = std::numeric_limits<double>::infinity();
+  double best_volume = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < node->entries.size(); ++i) {
+    const Mbr& child_mbr = node->entries[i].mbr;
+    Mbr enlarged = child_mbr;
+    enlarged.Expand(mbr);
+    const double volume = child_mbr.Volume();
+    const double enlargement = enlarged.Volume() - volume;
+    double primary;
+    if (use_overlap) {
+      // Overlap enlargement of child i: sum over siblings of the growth in
+      // pairwise overlap if `mbr` were added to child i.
+      double overlap_delta = 0.0;
+      for (size_t j = 0; j < node->entries.size(); ++j) {
+        if (j == i) continue;
+        const Mbr& sibling = node->entries[j].mbr;
+        overlap_delta +=
+            enlarged.OverlapVolume(sibling) - child_mbr.OverlapVolume(sibling);
+      }
+      primary = overlap_delta;
+    } else {
+      primary = enlargement;
+    }
+    const double secondary = use_overlap ? enlargement : volume;
+    const double tertiary = volume;
+    if (primary < best_primary ||
+        (primary == best_primary && secondary < best_secondary) ||
+        (primary == best_primary && secondary == best_secondary &&
+         tertiary < best_volume)) {
+      best = i;
+      best_primary = primary;
+      best_secondary = secondary;
+      best_volume = tertiary;
+    }
+  }
+  return node->entries[best].child.get();
+}
+
+bool RStarTree::InsertRecursive(Node* node, NodeEntry&& entry,
+                                size_t target_level,
+                                std::vector<PendingInsert>* pending,
+                                std::vector<bool>* reinserted_levels,
+                                std::unique_ptr<Node>* split_out) {
+  if (node->level == target_level) {
+    node->entries.push_back(std::move(entry));
+  } else {
+    Node* child = ChooseSubtree(node, entry.mbr, target_level);
+    // Locate the parent entry of `child` to refresh its box afterwards.
+    size_t child_index = 0;
+    for (; child_index < node->entries.size(); ++child_index) {
+      if (node->entries[child_index].child.get() == child) break;
+    }
+    MDSEQ_DCHECK(child_index < node->entries.size());
+    std::unique_ptr<Node> child_split;
+    InsertRecursive(child, std::move(entry), target_level, pending,
+                    reinserted_levels, &child_split);
+    // Recompute rather than merely expand: forced reinsertion below may have
+    // *shrunk* the child.
+    node->entries[child_index].mbr = child->BoundingBox(dim_);
+    if (child_split != nullptr) {
+      Mbr split_box = child_split->BoundingBox(dim_);
+      node->entries.emplace_back(std::move(split_box), std::move(child_split));
+    }
+  }
+
+  if (node->entries.size() <= options_.max_entries) return true;
+
+  // Overflow treatment: forced reinsert the first time a level overflows
+  // during this logical insertion (never at the root), split otherwise.
+  // The Guttman variants always split.
+  if (options_.variant == RTreeVariant::kRStar && node != root_.get() &&
+      node->level < reinserted_levels->size() &&
+      !(*reinserted_levels)[node->level]) {
+    (*reinserted_levels)[node->level] = true;
+    ForcedReinsert(node, pending);
+  } else {
+    *split_out = SplitNode(node);
+  }
+  return true;
+}
+
+void RStarTree::ForcedReinsert(Node* node,
+                               std::vector<PendingInsert>* pending) {
+  const Mbr box = node->BoundingBox(dim_);
+  std::vector<double> center(dim_);
+  for (size_t k = 0; k < dim_; ++k) center[k] = box.Center(k);
+
+  auto center_dist2 = [&](const NodeEntry& e) {
+    double sum = 0.0;
+    for (size_t k = 0; k < dim_; ++k) {
+      const double d = e.mbr.Center(k) - center[k];
+      sum += d * d;
+    }
+    return sum;
+  };
+
+  // Sort ascending by center distance; the tail holds the entries farthest
+  // from the node center, which are removed and reinserted.
+  std::sort(node->entries.begin(), node->entries.end(),
+            [&](const NodeEntry& a, const NodeEntry& b) {
+              return center_dist2(a) < center_dist2(b);
+            });
+  const size_t keep = node->entries.size() - options_.reinsert_entries;
+  for (size_t i = keep; i < node->entries.size(); ++i) {
+    pending->push_back(
+        PendingInsert{std::move(node->entries[i]), node->level});
+  }
+  node->entries.erase(node->entries.begin() + static_cast<ptrdiff_t>(keep),
+                      node->entries.end());
+}
+
+std::unique_ptr<RStarTree::Node> RStarTree::SplitNode(Node* node) {
+  switch (options_.variant) {
+    case RTreeVariant::kRStar:
+      return SplitNodeRStar(node);
+    case RTreeVariant::kGuttmanQuadratic:
+      return SplitNodeQuadratic(node);
+    case RTreeVariant::kGuttmanLinear:
+      return SplitNodeLinear(node);
+  }
+  return nullptr;  // unreachable
+}
+
+std::unique_ptr<RStarTree::Node> RStarTree::SplitNodeRStar(Node* node) {
+  const size_t total = node->entries.size();
+  const size_t m = options_.min_entries;
+  MDSEQ_DCHECK(total == options_.max_entries + 1);
+
+  // For each axis and each of the two sorts (by low value, by high value),
+  // the R* split considers the distributions that put the first
+  // k ∈ [m, total - m] entries into the first group.
+  std::vector<size_t> order(total);
+
+  auto sort_order = [&](size_t axis, bool by_high) {
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      const Mbr& ma = node->entries[a].mbr;
+      const Mbr& mb = node->entries[b].mbr;
+      const double ka = by_high ? ma.high()[axis] : ma.low()[axis];
+      const double kb = by_high ? mb.high()[axis] : mb.low()[axis];
+      if (ka != kb) return ka < kb;
+      const double sa = by_high ? ma.low()[axis] : ma.high()[axis];
+      const double sb = by_high ? mb.low()[axis] : mb.high()[axis];
+      return sa < sb;
+    });
+  };
+
+  struct Candidate {
+    size_t axis = 0;
+    bool by_high = false;
+    size_t split_at = 0;  // first group = order[0 .. split_at)
+    double overlap = std::numeric_limits<double>::infinity();
+    double volume = std::numeric_limits<double>::infinity();
+  };
+
+  // Prefix/suffix boxes for the current `order`.
+  std::vector<Mbr> prefix(total, Mbr(dim_));
+  std::vector<Mbr> suffix(total, Mbr(dim_));
+  auto compute_boxes = [&]() {
+    Mbr acc(dim_);
+    for (size_t i = 0; i < total; ++i) {
+      acc.Expand(node->entries[order[i]].mbr);
+      prefix[i] = acc;
+    }
+    acc = Mbr(dim_);
+    for (size_t i = total; i-- > 0;) {
+      acc.Expand(node->entries[order[i]].mbr);
+      suffix[i] = acc;
+    }
+  };
+
+  // Choose the split axis: the one minimizing the sum of group margins over
+  // all candidate distributions of both sorts.
+  size_t best_axis = 0;
+  double best_margin_sum = std::numeric_limits<double>::infinity();
+  for (size_t axis = 0; axis < dim_; ++axis) {
+    double margin_sum = 0.0;
+    for (bool by_high : {false, true}) {
+      sort_order(axis, by_high);
+      compute_boxes();
+      for (size_t k = m; k + m <= total; ++k) {
+        margin_sum += prefix[k - 1].Margin() + suffix[k].Margin();
+      }
+    }
+    if (margin_sum < best_margin_sum) {
+      best_margin_sum = margin_sum;
+      best_axis = axis;
+    }
+  }
+
+  // Choose the distribution on the winning axis: minimum overlap volume,
+  // ties broken by minimum combined volume.
+  Candidate best;
+  for (bool by_high : {false, true}) {
+    sort_order(best_axis, by_high);
+    compute_boxes();
+    for (size_t k = m; k + m <= total; ++k) {
+      const double overlap = prefix[k - 1].OverlapVolume(suffix[k]);
+      const double volume = prefix[k - 1].Volume() + suffix[k].Volume();
+      if (overlap < best.overlap ||
+          (overlap == best.overlap && volume < best.volume)) {
+        best = Candidate{best_axis, by_high, k, overlap, volume};
+      }
+    }
+  }
+
+  sort_order(best.axis, best.by_high);
+  auto sibling = std::make_unique<Node>(node->level);
+  std::vector<NodeEntry> first_group;
+  first_group.reserve(best.split_at);
+  for (size_t i = 0; i < total; ++i) {
+    if (i < best.split_at) {
+      first_group.push_back(std::move(node->entries[order[i]]));
+    } else {
+      sibling->entries.push_back(std::move(node->entries[order[i]]));
+    }
+  }
+  node->entries = std::move(first_group);
+  return sibling;
+}
+
+std::unique_ptr<RStarTree::Node> RStarTree::SplitNodeQuadratic(Node* node) {
+  // Guttman's quadratic PickSeeds: the pair that would waste the most
+  // volume if put in one group.
+  const size_t total = node->entries.size();
+  size_t seed_a = 0;
+  size_t seed_b = 1;
+  double worst_waste = -std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < total; ++i) {
+    for (size_t j = i + 1; j < total; ++j) {
+      Mbr cover = node->entries[i].mbr;
+      cover.Expand(node->entries[j].mbr);
+      const double waste = cover.Volume() - node->entries[i].mbr.Volume() -
+                           node->entries[j].mbr.Volume();
+      if (waste > worst_waste) {
+        worst_waste = waste;
+        seed_a = i;
+        seed_b = j;
+      }
+    }
+  }
+  return DistributeGuttman(node, seed_a, seed_b, /*quadratic_pick=*/true);
+}
+
+std::unique_ptr<RStarTree::Node> RStarTree::SplitNodeLinear(Node* node) {
+  // Guttman's linear PickSeeds: per dimension, the entry with the highest
+  // low side and the one with the lowest high side; the dimension with the
+  // greatest normalized separation supplies the seeds.
+  const size_t total = node->entries.size();
+  size_t seed_a = 0;
+  size_t seed_b = 1;
+  double best_separation = -std::numeric_limits<double>::infinity();
+  for (size_t k = 0; k < dim_; ++k) {
+    size_t highest_low = 0;
+    size_t lowest_high = 0;
+    double min_low = std::numeric_limits<double>::infinity();
+    double max_high = -std::numeric_limits<double>::infinity();
+    for (size_t i = 0; i < total; ++i) {
+      const Mbr& m = node->entries[i].mbr;
+      if (m.low()[k] > node->entries[highest_low].mbr.low()[k]) {
+        highest_low = i;
+      }
+      if (m.high()[k] < node->entries[lowest_high].mbr.high()[k]) {
+        lowest_high = i;
+      }
+      min_low = std::min(min_low, m.low()[k]);
+      max_high = std::max(max_high, m.high()[k]);
+    }
+    const double width = max_high - min_low;
+    if (width <= 0.0 || highest_low == lowest_high) continue;
+    const double separation =
+        (node->entries[highest_low].mbr.low()[k] -
+         node->entries[lowest_high].mbr.high()[k]) /
+        width;
+    if (separation > best_separation) {
+      best_separation = separation;
+      seed_a = lowest_high;
+      seed_b = highest_low;
+    }
+  }
+  if (seed_a == seed_b) seed_b = seed_a == 0 ? 1 : 0;
+  return DistributeGuttman(node, seed_a, seed_b, /*quadratic_pick=*/false);
+}
+
+std::unique_ptr<RStarTree::Node> RStarTree::DistributeGuttman(
+    Node* node, size_t seed_a, size_t seed_b, bool quadratic_pick) {
+  const size_t m = options_.min_entries;
+  std::vector<NodeEntry> pool;
+  pool.swap(node->entries);
+
+  auto sibling = std::make_unique<Node>(node->level);
+  Mbr box_a = pool[seed_a].mbr;
+  Mbr box_b = pool[seed_b].mbr;
+  node->entries.push_back(std::move(pool[seed_a]));
+  sibling->entries.push_back(std::move(pool[seed_b]));
+
+  std::vector<size_t> remaining;
+  remaining.reserve(pool.size() - 2);
+  for (size_t i = 0; i < pool.size(); ++i) {
+    if (i != seed_a && i != seed_b) remaining.push_back(i);
+  }
+
+  while (!remaining.empty()) {
+    // Min-fill forcing: if one group needs every remaining entry to reach
+    // the minimum, hand them all over.
+    if (node->entries.size() + remaining.size() == m) {
+      for (size_t i : remaining) {
+        box_a.Expand(pool[i].mbr);
+        node->entries.push_back(std::move(pool[i]));
+      }
+      break;
+    }
+    if (sibling->entries.size() + remaining.size() == m) {
+      for (size_t i : remaining) {
+        box_b.Expand(pool[i].mbr);
+        sibling->entries.push_back(std::move(pool[i]));
+      }
+      break;
+    }
+
+    // PickNext: quadratic takes the entry with the strongest group
+    // preference; linear takes any (the first).
+    size_t pick_position = 0;
+    if (quadratic_pick) {
+      double best_diff = -1.0;
+      for (size_t p = 0; p < remaining.size(); ++p) {
+        const Mbr& entry_box = pool[remaining[p]].mbr;
+        const double d1 = box_a.Enlargement(entry_box);
+        const double d2 = box_b.Enlargement(entry_box);
+        const double diff = std::abs(d1 - d2);
+        if (diff > best_diff) {
+          best_diff = diff;
+          pick_position = p;
+        }
+      }
+    }
+    const size_t index = remaining[pick_position];
+    remaining.erase(remaining.begin() +
+                    static_cast<ptrdiff_t>(pick_position));
+
+    const Mbr& entry_box = pool[index].mbr;
+    const double d1 = box_a.Enlargement(entry_box);
+    const double d2 = box_b.Enlargement(entry_box);
+    bool to_a;
+    if (d1 != d2) {
+      to_a = d1 < d2;
+    } else if (box_a.Volume() != box_b.Volume()) {
+      to_a = box_a.Volume() < box_b.Volume();
+    } else {
+      to_a = node->entries.size() <= sibling->entries.size();
+    }
+    if (to_a) {
+      box_a.Expand(entry_box);
+      node->entries.push_back(std::move(pool[index]));
+    } else {
+      box_b.Expand(entry_box);
+      sibling->entries.push_back(std::move(pool[index]));
+    }
+  }
+  return sibling;
+}
+
+// ---------------------------------------------------------------------------
+// Deletion
+// ---------------------------------------------------------------------------
+
+bool RStarTree::Remove(const Mbr& mbr, uint64_t value) {
+  MDSEQ_CHECK(mbr.is_valid());
+  std::vector<PendingInsert> orphans;
+  if (!RemoveRecursive(root_.get(), mbr, value, &orphans)) return false;
+  --size_;
+  // Reinsert subtrees orphaned by condensation, deepest levels first so that
+  // higher entries find a tree of sufficient height.
+  std::sort(orphans.begin(), orphans.end(),
+            [](const PendingInsert& a, const PendingInsert& b) {
+              return a.target_level < b.target_level;
+            });
+  for (PendingInsert& orphan : orphans) {
+    std::vector<bool> reinserted_levels(root_->level + 1, true);  // no FR
+    InsertEntryAtLevel(std::move(orphan.entry), orphan.target_level,
+                       &reinserted_levels);
+  }
+  // Shrink the root while it is an internal node with a single child.
+  while (!root_->is_leaf() && root_->entries.size() == 1) {
+    root_ = std::move(root_->entries.front().child);
+  }
+  return true;
+}
+
+bool RStarTree::RemoveRecursive(Node* node, const Mbr& mbr, uint64_t value,
+                                std::vector<PendingInsert>* orphans) {
+  if (node->is_leaf()) {
+    for (size_t i = 0; i < node->entries.size(); ++i) {
+      if (node->entries[i].value == value && node->entries[i].mbr == mbr) {
+        node->entries.erase(node->entries.begin() +
+                            static_cast<ptrdiff_t>(i));
+        return true;
+      }
+    }
+    return false;
+  }
+  for (size_t i = 0; i < node->entries.size(); ++i) {
+    NodeEntry& e = node->entries[i];
+    if (!e.mbr.Contains(mbr)) continue;
+    if (!RemoveRecursive(e.child.get(), mbr, value, orphans)) continue;
+    Node* child = e.child.get();
+    const bool child_underfull = child->entries.size() < options_.min_entries;
+    // The root's children may underflow freely only if the root is the
+    // parent and still has >= 2 children after condensation; standard
+    // condensation removes underfull nodes and reinserts their entries.
+    if (child_underfull) {
+      const size_t entry_level = child->level;
+      for (NodeEntry& grand : child->entries) {
+        orphans->push_back(PendingInsert{std::move(grand), entry_level});
+      }
+      node->entries.erase(node->entries.begin() + static_cast<ptrdiff_t>(i));
+    } else {
+      e.mbr = child->BoundingBox(dim_);
+    }
+    return true;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Queries
+// ---------------------------------------------------------------------------
+
+void RStarTree::RangeSearch(const Mbr& query, double epsilon,
+                            std::vector<uint64_t>* out) const {
+  MDSEQ_CHECK(query.is_valid());
+  MDSEQ_CHECK(query.dim() == dim_);
+  MDSEQ_CHECK(epsilon >= 0.0);
+  const double eps2 = epsilon * epsilon;
+  std::vector<const Node*> stack{root_.get()};
+  while (!stack.empty()) {
+    const Node* node = stack.back();
+    stack.pop_back();
+    ++node_accesses_;
+    for (const NodeEntry& e : node->entries) {
+      // mindist(query, e.mbr) <= eps is exactly the Dmbr test of the paper's
+      // Phase 2, applied at every level: an internal box farther than eps
+      // cannot contain a leaf box within eps.
+      if (query.MinDist2(e.mbr) > eps2) continue;
+      if (node->is_leaf()) {
+        out->push_back(e.value);
+      } else {
+        stack.push_back(e.child.get());
+      }
+    }
+  }
+}
+
+void RStarTree::IntersectSearch(const Mbr& query,
+                                std::vector<uint64_t>* out) const {
+  RangeSearch(query, 0.0, out);
+}
+
+std::vector<IndexEntry> RStarTree::NearestNeighbors(const Mbr& query,
+                                                    size_t k) const {
+  MDSEQ_CHECK(query.is_valid());
+  MDSEQ_CHECK(query.dim() == dim_);
+  std::vector<IndexEntry> results;
+  if (k == 0) return results;
+
+  // Best-first search over a min-heap keyed by mindist; an element is
+  // either an internal node or a leaf entry (node == nullptr).
+  struct QueueItem {
+    double dist2;
+    const Node* node;
+    const NodeEntry* entry;
+  };
+  auto later = [](const QueueItem& a, const QueueItem& b) {
+    return a.dist2 > b.dist2;
+  };
+  std::priority_queue<QueueItem, std::vector<QueueItem>, decltype(later)>
+      queue(later);
+  queue.push(QueueItem{0.0, root_.get(), nullptr});
+
+  while (!queue.empty() && results.size() < k) {
+    const QueueItem item = queue.top();
+    queue.pop();
+    if (item.node == nullptr) {
+      results.push_back(IndexEntry{item.entry->mbr, item.entry->value});
+      continue;
+    }
+    ++node_accesses_;
+    for (const NodeEntry& e : item.node->entries) {
+      const double dist2 = query.MinDist2(e.mbr);
+      if (item.node->is_leaf()) {
+        queue.push(QueueItem{dist2, nullptr, &e});
+      } else {
+        queue.push(QueueItem{dist2, e.child.get(), nullptr});
+      }
+    }
+  }
+  return results;
+}
+
+// ---------------------------------------------------------------------------
+// Bulk load (Sort-Tile-Recursive)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// Splits [begin, end) into `parts` consecutive ranges whose sizes differ by
+// at most one, so no trailing remainder range ends up pathologically small
+// (which would violate the tree's minimum-fill invariant).
+std::vector<std::pair<size_t, size_t>> EvenRanges(size_t begin, size_t end,
+                                                  size_t parts) {
+  std::vector<std::pair<size_t, size_t>> ranges;
+  const size_t count = end - begin;
+  const size_t base = count / parts;
+  const size_t extra = count % parts;
+  size_t at = begin;
+  for (size_t i = 0; i < parts; ++i) {
+    const size_t size = base + (i < extra ? 1 : 0);
+    if (size == 0) continue;
+    ranges.emplace_back(at, at + size);
+    at += size;
+  }
+  return ranges;
+}
+
+// Recursively tiles `items` (any type exposing a center per axis through
+// `center_of`) into runs of at most `capacity`, filling `runs` with
+// [begin, end) index pairs into the sorted `items`. Run sizes are balanced
+// so every run holds at least `capacity / 2` items whenever more than one
+// run is needed.
+template <typename T, typename CenterOf>
+void StrTile(std::vector<T>& items, size_t begin, size_t end, size_t axis,
+             size_t dim, size_t capacity, const CenterOf& center_of,
+             std::vector<std::pair<size_t, size_t>>* runs) {
+  const size_t count = end - begin;
+  if (count <= capacity) {
+    if (count > 0) runs->emplace_back(begin, end);
+    return;
+  }
+  std::sort(items.begin() + static_cast<ptrdiff_t>(begin),
+            items.begin() + static_cast<ptrdiff_t>(end),
+            [&](const T& a, const T& b) {
+              return center_of(a, axis) < center_of(b, axis);
+            });
+  const size_t pages = (count + capacity - 1) / capacity;
+  if (axis + 1 == dim) {
+    // Last axis: chop into `pages` balanced runs.
+    for (const auto& range : EvenRanges(begin, end, pages)) {
+      runs->push_back(range);
+    }
+    return;
+  }
+  const size_t remaining_axes = dim - axis;
+  const auto slabs = static_cast<size_t>(std::ceil(
+      std::pow(static_cast<double>(pages), 1.0 / remaining_axes)));
+  for (const auto& [slab_begin, slab_end] :
+       EvenRanges(begin, end, std::max<size_t>(1, slabs))) {
+    StrTile(items, slab_begin, slab_end, axis + 1, dim, capacity, center_of,
+            runs);
+  }
+}
+
+}  // namespace
+
+RStarTree RStarTree::BulkLoad(size_t dim, std::vector<IndexEntry> entries,
+                              const RStarTreeOptions& options) {
+  RStarTree tree(dim, options);
+  tree.size_ = entries.size();
+  if (entries.empty()) return tree;
+
+  const size_t capacity = options.max_entries;
+  auto entry_center = [](const IndexEntry& e, size_t axis) {
+    return e.mbr.Center(axis);
+  };
+
+  // Build the leaf level.
+  std::vector<std::pair<size_t, size_t>> runs;
+  StrTile(entries, 0, entries.size(), 0, dim, capacity, entry_center, &runs);
+  std::vector<std::unique_ptr<Node>> level_nodes;
+  for (const auto& [begin, end] : runs) {
+    auto node = std::make_unique<Node>(0);
+    for (size_t i = begin; i < end; ++i) {
+      node->entries.emplace_back(std::move(entries[i].mbr),
+                                 entries[i].value);
+    }
+    level_nodes.push_back(std::move(node));
+  }
+
+  // Build internal levels until one node remains.
+  size_t level = 1;
+  while (level_nodes.size() > 1) {
+    struct ChildItem {
+      Mbr mbr;
+      std::unique_ptr<Node> node;
+    };
+    std::vector<ChildItem> children;
+    children.reserve(level_nodes.size());
+    for (auto& n : level_nodes) {
+      Mbr box = n->BoundingBox(dim);
+      children.push_back(ChildItem{std::move(box), std::move(n)});
+    }
+    auto child_center = [](const ChildItem& c, size_t axis) {
+      return c.mbr.Center(axis);
+    };
+    runs.clear();
+    StrTile(children, 0, children.size(), 0, dim, capacity, child_center,
+            &runs);
+    std::vector<std::unique_ptr<Node>> next_level;
+    for (const auto& [begin, end] : runs) {
+      auto node = std::make_unique<Node>(level);
+      for (size_t i = begin; i < end; ++i) {
+        node->entries.emplace_back(std::move(children[i].mbr),
+                                   std::move(children[i].node));
+      }
+      next_level.push_back(std::move(node));
+    }
+    level_nodes = std::move(next_level);
+    ++level;
+  }
+  tree.root_ = std::move(level_nodes.front());
+  return tree;
+}
+
+// ---------------------------------------------------------------------------
+// Introspection
+// ---------------------------------------------------------------------------
+
+size_t RStarTree::height() const { return root_->level + 1; }
+
+size_t RStarTree::node_count() const {
+  // Iterative count to avoid exposing Node in the header.
+  size_t count = 0;
+  std::vector<const Node*> stack{root_.get()};
+  while (!stack.empty()) {
+    const Node* node = stack.back();
+    stack.pop_back();
+    ++count;
+    if (!node->is_leaf()) {
+      for (const NodeEntry& e : node->entries) stack.push_back(e.child.get());
+    }
+  }
+  return count;
+}
+
+bool RStarTree::CheckInvariants() const {
+  bool ok = true;
+  size_t leaf_entries = 0;
+  auto fail = [&ok](const char* what) {
+    std::fprintf(stderr, "RStarTree invariant violated: %s\n", what);
+    ok = false;
+  };
+
+  struct Frame {
+    const Node* node;
+    const Mbr* parent_box;  // nullptr for root
+  };
+  std::vector<Frame> stack{{root_.get(), nullptr}};
+  const size_t root_level = root_->level;
+  while (!stack.empty()) {
+    Frame frame = stack.back();
+    stack.pop_back();
+    const Node* node = frame.node;
+    if (node != root_.get() && node->entries.size() < options_.min_entries) {
+      fail("non-root node below minimum fill");
+    }
+    if (node->entries.size() > options_.max_entries) {
+      fail("node above maximum fill");
+    }
+    if (node == root_.get() && !node->is_leaf() && node->entries.size() < 2) {
+      fail("internal root with fewer than 2 children");
+    }
+    if (node->level > root_level) fail("node level above root level");
+    if (frame.parent_box != nullptr) {
+      for (const NodeEntry& e : node->entries) {
+        if (!frame.parent_box->Contains(e.mbr)) {
+          fail("entry not contained in parent box");
+        }
+      }
+    }
+    for (const NodeEntry& e : node->entries) {
+      if (node->is_leaf()) {
+        if (e.child != nullptr) fail("leaf entry with child pointer");
+        ++leaf_entries;
+      } else {
+        if (e.child == nullptr) {
+          fail("internal entry without child");
+          continue;
+        }
+        if (e.child->level + 1 != node->level) {
+          fail("child level mismatch (non-uniform leaf depth)");
+        }
+        if (!(e.mbr == e.child->BoundingBox(dim_))) {
+          fail("stored child box is not the tight bounding box");
+        }
+        stack.push_back(Frame{e.child.get(), &e.mbr});
+      }
+    }
+  }
+  if (leaf_entries != size_) fail("size() does not match stored entries");
+  return ok;
+}
+
+}  // namespace mdseq

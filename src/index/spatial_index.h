@@ -1,0 +1,55 @@
+#ifndef MDSEQ_INDEX_SPATIAL_INDEX_H_
+#define MDSEQ_INDEX_SPATIAL_INDEX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geom/mbr.h"
+
+namespace mdseq {
+
+/// One indexed rectangle with an opaque payload. The search engine stores
+/// `(sequence id, MBR ordinal)` packed into the value.
+struct IndexEntry {
+  Mbr mbr;
+  uint64_t value;
+};
+
+/// Abstract interface of the MBR index the paper builds in its
+/// pre-processing step ("Every MBR is indexed and stored into a database by
+/// using any R-tree variant", Section 3.4.1).
+///
+/// Two implementations are provided: `RStarTree` (the R* variant of the
+/// R-tree) and `LinearIndex` (a flat page-scan baseline used by the index
+/// ablation). Implementations are not thread-safe for concurrent mutation;
+/// concurrent read-only queries are safe apart from the node-access counter.
+class SpatialIndex {
+ public:
+  virtual ~SpatialIndex() = default;
+
+  /// Inserts one rectangle with its payload.
+  virtual void Insert(const Mbr& mbr, uint64_t value) = 0;
+
+  /// Removes one previously inserted (mbr, value) pair. Returns false if no
+  /// exactly matching pair is present.
+  virtual bool Remove(const Mbr& mbr, uint64_t value) = 0;
+
+  /// Appends to `out` the payloads of every entry whose rectangle lies
+  /// within Euclidean distance `epsilon` of `query` — i.e. every stored `B`
+  /// with `Dmbr(query, B) <= epsilon` (paper Phase 2). Output order is
+  /// implementation-defined.
+  virtual void RangeSearch(const Mbr& query, double epsilon,
+                           std::vector<uint64_t>* out) const = 0;
+
+  /// Number of stored entries.
+  virtual size_t size() const = 0;
+
+  /// Node (page) accesses performed by queries since the last reset; the
+  /// in-memory analogue of the paper's disk-access cost.
+  virtual uint64_t node_accesses() const = 0;
+  virtual void ResetNodeAccesses() = 0;
+};
+
+}  // namespace mdseq
+
+#endif  // MDSEQ_INDEX_SPATIAL_INDEX_H_

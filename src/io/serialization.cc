@@ -1,0 +1,137 @@
+#include "io/serialization.h"
+
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "util/csv.h"
+
+namespace mdseq {
+
+namespace {
+
+constexpr char kMagic[4] = {'M', 'D', 'S', 'Q'};
+constexpr uint32_t kVersion = 1;
+
+template <typename T>
+void WriteRaw(std::ofstream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(value));
+}
+
+template <typename T>
+bool ReadRaw(std::ifstream& in, T* value) {
+  in.read(reinterpret_cast<char*>(value), sizeof(*value));
+  return static_cast<bool>(in);
+}
+
+}  // namespace
+
+bool WriteSequences(const std::string& path,
+                    const std::vector<Sequence>& sequences) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  out.write(kMagic, sizeof(kMagic));
+  WriteRaw(out, kVersion);
+  WriteRaw(out, static_cast<uint64_t>(sequences.size()));
+  for (const Sequence& seq : sequences) {
+    WriteRaw(out, static_cast<uint64_t>(seq.dim()));
+    WriteRaw(out, static_cast<uint64_t>(seq.size()));
+    const std::vector<double>& data = seq.data();
+    out.write(reinterpret_cast<const char*>(data.data()),
+              static_cast<std::streamsize>(data.size() * sizeof(double)));
+  }
+  return static_cast<bool>(out);
+}
+
+std::optional<std::vector<Sequence>> ReadSequences(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return std::nullopt;
+  }
+  uint32_t version = 0;
+  uint64_t count = 0;
+  if (!ReadRaw(in, &version) || version != kVersion) return std::nullopt;
+  if (!ReadRaw(in, &count)) return std::nullopt;
+
+  std::vector<Sequence> sequences;
+  sequences.reserve(count);
+  for (uint64_t s = 0; s < count; ++s) {
+    uint64_t dim = 0;
+    uint64_t size = 0;
+    if (!ReadRaw(in, &dim) || !ReadRaw(in, &size)) return std::nullopt;
+    if (dim == 0 || dim > 1u << 20 || size > 1u << 30) return std::nullopt;
+    Sequence seq(static_cast<size_t>(dim));
+    std::vector<double> point(dim);
+    for (uint64_t i = 0; i < size; ++i) {
+      in.read(reinterpret_cast<char*>(point.data()),
+              static_cast<std::streamsize>(dim * sizeof(double)));
+      if (!in) return std::nullopt;  // truncated payload
+      seq.Append(point);
+    }
+    sequences.push_back(std::move(seq));
+  }
+  return sequences;
+}
+
+bool WriteSequenceCsv(const std::string& path, SequenceView sequence) {
+  std::vector<std::string> header;
+  header.reserve(sequence.dim());
+  for (size_t k = 0; k < sequence.dim(); ++k) {
+    header.push_back("d" + std::to_string(k));
+  }
+  CsvWriter csv(std::move(header));
+  for (size_t i = 0; i < sequence.size(); ++i) {
+    std::vector<double> row(sequence[i].begin(), sequence[i].end());
+    csv.AddRow(row);
+  }
+  return csv.WriteFile(path);
+}
+
+std::optional<Sequence> ReadSequenceCsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  std::optional<Sequence> sequence;
+  std::string line;
+  bool first_line = true;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::vector<double> values;
+    std::stringstream row(line);
+    std::string cell;
+    bool numeric = true;
+    while (std::getline(row, cell, ',')) {
+      char* end = nullptr;
+      const double v = std::strtod(cell.c_str(), &end);
+      if (end == cell.c_str() || (end != nullptr && *end != '\0' &&
+                                  *end != '\r')) {
+        numeric = false;
+        break;
+      }
+      values.push_back(v);
+    }
+    if (!numeric) {
+      if (first_line) {
+        first_line = false;  // header row
+        continue;
+      }
+      return std::nullopt;
+    }
+    first_line = false;
+    if (values.empty()) return std::nullopt;
+    if (!sequence.has_value()) {
+      sequence.emplace(values.size());
+    } else if (values.size() != sequence->dim()) {
+      return std::nullopt;  // ragged rows
+    }
+    sequence->Append(values);
+  }
+  if (!sequence.has_value()) return std::nullopt;  // empty file
+  return sequence;
+}
+
+}  // namespace mdseq

@@ -1,0 +1,43 @@
+#ifndef MDSEQ_IO_SERIALIZATION_H_
+#define MDSEQ_IO_SERIALIZATION_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "geom/sequence.h"
+
+namespace mdseq {
+
+/// Persistence for sequence corpora, so a database can be built once from
+/// generated or imported data and reloaded by tools, examples, and
+/// benchmark harnesses.
+///
+/// Binary format (little-endian, host doubles):
+///   magic "MDSQ" | u32 version | u64 count
+///   per sequence: u64 dim | u64 size | size*dim doubles (row-major)
+///
+/// All functions report failure through their return value (no
+/// exceptions); on failure the file state is unspecified but no partial
+/// data is ever returned.
+
+/// Writes a corpus; returns false on I/O failure.
+bool WriteSequences(const std::string& path,
+                    const std::vector<Sequence>& sequences);
+
+/// Reads a corpus written by `WriteSequences`; nullopt on I/O error,
+/// malformed header, or truncated payload.
+std::optional<std::vector<Sequence>> ReadSequences(const std::string& path);
+
+/// Writes one sequence as CSV with a `d0,d1,...` header row, one point per
+/// line.
+bool WriteSequenceCsv(const std::string& path, SequenceView sequence);
+
+/// Reads a CSV of numeric rows (an optional non-numeric header row is
+/// skipped) into a sequence; all rows must have the same column count.
+/// Returns nullopt on I/O error, ragged rows, or non-numeric data.
+std::optional<Sequence> ReadSequenceCsv(const std::string& path);
+
+}  // namespace mdseq
+
+#endif  // MDSEQ_IO_SERIALIZATION_H_

@@ -1,0 +1,195 @@
+#include "storage/buffer_pool.h"
+
+#include <cstring>
+
+#include "util/check.h"
+
+namespace mdseq {
+
+// ---------------------------------------------------------------------------
+// PageHandle
+// ---------------------------------------------------------------------------
+
+PageHandle::~PageHandle() { Release(); }
+
+PageHandle::PageHandle(PageHandle&& other) noexcept
+    : pool_(other.pool_), id_(other.id_), frame_(other.frame_) {
+  other.pool_ = nullptr;
+}
+
+PageHandle& PageHandle::operator=(PageHandle&& other) noexcept {
+  if (this != &other) {
+    Release();
+    pool_ = other.pool_;
+    id_ = other.id_;
+    frame_ = other.frame_;
+    other.pool_ = nullptr;
+  }
+  return *this;
+}
+
+const Page& PageHandle::page() const {
+  MDSEQ_CHECK(valid());
+  return pool_->frames_[frame_].page;
+}
+
+Page* PageHandle::mutable_page() {
+  MDSEQ_CHECK(valid());
+  return &pool_->frames_[frame_].page;
+}
+
+void PageHandle::MarkDirty() {
+  MDSEQ_CHECK(valid());
+  pool_->frames_[frame_].dirty = true;
+}
+
+void PageHandle::Release() {
+  if (pool_ != nullptr) {
+    pool_->Unpin(frame_);
+    pool_ = nullptr;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// BufferPool
+// ---------------------------------------------------------------------------
+
+BufferPool::BufferPool(PageFile* file, size_t capacity, Policy policy)
+    : file_(file), policy_(policy) {
+  MDSEQ_CHECK(file != nullptr);
+  MDSEQ_CHECK(capacity >= 1);
+  frames_.resize(capacity);
+}
+
+BufferPool::~BufferPool() { Flush(); }
+
+void BufferPool::Touch(size_t frame) {
+  if (policy_ == Policy::kClock) {
+    frames_[frame].referenced = true;
+    return;
+  }
+  auto it = lru_position_.find(frame);
+  if (it != lru_position_.end()) {
+    lru_.erase(it->second);
+  }
+  lru_.push_back(frame);
+  lru_position_[frame] = std::prev(lru_.end());
+}
+
+bool BufferPool::WriteBackAndRelease(size_t frame_index) {
+  Frame& frame = frames_[frame_index];
+  if (frame.dirty) {
+    if (!file_->Write(frame.id, frame.page)) return false;
+    frame.dirty = false;
+  }
+  table_.erase(frame.id);
+  frame.id = kInvalidPageId;
+  ++evictions_;
+  return true;
+}
+
+bool BufferPool::EvictLru(size_t* frame_out) {
+  for (auto it = lru_.begin(); it != lru_.end(); ++it) {
+    Frame& frame = frames_[*it];
+    if (frame.pins > 0) continue;
+    const size_t frame_index = *it;
+    if (!WriteBackAndRelease(frame_index)) return false;
+    lru_position_.erase(frame_index);
+    lru_.erase(it);
+    *frame_out = frame_index;
+    return true;
+  }
+  return false;  // every frame pinned
+}
+
+bool BufferPool::EvictClock(size_t* frame_out) {
+  // Sweep at most two full revolutions: the first clears reference bits,
+  // the second must find a victim unless everything is pinned.
+  for (size_t step = 0; step < 2 * frames_.size(); ++step) {
+    Frame& frame = frames_[clock_hand_];
+    const size_t frame_index = clock_hand_;
+    clock_hand_ = (clock_hand_ + 1) % frames_.size();
+    if (frame.pins > 0) continue;
+    if (frame.referenced) {
+      frame.referenced = false;  // second chance
+      continue;
+    }
+    if (!WriteBackAndRelease(frame_index)) return false;
+    *frame_out = frame_index;
+    return true;
+  }
+  return false;  // every frame pinned
+}
+
+bool BufferPool::EvictSomeFrame(size_t* frame_out) {
+  // Prefer a never-used frame.
+  for (size_t i = 0; i < frames_.size(); ++i) {
+    if (frames_[i].id == kInvalidPageId) {
+      *frame_out = i;
+      return true;
+    }
+  }
+  return policy_ == Policy::kClock ? EvictClock(frame_out)
+                                   : EvictLru(frame_out);
+}
+
+size_t BufferPool::Acquire(PageId id, bool load_from_file) {
+  auto it = table_.find(id);
+  if (it != table_.end()) {
+    ++hits_;
+    Touch(it->second);
+    ++frames_[it->second].pins;
+    return it->second;
+  }
+  ++misses_;
+  size_t frame_index = 0;
+  if (!EvictSomeFrame(&frame_index)) return SIZE_MAX;
+  Frame& frame = frames_[frame_index];
+  if (load_from_file) {
+    if (!file_->Read(id, &frame.page)) return SIZE_MAX;
+  } else {
+    std::memset(frame.page.data, 0, kPageSize);
+  }
+  frame.id = id;
+  frame.pins = 1;
+  frame.dirty = false;
+  table_[id] = frame_index;
+  Touch(frame_index);
+  return frame_index;
+}
+
+PageHandle BufferPool::Fetch(PageId id) {
+  const size_t frame = Acquire(id, /*load_from_file=*/true);
+  if (frame == SIZE_MAX) return PageHandle();
+  return PageHandle(this, id, frame);
+}
+
+PageHandle BufferPool::Allocate() {
+  const PageId id = file_->Allocate();
+  if (id == kInvalidPageId) return PageHandle();
+  const size_t frame = Acquire(id, /*load_from_file=*/false);
+  if (frame == SIZE_MAX) return PageHandle();
+  frames_[frame].dirty = true;
+  return PageHandle(this, id, frame);
+}
+
+void BufferPool::Unpin(size_t frame) {
+  MDSEQ_CHECK(frame < frames_.size());
+  MDSEQ_CHECK(frames_[frame].pins > 0);
+  --frames_[frame].pins;
+}
+
+bool BufferPool::Flush() {
+  bool ok = true;
+  for (Frame& frame : frames_) {
+    if (frame.id == kInvalidPageId || !frame.dirty) continue;
+    if (file_->Write(frame.id, frame.page)) {
+      frame.dirty = false;
+    } else {
+      ok = false;
+    }
+  }
+  return ok;
+}
+
+}  // namespace mdseq

@@ -1,0 +1,131 @@
+#ifndef MDSEQ_STORAGE_BUFFER_POOL_H_
+#define MDSEQ_STORAGE_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/page_file.h"
+
+namespace mdseq {
+
+class BufferPool;
+
+/// A pinned page in the buffer pool. While a handle is alive the frame is
+/// not evictable; the destructor unpins. Mark modified pages dirty before
+/// releasing.
+class PageHandle {
+ public:
+  PageHandle() = default;
+  ~PageHandle();
+  PageHandle(PageHandle&& other) noexcept;
+  PageHandle& operator=(PageHandle&& other) noexcept;
+  PageHandle(const PageHandle&) = delete;
+  PageHandle& operator=(const PageHandle&) = delete;
+
+  bool valid() const { return pool_ != nullptr; }
+  PageId id() const { return id_; }
+  const Page& page() const;
+  Page* mutable_page();
+
+  /// Marks the frame dirty; it is written back on eviction or Flush.
+  void MarkDirty();
+
+  /// Unpins early (also done by the destructor).
+  void Release();
+
+ private:
+  friend class BufferPool;
+  PageHandle(BufferPool* pool, PageId id, size_t frame)
+      : pool_(pool), id_(id), frame_(frame) {}
+
+  BufferPool* pool_ = nullptr;
+  PageId id_ = kInvalidPageId;
+  size_t frame_ = 0;
+};
+
+/// Buffer pool over a `PageFile` — the database substrate that turns the
+/// paper's "number of disk accesses" into a measurable quantity: index
+/// traversals fetch pages through the pool, and the miss counter is the
+/// real page-read count.
+///
+/// Two replacement policies are provided: exact LRU (default) and the
+/// Clock approximation classic systems use (one reference bit per frame, a
+/// sweeping hand, no list maintenance on hits). `bench/ablation_replacement`
+/// compares their miss rates.
+///
+/// Not thread-safe. The pool must outlive all its handles.
+class BufferPool {
+ public:
+  enum class Policy { kLru, kClock };
+
+  /// `capacity` frames of kPageSize each. The file must outlive the pool.
+  BufferPool(PageFile* file, size_t capacity, Policy policy = Policy::kLru);
+  ~BufferPool();
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Pins page `id`, reading it from the file on a miss. Returns an
+  /// invalid handle if the id is out of range, on I/O failure, or if every
+  /// frame is pinned.
+  PageHandle Fetch(PageId id);
+
+  /// Allocates a fresh page in the file and pins it (zeroed, dirty).
+  PageHandle Allocate();
+
+  /// Writes back every dirty frame. Returns false if any write fails.
+  bool Flush();
+
+  size_t capacity() const { return frames_.size(); }
+
+  /// Statistics: pool hits, misses (= real page reads through the pool),
+  /// and evictions.
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+  uint64_t evictions() const { return evictions_; }
+  void ResetStats() {
+    hits_ = 0;
+    misses_ = 0;
+    evictions_ = 0;
+  }
+
+ private:
+  friend class PageHandle;
+
+  struct Frame {
+    Page page;
+    PageId id = kInvalidPageId;
+    int pins = 0;
+    bool dirty = false;
+    bool referenced = false;  // Clock policy's second-chance bit
+  };
+
+  // Returns the frame index holding `id`, loading/evicting as needed, or
+  // SIZE_MAX on failure.
+  size_t Acquire(PageId id, bool load_from_file);
+  void Unpin(size_t frame);
+  void Touch(size_t frame);
+  bool EvictSomeFrame(size_t* frame_out);
+  bool EvictLru(size_t* frame_out);
+  bool EvictClock(size_t* frame_out);
+  bool WriteBackAndRelease(size_t frame);
+
+  PageFile* file_;
+  Policy policy_;
+  size_t clock_hand_ = 0;
+  std::vector<Frame> frames_;
+  std::unordered_map<PageId, size_t> table_;
+  /// Frame indices in LRU order (front = least recently used); only
+  /// unpinned frames are eligible for eviction.
+  std::list<size_t> lru_;
+  std::unordered_map<size_t, std::list<size_t>::iterator> lru_position_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t evictions_ = 0;
+};
+
+}  // namespace mdseq
+
+#endif  // MDSEQ_STORAGE_BUFFER_POOL_H_

@@ -1,0 +1,240 @@
+#include "storage/disk_database.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "core/distance.h"
+#include "storage/page_stream.h"
+#include "util/check.h"
+
+namespace mdseq {
+
+namespace {
+
+// Master meta page: ties together the store, the index, the partition
+// region, and the options a query needs to partition itself consistently.
+struct MasterLayout {
+  uint64_t dim;
+  uint64_t sequence_count;
+  PageId store_meta_page;
+  PageId index_root_page;
+  PageId partitions_first_page;
+  uint32_t partitions_page_count;
+  double side_growth;
+  uint64_t max_points;
+  uint8_t cost_model;  // PartitioningOptions::CostModel
+};
+static_assert(sizeof(MasterLayout) <= kPageSize);
+
+// Partition region byte format, per sequence:
+//   u64 piece_count, then per piece: u64 begin, u64 end,
+//   dim doubles low, dim doubles high.
+bool AppendPartition(PageStreamWriter* out, const Partition& partition,
+                     size_t dim) {
+  const uint64_t pieces = partition.size();
+  if (!out->Append(&pieces, sizeof(pieces))) return false;
+  for (const SequenceMbr& piece : partition) {
+    const uint64_t begin = piece.begin;
+    const uint64_t end = piece.end;
+    if (!out->Append(&begin, sizeof(begin))) return false;
+    if (!out->Append(&end, sizeof(end))) return false;
+    if (!out->Append(piece.mbr.low().data(), dim * sizeof(double))) {
+      return false;
+    }
+    if (!out->Append(piece.mbr.high().data(), dim * sizeof(double))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool ReadPartition(PageStreamReader* in, size_t dim, Partition* partition) {
+  uint64_t pieces = 0;
+  if (!in->Read(&pieces, sizeof(pieces))) return false;
+  partition->clear();
+  partition->reserve(pieces);
+  for (uint64_t p = 0; p < pieces; ++p) {
+    uint64_t begin = 0;
+    uint64_t end = 0;
+    Point low(dim);
+    Point high(dim);
+    if (!in->Read(&begin, sizeof(begin))) return false;
+    if (!in->Read(&end, sizeof(end))) return false;
+    if (!in->Read(low.data(), dim * sizeof(double))) return false;
+    if (!in->Read(high.data(), dim * sizeof(double))) return false;
+    partition->push_back(SequenceMbr{Mbr(std::move(low), std::move(high)),
+                                     static_cast<size_t>(begin),
+                                     static_cast<size_t>(end)});
+  }
+  return true;
+}
+
+}  // namespace
+
+bool DiskDatabase::Save(const SequenceDatabase& database,
+                        const std::string& path) {
+  PageFile file;
+  if (!file.Create(path)) return false;
+  const PageId master_page = file.Allocate();
+  if (master_page == kInvalidPageId) return false;
+
+  // Sequence store region.
+  std::vector<Sequence> corpus;
+  corpus.reserve(database.num_sequences());
+  for (size_t id = 0; id < database.num_sequences(); ++id) {
+    corpus.push_back(database.sequence(id));
+  }
+  const PageId store_meta = SequenceStore::WriteInto(corpus, &file);
+  if (store_meta == kInvalidPageId) return false;
+
+  // Partition region.
+  PageStreamWriter partitions(&file);
+  for (size_t id = 0; id < database.num_sequences(); ++id) {
+    if (!AppendPartition(&partitions, database.partition(id),
+                         database.dim())) {
+      return false;
+    }
+  }
+  if (!partitions.Finish()) return false;
+
+  // Index region: every subsequence MBR, same payloads as the in-memory
+  // index.
+  std::vector<IndexEntry> entries;
+  for (size_t id = 0; id < database.num_sequences(); ++id) {
+    const Partition& partition = database.partition(id);
+    for (size_t ordinal = 0; ordinal < partition.size(); ++ordinal) {
+      entries.push_back(
+          IndexEntry{partition[ordinal].mbr,
+                     SequenceDatabase::PackEntry(id, ordinal)});
+    }
+  }
+  const PageId index_root =
+      PagedRTree::BuildInto(database.dim(), std::move(entries), &file);
+  if (index_root == kInvalidPageId) return false;
+
+  // Master meta page.
+  Page master;
+  std::memset(master.data, 0, kPageSize);
+  MasterLayout layout;
+  layout.dim = database.dim();
+  layout.sequence_count = database.num_sequences();
+  layout.store_meta_page = store_meta;
+  layout.index_root_page = index_root;
+  layout.partitions_first_page = partitions.first_page();
+  layout.partitions_page_count = partitions.page_count();
+  layout.side_growth = database.options().partitioning.side_growth;
+  layout.max_points = database.options().partitioning.max_points;
+  layout.cost_model =
+      static_cast<uint8_t>(database.options().partitioning.cost_model);
+  std::memcpy(master.data, &layout, sizeof(layout));
+  if (!file.Write(master_page, master)) return false;
+  return file.set_root_hint(master_page);
+}
+
+DiskDatabase::DiskDatabase(const std::string& path, size_t pool_pages,
+                           const SearchOptions& options)
+    : options_(options) {
+  if (!file_.Open(path)) return;
+  pool_ = std::make_unique<BufferPool>(&file_, pool_pages);
+
+  const PageId master_page = file_.root_hint();
+  if (master_page == kInvalidPageId) return;
+  MasterLayout layout;
+  {
+    PageHandle master = pool_->Fetch(master_page);
+    if (!master.valid()) return;
+    std::memcpy(&layout, master.page().data, sizeof(layout));
+  }
+  dim_ = static_cast<size_t>(layout.dim);
+  if (dim_ == 0) return;
+  partitioning_.side_growth = layout.side_growth;
+  partitioning_.max_points = static_cast<size_t>(layout.max_points);
+  partitioning_.cost_model =
+      static_cast<PartitioningOptions::CostModel>(layout.cost_model);
+
+  store_ = std::make_unique<SequenceStore>(pool_.get(),
+                                           layout.store_meta_page);
+  if (!store_->valid() || store_->size() != layout.sequence_count) return;
+
+  tree_ = std::make_unique<PagedRTree>(dim_, pool_.get(),
+                                       layout.index_root_page);
+  if (!tree_->valid()) return;
+
+  // Partition catalog: read once, kept resident.
+  partitions_.resize(layout.sequence_count);
+  lengths_.resize(layout.sequence_count);
+  PageStreamReader reader(pool_.get(), layout.partitions_first_page, 0);
+  for (uint64_t id = 0; id < layout.sequence_count; ++id) {
+    if (!ReadPartition(&reader, dim_, &partitions_[id])) return;
+    lengths_[id] =
+        partitions_[id].empty() ? 0 : partitions_[id].back().end;
+  }
+  valid_ = true;
+}
+
+SearchResult DiskDatabase::Search(SequenceView query, double epsilon) const {
+  MDSEQ_CHECK(valid_);
+  MDSEQ_CHECK(!query.empty());
+  MDSEQ_CHECK(query.dim() == dim_);
+  MDSEQ_CHECK(epsilon >= 0.0);
+
+  SearchResult result;
+  const Partition query_partition = PartitionSequence(query, partitioning_);
+
+  // Phase 2 against the paged index; misses are charged to the pool.
+  const uint64_t misses_before = pool_->misses();
+  std::vector<uint64_t> hits;
+  for (const SequenceMbr& piece : query_partition) {
+    tree_->RangeSearch(piece.mbr, epsilon, &hits);
+  }
+  for (uint64_t value : hits) {
+    result.candidates.push_back(SequenceDatabase::UnpackSequenceId(value));
+  }
+  std::sort(result.candidates.begin(), result.candidates.end());
+  result.candidates.erase(
+      std::unique(result.candidates.begin(), result.candidates.end()),
+      result.candidates.end());
+  result.stats.node_accesses = pool_->misses() - misses_before;
+  result.stats.phase2_candidates = result.candidates.size();
+
+  // Phase 3 on the resident partition catalog.
+  for (size_t id : result.candidates) {
+    SequenceMatch match;
+    match.sequence_id = id;
+    if (internal::EvaluatePhase3(query_partition, query.size(),
+                                 partitions_[id], lengths_[id], epsilon,
+                                 options_, &match, &result.stats)) {
+      result.matches.push_back(std::move(match));
+    }
+  }
+  result.stats.phase3_matches = result.matches.size();
+  return result;
+}
+
+SearchResult DiskDatabase::SearchVerified(SequenceView query,
+                                          double epsilon) const {
+  SearchResult result = Search(query, epsilon);
+  std::vector<SequenceMatch> verified;
+  verified.reserve(result.matches.size());
+  for (SequenceMatch& match : result.matches) {
+    const auto sequence = store_->Read(match.sequence_id);
+    if (!sequence.has_value()) continue;  // I/O failure: drop conservatively
+    const double exact = SequenceDistance(query, sequence->View());
+    if (exact > epsilon) continue;
+    match.exact_distance = exact;
+    match.solution_interval =
+        ExactSolutionInterval(query, sequence->View(), epsilon);
+    verified.push_back(std::move(match));
+  }
+  result.matches = std::move(verified);
+  result.stats.phase3_matches = result.matches.size();
+  return result;
+}
+
+std::optional<Sequence> DiskDatabase::ReadSequence(size_t id) const {
+  MDSEQ_CHECK(valid_);
+  MDSEQ_CHECK(id < store_->size());
+  return store_->Read(id);
+}
+
+}  // namespace mdseq

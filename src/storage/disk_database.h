@@ -1,0 +1,74 @@
+#ifndef MDSEQ_STORAGE_DISK_DATABASE_H_
+#define MDSEQ_STORAGE_DISK_DATABASE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/database.h"
+#include "core/search.h"
+#include "storage/buffer_pool.h"
+#include "storage/page_file.h"
+#include "storage/paged_rtree.h"
+#include "storage/sequence_store.h"
+
+namespace mdseq {
+
+/// A disk-resident similarity-search database: one page file holding the
+/// raw sequences (SequenceStore), the subsequence MBR index (PagedRTree),
+/// the per-sequence partitions, and the partitioning options. Queries run
+/// the same three-phase algorithm as `SimilaritySearch` but every index
+/// node and every sequence byte is fetched through an LRU buffer pool — so
+/// query cost is observable in page misses, the unit the paper's cost model
+/// (and its 1999 hardware) was about.
+///
+/// Partitions and their MBRs are small metadata (a few bytes per
+/// subsequence) and are cached in memory at open, mirroring real systems
+/// that keep catalogs resident while data and index pages are demand-paged.
+class DiskDatabase {
+ public:
+  /// Serializes an in-memory database to `path`. Returns false on I/O
+  /// failure.
+  static bool Save(const SequenceDatabase& database, const std::string& path);
+
+  /// Opens a saved database with a pool of `pool_pages` frames. Check
+  /// `valid()` before use.
+  DiskDatabase(const std::string& path, size_t pool_pages,
+               const SearchOptions& options = SearchOptions());
+
+  bool valid() const { return valid_; }
+  size_t dim() const { return dim_; }
+  size_t num_sequences() const { return partitions_.size(); }
+
+  /// The paper's filter phases against the paged index (no sequence
+  /// reads). Same semantics as `SimilaritySearch::Search`.
+  SearchResult Search(SequenceView query, double epsilon) const;
+
+  /// Filter plus refinement: matches are verified against the stored
+  /// sequences, read through the buffer pool. Same semantics as
+  /// `SimilaritySearch::SearchVerified`.
+  SearchResult SearchVerified(SequenceView query, double epsilon) const;
+
+  /// Reads one sequence from disk (paged).
+  std::optional<Sequence> ReadSequence(size_t id) const;
+
+  /// Buffer pool statistics (shared by index and data accesses).
+  const BufferPool& pool() const { return *pool_; }
+  BufferPool* mutable_pool() { return pool_.get(); }
+
+ private:
+  bool valid_ = false;
+  size_t dim_ = 0;
+  PartitioningOptions partitioning_;
+  SearchOptions options_;
+  PageFile file_;
+  std::unique_ptr<BufferPool> pool_;
+  std::unique_ptr<SequenceStore> store_;
+  std::unique_ptr<PagedRTree> tree_;
+  std::vector<Partition> partitions_;
+  std::vector<size_t> lengths_;
+};
+
+}  // namespace mdseq
+
+#endif  // MDSEQ_STORAGE_DISK_DATABASE_H_

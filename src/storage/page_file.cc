@@ -1,0 +1,133 @@
+#include "storage/page_file.h"
+
+#include <cstring>
+
+#include "util/check.h"
+
+namespace mdseq {
+
+namespace {
+
+constexpr char kMagic[8] = {'M', 'D', 'S', 'Q', 'P', 'A', 'G', 'E'};
+constexpr uint32_t kVersion = 1;
+
+// Header page layout: magic[8] | version u32 | page_count u32 |
+// root_hint u32. The rest of the page is reserved.
+struct HeaderLayout {
+  char magic[8];
+  uint32_t version;
+  uint32_t page_count;
+  PageId root_hint;
+};
+static_assert(sizeof(HeaderLayout) <= kPageSize);
+
+}  // namespace
+
+PageFile::~PageFile() { Close(); }
+
+bool PageFile::Create(const std::string& path) {
+  Close();
+  file_ = std::fopen(path.c_str(), "wb+");
+  if (file_ == nullptr) return false;
+  page_count_ = 0;
+  root_hint_ = kInvalidPageId;
+  reads_ = 0;
+  writes_ = 0;
+  return WriteHeader();
+}
+
+bool PageFile::Open(const std::string& path) {
+  Close();
+  file_ = std::fopen(path.c_str(), "rb+");
+  if (file_ == nullptr) return false;
+  if (!ReadHeader()) {
+    Close();
+    return false;
+  }
+  return true;
+}
+
+void PageFile::Close() {
+  if (file_ != nullptr) {
+    WriteHeader();
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+bool PageFile::WriteHeader() {
+  if (file_ == nullptr) return false;
+  Page header;
+  std::memset(header.data, 0, kPageSize);
+  HeaderLayout layout;
+  std::memcpy(layout.magic, kMagic, sizeof(kMagic));
+  layout.version = kVersion;
+  layout.page_count = page_count_;
+  layout.root_hint = root_hint_;
+  std::memcpy(header.data, &layout, sizeof(layout));
+  if (std::fseek(file_, 0, SEEK_SET) != 0) return false;
+  if (std::fwrite(header.data, 1, kPageSize, file_) != kPageSize) {
+    return false;
+  }
+  return std::fflush(file_) == 0;
+}
+
+bool PageFile::ReadHeader() {
+  Page header;
+  if (std::fseek(file_, 0, SEEK_SET) != 0) return false;
+  if (std::fread(header.data, 1, kPageSize, file_) != kPageSize) {
+    return false;
+  }
+  HeaderLayout layout;
+  std::memcpy(&layout, header.data, sizeof(layout));
+  if (std::memcmp(layout.magic, kMagic, sizeof(kMagic)) != 0) return false;
+  if (layout.version != kVersion) return false;
+  page_count_ = layout.page_count;
+  root_hint_ = layout.root_hint;
+  return true;
+}
+
+PageId PageFile::Allocate() {
+  if (file_ == nullptr) return kInvalidPageId;
+  const PageId id = page_count_;
+  Page zero;
+  std::memset(zero.data, 0, kPageSize);
+  ++page_count_;  // Write() range-checks against the new count
+  if (!Write(id, zero)) {
+    --page_count_;
+    return kInvalidPageId;
+  }
+  return id;
+}
+
+bool PageFile::Read(PageId id, Page* page) {
+  MDSEQ_CHECK(page != nullptr);
+  if (file_ == nullptr || id >= page_count_) return false;
+  const long offset = static_cast<long>((id + 1)) *
+                      static_cast<long>(kPageSize);
+  if (std::fseek(file_, offset, SEEK_SET) != 0) return false;
+  if (std::fread(page->data, 1, kPageSize, file_) != kPageSize) {
+    return false;
+  }
+  ++reads_;
+  return true;
+}
+
+bool PageFile::Write(PageId id, const Page& page) {
+  if (file_ == nullptr || id >= page_count_) return false;
+  const long offset = static_cast<long>((id + 1)) *
+                      static_cast<long>(kPageSize);
+  if (std::fseek(file_, offset, SEEK_SET) != 0) return false;
+  if (std::fwrite(page.data, 1, kPageSize, file_) != kPageSize) {
+    return false;
+  }
+  ++writes_;
+  return true;
+}
+
+bool PageFile::set_root_hint(PageId id) {
+  root_hint_ = id;
+  return WriteHeader();
+}
+
+}  // namespace mdseq

@@ -1,0 +1,85 @@
+#ifndef MDSEQ_STORAGE_PAGE_FILE_H_
+#define MDSEQ_STORAGE_PAGE_FILE_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace mdseq {
+
+/// Size of every page, matching the classic 4 KiB database page the
+/// paper-era systems (and its FRM cost model) assume.
+inline constexpr size_t kPageSize = 4096;
+
+/// Identifier of a page within a file; pages are dense from 0.
+using PageId = uint32_t;
+inline constexpr PageId kInvalidPageId = 0xffffffffu;
+
+/// A fixed-size page buffer.
+struct Page {
+  uint8_t data[kPageSize];
+};
+
+/// File-backed page store with a small self-describing header. All I/O is
+/// page-granular; failures are reported through return values (no
+/// exceptions). Not thread-safe.
+///
+/// File layout: page 0 is the header (magic, version, page count, root
+/// page hint for whatever structure lives in the file); data pages follow.
+class PageFile {
+ public:
+  PageFile() = default;
+  ~PageFile();
+
+  PageFile(const PageFile&) = delete;
+  PageFile& operator=(const PageFile&) = delete;
+
+  /// Creates (truncating) a new page file. Returns false on I/O failure.
+  bool Create(const std::string& path);
+
+  /// Opens an existing page file, validating the header.
+  bool Open(const std::string& path);
+
+  /// Flushes and closes; safe to call twice.
+  void Close();
+
+  bool is_open() const { return file_ != nullptr; }
+
+  /// Allocates a fresh zeroed page at the end of the file; returns its id
+  /// or kInvalidPageId on failure.
+  PageId Allocate();
+
+  /// Reads page `id` into `*page`. Returns false on I/O failure or
+  /// out-of-range id.
+  bool Read(PageId id, Page* page);
+
+  /// Writes `page` to page `id` (must have been allocated).
+  bool Write(PageId id, const Page& page);
+
+  /// Number of data pages allocated.
+  uint32_t page_count() const { return page_count_; }
+
+  /// An application-defined root page id persisted in the header (e.g. the
+  /// R-tree root). Defaults to kInvalidPageId.
+  PageId root_hint() const { return root_hint_; }
+  bool set_root_hint(PageId id);
+
+  /// Lifetime I/O counters (real pread/pwrite operations).
+  uint64_t reads() const { return reads_; }
+  uint64_t writes() const { return writes_; }
+
+ private:
+  bool WriteHeader();
+  bool ReadHeader();
+
+  std::FILE* file_ = nullptr;
+  uint32_t page_count_ = 0;
+  PageId root_hint_ = kInvalidPageId;
+  uint64_t reads_ = 0;
+  uint64_t writes_ = 0;
+};
+
+}  // namespace mdseq
+
+#endif  // MDSEQ_STORAGE_PAGE_FILE_H_

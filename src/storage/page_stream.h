@@ -1,0 +1,102 @@
+#ifndef MDSEQ_STORAGE_PAGE_STREAM_H_
+#define MDSEQ_STORAGE_PAGE_STREAM_H_
+
+#include <cstring>
+
+#include "storage/buffer_pool.h"
+#include "storage/page_file.h"
+
+namespace mdseq {
+
+/// Appends raw bytes across consecutive fresh pages of a file. Pages are
+/// allocated on demand, so a region written by one streamer occupies a
+/// contiguous run of page ids (no other allocations may interleave).
+class PageStreamWriter {
+ public:
+  explicit PageStreamWriter(PageFile* file) : file_(file) {
+    std::memset(buffer_.data, 0, kPageSize);
+  }
+
+  /// Appends `count` bytes; returns false on allocation/write failure.
+  bool Append(const void* bytes, size_t count) {
+    const uint8_t* at = static_cast<const uint8_t*>(bytes);
+    while (count > 0) {
+      if (first_page_ == kInvalidPageId || used_ == kPageSize) {
+        if (!FlushPage()) return false;
+        const PageId id = file_->Allocate();
+        if (id == kInvalidPageId) return false;
+        if (first_page_ == kInvalidPageId) first_page_ = id;
+        current_page_ = id;
+        used_ = 0;
+        ++page_count_;
+        std::memset(buffer_.data, 0, kPageSize);
+      }
+      const size_t room = kPageSize - used_;
+      const size_t chunk = count < room ? count : room;
+      std::memcpy(buffer_.data + used_, at, chunk);
+      used_ += chunk;
+      at += chunk;
+      count -= chunk;
+      total_ += chunk;
+    }
+    return true;
+  }
+
+  /// Flushes the trailing partial page. Call once after the last Append.
+  bool Finish() { return FlushPage(); }
+
+  /// First page of the region (kInvalidPageId if nothing was written).
+  PageId first_page() const { return first_page_; }
+  uint32_t page_count() const { return page_count_; }
+  uint64_t total_bytes() const { return total_; }
+
+ private:
+  bool FlushPage() {
+    if (current_page_ == kInvalidPageId || used_ == 0) return true;
+    return file_->Write(current_page_, buffer_);
+  }
+
+  PageFile* file_;
+  Page buffer_;
+  PageId first_page_ = kInvalidPageId;
+  PageId current_page_ = kInvalidPageId;
+  size_t used_ = 0;
+  uint32_t page_count_ = 0;
+  uint64_t total_ = 0;
+};
+
+/// Reads raw bytes from a contiguous page region through a buffer pool,
+/// starting `offset` bytes into the region.
+class PageStreamReader {
+ public:
+  PageStreamReader(BufferPool* pool, PageId first_page, uint64_t offset)
+      : pool_(pool), first_page_(first_page), offset_(offset) {}
+
+  /// Reads `count` bytes; returns false on a fetch failure.
+  bool Read(void* bytes, size_t count) {
+    uint8_t* at = static_cast<uint8_t*>(bytes);
+    while (count > 0) {
+      const PageId page_id =
+          first_page_ + static_cast<PageId>(offset_ / kPageSize);
+      const size_t within = static_cast<size_t>(offset_ % kPageSize);
+      PageHandle handle = pool_->Fetch(page_id);
+      if (!handle.valid()) return false;
+      const size_t room = kPageSize - within;
+      const size_t chunk = count < room ? count : room;
+      std::memcpy(at, handle.page().data + within, chunk);
+      offset_ += chunk;
+      at += chunk;
+      count -= chunk;
+    }
+    return true;
+  }
+
+ private:
+  BufferPool* pool_;
+  PageId first_page_;
+  uint64_t offset_;
+};
+
+}  // namespace mdseq
+
+#endif  // MDSEQ_STORAGE_PAGE_STREAM_H_

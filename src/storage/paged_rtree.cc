@@ -1,0 +1,545 @@
+#include "storage/paged_rtree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "util/check.h"
+
+namespace mdseq {
+
+namespace {
+
+// Node page header.
+struct NodeHeader {
+  uint16_t level;
+  uint16_t count;
+  uint32_t dim;
+};
+
+size_t EntryBytes(size_t dim) { return 2 * dim * sizeof(double) + 8; }
+
+// Serializes one entry (box + payload) at `offset` within the page.
+void PutEntry(Page* page, size_t offset, size_t dim, const Mbr& box,
+              uint64_t payload) {
+  uint8_t* at = page->data + offset;
+  std::memcpy(at, box.low().data(), dim * sizeof(double));
+  at += dim * sizeof(double);
+  std::memcpy(at, box.high().data(), dim * sizeof(double));
+  at += dim * sizeof(double);
+  std::memcpy(at, &payload, sizeof(payload));
+}
+
+void GetEntry(const Page& page, size_t offset, size_t dim, Mbr* box,
+              uint64_t* payload) {
+  const uint8_t* at = page.data + offset;
+  Point low(dim);
+  Point high(dim);
+  std::memcpy(low.data(), at, dim * sizeof(double));
+  at += dim * sizeof(double);
+  std::memcpy(high.data(), at, dim * sizeof(double));
+  at += dim * sizeof(double);
+  std::memcpy(payload, at, sizeof(*payload));
+  *box = Mbr(std::move(low), std::move(high));
+}
+
+NodeHeader GetHeader(const Page& page) {
+  NodeHeader header;
+  std::memcpy(&header, page.data, sizeof(header));
+  return header;
+}
+
+// Splits [0, count) into parts whose sizes differ by at most one.
+std::vector<std::pair<size_t, size_t>> EvenRanges(size_t count,
+                                                  size_t parts) {
+  std::vector<std::pair<size_t, size_t>> ranges;
+  const size_t base = count / parts;
+  const size_t extra = count % parts;
+  size_t at = 0;
+  for (size_t i = 0; i < parts; ++i) {
+    const size_t size = base + (i < extra ? 1 : 0);
+    if (size == 0) continue;
+    ranges.emplace_back(at, at + size);
+    at += size;
+  }
+  return ranges;
+}
+
+// One item of the level currently being packed: a box plus its payload
+// (leaf value or child page id).
+struct BuildItem {
+  Mbr box;
+  uint64_t payload;
+};
+
+// Sort-Tile-Recursive tiling of items[begin, end) into runs of at most
+// `capacity`, appended to `runs`.
+void StrTile(std::vector<BuildItem>& items, size_t begin, size_t end,
+             size_t axis, size_t dim, size_t capacity,
+             std::vector<std::pair<size_t, size_t>>* runs) {
+  const size_t count = end - begin;
+  if (count <= capacity) {
+    if (count > 0) runs->emplace_back(begin, end);
+    return;
+  }
+  std::sort(items.begin() + static_cast<ptrdiff_t>(begin),
+            items.begin() + static_cast<ptrdiff_t>(end),
+            [axis](const BuildItem& a, const BuildItem& b) {
+              return a.box.Center(axis) < b.box.Center(axis);
+            });
+  const size_t pages = (count + capacity - 1) / capacity;
+  if (axis + 1 == dim) {
+    for (const auto& [b, e] : EvenRanges(count, pages)) {
+      runs->emplace_back(begin + b, begin + e);
+    }
+    return;
+  }
+  const size_t remaining_axes = dim - axis;
+  const auto slabs = static_cast<size_t>(std::ceil(
+      std::pow(static_cast<double>(pages), 1.0 / remaining_axes)));
+  for (const auto& [b, e] : EvenRanges(count, std::max<size_t>(1, slabs))) {
+    StrTile(items, begin + b, begin + e, axis + 1, dim, capacity, runs);
+  }
+}
+
+// Writes one node page holding items[begin, end); returns its page id (or
+// kInvalidPageId on I/O failure) and its bounding box via *box_out.
+PageId WriteNode(PageFile* file, const std::vector<BuildItem>& items,
+                 size_t begin, size_t end, size_t level, size_t dim,
+                 Mbr* box_out) {
+  const PageId id = file->Allocate();
+  if (id == kInvalidPageId) return kInvalidPageId;
+  Page page;
+  std::memset(page.data, 0, kPageSize);
+  NodeHeader header;
+  header.level = static_cast<uint16_t>(level);
+  header.count = static_cast<uint16_t>(end - begin);
+  header.dim = static_cast<uint32_t>(dim);
+  std::memcpy(page.data, &header, sizeof(header));
+  Mbr box(dim);
+  size_t offset = sizeof(NodeHeader);
+  for (size_t i = begin; i < end; ++i) {
+    PutEntry(&page, offset, dim, items[i].box, items[i].payload);
+    offset += EntryBytes(dim);
+    box.Expand(items[i].box);
+  }
+  if (!file->Write(id, page)) return kInvalidPageId;
+  *box_out = box;
+  return id;
+}
+
+}  // namespace
+
+size_t PagedRTree::PageCapacity(size_t dim) {
+  return (kPageSize - sizeof(NodeHeader)) / EntryBytes(dim);
+}
+
+PageId PagedRTree::BuildInto(size_t dim, std::vector<IndexEntry> entries,
+                             PageFile* file) {
+  MDSEQ_CHECK(dim > 0);
+  MDSEQ_CHECK(file != nullptr && file->is_open());
+  const size_t capacity = PageCapacity(dim);
+  MDSEQ_CHECK(capacity >= 2);
+
+  std::vector<BuildItem> level_items;
+  level_items.reserve(entries.size());
+  for (IndexEntry& e : entries) {
+    MDSEQ_CHECK(e.mbr.dim() == dim);
+    level_items.push_back(BuildItem{std::move(e.mbr), e.value});
+  }
+  entries.clear();
+
+  // Degenerate case: an empty tree is a single empty leaf page.
+  if (level_items.empty()) {
+    Mbr box(dim);
+    std::vector<BuildItem> none;
+    return WriteNode(file, none, 0, 0, 0, dim, &box);
+  }
+
+  size_t level = 0;
+  while (true) {
+    std::vector<std::pair<size_t, size_t>> runs;
+    StrTile(level_items, 0, level_items.size(), 0, dim, capacity, &runs);
+    std::vector<BuildItem> parents;
+    parents.reserve(runs.size());
+    for (const auto& [begin, end] : runs) {
+      Mbr box(dim);
+      const PageId id =
+          WriteNode(file, level_items, begin, end, level, dim, &box);
+      if (id == kInvalidPageId) return kInvalidPageId;
+      parents.push_back(BuildItem{std::move(box), id});
+    }
+    if (parents.size() == 1) {
+      return static_cast<PageId>(parents[0].payload);
+    }
+    level_items = std::move(parents);
+    ++level;
+  }
+}
+
+bool PagedRTree::Build(size_t dim, std::vector<IndexEntry> entries,
+                       PageFile* file) {
+  const PageId root = BuildInto(dim, std::move(entries), file);
+  return root != kInvalidPageId && file->set_root_hint(root);
+}
+
+PagedRTree::PagedRTree(size_t dim, BufferPool* pool, PageId root)
+    : dim_(dim), pool_(pool), root_(root) {
+  MDSEQ_CHECK(dim > 0);
+  MDSEQ_CHECK(pool != nullptr);
+  if (root_ == kInvalidPageId) return;
+  PageHandle handle = pool_->Fetch(root_);
+  if (!handle.valid()) {
+    root_ = kInvalidPageId;
+    return;
+  }
+  const NodeHeader header = GetHeader(handle.page());
+  MDSEQ_CHECK(header.dim == dim);
+  height_ = static_cast<size_t>(header.level) + 1;
+}
+
+bool PagedRTree::RangeSearch(const Mbr& query, double epsilon,
+                             std::vector<uint64_t>* out) const {
+  MDSEQ_CHECK(query.is_valid());
+  MDSEQ_CHECK(query.dim() == dim_);
+  MDSEQ_CHECK(epsilon >= 0.0);
+  const double eps2 = epsilon * epsilon;
+  std::vector<PageId> stack{root_};
+  while (!stack.empty()) {
+    const PageId id = stack.back();
+    stack.pop_back();
+    PageHandle handle = pool_->Fetch(id);
+    if (!handle.valid()) return false;
+    const NodeHeader header = GetHeader(handle.page());
+    size_t offset = sizeof(NodeHeader);
+    for (size_t i = 0; i < header.count; ++i) {
+      Mbr box(dim_);
+      uint64_t payload = 0;
+      GetEntry(handle.page(), offset, dim_, &box, &payload);
+      offset += EntryBytes(dim_);
+      if (query.MinDist2(box) > eps2) continue;
+      if (header.level == 0) {
+        out->push_back(payload);
+      } else {
+        stack.push_back(static_cast<PageId>(payload));
+      }
+    }
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Dynamic insertion
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// A node materialized from its page for modification.
+struct LoadedNode {
+  uint16_t level = 0;
+  std::vector<Mbr> boxes;
+  std::vector<uint64_t> payloads;
+
+  Mbr BoundingBox(size_t dim) const {
+    Mbr box(dim);
+    for (const Mbr& b : boxes) box.Expand(b);
+    return box;
+  }
+};
+
+bool LoadNode(BufferPool* pool, PageId id, size_t dim, LoadedNode* node) {
+  PageHandle handle = pool->Fetch(id);
+  if (!handle.valid()) return false;
+  const NodeHeader header = GetHeader(handle.page());
+  MDSEQ_CHECK(header.dim == dim);
+  node->level = header.level;
+  node->boxes.clear();
+  node->payloads.clear();
+  node->boxes.reserve(header.count);
+  node->payloads.reserve(header.count);
+  size_t offset = sizeof(NodeHeader);
+  for (size_t i = 0; i < header.count; ++i) {
+    Mbr box(dim);
+    uint64_t payload = 0;
+    GetEntry(handle.page(), offset, dim, &box, &payload);
+    offset += EntryBytes(dim);
+    node->boxes.push_back(std::move(box));
+    node->payloads.push_back(payload);
+  }
+  return true;
+}
+
+bool StoreNode(BufferPool* pool, PageId id, size_t dim,
+               const LoadedNode& node) {
+  PageHandle handle = pool->Fetch(id);
+  if (!handle.valid()) return false;
+  Page* page = handle.mutable_page();
+  std::memset(page->data, 0, kPageSize);
+  NodeHeader header;
+  header.level = node.level;
+  header.count = static_cast<uint16_t>(node.boxes.size());
+  header.dim = static_cast<uint32_t>(dim);
+  std::memcpy(page->data, &header, sizeof(header));
+  size_t offset = sizeof(NodeHeader);
+  for (size_t i = 0; i < node.boxes.size(); ++i) {
+    PutEntry(page, offset, dim, node.boxes[i], node.payloads[i]);
+    offset += EntryBytes(dim);
+  }
+  handle.MarkDirty();
+  return true;
+}
+
+// Guttman quadratic split of an overflowing loaded node: `node` keeps one
+// group, the other is returned.
+LoadedNode QuadraticSplit(LoadedNode* node, size_t min_fill) {
+  const size_t total = node->boxes.size();
+  // PickSeeds: the pair wasting the most volume.
+  size_t seed_a = 0;
+  size_t seed_b = 1;
+  double worst = -std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < total; ++i) {
+    for (size_t j = i + 1; j < total; ++j) {
+      Mbr cover = node->boxes[i];
+      cover.Expand(node->boxes[j]);
+      const double waste = cover.Volume() - node->boxes[i].Volume() -
+                           node->boxes[j].Volume();
+      if (waste > worst) {
+        worst = waste;
+        seed_a = i;
+        seed_b = j;
+      }
+    }
+  }
+
+  LoadedNode group_b;
+  group_b.level = node->level;
+  std::vector<Mbr> boxes = std::move(node->boxes);
+  std::vector<uint64_t> payloads = std::move(node->payloads);
+  node->boxes.clear();
+  node->payloads.clear();
+
+  Mbr box_a = boxes[seed_a];
+  Mbr box_b = boxes[seed_b];
+  node->boxes.push_back(boxes[seed_a]);
+  node->payloads.push_back(payloads[seed_a]);
+  group_b.boxes.push_back(boxes[seed_b]);
+  group_b.payloads.push_back(payloads[seed_b]);
+
+  std::vector<size_t> remaining;
+  for (size_t i = 0; i < total; ++i) {
+    if (i != seed_a && i != seed_b) remaining.push_back(i);
+  }
+  while (!remaining.empty()) {
+    if (node->boxes.size() + remaining.size() == min_fill) {
+      for (size_t i : remaining) {
+        box_a.Expand(boxes[i]);
+        node->boxes.push_back(boxes[i]);
+        node->payloads.push_back(payloads[i]);
+      }
+      break;
+    }
+    if (group_b.boxes.size() + remaining.size() == min_fill) {
+      for (size_t i : remaining) {
+        box_b.Expand(boxes[i]);
+        group_b.boxes.push_back(boxes[i]);
+        group_b.payloads.push_back(payloads[i]);
+      }
+      break;
+    }
+    // PickNext: strongest preference first.
+    size_t pick = 0;
+    double best_diff = -1.0;
+    for (size_t p = 0; p < remaining.size(); ++p) {
+      const double d1 = box_a.Enlargement(boxes[remaining[p]]);
+      const double d2 = box_b.Enlargement(boxes[remaining[p]]);
+      if (std::abs(d1 - d2) > best_diff) {
+        best_diff = std::abs(d1 - d2);
+        pick = p;
+      }
+    }
+    const size_t index = remaining[pick];
+    remaining.erase(remaining.begin() + static_cast<ptrdiff_t>(pick));
+    const double d1 = box_a.Enlargement(boxes[index]);
+    const double d2 = box_b.Enlargement(boxes[index]);
+    const bool to_a =
+        d1 != d2 ? d1 < d2 : node->boxes.size() <= group_b.boxes.size();
+    if (to_a) {
+      box_a.Expand(boxes[index]);
+      node->boxes.push_back(boxes[index]);
+      node->payloads.push_back(payloads[index]);
+    } else {
+      box_b.Expand(boxes[index]);
+      group_b.boxes.push_back(boxes[index]);
+      group_b.payloads.push_back(payloads[index]);
+    }
+  }
+  return group_b;
+}
+
+}  // namespace
+
+bool PagedRTree::CreateEmpty(size_t dim, PageFile* file) {
+  MDSEQ_CHECK(dim > 0);
+  MDSEQ_CHECK(file != nullptr && file->is_open());
+  Mbr box(dim);
+  std::vector<BuildItem> none;
+  const PageId root = WriteNode(file, none, 0, 0, 0, dim, &box);
+  return root != kInvalidPageId && file->set_root_hint(root);
+}
+
+bool PagedRTree::Insert(const Mbr& mbr, uint64_t value, PageFile* file) {
+  MDSEQ_CHECK(mbr.is_valid());
+  MDSEQ_CHECK(mbr.dim() == dim_);
+  MDSEQ_CHECK(file != nullptr);
+  MDSEQ_CHECK(valid());
+  const size_t capacity = PageCapacity(dim_);
+  const size_t min_fill = std::max<size_t>(1, capacity * 2 / 5);
+
+  // Descend by minimum volume enlargement, remembering the path.
+  struct PathStep {
+    PageId page;
+    size_t child_index;  // index of the chosen child within `page`
+  };
+  std::vector<PathStep> path;
+  PageId current = root_;
+  LoadedNode node;
+  if (!LoadNode(pool_, current, dim_, &node)) return false;
+  while (node.level > 0) {
+    size_t best = 0;
+    double best_enlargement = std::numeric_limits<double>::infinity();
+    double best_volume = std::numeric_limits<double>::infinity();
+    for (size_t i = 0; i < node.boxes.size(); ++i) {
+      const double enlargement = node.boxes[i].Enlargement(mbr);
+      const double volume = node.boxes[i].Volume();
+      if (enlargement < best_enlargement ||
+          (enlargement == best_enlargement && volume < best_volume)) {
+        best = i;
+        best_enlargement = enlargement;
+        best_volume = volume;
+      }
+    }
+    path.push_back(PathStep{current, best});
+    current = static_cast<PageId>(node.payloads[best]);
+    if (!LoadNode(pool_, current, dim_, &node)) return false;
+  }
+
+  // Insert into the leaf, then propagate overflow splits upward.
+  node.boxes.push_back(mbr);
+  node.payloads.push_back(value);
+
+  bool have_split = false;
+  Mbr split_box(dim_);
+  PageId split_page = kInvalidPageId;
+
+  while (true) {
+    if (node.boxes.size() <= capacity) {
+      if (!StoreNode(pool_, current, dim_, node)) return false;
+    } else {
+      LoadedNode sibling = QuadraticSplit(&node, min_fill);
+      const PageId sibling_page = file->Allocate();
+      if (sibling_page == kInvalidPageId) return false;
+      if (!StoreNode(pool_, current, dim_, node)) return false;
+      if (!StoreNode(pool_, sibling_page, dim_, sibling)) return false;
+      have_split = true;
+      split_box = sibling.BoundingBox(dim_);
+      split_page = sibling_page;
+    }
+
+    if (path.empty()) break;
+    const PathStep step = path.back();
+    path.pop_back();
+    const Mbr child_box = node.BoundingBox(dim_);
+    if (!LoadNode(pool_, step.page, dim_, &node)) return false;
+    node.boxes[step.child_index] = child_box;
+    if (have_split) {
+      node.boxes.push_back(split_box);
+      node.payloads.push_back(split_page);
+      have_split = false;
+    }
+    current = step.page;
+  }
+
+  // Root split: allocate a new root holding the two halves.
+  if (have_split) {
+    const PageId new_root = file->Allocate();
+    if (new_root == kInvalidPageId) return false;
+    LoadedNode root_node;
+    root_node.level = static_cast<uint16_t>(node.level + 1);
+    root_node.boxes.push_back(node.BoundingBox(dim_));
+    root_node.payloads.push_back(current);
+    root_node.boxes.push_back(split_box);
+    root_node.payloads.push_back(split_page);
+    if (!StoreNode(pool_, new_root, dim_, root_node)) return false;
+    root_ = new_root;
+    height_ = static_cast<size_t>(root_node.level) + 1;
+    if (!file->set_root_hint(root_)) return false;
+  }
+  return true;
+}
+
+bool PagedRTree::CheckInvariants() const {
+  if (!valid()) return false;
+  bool ok = true;
+  auto fail = [&ok](const char* what) {
+    std::fprintf(stderr, "PagedRTree invariant violated: %s\n", what);
+    ok = false;
+  };
+  struct Frame {
+    PageId page;
+    size_t expected_level;
+    bool has_parent_box;
+    Mbr parent_box;
+  };
+  LoadedNode root_node;
+  if (!LoadNode(pool_, root_, dim_, &root_node)) return false;
+  std::vector<Frame> stack{Frame{root_, root_node.level, false, Mbr(dim_)}};
+  while (!stack.empty()) {
+    Frame frame = std::move(stack.back());
+    stack.pop_back();
+    LoadedNode node;
+    if (!LoadNode(pool_, frame.page, dim_, &node)) {
+      fail("unreadable node page");
+      continue;
+    }
+    if (node.level != frame.expected_level) fail("level mismatch");
+    if (node.boxes.size() > PageCapacity(dim_)) fail("node over capacity");
+    for (size_t i = 0; i < node.boxes.size(); ++i) {
+      if (frame.has_parent_box && !frame.parent_box.Contains(node.boxes[i])) {
+        fail("entry not contained in parent box");
+      }
+      if (node.level > 0) {
+        stack.push_back(Frame{static_cast<PageId>(node.payloads[i]),
+                              static_cast<size_t>(node.level - 1), true,
+                              node.boxes[i]});
+      }
+    }
+  }
+  return ok;
+}
+
+size_t PagedRTree::CountEntries() const {
+  size_t count = 0;
+  std::vector<PageId> stack{root_};
+  while (!stack.empty()) {
+    const PageId id = stack.back();
+    stack.pop_back();
+    PageHandle handle = pool_->Fetch(id);
+    if (!handle.valid()) return count;
+    const NodeHeader header = GetHeader(handle.page());
+    if (header.level == 0) {
+      count += header.count;
+      continue;
+    }
+    size_t offset = sizeof(NodeHeader);
+    for (size_t i = 0; i < header.count; ++i) {
+      Mbr box(dim_);
+      uint64_t payload = 0;
+      GetEntry(handle.page(), offset, dim_, &box, &payload);
+      offset += EntryBytes(dim_);
+      stack.push_back(static_cast<PageId>(payload));
+    }
+  }
+  return count;
+}
+
+}  // namespace mdseq

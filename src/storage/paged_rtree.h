@@ -1,0 +1,93 @@
+#ifndef MDSEQ_STORAGE_PAGED_RTREE_H_
+#define MDSEQ_STORAGE_PAGED_RTREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "index/spatial_index.h"
+#include "storage/buffer_pool.h"
+#include "storage/page_file.h"
+
+namespace mdseq {
+
+/// A disk-resident, bulk-loaded R-tree: nodes are 4 KiB pages in a
+/// `PageFile`, fetched through a `BufferPool` during queries. This is the
+/// storage model the paper's cost function assumes ("the average number of
+/// disk accesses"), so the buffer pool's miss counter measures the real
+/// disk accesses an index traversal costs.
+///
+/// The tree is normally built once with Sort-Tile-Recursive packing (the
+/// paper's index is constructed in a pre-processing step and then queried);
+/// incremental `Insert` (Guttman-style, quadratic split) is supported for
+/// growing an index in place. Pages modified by inserts are written back by
+/// the buffer pool.
+///
+/// Page layout: `u16 level | u16 count | u32 dim`, then `count` entries of
+/// `2*dim` doubles (low, high) + `u64` payload (leaf: value; internal:
+/// child PageId).
+class PagedRTree {
+ public:
+  /// Builds the tree into `file` (which must be open and fresh) and
+  /// records the root in the file header. Returns false on I/O failure.
+  /// `entries` is consumed (reordered) during tiling.
+  static bool Build(size_t dim, std::vector<IndexEntry> entries,
+                    PageFile* file);
+
+  /// As `Build`, but returns the root page instead of claiming the file
+  /// header — for files shared with other structures (see DiskDatabase).
+  /// Returns kInvalidPageId on failure.
+  static PageId BuildInto(size_t dim, std::vector<IndexEntry> entries,
+                          PageFile* file);
+
+  /// Attaches to a previously built tree: `root` is the page id stored in
+  /// the file header by `Build` (`file.root_hint()`). The pool (and its
+  /// file) must outlive the tree; `dim` must match the build.
+  PagedRTree(size_t dim, BufferPool* pool, PageId root);
+
+  /// Convenience: attaches using the file's root hint.
+  PagedRTree(size_t dim, BufferPool* pool, const PageFile& file)
+      : PagedRTree(dim, pool, file.root_hint()) {}
+
+  /// Entries per node page for this dimensionality.
+  static size_t PageCapacity(size_t dim);
+
+  /// Creates an empty tree (a single empty leaf page) in `file` and
+  /// records the root in the file header; grow it with `Insert`.
+  static bool CreateEmpty(size_t dim, PageFile* file);
+
+  /// Appends payloads of entries within Euclidean distance `epsilon` of
+  /// `query` (same semantics as `SpatialIndex::RangeSearch`). Returns
+  /// false on I/O failure (results are then incomplete).
+  bool RangeSearch(const Mbr& query, double epsilon,
+                   std::vector<uint64_t>* out) const;
+
+  /// Inserts one entry (Guttman ChooseLeaf + quadratic split). Dirty pages
+  /// stay in the pool until eviction or `BufferPool::Flush`. Returns false
+  /// on I/O failure. The file's root hint is refreshed when the root
+  /// splits.
+  bool Insert(const Mbr& mbr, uint64_t value, PageFile* file);
+
+  /// Current root page (changes when the root splits).
+  PageId root() const { return root_; }
+
+  /// Verifies containment/level/count invariants by traversal; prints the
+  /// violation to stderr and returns false when corrupt. Used by tests.
+  bool CheckInvariants() const;
+
+  /// Total stored (leaf) entries, computed on first call by scanning.
+  size_t CountEntries() const;
+
+  /// Height in levels (1 = root is a leaf).
+  size_t height() const { return height_; }
+  bool valid() const { return root_ != kInvalidPageId; }
+
+ private:
+  size_t dim_;
+  BufferPool* pool_;
+  PageId root_ = kInvalidPageId;
+  size_t height_ = 0;
+};
+
+}  // namespace mdseq
+
+#endif  // MDSEQ_STORAGE_PAGED_RTREE_H_

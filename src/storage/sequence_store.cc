@@ -1,0 +1,116 @@
+#include "storage/sequence_store.h"
+
+#include <cstring>
+
+#include "storage/page_stream.h"
+#include "util/check.h"
+
+namespace mdseq {
+
+namespace {
+
+// Meta page layout.
+struct MetaLayout {
+  uint64_t count;
+  uint32_t data_first_page;
+  uint32_t data_page_count;
+  uint32_t dir_first_page;
+  uint32_t dir_page_count;
+};
+static_assert(sizeof(MetaLayout) <= kPageSize);
+
+}  // namespace
+
+PageId SequenceStore::WriteInto(const std::vector<Sequence>& corpus,
+                                PageFile* file) {
+  MDSEQ_CHECK(file != nullptr && file->is_open());
+
+  const PageId meta_page = file->Allocate();
+  if (meta_page == kInvalidPageId) return kInvalidPageId;
+
+  // Data region: records back to back.
+  std::vector<DirectoryEntry> directory;
+  directory.reserve(corpus.size());
+  PageStreamWriter data(file);
+  for (const Sequence& seq : corpus) {
+    directory.push_back(DirectoryEntry{data.total_bytes(),
+                                       static_cast<uint64_t>(seq.dim()),
+                                       static_cast<uint64_t>(seq.size())});
+    if (!data.Append(seq.data().data(),
+                     seq.data().size() * sizeof(double))) {
+      return kInvalidPageId;
+    }
+  }
+  if (!data.Finish()) return kInvalidPageId;
+
+  // Directory region.
+  PageStreamWriter dir(file);
+  if (!directory.empty() &&
+      !dir.Append(directory.data(),
+                  directory.size() * sizeof(DirectoryEntry))) {
+    return kInvalidPageId;
+  }
+  if (!dir.Finish()) return kInvalidPageId;
+
+  // Meta page.
+  Page meta;
+  std::memset(meta.data, 0, kPageSize);
+  MetaLayout layout;
+  layout.count = corpus.size();
+  layout.data_first_page = data.first_page();
+  layout.data_page_count = data.page_count();
+  layout.dir_first_page = dir.first_page();
+  layout.dir_page_count = dir.page_count();
+  std::memcpy(meta.data, &layout, sizeof(layout));
+  if (!file->Write(meta_page, meta)) return kInvalidPageId;
+  return meta_page;
+}
+
+bool SequenceStore::Write(const std::vector<Sequence>& corpus,
+                          PageFile* file) {
+  const PageId meta_page = WriteInto(corpus, file);
+  return meta_page != kInvalidPageId && file->set_root_hint(meta_page);
+}
+
+SequenceStore::SequenceStore(BufferPool* pool, PageId meta_page)
+    : pool_(pool) {
+  MDSEQ_CHECK(pool != nullptr);
+  if (meta_page == kInvalidPageId) return;
+  PageHandle meta = pool_->Fetch(meta_page);
+  if (!meta.valid()) return;
+  MetaLayout layout;
+  std::memcpy(&layout, meta.page().data, sizeof(layout));
+  meta.Release();
+
+  data_first_page_ = layout.data_first_page;
+  directory_.resize(layout.count);
+  if (layout.count > 0) {
+    PageStreamReader reader(pool_, layout.dir_first_page, 0);
+    if (!reader.Read(directory_.data(),
+                     directory_.size() * sizeof(DirectoryEntry))) {
+      directory_.clear();
+      return;
+    }
+  }
+  valid_ = true;
+}
+
+std::optional<Sequence> SequenceStore::Read(size_t id) const {
+  MDSEQ_CHECK(valid_);
+  MDSEQ_CHECK(id < directory_.size());
+  const DirectoryEntry& entry = directory_[id];
+  Sequence sequence(static_cast<size_t>(entry.dim));
+  std::vector<double> data(entry.dim * entry.length);
+  PageStreamReader reader(pool_, data_first_page_, entry.offset);
+  if (!data.empty() &&
+      !reader.Read(data.data(), data.size() * sizeof(double))) {
+    return std::nullopt;
+  }
+  for (uint64_t i = 0; i < entry.length; ++i) {
+    sequence.Append(PointView(data.data() + i * entry.dim,
+                              static_cast<size_t>(entry.dim)));
+  }
+  return sequence;
+}
+
+}  // namespace mdseq

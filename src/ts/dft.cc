@@ -1,0 +1,62 @@
+#include "ts/dft.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/check.h"
+
+namespace mdseq {
+
+std::vector<std::complex<double>> Dft(const std::vector<double>& series) {
+  MDSEQ_CHECK(!series.empty());
+  const size_t n = series.size();
+  const double norm = 1.0 / std::sqrt(static_cast<double>(n));
+  std::vector<std::complex<double>> freq(n);
+  for (size_t f = 0; f < n; ++f) {
+    std::complex<double> sum = 0.0;
+    for (size_t t = 0; t < n; ++t) {
+      const double angle = -2.0 * std::numbers::pi * static_cast<double>(f) *
+                           static_cast<double>(t) / static_cast<double>(n);
+      sum += series[t] * std::complex<double>(std::cos(angle),
+                                              std::sin(angle));
+    }
+    freq[f] = norm * sum;
+  }
+  return freq;
+}
+
+std::vector<double> InverseDft(
+    const std::vector<std::complex<double>>& freq) {
+  MDSEQ_CHECK(!freq.empty());
+  const size_t n = freq.size();
+  const double norm = 1.0 / std::sqrt(static_cast<double>(n));
+  std::vector<double> series(n);
+  for (size_t t = 0; t < n; ++t) {
+    std::complex<double> sum = 0.0;
+    for (size_t f = 0; f < n; ++f) {
+      const double angle = 2.0 * std::numbers::pi * static_cast<double>(f) *
+                           static_cast<double>(t) / static_cast<double>(n);
+      sum += freq[f] * std::complex<double>(std::cos(angle), std::sin(angle));
+    }
+    series[t] = norm * sum.real();
+  }
+  return series;
+}
+
+Point DftFeature(SequenceView series, size_t num_coefficients) {
+  MDSEQ_CHECK(series.dim() == 1);
+  MDSEQ_CHECK(num_coefficients >= 1);
+  MDSEQ_CHECK(num_coefficients <= series.size());
+  std::vector<double> values(series.size());
+  for (size_t i = 0; i < series.size(); ++i) values[i] = series[i][0];
+  const std::vector<std::complex<double>> freq = Dft(values);
+  Point feature;
+  feature.reserve(2 * num_coefficients);
+  for (size_t f = 0; f < num_coefficients; ++f) {
+    feature.push_back(freq[f].real());
+    feature.push_back(freq[f].imag());
+  }
+  return feature;
+}
+
+}  // namespace mdseq

@@ -1,0 +1,32 @@
+#ifndef MDSEQ_TS_DFT_H_
+#define MDSEQ_TS_DFT_H_
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+#include "geom/point.h"
+#include "geom/sequence.h"
+
+namespace mdseq {
+
+/// Normalized discrete Fourier transform of a real series:
+/// `X_f = (1/sqrt(n)) * sum_t x_t * exp(-2*pi*i*f*t/n)`.
+///
+/// The 1/sqrt(n) normalization makes the transform an isometry (Parseval),
+/// which is what gives the Agrawal '93 F-index its no-false-dismissal
+/// guarantee: Euclidean distance on any coefficient prefix lower-bounds the
+/// distance on the full series.
+std::vector<std::complex<double>> Dft(const std::vector<double>& series);
+
+/// Inverse of `Dft`.
+std::vector<double> InverseDft(const std::vector<std::complex<double>>& freq);
+
+/// Maps a 1-d series to the feature point used by the whole-matching
+/// F-index: the real and imaginary parts of the first `num_coefficients`
+/// DFT coefficients, i.e. a `2 * num_coefficients`-dimensional point.
+Point DftFeature(SequenceView series, size_t num_coefficients);
+
+}  // namespace mdseq
+
+#endif  // MDSEQ_TS_DFT_H_

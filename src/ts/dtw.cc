@@ -1,0 +1,52 @@
+#include "ts/dtw.h"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "util/check.h"
+
+namespace mdseq {
+
+double DtwDistance(SequenceView a, SequenceView b,
+                   const DtwOptions& options) {
+  MDSEQ_CHECK(!a.empty() && !b.empty());
+  MDSEQ_CHECK(a.dim() == b.dim());
+  // Keep the inner loop over the shorter sequence for the rolling arrays.
+  const SequenceView outer = a.size() >= b.size() ? a : b;
+  const SequenceView inner = a.size() >= b.size() ? b : a;
+  const size_t n = outer.size();
+  const size_t m = inner.size();
+
+  // A path only exists if the band admits |i - j| up to the length skew.
+  size_t window = options.window;
+  if (window < n - m) window = n - m;
+
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> previous(m + 1, kInf);
+  std::vector<double> current(m + 1, kInf);
+  previous[0] = 0.0;
+
+  for (size_t i = 1; i <= n; ++i) {
+    std::fill(current.begin(), current.end(), kInf);
+    const size_t j_begin = i > window ? i - window : 1;
+    // Saturating upper bound (window may be SIZE_MAX).
+    const size_t j_end = window >= m ? m : std::min(m, i + window);
+    for (size_t j = j_begin; j <= j_end; ++j) {
+      const double cost = PointDistance(outer[i - 1], inner[j - 1]);
+      const double best_prior = std::min(
+          {previous[j], current[j - 1], previous[j - 1]});
+      current[j] = cost + best_prior;
+    }
+    std::swap(previous, current);
+  }
+  return previous[m];
+}
+
+double NormalizedDtwDistance(SequenceView a, SequenceView b,
+                             const DtwOptions& options) {
+  return DtwDistance(a, b, options) /
+         static_cast<double>(a.size() + b.size());
+}
+
+}  // namespace mdseq

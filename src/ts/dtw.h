@@ -1,0 +1,38 @@
+#ifndef MDSEQ_TS_DTW_H_
+#define MDSEQ_TS_DTW_H_
+
+#include <cstddef>
+
+#include "geom/sequence.h"
+
+namespace mdseq {
+
+/// Options of the dynamic time warping distance.
+struct DtwOptions {
+  /// Sakoe-Chiba band half-width: cells with `|i - j|` beyond the band are
+  /// excluded. `SIZE_MAX` disables the constraint. The band is widened
+  /// automatically to at least the length difference, below which no
+  /// warping path exists.
+  size_t window = SIZE_MAX;
+};
+
+/// Dynamic time warping distance between two multidimensional sequences —
+/// the "time warping function which permits local accelerations and
+/// decelerations" of the related work (Yi, Jagadish & Faloutsos,
+/// Section 2), generalized to n-dimensional points.
+///
+/// Returns the minimum over all monotone alignment paths of the summed
+/// Euclidean point distances. O(|a| * |b|) time (band-limited when
+/// `options.window` is set), O(min(|a|, |b|)) memory.
+double DtwDistance(SequenceView a, SequenceView b,
+                   const DtwOptions& options = {});
+
+/// DTW normalized by the worst-case path length `|a| + |b|`, giving a
+/// per-step cost comparable across sequence lengths (the analogue of the
+/// paper's mean distance for warped alignments).
+double NormalizedDtwDistance(SequenceView a, SequenceView b,
+                             const DtwOptions& options = {});
+
+}  // namespace mdseq
+
+#endif  // MDSEQ_TS_DTW_H_

@@ -1,0 +1,102 @@
+#include "ts/frm.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "ts/dft.h"
+#include "util/check.h"
+
+namespace mdseq {
+
+double MinSubsequenceDistance(SequenceView query, SequenceView data) {
+  MDSEQ_CHECK(query.dim() == 1 && data.dim() == 1);
+  MDSEQ_CHECK(!query.empty());
+  MDSEQ_CHECK(query.size() <= data.size());
+  double best = std::numeric_limits<double>::infinity();
+  for (size_t offset = 0; offset + query.size() <= data.size(); ++offset) {
+    double sum = 0.0;
+    for (size_t i = 0; i < query.size(); ++i) {
+      const double diff = query[i][0] - data[offset + i][0];
+      sum += diff * diff;
+    }
+    best = std::min(best, sum);
+  }
+  return std::sqrt(best);
+}
+
+namespace {
+
+// The feature trail of a series: one 2*fc-dimensional point per window
+// position (the ST-index's "trail" that is then partitioned into MBRs).
+Sequence FeatureTrail(SequenceView series, size_t window,
+                      size_t num_coefficients) {
+  Sequence trail(2 * num_coefficients);
+  for (size_t i = 0; i + window <= series.size(); ++i) {
+    trail.Append(DftFeature(series.Slice(i, i + window), num_coefficients));
+  }
+  return trail;
+}
+
+}  // namespace
+
+FrmIndex::FrmIndex(size_t window, size_t num_coefficients)
+    : window_(window),
+      num_coefficients_(num_coefficients),
+      database_(2 * num_coefficients) {
+  MDSEQ_CHECK(window >= 1);
+  MDSEQ_CHECK(num_coefficients >= 1);
+  MDSEQ_CHECK(num_coefficients <= window);
+}
+
+size_t FrmIndex::Add(Sequence series) {
+  MDSEQ_CHECK(series.dim() == 1);
+  MDSEQ_CHECK(series.size() >= window_);
+  const size_t id = database_.Add(
+      FeatureTrail(series.View(), window_, num_coefficients_));
+  series_.push_back(std::move(series));
+  MDSEQ_CHECK(id + 1 == series_.size());
+  return id;
+}
+
+std::vector<size_t> FrmIndex::SearchCandidates(SequenceView query,
+                                               double epsilon) const {
+  MDSEQ_CHECK(query.dim() == 1);
+  MDSEQ_CHECK(query.size() >= window_);
+  MDSEQ_CHECK(epsilon >= 0.0);
+  // PrefixSearch: p disjoint windows, each searched at eps / sqrt(p).
+  const size_t p = query.size() / window_;
+  const double per_window_epsilon =
+      epsilon / std::sqrt(static_cast<double>(p));
+
+  std::vector<size_t> candidates;
+  std::vector<uint64_t> hits;
+  for (size_t t = 0; t < p; ++t) {
+    const Point feature = DftFeature(
+        query.Slice(t * window_, (t + 1) * window_), num_coefficients_);
+    hits.clear();
+    database_.index().RangeSearch(Mbr::FromPoint(feature),
+                                  per_window_epsilon, &hits);
+    for (uint64_t value : hits) {
+      candidates.push_back(SequenceDatabase::UnpackSequenceId(value));
+    }
+  }
+  std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
+  return candidates;
+}
+
+std::vector<size_t> FrmIndex::Search(SequenceView query,
+                                     double epsilon) const {
+  std::vector<size_t> results;
+  for (size_t id : SearchCandidates(query, epsilon)) {
+    if (series_[id].size() < query.size()) continue;
+    if (MinSubsequenceDistance(query, series_[id].View()) <= epsilon) {
+      results.push_back(id);
+    }
+  }
+  return results;
+}
+
+}  // namespace mdseq

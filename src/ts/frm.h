@@ -1,0 +1,67 @@
+#ifndef MDSEQ_TS_FRM_H_
+#define MDSEQ_TS_FRM_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/database.h"
+#include "geom/sequence.h"
+
+namespace mdseq {
+
+/// FRM subsequence matching (Faloutsos, Ranganathan & Manolopoulos, SIGMOD
+/// 1994) — the 1-d related-work system whose partitioning strategy the
+/// paper adapts (Section 2): a sliding window over each stored series maps
+/// every position to the first few DFT coefficients of its window; the
+/// resulting low-dimensional *feature trail* is partitioned into MBRs
+/// (using the same marginal-cost algorithm) and indexed in an R-tree
+/// variant. A query of length >= w is cut into disjoint windows, each
+/// mapped to a feature point, and searched with threshold eps/sqrt(p)
+/// (PrefixSearch): since window feature distance lower-bounds window
+/// Euclidean distance (Parseval) and some query window must be within
+/// eps/sqrt(p) of the corresponding data window whenever the whole query
+/// matches within eps, the candidate set has no false dismissals.
+///
+/// Distances are root-sum-square over the aligned points (the FRM
+/// formulation), not this paper's mean distance.
+class FrmIndex {
+ public:
+  /// `window` is the sliding-window size w; `num_coefficients` DFT
+  /// coefficients are kept per window (feature dimensionality is twice
+  /// that).
+  FrmIndex(size_t window, size_t num_coefficients);
+
+  /// Adds a 1-d series with at least `window` points; returns its id.
+  size_t Add(Sequence series);
+
+  /// Candidate series ids for "some subsequence of the stored series is
+  /// within Euclidean distance `epsilon` of `query`", ascending, no false
+  /// dismissals. `query` must be 1-d with `query.size() >= window`.
+  std::vector<size_t> SearchCandidates(SequenceView query,
+                                       double epsilon) const;
+
+  /// Verified matches: candidate ids whose best alignment really is within
+  /// `epsilon` (root-sum-square over `query.size()` points).
+  std::vector<size_t> Search(SequenceView query, double epsilon) const;
+
+  size_t size() const { return series_.size(); }
+
+  /// Number of feature-trail MBRs indexed (diagnostics).
+  size_t total_mbrs() const { return database_.total_mbrs(); }
+
+ private:
+  size_t window_;
+  size_t num_coefficients_;
+  /// The feature trails are stored as a SequenceDatabase: same MCOST
+  /// partitioning + R*-tree machinery, searched at the MBR level.
+  SequenceDatabase database_;
+  std::vector<Sequence> series_;
+};
+
+/// Minimum root-sum-square distance of `query` over all alignments inside
+/// `data` (both 1-d, `query.size() <= data.size()`).
+double MinSubsequenceDistance(SequenceView query, SequenceView data);
+
+}  // namespace mdseq
+
+#endif  // MDSEQ_TS_FRM_H_

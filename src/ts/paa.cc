@@ -1,0 +1,34 @@
+#include "ts/paa.h"
+
+#include <cmath>
+
+#include "geom/point.h"
+#include "util/check.h"
+
+namespace mdseq {
+
+Point PaaFeature(SequenceView series, size_t segments) {
+  MDSEQ_CHECK(series.dim() == 1);
+  MDSEQ_CHECK(segments >= 1);
+  MDSEQ_CHECK(series.size() % segments == 0);
+  const size_t frame = series.size() / segments;
+  Point feature(segments, 0.0);
+  for (size_t s = 0; s < segments; ++s) {
+    double sum = 0.0;
+    for (size_t i = 0; i < frame; ++i) {
+      sum += series[s * frame + i][0];
+    }
+    feature[s] = sum / static_cast<double>(frame);
+  }
+  return feature;
+}
+
+double PaaDistance(SequenceView a, SequenceView b, size_t segments) {
+  MDSEQ_CHECK(a.size() == b.size());
+  const Point fa = PaaFeature(a, segments);
+  const Point fb = PaaFeature(b, segments);
+  const double frame = static_cast<double>(a.size() / segments);
+  return std::sqrt(frame) * PointDistance(fa, fb);
+}
+
+}  // namespace mdseq

@@ -1,0 +1,31 @@
+#ifndef MDSEQ_TS_PAA_H_
+#define MDSEQ_TS_PAA_H_
+
+#include <cstddef>
+
+#include "geom/point.h"
+#include "geom/sequence.h"
+
+namespace mdseq {
+
+/// Piecewise Aggregate Approximation (Keogh et al. / Yi & Faloutsos): a
+/// 1-d series of length n is reduced to `segments` means of equal-length
+/// frames. The third classic reduction besides DFT and wavelets, and the
+/// cheapest: one pass, no trigonometry.
+///
+/// Lower-bounding property (what makes it a valid filter): with frames of
+/// length `f = n / segments`,
+///
+///   sqrt(f) * |PAA(a) - PAA(b)|  <=  |a - b|
+///
+/// `PaaDistance` applies the sqrt(f) scaling so callers can compare it to
+/// series distance directly. Requires `segments` to divide the length.
+Point PaaFeature(SequenceView series, size_t segments);
+
+/// The scaled feature-space distance described above (a lower bound of the
+/// root-sum-square distance between the full series).
+double PaaDistance(SequenceView a, SequenceView b, size_t segments);
+
+}  // namespace mdseq
+
+#endif  // MDSEQ_TS_PAA_H_

@@ -1,0 +1,166 @@
+#include "ts/pca.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/check.h"
+
+namespace mdseq {
+
+void SymmetricEigen(const std::vector<double>& matrix, size_t n,
+                    std::vector<double>* eigenvalues,
+                    std::vector<Point>* eigenvectors) {
+  MDSEQ_CHECK(n >= 1);
+  MDSEQ_CHECK(matrix.size() == n * n);
+  MDSEQ_CHECK(eigenvalues != nullptr && eigenvectors != nullptr);
+
+  std::vector<double> a = matrix;  // working copy, stays symmetric
+  // v starts as identity; accumulates rotations (columns = eigenvectors).
+  std::vector<double> v(n * n, 0.0);
+  for (size_t i = 0; i < n; ++i) v[i * n + i] = 1.0;
+
+  // Cyclic Jacobi sweeps until the off-diagonal mass is negligible.
+  for (int sweep = 0; sweep < 100; ++sweep) {
+    double off = 0.0;
+    for (size_t p = 0; p < n; ++p) {
+      for (size_t q = p + 1; q < n; ++q) off += a[p * n + q] * a[p * n + q];
+    }
+    if (off < 1e-24) break;
+    for (size_t p = 0; p < n; ++p) {
+      for (size_t q = p + 1; q < n; ++q) {
+        const double apq = a[p * n + q];
+        if (std::abs(apq) < 1e-18) continue;
+        const double app = a[p * n + p];
+        const double aqq = a[q * n + q];
+        const double theta = (aqq - app) / (2.0 * apq);
+        const double t = (theta >= 0 ? 1.0 : -1.0) /
+                         (std::abs(theta) +
+                          std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+        // Rotate rows/columns p and q of `a`.
+        for (size_t k = 0; k < n; ++k) {
+          const double akp = a[k * n + p];
+          const double akq = a[k * n + q];
+          a[k * n + p] = c * akp - s * akq;
+          a[k * n + q] = s * akp + c * akq;
+        }
+        for (size_t k = 0; k < n; ++k) {
+          const double apk = a[p * n + k];
+          const double aqk = a[q * n + k];
+          a[p * n + k] = c * apk - s * aqk;
+          a[q * n + k] = s * apk + c * aqk;
+        }
+        // Accumulate the rotation into v.
+        for (size_t k = 0; k < n; ++k) {
+          const double vkp = v[k * n + p];
+          const double vkq = v[k * n + q];
+          v[k * n + p] = c * vkp - s * vkq;
+          v[k * n + q] = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  // Sort eigenpairs by descending eigenvalue.
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](size_t x, size_t y) {
+    return a[x * n + x] > a[y * n + y];
+  });
+  eigenvalues->resize(n);
+  eigenvectors->assign(n, Point(n, 0.0));
+  for (size_t rank = 0; rank < n; ++rank) {
+    const size_t column = order[rank];
+    (*eigenvalues)[rank] = a[column * n + column];
+    for (size_t k = 0; k < n; ++k) {
+      (*eigenvectors)[rank][k] = v[k * n + column];
+    }
+  }
+}
+
+PcaModel PcaModel::Fit(const std::vector<Sequence>& corpus,
+                       size_t target_dim) {
+  MDSEQ_CHECK(!corpus.empty());
+  const size_t dim = corpus.front().dim();
+  MDSEQ_CHECK(target_dim >= 1 && target_dim <= dim);
+
+  // Mean over every point of every sequence.
+  PcaModel model;
+  model.mean_.assign(dim, 0.0);
+  size_t count = 0;
+  for (const Sequence& seq : corpus) {
+    MDSEQ_CHECK(seq.dim() == dim);
+    for (size_t i = 0; i < seq.size(); ++i) {
+      for (size_t k = 0; k < dim; ++k) model.mean_[k] += seq[i][k];
+      ++count;
+    }
+  }
+  MDSEQ_CHECK(count >= 1);
+  for (double& m : model.mean_) m /= static_cast<double>(count);
+
+  // Covariance matrix.
+  std::vector<double> covariance(dim * dim, 0.0);
+  for (const Sequence& seq : corpus) {
+    for (size_t i = 0; i < seq.size(); ++i) {
+      for (size_t r = 0; r < dim; ++r) {
+        const double dr = seq[i][r] - model.mean_[r];
+        for (size_t c = r; c < dim; ++c) {
+          covariance[r * dim + c] += dr * (seq[i][c] - model.mean_[c]);
+        }
+      }
+    }
+  }
+  for (size_t r = 0; r < dim; ++r) {
+    for (size_t c = r; c < dim; ++c) {
+      covariance[r * dim + c] /= static_cast<double>(count);
+      covariance[c * dim + r] = covariance[r * dim + c];
+    }
+  }
+
+  std::vector<double> eigenvalues;
+  std::vector<Point> eigenvectors;
+  SymmetricEigen(covariance, dim, &eigenvalues, &eigenvectors);
+  model.components_.assign(eigenvectors.begin(),
+                           eigenvectors.begin() +
+                               static_cast<ptrdiff_t>(target_dim));
+  model.explained_variance_.assign(
+      eigenvalues.begin(),
+      eigenvalues.begin() + static_cast<ptrdiff_t>(target_dim));
+  return model;
+}
+
+Point PcaModel::Project(PointView p) const {
+  MDSEQ_CHECK(p.size() == input_dim());
+  Point out(output_dim(), 0.0);
+  for (size_t c = 0; c < components_.size(); ++c) {
+    double dot = 0.0;
+    for (size_t k = 0; k < p.size(); ++k) {
+      dot += components_[c][k] * (p[k] - mean_[k]);
+    }
+    out[c] = dot;
+  }
+  return out;
+}
+
+Sequence PcaModel::ProjectSequence(SequenceView sequence) const {
+  Sequence out(output_dim());
+  for (size_t i = 0; i < sequence.size(); ++i) {
+    out.Append(Project(sequence[i]));
+  }
+  return out;
+}
+
+Point PcaModel::Reconstruct(PointView reduced) const {
+  MDSEQ_CHECK(reduced.size() == output_dim());
+  Point out = mean_;
+  for (size_t c = 0; c < components_.size(); ++c) {
+    for (size_t k = 0; k < out.size(); ++k) {
+      out[k] += reduced[c] * components_[c][k];
+    }
+  }
+  return out;
+}
+
+}  // namespace mdseq

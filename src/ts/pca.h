@@ -1,0 +1,62 @@
+#ifndef MDSEQ_TS_PCA_H_
+#define MDSEQ_TS_PCA_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "geom/point.h"
+#include "geom/sequence.h"
+
+namespace mdseq {
+
+/// Principal component analysis — the general-purpose dimensionality
+/// reduction for the paper's pre-processing step ("When the vector is of
+/// high dimension, various dimension reduction techniques ... can be
+/// applied to avoid the dimensionality curse problem", Section 3.4.1).
+///
+/// Projection onto an orthonormal basis is a contraction:
+/// `|P(a) - P(b)| <= |a - b|`, so distances in the reduced space
+/// lower-bound original distances and MBR filtering on reduced sequences
+/// keeps the no-false-dismissal guarantee.
+class PcaModel {
+ public:
+  /// Fits a `target_dim`-component model on every point of the corpus
+  /// (covariance eigen-decomposition via cyclic Jacobi). Requires at least
+  /// one point, matching dimensionalities, and
+  /// `1 <= target_dim <= input dim`.
+  static PcaModel Fit(const std::vector<Sequence>& corpus, size_t target_dim);
+
+  size_t input_dim() const { return mean_.size(); }
+  size_t output_dim() const { return components_.size(); }
+
+  /// Per-component variances (eigenvalues), descending.
+  const std::vector<double>& explained_variance() const {
+    return explained_variance_;
+  }
+
+  /// Projects one point into the component space.
+  Point Project(PointView p) const;
+
+  /// Projects every point of a sequence.
+  Sequence ProjectSequence(SequenceView sequence) const;
+
+  /// Maps a reduced point back into the input space (the least-squares
+  /// reconstruction).
+  Point Reconstruct(PointView reduced) const;
+
+ private:
+  Point mean_;
+  std::vector<Point> components_;  ///< orthonormal rows, length input_dim
+  std::vector<double> explained_variance_;
+};
+
+/// Eigen-decomposition of a symmetric matrix (row-major `n x n`) by the
+/// cyclic Jacobi method. Outputs eigenvalues (descending) and the matching
+/// orthonormal eigenvectors as rows. Exposed for testing and reuse.
+void SymmetricEigen(const std::vector<double>& matrix, size_t n,
+                    std::vector<double>* eigenvalues,
+                    std::vector<Point>* eigenvectors);
+
+}  // namespace mdseq
+
+#endif  // MDSEQ_TS_PCA_H_

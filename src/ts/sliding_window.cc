@@ -1,0 +1,38 @@
+#include "ts/sliding_window.h"
+
+#include <vector>
+
+#include "util/check.h"
+
+namespace mdseq {
+
+Sequence SlidingWindowEmbed(SequenceView series, size_t w) {
+  MDSEQ_CHECK(series.dim() == 1);
+  MDSEQ_CHECK(w >= 1);
+  MDSEQ_CHECK(series.size() >= w);
+  Sequence embedded(w);
+  std::vector<double> window(w);
+  for (size_t i = 0; i + w <= series.size(); ++i) {
+    for (size_t t = 0; t < w; ++t) window[t] = series[i + t][0];
+    embedded.Append(window);
+  }
+  return embedded;
+}
+
+Sequence SlidingWindowRestore(SequenceView embedded) {
+  MDSEQ_CHECK(!embedded.empty());
+  const size_t w = embedded.dim();
+  Sequence series(1);
+  for (size_t i = 0; i < embedded.size(); ++i) {
+    const double v = embedded[i][0];
+    series.Append(PointView(&v, 1));
+  }
+  const PointView last = embedded[embedded.size() - 1];
+  for (size_t t = 1; t < w; ++t) {
+    const double v = last[t];
+    series.Append(PointView(&v, 1));
+  }
+  return series;
+}
+
+}  // namespace mdseq

@@ -1,0 +1,26 @@
+#ifndef MDSEQ_TS_SLIDING_WINDOW_H_
+#define MDSEQ_TS_SLIDING_WINDOW_H_
+
+#include <cstddef>
+
+#include "geom/sequence.h"
+
+namespace mdseq {
+
+/// The classic time-series embedding this paper generalizes away from
+/// (Section 1): sliding a window of size `w` over a one-dimensional series
+/// turns it into a `w`-dimensional sequence whose i-th point is
+/// `(x[i], ..., x[i+w-1])`.
+///
+/// Requires a 1-d input with `series.size() >= w >= 1`; the result has
+/// `series.size() - w + 1` points of dimension `w`.
+Sequence SlidingWindowEmbed(SequenceView series, size_t w);
+
+/// Inverse check helper: reconstructs the original 1-d series from a
+/// sliding-window embedding (first coordinate of each point plus the tail of
+/// the last point).
+Sequence SlidingWindowRestore(SequenceView embedded);
+
+}  // namespace mdseq
+
+#endif  // MDSEQ_TS_SLIDING_WINDOW_H_

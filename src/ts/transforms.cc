@@ -1,0 +1,97 @@
+#include "ts/transforms.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/check.h"
+
+namespace mdseq {
+
+Sequence MovingAverage(SequenceView seq, size_t w) {
+  MDSEQ_CHECK(w >= 1);
+  MDSEQ_CHECK(seq.size() >= w);
+  const size_t dim = seq.dim();
+  if (w == 1) return seq.Materialize();  // exact identity, no rounding
+  Sequence out(dim);
+  // Running element-wise sum over the window.
+  std::vector<double> sum(dim, 0.0);
+  for (size_t i = 0; i < w; ++i) {
+    for (size_t k = 0; k < dim; ++k) sum[k] += seq[i][k];
+  }
+  std::vector<double> mean(dim);
+  const double inv = 1.0 / static_cast<double>(w);
+  for (size_t i = 0;; ++i) {
+    for (size_t k = 0; k < dim; ++k) mean[k] = sum[k] * inv;
+    out.Append(mean);
+    if (i + w >= seq.size()) break;
+    for (size_t k = 0; k < dim; ++k) {
+      sum[k] += seq[i + w][k] - seq[i][k];
+    }
+  }
+  return out;
+}
+
+Sequence Reverse(SequenceView seq) {
+  Sequence out(seq.dim());
+  for (size_t i = seq.size(); i-- > 0;) out.Append(seq[i]);
+  return out;
+}
+
+Sequence Shift(SequenceView seq, PointView offset) {
+  MDSEQ_CHECK(offset.size() == seq.dim());
+  Sequence out(seq.dim());
+  std::vector<double> p(seq.dim());
+  for (size_t i = 0; i < seq.size(); ++i) {
+    for (size_t k = 0; k < seq.dim(); ++k) p[k] = seq[i][k] + offset[k];
+    out.Append(p);
+  }
+  return out;
+}
+
+Sequence Scale(SequenceView seq, double factor) {
+  Sequence out(seq.dim());
+  std::vector<double> p(seq.dim());
+  for (size_t i = 0; i < seq.size(); ++i) {
+    for (size_t k = 0; k < seq.dim(); ++k) p[k] = seq[i][k] * factor;
+    out.Append(p);
+  }
+  return out;
+}
+
+Sequence ZNormalize(SequenceView seq) {
+  MDSEQ_CHECK(!seq.empty());
+  const size_t dim = seq.dim();
+  const double n = static_cast<double>(seq.size());
+  std::vector<double> mean(dim, 0.0);
+  for (size_t i = 0; i < seq.size(); ++i) {
+    for (size_t k = 0; k < dim; ++k) mean[k] += seq[i][k];
+  }
+  for (size_t k = 0; k < dim; ++k) mean[k] /= n;
+  std::vector<double> stddev(dim, 0.0);
+  for (size_t i = 0; i < seq.size(); ++i) {
+    for (size_t k = 0; k < dim; ++k) {
+      const double d = seq[i][k] - mean[k];
+      stddev[k] += d * d;
+    }
+  }
+  for (size_t k = 0; k < dim; ++k) stddev[k] = std::sqrt(stddev[k] / n);
+
+  Sequence out(dim);
+  std::vector<double> p(dim);
+  for (size_t i = 0; i < seq.size(); ++i) {
+    for (size_t k = 0; k < dim; ++k) {
+      // A (numerically) constant dimension is centered but not divided;
+      // the threshold absorbs the rounding noise of the mean computation.
+      const double effectively_constant =
+          1e-12 * std::max(1.0, std::abs(mean[k]));
+      p[k] = stddev[k] > effectively_constant
+                 ? (seq[i][k] - mean[k]) / stddev[k]
+                 : 0.0;
+    }
+    out.Append(p);
+  }
+  return out;
+}
+
+}  // namespace mdseq

@@ -1,0 +1,38 @@
+#ifndef MDSEQ_TS_TRANSFORMS_H_
+#define MDSEQ_TS_TRANSFORMS_H_
+
+#include <cstddef>
+
+#include "geom/sequence.h"
+
+namespace mdseq {
+
+/// Sequence transformations from the related work (Rafiei et al.'s "safe
+/// linear transformations", Section 2), generalized to multidimensional
+/// sequences. They are useful for issuing transformed queries ("similar
+/// after smoothing", "similar when played backwards") against the same
+/// database.
+
+/// `w`-point moving average: point `i` of the result is the element-wise
+/// mean of points `[i, i+w)`. Requires `w >= 1` and `seq.size() >= w`;
+/// the result has `seq.size() - w + 1` points.
+Sequence MovingAverage(SequenceView seq, size_t w);
+
+/// The sequence with its points in reverse order.
+Sequence Reverse(SequenceView seq);
+
+/// Shifts every point by `offset` (element-wise addition;
+/// `offset.size() == seq.dim()`).
+Sequence Shift(SequenceView seq, PointView offset);
+
+/// Scales every coordinate by `factor`.
+Sequence Scale(SequenceView seq, double factor);
+
+/// Z-normalization per dimension: subtracts the mean and divides by the
+/// standard deviation (numerically constant dimensions map to zero).
+/// Standard preprocessing for amplitude-invariant matching.
+Sequence ZNormalize(SequenceView seq);
+
+}  // namespace mdseq
+
+#endif  // MDSEQ_TS_TRANSFORMS_H_

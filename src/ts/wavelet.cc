@@ -1,0 +1,66 @@
+#include "ts/wavelet.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace mdseq {
+
+namespace {
+
+bool IsPowerOfTwo(size_t n) { return n != 0 && (n & (n - 1)) == 0; }
+
+const double kInvSqrt2 = 1.0 / std::sqrt(2.0);
+
+}  // namespace
+
+std::vector<double> HaarTransform(const std::vector<double>& series) {
+  MDSEQ_CHECK(IsPowerOfTwo(series.size()));
+  std::vector<double> coefficients = series;
+  std::vector<double> scratch(series.size());
+  // Each pass halves the working length: the first half receives the
+  // scaled pairwise averages, the second half the scaled differences.
+  // Ordering: [approximation | detail_level_log2(n) ... detail_level_1],
+  // i.e. coefficients[0] is the (scaled) global average.
+  for (size_t length = series.size(); length > 1; length /= 2) {
+    const size_t half = length / 2;
+    for (size_t i = 0; i < half; ++i) {
+      scratch[i] =
+          (coefficients[2 * i] + coefficients[2 * i + 1]) * kInvSqrt2;
+      scratch[half + i] =
+          (coefficients[2 * i] - coefficients[2 * i + 1]) * kInvSqrt2;
+    }
+    for (size_t i = 0; i < length; ++i) coefficients[i] = scratch[i];
+  }
+  return coefficients;
+}
+
+std::vector<double> InverseHaarTransform(
+    const std::vector<double>& coefficients) {
+  MDSEQ_CHECK(IsPowerOfTwo(coefficients.size()));
+  std::vector<double> series = coefficients;
+  std::vector<double> scratch(coefficients.size());
+  for (size_t length = 2; length <= series.size(); length *= 2) {
+    const size_t half = length / 2;
+    for (size_t i = 0; i < half; ++i) {
+      scratch[2 * i] = (series[i] + series[half + i]) * kInvSqrt2;
+      scratch[2 * i + 1] = (series[i] - series[half + i]) * kInvSqrt2;
+    }
+    for (size_t i = 0; i < length; ++i) series[i] = scratch[i];
+  }
+  return series;
+}
+
+Point HaarFeature(SequenceView series, size_t num_coefficients) {
+  MDSEQ_CHECK(series.dim() == 1);
+  MDSEQ_CHECK(num_coefficients >= 1);
+  MDSEQ_CHECK(num_coefficients <= series.size());
+  std::vector<double> values(series.size());
+  for (size_t i = 0; i < series.size(); ++i) values[i] = series[i][0];
+  const std::vector<double> coefficients = HaarTransform(values);
+  return Point(coefficients.begin(),
+               coefficients.begin() +
+                   static_cast<ptrdiff_t>(num_coefficients));
+}
+
+}  // namespace mdseq

@@ -1,0 +1,35 @@
+#ifndef MDSEQ_TS_WAVELET_H_
+#define MDSEQ_TS_WAVELET_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "geom/point.h"
+#include "geom/sequence.h"
+
+namespace mdseq {
+
+/// Normalized Haar discrete wavelet transform — the second dimensionality
+/// reduction the paper's pre-processing step names ("various dimension
+/// reduction techniques such as DFT or Wavelets", Section 3.4.1).
+///
+/// The orthonormal normalization (averages and differences scaled by
+/// 1/sqrt(2) per level) makes the transform an isometry, so Euclidean
+/// distance on any coefficient prefix lower-bounds the distance on the full
+/// series — the same guarantee DFT features give the F-index.
+///
+/// `series.size()` must be a power of two.
+std::vector<double> HaarTransform(const std::vector<double>& series);
+
+/// Inverse of `HaarTransform`.
+std::vector<double> InverseHaarTransform(
+    const std::vector<double>& coefficients);
+
+/// Maps a 1-d series (power-of-two length) to its first
+/// `num_coefficients` Haar coefficients — the coarse approximation plus
+/// the lowest-resolution details.
+Point HaarFeature(SequenceView series, size_t num_coefficients);
+
+}  // namespace mdseq
+
+#endif  // MDSEQ_TS_WAVELET_H_

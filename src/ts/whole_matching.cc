@@ -1,0 +1,94 @@
+#include "ts/whole_matching.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ts/dft.h"
+#include "ts/paa.h"
+#include "ts/wavelet.h"
+#include "util/check.h"
+
+namespace mdseq {
+
+double WholeSeriesDistance(SequenceView a, SequenceView b) {
+  MDSEQ_CHECK(a.dim() == 1 && b.dim() == 1);
+  MDSEQ_CHECK(a.size() == b.size());
+  double sum = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double diff = a[i][0] - b[i][0];
+    sum += diff * diff;
+  }
+  return std::sqrt(sum);
+}
+
+WholeMatchingIndex::WholeMatchingIndex(size_t series_length,
+                                       size_t num_coefficients,
+                                       Feature feature)
+    : series_length_(series_length),
+      num_coefficients_(num_coefficients),
+      feature_(feature),
+      tree_(feature == Feature::kDft ? 2 * num_coefficients
+                                     : num_coefficients) {
+  MDSEQ_CHECK(series_length >= 1);
+  MDSEQ_CHECK(num_coefficients >= 1);
+  MDSEQ_CHECK(num_coefficients <= series_length);
+  if (feature == Feature::kHaar) {
+    MDSEQ_CHECK((series_length & (series_length - 1)) == 0);
+  }
+  if (feature == Feature::kPaa) {
+    MDSEQ_CHECK(series_length % num_coefficients == 0);
+  }
+}
+
+Point WholeMatchingIndex::FeatureOf(SequenceView series) const {
+  switch (feature_) {
+    case Feature::kDft:
+      return DftFeature(series, num_coefficients_);
+    case Feature::kHaar:
+      return HaarFeature(series, num_coefficients_);
+    case Feature::kPaa: {
+      // Scale by sqrt(frame) so plain Euclidean distance on the stored
+      // features is exactly PaaDistance (a valid lower bound).
+      Point feature = PaaFeature(series, num_coefficients_);
+      const double scale = std::sqrt(
+          static_cast<double>(series_length_ / num_coefficients_));
+      for (double& v : feature) v *= scale;
+      return feature;
+    }
+  }
+  return Point();  // unreachable
+}
+
+size_t WholeMatchingIndex::Add(Sequence series) {
+  MDSEQ_CHECK(series.dim() == 1);
+  MDSEQ_CHECK(series.size() == series_length_);
+  const size_t id = series_.size();
+  tree_.Insert(Mbr::FromPoint(FeatureOf(series.View())), id);
+  series_.push_back(std::move(series));
+  return id;
+}
+
+std::vector<size_t> WholeMatchingIndex::SearchCandidates(
+    SequenceView query, double epsilon) const {
+  MDSEQ_CHECK(query.dim() == 1);
+  MDSEQ_CHECK(query.size() == series_length_);
+  MDSEQ_CHECK(epsilon >= 0.0);
+  std::vector<uint64_t> hits;
+  tree_.RangeSearch(Mbr::FromPoint(FeatureOf(query)), epsilon, &hits);
+  std::vector<size_t> candidates(hits.begin(), hits.end());
+  std::sort(candidates.begin(), candidates.end());
+  return candidates;
+}
+
+std::vector<size_t> WholeMatchingIndex::Search(SequenceView query,
+                                               double epsilon) const {
+  std::vector<size_t> results;
+  for (size_t id : SearchCandidates(query, epsilon)) {
+    if (WholeSeriesDistance(query, series_[id].View()) <= epsilon) {
+      results.push_back(id);
+    }
+  }
+  return results;
+}
+
+}  // namespace mdseq

@@ -1,0 +1,70 @@
+#ifndef MDSEQ_TS_WHOLE_MATCHING_H_
+#define MDSEQ_TS_WHOLE_MATCHING_H_
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "geom/sequence.h"
+#include "index/rstar_tree.h"
+
+namespace mdseq {
+
+/// The F-index of Agrawal, Faloutsos & Swami (FODO 1993) — the related-work
+/// baseline for *whole* matching of equal-length 1-d time series
+/// (Section 2): every series is mapped to the first few DFT coefficients,
+/// the low-dimensional features are indexed in an R-tree variant, and range
+/// queries in feature space produce a candidate set that is verified
+/// exactly. Parseval's theorem makes feature-space distance a lower bound of
+/// series distance, so the candidate set has no false dismissals.
+///
+/// Distances here are *root-sum-square* over the whole series (the classic
+/// formulation), not the paper's mean distance.
+class WholeMatchingIndex {
+ public:
+  /// Which lower-bounding feature the filter indexes. Each is a
+  /// contraction of the series distance, so each guarantees no false
+  /// dismissals; selectivity differs by data (see bench/ablation_features).
+  enum class Feature {
+    kDft,   ///< first DFT coefficients (Agrawal '93); 2x real dimensions
+    kHaar,  ///< first Haar wavelet coefficients; requires power-of-two
+            ///< series length
+    kPaa,   ///< sqrt(frame)-scaled piecewise aggregate means; requires the
+            ///< coefficient count to divide the series length
+  };
+
+  /// `series_length` is the common length of every stored series;
+  /// `num_coefficients` feature coefficients are indexed.
+  WholeMatchingIndex(size_t series_length, size_t num_coefficients,
+                     Feature feature = Feature::kDft);
+
+  /// Adds a 1-d series of exactly `series_length` points; returns its id.
+  size_t Add(Sequence series);
+
+  /// Ids of stored series within Euclidean distance `epsilon` of `query`
+  /// after exact verification, ascending.
+  std::vector<size_t> Search(SequenceView query, double epsilon) const;
+
+  /// Ids surviving the feature-space filter only (superset of `Search`);
+  /// exposed so tests and benchmarks can measure the filter's selectivity.
+  std::vector<size_t> SearchCandidates(SequenceView query,
+                                       double epsilon) const;
+
+  size_t size() const { return series_.size(); }
+
+ private:
+  Point FeatureOf(SequenceView series) const;
+
+  size_t series_length_;
+  size_t num_coefficients_;
+  Feature feature_;
+  RStarTree tree_;
+  std::vector<Sequence> series_;
+};
+
+/// Root-sum-square Euclidean distance between two equal-length 1-d series.
+double WholeSeriesDistance(SequenceView a, SequenceView b);
+
+}  // namespace mdseq
+
+#endif  // MDSEQ_TS_WHOLE_MATCHING_H_

@@ -1,0 +1,39 @@
+#ifndef MDSEQ_UTIL_CHECK_H_
+#define MDSEQ_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+// Precondition checking for a library that does not throw exceptions across
+// its public API. A failed MDSEQ_CHECK prints the failing condition with its
+// source location and aborts; it is meant for programmer errors (dimension
+// mismatches, out-of-range indices), not for recoverable conditions, which
+// are reported through return values instead.
+#define MDSEQ_CHECK(cond)                                                  \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::fprintf(stderr, "MDSEQ_CHECK failed at %s:%d: %s\n", __FILE__,  \
+                   __LINE__, #cond);                                       \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (false)
+
+#define MDSEQ_CHECK_MSG(cond, msg)                                         \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::fprintf(stderr, "MDSEQ_CHECK failed at %s:%d: %s (%s)\n",       \
+                   __FILE__, __LINE__, #cond, msg);                        \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (false)
+
+// Debug-only check: compiled out in release builds so it can guard hot loops.
+#ifdef NDEBUG
+#define MDSEQ_DCHECK(cond) \
+  do {                     \
+  } while (false)
+#else
+#define MDSEQ_DCHECK(cond) MDSEQ_CHECK(cond)
+#endif
+
+#endif  // MDSEQ_UTIL_CHECK_H_

@@ -1,0 +1,57 @@
+#include "util/csv.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include "util/check.h"
+
+namespace mdseq {
+
+CsvWriter::CsvWriter(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void CsvWriter::AddRow(const std::vector<std::string>& cells) {
+  MDSEQ_CHECK(cells.size() == header_.size());
+  rows_.push_back(cells);
+}
+
+void CsvWriter::AddRow(const std::vector<double>& cells) {
+  std::vector<std::string> formatted;
+  formatted.reserve(cells.size());
+  for (double v : cells) formatted.push_back(FormatDouble(v));
+  AddRow(formatted);
+}
+
+std::string CsvWriter::ToString() const {
+  std::string out;
+  auto append_row = [&out](const std::vector<std::string>& cells) {
+    for (size_t i = 0; i < cells.size(); ++i) {
+      if (i > 0) out.push_back(',');
+      out += cells[i];
+    }
+    out.push_back('\n');
+  };
+  append_row(header_);
+  for (const auto& row : rows_) append_row(row);
+  return out;
+}
+
+bool CsvWriter::WriteFile(const std::string& path) const {
+  std::ofstream file(path);
+  if (!file) return false;
+  file << ToString();
+  return static_cast<bool>(file);
+}
+
+std::string FormatDouble(double value) {
+  char buf[64];
+  // %.17g round-trips but is noisy; try increasing precision until the
+  // printed value parses back exactly.
+  for (int precision = 6; precision <= 17; ++precision) {
+    std::snprintf(buf, sizeof(buf), "%.*g", precision, value);
+    if (std::strtod(buf, nullptr) == value) break;
+  }
+  return buf;
+}
+
+}  // namespace mdseq

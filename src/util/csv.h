@@ -1,0 +1,45 @@
+#ifndef MDSEQ_UTIL_CSV_H_
+#define MDSEQ_UTIL_CSV_H_
+
+#include <string>
+#include <vector>
+
+namespace mdseq {
+
+/// Minimal CSV writer used by examples and benchmark harnesses to dump
+/// sequences and experiment results for external plotting.
+///
+/// Values are written unquoted; callers should not pass fields containing
+/// commas or newlines (the data this project emits is purely numeric plus
+/// simple identifiers).
+class CsvWriter {
+ public:
+  /// Starts a document with the given column headers.
+  explicit CsvWriter(std::vector<std::string> header);
+
+  /// Appends one row; the number of cells must match the header width.
+  void AddRow(const std::vector<std::string>& cells);
+
+  /// Convenience overload formatting doubles with full precision.
+  void AddRow(const std::vector<double>& cells);
+
+  /// Serializes the document (header + rows, '\n'-separated).
+  std::string ToString() const;
+
+  /// Writes the document to `path`. Returns false on I/O failure.
+  bool WriteFile(const std::string& path) const;
+
+  /// Number of data rows added so far.
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double compactly (shortest representation that round-trips).
+std::string FormatDouble(double value);
+
+}  // namespace mdseq
+
+#endif  // MDSEQ_UTIL_CSV_H_

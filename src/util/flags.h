@@ -1,0 +1,65 @@
+#ifndef MDSEQ_UTIL_FLAGS_H_
+#define MDSEQ_UTIL_FLAGS_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace mdseq {
+
+/// Tiny `--key=value` command-line parser shared by the benchmark
+/// harnesses and the CLI tool. Non-flag arguments (no leading `--`) are
+/// collected as positionals; a bare `--key` stores "1".
+class Flags {
+ public:
+  Flags(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      const char* arg = argv[i];
+      if (std::strncmp(arg, "--", 2) != 0) {
+        positional_.emplace_back(arg);
+        continue;
+      }
+      const char* eq = std::strchr(arg + 2, '=');
+      if (eq == nullptr) {
+        values_[std::string(arg + 2)] = "1";
+      } else {
+        values_[std::string(arg + 2, eq)] = std::string(eq + 1);
+      }
+    }
+  }
+
+  bool Has(const std::string& key) const { return values_.count(key) > 0; }
+
+  size_t GetSize(const std::string& key, size_t default_value) const {
+    auto it = values_.find(key);
+    return it == values_.end()
+               ? default_value
+               : static_cast<size_t>(
+                     std::strtoull(it->second.c_str(), nullptr, 10));
+  }
+
+  double GetDouble(const std::string& key, double default_value) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? default_value
+                               : std::strtod(it->second.c_str(), nullptr);
+  }
+
+  std::string GetString(const std::string& key,
+                        const std::string& default_value) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? default_value : it->second;
+  }
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace mdseq
+
+#endif  // MDSEQ_UTIL_FLAGS_H_

@@ -1,0 +1,139 @@
+// Stress tests: randomized mixed workloads (inserts, removals, queries)
+// checked against brute-force models on every step batch. These catch
+// structural bugs that single-operation unit tests miss — box maintenance
+// after condensation, tombstone bookkeeping under interleaved queries.
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "baseline/sequential_scan.h"
+#include "core/search.h"
+#include "gen/fractal.h"
+#include "gen/query_workload.h"
+#include "index/rstar_tree.h"
+#include "util/random.h"
+
+namespace mdseq {
+namespace {
+
+Mbr RandomBox(Rng* rng, double max_side = 0.08) {
+  Point low{rng->Uniform(), rng->Uniform(), rng->Uniform()};
+  Point high = low;
+  for (double& v : high) v += rng->Uniform() * max_side;
+  return Mbr(std::move(low), std::move(high));
+}
+
+// The brute-force model: a map from value to box, mirroring live entries.
+class RTreeChurnTest : public ::testing::TestWithParam<RTreeVariant> {};
+
+TEST_P(RTreeChurnTest, MixedWorkloadAgreesWithModel) {
+  Rng rng(404);
+  RStarTree tree(3, RStarTreeOptions::ForFanout(8, GetParam()));
+  std::map<uint64_t, Mbr> model;
+  uint64_t next_value = 0;
+
+  for (int step = 0; step < 2000; ++step) {
+    const double action = rng.Uniform();
+    if (action < 0.55 || model.empty()) {
+      const Mbr box = RandomBox(&rng);
+      tree.Insert(box, next_value);
+      model.emplace(next_value, box);
+      ++next_value;
+    } else if (action < 0.85) {
+      // Remove a random live entry.
+      auto it = model.begin();
+      std::advance(it, static_cast<ptrdiff_t>(rng.UniformInt(
+                           0, static_cast<int64_t>(model.size()) - 1)));
+      ASSERT_TRUE(tree.Remove(it->second, it->first)) << "step " << step;
+      model.erase(it);
+    } else {
+      // Query and compare.
+      const Mbr query = RandomBox(&rng, 0.3);
+      const double epsilon = rng.Uniform() * 0.2;
+      const double eps2 = epsilon * epsilon;
+      std::vector<uint64_t> expected;
+      for (const auto& [value, box] : model) {
+        if (query.MinDist2(box) <= eps2) expected.push_back(value);
+      }
+      std::vector<uint64_t> actual;
+      tree.RangeSearch(query, epsilon, &actual);
+      std::sort(actual.begin(), actual.end());
+      ASSERT_EQ(actual, expected) << "step " << step;
+    }
+    if (step % 500 == 499) {
+      ASSERT_TRUE(tree.CheckInvariants()) << "step " << step;
+      ASSERT_EQ(tree.size(), model.size());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Variants, RTreeChurnTest,
+                         ::testing::Values(RTreeVariant::kRStar,
+                                           RTreeVariant::kGuttmanQuadratic,
+                                           RTreeVariant::kGuttmanLinear),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case RTreeVariant::kRStar:
+                               return "RStar";
+                             case RTreeVariant::kGuttmanQuadratic:
+                               return "GuttmanQuadratic";
+                             case RTreeVariant::kGuttmanLinear:
+                               return "GuttmanLinear";
+                           }
+                           return "Unknown";
+                         });
+
+TEST(DatabaseChurnTest, AddRemoveSearchStaysConsistentWithScan) {
+  Rng rng(405);
+  SequenceDatabase db(3);
+  std::set<size_t> live;
+  std::vector<Sequence> by_id;  // all ever added, indexed by id
+  const FractalOptions gen;
+  QueryWorkloadOptions query_options;
+  query_options.min_length = 16;
+  query_options.max_length = 48;
+  query_options.noise = 0.05;
+  SimilaritySearch engine(&db);
+  SequentialScan scan(&db);
+
+  for (int step = 0; step < 60; ++step) {
+    const double action = rng.Uniform();
+    if (action < 0.5 || live.size() < 5) {
+      const size_t length = static_cast<size_t>(rng.UniformInt(56, 200));
+      by_id.push_back(GenerateFractalSequence(length, gen, &rng));
+      const size_t id = db.Add(by_id.back());
+      ASSERT_EQ(id, by_id.size() - 1);
+      live.insert(id);
+    } else if (action < 0.7) {
+      auto it = live.begin();
+      std::advance(it, static_cast<ptrdiff_t>(rng.UniformInt(
+                           0, static_cast<int64_t>(live.size()) - 1)));
+      ASSERT_TRUE(db.Remove(*it));
+      live.erase(it);
+    } else {
+      // Query: the engine must still dominate the exact scan over the
+      // live set (no false dismissal) and never return tombstones.
+      std::vector<Sequence> corpus;
+      for (size_t id : live) corpus.push_back(db.sequence(id));
+      const Sequence query = DrawQuery(corpus, query_options, &rng);
+      const double epsilon = rng.Uniform(0.05, 0.3);
+      const SearchResult result = engine.Search(query.View(), epsilon);
+      std::set<size_t> matched;
+      for (const SequenceMatch& m : result.matches) {
+        EXPECT_TRUE(live.count(m.sequence_id)) << "tombstone returned";
+        matched.insert(m.sequence_id);
+      }
+      for (const ScanMatch& truth : scan.Search(query.View(), epsilon)) {
+        EXPECT_TRUE(matched.count(truth.sequence_id))
+            << "step " << step << " dismissed " << truth.sequence_id;
+      }
+    }
+  }
+  EXPECT_EQ(db.num_live_sequences(), live.size());
+}
+
+}  // namespace
+}  // namespace mdseq

@@ -1,0 +1,156 @@
+#include "core/database.h"
+
+#include <gtest/gtest.h>
+
+#include "baseline/sequential_scan.h"
+#include "core/search.h"
+#include "gen/fractal.h"
+#include "util/random.h"
+
+namespace mdseq {
+namespace {
+
+TEST(DatabaseTest, PackUnpackRoundTrips) {
+  const uint64_t packed = SequenceDatabase::PackEntry(12345, 678);
+  EXPECT_EQ(SequenceDatabase::UnpackSequenceId(packed), 12345u);
+  EXPECT_EQ(SequenceDatabase::UnpackMbrOrdinal(packed), 678u);
+  const uint64_t extremes = SequenceDatabase::PackEntry(0xffffffffu,
+                                                        0xffffffffu);
+  EXPECT_EQ(SequenceDatabase::UnpackSequenceId(extremes), 0xffffffffu);
+  EXPECT_EQ(SequenceDatabase::UnpackMbrOrdinal(extremes), 0xffffffffu);
+}
+
+TEST(DatabaseTest, AddAssignsDenseIds) {
+  Rng rng(1);
+  SequenceDatabase db(3);
+  for (size_t i = 0; i < 5; ++i) {
+    const Sequence s = GenerateFractalSequence(64, FractalOptions(), &rng);
+    EXPECT_EQ(db.Add(s), i);
+  }
+  EXPECT_EQ(db.num_sequences(), 5u);
+}
+
+TEST(DatabaseTest, TotalsAccumulate) {
+  Rng rng(2);
+  SequenceDatabase db(3);
+  size_t expected_points = 0;
+  size_t expected_mbrs = 0;
+  for (size_t length : {60u, 100u, 256u}) {
+    const Sequence s = GenerateFractalSequence(length, FractalOptions(),
+                                               &rng);
+    const size_t id = db.Add(s);
+    expected_points += length;
+    expected_mbrs += db.partition(id).size();
+  }
+  EXPECT_EQ(db.total_points(), expected_points);
+  EXPECT_EQ(db.total_mbrs(), expected_mbrs);
+}
+
+TEST(DatabaseTest, StoredSequenceAndPartitionAgree) {
+  Rng rng(3);
+  SequenceDatabase db(3);
+  const Sequence s = GenerateFractalSequence(200, FractalOptions(), &rng);
+  const size_t id = db.Add(s);
+  const Sequence& stored = db.sequence(id);
+  EXPECT_EQ(stored.size(), s.size());
+  const Partition& partition = db.partition(id);
+  ASSERT_FALSE(partition.empty());
+  EXPECT_EQ(partition.back().end, stored.size());
+  // Every partition MBR bounds exactly its slice of the stored sequence.
+  for (const SequenceMbr& piece : partition) {
+    EXPECT_EQ(piece.mbr,
+              stored.Slice(piece.begin, piece.end).BoundingBox());
+  }
+}
+
+TEST(DatabaseTest, IndexHoldsEveryPartitionMbr) {
+  Rng rng(4);
+  SequenceDatabase db(3);
+  for (int i = 0; i < 10; ++i) {
+    db.Add(GenerateFractalSequence(128, FractalOptions(), &rng));
+  }
+  // Query the whole space: every (sequence, ordinal) pair must come back.
+  std::vector<uint64_t> values;
+  db.index().RangeSearch(Mbr(Point{0.0, 0.0, 0.0}, Point{1.0, 1.0, 1.0}),
+                         0.0, &values);
+  EXPECT_EQ(values.size(), db.total_mbrs());
+  for (uint64_t value : values) {
+    const size_t id = SequenceDatabase::UnpackSequenceId(value);
+    const size_t ordinal = SequenceDatabase::UnpackMbrOrdinal(value);
+    ASSERT_LT(id, db.num_sequences());
+    ASSERT_LT(ordinal, db.partition(id).size());
+  }
+}
+
+TEST(DatabaseTest, PartitioningOptionsAreApplied) {
+  Rng rng(5);
+  DatabaseOptions options;
+  options.partitioning.max_points = 8;
+  SequenceDatabase db(3, options);
+  const size_t id =
+      db.Add(GenerateFractalSequence(100, FractalOptions(), &rng));
+  for (const SequenceMbr& piece : db.partition(id)) {
+    EXPECT_LE(piece.count(), 8u);
+  }
+}
+
+TEST(DatabaseTest, RemoveTombstonesAndShrinksIndex) {
+  Rng rng(7);
+  SequenceDatabase db(3);
+  std::vector<size_t> ids;
+  for (int i = 0; i < 8; ++i) {
+    ids.push_back(db.Add(GenerateFractalSequence(80, FractalOptions(),
+                                                 &rng)));
+  }
+  const size_t mbrs_before = db.total_mbrs();
+  const size_t removed_mbrs = db.partition(3).size();
+  ASSERT_TRUE(db.Remove(3));
+  EXPECT_TRUE(db.is_removed(3));
+  EXPECT_FALSE(db.Remove(3));  // second removal reports failure
+  EXPECT_EQ(db.num_sequences(), 8u);  // ids are never reused
+  EXPECT_EQ(db.num_live_sequences(), 7u);
+  EXPECT_EQ(db.total_mbrs(), mbrs_before - removed_mbrs);
+  // No index payload mentions the removed id anymore.
+  std::vector<uint64_t> values;
+  db.index().RangeSearch(Mbr(Point{0.0, 0.0, 0.0}, Point{1.0, 1.0, 1.0}),
+                         2.0, &values);
+  for (uint64_t value : values) {
+    EXPECT_NE(SequenceDatabase::UnpackSequenceId(value), 3u);
+  }
+}
+
+TEST(DatabaseTest, SearchNeverReturnsRemovedSequences) {
+  Rng rng(8);
+  SequenceDatabase db(3);
+  std::vector<Sequence> corpus;
+  for (int i = 0; i < 20; ++i) {
+    corpus.push_back(GenerateFractalSequence(100, FractalOptions(), &rng));
+    db.Add(corpus.back());
+  }
+  // Query extracted from sequence 11, then remove it.
+  const Sequence query = corpus[11].Slice(10, 50).Materialize();
+  ASSERT_TRUE(db.Remove(11));
+  SimilaritySearch engine(&db);
+  const SearchResult result = engine.SearchVerified(query.View(), 0.2);
+  for (const SequenceMatch& match : result.matches) {
+    EXPECT_NE(match.sequence_id, 11u);
+  }
+  // Top-k over the shrunken database also skips the tombstone.
+  const auto nearest = engine.SearchNearest(query.View(), 19);
+  EXPECT_EQ(nearest.size(), 19u);
+  for (const SequenceMatch& match : nearest) {
+    EXPECT_NE(match.sequence_id, 11u);
+  }
+}
+
+TEST(DatabaseTest, LinearBackendWorks) {
+  Rng rng(6);
+  DatabaseOptions options;
+  options.index_kind = DatabaseOptions::IndexKind::kLinear;
+  SequenceDatabase db(3, options);
+  db.Add(GenerateFractalSequence(64, FractalOptions(), &rng));
+  EXPECT_GT(db.total_mbrs(), 0u);
+}
+
+}  // namespace
+}  // namespace mdseq

@@ -1,0 +1,123 @@
+// Failure-injection tests: programmer errors must trip MDSEQ_CHECK with a
+// diagnostic instead of corrupting state. These use gtest death tests, so
+// each EXPECT_DEATH runs the statement in a forked child.
+
+#include <gtest/gtest.h>
+
+#include "core/database.h"
+#include "core/distance.h"
+#include "core/partitioning.h"
+#include "core/search.h"
+#include "geom/mbr.h"
+#include "geom/sequence.h"
+#include "geom/space_filling.h"
+#include "index/rstar_tree.h"
+#include "ts/sliding_window.h"
+#include "util/random.h"
+
+namespace mdseq {
+namespace {
+
+using DeathTest = ::testing::Test;
+
+TEST(DeathTest, MbrRejectsInvertedCorners) {
+  EXPECT_DEATH(Mbr(Point{1.0, 1.0}, Point{0.0, 0.0}), "MDSEQ_CHECK");
+}
+
+TEST(DeathTest, MbrRejectsDimensionMismatch) {
+  Mbr box(Point{0.0, 0.0}, Point{1.0, 1.0});
+  EXPECT_DEATH(box.Expand(Point{0.5, 0.5, 0.5}), "MDSEQ_CHECK");
+}
+
+TEST(DeathTest, MbrRejectsNegativeInflate) {
+  Mbr box(Point{0.0, 0.0}, Point{1.0, 1.0});
+  EXPECT_DEATH(box.Inflate(-0.1), "MDSEQ_CHECK");
+}
+
+TEST(DeathTest, SequenceRejectsWrongPointDimension) {
+  Sequence s(3);
+  EXPECT_DEATH(s.Append(Point{0.1, 0.2}), "MDSEQ_CHECK");
+}
+
+TEST(DeathTest, SequenceRejectsOutOfRangeSlice) {
+  const Sequence s(1, {Point{0.0}, Point{1.0}});
+  EXPECT_DEATH(s.Slice(1, 3), "MDSEQ_CHECK");
+}
+
+TEST(DeathTest, MeanDistanceRejectsLengthMismatch) {
+  const Sequence a(1, {Point{0.0}});
+  const Sequence b(1, {Point{0.0}, Point{1.0}});
+  EXPECT_DEATH(MeanDistance(a.View(), b.View()), "MDSEQ_CHECK");
+}
+
+TEST(DeathTest, SequenceDistanceRejectsEmptyInput) {
+  const Sequence a(1);
+  const Sequence b(1, {Point{0.0}});
+  EXPECT_DEATH(SequenceDistance(a.View(), b.View()), "MDSEQ_CHECK");
+}
+
+TEST(DeathTest, DatabaseRejectsWrongDimSequence) {
+  SequenceDatabase db(3);
+  EXPECT_DEATH(db.Add(Sequence::FromScalars({1.0, 2.0})), "MDSEQ_CHECK");
+}
+
+TEST(DeathTest, DatabaseRejectsEmptySequence) {
+  SequenceDatabase db(3);
+  EXPECT_DEATH(db.Add(Sequence(3)), "MDSEQ_CHECK");
+}
+
+TEST(DeathTest, DatabaseRejectsOutOfRangeId) {
+  Rng rng(1);
+  SequenceDatabase db(1);
+  db.Add(Sequence::FromScalars({0.5, 0.6}));
+  EXPECT_DEATH(db.sequence(5), "MDSEQ_CHECK");
+}
+
+TEST(DeathTest, SearchRejectsNegativeEpsilon) {
+  SequenceDatabase db(1);
+  db.Add(Sequence::FromScalars({0.5, 0.6}));
+  SimilaritySearch engine(&db);
+  const Sequence query = Sequence::FromScalars({0.5});
+  EXPECT_DEATH(engine.Search(query.View(), -0.1), "MDSEQ_CHECK");
+}
+
+TEST(DeathTest, SearchRejectsDimensionMismatchQuery) {
+  SequenceDatabase db(3);
+  Sequence s(3, {Point{0.1, 0.2, 0.3}});
+  db.Add(s);
+  SimilaritySearch engine(&db);
+  const Sequence query = Sequence::FromScalars({0.5});
+  EXPECT_DEATH(engine.Search(query.View(), 0.1), "MDSEQ_CHECK");
+}
+
+TEST(DeathTest, RStarTreeRejectsInvalidOptions) {
+  RStarTreeOptions options;
+  options.max_entries = 8;
+  options.min_entries = 5;  // > max/2
+  EXPECT_DEATH(RStarTree(2, options), "MDSEQ_CHECK");
+}
+
+TEST(DeathTest, RStarTreeRejectsInvalidQueryBox) {
+  RStarTree tree(2);
+  std::vector<uint64_t> out;
+  EXPECT_DEATH(tree.RangeSearch(Mbr(2), 0.1, &out), "MDSEQ_CHECK");
+}
+
+TEST(DeathTest, PartitioningRejectsZeroMaxPoints) {
+  const Sequence s(1, {Point{0.0}});
+  PartitioningOptions options;
+  options.max_points = 0;
+  EXPECT_DEATH(PartitionSequence(s.View(), options), "MDSEQ_CHECK");
+}
+
+TEST(DeathTest, SlidingWindowRejectsMultidimensionalInput) {
+  const Sequence s(2, {Point{0.0, 0.0}, Point{1.0, 1.0}});
+  EXPECT_DEATH(SlidingWindowEmbed(s.View(), 2), "MDSEQ_CHECK");
+}
+
+TEST(DeathTest, HilbertRejectsOutOfRangeCoordinates) {
+  EXPECT_DEATH(HilbertIndex(2, 4, 0), "MDSEQ_CHECK");
+}
+
+}  // namespace
+}  // namespace mdseq

@@ -1,0 +1,173 @@
+#include "core/distance.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "gen/walk.h"
+#include "geom/sequence.h"
+#include "util/random.h"
+
+namespace mdseq {
+namespace {
+
+Sequence RandomSequence(size_t length, size_t dim, Rng* rng) {
+  Sequence s(dim);
+  Point p(dim);
+  for (size_t i = 0; i < length; ++i) {
+    for (size_t k = 0; k < dim; ++k) p[k] = rng->Uniform();
+    s.Append(p);
+  }
+  return s;
+}
+
+TEST(MeanDistanceTest, IdenticalSequencesHaveZeroDistance) {
+  Rng rng(1);
+  const Sequence s = RandomSequence(10, 3, &rng);
+  EXPECT_DOUBLE_EQ(MeanDistance(s.View(), s.View()), 0.0);
+}
+
+TEST(MeanDistanceTest, SinglePointPair) {
+  const Sequence a(2, {Point{0.0, 0.0}});
+  const Sequence b(2, {Point{3.0, 4.0}});
+  EXPECT_DOUBLE_EQ(MeanDistance(a.View(), b.View()), 5.0);
+}
+
+TEST(MeanDistanceTest, AveragesPointDistances) {
+  // Distances per index: 1 and 3 -> mean 2.
+  const Sequence a(1, {Point{0.0}, Point{0.0}});
+  const Sequence b(1, {Point{1.0}, Point{3.0}});
+  EXPECT_DOUBLE_EQ(MeanDistance(a.View(), b.View()), 2.0);
+}
+
+TEST(MeanDistanceTest, SymmetricAndTriangleFriendly) {
+  Rng rng(2);
+  for (int trial = 0; trial < 50; ++trial) {
+    const Sequence a = RandomSequence(8, 3, &rng);
+    const Sequence b = RandomSequence(8, 3, &rng);
+    const Sequence c = RandomSequence(8, 3, &rng);
+    const double ab = MeanDistance(a.View(), b.View());
+    const double ba = MeanDistance(b.View(), a.View());
+    EXPECT_DOUBLE_EQ(ab, ba);
+    // Dmean is a metric on fixed-length sequences (mean of metrics).
+    EXPECT_LE(MeanDistance(a.View(), c.View()),
+              ab + MeanDistance(b.View(), c.View()) + 1e-12);
+  }
+}
+
+TEST(WindowDistanceProfileTest, ProfileLengthAndValues) {
+  const Sequence q(1, {Point{0.0}, Point{0.0}});
+  const Sequence s(1, {Point{0.0}, Point{1.0}, Point{2.0}, Point{3.0}});
+  const std::vector<double> profile = WindowDistanceProfile(q.View(),
+                                                            s.View());
+  ASSERT_EQ(profile.size(), 3u);
+  EXPECT_DOUBLE_EQ(profile[0], 0.5);   // |0|,|1| -> 0.5
+  EXPECT_DOUBLE_EQ(profile[1], 1.5);   // |1|,|2|
+  EXPECT_DOUBLE_EQ(profile[2], 2.5);   // |2|,|3|
+}
+
+TEST(WindowDistanceProfileTest, EqualLengthYieldsSingleWindow) {
+  Rng rng(3);
+  const Sequence a = RandomSequence(6, 2, &rng);
+  const Sequence b = RandomSequence(6, 2, &rng);
+  const std::vector<double> profile = WindowDistanceProfile(a.View(),
+                                                            b.View());
+  ASSERT_EQ(profile.size(), 1u);
+  EXPECT_DOUBLE_EQ(profile[0], MeanDistance(a.View(), b.View()));
+}
+
+TEST(SequenceDistanceTest, EqualLengthEqualsMeanDistance) {
+  Rng rng(4);
+  const Sequence a = RandomSequence(12, 3, &rng);
+  const Sequence b = RandomSequence(12, 3, &rng);
+  EXPECT_DOUBLE_EQ(SequenceDistance(a.View(), b.View()),
+                   MeanDistance(a.View(), b.View()));
+}
+
+TEST(SequenceDistanceTest, FindsEmbeddedSubsequence) {
+  Rng rng(5);
+  const Sequence data = RandomSequence(50, 3, &rng);
+  const Sequence query = data.Slice(17, 29).Materialize();
+  EXPECT_DOUBLE_EQ(SequenceDistance(query.View(), data.View()), 0.0);
+}
+
+TEST(SequenceDistanceTest, SymmetricInArgumentOrder) {
+  Rng rng(6);
+  const Sequence a = RandomSequence(20, 2, &rng);
+  const Sequence b = RandomSequence(50, 2, &rng);
+  EXPECT_DOUBLE_EQ(SequenceDistance(a.View(), b.View()),
+                   SequenceDistance(b.View(), a.View()));
+}
+
+TEST(SequenceDistanceTest, IsMinimumOverProfile) {
+  Rng rng(7);
+  const Sequence q = RandomSequence(10, 3, &rng);
+  const Sequence s = RandomSequence(40, 3, &rng);
+  const std::vector<double> profile = WindowDistanceProfile(q.View(),
+                                                            s.View());
+  double expected = profile[0];
+  for (double v : profile) expected = std::min(expected, v);
+  EXPECT_DOUBLE_EQ(SequenceDistance(q.View(), s.View()), expected);
+}
+
+// Example 1 of the paper: the *sum* of distances would rank the 9-point
+// close pair as more distant than the 3-point far pair; the mean distance
+// fixes the semantics.
+TEST(SequenceDistanceTest, PaperExampleOneMeanVersusSum) {
+  Sequence s1(2);
+  Sequence s2(2);
+  for (int i = 0; i < 9; ++i) {
+    const double x = 0.1 * i;
+    s1.Append(Point{x, 0.50});
+    s2.Append(Point{x, 0.61});  // constant small gap of 0.11
+  }
+  Sequence s3(2);
+  Sequence s4(2);
+  for (int i = 0; i < 3; ++i) {
+    const double x = 0.3 * i;
+    s3.Append(Point{x, 0.2});
+    s4.Append(Point{x, 0.5});  // constant large gap of 0.3
+  }
+  // The mean distance ranks the visually closer pair (S1, S2) first ...
+  const double close_pair = MeanDistance(s1.View(), s2.View());
+  const double far_pair = MeanDistance(s3.View(), s4.View());
+  EXPECT_LT(close_pair, far_pair);
+  // ... while the sum of distances (9 * 0.11 vs 3 * 0.3) inverts the
+  // ranking, which is exactly the paper's argument against using it.
+  EXPECT_GT(close_pair * 9, far_pair * 3);
+}
+
+TEST(SimilarityMappingTest, RoundTripsAndBounds) {
+  EXPECT_DOUBLE_EQ(DistanceToSimilarity(0.0, 3), 1.0);
+  EXPECT_DOUBLE_EQ(DistanceToSimilarity(std::sqrt(3.0), 3), 0.0);
+  for (double d : {0.0, 0.3, 0.9, 1.5}) {
+    const double sim = DistanceToSimilarity(d, 3);
+    EXPECT_NEAR(SimilarityToDistance(sim, 3), d, 1e-12);
+  }
+}
+
+TEST(SimilarityMappingTest, MonotoneDecreasingInDistance) {
+  double prev = 2.0;
+  for (double d = 0.0; d <= 1.7; d += 0.1) {
+    const double sim = DistanceToSimilarity(d, 3);
+    EXPECT_LT(sim, prev);
+    prev = sim;
+  }
+}
+
+TEST(RandomWalkTest, StaysInUnitCube) {
+  Rng rng(8);
+  WalkOptions options;
+  options.dim = 3;
+  options.step_stddev = 0.2;
+  const Sequence walk = GenerateRandomWalk(200, options, &rng);
+  for (size_t i = 0; i < walk.size(); ++i) {
+    for (size_t k = 0; k < 3; ++k) {
+      EXPECT_GE(walk[i][k], 0.0);
+      EXPECT_LT(walk[i][k], 1.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mdseq

@@ -1,0 +1,121 @@
+#include <algorithm>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "core/mbr_distance.h"
+#include "core/partitioning.h"
+#include "gen/fractal.h"
+#include "gen/video.h"
+#include "util/random.h"
+
+namespace mdseq {
+namespace {
+
+Mbr StripeBox(double lo) {
+  return Mbr(Point{lo, 0.0}, Point{lo + 0.01, 1.0});
+}
+
+Partition MakeStripes(const std::vector<std::pair<double, size_t>>& pieces) {
+  Partition target;
+  size_t at = 0;
+  for (const auto& [lo, count] : pieces) {
+    target.push_back(SequenceMbr{StripeBox(lo), at, at + count});
+    at += count;
+  }
+  return target;
+}
+
+TEST(QualifyingDnormWindowsTest, ReturnsMinimumAndAllQualifyingSpans) {
+  // Probe at x<=0.1; stripes at distances 0.1, 0.2, 0.5 with counts 6,6,6.
+  const Mbr probe(Point{0.0, 0.0}, Point{0.1, 1.0});
+  const Partition target =
+      MakeStripes({{0.2, 6}, {0.3, 6}, {0.6, 6}});
+  const std::vector<double> dmbr = ComputeMbrDistances(probe, target);
+
+  std::vector<NormalizedDistanceResult> windows;
+  // probe_count 9 around j=1 (distances D = 0.1, 0.2, 0.5):
+  //  - LD k=1: (6*0.2 + 3*0.5)/9 = 0.3, span [6, 15)
+  //  - LD k=0 is invalid (cumulative count reaches 9 already at l=1=j,
+  //    so j would be partially counted)
+  //  - RD q=1: (3*0.1 + 6*0.2)/9 = 0.1667, span [3, 12)
+  //  - RD q=2 is invalid (the partial MBR would be j itself)
+  const double best =
+      QualifyingDnormWindows(9, target, 1, dmbr, 0.2, &windows);
+  EXPECT_NEAR(best, (3 * 0.1 + 6 * 0.2) / 9.0, 1e-12);
+  // Only the RD window qualifies at eps = 0.2.
+  ASSERT_EQ(windows.size(), 1u);
+  EXPECT_NEAR(windows[0].distance, best, 1e-12);
+  EXPECT_EQ(windows[0].point_begin, 3u);
+  EXPECT_EQ(windows[0].point_end, 12u);
+}
+
+TEST(QualifyingDnormWindowsTest, NoQualifyingWindows) {
+  const Mbr probe(Point{0.0, 0.0}, Point{0.1, 1.0});
+  const Partition target = MakeStripes({{0.5, 4}, {0.7, 4}});
+  const std::vector<double> dmbr = ComputeMbrDistances(probe, target);
+  std::vector<NormalizedDistanceResult> windows;
+  const double best =
+      QualifyingDnormWindows(6, target, 0, dmbr, 0.1, &windows);
+  EXPECT_GT(best, 0.1);
+  EXPECT_TRUE(windows.empty());
+}
+
+TEST(QualifyingDnormWindowsTest, MinimumAgreesWithNormalizedDistance) {
+  Rng rng(77);
+  for (int trial = 0; trial < 40; ++trial) {
+    const Sequence data =
+        GenerateFractalSequence(120, FractalOptions(), &rng);
+    PartitioningOptions part;
+    part.max_points = 12;
+    const Partition target = PartitionSequence(data.View(), part);
+    const Sequence probe_seq =
+        GenerateFractalSequence(30, FractalOptions(), &rng);
+    const Mbr probe = probe_seq.BoundingBox();
+    const std::vector<double> dmbr = ComputeMbrDistances(probe, target);
+    const size_t probe_count =
+        static_cast<size_t>(rng.UniformInt(1, 40));
+    for (size_t j = 0; j < target.size(); ++j) {
+      std::vector<NormalizedDistanceResult> windows;
+      const double via_windows = QualifyingDnormWindows(
+          probe_count, target, j, dmbr, /*epsilon=*/0.25, &windows);
+      const NormalizedDistanceResult reference =
+          NormalizedDistance(probe_count, target, j, dmbr);
+      EXPECT_DOUBLE_EQ(via_windows, reference.distance);
+      // The best window is among the qualifying ones whenever it qualifies.
+      if (reference.distance <= 0.25) {
+        bool found = false;
+        for (const NormalizedDistanceResult& w : windows) {
+          if (w.distance == reference.distance &&
+              w.point_begin == reference.point_begin &&
+              w.point_end == reference.point_end) {
+            found = true;
+          }
+        }
+        EXPECT_TRUE(found);
+      } else {
+        EXPECT_TRUE(windows.empty());
+      }
+    }
+  }
+}
+
+TEST(QualifyingDnormWindowsTest, SpansStayInsideSequence) {
+  Rng rng(78);
+  const Sequence data = GenerateVideoSequence(200, VideoOptions(), &rng);
+  PartitioningOptions part;
+  const Partition target = PartitionSequence(data.View(), part);
+  const Mbr probe(Point{0.2, 0.2, 0.2}, Point{0.4, 0.4, 0.4});
+  const std::vector<double> dmbr = ComputeMbrDistances(probe, target);
+  for (size_t j = 0; j < target.size(); ++j) {
+    std::vector<NormalizedDistanceResult> windows;
+    QualifyingDnormWindows(64, target, j, dmbr, 1.0, &windows);
+    for (const NormalizedDistanceResult& w : windows) {
+      EXPECT_LT(w.point_begin, w.point_end);
+      EXPECT_LE(w.point_end, data.size());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mdseq

@@ -1,0 +1,116 @@
+#include "ts/dtw.h"
+
+#include <gtest/gtest.h>
+
+#include "core/distance.h"
+#include "gen/fractal.h"
+#include "ts/transforms.h"
+#include "util/random.h"
+
+namespace mdseq {
+namespace {
+
+TEST(DtwTest, IdenticalSequencesHaveZeroDistance) {
+  Rng rng(1);
+  const Sequence s = GenerateFractalSequence(30, FractalOptions(), &rng);
+  EXPECT_DOUBLE_EQ(DtwDistance(s.View(), s.View()), 0.0);
+}
+
+TEST(DtwTest, SinglePointPair) {
+  const Sequence a(2, {Point{0.0, 0.0}});
+  const Sequence b(2, {Point{3.0, 4.0}});
+  EXPECT_DOUBLE_EQ(DtwDistance(a.View(), b.View()), 5.0);
+}
+
+TEST(DtwTest, HandComputedOneDimensionalCase) {
+  // a = [0, 1], b = [0, 1, 1]: path (1,1)(2,2)(2,3) has cost 0.
+  const Sequence a = Sequence::FromScalars({0.0, 1.0});
+  const Sequence b = Sequence::FromScalars({0.0, 1.0, 1.0});
+  EXPECT_DOUBLE_EQ(DtwDistance(a.View(), b.View()), 0.0);
+
+  // a = [0, 2], b = [1]: every point aligns to 1 -> |0-1| + |2-1| = 2.
+  const Sequence c = Sequence::FromScalars({0.0, 2.0});
+  const Sequence d = Sequence::FromScalars({1.0});
+  EXPECT_DOUBLE_EQ(DtwDistance(c.View(), d.View()), 2.0);
+}
+
+TEST(DtwTest, SymmetricInArguments) {
+  Rng rng(2);
+  const Sequence a = GenerateFractalSequence(20, FractalOptions(), &rng);
+  const Sequence b = GenerateFractalSequence(33, FractalOptions(), &rng);
+  EXPECT_DOUBLE_EQ(DtwDistance(a.View(), b.View()),
+                   DtwDistance(b.View(), a.View()));
+}
+
+TEST(DtwTest, NeverExceedsDiagonalAlignmentForEqualLengths) {
+  Rng rng(3);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Sequence a = GenerateFractalSequence(25, FractalOptions(), &rng);
+    const Sequence b = GenerateFractalSequence(25, FractalOptions(), &rng);
+    // The diagonal path is one admissible warping path with cost
+    // k * Dmean, so DTW can only be smaller.
+    EXPECT_LE(DtwDistance(a.View(), b.View()),
+              25.0 * MeanDistance(a.View(), b.View()) + 1e-9);
+  }
+}
+
+TEST(DtwTest, AbsorbsLocalTimeShifts) {
+  // The property warping exists for: a stretched copy stays near-zero in
+  // DTW while the lock-step mean distance is large.
+  Sequence original(1);
+  for (int i = 0; i < 32; ++i) {
+    const double v = (i / 8) % 2 == 0 ? 0.2 : 0.8;  // square wave
+    original.Append(PointView(&v, 1));
+  }
+  // Stretch: duplicate every 4th point, then trim to the same length.
+  Sequence stretched(1);
+  for (size_t i = 0; i < original.size() && stretched.size() < 32; ++i) {
+    stretched.Append(original[i]);
+    if (i % 4 == 0 && stretched.size() < 32) stretched.Append(original[i]);
+  }
+  const double dtw = DtwDistance(original.View(), stretched.View());
+  const double lockstep =
+      32.0 * MeanDistance(original.View(), stretched.View());
+  EXPECT_LT(dtw, 0.5 * lockstep);
+}
+
+TEST(DtwTest, BandConstraintOnlyIncreasesCost) {
+  Rng rng(4);
+  const Sequence a = GenerateFractalSequence(40, FractalOptions(), &rng);
+  const Sequence b = GenerateFractalSequence(40, FractalOptions(), &rng);
+  const double unconstrained = DtwDistance(a.View(), b.View());
+  double previous = unconstrained;
+  for (size_t window : {20u, 5u, 1u, 0u}) {
+    DtwOptions options;
+    options.window = window;
+    const double banded = DtwDistance(a.View(), b.View(), options);
+    EXPECT_GE(banded, unconstrained - 1e-12);
+    EXPECT_GE(banded, previous - 1e-9);  // tighter band, higher cost
+    previous = banded;
+  }
+  // Zero band on equal lengths = the diagonal path exactly.
+  DtwOptions diagonal;
+  diagonal.window = 0;
+  EXPECT_NEAR(DtwDistance(a.View(), b.View(), diagonal),
+              40.0 * MeanDistance(a.View(), b.View()), 1e-9);
+}
+
+TEST(DtwTest, ReversalInvariance) {
+  // DTW is invariant under reversing both sequences.
+  Rng rng(5);
+  const Sequence a = GenerateFractalSequence(15, FractalOptions(), &rng);
+  const Sequence b = GenerateFractalSequence(22, FractalOptions(), &rng);
+  EXPECT_NEAR(DtwDistance(a.View(), b.View()),
+              DtwDistance(Reverse(a.View()).View(),
+                          Reverse(b.View()).View()),
+              1e-9);
+}
+
+TEST(DtwTest, NormalizedVariantDividesByPathBound) {
+  const Sequence a = Sequence::FromScalars({0.0, 2.0});
+  const Sequence b = Sequence::FromScalars({1.0});
+  EXPECT_DOUBLE_EQ(NormalizedDtwDistance(a.View(), b.View()), 2.0 / 3.0);
+}
+
+}  // namespace
+}  // namespace mdseq

@@ -1,0 +1,131 @@
+// Cross-configuration property suite: the no-false-dismissal guarantee and
+// the result-consistency invariants must hold for every combination of data
+// kind, index backend, partitioning granularity, and phase-3 bound.
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "baseline/sequential_scan.h"
+#include "core/search.h"
+#include "eval/experiment.h"
+#include "gen/query_workload.h"
+
+namespace mdseq {
+namespace {
+
+struct EngineConfig {
+  DataKind kind;
+  DatabaseOptions::IndexKind index;
+  size_t max_points;
+  bool composite;
+  uint64_t seed;
+};
+
+std::string ConfigName(const ::testing::TestParamInfo<EngineConfig>& info) {
+  const EngineConfig& c = info.param;
+  std::string name =
+      c.kind == DataKind::kSynthetic ? "synthetic" : "video";
+  switch (c.index) {
+    case DatabaseOptions::IndexKind::kRStarTree:
+      name += "Rstar";
+      break;
+    case DatabaseOptions::IndexKind::kGuttmanQuadratic:
+      name += "GuttmanQ";
+      break;
+    case DatabaseOptions::IndexKind::kGuttmanLinear:
+      name += "GuttmanL";
+      break;
+    case DatabaseOptions::IndexKind::kLinear:
+      name += "Flat";
+      break;
+  }
+  name += "Max" + std::to_string(c.max_points);
+  name += c.composite ? "Composite" : "Pairwise";
+  return name;
+}
+
+class EngineConfigTest : public ::testing::TestWithParam<EngineConfig> {};
+
+TEST_P(EngineConfigTest, NoFalseDismissalAndConsistency) {
+  const EngineConfig& config = GetParam();
+
+  WorkloadConfig workload_config;
+  workload_config.kind = config.kind;
+  workload_config.num_sequences = 60;
+  workload_config.min_length = 56;
+  workload_config.max_length = 200;
+  workload_config.num_queries = 4;
+  workload_config.query.min_length = 16;
+  workload_config.query.max_length = 64;
+  workload_config.query.noise = 0.03;
+  workload_config.database.index_kind = config.index;
+  workload_config.database.partitioning.max_points = config.max_points;
+  workload_config.seed = config.seed;
+  const Workload workload = BuildWorkload(workload_config);
+
+  SearchOptions search_options;
+  search_options.composite_bound = config.composite;
+  const SimilaritySearch engine(workload.database.get(), search_options);
+  const SequentialScan scan(workload.database.get());
+
+  for (const Sequence& query : workload.queries) {
+    for (double epsilon : {0.05, 0.25}) {
+      const SearchResult result = engine.Search(query.View(), epsilon);
+      // Candidate and match lists are sorted, unique, and nested.
+      std::set<size_t> candidates(result.candidates.begin(),
+                                  result.candidates.end());
+      ASSERT_EQ(candidates.size(), result.candidates.size());
+      std::set<size_t> matched;
+      for (const SequenceMatch& m : result.matches) {
+        EXPECT_TRUE(candidates.count(m.sequence_id));
+        EXPECT_TRUE(matched.insert(m.sequence_id).second);
+        EXPECT_FALSE(m.solution_interval.empty());
+        EXPECT_LE(m.min_dnorm, epsilon);
+      }
+      // The guarantee under test: every truly similar sequence survives
+      // both pruning phases, in every configuration.
+      for (const ScanMatch& truth : scan.Search(query.View(), epsilon)) {
+        EXPECT_TRUE(matched.count(truth.sequence_id))
+            << ConfigName({GetParam(), 0}) << " dismissed sequence "
+            << truth.sequence_id << " at eps " << epsilon;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllConfigurations, EngineConfigTest,
+    ::testing::Values(
+        EngineConfig{DataKind::kSynthetic,
+                     DatabaseOptions::IndexKind::kRStarTree, 64, false, 1},
+        EngineConfig{DataKind::kSynthetic,
+                     DatabaseOptions::IndexKind::kRStarTree, 64, true, 2},
+        EngineConfig{DataKind::kSynthetic,
+                     DatabaseOptions::IndexKind::kGuttmanQuadratic, 64,
+                     false, 3},
+        EngineConfig{DataKind::kSynthetic,
+                     DatabaseOptions::IndexKind::kGuttmanLinear, 64, false,
+                     4},
+        EngineConfig{DataKind::kSynthetic,
+                     DatabaseOptions::IndexKind::kLinear, 64, false, 5},
+        EngineConfig{DataKind::kSynthetic,
+                     DatabaseOptions::IndexKind::kRStarTree, 8, false, 6},
+        EngineConfig{DataKind::kSynthetic,
+                     DatabaseOptions::IndexKind::kRStarTree, 8, true, 7},
+        EngineConfig{DataKind::kVideo,
+                     DatabaseOptions::IndexKind::kRStarTree, 64, false, 8},
+        EngineConfig{DataKind::kVideo,
+                     DatabaseOptions::IndexKind::kRStarTree, 64, true, 9},
+        EngineConfig{DataKind::kVideo,
+                     DatabaseOptions::IndexKind::kGuttmanQuadratic, 32,
+                     false, 10},
+        EngineConfig{DataKind::kVideo, DatabaseOptions::IndexKind::kLinear,
+                     16, true, 11},
+        EngineConfig{DataKind::kVideo,
+                     DatabaseOptions::IndexKind::kRStarTree, 128, false,
+                     12}),
+    ConfigName);
+
+}  // namespace
+}  // namespace mdseq

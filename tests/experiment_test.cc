@@ -1,0 +1,144 @@
+#include "eval/experiment.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+namespace mdseq {
+namespace {
+
+WorkloadConfig SmallConfig(DataKind kind) {
+  WorkloadConfig config;
+  config.kind = kind;
+  config.num_sequences = 40;
+  config.min_length = 56;
+  config.max_length = 150;
+  config.num_queries = 3;
+  config.query.min_length = 20;
+  config.query.max_length = 50;
+  config.seed = 9;
+  return config;
+}
+
+TEST(BuildWorkloadTest, SyntheticShapes) {
+  const WorkloadConfig config = SmallConfig(DataKind::kSynthetic);
+  const Workload workload = BuildWorkload(config);
+  EXPECT_EQ(workload.database->num_sequences(), 40u);
+  EXPECT_EQ(workload.queries.size(), 3u);
+  for (size_t id = 0; id < 40; ++id) {
+    const size_t length = workload.database->sequence(id).size();
+    EXPECT_GE(length, 56u);
+    EXPECT_LE(length, 150u);
+  }
+}
+
+TEST(BuildWorkloadTest, DeterministicForSameSeed) {
+  const WorkloadConfig config = SmallConfig(DataKind::kSynthetic);
+  const Workload a = BuildWorkload(config);
+  const Workload b = BuildWorkload(config);
+  ASSERT_EQ(a.database->num_sequences(), b.database->num_sequences());
+  for (size_t id = 0; id < a.database->num_sequences(); ++id) {
+    EXPECT_EQ(a.database->sequence(id).data(),
+              b.database->sequence(id).data());
+  }
+  for (size_t i = 0; i < a.queries.size(); ++i) {
+    EXPECT_EQ(a.queries[i].data(), b.queries[i].data());
+  }
+}
+
+TEST(PaperEpsilonsTest, TableTwoGrid) {
+  const std::vector<double> eps = PaperEpsilons();
+  ASSERT_EQ(eps.size(), 10u);
+  EXPECT_DOUBLE_EQ(eps.front(), 0.05);
+  EXPECT_DOUBLE_EQ(eps.back(), 0.50);
+}
+
+TEST(RunThresholdSweepTest, ProducesConsistentRows) {
+  const Workload workload = BuildWorkload(SmallConfig(DataKind::kVideo));
+  SweepOptions options;
+  options.measure_time = false;
+  const std::vector<double> epsilons = {0.05, 0.2, 0.5};
+  const std::vector<SweepRow> rows = RunThresholdSweep(
+      *workload.database, workload.queries, epsilons, options);
+  ASSERT_EQ(rows.size(), 3u);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const SweepRow& row = rows[i];
+    EXPECT_DOUBLE_EQ(row.epsilon, epsilons[i]);
+    EXPECT_GE(row.pr_dmbr, 0.0);
+    EXPECT_LE(row.pr_dmbr, 1.0);
+    // Dnorm pruning is at least as strong as Dmbr pruning.
+    EXPECT_GE(row.pr_dnorm, row.pr_dmbr - 1e-12);
+    EXPECT_GE(row.recall, 0.0);
+    EXPECT_LE(row.recall, 1.0);
+    // Candidates can never undercut the relevant count (no false
+    // dismissal), and matches never exceed candidates.
+    EXPECT_GE(row.avg_candidates, row.avg_relevant - 1e-9);
+    EXPECT_LE(row.avg_matches, row.avg_candidates + 1e-9);
+  }
+  // Larger thresholds keep at least as many sequences.
+  EXPECT_LE(rows[0].avg_candidates, rows[2].avg_candidates + 1e-9);
+}
+
+TEST(RunThresholdSweepTest, HandlesQueriesLongerThanDataSequences) {
+  // Long queries (Definition 3 swaps the sliding side) must flow through
+  // the whole evaluation pipeline without dismissals or crashes.
+  WorkloadConfig config = SmallConfig(DataKind::kSynthetic);
+  config.min_length = 56;
+  config.max_length = 80;  // short data sequences
+  const Workload workload = BuildWorkload(config);
+  // Queries longer than every data sequence: stored sequences glued
+  // together (DrawQuery clamps to the source length, so build by hand).
+  std::vector<Sequence> long_queries;
+  for (size_t q = 0; q + 1 < 4; ++q) {
+    Sequence query(3);
+    query.Extend(workload.database->sequence(q).View());
+    query.Extend(workload.database->sequence(q + 1).View());
+    ASSERT_GT(query.size(), 80u);
+    long_queries.push_back(std::move(query));
+  }
+  SweepOptions options;
+  options.measure_time = false;
+  const std::vector<SweepRow> rows = RunThresholdSweep(
+      *workload.database, long_queries, {0.1, 0.4}, options);
+  for (const SweepRow& row : rows) {
+    EXPECT_GE(row.avg_candidates, row.avg_relevant - 1e-9);
+    EXPECT_GE(row.avg_matches, row.avg_relevant - 1e-9);
+    EXPECT_GE(row.recall, 0.99);  // long-query intervals are whole sequences
+  }
+}
+
+TEST(WriteSweepCsvTest, WritesAllColumns) {
+  const Workload workload = BuildWorkload(SmallConfig(DataKind::kSynthetic));
+  SweepOptions options;
+  options.measure_time = false;
+  const std::vector<SweepRow> rows = RunThresholdSweep(
+      *workload.database, workload.queries, {0.1}, options);
+  const std::string path = testing::TempDir() + "/sweep.csv";
+  ASSERT_TRUE(WriteSweepCsv(path, rows));
+  std::ifstream in(path);
+  std::string header;
+  ASSERT_TRUE(static_cast<bool>(std::getline(in, header)));
+  EXPECT_NE(header.find("epsilon"), std::string::npos);
+  EXPECT_NE(header.find("pr_dnorm"), std::string::npos);
+  EXPECT_NE(header.find("avg_search_ms"), std::string::npos);
+  std::string row;
+  EXPECT_TRUE(static_cast<bool>(std::getline(in, row)));
+  std::remove(path.c_str());
+}
+
+TEST(RunThresholdSweepTest, TimeMeasurementFillsRatios) {
+  const Workload workload = BuildWorkload(SmallConfig(DataKind::kSynthetic));
+  SweepOptions options;
+  options.measure_time = true;
+  options.evaluate_intervals = false;
+  const std::vector<SweepRow> rows = RunThresholdSweep(
+      *workload.database, workload.queries, {0.1}, options);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_GT(rows[0].avg_scan_ms, 0.0);
+  EXPECT_GT(rows[0].avg_search_ms, 0.0);
+  EXPECT_GT(rows[0].time_ratio, 0.0);
+}
+
+}  // namespace
+}  // namespace mdseq

@@ -1,0 +1,106 @@
+#include "ts/frm.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "gen/walk.h"
+#include "util/random.h"
+
+namespace mdseq {
+namespace {
+
+Sequence Walk(size_t length, Rng* rng) {
+  WalkOptions options;
+  options.step_stddev = 0.02;
+  return GenerateRandomWalk(length, options, rng);
+}
+
+TEST(MinSubsequenceDistanceTest, ZeroForContainedSubsequence) {
+  Rng rng(1);
+  const Sequence data = Walk(100, &rng);
+  const Sequence query = data.Slice(20, 50).Materialize();
+  EXPECT_DOUBLE_EQ(MinSubsequenceDistance(query.View(), data.View()), 0.0);
+}
+
+TEST(MinSubsequenceDistanceTest, SingleAlignment) {
+  const Sequence data = Sequence::FromScalars({0.0, 1.0});
+  const Sequence query = Sequence::FromScalars({1.0, 1.0});
+  EXPECT_DOUBLE_EQ(MinSubsequenceDistance(query.View(), data.View()), 1.0);
+}
+
+TEST(FrmIndexTest, FindsEmbeddedSubsequences) {
+  Rng rng(2);
+  FrmIndex index(/*window=*/16, /*num_coefficients=*/3);
+  std::vector<Sequence> stored;
+  for (int i = 0; i < 40; ++i) {
+    stored.push_back(Walk(150, &rng));
+    index.Add(stored[i]);
+  }
+  EXPECT_GT(index.total_mbrs(), 0u);
+  for (int trial = 0; trial < 10; ++trial) {
+    const size_t id = static_cast<size_t>(rng.UniformInt(0, 39));
+    const size_t offset = static_cast<size_t>(rng.UniformInt(0, 100));
+    const Sequence query =
+        stored[id].Slice(offset, offset + 48).Materialize();
+    const std::vector<size_t> hits = index.Search(query.View(), 1e-9);
+    EXPECT_TRUE(std::find(hits.begin(), hits.end(), id) != hits.end())
+        << "trial " << trial;
+  }
+}
+
+TEST(FrmIndexTest, NoFalseDismissalAgainstBruteForce) {
+  Rng rng(3);
+  FrmIndex index(8, 2);
+  std::vector<Sequence> stored;
+  for (int i = 0; i < 60; ++i) {
+    stored.push_back(Walk(120, &rng));
+    index.Add(stored[i]);
+  }
+  for (int trial = 0; trial < 5; ++trial) {
+    const Sequence query = Walk(32, &rng);
+    for (double epsilon : {0.05, 0.2, 0.6}) {
+      std::vector<size_t> expected;
+      for (size_t id = 0; id < stored.size(); ++id) {
+        if (MinSubsequenceDistance(query.View(), stored[id].View()) <=
+            epsilon) {
+          expected.push_back(id);
+        }
+      }
+      EXPECT_EQ(index.Search(query.View(), epsilon), expected)
+          << "eps " << epsilon;
+      // The filter keeps a superset of the answers.
+      const std::vector<size_t> candidates =
+          index.SearchCandidates(query.View(), epsilon);
+      for (size_t id : expected) {
+        EXPECT_TRUE(std::find(candidates.begin(), candidates.end(), id) !=
+                    candidates.end());
+      }
+    }
+  }
+}
+
+TEST(FrmIndexTest, FilterPrunesAtTightThresholds) {
+  Rng rng(4);
+  FrmIndex index(16, 3);
+  for (int i = 0; i < 100; ++i) index.Add(Walk(150, &rng));
+  const Sequence query = Walk(64, &rng);
+  const std::vector<size_t> candidates =
+      index.SearchCandidates(query.View(), 0.05);
+  EXPECT_LT(candidates.size(), 60u);
+}
+
+TEST(FrmIndexTest, QueriesShorterThanStoredSeriesOnly) {
+  Rng rng(5);
+  FrmIndex index(8, 2);
+  index.Add(Walk(20, &rng));   // short series
+  index.Add(Walk(200, &rng));  // long series
+  const Sequence query = Walk(50, &rng);
+  // A 50-point query can only ever match inside the 200-point series; the
+  // 20-point series must be skipped (never crash) during verification.
+  const std::vector<size_t> hits = index.Search(query.View(), 10.0);
+  for (size_t id : hits) EXPECT_EQ(id, 1u);
+}
+
+}  // namespace
+}  // namespace mdseq

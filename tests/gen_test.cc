@@ -1,0 +1,220 @@
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "gen/fractal.h"
+#include "gen/query_workload.h"
+#include "gen/video.h"
+#include "gen/walk.h"
+#include "util/random.h"
+
+namespace mdseq {
+namespace {
+
+TEST(FractalTest, GeneratesRequestedLengthAndDim) {
+  Rng rng(1);
+  FractalOptions options;
+  for (size_t length : {1u, 2u, 3u, 57u, 512u}) {
+    const Sequence s = GenerateFractalSequence(length, options, &rng);
+    EXPECT_EQ(s.size(), length);
+    EXPECT_EQ(s.dim(), options.dim);
+  }
+}
+
+TEST(FractalTest, PointsStayInUnitCube) {
+  Rng rng(2);
+  FractalOptions options;
+  options.dev_max = 0.9;  // extreme amplitude still clamps
+  const Sequence s = GenerateFractalSequence(300, options, &rng);
+  for (size_t i = 0; i < s.size(); ++i) {
+    for (size_t k = 0; k < s.dim(); ++k) {
+      EXPECT_GE(s[i][k], 0.0);
+      EXPECT_LT(s[i][k], 1.0);
+    }
+  }
+}
+
+TEST(FractalTest, DeterministicGivenSeed) {
+  FractalOptions options;
+  Rng a(7);
+  Rng b(7);
+  const Sequence sa = GenerateFractalSequence(100, options, &a);
+  const Sequence sb = GenerateFractalSequence(100, options, &b);
+  EXPECT_EQ(sa.data(), sb.data());
+}
+
+TEST(FractalTest, TrailIsLocallySmooth) {
+  // Midpoint displacement with decaying dev yields small consecutive steps
+  // relative to the sequence's overall extent.
+  Rng rng(3);
+  FractalOptions options;
+  const Sequence s = GenerateFractalSequence(256, options, &rng);
+  double max_step = 0.0;
+  for (size_t i = 1; i < s.size(); ++i) {
+    max_step = std::max(max_step, PointDistance(s[i - 1], s[i]));
+  }
+  const Mbr box = s.BoundingBox();
+  double diag = 0.0;
+  for (size_t k = 0; k < 3; ++k) diag += box.Side(k) * box.Side(k);
+  diag = std::sqrt(diag);
+  EXPECT_LT(max_step, std::max(0.2, diag));
+}
+
+TEST(FractalTest, LiteralPaperDisplacementAlsoWorks) {
+  Rng rng(4);
+  FractalOptions options;
+  options.centered_displacement = false;
+  const Sequence s = GenerateFractalSequence(128, options, &rng);
+  EXPECT_EQ(s.size(), 128u);
+  for (size_t i = 0; i < s.size(); ++i) {
+    EXPECT_LT(s[i][0], 1.0);
+    EXPECT_GE(s[i][0], 0.0);
+  }
+}
+
+TEST(VideoTest, StreamHasRequestedFramesAndCoveringShots) {
+  Rng rng(5);
+  const VideoOptions options;
+  const VideoStream stream = GenerateVideoStream(200, options, &rng);
+  EXPECT_EQ(stream.frames.size(), 200u);
+  ASSERT_FALSE(stream.shots.empty());
+  EXPECT_EQ(stream.shots.front().first, 0u);
+  EXPECT_EQ(stream.shots.back().second, 200u);
+  for (size_t i = 1; i < stream.shots.size(); ++i) {
+    EXPECT_EQ(stream.shots[i - 1].second, stream.shots[i].first);
+    EXPECT_LT(stream.shots[i].first, stream.shots[i].second);
+  }
+}
+
+TEST(VideoTest, FramesHaveRightRasterSize) {
+  Rng rng(6);
+  VideoOptions options;
+  options.frame_width = 8;
+  options.frame_height = 6;
+  const VideoStream stream = GenerateVideoStream(10, options, &rng);
+  for (const Frame& frame : stream.frames) {
+    EXPECT_EQ(frame.width, 8u);
+    EXPECT_EQ(frame.height, 6u);
+    EXPECT_EQ(frame.rgb.size(), 3u * 8u * 6u);
+  }
+}
+
+TEST(VideoTest, FeatureExtractionAveragesPixels) {
+  Frame frame;
+  frame.width = 2;
+  frame.height = 1;
+  frame.rgb = {0, 255, 0, 255, 255, 0};  // pixels (0,255,0) and (255,255,0)
+  const Point feature = ExtractFrameFeature(frame);
+  ASSERT_EQ(feature.size(), 3u);
+  EXPECT_NEAR(feature[0], 0.5, 1e-9);
+  EXPECT_NEAR(feature[1], 1.0, 1e-9);
+  EXPECT_NEAR(feature[2], 0.0, 1e-9);
+}
+
+TEST(VideoTest, FeatureSequenceMatchesFrameCountAndRange) {
+  Rng rng(7);
+  const Sequence s = GenerateVideoSequence(150, VideoOptions(), &rng);
+  EXPECT_EQ(s.size(), 150u);
+  EXPECT_EQ(s.dim(), 3u);
+  for (size_t i = 0; i < s.size(); ++i) {
+    for (size_t k = 0; k < 3; ++k) {
+      EXPECT_GE(s[i][k], 0.0);
+      EXPECT_LE(s[i][k], 1.0);
+    }
+  }
+}
+
+TEST(VideoTest, FramesWithinShotAreCloserThanAcrossCuts) {
+  // The property the paper relies on (Section 4.2.2): frames in the same
+  // shot have very similar features.
+  Rng rng(8);
+  VideoOptions options;
+  options.dissolve_probability = 0.0;  // hard cuts only, crisp shot borders
+  const VideoStream stream = GenerateVideoStream(300, options, &rng);
+  const Sequence features = ExtractColorFeatures(stream);
+
+  double intra = 0.0;
+  size_t intra_count = 0;
+  for (const auto& [begin, end] : stream.shots) {
+    for (size_t i = begin + 1; i < end; ++i) {
+      intra += PointDistance(features[i - 1], features[i]);
+      ++intra_count;
+    }
+  }
+  double inter = 0.0;
+  size_t inter_count = 0;
+  for (size_t s = 1; s < stream.shots.size(); ++s) {
+    const size_t boundary = stream.shots[s].first;
+    inter += PointDistance(features[boundary - 1], features[boundary]);
+    ++inter_count;
+  }
+  ASSERT_GT(intra_count, 0u);
+  ASSERT_GT(inter_count, 0u);
+  EXPECT_LT(intra / intra_count, 0.3 * (inter / inter_count));
+}
+
+TEST(QueryWorkloadTest, LengthWithinBoundsAndClampedToSource) {
+  Rng rng(9);
+  std::vector<Sequence> corpus;
+  corpus.push_back(GenerateFractalSequence(40, FractalOptions(), &rng));
+  QueryWorkloadOptions options;
+  options.min_length = 30;
+  options.max_length = 100;  // longer than the 40-point source
+  for (int trial = 0; trial < 10; ++trial) {
+    const Sequence q = DrawQuery(corpus, options, &rng);
+    EXPECT_GE(q.size(), 30u);
+    EXPECT_LE(q.size(), 40u);
+  }
+}
+
+TEST(QueryWorkloadTest, QueriesStayNearSourceData) {
+  Rng rng(10);
+  std::vector<Sequence> corpus;
+  corpus.push_back(GenerateFractalSequence(200, FractalOptions(), &rng));
+  QueryWorkloadOptions options;
+  options.noise = 0.02;
+  for (int trial = 0; trial < 5; ++trial) {
+    const Sequence q = DrawQuery(corpus, options, &rng);
+    // The query must be within noise * sqrt(3) of some alignment.
+    double best = 1e9;
+    const SequenceView data = corpus[0].View();
+    for (size_t off = 0; off + q.size() <= data.size(); ++off) {
+      double sum = 0.0;
+      for (size_t i = 0; i < q.size(); ++i) {
+        sum += PointDistance(q[i], data[off + i]);
+      }
+      best = std::min(best, sum / q.size());
+    }
+    EXPECT_LE(best, 0.02 * std::sqrt(3.0) + 1e-9);
+  }
+}
+
+TEST(QueryWorkloadTest, DrawQueriesReturnsRequestedCount) {
+  Rng rng(11);
+  std::vector<Sequence> corpus;
+  corpus.push_back(GenerateFractalSequence(100, FractalOptions(), &rng));
+  const std::vector<Sequence> queries =
+      DrawQueries(corpus, 7, QueryWorkloadOptions(), &rng);
+  EXPECT_EQ(queries.size(), 7u);
+}
+
+TEST(RngTest, DeterminismAndRanges) {
+  Rng a(5);
+  Rng b(5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.Uniform(), b.Uniform());
+  }
+  Rng r(6);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = r.Uniform(2.0, 3.0);
+    EXPECT_GE(u, 2.0);
+    EXPECT_LT(u, 3.0);
+    const int64_t n = r.UniformInt(-2, 2);
+    EXPECT_GE(n, -2);
+    EXPECT_LE(n, 2);
+  }
+}
+
+}  // namespace
+}  // namespace mdseq

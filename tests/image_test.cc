@@ -1,0 +1,85 @@
+#include "gen/image.h"
+
+#include <gtest/gtest.h>
+
+#include "geom/point.h"
+#include "util/random.h"
+
+namespace mdseq {
+namespace {
+
+TEST(ImageTest, GridShapeAndColorRange) {
+  Rng rng(1);
+  ImageOptions options;
+  options.side = 16;
+  const RegionGrid grid = SynthesizeImage(options, &rng);
+  EXPECT_EQ(grid.side, 16u);
+  ASSERT_EQ(grid.colors.size(), 256u);
+  for (const Point& color : grid.colors) {
+    ASSERT_EQ(color.size(), 3u);
+    for (double c : color) {
+      EXPECT_GE(c, 0.0);
+      EXPECT_LE(c, 1.0);
+    }
+  }
+}
+
+TEST(ImageTest, DeterministicGivenSeed) {
+  const ImageOptions options;
+  Rng a(9);
+  Rng b(9);
+  const RegionGrid ga = SynthesizeImage(options, &a);
+  const RegionGrid gb = SynthesizeImage(options, &b);
+  EXPECT_EQ(ga.colors, gb.colors);
+}
+
+TEST(ImageTest, NeighboringRegionsCorrelate) {
+  // Soft blobs make adjacent regions more similar than far-apart ones.
+  Rng rng(2);
+  ImageOptions options;
+  options.side = 8;
+  double adjacent = 0.0;
+  double distant = 0.0;
+  int samples = 0;
+  for (int trial = 0; trial < 20; ++trial) {
+    const RegionGrid grid = SynthesizeImage(options, &rng);
+    for (size_t y = 0; y < 8; ++y) {
+      for (size_t x = 0; x + 1 < 8; ++x) {
+        adjacent += PointDistance(grid.at(x, y), grid.at(x + 1, y));
+        distant += PointDistance(grid.at(x, y),
+                                 grid.at(7 - x, 7 - y));
+        ++samples;
+      }
+    }
+  }
+  EXPECT_LT(adjacent / samples, distant / samples);
+}
+
+TEST(ImageTest, SequenceFollowsTheChosenCurve) {
+  Rng rng(3);
+  const ImageOptions options;
+  const RegionGrid grid = SynthesizeImage(options, &rng);
+  for (CurveKind curve :
+       {CurveKind::kRowMajor, CurveKind::kMorton, CurveKind::kHilbert}) {
+    const Sequence seq = RegionsToSequence(grid, curve);
+    ASSERT_EQ(seq.size(), grid.colors.size());
+    const auto order = GridOrder(static_cast<uint32_t>(grid.side), curve);
+    for (size_t i = 0; i < order.size(); ++i) {
+      const Point& expected = grid.at(order[i].first, order[i].second);
+      for (size_t c = 0; c < 3; ++c) {
+        EXPECT_DOUBLE_EQ(seq[i][c], expected[c]);
+      }
+    }
+  }
+}
+
+TEST(ImageTest, GenerateImageSequenceConvenience) {
+  Rng rng(4);
+  const Sequence seq =
+      GenerateImageSequence(ImageOptions(), CurveKind::kHilbert, &rng);
+  EXPECT_EQ(seq.size(), 64u);
+  EXPECT_EQ(seq.dim(), 3u);
+}
+
+}  // namespace
+}  // namespace mdseq

@@ -1,0 +1,180 @@
+// Independent-reference tests: key quantities recomputed with a second,
+// deliberately different implementation strategy, so a shared bug in the
+// production code and its unit tests cannot hide.
+
+#include <algorithm>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "core/distance.h"
+#include "core/mbr_distance.h"
+#include "core/partitioning.h"
+#include "gen/fractal.h"
+#include "gen/video.h"
+#include "index/rstar_tree.h"
+#include "util/random.h"
+
+namespace mdseq {
+namespace {
+
+// Reference Dnorm: enumerate every contiguous MBR window [k, l] of the
+// target, every feasible split of the probe count into a left-partial,
+// fully-counted middle (which must contain j), and right-partial — the
+// brute-force reading of Definition 5 restricted to windows with a single
+// partial member at one end (LD/RD). Deliberately structured differently
+// from VisitDnormWindows.
+double ReferenceDnorm(size_t probe_count, const Partition& target, size_t j,
+                      const std::vector<double>& dmbr) {
+  if (target[j].count() >= probe_count) return dmbr[j];
+  size_t total = 0;
+  for (const SequenceMbr& piece : target) total += piece.count();
+  if (total < probe_count) {
+    double weighted = 0.0;
+    for (size_t t = 0; t < target.size(); ++t) {
+      weighted += dmbr[t] * static_cast<double>(target[t].count());
+    }
+    return weighted / static_cast<double>(total);
+  }
+
+  double best = std::numeric_limits<double>::infinity();
+  for (size_t k = 0; k < target.size(); ++k) {
+    for (size_t l = k; l < target.size(); ++l) {
+      if (j < k || j > l) continue;  // window must contain j
+      // Try partial-on-right (LD): members k..l-1 full, l partial.
+      {
+        size_t full = 0;
+        double weighted = 0.0;
+        for (size_t t = k; t < l; ++t) {
+          full += target[t].count();
+          weighted += dmbr[t] * static_cast<double>(target[t].count());
+        }
+        if (j < l && full < probe_count &&
+            probe_count <= full + target[l].count()) {
+          const size_t partial = probe_count - full;
+          const double value =
+              (weighted + dmbr[l] * static_cast<double>(partial)) /
+              static_cast<double>(probe_count);
+          best = std::min(best, value);
+        }
+      }
+      // Try partial-on-left (RD): members k+1..l full, k partial.
+      {
+        size_t full = 0;
+        double weighted = 0.0;
+        for (size_t t = k + 1; t <= l; ++t) {
+          full += target[t].count();
+          weighted += dmbr[t] * static_cast<double>(target[t].count());
+        }
+        if (j > k && full < probe_count &&
+            probe_count <= full + target[k].count()) {
+          const size_t partial = probe_count - full;
+          const double value =
+              (weighted + dmbr[k] * static_cast<double>(partial)) /
+              static_cast<double>(probe_count);
+          best = std::min(best, value);
+        }
+      }
+    }
+  }
+  return best;
+}
+
+TEST(IndependentReferenceTest, DnormAgreesWithBruteForceEnumeration) {
+  Rng rng(2024);
+  for (int trial = 0; trial < 60; ++trial) {
+    const bool video = rng.Bernoulli(0.5);
+    const size_t length = static_cast<size_t>(rng.UniformInt(8, 200));
+    const Sequence data =
+        video ? GenerateVideoSequence(length, VideoOptions(), &rng)
+              : GenerateFractalSequence(length, FractalOptions(), &rng);
+    PartitioningOptions part;
+    part.max_points = static_cast<size_t>(rng.UniformInt(4, 32));
+    const Partition target = PartitionSequence(data.View(), part);
+
+    const Sequence probe_seq =
+        GenerateFractalSequence(20, FractalOptions(), &rng);
+    const Mbr probe = probe_seq.BoundingBox();
+    const std::vector<double> dmbr = ComputeMbrDistances(probe, target);
+    const size_t probe_count =
+        static_cast<size_t>(rng.UniformInt(1, 80));
+
+    for (size_t j = 0; j < target.size(); ++j) {
+      const double reference =
+          ReferenceDnorm(probe_count, target, j, dmbr);
+      const double actual =
+          NormalizedDistance(probe_count, target, j, dmbr).distance;
+      ASSERT_NEAR(actual, reference, 1e-12)
+          << "trial " << trial << " j " << j << " probe " << probe_count;
+    }
+  }
+}
+
+// Reference SequenceDistance computed point-by-point without the profile
+// machinery (nested loops, no subviews).
+double ReferenceSequenceDistance(const Sequence& a, const Sequence& b) {
+  const Sequence& shorter = a.size() <= b.size() ? a : b;
+  const Sequence& longer = a.size() <= b.size() ? b : a;
+  double best = std::numeric_limits<double>::infinity();
+  for (size_t offset = 0; offset + shorter.size() <= longer.size();
+       ++offset) {
+    double sum = 0.0;
+    for (size_t i = 0; i < shorter.size(); ++i) {
+      double square = 0.0;
+      for (size_t k = 0; k < shorter.dim(); ++k) {
+        const double diff = shorter[i][k] - longer[offset + i][k];
+        square += diff * diff;
+      }
+      sum += std::sqrt(square);
+    }
+    best = std::min(best, sum / static_cast<double>(shorter.size()));
+  }
+  return best;
+}
+
+TEST(IndependentReferenceTest, SequenceDistanceAgrees) {
+  Rng rng(2025);
+  for (int trial = 0; trial < 30; ++trial) {
+    const Sequence a = GenerateFractalSequence(
+        static_cast<size_t>(rng.UniformInt(1, 60)), FractalOptions(), &rng);
+    const Sequence b = GenerateFractalSequence(
+        static_cast<size_t>(rng.UniformInt(1, 60)), FractalOptions(), &rng);
+    EXPECT_NEAR(SequenceDistance(a.View(), b.View()),
+                ReferenceSequenceDistance(a, b), 1e-12);
+  }
+}
+
+// kNN with extended (box) queries, against brute force — the point-query
+// case is covered elsewhere.
+TEST(IndependentReferenceTest, BoxQueryNearestNeighborsAgree) {
+  Rng rng(2026);
+  RStarTree tree(2, RStarTreeOptions::ForFanout(8));
+  std::vector<IndexEntry> reference;
+  for (uint64_t i = 0; i < 300; ++i) {
+    Point low{rng.Uniform(), rng.Uniform()};
+    Point high = low;
+    for (double& v : high) v += 0.05 * rng.Uniform();
+    Mbr box(low, high);
+    tree.Insert(box, i);
+    reference.push_back(IndexEntry{box, i});
+  }
+  for (int trial = 0; trial < 10; ++trial) {
+    Point low{rng.Uniform(), rng.Uniform()};
+    Point high = low;
+    for (double& v : high) v += 0.2 * rng.Uniform();
+    const Mbr query(low, high);
+    const auto nearest = tree.NearestNeighbors(query, 7);
+    ASSERT_EQ(nearest.size(), 7u);
+    std::vector<double> all;
+    for (const IndexEntry& e : reference) {
+      all.push_back(query.MinDist2(e.mbr));
+    }
+    std::sort(all.begin(), all.end());
+    for (size_t i = 0; i < nearest.size(); ++i) {
+      EXPECT_NEAR(query.MinDist2(nearest[i].mbr), all[i], 1e-12);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mdseq

@@ -1,0 +1,232 @@
+#include "core/mbr_distance.h"
+
+#include <algorithm>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "core/distance.h"
+#include "core/partitioning.h"
+#include "gen/fractal.h"
+#include "gen/query_workload.h"
+#include "geom/sequence.h"
+#include "util/random.h"
+
+namespace mdseq {
+namespace {
+
+// Builds a partition from explicit (mbr, begin, end) pieces.
+Partition MakePartition(std::vector<SequenceMbr> pieces) { return pieces; }
+
+Mbr BoxAt(double lo, double hi) {
+  return Mbr(Point{lo, lo}, Point{hi, hi});
+}
+
+TEST(ComputeMbrDistancesTest, MatchesPairwiseMbrDistance) {
+  const Mbr probe = BoxAt(0.0, 0.1);
+  const Partition target = MakePartition({
+      SequenceMbr{BoxAt(0.2, 0.3), 0, 4},
+      SequenceMbr{BoxAt(0.5, 0.6), 4, 10},
+  });
+  const std::vector<double> d = ComputeMbrDistances(probe, target);
+  ASSERT_EQ(d.size(), 2u);
+  EXPECT_DOUBLE_EQ(d[0], MbrDistance(probe, target[0].mbr));
+  EXPECT_DOUBLE_EQ(d[1], MbrDistance(probe, target[1].mbr));
+}
+
+TEST(NormalizedDistanceTest, LargeTargetMbrReducesToDmbr) {
+  const Partition target = MakePartition({
+      SequenceMbr{BoxAt(0.2, 0.3), 0, 20},
+  });
+  const Mbr probe = BoxAt(0.0, 0.1);
+  const std::vector<double> d = ComputeMbrDistances(probe, target);
+  const NormalizedDistanceResult r = NormalizedDistance(12, target, 0, d);
+  EXPECT_DOUBLE_EQ(r.distance, d[0]);
+  EXPECT_EQ(r.point_begin, 0u);
+  EXPECT_EQ(r.point_end, 20u);
+}
+
+// Example 2 of the paper: counts (4, 6, 5, 5), query 12 points,
+// D2 < D1 < D3 < D4. Expect Dnorm(q, mbr2) = (6*D2 + 4*D1 + 2*D3) / 12 and
+// the involved points to be all of mbr1, mbr2 and the first 2 of mbr3.
+TEST(NormalizedDistanceTest, PaperExampleTwo) {
+  // Construct boxes whose distances to the probe are D1=0.2, D2=0.1,
+  // D3=0.3, D4=0.4 (gaps along the x axis only).
+  const Mbr probe(Point{0.0, 0.0}, Point{0.1, 1.0});
+  const Partition target = MakePartition({
+      SequenceMbr{Mbr(Point{0.30, 0.0}, Point{0.31, 1.0}), 0, 4},   // D1=0.2
+      SequenceMbr{Mbr(Point{0.20, 0.0}, Point{0.21, 1.0}), 4, 10},  // D2=0.1
+      SequenceMbr{Mbr(Point{0.40, 0.0}, Point{0.41, 1.0}), 10, 15},  // D3=0.3
+      SequenceMbr{Mbr(Point{0.50, 0.0}, Point{0.51, 1.0}), 15, 20},  // D4=0.4
+  });
+  const std::vector<double> d = ComputeMbrDistances(probe, target);
+  ASSERT_NEAR(d[0], 0.2, 1e-12);
+  ASSERT_NEAR(d[1], 0.1, 1e-12);
+  ASSERT_NEAR(d[2], 0.3, 1e-12);
+  ASSERT_NEAR(d[3], 0.4, 1e-12);
+
+  const NormalizedDistanceResult r = NormalizedDistance(12, target, 1, d);
+  EXPECT_NEAR(r.distance, (0.1 * 6 + 0.2 * 4 + 0.3 * 2) / 12.0, 1e-12);
+  EXPECT_EQ(r.point_begin, 0u);   // all of mbr1
+  EXPECT_EQ(r.point_end, 12u);    // ... through the first 2 points of mbr3
+}
+
+TEST(NormalizedDistanceTest, PrefersCheaperSideWindow) {
+  // Around mbr1 (D=0.1): left neighbor is cheap (0.0), right is expensive
+  // (0.9); the minimum window extends left.
+  const Mbr probe(Point{0.0, 0.0}, Point{0.1, 1.0});
+  const Partition target = MakePartition({
+      SequenceMbr{Mbr(Point{0.05, 0.0}, Point{0.1, 1.0}), 0, 10},   // D=0
+      SequenceMbr{Mbr(Point{0.20, 0.0}, Point{0.21, 1.0}), 10, 16},  // D=0.1
+      SequenceMbr{Mbr(Point{1.0, 0.0}, Point{1.01, 1.0}), 16, 26},  // D=0.9
+  });
+  const std::vector<double> d = ComputeMbrDistances(probe, target);
+  const NormalizedDistanceResult r = NormalizedDistance(10, target, 1, d);
+  // RD window: last 4 points of mbr0 + all 6 of mbr1.
+  EXPECT_NEAR(r.distance, (0.0 * 4 + 0.1 * 6) / 10.0, 1e-12);
+  EXPECT_EQ(r.point_begin, 6u);
+  EXPECT_EQ(r.point_end, 16u);
+}
+
+TEST(NormalizedDistanceTest, WholeSequenceShorterThanProbeFallsBack) {
+  const Mbr probe(Point{0.0, 0.0}, Point{0.1, 1.0});
+  const Partition target = MakePartition({
+      SequenceMbr{Mbr(Point{0.2, 0.0}, Point{0.3, 1.0}), 0, 3},  // D=0.1
+      SequenceMbr{Mbr(Point{0.4, 0.0}, Point{0.5, 1.0}), 3, 7},  // D=0.3
+  });
+  const std::vector<double> d = ComputeMbrDistances(probe, target);
+  for (size_t j = 0; j < target.size(); ++j) {
+    const NormalizedDistanceResult r = NormalizedDistance(20, target, j, d);
+    EXPECT_NEAR(r.distance, (0.1 * 3 + 0.3 * 4) / 7.0, 1e-12);
+    EXPECT_EQ(r.point_begin, 0u);
+    EXPECT_EQ(r.point_end, 7u);
+  }
+}
+
+TEST(NormalizedDistanceTest, MarginalFirstMbrUsesOnlyLdWindows) {
+  const Mbr probe(Point{0.0, 0.0}, Point{0.1, 1.0});
+  const Partition target = MakePartition({
+      SequenceMbr{Mbr(Point{0.2, 0.0}, Point{0.3, 1.0}), 0, 4},    // D=0.1
+      SequenceMbr{Mbr(Point{0.4, 0.0}, Point{0.5, 1.0}), 4, 12},   // D=0.3
+      SequenceMbr{Mbr(Point{0.6, 0.0}, Point{0.7, 1.0}), 12, 20},  // D=0.5
+  });
+  const std::vector<double> d = ComputeMbrDistances(probe, target);
+  const NormalizedDistanceResult r = NormalizedDistance(6, target, 0, d);
+  // Only LD from k=0: 4 points of mbr0 + first 2 of mbr1.
+  EXPECT_NEAR(r.distance, (0.1 * 4 + 0.3 * 2) / 6.0, 1e-12);
+  EXPECT_EQ(r.point_begin, 0u);
+  EXPECT_EQ(r.point_end, 6u);
+}
+
+TEST(NormalizedDistanceTest, MarginalLastMbrUsesOnlyRdWindows) {
+  const Mbr probe(Point{0.0, 0.0}, Point{0.1, 1.0});
+  const Partition target = MakePartition({
+      SequenceMbr{Mbr(Point{0.2, 0.0}, Point{0.3, 1.0}), 0, 8},   // D=0.1
+      SequenceMbr{Mbr(Point{0.4, 0.0}, Point{0.5, 1.0}), 8, 12},  // D=0.3
+  });
+  const std::vector<double> d = ComputeMbrDistances(probe, target);
+  const NormalizedDistanceResult r = NormalizedDistance(6, target, 1, d);
+  // RD: last 2 points of mbr0 + 4 of mbr1.
+  EXPECT_NEAR(r.distance, (0.1 * 2 + 0.3 * 4) / 6.0, 1e-12);
+  EXPECT_EQ(r.point_begin, 6u);
+  EXPECT_EQ(r.point_end, 12u);
+}
+
+// --- Lemma property tests on random data -----------------------------------
+
+struct LemmaCase {
+  uint64_t seed;
+  size_t data_length;
+  size_t query_length;
+};
+
+class LemmaPropertyTest : public ::testing::TestWithParam<LemmaCase> {};
+
+TEST_P(LemmaPropertyTest, LowerBoundChain) {
+  const LemmaCase param = GetParam();
+  Rng rng(param.seed);
+  const FractalOptions gen;
+  const Sequence data =
+      GenerateFractalSequence(param.data_length, gen, &rng);
+  const std::vector<Sequence> corpus = {data};
+  QueryWorkloadOptions query_options;
+  query_options.min_length = param.query_length;
+  query_options.max_length = param.query_length;
+  query_options.noise = 0.05;
+  const Sequence query = DrawQuery(corpus, query_options, &rng);
+
+  PartitioningOptions part;
+  part.max_points = 16;
+  const Partition query_partition = PartitionSequence(query.View(), part);
+  const Partition data_partition = PartitionSequence(data.View(), part);
+
+  const double exact = SequenceDistance(query.View(), data.View());
+  const double min_dmbr = MinMbrDistance(query_partition, data_partition);
+
+  // Lemma 1: min Dmbr <= D(Q, S).
+  EXPECT_LE(min_dmbr, exact + 1e-9);
+
+  // Lemma 3: min Dmbr <= min Dnorm <= D(Q, S). The probe side is the
+  // shorter sequence's partition, mirroring Definition 3.
+  const bool query_is_shorter = query.size() <= data.size();
+  const Partition& probe_partition =
+      query_is_shorter ? query_partition : data_partition;
+  const Partition& target_partition =
+      query_is_shorter ? data_partition : query_partition;
+  double min_dnorm = std::numeric_limits<double>::infinity();
+  for (const SequenceMbr& probe : probe_partition) {
+    min_dnorm = std::min(min_dnorm, MinNormalizedDistance(
+                                        probe.mbr, probe.count(),
+                                        target_partition));
+  }
+  EXPECT_LE(min_dmbr, min_dnorm + 1e-9);
+  EXPECT_LE(min_dnorm, exact + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomWorkloads, LemmaPropertyTest,
+    ::testing::Values(LemmaCase{1, 64, 16}, LemmaCase{2, 64, 64},
+                      LemmaCase{3, 128, 32}, LemmaCase{4, 200, 100},
+                      LemmaCase{5, 300, 10}, LemmaCase{6, 57, 56},
+                      LemmaCase{7, 56, 120},  // long query
+                      LemmaCase{8, 100, 200},  // long query
+                      LemmaCase{9, 512, 128}, LemmaCase{10, 311, 77},
+                      LemmaCase{11, 64, 1},   // single-point query
+                      LemmaCase{12, 1, 1},    // single-point both
+                      LemmaCase{13, 400, 350}, LemmaCase{14, 512, 512},
+                      LemmaCase{15, 90, 33}, LemmaCase{16, 222, 111}));
+
+// Lemma 2: with a single query MBR, min_j Dnorm lower-bounds the distance
+// to every equal-length subsequence of S.
+TEST(LemmaTwoTest, SingleQueryMbrBoundsEveryAlignment) {
+  Rng rng(77);
+  const Sequence data = GenerateFractalSequence(120, FractalOptions(), &rng);
+  // A short, tight query so it stays in one MBR.
+  Sequence query(3);
+  for (int i = 0; i < 8; ++i) {
+    query.Append(Point{0.4 + 0.001 * i, 0.5, 0.5});
+  }
+  PartitioningOptions part;
+  part.max_points = 16;
+  const Partition query_partition = PartitionSequence(query.View(), part);
+  ASSERT_EQ(query_partition.size(), 1u);
+  const Partition data_partition = PartitionSequence(data.View(), part);
+
+  const double min_dnorm = MinNormalizedDistance(
+      query_partition[0].mbr, query_partition[0].count(), data_partition);
+  const std::vector<double> profile =
+      WindowDistanceProfile(query.View(), data.View());
+  for (double window_distance : profile) {
+    EXPECT_LE(min_dnorm, window_distance + 1e-9);
+  }
+}
+
+TEST(MinMbrDistanceTest, ZeroWhenPartitionsOverlap) {
+  Rng rng(42);
+  const Sequence data = GenerateFractalSequence(64, FractalOptions(), &rng);
+  const Partition p = PartitionSequence(data.View(), PartitioningOptions());
+  EXPECT_DOUBLE_EQ(MinMbrDistance(p, p), 0.0);
+}
+
+}  // namespace
+}  // namespace mdseq

@@ -1,0 +1,198 @@
+#include "geom/mbr.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "geom/point.h"
+#include "util/random.h"
+
+namespace mdseq {
+namespace {
+
+TEST(MbrTest, StartsInvalidAndBecomesValidOnExpand) {
+  Mbr m(2);
+  EXPECT_FALSE(m.is_valid());
+  m.Expand(Point{0.5, 0.25});
+  EXPECT_TRUE(m.is_valid());
+  EXPECT_EQ(m.low(), (Point{0.5, 0.25}));
+  EXPECT_EQ(m.high(), (Point{0.5, 0.25}));
+}
+
+TEST(MbrTest, ExpandGrowsToCoverPoints) {
+  Mbr m(2);
+  m.Expand(Point{0.2, 0.8});
+  m.Expand(Point{0.6, 0.1});
+  EXPECT_EQ(m.low(), (Point{0.2, 0.1}));
+  EXPECT_EQ(m.high(), (Point{0.6, 0.8}));
+  EXPECT_TRUE(m.Contains(Point{0.4, 0.5}));
+  EXPECT_FALSE(m.Contains(Point{0.7, 0.5}));
+}
+
+TEST(MbrTest, ExpandWithMbrCoversBoth) {
+  Mbr a(Point{0.0, 0.0}, Point{0.2, 0.2});
+  const Mbr b(Point{0.5, 0.6}, Point{0.7, 0.9});
+  a.Expand(b);
+  EXPECT_TRUE(a.Contains(b));
+  EXPECT_EQ(a.low(), (Point{0.0, 0.0}));
+  EXPECT_EQ(a.high(), (Point{0.7, 0.9}));
+}
+
+TEST(MbrTest, ExpandWithInvalidMbrIsNoOp) {
+  Mbr a(Point{0.0, 0.0}, Point{1.0, 1.0});
+  const Mbr invalid(2);
+  a.Expand(invalid);
+  EXPECT_EQ(a.low(), (Point{0.0, 0.0}));
+  EXPECT_EQ(a.high(), (Point{1.0, 1.0}));
+}
+
+TEST(MbrTest, ExpandInvalidWithValidCopies) {
+  Mbr a(2);
+  const Mbr b(Point{0.1, 0.2}, Point{0.3, 0.4});
+  a.Expand(b);
+  EXPECT_TRUE(a.is_valid());
+  EXPECT_EQ(a, b);
+}
+
+TEST(MbrTest, VolumeAndMargin) {
+  const Mbr m(Point{0.0, 0.0, 0.0}, Point{0.5, 0.2, 1.0});
+  EXPECT_DOUBLE_EQ(m.Volume(), 0.5 * 0.2 * 1.0);
+  EXPECT_DOUBLE_EQ(m.Margin(), 0.5 + 0.2 + 1.0);
+}
+
+TEST(MbrTest, DegeneratePointMbrHasZeroVolume) {
+  const Mbr m = Mbr::FromPoint(Point{0.3, 0.3});
+  EXPECT_DOUBLE_EQ(m.Volume(), 0.0);
+  EXPECT_TRUE(m.Contains(Point{0.3, 0.3}));
+}
+
+TEST(MbrTest, IntersectsOverlappingAndTouching) {
+  const Mbr a(Point{0.0, 0.0}, Point{0.5, 0.5});
+  const Mbr b(Point{0.4, 0.4}, Point{0.9, 0.9});
+  const Mbr touching(Point{0.5, 0.0}, Point{0.8, 0.5});
+  const Mbr disjoint(Point{0.6, 0.6}, Point{0.9, 0.9});
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_TRUE(b.Intersects(a));
+  EXPECT_TRUE(a.Intersects(touching));  // shared boundary counts
+  EXPECT_FALSE(a.Intersects(disjoint));
+}
+
+TEST(MbrTest, OverlapVolume) {
+  const Mbr a(Point{0.0, 0.0}, Point{0.5, 0.5});
+  const Mbr b(Point{0.25, 0.25}, Point{0.75, 0.75});
+  EXPECT_DOUBLE_EQ(a.OverlapVolume(b), 0.25 * 0.25);
+  const Mbr c(Point{0.6, 0.6}, Point{0.9, 0.9});
+  EXPECT_DOUBLE_EQ(a.OverlapVolume(c), 0.0);
+}
+
+TEST(MbrTest, EnlargementOfContainedIsZero) {
+  const Mbr a(Point{0.0, 0.0}, Point{1.0, 1.0});
+  const Mbr inside(Point{0.2, 0.2}, Point{0.4, 0.4});
+  EXPECT_DOUBLE_EQ(a.Enlargement(inside), 0.0);
+  const Mbr outside(Point{0.5, 0.5}, Point{1.5, 1.0});
+  EXPECT_DOUBLE_EQ(a.Enlargement(outside), 1.5 * 1.0 - 1.0);
+}
+
+// Figure 2 of the paper: the three relative placements in 2-d.
+TEST(MbrTest, MbrDistanceMatchesFigureTwoCases) {
+  // Overlapping rectangles: distance zero.
+  const Mbr a(Point{0.0, 0.0}, Point{0.5, 0.5});
+  const Mbr b(Point{0.4, 0.4}, Point{0.9, 0.9});
+  EXPECT_DOUBLE_EQ(MbrDistance(a, b), 0.0);
+
+  // Separated along one axis only: the axis gap.
+  const Mbr c(Point{0.7, 0.1}, Point{0.9, 0.4});
+  EXPECT_DOUBLE_EQ(MbrDistance(a, c), 0.7 - 0.5);
+
+  // Separated along both axes: the corner-to-corner distance.
+  const Mbr d(Point{0.8, 0.9}, Point{0.9, 1.0});
+  EXPECT_DOUBLE_EQ(MbrDistance(a, d),
+                   std::hypot(0.8 - 0.5, 0.9 - 0.5));
+}
+
+TEST(MbrTest, MbrDistanceIsSymmetric) {
+  Rng rng(123);
+  for (int trial = 0; trial < 100; ++trial) {
+    Mbr a(3);
+    Mbr b(3);
+    for (int i = 0; i < 3; ++i) {
+      a.Expand(Point{rng.Uniform(), rng.Uniform(), rng.Uniform()});
+      b.Expand(Point{rng.Uniform(), rng.Uniform(), rng.Uniform()});
+    }
+    EXPECT_DOUBLE_EQ(MbrDistance(a, b), MbrDistance(b, a));
+  }
+}
+
+// Observation 1: Dmbr lower-bounds the distance between any contained
+// point pair.
+TEST(MbrTest, MinDistLowerBoundsContainedPointDistances) {
+  Rng rng(321);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<Point> pa;
+    std::vector<Point> pb;
+    Mbr a(3);
+    Mbr b(3);
+    for (int i = 0; i < 5; ++i) {
+      pa.push_back(Point{rng.Uniform(), rng.Uniform(), rng.Uniform()});
+      pb.push_back(Point{rng.Uniform(0.5, 1.5), rng.Uniform(0.5, 1.5),
+                         rng.Uniform(0.5, 1.5)});
+      a.Expand(pa.back());
+      b.Expand(pb.back());
+    }
+    const double dmbr = MbrDistance(a, b);
+    for (const Point& x : pa) {
+      for (const Point& y : pb) {
+        EXPECT_LE(dmbr, PointDistance(x, y) + 1e-12);
+      }
+    }
+  }
+}
+
+TEST(MbrTest, MinDistToPoint) {
+  const Mbr m(Point{0.0, 0.0}, Point{1.0, 1.0});
+  EXPECT_DOUBLE_EQ(m.MinDist2(Point{0.5, 0.5}), 0.0);   // inside
+  EXPECT_DOUBLE_EQ(m.MinDist2(Point{1.5, 0.5}), 0.25);  // right of box
+  EXPECT_DOUBLE_EQ(m.MinDist2(Point{1.5, 1.5}), 0.5);   // diagonal corner
+}
+
+TEST(MbrTest, MaxDistIsAtLeastMinDist) {
+  Rng rng(11);
+  for (int trial = 0; trial < 100; ++trial) {
+    Mbr a(2);
+    Mbr b(2);
+    for (int i = 0; i < 3; ++i) {
+      a.Expand(Point{rng.Uniform(), rng.Uniform()});
+      b.Expand(Point{rng.Uniform(), rng.Uniform()});
+    }
+    EXPECT_GE(a.MaxDist2(b), a.MinDist2(b));
+  }
+}
+
+TEST(MbrTest, InflateGrowsEverySide) {
+  Mbr m(Point{0.3, 0.3}, Point{0.5, 0.6});
+  m.Inflate(0.1);
+  EXPECT_NEAR(m.low()[0], 0.2, 1e-15);
+  EXPECT_NEAR(m.low()[1], 0.2, 1e-15);
+  EXPECT_NEAR(m.high()[0], 0.6, 1e-15);
+  EXPECT_NEAR(m.high()[1], 0.7, 1e-15);
+}
+
+TEST(MbrTest, InflatePreservesRangeSemantics) {
+  // A box is within distance eps of another iff the eps-inflated box
+  // intersects it, when the gap is along a single axis.
+  const Mbr a(Point{0.0, 0.0}, Point{0.2, 1.0});
+  const Mbr b(Point{0.45, 0.0}, Point{0.6, 1.0});
+  EXPECT_GT(MbrDistance(a, b), 0.2);
+  Mbr inflated = a;
+  inflated.Inflate(0.25);
+  EXPECT_TRUE(inflated.Intersects(b));
+}
+
+TEST(MbrTest, ToStringIsReadable) {
+  const Mbr m(Point{0.0, 0.5}, Point{1.0, 0.75});
+  EXPECT_EQ(m.ToString(), "[(0, 0.5), (1, 0.75)]");
+  EXPECT_EQ(Mbr(2).ToString(), "[invalid]");
+}
+
+}  // namespace
+}  // namespace mdseq

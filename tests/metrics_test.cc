@@ -1,0 +1,71 @@
+#include "eval/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace mdseq {
+namespace {
+
+TEST(PruningRateTest, PaperFormula) {
+  // 100 sequences, 5 relevant, 24 retrieved: pruned 76 of the 95 prunable.
+  EXPECT_DOUBLE_EQ(PruningRate(100, 24, 5), 76.0 / 95.0);
+}
+
+TEST(PruningRateTest, PerfectPruning) {
+  EXPECT_DOUBLE_EQ(PruningRate(100, 5, 5), 1.0);
+}
+
+TEST(PruningRateTest, NoPruning) {
+  EXPECT_DOUBLE_EQ(PruningRate(100, 100, 5), 0.0);
+}
+
+TEST(PruningRateTest, DegenerateEverythingRelevant) {
+  EXPECT_DOUBLE_EQ(PruningRate(10, 10, 10), 1.0);
+}
+
+TEST(PruningRateTest, RetrievedBelowRelevantClampsToOne) {
+  // A method with false dismissals could retrieve less than relevant; the
+  // rate is clamped so it stays a rate.
+  EXPECT_DOUBLE_EQ(PruningRate(100, 3, 5), 1.0);
+}
+
+TEST(SolutionIntervalPruningRateTest, Formula) {
+  EXPECT_DOUBLE_EQ(SolutionIntervalPruningRate(1000, 300, 100),
+                   700.0 / 900.0);
+  EXPECT_DOUBLE_EQ(SolutionIntervalPruningRate(1000, 1000, 1000), 1.0);
+}
+
+TEST(RecallTest, Values) {
+  EXPECT_DOUBLE_EQ(Recall(98, 100), 0.98);
+  EXPECT_DOUBLE_EQ(Recall(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(Recall(0, 10), 0.0);
+}
+
+TEST(IntervalIntersectionSizeTest, DisjointSets) {
+  EXPECT_EQ(IntervalIntersectionSize({{0, 5}}, {{5, 10}}), 0u);
+  EXPECT_EQ(IntervalIntersectionSize({}, {{0, 10}}), 0u);
+}
+
+TEST(IntervalIntersectionSizeTest, PartialAndNestedOverlap) {
+  EXPECT_EQ(IntervalIntersectionSize({{0, 10}}, {{5, 15}}), 5u);
+  EXPECT_EQ(IntervalIntersectionSize({{0, 10}}, {{2, 4}, {6, 8}}), 4u);
+}
+
+TEST(IntervalIntersectionSizeTest, MultipleRuns) {
+  const std::vector<Interval> a = {{0, 4}, {10, 20}, {30, 35}};
+  const std::vector<Interval> b = {{2, 12}, {18, 32}};
+  // [2,4) + [10,12) + [18,20) + [30,32) = 2 + 2 + 2 + 2.
+  EXPECT_EQ(IntervalIntersectionSize(a, b), 8u);
+}
+
+TEST(MeanAccumulatorTest, MeanOfValues) {
+  MeanAccumulator acc;
+  EXPECT_DOUBLE_EQ(acc.Mean(), 0.0);
+  acc.Add(1.0);
+  acc.Add(2.0);
+  acc.Add(6.0);
+  EXPECT_DOUBLE_EQ(acc.Mean(), 3.0);
+  EXPECT_EQ(acc.count(), 3u);
+}
+
+}  // namespace
+}  // namespace mdseq

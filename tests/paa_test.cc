@@ -1,0 +1,64 @@
+#include "ts/paa.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/walk.h"
+#include "ts/whole_matching.h"
+#include "util/random.h"
+
+namespace mdseq {
+namespace {
+
+TEST(PaaTest, AveragesFrames) {
+  const Sequence s = Sequence::FromScalars({0, 2, 4, 6, 8, 10});
+  const Point feature = PaaFeature(s.View(), 3);
+  ASSERT_EQ(feature.size(), 3u);
+  EXPECT_DOUBLE_EQ(feature[0], 1.0);
+  EXPECT_DOUBLE_EQ(feature[1], 5.0);
+  EXPECT_DOUBLE_EQ(feature[2], 9.0);
+}
+
+TEST(PaaTest, FullResolutionIsIdentity) {
+  const Sequence s = Sequence::FromScalars({0.5, 0.25, 0.75});
+  const Point feature = PaaFeature(s.View(), 3);
+  EXPECT_DOUBLE_EQ(feature[0], 0.5);
+  EXPECT_DOUBLE_EQ(feature[1], 0.25);
+  EXPECT_DOUBLE_EQ(feature[2], 0.75);
+}
+
+TEST(PaaTest, SingleSegmentIsGlobalMean) {
+  const Sequence s = Sequence::FromScalars({1, 2, 3, 4});
+  const Point feature = PaaFeature(s.View(), 1);
+  ASSERT_EQ(feature.size(), 1u);
+  EXPECT_DOUBLE_EQ(feature[0], 2.5);
+}
+
+// The filtering guarantee: scaled PAA distance never exceeds the true
+// distance, and equals it at full resolution.
+TEST(PaaTest, ScaledDistanceLowerBoundsSeriesDistance) {
+  Rng rng(1);
+  for (int trial = 0; trial < 30; ++trial) {
+    const Sequence a = GenerateRandomWalk(48, WalkOptions(), &rng);
+    const Sequence b = GenerateRandomWalk(48, WalkOptions(), &rng);
+    const double exact = WholeSeriesDistance(a.View(), b.View());
+    for (size_t segments : {1u, 2u, 4u, 8u, 16u, 48u}) {
+      EXPECT_LE(PaaDistance(a.View(), b.View(), segments), exact + 1e-9)
+          << "segments=" << segments;
+    }
+    EXPECT_NEAR(PaaDistance(a.View(), b.View(), 48), exact, 1e-9);
+  }
+}
+
+TEST(PaaTest, CoarserSegmentsGiveLooserBounds) {
+  Rng rng(2);
+  const Sequence a = GenerateRandomWalk(64, WalkOptions(), &rng);
+  const Sequence b = GenerateRandomWalk(64, WalkOptions(), &rng);
+  // Refining segments can only tighten (monotone for nested frames).
+  EXPECT_LE(PaaDistance(a.View(), b.View(), 2),
+            PaaDistance(a.View(), b.View(), 4) + 1e-12);
+  EXPECT_LE(PaaDistance(a.View(), b.View(), 4),
+            PaaDistance(a.View(), b.View(), 8) + 1e-12);
+}
+
+}  // namespace
+}  // namespace mdseq

@@ -1,0 +1,156 @@
+#include "core/partitioning.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/fractal.h"
+#include "gen/walk.h"
+#include "geom/sequence.h"
+#include "util/random.h"
+
+namespace mdseq {
+namespace {
+
+TEST(EstimatedAccessCostTest, MinkowskiVolumeForm) {
+  const Mbr m(Point{0.0, 0.0, 0.0}, Point{0.1, 0.2, 0.3});
+  PartitioningOptions options;
+  options.side_growth = 0.3;
+  EXPECT_DOUBLE_EQ(EstimatedAccessCost(m, options), 0.4 * 0.5 * 0.6);
+}
+
+TEST(EstimatedAccessCostTest, AdditiveForm) {
+  const Mbr m(Point{0.0, 0.0, 0.0}, Point{0.1, 0.2, 0.3});
+  PartitioningOptions options;
+  options.side_growth = 0.3;
+  options.cost_model = PartitioningOptions::CostModel::kAdditive;
+  EXPECT_DOUBLE_EQ(EstimatedAccessCost(m, options), 0.4 + 0.5 + 0.6);
+}
+
+TEST(EstimatedAccessCostTest, PointMbrCostsOnlyGrowth) {
+  const Mbr m = Mbr::FromPoint(Point{0.5, 0.5});
+  PartitioningOptions options;
+  options.side_growth = 0.3;
+  EXPECT_DOUBLE_EQ(EstimatedAccessCost(m, options), 0.09);
+}
+
+TEST(PartitionSequenceTest, EmptySequenceYieldsEmptyPartition) {
+  const Sequence s(3);
+  EXPECT_TRUE(PartitionSequence(s.View(), PartitioningOptions()).empty());
+}
+
+TEST(PartitionSequenceTest, SinglePointSequence) {
+  const Sequence s(2, {Point{0.5, 0.5}});
+  const Partition p = PartitionSequence(s.View(), PartitioningOptions());
+  ASSERT_EQ(p.size(), 1u);
+  EXPECT_EQ(p[0].begin, 0u);
+  EXPECT_EQ(p[0].end, 1u);
+  EXPECT_EQ(p[0].count(), 1u);
+}
+
+// Structural invariants: pieces are contiguous, non-empty, cover the
+// sequence, respect max_points, and each MBR tightly bounds its points.
+void CheckPartitionInvariants(SequenceView seq, const Partition& partition,
+                              const PartitioningOptions& options) {
+  ASSERT_FALSE(partition.empty());
+  EXPECT_EQ(partition.front().begin, 0u);
+  EXPECT_EQ(partition.back().end, seq.size());
+  for (size_t i = 0; i < partition.size(); ++i) {
+    const SequenceMbr& piece = partition[i];
+    EXPECT_LT(piece.begin, piece.end);
+    EXPECT_LE(piece.count(), options.max_points);
+    if (i > 0) {
+      EXPECT_EQ(partition[i - 1].end, piece.begin);
+    }
+    const Mbr tight = seq.Slice(piece.begin, piece.end).BoundingBox();
+    EXPECT_EQ(piece.mbr, tight) << "piece " << i << " box is not tight";
+  }
+}
+
+TEST(PartitionSequenceTest, InvariantsOnFractalData) {
+  Rng rng(10);
+  const PartitioningOptions options;
+  for (size_t length : {1u, 2u, 7u, 56u, 300u, 512u}) {
+    const Sequence s = GenerateFractalSequence(length, FractalOptions(),
+                                               &rng);
+    CheckPartitionInvariants(s.View(), PartitionSequence(s.View(), options),
+                             options);
+  }
+}
+
+TEST(PartitionSequenceTest, InvariantsOnRandomWalks) {
+  Rng rng(11);
+  WalkOptions walk;
+  walk.dim = 3;
+  PartitioningOptions options;
+  options.max_points = 10;
+  for (int trial = 0; trial < 20; ++trial) {
+    const Sequence s = GenerateRandomWalk(200, walk, &rng);
+    CheckPartitionInvariants(s.View(), PartitionSequence(s.View(), options),
+                             options);
+  }
+}
+
+TEST(PartitionSequenceTest, MaxPointsCapIsHonored) {
+  // A constant sequence would otherwise grow one MBR forever.
+  Sequence s(2);
+  for (int i = 0; i < 100; ++i) s.Append(Point{0.5, 0.5});
+  PartitioningOptions options;
+  options.max_points = 16;
+  const Partition p = PartitionSequence(s.View(), options);
+  EXPECT_EQ(p.size(), (100 + 15) / 16);
+  for (const SequenceMbr& piece : p) EXPECT_LE(piece.count(), 16u);
+}
+
+TEST(PartitionSequenceTest, ConstantSequenceMergesUpToCap) {
+  Sequence s(2);
+  for (int i = 0; i < 16; ++i) s.Append(Point{0.5, 0.5});
+  PartitioningOptions options;
+  options.max_points = 64;
+  const Partition p = PartitionSequence(s.View(), options);
+  // Adding an identical point never increases MCOST, so one MBR suffices.
+  EXPECT_EQ(p.size(), 1u);
+}
+
+TEST(PartitionSequenceTest, JumpStartsNewMbr) {
+  // Two tight clusters far apart must not share an MBR: folding the far
+  // point into the first MBR raises its marginal cost.
+  Sequence s(2);
+  for (int i = 0; i < 8; ++i) s.Append(Point{0.1 + 0.001 * i, 0.1});
+  for (int i = 0; i < 8; ++i) s.Append(Point{0.9 + 0.001 * i, 0.9});
+  const Partition p = PartitionSequence(s.View(), PartitioningOptions());
+  ASSERT_GE(p.size(), 2u);
+  EXPECT_EQ(p[0].end, 8u);  // the split lands exactly at the jump
+}
+
+TEST(PartitionSequenceTest, SmallerGrowthMakesFinerPartitions) {
+  Rng rng(12);
+  const Sequence s = GenerateFractalSequence(400, FractalOptions(), &rng);
+  PartitioningOptions coarse;
+  coarse.side_growth = 0.5;
+  PartitioningOptions fine;
+  fine.side_growth = 0.05;
+  const size_t coarse_pieces = PartitionSequence(s.View(), coarse).size();
+  const size_t fine_pieces = PartitionSequence(s.View(), fine).size();
+  EXPECT_GE(fine_pieces, coarse_pieces);
+}
+
+TEST(PartitionFixedTest, ExactDivision) {
+  Rng rng(13);
+  const Sequence s = GenerateFractalSequence(100, FractalOptions(), &rng);
+  const Partition p = PartitionFixed(s.View(), 20);
+  ASSERT_EQ(p.size(), 5u);
+  for (const SequenceMbr& piece : p) EXPECT_EQ(piece.count(), 20u);
+}
+
+TEST(PartitionFixedTest, RemainderPiece) {
+  Rng rng(14);
+  const Sequence s = GenerateFractalSequence(103, FractalOptions(), &rng);
+  const Partition p = PartitionFixed(s.View(), 20);
+  ASSERT_EQ(p.size(), 6u);
+  EXPECT_EQ(p.back().count(), 3u);
+  PartitioningOptions options;
+  options.max_points = 20;
+  CheckPartitionInvariants(s.View(), p, options);
+}
+
+}  // namespace
+}  // namespace mdseq

@@ -1,0 +1,160 @@
+#include "ts/pca.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/distance.h"
+#include "gen/video.h"
+#include "util/random.h"
+
+namespace mdseq {
+namespace {
+
+TEST(SymmetricEigenTest, DiagonalMatrix) {
+  // diag(3, 1): eigenvalues 3, 1 with axis eigenvectors.
+  std::vector<double> eigenvalues;
+  std::vector<Point> eigenvectors;
+  SymmetricEigen({3.0, 0.0, 0.0, 1.0}, 2, &eigenvalues, &eigenvectors);
+  ASSERT_EQ(eigenvalues.size(), 2u);
+  EXPECT_NEAR(eigenvalues[0], 3.0, 1e-12);
+  EXPECT_NEAR(eigenvalues[1], 1.0, 1e-12);
+  EXPECT_NEAR(std::abs(eigenvectors[0][0]), 1.0, 1e-12);
+  EXPECT_NEAR(eigenvectors[0][1], 0.0, 1e-12);
+}
+
+TEST(SymmetricEigenTest, KnownTwoByTwo) {
+  // [[2,1],[1,2]]: eigenvalues 3 and 1, eigenvectors (1,1) and (1,-1).
+  std::vector<double> eigenvalues;
+  std::vector<Point> eigenvectors;
+  SymmetricEigen({2.0, 1.0, 1.0, 2.0}, 2, &eigenvalues, &eigenvectors);
+  EXPECT_NEAR(eigenvalues[0], 3.0, 1e-9);
+  EXPECT_NEAR(eigenvalues[1], 1.0, 1e-9);
+  EXPECT_NEAR(std::abs(eigenvectors[0][0]), std::sqrt(0.5), 1e-9);
+  EXPECT_NEAR(eigenvectors[0][0], eigenvectors[0][1], 1e-9);
+}
+
+TEST(SymmetricEigenTest, EigenvectorsAreOrthonormal) {
+  Rng rng(1);
+  const size_t n = 6;
+  // Random symmetric matrix.
+  std::vector<double> m(n * n);
+  for (size_t r = 0; r < n; ++r) {
+    for (size_t c = r; c < n; ++c) {
+      m[r * n + c] = m[c * n + r] = rng.Uniform(-1.0, 1.0);
+    }
+  }
+  std::vector<double> eigenvalues;
+  std::vector<Point> eigenvectors;
+  SymmetricEigen(m, n, &eigenvalues, &eigenvectors);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      double dot = 0.0;
+      for (size_t k = 0; k < n; ++k) {
+        dot += eigenvectors[i][k] * eigenvectors[j][k];
+      }
+      EXPECT_NEAR(dot, i == j ? 1.0 : 0.0, 1e-9) << i << "," << j;
+    }
+  }
+  // A v = lambda v for each pair.
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t r = 0; r < n; ++r) {
+      double av = 0.0;
+      for (size_t k = 0; k < n; ++k) {
+        av += m[r * n + k] * eigenvectors[i][k];
+      }
+      EXPECT_NEAR(av, eigenvalues[i] * eigenvectors[i][r], 1e-8);
+    }
+  }
+}
+
+// A corpus whose points live (noisily) on a line: the first component must
+// capture nearly all variance.
+TEST(PcaTest, RecoversDominantDirection) {
+  Rng rng(2);
+  Sequence seq(3);
+  for (int i = 0; i < 500; ++i) {
+    const double t = rng.Uniform(-1.0, 1.0);
+    seq.Append(Point{t + rng.Normal(0, 0.01), 2 * t + rng.Normal(0, 0.01),
+                     -t + rng.Normal(0, 0.01)});
+  }
+  const PcaModel model = PcaModel::Fit({seq}, 1);
+  ASSERT_EQ(model.output_dim(), 1u);
+  // Direction proportional to (1, 2, -1)/sqrt(6): check via projection of
+  // the direction itself.
+  const Point p1 = model.Project(Point{1.0, 2.0, -1.0});
+  const Point p0 = model.Project(Point{0.0, 0.0, 0.0});
+  EXPECT_NEAR(std::abs(p1[0] - p0[0]), std::sqrt(6.0), 0.05);
+  EXPECT_GT(model.explained_variance()[0], 0.5);
+}
+
+// The property that keeps MBR filtering correct on reduced sequences.
+TEST(PcaTest, ProjectionIsAContraction) {
+  Rng rng(3);
+  std::vector<Sequence> corpus;
+  for (int i = 0; i < 10; ++i) {
+    corpus.push_back(GenerateVideoSequence(100, VideoOptions(), &rng));
+  }
+  for (size_t k : {1u, 2u, 3u}) {
+    const PcaModel model = PcaModel::Fit(corpus, k);
+    for (int trial = 0; trial < 100; ++trial) {
+      const Point a{rng.Uniform(), rng.Uniform(), rng.Uniform()};
+      const Point b{rng.Uniform(), rng.Uniform(), rng.Uniform()};
+      EXPECT_LE(PointDistance(model.Project(a), model.Project(b)),
+                PointDistance(a, b) + 1e-9)
+          << "k=" << k;
+    }
+  }
+}
+
+TEST(PcaTest, FullRankProjectionPreservesDistances) {
+  Rng rng(4);
+  std::vector<Sequence> corpus;
+  corpus.push_back(GenerateVideoSequence(200, VideoOptions(), &rng));
+  const PcaModel model = PcaModel::Fit(corpus, 3);
+  for (int trial = 0; trial < 50; ++trial) {
+    const Point a{rng.Uniform(), rng.Uniform(), rng.Uniform()};
+    const Point b{rng.Uniform(), rng.Uniform(), rng.Uniform()};
+    EXPECT_NEAR(PointDistance(model.Project(a), model.Project(b)),
+                PointDistance(a, b), 1e-9);
+  }
+}
+
+TEST(PcaTest, ReconstructionInvertsFullRankProjection) {
+  Rng rng(5);
+  std::vector<Sequence> corpus;
+  corpus.push_back(GenerateVideoSequence(150, VideoOptions(), &rng));
+  const PcaModel model = PcaModel::Fit(corpus, 3);
+  const Point p{0.3, 0.7, 0.2};
+  const Point restored = model.Reconstruct(model.Project(p));
+  for (size_t k = 0; k < 3; ++k) {
+    EXPECT_NEAR(restored[k], p[k], 1e-9);
+  }
+}
+
+TEST(PcaTest, ProjectSequencePreservesLength) {
+  Rng rng(6);
+  std::vector<Sequence> corpus;
+  corpus.push_back(GenerateVideoSequence(80, VideoOptions(), &rng));
+  const PcaModel model = PcaModel::Fit(corpus, 2);
+  const Sequence projected = model.ProjectSequence(corpus[0].View());
+  EXPECT_EQ(projected.size(), corpus[0].size());
+  EXPECT_EQ(projected.dim(), 2u);
+}
+
+TEST(PcaTest, ExplainedVarianceIsDescending) {
+  Rng rng(7);
+  std::vector<Sequence> corpus;
+  for (int i = 0; i < 5; ++i) {
+    corpus.push_back(GenerateVideoSequence(100, VideoOptions(), &rng));
+  }
+  const PcaModel model = PcaModel::Fit(corpus, 3);
+  const auto& variance = model.explained_variance();
+  ASSERT_EQ(variance.size(), 3u);
+  EXPECT_GE(variance[0], variance[1]);
+  EXPECT_GE(variance[1], variance[2]);
+  EXPECT_GE(variance[2], 0.0);
+}
+
+}  // namespace
+}  // namespace mdseq

@@ -1,0 +1,92 @@
+// Regression tests pinning the *shapes* of the paper's evaluation (Section
+// 4) at a reduced scale, so a change that silently breaks the reproduction
+// fails CI rather than only showing up in the benchmark output:
+//   - pruning rates sit in a high band and decrease with the threshold,
+//   - Dnorm prunes at least as well as Dmbr at every threshold,
+//   - solution-interval recall stays near 1,
+//   - the method beats the sequential scan.
+// Scale is ~1/8 of the paper's (seeded, deterministic), so bands are
+// slightly looser than EXPERIMENTS.md reports at full scale.
+
+#include <gtest/gtest.h>
+
+#include "eval/experiment.h"
+
+namespace mdseq {
+namespace {
+
+WorkloadConfig SmallPaperConfig(DataKind kind) {
+  WorkloadConfig config;
+  config.kind = kind;
+  config.num_sequences = 200;
+  config.min_length = 56;
+  config.max_length = 512;
+  config.num_queries = 8;
+  config.query.min_length = 24;
+  config.query.max_length = 64;
+  config.seed = 42;
+  return config;
+}
+
+class ReproductionTest : public ::testing::TestWithParam<DataKind> {};
+
+TEST_P(ReproductionTest, PruningAndIntervalShapesHold) {
+  const Workload workload = BuildWorkload(SmallPaperConfig(GetParam()));
+  SweepOptions options;
+  options.measure_time = false;
+  options.evaluate_intervals = true;
+  const std::vector<SweepRow> rows = RunThresholdSweep(
+      *workload.database, workload.queries, PaperEpsilons(), options);
+  ASSERT_EQ(rows.size(), 10u);
+
+  for (const SweepRow& row : rows) {
+    // Figures 6-7 band (loosened for the reduced scale).
+    EXPECT_GE(row.pr_dmbr, 0.45) << "eps " << row.epsilon;
+    EXPECT_LE(row.pr_dmbr, 1.0);
+    // Dnorm never prunes less than Dmbr (Lemma 3 makes it a larger bound).
+    EXPECT_GE(row.pr_dnorm, row.pr_dmbr - 1e-9) << "eps " << row.epsilon;
+    // Figures 8-9: the approximated interval covers nearly all of the
+    // exact one (paper: 98-100%).
+    EXPECT_GE(row.recall, 0.90) << "eps " << row.epsilon;
+    // ... while pruning a substantial portion of the selected sequences.
+    EXPECT_GE(row.pr_si, 0.40) << "eps " << row.epsilon;
+    // No false dismissal at the sequence level, ever.
+    EXPECT_GE(row.avg_candidates, row.avg_relevant - 1e-9);
+    EXPECT_GE(row.avg_matches, row.avg_relevant - 1e-9);
+  }
+
+  // Monotone-ish decline: the tightest threshold prunes strictly better
+  // than the loosest (the paper's curves fall from left to right).
+  EXPECT_GT(rows.front().pr_dmbr, rows.back().pr_dmbr);
+  EXPECT_GT(rows.front().pr_dnorm, rows.back().pr_dnorm);
+  // Selectivity grows with the threshold.
+  EXPECT_LT(rows.front().avg_relevant, rows.back().avg_relevant);
+  EXPECT_LT(rows.front().avg_candidates, rows.back().avg_candidates);
+}
+
+TEST_P(ReproductionTest, MethodBeatsSequentialScan) {
+  // Figure 10's qualitative claim at reduced scale: the filter phases are
+  // far cheaper than the exact scan at a selective threshold.
+  WorkloadConfig config = SmallPaperConfig(GetParam());
+  config.num_queries = 4;
+  const Workload workload = BuildWorkload(config);
+  SweepOptions options;
+  options.measure_time = true;
+  options.evaluate_intervals = false;
+  const std::vector<SweepRow> rows = RunThresholdSweep(
+      *workload.database, workload.queries, {0.10}, options);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_GT(rows[0].time_ratio, 2.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperWorkloads, ReproductionTest,
+                         ::testing::Values(DataKind::kSynthetic,
+                                           DataKind::kVideo),
+                         [](const ::testing::TestParamInfo<DataKind>& info) {
+                           return info.param == DataKind::kSynthetic
+                                      ? "Synthetic"
+                                      : "Video";
+                         });
+
+}  // namespace
+}  // namespace mdseq

@@ -1,0 +1,388 @@
+#include "index/rstar_tree.h"
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "index/linear_index.h"
+#include "util/random.h"
+
+namespace mdseq {
+namespace {
+
+Mbr RandomBox(Rng* rng, size_t dim, double max_side = 0.1) {
+  Point low(dim);
+  Point high(dim);
+  for (size_t k = 0; k < dim; ++k) {
+    low[k] = rng->Uniform();
+    high[k] = low[k] + rng->Uniform() * max_side;
+  }
+  return Mbr(std::move(low), std::move(high));
+}
+
+std::vector<uint64_t> Sorted(std::vector<uint64_t> v) {
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+TEST(RStarTreeTest, EmptyTreeQueriesReturnNothing) {
+  RStarTree tree(2);
+  std::vector<uint64_t> out;
+  tree.RangeSearch(Mbr(Point{0.0, 0.0}, Point{1.0, 1.0}), 0.5, &out);
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_EQ(tree.height(), 1u);
+  EXPECT_TRUE(tree.CheckInvariants());
+}
+
+TEST(RStarTreeTest, SingleInsertIsFound) {
+  RStarTree tree(2);
+  const Mbr box(Point{0.4, 0.4}, Point{0.5, 0.5});
+  tree.Insert(box, 7);
+  std::vector<uint64_t> out;
+  tree.RangeSearch(box, 0.0, &out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], 7u);
+  EXPECT_TRUE(tree.CheckInvariants());
+}
+
+TEST(RStarTreeTest, OptionsForFanoutFollowBeckmannRecommendations) {
+  const RStarTreeOptions o = RStarTreeOptions::ForFanout(50);
+  EXPECT_EQ(o.max_entries, 50u);
+  EXPECT_EQ(o.min_entries, 20u);       // 40%
+  EXPECT_EQ(o.reinsert_entries, 15u);  // 30%
+}
+
+TEST(RStarTreeTest, GrowsAndKeepsInvariantsUnderManyInserts) {
+  Rng rng(1);
+  RStarTree tree(3, RStarTreeOptions::ForFanout(8));
+  for (uint64_t i = 0; i < 500; ++i) {
+    tree.Insert(RandomBox(&rng, 3), i);
+  }
+  EXPECT_EQ(tree.size(), 500u);
+  EXPECT_GT(tree.height(), 2u);
+  EXPECT_TRUE(tree.CheckInvariants());
+}
+
+TEST(RStarTreeTest, RangeSearchMatchesBruteForce) {
+  Rng rng(2);
+  const size_t dim = 3;
+  RStarTree tree(dim, RStarTreeOptions::ForFanout(8));
+  std::vector<IndexEntry> reference;
+  for (uint64_t i = 0; i < 400; ++i) {
+    const Mbr box = RandomBox(&rng, dim);
+    tree.Insert(box, i);
+    reference.push_back(IndexEntry{box, i});
+  }
+  for (int trial = 0; trial < 50; ++trial) {
+    const Mbr query = RandomBox(&rng, dim, 0.3);
+    const double epsilon = rng.Uniform() * 0.4;
+    const double eps2 = epsilon * epsilon;
+    std::vector<uint64_t> expected;
+    for (const IndexEntry& e : reference) {
+      if (query.MinDist2(e.mbr) <= eps2) expected.push_back(e.value);
+    }
+    std::vector<uint64_t> actual;
+    tree.RangeSearch(query, epsilon, &actual);
+    EXPECT_EQ(Sorted(std::move(actual)), expected) << "trial " << trial;
+  }
+}
+
+TEST(RStarTreeTest, IntersectSearchMatchesBruteForce) {
+  Rng rng(3);
+  RStarTree tree(2, RStarTreeOptions::ForFanout(6));
+  std::vector<IndexEntry> reference;
+  for (uint64_t i = 0; i < 300; ++i) {
+    const Mbr box = RandomBox(&rng, 2);
+    tree.Insert(box, i);
+    reference.push_back(IndexEntry{box, i});
+  }
+  for (int trial = 0; trial < 30; ++trial) {
+    const Mbr query = RandomBox(&rng, 2, 0.4);
+    std::vector<uint64_t> expected;
+    for (const IndexEntry& e : reference) {
+      if (query.Intersects(e.mbr)) expected.push_back(e.value);
+    }
+    std::vector<uint64_t> actual;
+    tree.IntersectSearch(query, &actual);
+    EXPECT_EQ(Sorted(std::move(actual)), expected);
+  }
+}
+
+TEST(RStarTreeTest, DuplicateBoxesAreAllRetained) {
+  RStarTree tree(2, RStarTreeOptions::ForFanout(4));
+  const Mbr box(Point{0.5, 0.5}, Point{0.6, 0.6});
+  for (uint64_t i = 0; i < 100; ++i) tree.Insert(box, i);
+  std::vector<uint64_t> out;
+  tree.RangeSearch(box, 0.0, &out);
+  EXPECT_EQ(out.size(), 100u);
+  EXPECT_TRUE(tree.CheckInvariants());
+}
+
+TEST(RStarTreeTest, RemoveDeletesExactlyOneEntry) {
+  Rng rng(4);
+  RStarTree tree(2, RStarTreeOptions::ForFanout(6));
+  std::vector<IndexEntry> entries;
+  for (uint64_t i = 0; i < 200; ++i) {
+    const Mbr box = RandomBox(&rng, 2);
+    tree.Insert(box, i);
+    entries.push_back(IndexEntry{box, i});
+  }
+  // Remove half, verify the rest remain findable and invariants hold.
+  for (size_t i = 0; i < entries.size(); i += 2) {
+    EXPECT_TRUE(tree.Remove(entries[i].mbr, entries[i].value)) << i;
+  }
+  EXPECT_EQ(tree.size(), 100u);
+  EXPECT_TRUE(tree.CheckInvariants());
+  for (size_t i = 0; i < entries.size(); ++i) {
+    std::vector<uint64_t> out;
+    tree.RangeSearch(entries[i].mbr, 0.0, &out);
+    const bool found =
+        std::find(out.begin(), out.end(), entries[i].value) != out.end();
+    EXPECT_EQ(found, i % 2 == 1) << "entry " << i;
+  }
+}
+
+TEST(RStarTreeTest, RemoveMissingEntryReturnsFalse) {
+  RStarTree tree(2);
+  tree.Insert(Mbr(Point{0.1, 0.1}, Point{0.2, 0.2}), 1);
+  EXPECT_FALSE(tree.Remove(Mbr(Point{0.1, 0.1}, Point{0.2, 0.2}), 2));
+  EXPECT_FALSE(tree.Remove(Mbr(Point{0.3, 0.3}, Point{0.4, 0.4}), 1));
+  EXPECT_EQ(tree.size(), 1u);
+}
+
+TEST(RStarTreeTest, RemoveEverythingLeavesEmptyValidTree) {
+  Rng rng(5);
+  RStarTree tree(2, RStarTreeOptions::ForFanout(4));
+  std::vector<IndexEntry> entries;
+  for (uint64_t i = 0; i < 120; ++i) {
+    const Mbr box = RandomBox(&rng, 2);
+    tree.Insert(box, i);
+    entries.push_back(IndexEntry{box, i});
+  }
+  std::shuffle(entries.begin(), entries.end(), rng.engine());
+  for (const IndexEntry& e : entries) {
+    ASSERT_TRUE(tree.Remove(e.mbr, e.value));
+    ASSERT_TRUE(tree.CheckInvariants());
+  }
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_EQ(tree.height(), 1u);
+}
+
+TEST(RStarTreeTest, NodeAccessCountingAndReset) {
+  Rng rng(6);
+  RStarTree tree(2, RStarTreeOptions::ForFanout(8));
+  for (uint64_t i = 0; i < 300; ++i) tree.Insert(RandomBox(&rng, 2), i);
+  EXPECT_EQ(tree.node_accesses(), 0u);
+  std::vector<uint64_t> out;
+  tree.RangeSearch(RandomBox(&rng, 2, 0.2), 0.1, &out);
+  EXPECT_GT(tree.node_accesses(), 0u);
+  tree.ResetNodeAccesses();
+  EXPECT_EQ(tree.node_accesses(), 0u);
+}
+
+TEST(RStarTreeTest, SelectiveQueryTouchesFewerNodesThanFullScanWould) {
+  Rng rng(7);
+  RStarTree tree(3, RStarTreeOptions::ForFanout(16));
+  for (uint64_t i = 0; i < 2000; ++i) {
+    tree.Insert(RandomBox(&rng, 3, 0.02), i);
+  }
+  tree.ResetNodeAccesses();
+  std::vector<uint64_t> out;
+  tree.RangeSearch(Mbr(Point{0.1, 0.1, 0.1}, Point{0.12, 0.12, 0.12}), 0.01,
+                   &out);
+  EXPECT_LT(tree.node_accesses(), tree.node_count() / 2);
+}
+
+TEST(RStarTreeTest, BulkLoadMatchesInsertResults) {
+  Rng rng(8);
+  const size_t dim = 3;
+  std::vector<IndexEntry> entries;
+  for (uint64_t i = 0; i < 700; ++i) {
+    entries.push_back(IndexEntry{RandomBox(&rng, dim), i});
+  }
+  RStarTree inserted(dim, RStarTreeOptions::ForFanout(8));
+  for (const IndexEntry& e : entries) inserted.Insert(e.mbr, e.value);
+  RStarTree bulk = RStarTree::BulkLoad(dim, entries,
+                                       RStarTreeOptions::ForFanout(8));
+  EXPECT_EQ(bulk.size(), 700u);
+  EXPECT_TRUE(bulk.CheckInvariants());
+  for (int trial = 0; trial < 25; ++trial) {
+    const Mbr query = RandomBox(&rng, dim, 0.3);
+    const double epsilon = rng.Uniform() * 0.3;
+    std::vector<uint64_t> a;
+    std::vector<uint64_t> b;
+    inserted.RangeSearch(query, epsilon, &a);
+    bulk.RangeSearch(query, epsilon, &b);
+    EXPECT_EQ(Sorted(std::move(a)), Sorted(std::move(b)));
+  }
+}
+
+TEST(RStarTreeTest, BulkLoadEmptyAndTiny) {
+  RStarTree empty = RStarTree::BulkLoad(2, {});
+  EXPECT_EQ(empty.size(), 0u);
+  EXPECT_TRUE(empty.CheckInvariants());
+
+  std::vector<IndexEntry> one = {
+      IndexEntry{Mbr(Point{0.1, 0.1}, Point{0.2, 0.2}), 42}};
+  RStarTree tiny = RStarTree::BulkLoad(2, one);
+  EXPECT_EQ(tiny.size(), 1u);
+  std::vector<uint64_t> out;
+  tiny.RangeSearch(one[0].mbr, 0.0, &out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], 42u);
+}
+
+TEST(RStarTreeTest, BulkLoadPacksNodesTightly) {
+  Rng rng(9);
+  std::vector<IndexEntry> entries;
+  for (uint64_t i = 0; i < 1024; ++i) {
+    entries.push_back(IndexEntry{RandomBox(&rng, 2), i});
+  }
+  RStarTree bulk = RStarTree::BulkLoad(2, entries,
+                                       RStarTreeOptions::ForFanout(16));
+  RStarTree inserted(2, RStarTreeOptions::ForFanout(16));
+  for (const IndexEntry& e : entries) inserted.Insert(e.mbr, e.value);
+  EXPECT_LE(bulk.node_count(), inserted.node_count());
+}
+
+// All tree variants must maintain invariants and agree with brute force.
+class RTreeVariantTest : public ::testing::TestWithParam<RTreeVariant> {};
+
+TEST_P(RTreeVariantTest, InsertQueryRemoveAgainstBruteForce) {
+  Rng rng(200);
+  RStarTree tree(3, RStarTreeOptions::ForFanout(8, GetParam()));
+  std::vector<IndexEntry> reference;
+  for (uint64_t i = 0; i < 400; ++i) {
+    const Mbr box = RandomBox(&rng, 3);
+    tree.Insert(box, i);
+    reference.push_back(IndexEntry{box, i});
+  }
+  EXPECT_TRUE(tree.CheckInvariants());
+  for (int trial = 0; trial < 20; ++trial) {
+    const Mbr query = RandomBox(&rng, 3, 0.3);
+    const double epsilon = rng.Uniform() * 0.3;
+    const double eps2 = epsilon * epsilon;
+    std::vector<uint64_t> expected;
+    for (const IndexEntry& e : reference) {
+      if (query.MinDist2(e.mbr) <= eps2) expected.push_back(e.value);
+    }
+    std::vector<uint64_t> actual;
+    tree.RangeSearch(query, epsilon, &actual);
+    EXPECT_EQ(Sorted(std::move(actual)), expected);
+  }
+  for (size_t i = 0; i < reference.size(); i += 4) {
+    EXPECT_TRUE(tree.Remove(reference[i].mbr, reference[i].value));
+  }
+  EXPECT_TRUE(tree.CheckInvariants());
+  EXPECT_EQ(tree.size(), 300u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Variants, RTreeVariantTest,
+                         ::testing::Values(RTreeVariant::kRStar,
+                                           RTreeVariant::kGuttmanQuadratic,
+                                           RTreeVariant::kGuttmanLinear));
+
+TEST(RStarTreeTest, NearestNeighborsMatchBruteForce) {
+  Rng rng(201);
+  RStarTree tree(3, RStarTreeOptions::ForFanout(8));
+  std::vector<IndexEntry> reference;
+  for (uint64_t i = 0; i < 500; ++i) {
+    const Mbr box = RandomBox(&rng, 3);
+    tree.Insert(box, i);
+    reference.push_back(IndexEntry{box, i});
+  }
+  for (int trial = 0; trial < 15; ++trial) {
+    const Mbr query = Mbr::FromPoint(
+        Point{rng.Uniform(), rng.Uniform(), rng.Uniform()});
+    for (size_t k : {1u, 5u, 20u}) {
+      const std::vector<IndexEntry> nearest = tree.NearestNeighbors(query,
+                                                                    k);
+      ASSERT_EQ(nearest.size(), k);
+      // Distances are ascending and match the brute-force k-th distance.
+      std::vector<double> all;
+      for (const IndexEntry& e : reference) {
+        all.push_back(query.MinDist2(e.mbr));
+      }
+      std::sort(all.begin(), all.end());
+      for (size_t i = 0; i < k; ++i) {
+        EXPECT_NEAR(query.MinDist2(nearest[i].mbr), all[i], 1e-12)
+            << "k=" << k << " i=" << i;
+        if (i > 0) {
+          EXPECT_GE(query.MinDist2(nearest[i].mbr),
+                    query.MinDist2(nearest[i - 1].mbr));
+        }
+      }
+    }
+  }
+}
+
+TEST(RStarTreeTest, NearestNeighborsEdgeCases) {
+  RStarTree tree(2);
+  EXPECT_TRUE(tree.NearestNeighbors(Mbr::FromPoint(Point{0.5, 0.5}), 3)
+                  .empty());
+  tree.Insert(Mbr::FromPoint(Point{0.1, 0.1}), 7);
+  const auto nearest =
+      tree.NearestNeighbors(Mbr::FromPoint(Point{0.5, 0.5}), 3);
+  ASSERT_EQ(nearest.size(), 1u);  // fewer stored than requested
+  EXPECT_EQ(nearest[0].value, 7u);
+  EXPECT_TRUE(
+      tree.NearestNeighbors(Mbr::FromPoint(Point{0.5, 0.5}), 0).empty());
+}
+
+// The same correctness harness, run against both SpatialIndex backends.
+class SpatialIndexTest : public ::testing::TestWithParam<const char*> {
+ protected:
+  std::unique_ptr<SpatialIndex> MakeIndex(size_t dim) {
+    if (std::string(GetParam()) == "rstar") {
+      return std::make_unique<RStarTree>(dim,
+                                         RStarTreeOptions::ForFanout(8));
+    }
+    return std::make_unique<LinearIndex>(8);
+  }
+};
+
+TEST_P(SpatialIndexTest, InsertSearchRemoveAgreeWithBruteForce) {
+  Rng rng(100);
+  auto index = MakeIndex(2);
+  std::vector<IndexEntry> reference;
+  for (uint64_t i = 0; i < 250; ++i) {
+    const Mbr box = RandomBox(&rng, 2);
+    index->Insert(box, i);
+    reference.push_back(IndexEntry{box, i});
+  }
+  EXPECT_EQ(index->size(), reference.size());
+  for (int trial = 0; trial < 20; ++trial) {
+    const Mbr query = RandomBox(&rng, 2, 0.3);
+    const double epsilon = rng.Uniform() * 0.3;
+    const double eps2 = epsilon * epsilon;
+    std::vector<uint64_t> expected;
+    for (const IndexEntry& e : reference) {
+      if (query.MinDist2(e.mbr) <= eps2) expected.push_back(e.value);
+    }
+    std::sort(expected.begin(), expected.end());
+    std::vector<uint64_t> actual;
+    index->RangeSearch(query, epsilon, &actual);
+    EXPECT_EQ(Sorted(std::move(actual)), expected);
+  }
+  // Remove a third and re-check one query.
+  for (size_t i = 0; i < reference.size(); i += 3) {
+    EXPECT_TRUE(index->Remove(reference[i].mbr, reference[i].value));
+  }
+  const Mbr query(Point{0.0, 0.0}, Point{1.0, 1.0});
+  std::vector<uint64_t> survivors;
+  index->RangeSearch(query, 0.0, &survivors);
+  std::vector<uint64_t> expected;
+  for (size_t i = 0; i < reference.size(); ++i) {
+    if (i % 3 != 0) expected.push_back(reference[i].value);
+  }
+  EXPECT_EQ(Sorted(std::move(survivors)), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, SpatialIndexTest,
+                         ::testing::Values("rstar", "linear"));
+
+}  // namespace
+}  // namespace mdseq

@@ -1,0 +1,94 @@
+#include "baseline/sequential_scan.h"
+
+#include <gtest/gtest.h>
+
+#include "core/distance.h"
+#include "gen/fractal.h"
+#include "util/random.h"
+
+namespace mdseq {
+namespace {
+
+TEST(ExactSolutionIntervalTest, MarksQualifyingWindows) {
+  // data: 0 0 0 5 5 0 0 (1-d); query: 0 0; eps 0.1.
+  const Sequence data(1, {Point{0.0}, Point{0.0}, Point{0.0}, Point{5.0},
+                          Point{5.0}, Point{0.0}, Point{0.0}});
+  const Sequence query(1, {Point{0.0}, Point{0.0}});
+  const std::vector<Interval> si =
+      ExactSolutionInterval(query.View(), data.View(), 0.1);
+  // Windows [0,2) [1,3) qualify -> points 0..2; window [5,7) -> points 5..6.
+  EXPECT_EQ(si, (std::vector<Interval>{{0, 3}, {5, 7}}));
+}
+
+TEST(ExactSolutionIntervalTest, EmptyWhenNothingQualifies) {
+  const Sequence data(1, {Point{0.0}, Point{1.0}});
+  const Sequence query(1, {Point{0.5}});
+  EXPECT_TRUE(ExactSolutionInterval(query.View(), data.View(), 0.1).empty());
+}
+
+TEST(ExactSolutionIntervalTest, WholeSequenceWhenEverythingQualifies) {
+  Sequence data(1);
+  for (int i = 0; i < 10; ++i) data.Append(Point{0.5});
+  const Sequence query(1, {Point{0.5}, Point{0.5}});
+  const std::vector<Interval> si =
+      ExactSolutionInterval(query.View(), data.View(), 0.0);
+  EXPECT_EQ(si, (std::vector<Interval>{{0, 10}}));
+}
+
+TEST(ExactSolutionIntervalTest, LongQueryCoversWholeDataSequence) {
+  Rng rng(1);
+  const Sequence data = GenerateFractalSequence(30, FractalOptions(), &rng);
+  Sequence query(3);
+  query.Extend(data.View());
+  query.Extend(data.View());  // query twice as long as data
+  const std::vector<Interval> si =
+      ExactSolutionInterval(query.View(), data.View(), 0.01);
+  EXPECT_EQ(si, (std::vector<Interval>{{0, data.size()}}));
+  EXPECT_TRUE(
+      ExactSolutionInterval(query.View(), data.View(), -0.0).size() <= 1);
+}
+
+TEST(SequentialScanTest, FindsExactlyTheSequencesWithinThreshold) {
+  Rng rng(2);
+  SequenceDatabase db(3);
+  std::vector<Sequence> corpus;
+  for (int i = 0; i < 25; ++i) {
+    corpus.push_back(GenerateFractalSequence(100, FractalOptions(), &rng));
+    db.Add(corpus.back());
+  }
+  const Sequence query = corpus[7].Slice(20, 60).Materialize();
+  const double epsilon = 0.12;
+  SequentialScan scan(&db);
+  const std::vector<ScanMatch> matches = scan.Search(query.View(), epsilon);
+  // Independently recompute which sequences qualify.
+  std::vector<size_t> expected;
+  for (size_t id = 0; id < corpus.size(); ++id) {
+    if (SequenceDistance(query.View(), corpus[id].View()) <= epsilon) {
+      expected.push_back(id);
+    }
+  }
+  ASSERT_EQ(matches.size(), expected.size());
+  for (size_t i = 0; i < matches.size(); ++i) {
+    EXPECT_EQ(matches[i].sequence_id, expected[i]);
+    EXPECT_LE(matches[i].distance, epsilon);
+    EXPECT_FALSE(matches[i].solution_interval.empty());
+  }
+  // Sequence 7 contains the query verbatim; its interval must cover the
+  // original window [20, 60).
+  bool found_source = false;
+  for (const ScanMatch& m : matches) {
+    if (m.sequence_id == 7) {
+      found_source = true;
+      EXPECT_NEAR(m.distance, 0.0, 1e-12);
+      bool covers_window = false;
+      for (const Interval& iv : m.solution_interval) {
+        if (iv.begin <= 20 && iv.end >= 60) covers_window = true;
+      }
+      EXPECT_TRUE(covers_window);
+    }
+  }
+  EXPECT_TRUE(found_source);
+}
+
+}  // namespace
+}  // namespace mdseq

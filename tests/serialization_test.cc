@@ -1,0 +1,185 @@
+#include "io/serialization.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "gen/fractal.h"
+#include "util/random.h"
+
+namespace mdseq {
+namespace {
+
+std::string TempPath(const char* name) {
+  return testing::TempDir() + "/" + name;
+}
+
+TEST(SerializationTest, BinaryRoundTripsCorpus) {
+  Rng rng(1);
+  std::vector<Sequence> corpus;
+  corpus.push_back(GenerateFractalSequence(56, FractalOptions(), &rng));
+  corpus.push_back(GenerateFractalSequence(1, FractalOptions(), &rng));
+  corpus.push_back(Sequence::FromScalars({1.5, -2.0, 3.25}));
+
+  const std::string path = TempPath("corpus.mdsq");
+  ASSERT_TRUE(WriteSequences(path, corpus));
+  const auto loaded = ReadSequences(path);
+  ASSERT_TRUE(loaded.has_value());
+  ASSERT_EQ(loaded->size(), corpus.size());
+  for (size_t i = 0; i < corpus.size(); ++i) {
+    EXPECT_EQ((*loaded)[i].dim(), corpus[i].dim());
+    EXPECT_EQ((*loaded)[i].data(), corpus[i].data());
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SerializationTest, EmptyCorpusRoundTrips) {
+  const std::string path = TempPath("empty.mdsq");
+  ASSERT_TRUE(WriteSequences(path, {}));
+  const auto loaded = ReadSequences(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_TRUE(loaded->empty());
+  std::remove(path.c_str());
+}
+
+TEST(SerializationTest, MissingFileFails) {
+  EXPECT_FALSE(ReadSequences("/nonexistent/dir/corpus.mdsq").has_value());
+  EXPECT_FALSE(WriteSequences("/nonexistent/dir/corpus.mdsq", {}));
+}
+
+TEST(SerializationTest, BadMagicRejected) {
+  const std::string path = TempPath("bad_magic.mdsq");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "NOPE         garbage        ";
+  }
+  EXPECT_FALSE(ReadSequences(path).has_value());
+  std::remove(path.c_str());
+}
+
+TEST(SerializationTest, TruncatedPayloadRejected) {
+  Rng rng(2);
+  std::vector<Sequence> corpus;
+  corpus.push_back(GenerateFractalSequence(40, FractalOptions(), &rng));
+  const std::string path = TempPath("truncated.mdsq");
+  ASSERT_TRUE(WriteSequences(path, corpus));
+  // Chop the file short.
+  std::ifstream in(path, std::ios::binary);
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  in.close();
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(contents.data(),
+              static_cast<std::streamsize>(contents.size() / 2));
+  }
+  EXPECT_FALSE(ReadSequences(path).has_value());
+  std::remove(path.c_str());
+}
+
+TEST(SerializationTest, RandomCorruptionNeverCrashes) {
+  // Fuzz-ish robustness: flip random bytes / truncate at random points; the
+  // reader must fail cleanly or return data, never crash or hang.
+  Rng rng(99);
+  std::vector<Sequence> corpus;
+  for (int i = 0; i < 5; ++i) {
+    corpus.push_back(GenerateFractalSequence(64, FractalOptions(), &rng));
+  }
+  const std::string path = TempPath("fuzz.mdsq");
+  ASSERT_TRUE(WriteSequences(path, corpus));
+  std::ifstream in(path, std::ios::binary);
+  const std::string original((std::istreambuf_iterator<char>(in)),
+                             std::istreambuf_iterator<char>());
+  in.close();
+
+  for (int trial = 0; trial < 50; ++trial) {
+    std::string mutated = original;
+    const int mutations = static_cast<int>(rng.UniformInt(1, 8));
+    for (int m = 0; m < mutations; ++m) {
+      const size_t at = static_cast<size_t>(rng.UniformInt(
+          0, static_cast<int64_t>(mutated.size()) - 1));
+      mutated[at] = static_cast<char>(rng.UniformInt(0, 255));
+    }
+    if (rng.Bernoulli(0.3)) {
+      mutated.resize(static_cast<size_t>(rng.UniformInt(
+          0, static_cast<int64_t>(mutated.size()))));
+    }
+    {
+      std::ofstream out(path, std::ios::binary | std::ios::trunc);
+      out.write(mutated.data(),
+                static_cast<std::streamsize>(mutated.size()));
+    }
+    // Either outcome is acceptable; surviving the call is the assertion.
+    const auto result = ReadSequences(path);
+    if (result.has_value()) {
+      for (const Sequence& s : *result) {
+        EXPECT_GT(s.dim(), 0u);
+      }
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SerializationTest, CsvRoundTrips) {
+  Rng rng(3);
+  const Sequence s = GenerateFractalSequence(25, FractalOptions(), &rng);
+  const std::string path = TempPath("seq.csv");
+  ASSERT_TRUE(WriteSequenceCsv(path, s.View()));
+  const auto loaded = ReadSequenceCsv(path);
+  ASSERT_TRUE(loaded.has_value());
+  ASSERT_EQ(loaded->dim(), s.dim());
+  ASSERT_EQ(loaded->size(), s.size());
+  for (size_t i = 0; i < s.size(); ++i) {
+    for (size_t k = 0; k < s.dim(); ++k) {
+      EXPECT_DOUBLE_EQ((*loaded)[i][k], s[i][k]);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SerializationTest, CsvWithoutHeaderParses) {
+  const std::string path = TempPath("headerless.csv");
+  {
+    std::ofstream out(path);
+    out << "0.5,0.25\n0.75,1\n";
+  }
+  const auto loaded = ReadSequenceCsv(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->dim(), 2u);
+  EXPECT_EQ(loaded->size(), 2u);
+  EXPECT_DOUBLE_EQ((*loaded)[1][0], 0.75);
+  std::remove(path.c_str());
+}
+
+TEST(SerializationTest, RaggedCsvRejected) {
+  const std::string path = TempPath("ragged.csv");
+  {
+    std::ofstream out(path);
+    out << "0.5,0.25\n0.75\n";
+  }
+  EXPECT_FALSE(ReadSequenceCsv(path).has_value());
+  std::remove(path.c_str());
+}
+
+TEST(SerializationTest, NonNumericCsvBodyRejected) {
+  const std::string path = TempPath("textual.csv");
+  {
+    std::ofstream out(path);
+    out << "a,b\n1,2\nx,y\n";
+  }
+  EXPECT_FALSE(ReadSequenceCsv(path).has_value());
+  std::remove(path.c_str());
+}
+
+TEST(SerializationTest, EmptyCsvRejected) {
+  const std::string path = TempPath("empty.csv");
+  {
+    std::ofstream out(path);
+  }
+  EXPECT_FALSE(ReadSequenceCsv(path).has_value());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace mdseq

@@ -1,0 +1,140 @@
+#include "baseline/shot_detection.h"
+
+#include <gtest/gtest.h>
+
+#include "baseline/keyframe.h"
+#include "gen/video.h"
+#include "util/random.h"
+
+namespace mdseq {
+namespace {
+
+TEST(ShotDetectionTest, SinglePointSequence) {
+  Sequence s(3, {Point{0.5, 0.5, 0.5}});
+  const auto shots = DetectShots(s.View());
+  ASSERT_EQ(shots.size(), 1u);
+  EXPECT_EQ(shots[0], (std::pair<size_t, size_t>{0, 1}));
+}
+
+TEST(ShotDetectionTest, UniformSequenceIsOneShot) {
+  Sequence s(3);
+  for (int i = 0; i < 50; ++i) s.Append(Point{0.5, 0.5, 0.5});
+  const auto shots = DetectShots(s.View());
+  ASSERT_EQ(shots.size(), 1u);
+  EXPECT_EQ(shots[0], (std::pair<size_t, size_t>{0, 50}));
+}
+
+TEST(ShotDetectionTest, FindsASingleHardCut) {
+  Sequence s(3);
+  for (int i = 0; i < 20; ++i) s.Append(Point{0.2, 0.2, 0.2});
+  for (int i = 0; i < 30; ++i) s.Append(Point{0.8, 0.8, 0.8});
+  const auto shots = DetectShots(s.View());
+  ASSERT_EQ(shots.size(), 2u);
+  EXPECT_EQ(shots[0], (std::pair<size_t, size_t>{0, 20}));
+  EXPECT_EQ(shots[1], (std::pair<size_t, size_t>{20, 50}));
+}
+
+TEST(ShotDetectionTest, ShotsAlwaysCoverTheSequence) {
+  Rng rng(1);
+  const Sequence s = GenerateVideoSequence(300, VideoOptions(), &rng);
+  const auto shots = DetectShots(s.View());
+  ASSERT_FALSE(shots.empty());
+  EXPECT_EQ(shots.front().first, 0u);
+  EXPECT_EQ(shots.back().second, s.size());
+  for (size_t i = 1; i < shots.size(); ++i) {
+    EXPECT_EQ(shots[i - 1].second, shots[i].first);
+    EXPECT_LT(shots[i].first, shots[i].second);
+  }
+}
+
+TEST(ShotDetectionTest, RecoversGeneratorCutsOnCutOnlyStreams) {
+  Rng rng(2);
+  VideoOptions options;
+  options.dissolve_probability = 0.0;  // hard cuts only
+  const VideoStream stream = GenerateVideoStream(400, options, &rng);
+  const Sequence features = ExtractColorFeatures(stream);
+  const auto detected = DetectShots(features.View());
+
+  // Count ground-truth boundaries recovered within one frame.
+  size_t recovered = 0;
+  size_t truth_boundaries = 0;
+  for (size_t i = 1; i < stream.shots.size(); ++i) {
+    ++truth_boundaries;
+    const size_t boundary = stream.shots[i].first;
+    for (const auto& [begin, end] : detected) {
+      if (begin + 1 >= boundary && begin <= boundary + 1) {
+        ++recovered;
+        break;
+      }
+    }
+  }
+  ASSERT_GT(truth_boundaries, 3u);
+  // Most cuts are recovered (adjacent shots share the stream's palette, so
+  // some cuts are genuinely small jumps and a perfect score is not
+  // expected).
+  EXPECT_GE(static_cast<double>(recovered) / truth_boundaries, 0.7);
+}
+
+TEST(ShotDetectionTest, MinShotLengthSuppressesRapidBoundaries) {
+  Sequence s(3);
+  // Alternating colors every 2 frames would produce a boundary at every
+  // other step; min_shot_length forbids shots shorter than 10.
+  for (int i = 0; i < 40; ++i) {
+    const double v = (i / 2) % 2 == 0 ? 0.2 : 0.8;
+    s.Append(Point{v, v, v});
+  }
+  ShotDetectionOptions options;
+  options.min_shot_length = 10;
+  const auto shots = DetectShots(s.View(), options);
+  for (const auto& [begin, end] : shots) {
+    EXPECT_GE(end - begin, 10u);
+  }
+}
+
+TEST(KeyframeSourceTest, DetectedShotKeyframesLieInsideShots) {
+  Rng rng(3);
+  SequenceDatabase db(3);
+  VideoOptions options;
+  options.dissolve_probability = 0.0;
+  std::vector<VideoStream> streams;
+  for (int i = 0; i < 5; ++i) {
+    streams.push_back(GenerateVideoStream(200, options, &rng));
+    db.Add(ExtractColorFeatures(streams.back()));
+  }
+  KeyframeOptions keyframe_options;
+  keyframe_options.source = KeyframeOptions::Source::kDetectedShots;
+  KeyframeSearch search(&db, keyframe_options);
+  for (size_t id = 0; id < db.num_sequences(); ++id) {
+    const std::vector<size_t> keyframes = search.KeyframesOf(id);
+    ASSERT_FALSE(keyframes.empty());
+    for (size_t frame : keyframes) {
+      EXPECT_LT(frame, db.sequence(id).size());
+    }
+    // Roughly one key frame per true shot.
+    const size_t true_shots = streams[id].shots.size();
+    EXPECT_GE(keyframes.size(), true_shots / 2);
+    EXPECT_LE(keyframes.size(), true_shots * 2);
+  }
+}
+
+TEST(KeyframeSourceTest, BothSourcesFindVerbatimClipSource) {
+  Rng rng(4);
+  SequenceDatabase db(3);
+  std::vector<Sequence> corpus;
+  for (int i = 0; i < 20; ++i) {
+    corpus.push_back(GenerateVideoSequence(200, VideoOptions(), &rng));
+    db.Add(corpus.back());
+  }
+  const Sequence query = corpus[9].Slice(40, 140).Materialize();
+  for (auto source : {KeyframeOptions::Source::kPartitions,
+                      KeyframeOptions::Source::kDetectedShots}) {
+    KeyframeOptions options;
+    options.source = source;
+    KeyframeSearch search(&db, options);
+    const std::vector<size_t> hits = search.Search(query.View(), 0.05);
+    EXPECT_TRUE(std::find(hits.begin(), hits.end(), 9u) != hits.end());
+  }
+}
+
+}  // namespace
+}  // namespace mdseq

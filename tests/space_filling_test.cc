@@ -1,0 +1,167 @@
+#include "geom/space_filling.h"
+
+#include <cstdlib>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace mdseq {
+namespace {
+
+TEST(MortonTest, KnownValues) {
+  EXPECT_EQ(MortonIndex(0, 0), 0u);
+  EXPECT_EQ(MortonIndex(1, 0), 1u);
+  EXPECT_EQ(MortonIndex(0, 1), 2u);
+  EXPECT_EQ(MortonIndex(1, 1), 3u);
+  EXPECT_EQ(MortonIndex(2, 0), 4u);
+  EXPECT_EQ(MortonIndex(7, 7), 63u);
+}
+
+TEST(MortonTest, RoundTrips) {
+  for (uint32_t x = 0; x < 32; ++x) {
+    for (uint32_t y = 0; y < 32; ++y) {
+      uint32_t rx = 0;
+      uint32_t ry = 0;
+      MortonDecode(MortonIndex(x, y), &rx, &ry);
+      EXPECT_EQ(rx, x);
+      EXPECT_EQ(ry, y);
+    }
+  }
+}
+
+TEST(MortonTest, IsBijectiveOnGrid) {
+  std::set<uint32_t> seen;
+  for (uint32_t x = 0; x < 16; ++x) {
+    for (uint32_t y = 0; y < 16; ++y) {
+      const uint32_t index = MortonIndex(x, y);
+      EXPECT_LT(index, 256u);
+      EXPECT_TRUE(seen.insert(index).second);
+    }
+  }
+}
+
+TEST(HilbertTest, FirstOrderCurve) {
+  // Order-1 Hilbert: (0,0) -> (0,1) -> (1,1) -> (1,0).
+  EXPECT_EQ(HilbertIndex(1, 0, 0), 0u);
+  EXPECT_EQ(HilbertIndex(1, 0, 1), 1u);
+  EXPECT_EQ(HilbertIndex(1, 1, 1), 2u);
+  EXPECT_EQ(HilbertIndex(1, 1, 0), 3u);
+}
+
+TEST(HilbertTest, RoundTrips) {
+  const uint32_t order = 5;
+  const uint32_t side = 1u << order;
+  for (uint32_t x = 0; x < side; ++x) {
+    for (uint32_t y = 0; y < side; ++y) {
+      uint32_t rx = 0;
+      uint32_t ry = 0;
+      HilbertDecode(order, HilbertIndex(order, x, y), &rx, &ry);
+      EXPECT_EQ(rx, x);
+      EXPECT_EQ(ry, y);
+    }
+  }
+}
+
+TEST(HilbertTest, ConsecutiveIndicesAreGridNeighbors) {
+  // The defining property of the Hilbert curve (and what makes it the best
+  // region ordering): successive cells are always adjacent.
+  const uint32_t order = 4;
+  const uint32_t side = 1u << order;
+  uint32_t px = 0;
+  uint32_t py = 0;
+  HilbertDecode(order, 0, &px, &py);
+  for (uint32_t i = 1; i < side * side; ++i) {
+    uint32_t x = 0;
+    uint32_t y = 0;
+    HilbertDecode(order, i, &x, &y);
+    const uint32_t manhattan = (x > px ? x - px : px - x) +
+                               (y > py ? y - py : py - y);
+    EXPECT_EQ(manhattan, 1u) << "jump at index " << i;
+    px = x;
+    py = y;
+  }
+}
+
+TEST(GrayCodeTest, NeighborsDifferInOneBit) {
+  for (uint32_t i = 0; i + 1 < 256; ++i) {
+    const uint32_t diff = GrayCode(i) ^ GrayCode(i + 1);
+    EXPECT_EQ(diff & (diff - 1), 0u);  // power of two -> single bit
+    EXPECT_NE(diff, 0u);
+  }
+}
+
+TEST(GrayCodeTest, RoundTrips) {
+  for (uint32_t i = 0; i < 1000; ++i) {
+    EXPECT_EQ(GrayDecode(GrayCode(i)), i);
+  }
+}
+
+TEST(GridOrderTest, CoversEveryCellOnce) {
+  for (CurveKind kind :
+       {CurveKind::kRowMajor, CurveKind::kMorton, CurveKind::kHilbert}) {
+    const auto cells = GridOrder(8, kind);
+    ASSERT_EQ(cells.size(), 64u);
+    std::set<std::pair<uint32_t, uint32_t>> unique(cells.begin(),
+                                                   cells.end());
+    EXPECT_EQ(unique.size(), 64u);
+    for (const auto& [x, y] : cells) {
+      EXPECT_LT(x, 8u);
+      EXPECT_LT(y, 8u);
+    }
+  }
+}
+
+TEST(GridOrderTest, SingleCellGrid) {
+  for (CurveKind kind :
+       {CurveKind::kRowMajor, CurveKind::kMorton, CurveKind::kHilbert}) {
+    const auto cells = GridOrder(1, kind);
+    ASSERT_EQ(cells.size(), 1u);
+    EXPECT_EQ(cells[0], (std::pair<uint32_t, uint32_t>{0, 0}));
+  }
+}
+
+// The clustering argument for using these curves at all: the cells of a
+// small square window map to fewer contiguous index runs under
+// Hilbert/Morton than under a row-major scan (which needs one run per
+// window row). Fewer runs = fewer subsequence pieces per image region
+// block.
+TEST(GridOrderTest, CurvesClusterSquareWindowsIntoFewerRuns) {
+  const uint32_t side = 16;
+  const uint32_t window = 4;
+  auto mean_runs = [&](CurveKind kind) {
+    const auto cells = GridOrder(side, kind);
+    std::vector<std::vector<size_t>> index_of(side,
+                                              std::vector<size_t>(side));
+    for (size_t i = 0; i < cells.size(); ++i) {
+      index_of[cells[i].second][cells[i].first] = i;
+    }
+    double total_runs = 0.0;
+    size_t windows = 0;
+    for (uint32_t y0 = 0; y0 + window <= side; y0 += window) {
+      for (uint32_t x0 = 0; x0 + window <= side; x0 += window) {
+        std::vector<size_t> indices;
+        for (uint32_t y = y0; y < y0 + window; ++y) {
+          for (uint32_t x = x0; x < x0 + window; ++x) {
+            indices.push_back(index_of[y][x]);
+          }
+        }
+        std::sort(indices.begin(), indices.end());
+        size_t runs = 1;
+        for (size_t i = 1; i < indices.size(); ++i) {
+          if (indices[i] != indices[i - 1] + 1) ++runs;
+        }
+        total_runs += static_cast<double>(runs);
+        ++windows;
+      }
+    }
+    return total_runs / static_cast<double>(windows);
+  };
+  // Aligned 4x4 windows: row-major needs exactly 4 runs; the recursive
+  // curves keep each window in a single run.
+  EXPECT_DOUBLE_EQ(mean_runs(CurveKind::kRowMajor), 4.0);
+  EXPECT_DOUBLE_EQ(mean_runs(CurveKind::kMorton), 1.0);
+  EXPECT_DOUBLE_EQ(mean_runs(CurveKind::kHilbert), 1.0);
+}
+
+}  // namespace
+}  // namespace mdseq

@@ -1,0 +1,146 @@
+#include "ts/transforms.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/distance.h"
+#include "gen/fractal.h"
+#include "util/random.h"
+
+namespace mdseq {
+namespace {
+
+TEST(MovingAverageTest, SmoothsScalars) {
+  const Sequence s = Sequence::FromScalars({0, 2, 4, 6, 8});
+  const Sequence smoothed = MovingAverage(s.View(), 2);
+  ASSERT_EQ(smoothed.size(), 4u);
+  EXPECT_DOUBLE_EQ(smoothed[0][0], 1.0);
+  EXPECT_DOUBLE_EQ(smoothed[1][0], 3.0);
+  EXPECT_DOUBLE_EQ(smoothed[3][0], 7.0);
+}
+
+TEST(MovingAverageTest, WindowOfOneIsIdentity) {
+  Rng rng(1);
+  const Sequence s = GenerateFractalSequence(30, FractalOptions(), &rng);
+  const Sequence out = MovingAverage(s.View(), 1);
+  EXPECT_EQ(out.data(), s.data());
+}
+
+TEST(MovingAverageTest, FullWindowYieldsSingleMeanPoint) {
+  const Sequence s(2, {Point{0.0, 1.0}, Point{1.0, 3.0}});
+  const Sequence out = MovingAverage(s.View(), 2);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_DOUBLE_EQ(out[0][0], 0.5);
+  EXPECT_DOUBLE_EQ(out[0][1], 2.0);
+}
+
+TEST(MovingAverageTest, MatchesNaiveComputation) {
+  Rng rng(2);
+  const Sequence s = GenerateFractalSequence(64, FractalOptions(), &rng);
+  for (size_t w : {2u, 5u, 16u}) {
+    const Sequence fast = MovingAverage(s.View(), w);
+    ASSERT_EQ(fast.size(), s.size() - w + 1);
+    for (size_t i = 0; i < fast.size(); ++i) {
+      for (size_t k = 0; k < s.dim(); ++k) {
+        double sum = 0.0;
+        for (size_t t = 0; t < w; ++t) sum += s[i + t][k];
+        EXPECT_NEAR(fast[i][k], sum / w, 1e-12);
+      }
+    }
+  }
+}
+
+TEST(ReverseTest, ReversesAndIsInvolutive) {
+  Rng rng(3);
+  const Sequence s = GenerateFractalSequence(17, FractalOptions(), &rng);
+  const Sequence reversed = Reverse(s.View());
+  ASSERT_EQ(reversed.size(), s.size());
+  for (size_t i = 0; i < s.size(); ++i) {
+    EXPECT_EQ(Point(reversed[i].begin(), reversed[i].end()),
+              Point(s[s.size() - 1 - i].begin(), s[s.size() - 1 - i].end()));
+  }
+  EXPECT_EQ(Reverse(reversed.View()).data(), s.data());
+}
+
+TEST(ReverseTest, PreservesPairwiseDistances) {
+  // Reversal is one of Rafiei's safe transforms: distances between two
+  // sequences both reversed are unchanged.
+  Rng rng(4);
+  const Sequence a = GenerateFractalSequence(20, FractalOptions(), &rng);
+  const Sequence b = GenerateFractalSequence(20, FractalOptions(), &rng);
+  EXPECT_DOUBLE_EQ(
+      MeanDistance(a.View(), b.View()),
+      MeanDistance(Reverse(a.View()).View(), Reverse(b.View()).View()));
+}
+
+TEST(ShiftTest, TranslatesAndPreservesDistances) {
+  Rng rng(5);
+  const Sequence a = GenerateFractalSequence(20, FractalOptions(), &rng);
+  const Sequence b = GenerateFractalSequence(20, FractalOptions(), &rng);
+  const Point offset{0.3, -0.1, 2.0};
+  const Sequence sa = Shift(a.View(), offset);
+  const Sequence sb = Shift(b.View(), offset);
+  EXPECT_DOUBLE_EQ(sa[0][0], a[0][0] + 0.3);
+  EXPECT_NEAR(MeanDistance(a.View(), b.View()),
+              MeanDistance(sa.View(), sb.View()), 1e-12);
+}
+
+TEST(ScaleTest, ScalesDistancesLinearly) {
+  Rng rng(6);
+  const Sequence a = GenerateFractalSequence(20, FractalOptions(), &rng);
+  const Sequence b = GenerateFractalSequence(20, FractalOptions(), &rng);
+  const double factor = 2.5;
+  EXPECT_NEAR(MeanDistance(Scale(a.View(), factor).View(),
+                           Scale(b.View(), factor).View()),
+              factor * MeanDistance(a.View(), b.View()), 1e-12);
+}
+
+TEST(ZNormalizeTest, ProducesZeroMeanUnitVariance) {
+  Rng rng(7);
+  const Sequence s = GenerateFractalSequence(100, FractalOptions(), &rng);
+  const Sequence normalized = ZNormalize(s.View());
+  for (size_t k = 0; k < s.dim(); ++k) {
+    double mean = 0.0;
+    for (size_t i = 0; i < normalized.size(); ++i) {
+      mean += normalized[i][k];
+    }
+    mean /= normalized.size();
+    EXPECT_NEAR(mean, 0.0, 1e-9);
+    double var = 0.0;
+    for (size_t i = 0; i < normalized.size(); ++i) {
+      var += normalized[i][k] * normalized[i][k];
+    }
+    var /= normalized.size();
+    EXPECT_NEAR(var, 1.0, 1e-9);
+  }
+}
+
+TEST(ZNormalizeTest, ConstantDimensionStaysFinite) {
+  Sequence s(2);
+  for (int i = 0; i < 10; ++i) {
+    s.Append(Point{0.7, 0.1 * i});
+  }
+  const Sequence normalized = ZNormalize(s.View());
+  for (size_t i = 0; i < normalized.size(); ++i) {
+    EXPECT_DOUBLE_EQ(normalized[i][0], 0.0);  // centered, not divided
+    EXPECT_TRUE(std::isfinite(normalized[i][1]));
+  }
+}
+
+TEST(ZNormalizeTest, InvariantToShiftAndScaleOfInput) {
+  Rng rng(8);
+  const Sequence s = GenerateFractalSequence(50, FractalOptions(), &rng);
+  const Sequence transformed =
+      Scale(Shift(s.View(), Point{1.0, 2.0, 3.0}).View(), 4.0);
+  const Sequence na = ZNormalize(s.View());
+  const Sequence nb = ZNormalize(transformed.View());
+  for (size_t i = 0; i < na.size(); ++i) {
+    for (size_t k = 0; k < na.dim(); ++k) {
+      EXPECT_NEAR(na[i][k], nb[i][k], 1e-9);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mdseq

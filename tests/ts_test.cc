@@ -1,0 +1,195 @@
+#include <algorithm>
+#include <cmath>
+#include <complex>
+
+#include <gtest/gtest.h>
+
+#include "gen/walk.h"
+#include "ts/dft.h"
+#include "ts/sliding_window.h"
+#include "ts/whole_matching.h"
+#include "util/random.h"
+
+namespace mdseq {
+namespace {
+
+std::vector<double> Values(SequenceView s) {
+  std::vector<double> v(s.size());
+  for (size_t i = 0; i < s.size(); ++i) v[i] = s[i][0];
+  return v;
+}
+
+TEST(SlidingWindowTest, EmbedShapes) {
+  const Sequence series = Sequence::FromScalars({1, 2, 3, 4, 5});
+  const Sequence embedded = SlidingWindowEmbed(series.View(), 3);
+  EXPECT_EQ(embedded.dim(), 3u);
+  ASSERT_EQ(embedded.size(), 3u);
+  EXPECT_DOUBLE_EQ(embedded[0][0], 1.0);
+  EXPECT_DOUBLE_EQ(embedded[0][2], 3.0);
+  EXPECT_DOUBLE_EQ(embedded[2][0], 3.0);
+  EXPECT_DOUBLE_EQ(embedded[2][2], 5.0);
+}
+
+TEST(SlidingWindowTest, WindowOfOneIsIdentityLike) {
+  const Sequence series = Sequence::FromScalars({4, 5, 6});
+  const Sequence embedded = SlidingWindowEmbed(series.View(), 1);
+  EXPECT_EQ(embedded.size(), 3u);
+  EXPECT_EQ(embedded.dim(), 1u);
+}
+
+TEST(SlidingWindowTest, RestoreRoundTrips) {
+  Rng rng(1);
+  const Sequence series = GenerateRandomWalk(64, WalkOptions(), &rng);
+  for (size_t w : {1u, 2u, 5u, 16u, 64u}) {
+    const Sequence embedded = SlidingWindowEmbed(series.View(), w);
+    const Sequence restored = SlidingWindowRestore(embedded.View());
+    ASSERT_EQ(restored.size(), series.size()) << "w=" << w;
+    EXPECT_EQ(Values(restored.View()), Values(series.View()));
+  }
+}
+
+TEST(DftTest, ConstantSeriesConcentratesInDc) {
+  const std::vector<double> series(8, 1.0);
+  const auto freq = Dft(series);
+  EXPECT_NEAR(freq[0].real(), std::sqrt(8.0), 1e-9);
+  for (size_t f = 1; f < freq.size(); ++f) {
+    EXPECT_NEAR(std::abs(freq[f]), 0.0, 1e-9);
+  }
+}
+
+TEST(DftTest, InverseRoundTrips) {
+  Rng rng(2);
+  std::vector<double> series(17);
+  for (double& v : series) v = rng.Uniform();
+  const std::vector<double> restored = InverseDft(Dft(series));
+  ASSERT_EQ(restored.size(), series.size());
+  for (size_t i = 0; i < series.size(); ++i) {
+    EXPECT_NEAR(restored[i], series[i], 1e-9);
+  }
+}
+
+TEST(DftTest, ParsevalEnergyPreservation) {
+  Rng rng(3);
+  std::vector<double> series(32);
+  for (double& v : series) v = rng.Uniform(-1.0, 1.0);
+  const auto freq = Dft(series);
+  double time_energy = 0.0;
+  for (double v : series) time_energy += v * v;
+  double freq_energy = 0.0;
+  for (const auto& c : freq) freq_energy += std::norm(c);
+  EXPECT_NEAR(time_energy, freq_energy, 1e-9);
+}
+
+// The F-index guarantee: distance on a DFT coefficient prefix never exceeds
+// the true series distance.
+TEST(DftTest, FeatureDistanceLowerBoundsSeriesDistance) {
+  Rng rng(4);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Sequence a = GenerateRandomWalk(40, WalkOptions(), &rng);
+    const Sequence b = GenerateRandomWalk(40, WalkOptions(), &rng);
+    const double exact = WholeSeriesDistance(a.View(), b.View());
+    for (size_t fc : {1u, 2u, 4u, 8u}) {
+      const Point fa = DftFeature(a.View(), fc);
+      const Point fb = DftFeature(b.View(), fc);
+      EXPECT_LE(PointDistance(fa, fb), exact + 1e-9)
+          << "fc=" << fc << " trial=" << trial;
+    }
+  }
+}
+
+TEST(WholeMatchingTest, ExactDuplicateIsFoundAtZeroEpsilon) {
+  Rng rng(5);
+  WholeMatchingIndex index(64, 4);
+  std::vector<Sequence> stored;
+  for (int i = 0; i < 30; ++i) {
+    stored.push_back(GenerateRandomWalk(64, WalkOptions(), &rng));
+    index.Add(stored.back());
+  }
+  const std::vector<size_t> hits = index.Search(stored[11].View(), 1e-9);
+  ASSERT_FALSE(hits.empty());
+  EXPECT_TRUE(std::find(hits.begin(), hits.end(), 11u) != hits.end());
+}
+
+TEST(WholeMatchingTest, NoFalseDismissalsAndExactVerification) {
+  Rng rng(6);
+  WholeMatchingIndex index(32, 3);
+  std::vector<Sequence> stored;
+  for (int i = 0; i < 80; ++i) {
+    stored.push_back(GenerateRandomWalk(32, WalkOptions(), &rng));
+    index.Add(stored.back());
+  }
+  const Sequence query = GenerateRandomWalk(32, WalkOptions(), &rng);
+  for (double epsilon : {0.1, 0.5, 1.5}) {
+    std::vector<size_t> expected;
+    for (size_t id = 0; id < stored.size(); ++id) {
+      if (WholeSeriesDistance(query.View(), stored[id].View()) <= epsilon) {
+        expected.push_back(id);
+      }
+    }
+    EXPECT_EQ(index.Search(query.View(), epsilon), expected);
+    // Candidates form a superset of the answers.
+    const std::vector<size_t> candidates =
+        index.SearchCandidates(query.View(), epsilon);
+    for (size_t id : expected) {
+      EXPECT_TRUE(std::find(candidates.begin(), candidates.end(), id) !=
+                  candidates.end());
+    }
+  }
+}
+
+TEST(WholeMatchingTest, HaarFeatureBackendIsAlsoCorrect) {
+  Rng rng(8);
+  WholeMatchingIndex index(32, 4, WholeMatchingIndex::Feature::kHaar);
+  std::vector<Sequence> stored;
+  for (int i = 0; i < 60; ++i) {
+    stored.push_back(GenerateRandomWalk(32, WalkOptions(), &rng));
+    index.Add(stored.back());
+  }
+  const Sequence query = GenerateRandomWalk(32, WalkOptions(), &rng);
+  for (double epsilon : {0.2, 0.8}) {
+    std::vector<size_t> expected;
+    for (size_t id = 0; id < stored.size(); ++id) {
+      if (WholeSeriesDistance(query.View(), stored[id].View()) <= epsilon) {
+        expected.push_back(id);
+      }
+    }
+    EXPECT_EQ(index.Search(query.View(), epsilon), expected);
+  }
+}
+
+TEST(WholeMatchingTest, PaaFeatureBackendIsAlsoCorrect) {
+  Rng rng(9);
+  WholeMatchingIndex index(32, 4, WholeMatchingIndex::Feature::kPaa);
+  std::vector<Sequence> stored;
+  for (int i = 0; i < 60; ++i) {
+    stored.push_back(GenerateRandomWalk(32, WalkOptions(), &rng));
+    index.Add(stored.back());
+  }
+  const Sequence query = GenerateRandomWalk(32, WalkOptions(), &rng);
+  for (double epsilon : {0.2, 0.8}) {
+    std::vector<size_t> expected;
+    for (size_t id = 0; id < stored.size(); ++id) {
+      if (WholeSeriesDistance(query.View(), stored[id].View()) <= epsilon) {
+        expected.push_back(id);
+      }
+    }
+    EXPECT_EQ(index.Search(query.View(), epsilon), expected);
+  }
+}
+
+TEST(WholeMatchingTest, FilterIsSelective) {
+  // With smooth (walk) data, a 3-coefficient filter should prune most of
+  // the database at a small threshold.
+  Rng rng(7);
+  WholeMatchingIndex index(32, 3);
+  for (int i = 0; i < 200; ++i) {
+    index.Add(GenerateRandomWalk(32, WalkOptions(), &rng));
+  }
+  const Sequence query = GenerateRandomWalk(32, WalkOptions(), &rng);
+  const std::vector<size_t> candidates =
+      index.SearchCandidates(query.View(), 0.1);
+  EXPECT_LT(candidates.size(), 100u);
+}
+
+}  // namespace
+}  // namespace mdseq

@@ -1,0 +1,101 @@
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "eval/table.h"
+#include "util/csv.h"
+#include "util/flags.h"
+
+namespace mdseq {
+namespace {
+
+TEST(CsvWriterTest, HeaderAndRows) {
+  CsvWriter csv({"a", "b"});
+  csv.AddRow(std::vector<std::string>{"1", "x"});
+  csv.AddRow(std::vector<double>{0.5, 2.0});
+  EXPECT_EQ(csv.num_rows(), 2u);
+  EXPECT_EQ(csv.ToString(), "a,b\n1,x\n0.5,2\n");
+}
+
+TEST(CsvWriterTest, WriteFileRoundTrips) {
+  CsvWriter csv({"v"});
+  csv.AddRow(std::vector<double>{0.1});
+  const std::string path = testing::TempDir() + "/mdseq_csv_test.csv";
+  ASSERT_TRUE(csv.WriteFile(path));
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  char buffer[64] = {};
+  const size_t n = std::fread(buffer, 1, sizeof(buffer) - 1, f);
+  std::fclose(f);
+  EXPECT_EQ(std::string(buffer, n), "v\n0.1\n");
+  std::remove(path.c_str());
+}
+
+TEST(FormatDoubleTest, RoundTripsExactly) {
+  for (double v : {0.0, 1.0, 0.1, 1.0 / 3.0, 1e-17, 123456.789}) {
+    const std::string s = FormatDouble(v);
+    EXPECT_EQ(std::strtod(s.c_str(), nullptr), v) << s;
+  }
+}
+
+class FlagsTest : public ::testing::Test {
+ protected:
+  Flags Parse(std::vector<std::string> args) {
+    argv_storage_ = std::move(args);
+    argv_storage_.insert(argv_storage_.begin(), "prog");
+    argv_.clear();
+    for (std::string& s : argv_storage_) argv_.push_back(s.data());
+    return Flags(static_cast<int>(argv_.size()), argv_.data());
+  }
+
+  std::vector<std::string> argv_storage_;
+  std::vector<char*> argv_;
+};
+
+TEST_F(FlagsTest, ParsesKeyValuePairs) {
+  const Flags flags = Parse({"--count=42", "--eps=0.25", "--name=abc"});
+  EXPECT_EQ(flags.GetSize("count", 0), 42u);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("eps", 0.0), 0.25);
+  EXPECT_EQ(flags.GetString("name", ""), "abc");
+}
+
+TEST_F(FlagsTest, DefaultsWhenMissing) {
+  const Flags flags = Parse({});
+  EXPECT_FALSE(flags.Has("count"));
+  EXPECT_EQ(flags.GetSize("count", 7), 7u);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("eps", 0.5), 0.5);
+  EXPECT_EQ(flags.GetString("name", "default"), "default");
+}
+
+TEST_F(FlagsTest, BareFlagStoresOne) {
+  const Flags flags = Parse({"--verbose"});
+  EXPECT_TRUE(flags.Has("verbose"));
+  EXPECT_EQ(flags.GetSize("verbose", 0), 1u);
+}
+
+TEST_F(FlagsTest, PositionalArgumentsCollected) {
+  const Flags flags = Parse({"query", "--eps=0.1", "extra"});
+  ASSERT_EQ(flags.positional().size(), 2u);
+  EXPECT_EQ(flags.positional()[0], "query");
+  EXPECT_EQ(flags.positional()[1], "extra");
+}
+
+TEST_F(FlagsTest, ValueWithEqualsSign) {
+  const Flags flags = Parse({"--path=/a/b=c"});
+  EXPECT_EQ(flags.GetString("path", ""), "/a/b=c");
+}
+
+TEST(TextTableTest, AlignsColumns) {
+  TextTable table({"eps", "value"});
+  table.AddRow({"0.05", "1"});
+  table.AddNumericRow({0.5, 123.456}, 2);
+  const std::string rendered = table.ToString();
+  EXPECT_NE(rendered.find(" eps   value\n"), std::string::npos);
+  EXPECT_NE(rendered.find("0.05       1\n"), std::string::npos);
+  EXPECT_NE(rendered.find("0.50  123.46\n"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mdseq

@@ -1,0 +1,94 @@
+#include "ts/wavelet.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "gen/walk.h"
+#include "ts/whole_matching.h"
+#include "util/random.h"
+
+namespace mdseq {
+namespace {
+
+TEST(HaarTransformTest, ConstantSeriesConcentratesInAverage) {
+  const std::vector<double> series(8, 1.0);
+  const std::vector<double> coefficients = HaarTransform(series);
+  // Orthonormal Haar: the DC coefficient is sum/sqrt(n) = 8/sqrt(8).
+  EXPECT_NEAR(coefficients[0], 8.0 / std::sqrt(8.0), 1e-12);
+  for (size_t i = 1; i < coefficients.size(); ++i) {
+    EXPECT_NEAR(coefficients[i], 0.0, 1e-12);
+  }
+}
+
+TEST(HaarTransformTest, TwoPointCase) {
+  const std::vector<double> coefficients = HaarTransform({3.0, 1.0});
+  EXPECT_NEAR(coefficients[0], 4.0 / std::sqrt(2.0), 1e-12);
+  EXPECT_NEAR(coefficients[1], 2.0 / std::sqrt(2.0), 1e-12);
+}
+
+TEST(HaarTransformTest, SinglePointIsIdentity) {
+  EXPECT_EQ(HaarTransform({5.0}), std::vector<double>{5.0});
+}
+
+TEST(HaarTransformTest, InverseRoundTrips) {
+  Rng rng(1);
+  for (size_t n : {1u, 2u, 8u, 64u, 256u}) {
+    std::vector<double> series(n);
+    for (double& v : series) v = rng.Uniform(-2.0, 2.0);
+    const std::vector<double> restored =
+        InverseHaarTransform(HaarTransform(series));
+    ASSERT_EQ(restored.size(), n);
+    for (size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(restored[i], series[i], 1e-9);
+    }
+  }
+}
+
+TEST(HaarTransformTest, IsometryPreservesEnergy) {
+  Rng rng(2);
+  std::vector<double> series(128);
+  for (double& v : series) v = rng.Uniform(-1.0, 1.0);
+  const std::vector<double> coefficients = HaarTransform(series);
+  double time_energy = 0.0;
+  double coeff_energy = 0.0;
+  for (double v : series) time_energy += v * v;
+  for (double c : coefficients) coeff_energy += c * c;
+  EXPECT_NEAR(time_energy, coeff_energy, 1e-9);
+}
+
+// The property that makes Haar features a valid filter: any coefficient
+// prefix lower-bounds the true series distance.
+TEST(HaarFeatureTest, PrefixDistanceLowerBoundsSeriesDistance) {
+  Rng rng(3);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Sequence a = GenerateRandomWalk(64, WalkOptions(), &rng);
+    const Sequence b = GenerateRandomWalk(64, WalkOptions(), &rng);
+    const double exact = WholeSeriesDistance(a.View(), b.View());
+    for (size_t fc : {1u, 4u, 16u, 64u}) {
+      const Point fa = HaarFeature(a.View(), fc);
+      const Point fb = HaarFeature(b.View(), fc);
+      EXPECT_LE(PointDistance(fa, fb), exact + 1e-9)
+          << "fc=" << fc << " trial=" << trial;
+    }
+  }
+  // Full-length features are exactly distance-preserving.
+  const Sequence a = GenerateRandomWalk(32, WalkOptions(), &rng);
+  const Sequence b = GenerateRandomWalk(32, WalkOptions(), &rng);
+  EXPECT_NEAR(PointDistance(HaarFeature(a.View(), 32),
+                            HaarFeature(b.View(), 32)),
+              WholeSeriesDistance(a.View(), b.View()), 1e-9);
+}
+
+TEST(HaarFeatureTest, CoarseFeatureTracksMean) {
+  Sequence s(1);
+  for (int i = 0; i < 16; ++i) {
+    const double v = 0.25;
+    s.Append(PointView(&v, 1));
+  }
+  const Point feature = HaarFeature(s.View(), 1);
+  EXPECT_NEAR(feature[0], 0.25 * 16 / std::sqrt(16.0), 1e-12);
+}
+
+}  // namespace
+}  // namespace mdseq

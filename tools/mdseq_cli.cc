@@ -1,0 +1,309 @@
+// mdseq_cli — command-line front end for the library.
+//
+// Subcommands:
+//   gen     generate a corpus file
+//             mdseq_cli gen --kind=synthetic|video|walk --count=100
+//                           [--min_len=56 --max_len=512 --seed=42]
+//                           --out=corpus.mdsq
+//   info    summarize a corpus file
+//             mdseq_cli info --corpus=corpus.mdsq
+//   export  dump one sequence as CSV (e.g. for plotting or as a query)
+//             mdseq_cli export --corpus=corpus.mdsq --id=7 --out=seq.csv
+//   query   range query: load the corpus, index it, search
+//             mdseq_cli query --corpus=corpus.mdsq --query=seq.csv
+//                             --eps=0.1 [--filter-only] [--max_rows=20]
+//   topk    k-nearest query
+//             mdseq_cli topk --corpus=corpus.mdsq --query=seq.csv --k=5
+//   builddb build a disk-resident database (paged index + sequence store)
+//             mdseq_cli builddb --corpus=corpus.mdsq --out=corpus.db
+//   querydb range query against a disk database, reporting page I/O
+//             mdseq_cli querydb --db=corpus.db --query=seq.csv --eps=0.1
+//                               [--pool=256] [--filter-only] [--max_rows=20]
+//
+// Exit codes: 0 success, 1 runtime failure, 2 usage error.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/search.h"
+#include "gen/fractal.h"
+#include "gen/video.h"
+#include "gen/walk.h"
+#include "io/serialization.h"
+#include "storage/disk_database.h"
+#include "util/flags.h"
+#include "util/random.h"
+
+namespace {
+
+using namespace mdseq;
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: mdseq_cli <gen|info|export|query|topk> [--flags]\n"
+               "see the header of tools/mdseq_cli.cc for details\n");
+  return 2;
+}
+
+int RunGen(const Flags& flags) {
+  const std::string kind = flags.GetString("kind", "synthetic");
+  const std::string out = flags.GetString("out", "");
+  if (out.empty()) {
+    std::fprintf(stderr, "gen: --out is required\n");
+    return 2;
+  }
+  const size_t count = flags.GetSize("count", 100);
+  const size_t min_len = flags.GetSize("min_len", 56);
+  const size_t max_len = flags.GetSize("max_len", 512);
+  if (min_len < 1 || min_len > max_len) {
+    std::fprintf(stderr, "gen: invalid length range\n");
+    return 2;
+  }
+  Rng rng(flags.GetSize("seed", 42));
+
+  std::vector<Sequence> corpus;
+  corpus.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    const size_t length = static_cast<size_t>(rng.UniformInt(
+        static_cast<int64_t>(min_len), static_cast<int64_t>(max_len)));
+    if (kind == "synthetic") {
+      corpus.push_back(GenerateFractalSequence(length, FractalOptions(),
+                                               &rng));
+    } else if (kind == "video") {
+      corpus.push_back(GenerateVideoSequence(length, VideoOptions(), &rng));
+    } else if (kind == "walk") {
+      WalkOptions options;
+      options.dim = flags.GetSize("dim", 1);
+      corpus.push_back(GenerateRandomWalk(length, options, &rng));
+    } else {
+      std::fprintf(stderr, "gen: unknown --kind=%s\n", kind.c_str());
+      return 2;
+    }
+  }
+  if (!WriteSequences(out, corpus)) {
+    std::fprintf(stderr, "gen: failed to write %s\n", out.c_str());
+    return 1;
+  }
+  std::printf("wrote %zu %s sequence(s) to %s\n", corpus.size(),
+              kind.c_str(), out.c_str());
+  return 0;
+}
+
+std::optional<std::vector<Sequence>> LoadCorpus(const Flags& flags) {
+  const std::string path = flags.GetString("corpus", "");
+  if (path.empty()) {
+    std::fprintf(stderr, "--corpus is required\n");
+    return std::nullopt;
+  }
+  auto corpus = ReadSequences(path);
+  if (!corpus.has_value()) {
+    std::fprintf(stderr, "failed to read corpus %s\n", path.c_str());
+  }
+  return corpus;
+}
+
+int RunInfo(const Flags& flags) {
+  const auto corpus = LoadCorpus(flags);
+  if (!corpus.has_value()) return 1;
+  size_t points = 0;
+  size_t min_len = SIZE_MAX;
+  size_t max_len = 0;
+  for (const Sequence& s : *corpus) {
+    points += s.size();
+    min_len = std::min(min_len, s.size());
+    max_len = std::max(max_len, s.size());
+  }
+  std::printf("sequences : %zu\n", corpus->size());
+  if (!corpus->empty()) {
+    std::printf("dimension : %zu\n", corpus->front().dim());
+    std::printf("points    : %zu (lengths %zu-%zu)\n", points, min_len,
+                max_len);
+  }
+  return 0;
+}
+
+int RunExport(const Flags& flags) {
+  const auto corpus = LoadCorpus(flags);
+  if (!corpus.has_value()) return 1;
+  const size_t id = flags.GetSize("id", 0);
+  const std::string out = flags.GetString("out", "");
+  if (out.empty() || id >= corpus->size()) {
+    std::fprintf(stderr, "export: need --out and a valid --id (< %zu)\n",
+                 corpus->size());
+    return 2;
+  }
+  if (!WriteSequenceCsv(out, (*corpus)[id].View())) {
+    std::fprintf(stderr, "export: failed to write %s\n", out.c_str());
+    return 1;
+  }
+  std::printf("wrote sequence %zu (%zu points) to %s\n", id,
+              (*corpus)[id].size(), out.c_str());
+  return 0;
+}
+
+// Loads the corpus into an indexed database and parses the query CSV.
+struct QuerySetup {
+  SequenceDatabase database;
+  Sequence query;
+};
+
+std::optional<QuerySetup> PrepareQuery(const Flags& flags) {
+  const auto corpus = LoadCorpus(flags);
+  if (!corpus.has_value() || corpus->empty()) return std::nullopt;
+  const std::string query_path = flags.GetString("query", "");
+  if (query_path.empty()) {
+    std::fprintf(stderr, "--query=<csv> is required\n");
+    return std::nullopt;
+  }
+  auto query = ReadSequenceCsv(query_path);
+  if (!query.has_value()) {
+    std::fprintf(stderr, "failed to read query CSV %s\n",
+                 query_path.c_str());
+    return std::nullopt;
+  }
+  if (query->dim() != corpus->front().dim()) {
+    std::fprintf(stderr, "query dimension %zu != corpus dimension %zu\n",
+                 query->dim(), corpus->front().dim());
+    return std::nullopt;
+  }
+  QuerySetup setup{SequenceDatabase(corpus->front().dim()),
+                   std::move(*query)};
+  for (const Sequence& s : *corpus) setup.database.Add(s);
+  return setup;
+}
+
+void PrintMatch(const SequenceMatch& match, bool verified) {
+  if (verified) {
+    std::printf("  sequence %zu  distance %.6f  intervals:",
+                match.sequence_id, match.exact_distance);
+  } else {
+    std::printf("  sequence %zu  min Dnorm %.6f  intervals:",
+                match.sequence_id, match.min_dnorm);
+  }
+  for (const Interval& iv : match.solution_interval) {
+    std::printf(" [%zu, %zu)", iv.begin, iv.end);
+  }
+  std::printf("\n");
+}
+
+int RunQuery(const Flags& flags) {
+  auto setup = PrepareQuery(flags);
+  if (!setup.has_value()) return 1;
+  const double epsilon = flags.GetDouble("eps", 0.1);
+  const bool filter_only = flags.Has("filter-only");
+  const size_t max_rows = flags.GetSize("max_rows", 20);
+
+  SimilaritySearch engine(&setup->database);
+  const SearchResult result =
+      filter_only ? engine.Search(setup->query.View(), epsilon)
+                  : engine.SearchVerified(setup->query.View(), epsilon);
+  std::printf("query: %zu points, eps %.4f%s\n", setup->query.size(),
+              epsilon, filter_only ? " (filter only, no verification)" : "");
+  std::printf("candidates after Dmbr: %zu; %s: %zu\n",
+              result.candidates.size(),
+              filter_only ? "after Dnorm" : "verified matches",
+              result.matches.size());
+  for (size_t i = 0; i < result.matches.size() && i < max_rows; ++i) {
+    PrintMatch(result.matches[i], !filter_only);
+  }
+  if (result.matches.size() > max_rows) {
+    std::printf("  ... %zu more (raise --max_rows)\n",
+                result.matches.size() - max_rows);
+  }
+  return 0;
+}
+
+int RunBuildDb(const Flags& flags) {
+  const auto corpus = LoadCorpus(flags);
+  if (!corpus.has_value()) return 1;
+  if (corpus->empty()) {
+    std::fprintf(stderr, "builddb: corpus is empty\n");
+    return 2;
+  }
+  const std::string out = flags.GetString("out", "");
+  if (out.empty()) {
+    std::fprintf(stderr, "builddb: --out is required\n");
+    return 2;
+  }
+  SequenceDatabase database(corpus->front().dim());
+  for (const Sequence& s : *corpus) database.Add(s);
+  if (!DiskDatabase::Save(database, out)) {
+    std::fprintf(stderr, "builddb: failed to write %s\n", out.c_str());
+    return 1;
+  }
+  std::printf("wrote disk database: %zu sequences, %zu points, %zu MBRs "
+              "-> %s\n",
+              database.num_sequences(), database.total_points(),
+              database.total_mbrs(), out.c_str());
+  return 0;
+}
+
+int RunQueryDb(const Flags& flags) {
+  const std::string db_path = flags.GetString("db", "");
+  const std::string query_path = flags.GetString("query", "");
+  if (db_path.empty() || query_path.empty()) {
+    std::fprintf(stderr, "querydb: --db and --query are required\n");
+    return 2;
+  }
+  DiskDatabase database(db_path, flags.GetSize("pool", 256));
+  if (!database.valid()) {
+    std::fprintf(stderr, "querydb: failed to open %s\n", db_path.c_str());
+    return 1;
+  }
+  auto query = ReadSequenceCsv(query_path);
+  if (!query.has_value() || query->dim() != database.dim()) {
+    std::fprintf(stderr, "querydb: bad query CSV (need dimension %zu)\n",
+                 database.dim());
+    return 1;
+  }
+  const double epsilon = flags.GetDouble("eps", 0.1);
+  const bool filter_only = flags.Has("filter-only");
+  const size_t max_rows = flags.GetSize("max_rows", 20);
+
+  database.mutable_pool()->ResetStats();
+  const SearchResult result =
+      filter_only ? database.Search(query->View(), epsilon)
+                  : database.SearchVerified(query->View(), epsilon);
+  std::printf("query: %zu points, eps %.4f over %zu sequences on disk\n",
+              query->size(), epsilon, database.num_sequences());
+  std::printf("candidates after Dmbr: %zu; %s: %zu\n",
+              result.candidates.size(),
+              filter_only ? "after Dnorm" : "verified matches",
+              result.matches.size());
+  for (size_t i = 0; i < result.matches.size() && i < max_rows; ++i) {
+    PrintMatch(result.matches[i], !filter_only);
+  }
+  std::printf("page I/O: %llu misses (real reads), %llu pool hits\n",
+              static_cast<unsigned long long>(database.pool().misses()),
+              static_cast<unsigned long long>(database.pool().hits()));
+  return 0;
+}
+
+int RunTopk(const Flags& flags) {
+  auto setup = PrepareQuery(flags);
+  if (!setup.has_value()) return 1;
+  const size_t k = flags.GetSize("k", 5);
+  SimilaritySearch engine(&setup->database);
+  const std::vector<SequenceMatch> nearest =
+      engine.SearchNearest(setup->query.View(), k);
+  std::printf("top-%zu nearest sequences:\n", k);
+  for (const SequenceMatch& match : nearest) PrintMatch(match, true);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  const Flags flags(argc - 1, argv + 1);
+  if (command == "gen") return RunGen(flags);
+  if (command == "info") return RunInfo(flags);
+  if (command == "export") return RunExport(flags);
+  if (command == "query") return RunQuery(flags);
+  if (command == "topk") return RunTopk(flags);
+  if (command == "builddb") return RunBuildDb(flags);
+  if (command == "querydb") return RunQueryDb(flags);
+  return Usage();
+}
