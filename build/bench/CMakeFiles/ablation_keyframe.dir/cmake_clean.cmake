@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_keyframe.dir/ablation_keyframe.cc.o"
+  "CMakeFiles/ablation_keyframe.dir/ablation_keyframe.cc.o.d"
+  "ablation_keyframe"
+  "ablation_keyframe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_keyframe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

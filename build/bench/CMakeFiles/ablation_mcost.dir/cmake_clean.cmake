@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_mcost.dir/ablation_mcost.cc.o"
+  "CMakeFiles/ablation_mcost.dir/ablation_mcost.cc.o.d"
+  "ablation_mcost"
+  "ablation_mcost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_mcost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

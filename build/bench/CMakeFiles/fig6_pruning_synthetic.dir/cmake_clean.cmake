@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_pruning_synthetic.dir/fig6_pruning_synthetic.cc.o"
+  "CMakeFiles/fig6_pruning_synthetic.dir/fig6_pruning_synthetic.cc.o.d"
+  "fig6_pruning_synthetic"
+  "fig6_pruning_synthetic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_pruning_synthetic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_pruning_video.dir/fig7_pruning_video.cc.o"
+  "CMakeFiles/fig7_pruning_video.dir/fig7_pruning_video.cc.o.d"
+  "fig7_pruning_video"
+  "fig7_pruning_video.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_pruning_video.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_solution_interval_synthetic.dir/fig8_solution_interval_synthetic.cc.o"
+  "CMakeFiles/fig8_solution_interval_synthetic.dir/fig8_solution_interval_synthetic.cc.o.d"
+  "fig8_solution_interval_synthetic"
+  "fig8_solution_interval_synthetic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_solution_interval_synthetic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_solution_interval_video.dir/fig9_solution_interval_video.cc.o"
+  "CMakeFiles/fig9_solution_interval_video.dir/fig9_solution_interval_video.cc.o.d"
+  "fig9_solution_interval_video"
+  "fig9_solution_interval_video.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_solution_interval_video.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_dnorm.dir/micro_dnorm.cc.o"
+  "CMakeFiles/micro_dnorm.dir/micro_dnorm.cc.o.d"
+  "micro_dnorm"
+  "micro_dnorm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_dnorm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_gen.dir/micro_gen.cc.o"
+  "CMakeFiles/micro_gen.dir/micro_gen.cc.o.d"
+  "micro_gen"
+  "micro_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

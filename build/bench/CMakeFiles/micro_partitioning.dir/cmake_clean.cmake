@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_partitioning.dir/micro_partitioning.cc.o"
+  "CMakeFiles/micro_partitioning.dir/micro_partitioning.cc.o.d"
+  "micro_partitioning"
+  "micro_partitioning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_partitioning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_ts.dir/micro_ts.cc.o"
+  "CMakeFiles/micro_ts.dir/micro_ts.cc.o.d"
+  "micro_ts"
+  "micro_ts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_ts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

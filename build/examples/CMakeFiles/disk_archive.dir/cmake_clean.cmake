@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/disk_archive.dir/disk_archive.cpp.o"
+  "CMakeFiles/disk_archive.dir/disk_archive.cpp.o.d"
+  "disk_archive"
+  "disk_archive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/disk_archive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/video_browsing.dir/video_browsing.cpp.o"
+  "CMakeFiles/video_browsing.dir/video_browsing.cpp.o.d"
+  "video_browsing"
+  "video_browsing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/video_browsing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/keyframe.cc" "src/baseline/CMakeFiles/mdseq_baseline.dir/keyframe.cc.o" "gcc" "src/baseline/CMakeFiles/mdseq_baseline.dir/keyframe.cc.o.d"
+  "/root/repo/src/baseline/sequential_scan.cc" "src/baseline/CMakeFiles/mdseq_baseline.dir/sequential_scan.cc.o" "gcc" "src/baseline/CMakeFiles/mdseq_baseline.dir/sequential_scan.cc.o.d"
+  "/root/repo/src/baseline/shot_detection.cc" "src/baseline/CMakeFiles/mdseq_baseline.dir/shot_detection.cc.o" "gcc" "src/baseline/CMakeFiles/mdseq_baseline.dir/shot_detection.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mdseq_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/mdseq_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/mdseq_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mdseq_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdseq_baseline.dir/keyframe.cc.o"
+  "CMakeFiles/mdseq_baseline.dir/keyframe.cc.o.d"
+  "CMakeFiles/mdseq_baseline.dir/sequential_scan.cc.o"
+  "CMakeFiles/mdseq_baseline.dir/sequential_scan.cc.o.d"
+  "CMakeFiles/mdseq_baseline.dir/shot_detection.cc.o"
+  "CMakeFiles/mdseq_baseline.dir/shot_detection.cc.o.d"
+  "libmdseq_baseline.a"
+  "libmdseq_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdseq_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/database.cc" "src/core/CMakeFiles/mdseq_core.dir/database.cc.o" "gcc" "src/core/CMakeFiles/mdseq_core.dir/database.cc.o.d"
+  "/root/repo/src/core/distance.cc" "src/core/CMakeFiles/mdseq_core.dir/distance.cc.o" "gcc" "src/core/CMakeFiles/mdseq_core.dir/distance.cc.o.d"
+  "/root/repo/src/core/mbr_distance.cc" "src/core/CMakeFiles/mdseq_core.dir/mbr_distance.cc.o" "gcc" "src/core/CMakeFiles/mdseq_core.dir/mbr_distance.cc.o.d"
+  "/root/repo/src/core/partitioning.cc" "src/core/CMakeFiles/mdseq_core.dir/partitioning.cc.o" "gcc" "src/core/CMakeFiles/mdseq_core.dir/partitioning.cc.o.d"
+  "/root/repo/src/core/search.cc" "src/core/CMakeFiles/mdseq_core.dir/search.cc.o" "gcc" "src/core/CMakeFiles/mdseq_core.dir/search.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geom/CMakeFiles/mdseq_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/mdseq_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mdseq_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

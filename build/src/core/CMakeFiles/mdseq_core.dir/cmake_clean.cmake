@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdseq_core.dir/database.cc.o"
+  "CMakeFiles/mdseq_core.dir/database.cc.o.d"
+  "CMakeFiles/mdseq_core.dir/distance.cc.o"
+  "CMakeFiles/mdseq_core.dir/distance.cc.o.d"
+  "CMakeFiles/mdseq_core.dir/mbr_distance.cc.o"
+  "CMakeFiles/mdseq_core.dir/mbr_distance.cc.o.d"
+  "CMakeFiles/mdseq_core.dir/partitioning.cc.o"
+  "CMakeFiles/mdseq_core.dir/partitioning.cc.o.d"
+  "CMakeFiles/mdseq_core.dir/search.cc.o"
+  "CMakeFiles/mdseq_core.dir/search.cc.o.d"
+  "libmdseq_core.a"
+  "libmdseq_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdseq_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdseq_eval.dir/experiment.cc.o"
+  "CMakeFiles/mdseq_eval.dir/experiment.cc.o.d"
+  "CMakeFiles/mdseq_eval.dir/metrics.cc.o"
+  "CMakeFiles/mdseq_eval.dir/metrics.cc.o.d"
+  "CMakeFiles/mdseq_eval.dir/table.cc.o"
+  "CMakeFiles/mdseq_eval.dir/table.cc.o.d"
+  "libmdseq_eval.a"
+  "libmdseq_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdseq_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

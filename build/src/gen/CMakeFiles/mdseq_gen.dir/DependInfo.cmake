@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gen/fractal.cc" "src/gen/CMakeFiles/mdseq_gen.dir/fractal.cc.o" "gcc" "src/gen/CMakeFiles/mdseq_gen.dir/fractal.cc.o.d"
+  "/root/repo/src/gen/image.cc" "src/gen/CMakeFiles/mdseq_gen.dir/image.cc.o" "gcc" "src/gen/CMakeFiles/mdseq_gen.dir/image.cc.o.d"
+  "/root/repo/src/gen/query_workload.cc" "src/gen/CMakeFiles/mdseq_gen.dir/query_workload.cc.o" "gcc" "src/gen/CMakeFiles/mdseq_gen.dir/query_workload.cc.o.d"
+  "/root/repo/src/gen/video.cc" "src/gen/CMakeFiles/mdseq_gen.dir/video.cc.o" "gcc" "src/gen/CMakeFiles/mdseq_gen.dir/video.cc.o.d"
+  "/root/repo/src/gen/walk.cc" "src/gen/CMakeFiles/mdseq_gen.dir/walk.cc.o" "gcc" "src/gen/CMakeFiles/mdseq_gen.dir/walk.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geom/CMakeFiles/mdseq_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mdseq_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdseq_gen.dir/fractal.cc.o"
+  "CMakeFiles/mdseq_gen.dir/fractal.cc.o.d"
+  "CMakeFiles/mdseq_gen.dir/image.cc.o"
+  "CMakeFiles/mdseq_gen.dir/image.cc.o.d"
+  "CMakeFiles/mdseq_gen.dir/query_workload.cc.o"
+  "CMakeFiles/mdseq_gen.dir/query_workload.cc.o.d"
+  "CMakeFiles/mdseq_gen.dir/video.cc.o"
+  "CMakeFiles/mdseq_gen.dir/video.cc.o.d"
+  "CMakeFiles/mdseq_gen.dir/walk.cc.o"
+  "CMakeFiles/mdseq_gen.dir/walk.cc.o.d"
+  "libmdseq_gen.a"
+  "libmdseq_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdseq_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geom/mbr.cc" "src/geom/CMakeFiles/mdseq_geom.dir/mbr.cc.o" "gcc" "src/geom/CMakeFiles/mdseq_geom.dir/mbr.cc.o.d"
+  "/root/repo/src/geom/sequence.cc" "src/geom/CMakeFiles/mdseq_geom.dir/sequence.cc.o" "gcc" "src/geom/CMakeFiles/mdseq_geom.dir/sequence.cc.o.d"
+  "/root/repo/src/geom/space_filling.cc" "src/geom/CMakeFiles/mdseq_geom.dir/space_filling.cc.o" "gcc" "src/geom/CMakeFiles/mdseq_geom.dir/space_filling.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mdseq_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

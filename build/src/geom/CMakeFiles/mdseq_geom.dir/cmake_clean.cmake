@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdseq_geom.dir/mbr.cc.o"
+  "CMakeFiles/mdseq_geom.dir/mbr.cc.o.d"
+  "CMakeFiles/mdseq_geom.dir/sequence.cc.o"
+  "CMakeFiles/mdseq_geom.dir/sequence.cc.o.d"
+  "CMakeFiles/mdseq_geom.dir/space_filling.cc.o"
+  "CMakeFiles/mdseq_geom.dir/space_filling.cc.o.d"
+  "libmdseq_geom.a"
+  "libmdseq_geom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdseq_geom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdseq_index.dir/linear_index.cc.o"
+  "CMakeFiles/mdseq_index.dir/linear_index.cc.o.d"
+  "CMakeFiles/mdseq_index.dir/rstar_tree.cc.o"
+  "CMakeFiles/mdseq_index.dir/rstar_tree.cc.o.d"
+  "libmdseq_index.a"
+  "libmdseq_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdseq_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

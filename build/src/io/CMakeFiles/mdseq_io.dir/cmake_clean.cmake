@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdseq_io.dir/serialization.cc.o"
+  "CMakeFiles/mdseq_io.dir/serialization.cc.o.d"
+  "libmdseq_io.a"
+  "libmdseq_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdseq_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

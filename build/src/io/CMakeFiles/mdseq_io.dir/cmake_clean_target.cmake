@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmdseq_io.a"
+)

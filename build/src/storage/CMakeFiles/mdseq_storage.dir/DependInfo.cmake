@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/buffer_pool.cc" "src/storage/CMakeFiles/mdseq_storage.dir/buffer_pool.cc.o" "gcc" "src/storage/CMakeFiles/mdseq_storage.dir/buffer_pool.cc.o.d"
+  "/root/repo/src/storage/disk_database.cc" "src/storage/CMakeFiles/mdseq_storage.dir/disk_database.cc.o" "gcc" "src/storage/CMakeFiles/mdseq_storage.dir/disk_database.cc.o.d"
+  "/root/repo/src/storage/page_file.cc" "src/storage/CMakeFiles/mdseq_storage.dir/page_file.cc.o" "gcc" "src/storage/CMakeFiles/mdseq_storage.dir/page_file.cc.o.d"
+  "/root/repo/src/storage/paged_rtree.cc" "src/storage/CMakeFiles/mdseq_storage.dir/paged_rtree.cc.o" "gcc" "src/storage/CMakeFiles/mdseq_storage.dir/paged_rtree.cc.o.d"
+  "/root/repo/src/storage/sequence_store.cc" "src/storage/CMakeFiles/mdseq_storage.dir/sequence_store.cc.o" "gcc" "src/storage/CMakeFiles/mdseq_storage.dir/sequence_store.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mdseq_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/mdseq_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/mdseq_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mdseq_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdseq_storage.dir/buffer_pool.cc.o"
+  "CMakeFiles/mdseq_storage.dir/buffer_pool.cc.o.d"
+  "CMakeFiles/mdseq_storage.dir/disk_database.cc.o"
+  "CMakeFiles/mdseq_storage.dir/disk_database.cc.o.d"
+  "CMakeFiles/mdseq_storage.dir/page_file.cc.o"
+  "CMakeFiles/mdseq_storage.dir/page_file.cc.o.d"
+  "CMakeFiles/mdseq_storage.dir/paged_rtree.cc.o"
+  "CMakeFiles/mdseq_storage.dir/paged_rtree.cc.o.d"
+  "CMakeFiles/mdseq_storage.dir/sequence_store.cc.o"
+  "CMakeFiles/mdseq_storage.dir/sequence_store.cc.o.d"
+  "libmdseq_storage.a"
+  "libmdseq_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdseq_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

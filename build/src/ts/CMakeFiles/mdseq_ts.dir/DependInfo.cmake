@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ts/dft.cc" "src/ts/CMakeFiles/mdseq_ts.dir/dft.cc.o" "gcc" "src/ts/CMakeFiles/mdseq_ts.dir/dft.cc.o.d"
+  "/root/repo/src/ts/dtw.cc" "src/ts/CMakeFiles/mdseq_ts.dir/dtw.cc.o" "gcc" "src/ts/CMakeFiles/mdseq_ts.dir/dtw.cc.o.d"
+  "/root/repo/src/ts/frm.cc" "src/ts/CMakeFiles/mdseq_ts.dir/frm.cc.o" "gcc" "src/ts/CMakeFiles/mdseq_ts.dir/frm.cc.o.d"
+  "/root/repo/src/ts/paa.cc" "src/ts/CMakeFiles/mdseq_ts.dir/paa.cc.o" "gcc" "src/ts/CMakeFiles/mdseq_ts.dir/paa.cc.o.d"
+  "/root/repo/src/ts/pca.cc" "src/ts/CMakeFiles/mdseq_ts.dir/pca.cc.o" "gcc" "src/ts/CMakeFiles/mdseq_ts.dir/pca.cc.o.d"
+  "/root/repo/src/ts/sliding_window.cc" "src/ts/CMakeFiles/mdseq_ts.dir/sliding_window.cc.o" "gcc" "src/ts/CMakeFiles/mdseq_ts.dir/sliding_window.cc.o.d"
+  "/root/repo/src/ts/transforms.cc" "src/ts/CMakeFiles/mdseq_ts.dir/transforms.cc.o" "gcc" "src/ts/CMakeFiles/mdseq_ts.dir/transforms.cc.o.d"
+  "/root/repo/src/ts/wavelet.cc" "src/ts/CMakeFiles/mdseq_ts.dir/wavelet.cc.o" "gcc" "src/ts/CMakeFiles/mdseq_ts.dir/wavelet.cc.o.d"
+  "/root/repo/src/ts/whole_matching.cc" "src/ts/CMakeFiles/mdseq_ts.dir/whole_matching.cc.o" "gcc" "src/ts/CMakeFiles/mdseq_ts.dir/whole_matching.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mdseq_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/mdseq_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/mdseq_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mdseq_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

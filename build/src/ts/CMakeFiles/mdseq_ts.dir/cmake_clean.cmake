@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdseq_ts.dir/dft.cc.o"
+  "CMakeFiles/mdseq_ts.dir/dft.cc.o.d"
+  "CMakeFiles/mdseq_ts.dir/dtw.cc.o"
+  "CMakeFiles/mdseq_ts.dir/dtw.cc.o.d"
+  "CMakeFiles/mdseq_ts.dir/frm.cc.o"
+  "CMakeFiles/mdseq_ts.dir/frm.cc.o.d"
+  "CMakeFiles/mdseq_ts.dir/paa.cc.o"
+  "CMakeFiles/mdseq_ts.dir/paa.cc.o.d"
+  "CMakeFiles/mdseq_ts.dir/pca.cc.o"
+  "CMakeFiles/mdseq_ts.dir/pca.cc.o.d"
+  "CMakeFiles/mdseq_ts.dir/sliding_window.cc.o"
+  "CMakeFiles/mdseq_ts.dir/sliding_window.cc.o.d"
+  "CMakeFiles/mdseq_ts.dir/transforms.cc.o"
+  "CMakeFiles/mdseq_ts.dir/transforms.cc.o.d"
+  "CMakeFiles/mdseq_ts.dir/wavelet.cc.o"
+  "CMakeFiles/mdseq_ts.dir/wavelet.cc.o.d"
+  "CMakeFiles/mdseq_ts.dir/whole_matching.cc.o"
+  "CMakeFiles/mdseq_ts.dir/whole_matching.cc.o.d"
+  "libmdseq_ts.a"
+  "libmdseq_ts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdseq_ts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

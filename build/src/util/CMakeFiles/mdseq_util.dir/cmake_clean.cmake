@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdseq_util.dir/csv.cc.o"
+  "CMakeFiles/mdseq_util.dir/csv.cc.o.d"
+  "libmdseq_util.a"
+  "libmdseq_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdseq_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

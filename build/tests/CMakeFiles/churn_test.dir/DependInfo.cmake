@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/churn_test.cc" "tests/CMakeFiles/churn_test.dir/churn_test.cc.o" "gcc" "tests/CMakeFiles/churn_test.dir/churn_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/baseline/CMakeFiles/mdseq_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mdseq_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/mdseq_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/mdseq_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/mdseq_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/mdseq_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/mdseq_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/mdseq_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/ts/CMakeFiles/mdseq_ts.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mdseq_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/disk_database_test.dir/disk_database_test.cc.o"
+  "CMakeFiles/disk_database_test.dir/disk_database_test.cc.o.d"
+  "disk_database_test"
+  "disk_database_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/disk_database_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

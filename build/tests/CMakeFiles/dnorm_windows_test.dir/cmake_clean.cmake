@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dnorm_windows_test.dir/dnorm_windows_test.cc.o"
+  "CMakeFiles/dnorm_windows_test.dir/dnorm_windows_test.cc.o.d"
+  "dnorm_windows_test"
+  "dnorm_windows_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dnorm_windows_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/frm_test.dir/frm_test.cc.o"
+  "CMakeFiles/frm_test.dir/frm_test.cc.o.d"
+  "frm_test"
+  "frm_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/frm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/independent_reference_test.dir/independent_reference_test.cc.o"
+  "CMakeFiles/independent_reference_test.dir/independent_reference_test.cc.o.d"
+  "independent_reference_test"
+  "independent_reference_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/independent_reference_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbr_distance_test.dir/mbr_distance_test.cc.o"
+  "CMakeFiles/mbr_distance_test.dir/mbr_distance_test.cc.o.d"
+  "mbr_distance_test"
+  "mbr_distance_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbr_distance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

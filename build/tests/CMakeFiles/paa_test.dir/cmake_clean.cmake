@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paa_test.dir/paa_test.cc.o"
+  "CMakeFiles/paa_test.dir/paa_test.cc.o.d"
+  "paa_test"
+  "paa_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paa_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

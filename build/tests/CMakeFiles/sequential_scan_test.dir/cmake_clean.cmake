@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sequential_scan_test.dir/sequential_scan_test.cc.o"
+  "CMakeFiles/sequential_scan_test.dir/sequential_scan_test.cc.o.d"
+  "sequential_scan_test"
+  "sequential_scan_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sequential_scan_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shot_detection_test.dir/shot_detection_test.cc.o"
+  "CMakeFiles/shot_detection_test.dir/shot_detection_test.cc.o.d"
+  "shot_detection_test"
+  "shot_detection_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shot_detection_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

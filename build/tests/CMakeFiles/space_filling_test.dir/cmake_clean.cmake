@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/space_filling_test.dir/space_filling_test.cc.o"
+  "CMakeFiles/space_filling_test.dir/space_filling_test.cc.o.d"
+  "space_filling_test"
+  "space_filling_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/space_filling_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdseq_cli.dir/mdseq_cli.cc.o"
+  "CMakeFiles/mdseq_cli.dir/mdseq_cli.cc.o.d"
+  "mdseq_cli"
+  "mdseq_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdseq_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
