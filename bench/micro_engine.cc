@@ -1,0 +1,143 @@
+// QPS scaling of the concurrent query engine: the same batch of similarity
+// queries pushed through worker pools of 1/2/4/8 threads against one
+// shared in-memory database, plus the overload policies under a deliberate
+// flood. Items/s is queries per second end-to-end (submit -> future).
+//
+//   ./micro_engine                      # full sweep
+//   ./micro_engine --benchmark_filter=EngineQps
+//
+// The acceptance bar for the subsystem is >= 3x items/s at threads:8 vs
+// threads:1 on this workload.
+
+#include <memory>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "engine/query_engine.h"
+#include "eval/experiment.h"
+
+namespace mdseq {
+namespace {
+
+// One shared workload for every benchmark: building it dominates startup,
+// not measurement. Sized so a single query costs real Phase-2 + Phase-3
+// work (hundreds of microseconds) — the regime the executor is for.
+const Workload& SharedWorkload() {
+  static const Workload* workload = [] {
+    WorkloadConfig config;
+    config.kind = DataKind::kSynthetic;
+    config.num_sequences = 400;
+    config.min_length = 56;
+    config.max_length = 384;
+    config.num_queries = 64;
+    config.seed = 42;
+    return new Workload(BuildWorkload(config));
+  }();
+  return *workload;
+}
+
+void BM_EngineQps(benchmark::State& state) {
+  const Workload& workload = SharedWorkload();
+  EngineOptions options;
+  options.num_threads = static_cast<size_t>(state.range(0));
+  options.queue_capacity = 4096;
+  QueryEngine engine(workload.database.get(), options);
+
+  QueryOptions query_options;
+  query_options.epsilon = 0.12;
+
+  size_t processed = 0;
+  for (auto _ : state) {
+    std::vector<std::future<QueryOutcome>> futures;
+    futures.reserve(workload.queries.size());
+    for (const Sequence& q : workload.queries) {
+      futures.push_back(engine.Submit(q, query_options));
+    }
+    for (auto& f : futures) {
+      benchmark::DoNotOptimize(f.get());
+    }
+    processed += workload.queries.size();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(processed));
+  const EngineStats stats = engine.stats();
+  state.counters["p50_us"] =
+      benchmark::Counter(static_cast<double>(stats.p50_latency_us));
+  state.counters["p99_us"] =
+      benchmark::Counter(static_cast<double>(stats.p99_latency_us));
+}
+BENCHMARK(BM_EngineQps)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+// Batch API: same fan-out through SubmitBatch.
+void BM_EngineSubmitBatch(benchmark::State& state) {
+  const Workload& workload = SharedWorkload();
+  EngineOptions options;
+  options.num_threads = static_cast<size_t>(state.range(0));
+  options.queue_capacity = 4096;
+  QueryEngine engine(workload.database.get(), options);
+
+  QueryOptions query_options;
+  query_options.epsilon = 0.12;
+
+  size_t processed = 0;
+  for (auto _ : state) {
+    auto futures = engine.SubmitBatch(workload.queries, query_options);
+    for (auto& f : futures) benchmark::DoNotOptimize(f.get());
+    processed += workload.queries.size();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(processed));
+}
+BENCHMARK(BM_EngineSubmitBatch)
+    ->Arg(1)
+    ->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+// Overload behavior: a tiny queue flooded far past capacity. Throughput is
+// not the point; the counters show how each policy sheds or absorbs load.
+void BM_EngineOverload(benchmark::State& state) {
+  const Workload& workload = SharedWorkload();
+  const OverloadPolicy policy =
+      static_cast<OverloadPolicy>(state.range(0));
+  EngineOptions options;
+  options.num_threads = 2;
+  options.queue_capacity = 8;
+  options.policy = policy;
+  QueryEngine engine(workload.database.get(), options);
+
+  QueryOptions query_options;
+  query_options.epsilon = 0.12;
+
+  for (auto _ : state) {
+    std::vector<std::future<QueryOutcome>> futures;
+    futures.reserve(4 * workload.queries.size());
+    for (int burst = 0; burst < 4; ++burst) {
+      for (const Sequence& q : workload.queries) {
+        futures.push_back(engine.Submit(q, query_options));
+      }
+    }
+    for (auto& f : futures) benchmark::DoNotOptimize(f.get());
+  }
+  const EngineStats stats = engine.stats();
+  state.counters["served"] =
+      benchmark::Counter(static_cast<double>(stats.served));
+  state.counters["rejected"] =
+      benchmark::Counter(static_cast<double>(stats.rejected));
+  state.counters["shed"] =
+      benchmark::Counter(static_cast<double>(stats.shed));
+}
+BENCHMARK(BM_EngineOverload)
+    ->Arg(static_cast<int>(OverloadPolicy::kBlock))
+    ->Arg(static_cast<int>(OverloadPolicy::kReject))
+    ->Arg(static_cast<int>(OverloadPolicy::kShedOldest))
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace mdseq

@@ -79,13 +79,15 @@ std::vector<size_t> SimilaritySearch::SearchCandidates(
 
   // Phase 2: one index range search per query MBR; a sequence is a candidate
   // as soon as one of its MBRs lies within Dmbr <= epsilon of one query MBR.
+  // Accounting uses the per-call visit counts returned by RangeSearch, not
+  // the index's cumulative counter, so concurrent queries stay exact.
   const SpatialIndex& index = database_->index();
-  const uint64_t accesses_before = index.node_accesses();
+  uint64_t accesses = 0;
   std::vector<uint64_t> hits;
   std::vector<size_t> candidates;
   for (const SequenceMbr& piece : query_partition) {
     hits.clear();
-    index.RangeSearch(piece.mbr, epsilon, &hits);
+    accesses += index.RangeSearch(piece.mbr, epsilon, &hits);
     for (uint64_t value : hits) {
       candidates.push_back(SequenceDatabase::UnpackSequenceId(value));
     }
@@ -94,7 +96,7 @@ std::vector<size_t> SimilaritySearch::SearchCandidates(
   candidates.erase(std::unique(candidates.begin(), candidates.end()),
                    candidates.end());
   if (stats != nullptr) {
-    stats->node_accesses += index.node_accesses() - accesses_before;
+    stats->node_accesses += accesses;
     stats->phase2_candidates = candidates.size();
   }
   return candidates;
@@ -166,6 +168,11 @@ bool EvaluatePhase3(const Partition& query_partition, size_t query_length,
 
 SearchResult SimilaritySearch::Search(SequenceView query,
                                       double epsilon) const {
+  return Search(query, epsilon, SearchControl());
+}
+
+SearchResult SimilaritySearch::Search(SequenceView query, double epsilon,
+                                      const SearchControl& control) const {
   SearchResult result;
   result.candidates = SearchCandidates(query, epsilon, &result.stats);
 
@@ -173,7 +180,12 @@ SearchResult SimilaritySearch::Search(SequenceView query,
       query, database_->options().partitioning);
 
   // Phase 3: second pruning with Dnorm plus solution-interval assembly.
+  // The control is polled per candidate — the unit of abandonable work.
   for (size_t id : result.candidates) {
+    if (control.ShouldStop()) {
+      result.interrupted = true;
+      break;
+    }
     SequenceMatch match;
     match.sequence_id = id;
     if (internal::EvaluatePhase3(query_partition, query.size(),
@@ -189,10 +201,19 @@ SearchResult SimilaritySearch::Search(SequenceView query,
 
 SearchResult SimilaritySearch::SearchVerified(SequenceView query,
                                               double epsilon) const {
-  SearchResult result = Search(query, epsilon);
+  return SearchVerified(query, epsilon, SearchControl());
+}
+
+SearchResult SimilaritySearch::SearchVerified(
+    SequenceView query, double epsilon, const SearchControl& control) const {
+  SearchResult result = Search(query, epsilon, control);
   std::vector<SequenceMatch> verified;
   verified.reserve(result.matches.size());
   for (SequenceMatch& match : result.matches) {
+    if (control.ShouldStop()) {
+      result.interrupted = true;
+      break;
+    }
     const SequenceView data = database_->sequence(match.sequence_id).View();
     const double exact = SequenceDistance(query, data);
     if (exact > epsilon) continue;

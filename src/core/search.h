@@ -1,6 +1,8 @@
 #ifndef MDSEQ_CORE_SEARCH_H_
 #define MDSEQ_CORE_SEARCH_H_
 
+#include <atomic>
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
@@ -69,6 +71,31 @@ struct SearchResult {
   /// Phase-3 matches (ASnorm) with their solution intervals, ascending id.
   std::vector<SequenceMatch> matches;
   SearchStats stats;
+  /// True when the search stopped early because its `SearchControl` fired
+  /// (cancellation or deadline); candidates/matches are then partial.
+  bool interrupted = false;
+};
+
+/// Cooperative interruption of a running query: a cancellation flag (shared
+/// with the submitter) and an absolute deadline. Polled at the phase
+/// boundaries of the three-phase search — after Phase 2 and between
+/// Phase-3 candidates — so a worker thread abandons an expensive query
+/// within one candidate evaluation of the signal. Cheap to copy; the
+/// atomic (if any) must outlive the search call.
+struct SearchControl {
+  /// When non-null and set, the search stops at the next checkpoint.
+  const std::atomic<bool>* cancel = nullptr;
+  /// Absolute deadline; `max()` means none.
+  std::chrono::steady_clock::time_point deadline =
+      std::chrono::steady_clock::time_point::max();
+
+  bool ShouldStop() const {
+    if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) {
+      return true;
+    }
+    return deadline != std::chrono::steady_clock::time_point::max() &&
+           std::chrono::steady_clock::now() >= deadline;
+  }
 };
 
 /// Knobs of the search algorithm beyond the paper's defaults.
@@ -114,7 +141,14 @@ class SimilaritySearch {
   /// Faithful to the paper, the result is the *pruned candidate set*: every
   /// truly similar sequence is present (no false dismissal), but false hits
   /// may remain — the evaluation section measures precisely how few.
+  ///
+  /// The query path is const and touches no shared mutable state, so any
+  /// number of threads may search one database concurrently (the engine in
+  /// src/engine relies on this). The `control` overload polls for
+  /// cancellation/deadline between phases; see `SearchControl`.
   SearchResult Search(SequenceView query, double epsilon) const;
+  SearchResult Search(SequenceView query, double epsilon,
+                      const SearchControl& control) const;
 
   /// Filter-and-refine: runs `Search`, then verifies every match against
   /// the raw stored sequence — matches whose exact `SequenceDistance`
@@ -122,6 +156,8 @@ class SimilaritySearch {
   /// and the exact solution intervals. This is the step a complete
   /// retrieval system adds on top of the paper's filter.
   SearchResult SearchVerified(SequenceView query, double epsilon) const;
+  SearchResult SearchVerified(SequenceView query, double epsilon,
+                              const SearchControl& control) const;
 
   /// Runs Phase 1+2 only and returns candidate sequence ids (ASmbr),
   /// ascending. Used by evaluation to measure the phases separately.

@@ -1,0 +1,151 @@
+#ifndef MDSEQ_ENGINE_ADMISSION_QUEUE_H_
+#define MDSEQ_ENGINE_ADMISSION_QUEUE_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "util/check.h"
+
+namespace mdseq {
+
+/// What a bounded queue does when a push finds it full.
+enum class OverloadPolicy {
+  /// Block the producer until a consumer frees a slot (backpressure).
+  kBlock,
+  /// Refuse the new item immediately (load shedding at the door).
+  kReject,
+  /// Drop the *oldest* queued item to make room for the new one — the
+  /// freshest-work-wins policy interactive systems prefer, since the oldest
+  /// waiter is the most likely to have blown its deadline anyway.
+  kShedOldest,
+};
+
+/// Outcome of `AdmissionQueue::Push`.
+enum class AdmitResult {
+  /// The item was queued.
+  kAdmitted,
+  /// The queue was full (kReject) or closed; the item was not queued.
+  kRejected,
+  /// The item was queued, but the oldest queued item was evicted to make
+  /// room (kShedOldest); the victim is returned through `shed`.
+  kShed,
+};
+
+/// A bounded multi-producer multi-consumer FIFO with a configurable
+/// overload policy — the admission queue in front of the query engine's
+/// worker pool. Producers call `Push`, consumers block in `Pop` on a
+/// condition variable (no busy-wait). `Close` wakes everyone; consumers
+/// drain the remaining items and then see `Pop` return false.
+///
+/// Thread-safe. Capacity must be >= 1.
+template <typename T>
+class AdmissionQueue {
+ public:
+  AdmissionQueue(size_t capacity, OverloadPolicy policy)
+      : capacity_(capacity), policy_(policy) {
+    MDSEQ_CHECK(capacity >= 1);
+  }
+
+  AdmissionQueue(const AdmissionQueue&) = delete;
+  AdmissionQueue& operator=(const AdmissionQueue&) = delete;
+
+  /// Offers one item. Under kBlock this waits for space (or for `Close`);
+  /// under kReject a full queue refuses; under kShedOldest a full queue
+  /// evicts its oldest item into `*shed` (when `shed` is non-null the
+  /// caller is responsible for completing/failing the victim). Pushing to
+  /// a closed queue always returns kRejected.
+  AdmitResult Push(T item, std::optional<T>* shed = nullptr) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (policy_ == OverloadPolicy::kBlock) {
+      not_full_.wait(lock,
+                     [this] { return closed_ || items_.size() < capacity_; });
+    }
+    if (closed_) return AdmitResult::kRejected;
+    if (items_.size() >= capacity_) {
+      switch (policy_) {
+        case OverloadPolicy::kBlock:
+          MDSEQ_CHECK(false);  // unreachable: the wait above ensured space
+          return AdmitResult::kRejected;
+        case OverloadPolicy::kReject:
+          return AdmitResult::kRejected;
+        case OverloadPolicy::kShedOldest: {
+          if (shed != nullptr) shed->emplace(std::move(items_.front()));
+          items_.pop_front();
+          items_.push_back(std::move(item));
+          lock.unlock();
+          not_empty_.notify_one();
+          return AdmitResult::kShed;
+        }
+      }
+    }
+    items_.push_back(std::move(item));
+    lock.unlock();
+    not_empty_.notify_one();
+    return AdmitResult::kAdmitted;
+  }
+
+  /// Blocks until an item is available or the queue is closed and drained.
+  /// Returns false only in the latter case.
+  bool Pop(T* out) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return false;  // closed and drained
+    *out = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking pop; false when empty (or closed and drained).
+  bool TryPop(T* out) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (items_.empty()) return false;
+    *out = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return true;
+  }
+
+  /// Closes the queue: subsequent pushes are rejected, blocked producers
+  /// and consumers wake up. Items already queued remain poppable.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
+  }
+
+  size_t capacity() const { return capacity_; }
+  OverloadPolicy policy() const { return policy_; }
+
+ private:
+  const size_t capacity_;
+  const OverloadPolicy policy_;
+  mutable std::mutex mutex_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace mdseq
+
+#endif  // MDSEQ_ENGINE_ADMISSION_QUEUE_H_

@@ -1,0 +1,61 @@
+#ifndef MDSEQ_ENGINE_CANCELLATION_H_
+#define MDSEQ_ENGINE_CANCELLATION_H_
+
+#include <atomic>
+#include <memory>
+
+namespace mdseq {
+
+class CancellationSource;
+
+/// A copyable handle to a cancellation flag owned by a `CancellationSource`.
+/// Queries carry a token; the submitter keeps the source and may cancel at
+/// any time. The search path polls the flag between pruning phases (see
+/// `SearchControl`), so cancellation is cooperative: a running query stops
+/// at its next checkpoint, a queued query is dropped before it starts.
+///
+/// A default-constructed token is "empty" and never reports cancellation.
+class CancellationToken {
+ public:
+  CancellationToken() = default;
+
+  /// True when this token is wired to a source (empty tokens never cancel).
+  bool valid() const { return flag_ != nullptr; }
+
+  /// True when the source has been cancelled.
+  bool cancelled() const {
+    return flag_ != nullptr && flag_->load(std::memory_order_relaxed);
+  }
+
+  /// The underlying flag for `SearchControl::cancel`; nullptr when empty.
+  /// Valid as long as any token/source sharing the flag is alive.
+  const std::atomic<bool>* flag() const { return flag_.get(); }
+
+ private:
+  friend class CancellationSource;
+  explicit CancellationToken(std::shared_ptr<std::atomic<bool>> flag)
+      : flag_(std::move(flag)) {}
+
+  std::shared_ptr<std::atomic<bool>> flag_;
+};
+
+/// Owns a cancellation flag and hands out tokens observing it. Thread-safe:
+/// `Cancel` may race freely with any number of observers.
+class CancellationSource {
+ public:
+  CancellationSource()
+      : flag_(std::make_shared<std::atomic<bool>>(false)) {}
+
+  CancellationToken token() const { return CancellationToken(flag_); }
+
+  void Cancel() { flag_->store(true, std::memory_order_relaxed); }
+
+  bool cancelled() const { return flag_->load(std::memory_order_relaxed); }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> flag_;
+};
+
+}  // namespace mdseq
+
+#endif  // MDSEQ_ENGINE_CANCELLATION_H_

@@ -1,0 +1,101 @@
+#ifndef MDSEQ_ENGINE_LATENCY_HISTOGRAM_H_
+#define MDSEQ_ENGINE_LATENCY_HISTOGRAM_H_
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+
+namespace mdseq {
+
+/// Lock-free latency histogram: power-of-two microsecond buckets, each a
+/// relaxed atomic counter, so any number of worker threads record without
+/// contention and a reader computes percentiles from a consistent-enough
+/// snapshot (individual counters are exact; the set is read without a
+/// global lock, which is fine for monitoring).
+///
+/// Bucket b holds values in [2^(b-1), 2^b) microseconds (bucket 0 holds
+/// {0}), covering up to ~1.2 hours in 32 buckets. Percentile answers are
+/// the upper bound of the containing bucket — at most 2x the true value,
+/// plenty for p50/p99 dashboards.
+class LatencyHistogram {
+ public:
+  static constexpr size_t kBuckets = 32;
+
+  void Record(uint64_t micros) {
+    counts_[BucketOf(micros)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(micros, std::memory_order_relaxed);
+    // fetch_max is C++26; emulate with a CAS loop (rarely more than one
+    // iteration — the max changes only while latencies are still climbing).
+    uint64_t seen = max_.load(std::memory_order_relaxed);
+    while (micros > seen &&
+           !max_.compare_exchange_weak(seen, micros,
+                                       std::memory_order_relaxed)) {
+    }
+  }
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+
+  double MeanMicros() const {
+    const uint64_t n = count();
+    return n == 0 ? 0.0
+                  : static_cast<double>(
+                        sum_.load(std::memory_order_relaxed)) /
+                        static_cast<double>(n);
+  }
+
+  uint64_t MaxMicros() const { return max_.load(std::memory_order_relaxed); }
+
+  /// Upper bound of the bucket containing the `p`-th percentile (p in
+  /// [0, 100]); 0 when nothing was recorded.
+  uint64_t PercentileMicros(double p) const {
+    std::array<uint64_t, kBuckets> snapshot;
+    uint64_t total = 0;
+    for (size_t b = 0; b < kBuckets; ++b) {
+      snapshot[b] = counts_[b].load(std::memory_order_relaxed);
+      total += snapshot[b];
+    }
+    if (total == 0) return 0;
+    if (p < 0.0) p = 0.0;
+    if (p > 100.0) p = 100.0;
+    // Rank of the percentile sample, 1-based (nearest-rank definition).
+    uint64_t rank = static_cast<uint64_t>(p / 100.0 *
+                                          static_cast<double>(total));
+    if (rank < 1) rank = 1;
+    uint64_t seen = 0;
+    for (size_t b = 0; b < kBuckets; ++b) {
+      seen += snapshot[b];
+      if (seen >= rank) return UpperBound(b);
+    }
+    return UpperBound(kBuckets - 1);
+  }
+
+  void Reset() {
+    for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+    sum_.store(0, std::memory_order_relaxed);
+    max_.store(0, std::memory_order_relaxed);
+  }
+
+  /// Bucket index of a value (exposed for tests).
+  static size_t BucketOf(uint64_t micros) {
+    const size_t b = static_cast<size_t>(std::bit_width(micros));
+    return b < kBuckets ? b : kBuckets - 1;
+  }
+
+  /// Largest value mapping into bucket `b`.
+  static uint64_t UpperBound(size_t b) {
+    return b == 0 ? 0 : (uint64_t{1} << b) - 1;
+  }
+
+ private:
+  std::array<std::atomic<uint64_t>, kBuckets> counts_{};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> max_{0};
+};
+
+}  // namespace mdseq
+
+#endif  // MDSEQ_ENGINE_LATENCY_HISTOGRAM_H_

@@ -1,0 +1,195 @@
+#include "engine/query_engine.h"
+
+#include <utility>
+
+#include "util/check.h"
+
+namespace mdseq {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+ThreadPool::Options PoolOptions(const EngineOptions& options) {
+  ThreadPool::Options pool;
+  pool.num_threads = options.num_threads;
+  pool.queue_capacity = options.queue_capacity;
+  pool.policy = options.policy;
+  pool.start_suspended = options.start_suspended;
+  return pool;
+}
+
+}  // namespace
+
+/// Everything a queued query carries: the payload, its promise, and the
+/// timing/cancellation context. Shared between the run and shed callbacks
+/// of the pool task; exactly one of them completes the promise.
+struct QueryEngine::Pending {
+  explicit Pending(Sequence q) : query(std::move(q)) {}
+
+  Sequence query;
+  QueryOptions options;
+  Clock::time_point submit_time;
+  Clock::time_point deadline = Clock::time_point::max();
+  std::promise<QueryOutcome> promise;
+};
+
+QueryEngine::QueryEngine(const SequenceDatabase* database,
+                         const EngineOptions& options)
+    : memory_database_(database),
+      memory_search_(
+          std::make_unique<SimilaritySearch>(database, options.search)),
+      pool_(std::make_unique<ThreadPool>(PoolOptions(options))) {
+  MDSEQ_CHECK(database != nullptr);
+}
+
+QueryEngine::QueryEngine(const DiskDatabase* database,
+                         const EngineOptions& options)
+    : disk_database_(database),
+      pool_(std::make_unique<ThreadPool>(PoolOptions(options))) {
+  MDSEQ_CHECK(database != nullptr);
+  MDSEQ_CHECK(database->valid());
+}
+
+QueryEngine::~QueryEngine() { Shutdown(); }
+
+std::future<QueryOutcome> QueryEngine::Submit(Sequence query,
+                                              const QueryOptions& options) {
+  auto pending = std::make_shared<Pending>(std::move(query));
+  pending->options = options;
+  pending->submit_time = Clock::now();
+  if (options.deadline.count() > 0) {
+    pending->deadline = pending->submit_time + options.deadline;
+  }
+  std::future<QueryOutcome> future = pending->promise.get_future();
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+
+  PoolTask task;
+  task.run = [this, pending] { Execute(pending); };
+  task.on_shed = [this, pending] {
+    Finish(pending, QueryStatus::kShed, SearchResult());
+  };
+  if (pool_->Submit(std::move(task)) == AdmitResult::kRejected) {
+    Finish(pending, QueryStatus::kRejected, SearchResult());
+  }
+  return future;
+}
+
+std::vector<std::future<QueryOutcome>> QueryEngine::SubmitBatch(
+    std::vector<Sequence> queries, const QueryOptions& options) {
+  std::vector<std::future<QueryOutcome>> futures;
+  futures.reserve(queries.size());
+  for (Sequence& query : queries) {
+    futures.push_back(Submit(std::move(query), options));
+  }
+  return futures;
+}
+
+void QueryEngine::Start() { pool_->Start(); }
+
+void QueryEngine::Shutdown() { pool_->Shutdown(); }
+
+SearchResult QueryEngine::RunSearch(SequenceView query,
+                                    const QueryOptions& options,
+                                    const SearchControl& control) const {
+  if (memory_database_ != nullptr) {
+    return options.verified
+               ? memory_search_->SearchVerified(query, options.epsilon,
+                                                control)
+               : memory_search_->Search(query, options.epsilon, control);
+  }
+  return options.verified
+             ? disk_database_->SearchVerified(query, options.epsilon,
+                                              control)
+             : disk_database_->Search(query, options.epsilon, control);
+}
+
+void QueryEngine::Execute(const std::shared_ptr<Pending>& pending) {
+  // Admission-to-execution checkpoint: a query that waited out its budget
+  // (or was cancelled while queued) is dropped before any search work.
+  if (pending->options.cancel.cancelled()) {
+    Finish(pending, QueryStatus::kCancelled, SearchResult());
+    return;
+  }
+  if (Clock::now() >= pending->deadline) {
+    Finish(pending, QueryStatus::kDeadlineExpired, SearchResult());
+    return;
+  }
+
+  SearchControl control;
+  control.cancel = pending->options.cancel.flag();
+  control.deadline = pending->deadline;
+  SearchResult result =
+      RunSearch(pending->query.View(), pending->options, control);
+
+  QueryStatus status = QueryStatus::kOk;
+  if (result.interrupted) {
+    // Cancellation wins the tie: it is the submitter's explicit signal.
+    status = pending->options.cancel.cancelled()
+                 ? QueryStatus::kCancelled
+                 : QueryStatus::kDeadlineExpired;
+  }
+  Finish(pending, status, std::move(result));
+}
+
+void QueryEngine::Finish(const std::shared_ptr<Pending>& pending,
+                         QueryStatus status, SearchResult result) {
+  switch (status) {
+    case QueryStatus::kOk:
+      served_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case QueryStatus::kRejected:
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case QueryStatus::kShed:
+      shed_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case QueryStatus::kDeadlineExpired:
+      deadline_expired_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case QueryStatus::kCancelled:
+      cancelled_.fetch_add(1, std::memory_order_relaxed);
+      break;
+  }
+  // Work performed is charged to the engine totals even for interrupted
+  // queries — the counters measure load, not success.
+  node_accesses_.fetch_add(result.stats.node_accesses,
+                           std::memory_order_relaxed);
+  phase2_candidates_.fetch_add(result.stats.phase2_candidates,
+                               std::memory_order_relaxed);
+  phase3_matches_.fetch_add(result.stats.phase3_matches,
+                            std::memory_order_relaxed);
+  dnorm_evaluations_.fetch_add(result.stats.dnorm_evaluations,
+                               std::memory_order_relaxed);
+
+  QueryOutcome outcome;
+  outcome.status = status;
+  outcome.result = std::move(result);
+  outcome.latency = std::chrono::duration_cast<std::chrono::microseconds>(
+      Clock::now() - pending->submit_time);
+  if (status == QueryStatus::kOk) {
+    latency_.Record(static_cast<uint64_t>(outcome.latency.count()));
+  }
+  pending->promise.set_value(std::move(outcome));
+}
+
+EngineStats QueryEngine::stats() const {
+  EngineStats s;
+  s.submitted = submitted_.load(std::memory_order_relaxed);
+  s.served = served_.load(std::memory_order_relaxed);
+  s.rejected = rejected_.load(std::memory_order_relaxed);
+  s.shed = shed_.load(std::memory_order_relaxed);
+  s.deadline_expired = deadline_expired_.load(std::memory_order_relaxed);
+  s.cancelled = cancelled_.load(std::memory_order_relaxed);
+  s.node_accesses = node_accesses_.load(std::memory_order_relaxed);
+  s.phase2_candidates = phase2_candidates_.load(std::memory_order_relaxed);
+  s.phase3_matches = phase3_matches_.load(std::memory_order_relaxed);
+  s.dnorm_evaluations = dnorm_evaluations_.load(std::memory_order_relaxed);
+  s.p50_latency_us = latency_.PercentileMicros(50.0);
+  s.p99_latency_us = latency_.PercentileMicros(99.0);
+  s.max_latency_us = latency_.MaxMicros();
+  s.mean_latency_us = latency_.MeanMicros();
+  return s;
+}
+
+}  // namespace mdseq

@@ -1,0 +1,173 @@
+#ifndef MDSEQ_ENGINE_QUERY_ENGINE_H_
+#define MDSEQ_ENGINE_QUERY_ENGINE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <vector>
+
+#include "core/search.h"
+#include "engine/cancellation.h"
+#include "engine/latency_histogram.h"
+#include "engine/thread_pool.h"
+#include "geom/sequence.h"
+#include "storage/disk_database.h"
+
+namespace mdseq {
+
+/// Terminal state of a submitted query.
+enum class QueryStatus {
+  /// Ran to completion; `result` is the full search result.
+  kOk,
+  /// Refused at admission (queue full under the reject policy, or engine
+  /// shut down); never ran.
+  kRejected,
+  /// Evicted from the queue by a newer query (shed-oldest policy); never
+  /// ran.
+  kShed,
+  /// Deadline passed — either while still queued (never ran) or mid-search
+  /// (`result` is partial, `result.interrupted` is true).
+  kDeadlineExpired,
+  /// Cancellation token fired — either while queued or mid-search.
+  kCancelled,
+};
+
+/// What the submitter's future resolves to.
+struct QueryOutcome {
+  QueryStatus status = QueryStatus::kOk;
+  /// Full result for kOk; partial (possibly empty) otherwise.
+  SearchResult result;
+  /// Submit-to-completion wall time, including queue wait.
+  std::chrono::microseconds latency{0};
+};
+
+/// Per-query knobs.
+struct QueryOptions {
+  /// Similarity threshold (the paper's epsilon).
+  double epsilon = 0.1;
+  /// Run the filter-and-refine `SearchVerified` instead of the paper's
+  /// filter-only `Search`.
+  bool verified = false;
+  /// Budget from submission; zero means none. Checked at dequeue and
+  /// between pruning phases.
+  std::chrono::microseconds deadline{0};
+  /// Optional cooperative cancellation; see `CancellationSource`.
+  CancellationToken cancel;
+};
+
+/// Engine-wide configuration.
+struct EngineOptions {
+  /// Worker threads; 0 means one per hardware thread.
+  size_t num_threads = 0;
+  /// Admission queue capacity.
+  size_t queue_capacity = 1024;
+  /// What `Submit` does when the queue is full.
+  OverloadPolicy policy = OverloadPolicy::kBlock;
+  /// Search knobs shared by every query (composite bound etc.).
+  SearchOptions search;
+  /// Start with the workers parked until `Start` — lets tests (and staged
+  /// deployments) fill the queue before service begins.
+  bool start_suspended = false;
+};
+
+/// Point-in-time copy of the engine-wide counters. The per-phase totals
+/// aggregate the `SearchStats` of every executed query, so they map
+/// one-to-one onto the paper's evaluation: `node_accesses` is the Phase-2
+/// index cost, `phase2_candidates`/`phase3_matches` are |ASmbr|/|ASnorm|,
+/// and `dnorm_evaluations` counts the Phase-3 Dnorm work.
+struct EngineStats {
+  uint64_t submitted = 0;
+  uint64_t served = 0;
+  uint64_t rejected = 0;
+  uint64_t shed = 0;
+  uint64_t deadline_expired = 0;
+  uint64_t cancelled = 0;
+
+  uint64_t node_accesses = 0;
+  uint64_t phase2_candidates = 0;
+  uint64_t phase3_matches = 0;
+  uint64_t dnorm_evaluations = 0;
+
+  /// Latency of served queries (submit to completion), microseconds.
+  uint64_t p50_latency_us = 0;
+  uint64_t p99_latency_us = 0;
+  uint64_t max_latency_us = 0;
+  double mean_latency_us = 0.0;
+};
+
+/// The concurrent query front end: owns a fixed worker pool fed by a
+/// bounded admission queue and runs the paper's three-phase search against
+/// one shared read-only database — in-memory (`SequenceDatabase`) or
+/// disk-resident (`DiskDatabase`). Queries are submitted as futures;
+/// batches fan out across the workers. Per-query `SearchStats` are
+/// aggregated into engine-wide atomic counters and a lock-free latency
+/// histogram.
+///
+/// The database must outlive the engine and must not be mutated while the
+/// engine is running (the hot path relies on the const read-only query
+/// path being race-free).
+class QueryEngine {
+ public:
+  QueryEngine(const SequenceDatabase* database,
+              const EngineOptions& options = EngineOptions());
+  QueryEngine(const DiskDatabase* database,
+              const EngineOptions& options = EngineOptions());
+  ~QueryEngine();
+
+  QueryEngine(const QueryEngine&) = delete;
+  QueryEngine& operator=(const QueryEngine&) = delete;
+
+  /// Submits one query. The future always resolves — with kOk on success,
+  /// or with the admission/cancellation status otherwise. Under the kBlock
+  /// policy this call blocks while the queue is full (backpressure).
+  std::future<QueryOutcome> Submit(Sequence query,
+                                   const QueryOptions& options);
+
+  /// Fans a batch out across the workers: one future per query, same
+  /// options for all. Futures arrive in input order.
+  std::vector<std::future<QueryOutcome>> SubmitBatch(
+      std::vector<Sequence> queries, const QueryOptions& options);
+
+  /// Releases suspended workers (see `EngineOptions::start_suspended`).
+  void Start();
+
+  /// Stops admission, drains queries already accepted, joins the workers.
+  /// Idempotent; also run by the destructor.
+  void Shutdown();
+
+  EngineStats stats() const;
+  size_t queue_depth() const { return pool_->queue_depth(); }
+  size_t num_threads() const { return pool_->num_threads(); }
+
+ private:
+  struct Pending;
+
+  void Execute(const std::shared_ptr<Pending>& pending);
+  void Finish(const std::shared_ptr<Pending>& pending, QueryStatus status,
+              SearchResult result);
+  SearchResult RunSearch(SequenceView query, const QueryOptions& options,
+                         const SearchControl& control) const;
+
+  const SequenceDatabase* memory_database_ = nullptr;
+  const DiskDatabase* disk_database_ = nullptr;
+  std::unique_ptr<SimilaritySearch> memory_search_;
+  std::unique_ptr<ThreadPool> pool_;
+
+  std::atomic<uint64_t> submitted_{0};
+  std::atomic<uint64_t> served_{0};
+  std::atomic<uint64_t> rejected_{0};
+  std::atomic<uint64_t> shed_{0};
+  std::atomic<uint64_t> deadline_expired_{0};
+  std::atomic<uint64_t> cancelled_{0};
+  std::atomic<uint64_t> node_accesses_{0};
+  std::atomic<uint64_t> phase2_candidates_{0};
+  std::atomic<uint64_t> phase3_matches_{0};
+  std::atomic<uint64_t> dnorm_evaluations_{0};
+  LatencyHistogram latency_;
+};
+
+}  // namespace mdseq
+
+#endif  // MDSEQ_ENGINE_QUERY_ENGINE_H_

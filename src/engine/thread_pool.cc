@@ -1,0 +1,60 @@
+#include "engine/thread_pool.h"
+
+#include <optional>
+
+namespace mdseq {
+
+ThreadPool::ThreadPool(const Options& options)
+    : queue_(options.queue_capacity, options.policy),
+      started_(!options.start_suspended) {
+  size_t n = options.num_threads;
+  if (n == 0) {
+    n = std::thread::hardware_concurrency();
+    if (n == 0) n = 1;
+  }
+  threads_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() { Shutdown(); }
+
+AdmitResult ThreadPool::Submit(PoolTask task) {
+  std::optional<PoolTask> shed;
+  const AdmitResult result = queue_.Push(std::move(task), &shed);
+  if (shed.has_value() && shed->on_shed) shed->on_shed();
+  return result;
+}
+
+void ThreadPool::Start() {
+  {
+    std::lock_guard<std::mutex> lock(start_mutex_);
+    started_ = true;
+  }
+  start_cv_.notify_all();
+}
+
+void ThreadPool::Shutdown() {
+  queue_.Close();
+  Start();  // suspended workers must wake to drain and exit
+  for (std::thread& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  {
+    std::unique_lock<std::mutex> lock(start_mutex_);
+    start_cv_.wait(lock, [this] { return started_; });
+  }
+  PoolTask task;
+  while (queue_.Pop(&task)) {
+    task.run();
+    // Drop the closures before blocking again so captured state (promises,
+    // query payloads) dies promptly.
+    task = PoolTask();
+  }
+}
+
+}  // namespace mdseq

@@ -1,0 +1,80 @@
+#ifndef MDSEQ_ENGINE_THREAD_POOL_H_
+#define MDSEQ_ENGINE_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "engine/admission_queue.h"
+
+namespace mdseq {
+
+/// A unit of work for the pool. `run` executes on a worker thread; when the
+/// shed-oldest policy evicts a queued task, its `on_shed` callback (if any)
+/// runs instead — exactly one of the two is invoked for every admitted
+/// task, so a promise tied to the task is always completed.
+struct PoolTask {
+  std::function<void()> run;
+  std::function<void()> on_shed;
+};
+
+/// Fixed-size thread-pool executor over a bounded `AdmissionQueue`: workers
+/// block on the queue's condition variable (no busy-wait) and the queue's
+/// overload policy decides what happens when submissions outrun service.
+///
+/// Shutdown drains: tasks already admitted still execute before the workers
+/// exit, so no accepted work is silently lost.
+class ThreadPool {
+ public:
+  struct Options {
+    /// Worker threads; 0 means one per hardware thread.
+    size_t num_threads = 0;
+    /// Admission queue capacity (tasks waiting, not counting the ones
+    /// currently executing).
+    size_t queue_capacity = 1024;
+    OverloadPolicy policy = OverloadPolicy::kBlock;
+    /// When true, workers wait for `Start` before consuming tasks — used
+    /// by tests to fill the queue deterministically.
+    bool start_suspended = false;
+  };
+
+  explicit ThreadPool(const Options& options);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Submits one task, applying the overload policy. kAdmitted/kShed mean
+  /// `task` was queued (kShed additionally ran the evicted victim's
+  /// `on_shed` on this thread); kRejected means `task` was refused and none
+  /// of its callbacks will ever run — the caller must complete any attached
+  /// promise itself.
+  AdmitResult Submit(PoolTask task);
+
+  /// Releases suspended workers (no-op otherwise).
+  void Start();
+
+  /// Closes the queue, lets the workers drain it, and joins them.
+  /// Idempotent; also called by the destructor.
+  void Shutdown();
+
+  size_t num_threads() const { return threads_.size(); }
+  size_t queue_depth() const { return queue_.size(); }
+  size_t queue_capacity() const { return queue_.capacity(); }
+
+ private:
+  void WorkerLoop();
+
+  AdmissionQueue<PoolTask> queue_;
+  std::vector<std::thread> threads_;
+  std::mutex start_mutex_;
+  std::condition_variable start_cv_;
+  bool started_ = false;
+};
+
+}  // namespace mdseq
+
+#endif  // MDSEQ_ENGINE_THREAD_POOL_H_

@@ -24,14 +24,17 @@ bool LinearIndex::Remove(const Mbr& mbr, uint64_t value) {
   return false;
 }
 
-void LinearIndex::RangeSearch(const Mbr& query, double epsilon,
-                              std::vector<uint64_t>* out) const {
+uint64_t LinearIndex::RangeSearch(const Mbr& query, double epsilon,
+                                  std::vector<uint64_t>* out) const {
   MDSEQ_CHECK(epsilon >= 0.0);
   const double eps2 = epsilon * epsilon;
-  node_accesses_ += (entries_.size() + page_capacity_ - 1) / page_capacity_;
+  const uint64_t visited =
+      (entries_.size() + page_capacity_ - 1) / page_capacity_;
+  node_accesses_.fetch_add(visited, std::memory_order_relaxed);
   for (const IndexEntry& e : entries_) {
     if (query.MinDist2(e.mbr) <= eps2) out->push_back(e.value);
   }
+  return visited;
 }
 
 }  // namespace mdseq

@@ -1,6 +1,7 @@
 #ifndef MDSEQ_INDEX_LINEAR_INDEX_H_
 #define MDSEQ_INDEX_LINEAR_INDEX_H_
 
+#include <atomic>
 #include <vector>
 
 #include "index/spatial_index.h"
@@ -20,16 +21,20 @@ class LinearIndex : public SpatialIndex {
 
   void Insert(const Mbr& mbr, uint64_t value) override;
   bool Remove(const Mbr& mbr, uint64_t value) override;
-  void RangeSearch(const Mbr& query, double epsilon,
-                   std::vector<uint64_t>* out) const override;
+  uint64_t RangeSearch(const Mbr& query, double epsilon,
+                       std::vector<uint64_t>* out) const override;
   size_t size() const override { return entries_.size(); }
-  uint64_t node_accesses() const override { return node_accesses_; }
-  void ResetNodeAccesses() override { node_accesses_ = 0; }
+  uint64_t node_accesses() const override {
+    return node_accesses_.load(std::memory_order_relaxed);
+  }
+  void ResetNodeAccesses() override {
+    node_accesses_.store(0, std::memory_order_relaxed);
+  }
 
  private:
   size_t page_capacity_;
   std::vector<IndexEntry> entries_;
-  mutable uint64_t node_accesses_ = 0;
+  mutable std::atomic<uint64_t> node_accesses_{0};
 };
 
 }  // namespace mdseq

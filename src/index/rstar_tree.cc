@@ -66,8 +66,28 @@ RStarTree::RStarTree(size_t dim, const RStarTreeOptions& options)
 }
 
 RStarTree::~RStarTree() = default;
-RStarTree::RStarTree(RStarTree&&) noexcept = default;
-RStarTree& RStarTree::operator=(RStarTree&&) noexcept = default;
+// Hand-written because the atomic access counter is not movable.
+RStarTree::RStarTree(RStarTree&& other) noexcept
+    : dim_(other.dim_),
+      options_(other.options_),
+      root_(std::move(other.root_)),
+      size_(other.size_),
+      node_accesses_(other.node_accesses_.load(std::memory_order_relaxed)) {
+  other.size_ = 0;
+}
+
+RStarTree& RStarTree::operator=(RStarTree&& other) noexcept {
+  if (this != &other) {
+    dim_ = other.dim_;
+    options_ = other.options_;
+    root_ = std::move(other.root_);
+    size_ = other.size_;
+    other.size_ = 0;
+    node_accesses_.store(other.node_accesses_.load(std::memory_order_relaxed),
+                         std::memory_order_relaxed);
+  }
+  return *this;
+}
 
 // ---------------------------------------------------------------------------
 // Insertion
@@ -546,17 +566,18 @@ bool RStarTree::RemoveRecursive(Node* node, const Mbr& mbr, uint64_t value,
 // Queries
 // ---------------------------------------------------------------------------
 
-void RStarTree::RangeSearch(const Mbr& query, double epsilon,
-                            std::vector<uint64_t>* out) const {
+uint64_t RStarTree::RangeSearch(const Mbr& query, double epsilon,
+                                std::vector<uint64_t>* out) const {
   MDSEQ_CHECK(query.is_valid());
   MDSEQ_CHECK(query.dim() == dim_);
   MDSEQ_CHECK(epsilon >= 0.0);
   const double eps2 = epsilon * epsilon;
+  uint64_t visited = 0;
   std::vector<const Node*> stack{root_.get()};
   while (!stack.empty()) {
     const Node* node = stack.back();
     stack.pop_back();
-    ++node_accesses_;
+    ++visited;
     for (const NodeEntry& e : node->entries) {
       // mindist(query, e.mbr) <= eps is exactly the Dmbr test of the paper's
       // Phase 2, applied at every level: an internal box farther than eps
@@ -569,6 +590,8 @@ void RStarTree::RangeSearch(const Mbr& query, double epsilon,
       }
     }
   }
+  node_accesses_.fetch_add(visited, std::memory_order_relaxed);
+  return visited;
 }
 
 void RStarTree::IntersectSearch(const Mbr& query,
@@ -604,7 +627,7 @@ std::vector<IndexEntry> RStarTree::NearestNeighbors(const Mbr& query,
       results.push_back(IndexEntry{item.entry->mbr, item.entry->value});
       continue;
     }
-    ++node_accesses_;
+    node_accesses_.fetch_add(1, std::memory_order_relaxed);
     for (const NodeEntry& e : item.node->entries) {
       const double dist2 = query.MinDist2(e.mbr);
       if (item.node->is_leaf()) {

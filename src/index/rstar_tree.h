@@ -1,6 +1,7 @@
 #ifndef MDSEQ_INDEX_RSTAR_TREE_H_
 #define MDSEQ_INDEX_RSTAR_TREE_H_
 
+#include <atomic>
 #include <memory>
 #include <vector>
 
@@ -70,11 +71,15 @@ class RStarTree : public SpatialIndex {
 
   void Insert(const Mbr& mbr, uint64_t value) override;
   bool Remove(const Mbr& mbr, uint64_t value) override;
-  void RangeSearch(const Mbr& query, double epsilon,
-                   std::vector<uint64_t>* out) const override;
+  uint64_t RangeSearch(const Mbr& query, double epsilon,
+                       std::vector<uint64_t>* out) const override;
   size_t size() const override { return size_; }
-  uint64_t node_accesses() const override { return node_accesses_; }
-  void ResetNodeAccesses() override { node_accesses_ = 0; }
+  uint64_t node_accesses() const override {
+    return node_accesses_.load(std::memory_order_relaxed);
+  }
+  void ResetNodeAccesses() override {
+    node_accesses_.store(0, std::memory_order_relaxed);
+  }
 
   /// Appends payloads of every entry whose rectangle intersects `query`
   /// (equivalent to `RangeSearch(query, 0, out)` but without the epsilon
@@ -129,7 +134,7 @@ class RStarTree : public SpatialIndex {
   RStarTreeOptions options_;
   std::unique_ptr<Node> root_;
   size_t size_ = 0;
-  mutable uint64_t node_accesses_ = 0;
+  mutable std::atomic<uint64_t> node_accesses_{0};
 };
 
 }  // namespace mdseq

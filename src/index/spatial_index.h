@@ -22,7 +22,9 @@ struct IndexEntry {
 /// Two implementations are provided: `RStarTree` (the R* variant of the
 /// R-tree) and `LinearIndex` (a flat page-scan baseline used by the index
 /// ablation). Implementations are not thread-safe for concurrent mutation;
-/// concurrent read-only queries are safe apart from the node-access counter.
+/// concurrent read-only queries from any number of threads are safe (the
+/// cumulative node-access counter is atomic, and per-query accounting is
+/// returned by value from `RangeSearch`).
 class SpatialIndex {
  public:
   virtual ~SpatialIndex() = default;
@@ -37,15 +39,18 @@ class SpatialIndex {
   /// Appends to `out` the payloads of every entry whose rectangle lies
   /// within Euclidean distance `epsilon` of `query` — i.e. every stored `B`
   /// with `Dmbr(query, B) <= epsilon` (paper Phase 2). Output order is
-  /// implementation-defined.
-  virtual void RangeSearch(const Mbr& query, double epsilon,
-                           std::vector<uint64_t>* out) const = 0;
+  /// implementation-defined. Returns the number of nodes (pages) this call
+  /// visited, so concurrent queries get exact per-query accounting without
+  /// reading the shared counter.
+  virtual uint64_t RangeSearch(const Mbr& query, double epsilon,
+                               std::vector<uint64_t>* out) const = 0;
 
   /// Number of stored entries.
   virtual size_t size() const = 0;
 
   /// Node (page) accesses performed by queries since the last reset; the
-  /// in-memory analogue of the paper's disk-access cost.
+  /// in-memory analogue of the paper's disk-access cost. Cumulative across
+  /// all threads.
   virtual uint64_t node_accesses() const = 0;
   virtual void ResetNodeAccesses() = 0;
 };

@@ -40,6 +40,7 @@ Page* PageHandle::mutable_page() {
 
 void PageHandle::MarkDirty() {
   MDSEQ_CHECK(valid());
+  std::lock_guard<std::mutex> lock(pool_->mutex_);
   pool_->frames_[frame_].dirty = true;
 }
 
@@ -84,7 +85,7 @@ bool BufferPool::WriteBackAndRelease(size_t frame_index) {
   }
   table_.erase(frame.id);
   frame.id = kInvalidPageId;
-  ++evictions_;
+  evictions_.fetch_add(1, std::memory_order_relaxed);
   return true;
 }
 
@@ -136,12 +137,12 @@ bool BufferPool::EvictSomeFrame(size_t* frame_out) {
 size_t BufferPool::Acquire(PageId id, bool load_from_file) {
   auto it = table_.find(id);
   if (it != table_.end()) {
-    ++hits_;
+    hits_.fetch_add(1, std::memory_order_relaxed);
     Touch(it->second);
     ++frames_[it->second].pins;
     return it->second;
   }
-  ++misses_;
+  misses_.fetch_add(1, std::memory_order_relaxed);
   size_t frame_index = 0;
   if (!EvictSomeFrame(&frame_index)) return SIZE_MAX;
   Frame& frame = frames_[frame_index];
@@ -159,12 +160,14 @@ size_t BufferPool::Acquire(PageId id, bool load_from_file) {
 }
 
 PageHandle BufferPool::Fetch(PageId id) {
+  std::lock_guard<std::mutex> lock(mutex_);
   const size_t frame = Acquire(id, /*load_from_file=*/true);
   if (frame == SIZE_MAX) return PageHandle();
   return PageHandle(this, id, frame);
 }
 
 PageHandle BufferPool::Allocate() {
+  std::lock_guard<std::mutex> lock(mutex_);
   const PageId id = file_->Allocate();
   if (id == kInvalidPageId) return PageHandle();
   const size_t frame = Acquire(id, /*load_from_file=*/false);
@@ -174,12 +177,14 @@ PageHandle BufferPool::Allocate() {
 }
 
 void BufferPool::Unpin(size_t frame) {
+  std::lock_guard<std::mutex> lock(mutex_);
   MDSEQ_CHECK(frame < frames_.size());
   MDSEQ_CHECK(frames_[frame].pins > 0);
   --frames_[frame].pins;
 }
 
 bool BufferPool::Flush() {
+  std::lock_guard<std::mutex> lock(mutex_);
   bool ok = true;
   for (Frame& frame : frames_) {
     if (frame.id == kInvalidPageId || !frame.dirty) continue;

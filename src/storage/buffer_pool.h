@@ -1,8 +1,10 @@
 #ifndef MDSEQ_STORAGE_BUFFER_POOL_H_
 #define MDSEQ_STORAGE_BUFFER_POOL_H_
 
+#include <atomic>
 #include <cstdint>
 #include <list>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -55,7 +57,14 @@ class PageHandle {
 /// sweeping hand, no list maintenance on hits). `bench/ablation_replacement`
 /// compares their miss rates.
 ///
-/// Not thread-safe. The pool must outlive all its handles.
+/// Thread-safe: pin/unpin/flush and the replacement bookkeeping are
+/// serialized by one internal latch (page reads from the file happen under
+/// it too — the single `PageFile` seek/read pair is not reentrant), and the
+/// statistics counters are atomic. Reading the *contents* of a pinned page
+/// through a `PageHandle` is lock-free; concurrent readers may share a
+/// pinned frame. Writers (`MarkDirty` + mutation of the same page) still
+/// need external coordination — the query engine only ever reads.
+/// The pool must outlive all its handles.
 class BufferPool {
  public:
   enum class Policy { kLru, kClock };
@@ -81,14 +90,16 @@ class BufferPool {
   size_t capacity() const { return frames_.size(); }
 
   /// Statistics: pool hits, misses (= real page reads through the pool),
-  /// and evictions.
-  uint64_t hits() const { return hits_; }
-  uint64_t misses() const { return misses_; }
-  uint64_t evictions() const { return evictions_; }
+  /// and evictions. Cumulative across all threads.
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+  uint64_t evictions() const {
+    return evictions_.load(std::memory_order_relaxed);
+  }
   void ResetStats() {
-    hits_ = 0;
-    misses_ = 0;
-    evictions_ = 0;
+    hits_.store(0, std::memory_order_relaxed);
+    misses_.store(0, std::memory_order_relaxed);
+    evictions_.store(0, std::memory_order_relaxed);
   }
 
  private:
@@ -114,6 +125,10 @@ class BufferPool {
 
   PageFile* file_;
   Policy policy_;
+  /// Serializes all pool state (frames' metadata, table, LRU/clock) and the
+  /// underlying file I/O. Page *contents* of pinned frames are read outside
+  /// the latch.
+  mutable std::mutex mutex_;
   size_t clock_hand_ = 0;
   std::vector<Frame> frames_;
   std::unordered_map<PageId, size_t> table_;
@@ -121,9 +136,9 @@ class BufferPool {
   /// unpinned frames are eligible for eviction.
   std::list<size_t> lru_;
   std::unordered_map<size_t, std::list<size_t>::iterator> lru_position_;
-  uint64_t hits_ = 0;
-  uint64_t misses_ = 0;
-  uint64_t evictions_ = 0;
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> evictions_{0};
 };
 
 }  // namespace mdseq

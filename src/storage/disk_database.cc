@@ -173,6 +173,11 @@ DiskDatabase::DiskDatabase(const std::string& path, size_t pool_pages,
 }
 
 SearchResult DiskDatabase::Search(SequenceView query, double epsilon) const {
+  return Search(query, epsilon, SearchControl());
+}
+
+SearchResult DiskDatabase::Search(SequenceView query, double epsilon,
+                                  const SearchControl& control) const {
   MDSEQ_CHECK(valid_);
   MDSEQ_CHECK(!query.empty());
   MDSEQ_CHECK(query.dim() == dim_);
@@ -181,11 +186,13 @@ SearchResult DiskDatabase::Search(SequenceView query, double epsilon) const {
   SearchResult result;
   const Partition query_partition = PartitionSequence(query, partitioning_);
 
-  // Phase 2 against the paged index; misses are charged to the pool.
-  const uint64_t misses_before = pool_->misses();
+  // Phase 2 against the paged index. Node accesses are counted per call
+  // (pages this query visited), not as a pool-miss delta, so the number is
+  // deterministic and exact when other threads share the pool.
   std::vector<uint64_t> hits;
   for (const SequenceMbr& piece : query_partition) {
-    tree_->RangeSearch(piece.mbr, epsilon, &hits);
+    tree_->RangeSearch(piece.mbr, epsilon, &hits,
+                       &result.stats.node_accesses);
   }
   for (uint64_t value : hits) {
     result.candidates.push_back(SequenceDatabase::UnpackSequenceId(value));
@@ -194,11 +201,14 @@ SearchResult DiskDatabase::Search(SequenceView query, double epsilon) const {
   result.candidates.erase(
       std::unique(result.candidates.begin(), result.candidates.end()),
       result.candidates.end());
-  result.stats.node_accesses = pool_->misses() - misses_before;
   result.stats.phase2_candidates = result.candidates.size();
 
   // Phase 3 on the resident partition catalog.
   for (size_t id : result.candidates) {
+    if (control.ShouldStop()) {
+      result.interrupted = true;
+      break;
+    }
     SequenceMatch match;
     match.sequence_id = id;
     if (internal::EvaluatePhase3(query_partition, query.size(),
@@ -213,10 +223,19 @@ SearchResult DiskDatabase::Search(SequenceView query, double epsilon) const {
 
 SearchResult DiskDatabase::SearchVerified(SequenceView query,
                                           double epsilon) const {
-  SearchResult result = Search(query, epsilon);
+  return SearchVerified(query, epsilon, SearchControl());
+}
+
+SearchResult DiskDatabase::SearchVerified(SequenceView query, double epsilon,
+                                          const SearchControl& control) const {
+  SearchResult result = Search(query, epsilon, control);
   std::vector<SequenceMatch> verified;
   verified.reserve(result.matches.size());
   for (SequenceMatch& match : result.matches) {
+    if (control.ShouldStop()) {
+      result.interrupted = true;
+      break;
+    }
     const auto sequence = store_->Read(match.sequence_id);
     if (!sequence.has_value()) continue;  // I/O failure: drop conservatively
     const double exact = SequenceDistance(query, sequence->View());

@@ -42,12 +42,23 @@ class DiskDatabase {
 
   /// The paper's filter phases against the paged index (no sequence
   /// reads). Same semantics as `SimilaritySearch::Search`.
+  /// `stats.node_accesses` counts the index pages this query visited
+  /// (through the pool), so it is exact even with concurrent readers.
+  ///
+  /// The query path is const; any number of threads may search one open
+  /// DiskDatabase concurrently (page fetches serialize on the pool latch).
+  /// The `control` overloads poll for cancellation/deadline between
+  /// phases; see `SearchControl`.
   SearchResult Search(SequenceView query, double epsilon) const;
+  SearchResult Search(SequenceView query, double epsilon,
+                      const SearchControl& control) const;
 
   /// Filter plus refinement: matches are verified against the stored
   /// sequences, read through the buffer pool. Same semantics as
   /// `SimilaritySearch::SearchVerified`.
   SearchResult SearchVerified(SequenceView query, double epsilon) const;
+  SearchResult SearchVerified(SequenceView query, double epsilon,
+                              const SearchControl& control) const;
 
   /// Reads one sequence from disk (paged).
   std::optional<Sequence> ReadSequence(size_t id) const;

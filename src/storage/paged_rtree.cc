@@ -199,7 +199,8 @@ PagedRTree::PagedRTree(size_t dim, BufferPool* pool, PageId root)
 }
 
 bool PagedRTree::RangeSearch(const Mbr& query, double epsilon,
-                             std::vector<uint64_t>* out) const {
+                             std::vector<uint64_t>* out,
+                             uint64_t* pages_visited) const {
   MDSEQ_CHECK(query.is_valid());
   MDSEQ_CHECK(query.dim() == dim_);
   MDSEQ_CHECK(epsilon >= 0.0);
@@ -210,6 +211,7 @@ bool PagedRTree::RangeSearch(const Mbr& query, double epsilon,
     stack.pop_back();
     PageHandle handle = pool_->Fetch(id);
     if (!handle.valid()) return false;
+    if (pages_visited != nullptr) ++*pages_visited;
     const NodeHeader header = GetHeader(handle.page());
     size_t offset = sizeof(NodeHeader);
     for (size_t i = 0; i < header.count; ++i) {

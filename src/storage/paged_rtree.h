@@ -57,9 +57,13 @@ class PagedRTree {
 
   /// Appends payloads of entries within Euclidean distance `epsilon` of
   /// `query` (same semantics as `SpatialIndex::RangeSearch`). Returns
-  /// false on I/O failure (results are then incomplete).
+  /// false on I/O failure (results are then incomplete). When
+  /// `pages_visited` is non-null it is incremented once per node page this
+  /// call touched (hit or miss) — exact per-query accounting even when
+  /// other threads share the pool.
   bool RangeSearch(const Mbr& query, double epsilon,
-                   std::vector<uint64_t>* out) const;
+                   std::vector<uint64_t>* out,
+                   uint64_t* pages_visited = nullptr) const;
 
   /// Inserts one entry (Guttman ChooseLeaf + quadratic split). Dirty pages
   /// stay in the pool until eviction or `BufferPool::Flush`. Returns false

@@ -1,0 +1,501 @@
+// Unit and stress tests for the concurrent query engine (src/engine):
+// admission-queue overload policies, the thread-pool executor, the
+// lock-free latency histogram, deadline/cancellation handling, and the
+// headline guarantee — N threads hammering one shared database produce
+// results bit-for-bit identical to the serial three-phase search.
+//
+// The whole binary carries the `tsan` ctest label; build with
+// -DMDSEQ_SANITIZE=thread and run `ctest -L tsan` to prove the shared
+// read path race-free.
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "engine/admission_queue.h"
+#include "engine/cancellation.h"
+#include "engine/latency_histogram.h"
+#include "engine/query_engine.h"
+#include "engine/thread_pool.h"
+#include "eval/experiment.h"
+#include "storage/disk_database.h"
+
+namespace mdseq {
+namespace {
+
+// ---------------------------------------------------------------------------
+// AdmissionQueue
+// ---------------------------------------------------------------------------
+
+TEST(AdmissionQueueTest, FifoOrder) {
+  AdmissionQueue<int> queue(8, OverloadPolicy::kReject);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(queue.Push(i), AdmitResult::kAdmitted);
+  }
+  for (int i = 0; i < 5; ++i) {
+    int out = -1;
+    ASSERT_TRUE(queue.Pop(&out));
+    EXPECT_EQ(out, i);
+  }
+  EXPECT_EQ(queue.size(), 0u);
+}
+
+TEST(AdmissionQueueTest, RejectPolicyRefusesWhenFull) {
+  AdmissionQueue<int> queue(2, OverloadPolicy::kReject);
+  EXPECT_EQ(queue.Push(1), AdmitResult::kAdmitted);
+  EXPECT_EQ(queue.Push(2), AdmitResult::kAdmitted);
+  EXPECT_EQ(queue.Push(3), AdmitResult::kRejected);
+  EXPECT_EQ(queue.size(), 2u);
+  int out = 0;
+  ASSERT_TRUE(queue.Pop(&out));
+  EXPECT_EQ(out, 1);  // the rejected item never entered
+  EXPECT_EQ(queue.Push(4), AdmitResult::kAdmitted);
+}
+
+TEST(AdmissionQueueTest, ShedOldestEvictsFront) {
+  AdmissionQueue<int> queue(2, OverloadPolicy::kShedOldest);
+  EXPECT_EQ(queue.Push(1), AdmitResult::kAdmitted);
+  EXPECT_EQ(queue.Push(2), AdmitResult::kAdmitted);
+  std::optional<int> shed;
+  EXPECT_EQ(queue.Push(3, &shed), AdmitResult::kShed);
+  ASSERT_TRUE(shed.has_value());
+  EXPECT_EQ(*shed, 1);  // oldest out, newest in
+  int out = 0;
+  ASSERT_TRUE(queue.Pop(&out));
+  EXPECT_EQ(out, 2);
+  ASSERT_TRUE(queue.Pop(&out));
+  EXPECT_EQ(out, 3);
+}
+
+TEST(AdmissionQueueTest, BlockPolicyWaitsForConsumer) {
+  AdmissionQueue<int> queue(1, OverloadPolicy::kBlock);
+  EXPECT_EQ(queue.Push(1), AdmitResult::kAdmitted);
+  std::atomic<bool> second_admitted{false};
+  std::thread producer([&] {
+    EXPECT_EQ(queue.Push(2), AdmitResult::kAdmitted);  // blocks until pop
+    second_admitted.store(true);
+  });
+  // The producer must be parked, not spinning past the full queue.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(second_admitted.load());
+  int out = 0;
+  ASSERT_TRUE(queue.Pop(&out));
+  EXPECT_EQ(out, 1);
+  producer.join();
+  EXPECT_TRUE(second_admitted.load());
+  ASSERT_TRUE(queue.Pop(&out));
+  EXPECT_EQ(out, 2);
+}
+
+TEST(AdmissionQueueTest, CloseDrainsThenStopsConsumers) {
+  AdmissionQueue<int> queue(4, OverloadPolicy::kBlock);
+  EXPECT_EQ(queue.Push(1), AdmitResult::kAdmitted);
+  EXPECT_EQ(queue.Push(2), AdmitResult::kAdmitted);
+  queue.Close();
+  EXPECT_EQ(queue.Push(3), AdmitResult::kRejected);
+  int out = 0;
+  EXPECT_TRUE(queue.Pop(&out));
+  EXPECT_TRUE(queue.Pop(&out));
+  EXPECT_FALSE(queue.Pop(&out));  // closed and drained
+}
+
+TEST(AdmissionQueueTest, CloseWakesBlockedProducer) {
+  AdmissionQueue<int> queue(1, OverloadPolicy::kBlock);
+  EXPECT_EQ(queue.Push(1), AdmitResult::kAdmitted);
+  std::thread producer([&] {
+    EXPECT_EQ(queue.Push(2), AdmitResult::kRejected);  // woken by Close
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  queue.Close();
+  producer.join();
+}
+
+// ---------------------------------------------------------------------------
+// LatencyHistogram
+// ---------------------------------------------------------------------------
+
+TEST(LatencyHistogramTest, BucketMapping) {
+  EXPECT_EQ(LatencyHistogram::BucketOf(0), 0u);
+  EXPECT_EQ(LatencyHistogram::BucketOf(1), 1u);
+  EXPECT_EQ(LatencyHistogram::BucketOf(2), 2u);
+  EXPECT_EQ(LatencyHistogram::BucketOf(3), 2u);
+  EXPECT_EQ(LatencyHistogram::BucketOf(4), 3u);
+  EXPECT_EQ(LatencyHistogram::BucketOf(1023), 10u);
+  EXPECT_EQ(LatencyHistogram::BucketOf(1024), 11u);
+  EXPECT_EQ(LatencyHistogram::UpperBound(0), 0u);
+  EXPECT_EQ(LatencyHistogram::UpperBound(10), 1023u);
+}
+
+TEST(LatencyHistogramTest, PercentilesAndStats) {
+  LatencyHistogram hist;
+  EXPECT_EQ(hist.PercentileMicros(50.0), 0u);
+  // 90 fast samples at ~10us, 10 slow at ~5000us.
+  for (int i = 0; i < 90; ++i) hist.Record(10);
+  for (int i = 0; i < 10; ++i) hist.Record(5000);
+  EXPECT_EQ(hist.count(), 100u);
+  EXPECT_EQ(hist.MaxMicros(), 5000u);
+  const uint64_t p50 = hist.PercentileMicros(50.0);
+  const uint64_t p99 = hist.PercentileMicros(99.0);
+  EXPECT_GE(p50, 10u);
+  EXPECT_LT(p50, 32u);  // within the 2x bucket bound of 10us
+  EXPECT_GE(p99, 5000u);
+  EXPECT_LT(p99, 16384u);
+  EXPECT_NEAR(hist.MeanMicros(), 0.9 * 10 + 0.1 * 5000, 1.0);
+}
+
+TEST(LatencyHistogramTest, ConcurrentRecord) {
+  LatencyHistogram hist;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&hist] {
+      for (int i = 0; i < kPerThread; ++i) {
+        hist.Record(static_cast<uint64_t>(i % 1000));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(hist.count(),
+            static_cast<uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(hist.MaxMicros(), 999u);
+}
+
+// ---------------------------------------------------------------------------
+// ThreadPool
+// ---------------------------------------------------------------------------
+
+TEST(ThreadPoolTest, RunsEveryAdmittedTask) {
+  ThreadPool::Options options;
+  options.num_threads = 4;
+  options.queue_capacity = 64;
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(options);
+    for (int i = 0; i < 200; ++i) {
+      PoolTask task;
+      task.run = [&ran] { ran.fetch_add(1); };
+      EXPECT_EQ(pool.Submit(std::move(task)), AdmitResult::kAdmitted);
+    }
+  }  // destructor drains
+  EXPECT_EQ(ran.load(), 200);
+}
+
+TEST(ThreadPoolTest, ShedOldestRunsOnShedExactlyOnce) {
+  ThreadPool::Options options;
+  options.num_threads = 1;
+  options.queue_capacity = 2;
+  options.policy = OverloadPolicy::kShedOldest;
+  options.start_suspended = true;
+  std::atomic<int> ran{0};
+  std::atomic<int> shed{0};
+  {
+    ThreadPool pool(options);
+    for (int i = 0; i < 5; ++i) {
+      PoolTask task;
+      task.run = [&ran] { ran.fetch_add(1); };
+      task.on_shed = [&shed] { shed.fetch_add(1); };
+      const AdmitResult result = pool.Submit(std::move(task));
+      EXPECT_EQ(result,
+                i < 2 ? AdmitResult::kAdmitted : AdmitResult::kShed);
+    }
+    pool.Start();
+  }
+  // 5 submissions into a depth-2 queue with a parked worker: 3 shed, 2 ran.
+  EXPECT_EQ(ran.load() + shed.load(), 5);
+  EXPECT_EQ(shed.load(), 3);
+}
+
+TEST(ThreadPoolTest, SuspendedWorkersDoNotConsumeUntilStart) {
+  ThreadPool::Options options;
+  options.num_threads = 2;
+  options.queue_capacity = 16;
+  options.start_suspended = true;
+  ThreadPool pool(options);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 4; ++i) {
+    PoolTask task;
+    task.run = [&ran] { ran.fetch_add(1); };
+    EXPECT_EQ(pool.Submit(std::move(task)), AdmitResult::kAdmitted);
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_EQ(ran.load(), 0);
+  EXPECT_EQ(pool.queue_depth(), 4u);
+  pool.Start();
+  pool.Shutdown();
+  EXPECT_EQ(ran.load(), 4);
+}
+
+// ---------------------------------------------------------------------------
+// QueryEngine
+// ---------------------------------------------------------------------------
+
+Workload SmallWorkload(DataKind kind, uint64_t seed) {
+  WorkloadConfig config;
+  config.kind = kind;
+  config.num_sequences = 120;
+  config.min_length = 56;
+  config.max_length = 256;
+  config.num_queries = 24;
+  config.seed = seed;
+  return BuildWorkload(config);
+}
+
+void ExpectSameResult(const SearchResult& serial,
+                      const SearchResult& concurrent) {
+  ASSERT_EQ(serial.candidates.size(), concurrent.candidates.size());
+  EXPECT_EQ(serial.candidates, concurrent.candidates);
+  ASSERT_EQ(serial.matches.size(), concurrent.matches.size());
+  for (size_t m = 0; m < serial.matches.size(); ++m) {
+    const SequenceMatch& a = serial.matches[m];
+    const SequenceMatch& b = concurrent.matches[m];
+    EXPECT_EQ(a.sequence_id, b.sequence_id);
+    // Bit-for-bit: the same code ran over the same inputs with no shared
+    // mutable state, so even the floating-point results are identical.
+    EXPECT_EQ(a.min_dnorm, b.min_dnorm);
+    EXPECT_EQ(a.exact_distance, b.exact_distance);
+    EXPECT_EQ(a.solution_interval, b.solution_interval);
+  }
+  EXPECT_EQ(serial.stats.node_accesses, concurrent.stats.node_accesses);
+  EXPECT_EQ(serial.stats.phase2_candidates,
+            concurrent.stats.phase2_candidates);
+  EXPECT_EQ(serial.stats.phase3_matches, concurrent.stats.phase3_matches);
+  EXPECT_EQ(serial.stats.dnorm_evaluations,
+            concurrent.stats.dnorm_evaluations);
+  EXPECT_FALSE(concurrent.interrupted);
+}
+
+// N submitter threads x M queries against one shared in-memory database,
+// compared query-by-query against the serial path.
+TEST(QueryEngineStressTest, MatchesSerialSearchInMemory) {
+  const Workload workload = SmallWorkload(DataKind::kSynthetic, 7);
+  const double epsilon = 0.15;
+
+  SimilaritySearch serial(workload.database.get());
+  std::vector<SearchResult> expected;
+  expected.reserve(workload.queries.size());
+  for (const Sequence& q : workload.queries) {
+    expected.push_back(serial.Search(q.View(), epsilon));
+  }
+
+  EngineOptions options;
+  options.num_threads = 8;
+  options.queue_capacity = 256;
+  QueryEngine engine(workload.database.get(), options);
+
+  QueryOptions query_options;
+  query_options.epsilon = epsilon;
+
+  constexpr int kRounds = 6;
+  constexpr size_t kSubmitters = 4;
+  std::vector<std::vector<QueryOutcome>> outcomes(kSubmitters);
+  std::vector<std::thread> submitters;
+  for (size_t s = 0; s < kSubmitters; ++s) {
+    submitters.emplace_back([&, s] {
+      for (int round = 0; round < kRounds; ++round) {
+        std::vector<std::future<QueryOutcome>> futures;
+        futures.reserve(workload.queries.size());
+        for (const Sequence& q : workload.queries) {
+          futures.push_back(engine.Submit(q, query_options));
+        }
+        for (auto& f : futures) outcomes[s].push_back(f.get());
+      }
+    });
+  }
+  for (auto& t : submitters) t.join();
+
+  for (size_t s = 0; s < kSubmitters; ++s) {
+    ASSERT_EQ(outcomes[s].size(), kRounds * workload.queries.size());
+    for (size_t i = 0; i < outcomes[s].size(); ++i) {
+      const QueryOutcome& outcome = outcomes[s][i];
+      ASSERT_EQ(outcome.status, QueryStatus::kOk);
+      const SearchResult& want = expected[i % workload.queries.size()];
+      ExpectSameResult(want, outcome.result);
+    }
+  }
+
+  const EngineStats stats = engine.stats();
+  const uint64_t total = kSubmitters * kRounds * workload.queries.size();
+  EXPECT_EQ(stats.submitted, total);
+  EXPECT_EQ(stats.served, total);
+  EXPECT_EQ(stats.rejected, 0u);
+  EXPECT_EQ(stats.shed, 0u);
+  EXPECT_GT(stats.node_accesses, 0u);
+  EXPECT_GT(stats.dnorm_evaluations, 0u);
+  EXPECT_GE(stats.p99_latency_us, stats.p50_latency_us);
+}
+
+// The same guarantee against the disk-resident database: concurrent
+// readers share one buffer pool (and its latch) yet report exactly the
+// serial candidates, matches, and per-query page counts.
+TEST(QueryEngineStressTest, MatchesSerialSearchOnDisk) {
+  const Workload workload = SmallWorkload(DataKind::kVideo, 11);
+  const double epsilon = 0.12;
+  const std::string path = ::testing::TempDir() + "/engine_stress.mdb";
+  ASSERT_TRUE(DiskDatabase::Save(*workload.database, path));
+
+  DiskDatabase disk(path, /*pool_pages=*/64);
+  ASSERT_TRUE(disk.valid());
+
+  std::vector<SearchResult> expected;
+  for (const Sequence& q : workload.queries) {
+    expected.push_back(disk.SearchVerified(q.View(), epsilon));
+  }
+
+  EngineOptions options;
+  options.num_threads = 8;
+  options.queue_capacity = 256;
+  QueryEngine engine(&disk, options);
+
+  QueryOptions query_options;
+  query_options.epsilon = epsilon;
+  query_options.verified = true;
+
+  constexpr size_t kSubmitters = 4;
+  std::vector<std::vector<QueryOutcome>> outcomes(kSubmitters);
+  std::vector<std::thread> submitters;
+  for (size_t s = 0; s < kSubmitters; ++s) {
+    submitters.emplace_back([&, s] {
+      std::vector<std::future<QueryOutcome>> futures;
+      for (const Sequence& q : workload.queries) {
+        futures.push_back(engine.Submit(q, query_options));
+      }
+      for (auto& f : futures) outcomes[s].push_back(f.get());
+    });
+  }
+  for (auto& t : submitters) t.join();
+
+  for (size_t s = 0; s < kSubmitters; ++s) {
+    for (size_t i = 0; i < outcomes[s].size(); ++i) {
+      ASSERT_EQ(outcomes[s][i].status, QueryStatus::kOk);
+      ExpectSameResult(expected[i], outcomes[s][i].result);
+    }
+  }
+}
+
+TEST(QueryEngineTest, SubmitBatchFansOut) {
+  const Workload workload = SmallWorkload(DataKind::kSynthetic, 3);
+  EngineOptions options;
+  options.num_threads = 4;
+  QueryEngine engine(workload.database.get(), options);
+
+  QueryOptions query_options;
+  query_options.epsilon = 0.1;
+  auto futures = engine.SubmitBatch(workload.queries, query_options);
+  ASSERT_EQ(futures.size(), workload.queries.size());
+  for (auto& f : futures) {
+    EXPECT_EQ(f.get().status, QueryStatus::kOk);
+  }
+  EXPECT_EQ(engine.stats().served, workload.queries.size());
+}
+
+TEST(QueryEngineTest, ExpiredDeadlineNeverRuns) {
+  const Workload workload = SmallWorkload(DataKind::kSynthetic, 5);
+  EngineOptions options;
+  options.num_threads = 1;
+  options.start_suspended = true;  // hold the query in the queue
+  QueryEngine engine(workload.database.get(), options);
+
+  QueryOptions query_options;
+  query_options.epsilon = 0.1;
+  query_options.deadline = std::chrono::microseconds(1);
+  auto future = engine.Submit(workload.queries[0], query_options);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  engine.Start();
+
+  const QueryOutcome outcome = future.get();
+  EXPECT_EQ(outcome.status, QueryStatus::kDeadlineExpired);
+  EXPECT_TRUE(outcome.result.candidates.empty());
+  EXPECT_EQ(engine.stats().deadline_expired, 1u);
+  EXPECT_EQ(engine.stats().served, 0u);
+}
+
+TEST(QueryEngineTest, CancelledWhileQueued) {
+  const Workload workload = SmallWorkload(DataKind::kSynthetic, 5);
+  EngineOptions options;
+  options.num_threads = 1;
+  options.start_suspended = true;
+  QueryEngine engine(workload.database.get(), options);
+
+  CancellationSource source;
+  QueryOptions query_options;
+  query_options.epsilon = 0.1;
+  query_options.cancel = source.token();
+  auto future = engine.Submit(workload.queries[0], query_options);
+  source.Cancel();
+  engine.Start();
+
+  EXPECT_EQ(future.get().status, QueryStatus::kCancelled);
+  EXPECT_EQ(engine.stats().cancelled, 1u);
+}
+
+TEST(QueryEngineTest, RejectPolicyOverflow) {
+  const Workload workload = SmallWorkload(DataKind::kSynthetic, 9);
+  EngineOptions options;
+  options.num_threads = 1;
+  options.queue_capacity = 2;
+  options.policy = OverloadPolicy::kReject;
+  options.start_suspended = true;
+  QueryEngine engine(workload.database.get(), options);
+
+  QueryOptions query_options;
+  query_options.epsilon = 0.1;
+  auto f1 = engine.Submit(workload.queries[0], query_options);
+  auto f2 = engine.Submit(workload.queries[1], query_options);
+  auto f3 = engine.Submit(workload.queries[2], query_options);
+  // The third was refused at the door and resolves before service starts.
+  EXPECT_EQ(f3.get().status, QueryStatus::kRejected);
+  engine.Start();
+  EXPECT_EQ(f1.get().status, QueryStatus::kOk);
+  EXPECT_EQ(f2.get().status, QueryStatus::kOk);
+
+  const EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.submitted, 3u);
+  EXPECT_EQ(stats.served, 2u);
+  EXPECT_EQ(stats.rejected, 1u);
+}
+
+TEST(QueryEngineTest, ShedOldestOverflow) {
+  const Workload workload = SmallWorkload(DataKind::kSynthetic, 9);
+  EngineOptions options;
+  options.num_threads = 1;
+  options.queue_capacity = 1;
+  options.policy = OverloadPolicy::kShedOldest;
+  options.start_suspended = true;
+  QueryEngine engine(workload.database.get(), options);
+
+  QueryOptions query_options;
+  query_options.epsilon = 0.1;
+  auto f1 = engine.Submit(workload.queries[0], query_options);
+  auto f2 = engine.Submit(workload.queries[1], query_options);
+  auto f3 = engine.Submit(workload.queries[2], query_options);
+  // Each newcomer evicted its predecessor; only the newest survives.
+  EXPECT_EQ(f1.get().status, QueryStatus::kShed);
+  EXPECT_EQ(f2.get().status, QueryStatus::kShed);
+  engine.Start();
+  EXPECT_EQ(f3.get().status, QueryStatus::kOk);
+  EXPECT_EQ(engine.stats().shed, 2u);
+  EXPECT_EQ(engine.stats().served, 1u);
+}
+
+TEST(QueryEngineTest, ShutdownCompletesAdmittedQueries) {
+  const Workload workload = SmallWorkload(DataKind::kSynthetic, 13);
+  EngineOptions options;
+  options.num_threads = 2;
+  auto engine = std::make_unique<QueryEngine>(workload.database.get(),
+                                              options);
+  QueryOptions query_options;
+  query_options.epsilon = 0.1;
+  auto futures = engine->SubmitBatch(workload.queries, query_options);
+  engine.reset();  // shutdown drains: every future must resolve kOk
+  for (auto& f : futures) {
+    EXPECT_EQ(f.get().status, QueryStatus::kOk);
+  }
+}
+
+}  // namespace
+}  // namespace mdseq

@@ -19,15 +19,30 @@
 //   querydb range query against a disk database, reporting page I/O
 //             mdseq_cli querydb --db=corpus.db --query=seq.csv --eps=0.1
 //                               [--pool=256] [--filter-only] [--max_rows=20]
+//   serve-bench  drive the concurrent query engine with N client threads
+//             mdseq_cli serve-bench --corpus=corpus.mdsq | --db=corpus.db
+//                            [--threads=0 --clients=4 --queries=64
+//                             --eps=0.1 --queue=1024
+//                             --policy=block|reject|shed
+//                             --deadline_ms=0 --verified --pool=256
+//                             --seed=42 --min_qlen=32 --max_qlen=128]
+//             Reports end-to-end QPS and the engine's admission/latency
+//             counters (p50/p99 from the lock-free histogram).
 //
 // Exit codes: 0 success, 1 runtime failure, 2 usage error.
 
+#include <chrono>
 #include <cstdio>
+#include <memory>
+#include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/search.h"
+#include "engine/query_engine.h"
 #include "gen/fractal.h"
+#include "gen/query_workload.h"
 #include "gen/video.h"
 #include "gen/walk.h"
 #include "io/serialization.h"
@@ -41,7 +56,9 @@ using namespace mdseq;
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: mdseq_cli <gen|info|export|query|topk> [--flags]\n"
+               "usage: mdseq_cli "
+               "<gen|info|export|query|topk|builddb|querydb|serve-bench> "
+               "[--flags]\n"
                "see the header of tools/mdseq_cli.cc for details\n");
   return 2;
 }
@@ -280,6 +297,145 @@ int RunQueryDb(const Flags& flags) {
   return 0;
 }
 
+// serve-bench: N client threads submit batches of drawn queries into the
+// concurrent engine; reports QPS and the engine counters. Works against an
+// in-memory corpus (--corpus) or a disk database (--db).
+int RunServeBench(const Flags& flags) {
+  const std::string corpus_path = flags.GetString("corpus", "");
+  const std::string db_path = flags.GetString("db", "");
+  if (corpus_path.empty() == db_path.empty()) {
+    std::fprintf(stderr,
+                 "serve-bench: exactly one of --corpus / --db is required\n");
+    return 2;
+  }
+
+  EngineOptions options;
+  options.num_threads = flags.GetSize("threads", 0);
+  options.queue_capacity = flags.GetSize("queue", 1024);
+  if (options.queue_capacity == 0) {
+    std::fprintf(stderr, "serve-bench: --queue must be >= 1\n");
+    return 2;
+  }
+  const std::string policy = flags.GetString("policy", "block");
+  if (policy == "block") {
+    options.policy = OverloadPolicy::kBlock;
+  } else if (policy == "reject") {
+    options.policy = OverloadPolicy::kReject;
+  } else if (policy == "shed") {
+    options.policy = OverloadPolicy::kShedOldest;
+  } else {
+    std::fprintf(stderr, "serve-bench: unknown --policy=%s\n",
+                 policy.c_str());
+    return 2;
+  }
+
+  QueryOptions query_options;
+  query_options.epsilon = flags.GetDouble("eps", 0.1);
+  query_options.verified = flags.Has("verified");
+  const size_t deadline_ms = flags.GetSize("deadline_ms", 0);
+  if (deadline_ms > 0) {
+    query_options.deadline = std::chrono::milliseconds(deadline_ms);
+  }
+
+  // The query set is drawn from the stored sequences either way; for a
+  // disk database the raw sequences are read back through the pool first.
+  std::vector<Sequence> corpus;
+  std::unique_ptr<SequenceDatabase> memory_database;
+  std::unique_ptr<DiskDatabase> disk_database;
+  if (!corpus_path.empty()) {
+    auto loaded = ReadSequences(corpus_path);
+    if (!loaded.has_value() || loaded->empty()) {
+      std::fprintf(stderr, "serve-bench: failed to read corpus %s\n",
+                   corpus_path.c_str());
+      return 1;
+    }
+    corpus = std::move(*loaded);
+    memory_database =
+        std::make_unique<SequenceDatabase>(corpus.front().dim());
+    for (const Sequence& s : corpus) memory_database->Add(s);
+  } else {
+    disk_database = std::make_unique<DiskDatabase>(
+        db_path, flags.GetSize("pool", 256));
+    if (!disk_database->valid()) {
+      std::fprintf(stderr, "serve-bench: failed to open %s\n",
+                   db_path.c_str());
+      return 1;
+    }
+    corpus.reserve(disk_database->num_sequences());
+    for (size_t id = 0; id < disk_database->num_sequences(); ++id) {
+      auto sequence = disk_database->ReadSequence(id);
+      if (!sequence.has_value()) {
+        std::fprintf(stderr, "serve-bench: failed to read sequence %zu\n",
+                     id);
+        return 1;
+      }
+      corpus.push_back(std::move(*sequence));
+    }
+  }
+
+  const size_t clients = flags.GetSize("clients", 4);
+  const size_t queries_per_client = flags.GetSize("queries", 64);
+  QueryWorkloadOptions workload;
+  workload.min_length = flags.GetSize("min_qlen", 32);
+  workload.max_length = flags.GetSize("max_qlen", 128);
+  Rng rng(flags.GetSize("seed", 42));
+  std::vector<std::vector<Sequence>> per_client(clients);
+  for (size_t c = 0; c < clients; ++c) {
+    per_client[c] = DrawQueries(corpus, queries_per_client, workload, &rng);
+  }
+
+  auto engine =
+      memory_database != nullptr
+          ? std::make_unique<QueryEngine>(memory_database.get(), options)
+          : std::make_unique<QueryEngine>(disk_database.get(), options);
+
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  for (size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      auto futures =
+          engine->SubmitBatch(std::move(per_client[c]), query_options);
+      for (auto& f : futures) f.get();
+    });
+  }
+  for (auto& t : threads) t.join();
+  const double elapsed_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    start)
+          .count();
+
+  const EngineStats stats = engine->stats();
+  const uint64_t total = clients * queries_per_client;
+  std::printf("serve-bench: %zu sequences, %zu client(s) x %zu queries, "
+              "%zu worker(s), queue %zu (%s)\n",
+              corpus.size(), clients, queries_per_client,
+              engine->num_threads(), options.queue_capacity,
+              policy.c_str());
+  std::printf("elapsed   : %.3f s  (%.0f queries/s end-to-end)\n",
+              elapsed_s, static_cast<double>(total) / elapsed_s);
+  std::printf("outcomes  : %llu served, %llu rejected, %llu shed, "
+              "%llu deadline-expired, %llu cancelled\n",
+              static_cast<unsigned long long>(stats.served),
+              static_cast<unsigned long long>(stats.rejected),
+              static_cast<unsigned long long>(stats.shed),
+              static_cast<unsigned long long>(stats.deadline_expired),
+              static_cast<unsigned long long>(stats.cancelled));
+  std::printf("latency   : p50 %llu us, p99 %llu us, max %llu us, "
+              "mean %.0f us\n",
+              static_cast<unsigned long long>(stats.p50_latency_us),
+              static_cast<unsigned long long>(stats.p99_latency_us),
+              static_cast<unsigned long long>(stats.max_latency_us),
+              stats.mean_latency_us);
+  std::printf("work      : %llu node accesses, %llu Dnorm evaluations, "
+              "%llu phase-2 candidates, %llu phase-3 matches\n",
+              static_cast<unsigned long long>(stats.node_accesses),
+              static_cast<unsigned long long>(stats.dnorm_evaluations),
+              static_cast<unsigned long long>(stats.phase2_candidates),
+              static_cast<unsigned long long>(stats.phase3_matches));
+  return 0;
+}
+
 int RunTopk(const Flags& flags) {
   auto setup = PrepareQuery(flags);
   if (!setup.has_value()) return 1;
@@ -305,5 +461,6 @@ int main(int argc, char** argv) {
   if (command == "topk") return RunTopk(flags);
   if (command == "builddb") return RunBuildDb(flags);
   if (command == "querydb") return RunQueryDb(flags);
+  if (command == "serve-bench") return RunServeBench(flags);
   return Usage();
 }
