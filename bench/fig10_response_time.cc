@@ -27,6 +27,7 @@ int main(int argc, char** argv) {
         *workload.database, workload.queries, PaperEpsilons(), options);
     PrintSweepRows("Figure 10, synthetic (measured):", rows,
                    /*with_time=*/true);
+    PrintPhaseBreakdown("Figure 10, synthetic phase breakdown:", rows);
   }
   {
     const WorkloadConfig config =
@@ -36,6 +37,7 @@ int main(int argc, char** argv) {
     const std::vector<SweepRow> rows = RunThresholdSweep(
         *workload.database, workload.queries, PaperEpsilons(), options);
     PrintSweepRows("Figure 10, video (measured):", rows, /*with_time=*/true);
+    PrintPhaseBreakdown("Figure 10, video phase breakdown:", rows);
   }
   return 0;
 }

@@ -1,14 +1,65 @@
 #include "core/search.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <limits>
 
 #include "core/distance.h"
 #include "core/mbr_distance.h"
+#include "obs/trace.h"
 #include "util/check.h"
 
 namespace mdseq {
+
+namespace {
+
+using SteadyClock = std::chrono::steady_clock;
+
+uint64_t ElapsedNs(SteadyClock::time_point start) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          SteadyClock::now() - start)
+          .count());
+}
+
+// Phase 2 against any spatial index: one range search per query MBR,
+// deduplicated candidate ids. Shared by `Search` (which already holds the
+// partition) and the public `SearchCandidates`.
+std::vector<size_t> FirstPruning(const SpatialIndex& index,
+                                 const Partition& query_partition,
+                                 double epsilon, SearchStats* stats,
+                                 obs::Trace* trace) {
+  obs::SpanScope phase_span(trace, "first_pruning");
+  const auto start = SteadyClock::now();
+  uint64_t accesses = 0;
+  std::vector<uint64_t> hits;
+  std::vector<size_t> candidates;
+  for (const SequenceMbr& piece : query_partition) {
+    obs::SpanScope search_span(trace, "range_search");
+    hits.clear();
+    const uint64_t visits = index.RangeSearch(piece.mbr, epsilon, &hits);
+    accesses += visits;
+    search_span.Arg("node_visits", visits);
+    search_span.Arg("hits", hits.size());
+    for (uint64_t value : hits) {
+      candidates.push_back(SequenceDatabase::UnpackSequenceId(value));
+    }
+  }
+  std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
+  if (stats != nullptr) {
+    stats->node_accesses += accesses;
+    stats->phase2_candidates = candidates.size();
+    stats->first_pruning_ns += ElapsedNs(start);
+  }
+  phase_span.Arg("node_accesses", accesses);
+  phase_span.Arg("candidates", candidates.size());
+  return candidates;
+}
+
+}  // namespace
 
 void MergeIntervals(std::vector<Interval>* intervals) {
   if (intervals->size() <= 1) return;
@@ -74,32 +125,20 @@ std::vector<size_t> SimilaritySearch::SearchCandidates(
   MDSEQ_CHECK(epsilon >= 0.0);
 
   // Phase 1: partition the query with the database's partitioning options.
+  const auto partition_start = SteadyClock::now();
   const Partition query_partition = PartitionSequence(
       query, database_->options().partitioning);
+  if (stats != nullptr) {
+    stats->partition_ns += ElapsedNs(partition_start);
+    stats->query_mbrs = query_partition.size();
+  }
 
   // Phase 2: one index range search per query MBR; a sequence is a candidate
   // as soon as one of its MBRs lies within Dmbr <= epsilon of one query MBR.
   // Accounting uses the per-call visit counts returned by RangeSearch, not
   // the index's cumulative counter, so concurrent queries stay exact.
-  const SpatialIndex& index = database_->index();
-  uint64_t accesses = 0;
-  std::vector<uint64_t> hits;
-  std::vector<size_t> candidates;
-  for (const SequenceMbr& piece : query_partition) {
-    hits.clear();
-    accesses += index.RangeSearch(piece.mbr, epsilon, &hits);
-    for (uint64_t value : hits) {
-      candidates.push_back(SequenceDatabase::UnpackSequenceId(value));
-    }
-  }
-  std::sort(candidates.begin(), candidates.end());
-  candidates.erase(std::unique(candidates.begin(), candidates.end()),
-                   candidates.end());
-  if (stats != nullptr) {
-    stats->node_accesses += accesses;
-    stats->phase2_candidates = candidates.size();
-  }
-  return candidates;
+  return FirstPruning(database_->index(), query_partition, epsilon, stats,
+                      nullptr);
 }
 
 namespace internal {
@@ -107,7 +146,8 @@ namespace internal {
 bool EvaluatePhase3(const Partition& query_partition, size_t query_length,
                     const Partition& data_partition, size_t data_length,
                     double epsilon, const SearchOptions& options,
-                    SequenceMatch* match, SearchStats* stats) {
+                    SequenceMatch* match, SearchStats* stats,
+                    obs::Trace* trace) {
   MDSEQ_CHECK(match != nullptr && stats != nullptr);
   match->min_dnorm = std::numeric_limits<double>::infinity();
   match->solution_interval.clear();
@@ -160,7 +200,13 @@ bool EvaluatePhase3(const Partition& query_partition, size_t query_length,
     if (composite > epsilon) qualified = false;
   }
 
-  if (qualified) MergeIntervals(&match->solution_interval);
+  if (qualified) {
+    obs::SpanScope assembly_span(trace, "assemble_intervals");
+    const auto assembly_start = SteadyClock::now();
+    MergeIntervals(&match->solution_interval);
+    stats->interval_assembly_ns += ElapsedNs(assembly_start);
+    assembly_span.Arg("intervals", match->solution_interval.size());
+  }
   return qualified;
 }
 
@@ -173,29 +219,55 @@ SearchResult SimilaritySearch::Search(SequenceView query,
 
 SearchResult SimilaritySearch::Search(SequenceView query, double epsilon,
                                       const SearchControl& control) const {
+  MDSEQ_CHECK(!query.empty());
+  MDSEQ_CHECK(query.dim() == database_->dim());
+  MDSEQ_CHECK(epsilon >= 0.0);
   SearchResult result;
-  result.candidates = SearchCandidates(query, epsilon, &result.stats);
 
-  const Partition query_partition = PartitionSequence(
-      query, database_->options().partitioning);
+  // Phase 1: one partitioning pass shared by both pruning phases.
+  Partition query_partition;
+  {
+    obs::SpanScope span(control.trace, "partition");
+    const auto start = SteadyClock::now();
+    query_partition = PartitionSequence(query,
+                                        database_->options().partitioning);
+    result.stats.partition_ns += ElapsedNs(start);
+    result.stats.query_mbrs = query_partition.size();
+    span.Arg("query_mbrs", query_partition.size());
+  }
+
+  result.candidates = FirstPruning(database_->index(), query_partition,
+                                   epsilon, &result.stats, control.trace);
 
   // Phase 3: second pruning with Dnorm plus solution-interval assembly.
   // The control is polled per candidate — the unit of abandonable work.
-  for (size_t id : result.candidates) {
-    if (control.ShouldStop()) {
-      result.interrupted = true;
-      break;
+  {
+    obs::SpanScope span(control.trace, "second_pruning");
+    const auto start = SteadyClock::now();
+    for (size_t id : result.candidates) {
+      if (control.ShouldStop()) {
+        result.interrupted = true;
+        break;
+      }
+      obs::SpanScope candidate_span(control.trace, "candidate");
+      candidate_span.Arg("sequence_id", id);
+      const size_t evals_before = result.stats.dnorm_evaluations;
+      SequenceMatch match;
+      match.sequence_id = id;
+      const bool qualified = internal::EvaluatePhase3(
+          query_partition, query.size(), database_->partition(id),
+          database_->sequence(id).size(), epsilon, options_, &match,
+          &result.stats, control.trace);
+      candidate_span.Arg("dnorm_evaluations",
+                         result.stats.dnorm_evaluations - evals_before);
+      candidate_span.Arg("qualified", qualified ? 1 : 0);
+      if (qualified) result.matches.push_back(std::move(match));
     }
-    SequenceMatch match;
-    match.sequence_id = id;
-    if (internal::EvaluatePhase3(query_partition, query.size(),
-                                 database_->partition(id),
-                                 database_->sequence(id).size(), epsilon,
-                                 options_, &match, &result.stats)) {
-      result.matches.push_back(std::move(match));
-    }
+    result.stats.second_pruning_ns += ElapsedNs(start);
+    span.Arg("matches", result.matches.size());
   }
   result.stats.phase3_matches = result.matches.size();
+  result.stats.filter_matches = result.matches.size();
   return result;
 }
 
@@ -207,6 +279,8 @@ SearchResult SimilaritySearch::SearchVerified(SequenceView query,
 SearchResult SimilaritySearch::SearchVerified(
     SequenceView query, double epsilon, const SearchControl& control) const {
   SearchResult result = Search(query, epsilon, control);
+  obs::SpanScope span(control.trace, "verify");
+  const auto start = SteadyClock::now();
   std::vector<SequenceMatch> verified;
   verified.reserve(result.matches.size());
   for (SequenceMatch& match : result.matches) {
@@ -214,6 +288,8 @@ SearchResult SimilaritySearch::SearchVerified(
       result.interrupted = true;
       break;
     }
+    obs::SpanScope candidate_span(control.trace, "verify_candidate");
+    candidate_span.Arg("sequence_id", match.sequence_id);
     const SequenceView data = database_->sequence(match.sequence_id).View();
     const double exact = SequenceDistance(query, data);
     if (exact > epsilon) continue;
@@ -223,7 +299,44 @@ SearchResult SimilaritySearch::SearchVerified(
   }
   result.matches = std::move(verified);
   result.stats.phase3_matches = result.matches.size();
+  result.stats.verify_ns += ElapsedNs(start);
+  span.Arg("verified_matches", result.matches.size());
   return result;
+}
+
+obs::ExplainStats ToExplainStats(const SearchResult& result,
+                                 size_t query_points, size_t dim,
+                                 double epsilon, bool verified, bool disk,
+                                 size_t database_sequences) {
+  obs::ExplainStats out;
+  out.query_points = query_points;
+  out.dim = dim;
+  out.epsilon = epsilon;
+  out.verified = verified;
+  out.disk = disk;
+  out.interrupted = result.interrupted;
+  out.database_sequences = database_sequences;
+
+  const SearchStats& stats = result.stats;
+  out.query_mbrs = stats.query_mbrs;
+  out.partition_ns = stats.partition_ns;
+  out.phase2_candidates = stats.phase2_candidates;
+  out.node_accesses = stats.node_accesses;
+  out.page_hits = stats.page_hits;
+  out.page_misses = stats.page_misses;
+  out.first_pruning_ns = stats.first_pruning_ns;
+  out.phase3_matches = stats.filter_matches;
+  out.dnorm_evaluations = stats.dnorm_evaluations;
+  out.second_pruning_ns = stats.second_pruning_ns;
+  out.interval_assembly_ns = stats.interval_assembly_ns;
+  out.verified_matches = verified ? stats.phase3_matches : 0;
+  out.verify_ns = stats.verify_ns;
+
+  for (const SequenceMatch& match : result.matches) {
+    out.solution_intervals += match.solution_interval.size();
+    out.solution_points += CoveredPoints(match.solution_interval);
+  }
+  return out;
 }
 
 std::vector<SequenceMatch> SimilaritySearch::SearchNearest(SequenceView query,

@@ -9,8 +9,13 @@
 
 #include "core/database.h"
 #include "geom/sequence.h"
+#include "obs/explain.h"
 
 namespace mdseq {
+
+namespace obs {
+class Trace;
+}  // namespace obs
 
 /// A half-open run of point indices `[begin, end)` within one sequence.
 struct Interval {
@@ -58,10 +63,41 @@ struct SearchStats {
   uint64_t node_accesses = 0;
   /// Sequences surviving Phase 2 (the paper's ASmbr).
   size_t phase2_candidates = 0;
-  /// Sequences surviving Phase 3 (the paper's ASnorm).
+  /// Sequences surviving Phase 3 (the paper's ASnorm). For `SearchVerified`
+  /// this is the count *after* verification; `filter_matches` keeps the
+  /// pre-verification |ASnorm|.
   size_t phase3_matches = 0;
+  /// Sequences surviving the Dnorm filter before any verification
+  /// (== `phase3_matches` for plain `Search`).
+  size_t filter_matches = 0;
   /// `Dnorm` evaluations performed in Phase 3.
   size_t dnorm_evaluations = 0;
+  /// Query MBRs produced by Phase 1 partitioning.
+  size_t query_mbrs = 0;
+
+  /// Buffer-pool attribution of the index traversal on disk databases
+  /// (in-memory searches leave both 0): `page_misses` are real page reads,
+  /// `page_hits` were served from the pool. hits + misses == node_accesses.
+  uint64_t page_hits = 0;
+  uint64_t page_misses = 0;
+
+  /// Per-phase wall-clock nanoseconds, always measured (a handful of clock
+  /// reads per query — the figure benches and EXPLAIN read these instead of
+  /// re-timing around calls). `second_pruning_ns` covers the whole Phase-3
+  /// loop; `interval_assembly_ns` is the sub-slice of it spent merging
+  /// qualifying windows into solution intervals. `verify_ns` is only
+  /// filled by `SearchVerified`.
+  uint64_t partition_ns = 0;
+  uint64_t first_pruning_ns = 0;
+  uint64_t second_pruning_ns = 0;
+  uint64_t interval_assembly_ns = 0;
+  uint64_t verify_ns = 0;
+
+  /// Wall time of the whole search as the phase sum (assembly is inside
+  /// the second-pruning slice, so it is not added again).
+  uint64_t TotalPhaseNs() const {
+    return partition_ns + first_pruning_ns + second_pruning_ns + verify_ns;
+  }
 };
 
 /// Full result of one similarity query.
@@ -88,6 +124,11 @@ struct SearchControl {
   /// Absolute deadline; `max()` means none.
   std::chrono::steady_clock::time_point deadline =
       std::chrono::steady_clock::time_point::max();
+  /// Optional per-query span sink (see src/obs/trace.h). When null —
+  /// the default — instrumentation inlines to a pointer test and the
+  /// search runs untraced at full speed. The trace must outlive the call
+  /// and is written only by the searching thread.
+  obs::Trace* trace = nullptr;
 
   bool ShouldStop() const {
     if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) {
@@ -178,16 +219,27 @@ class SimilaritySearch {
   SearchOptions options_;
 };
 
+/// Copies one query's counters into the flat struct the obs layer renders
+/// (`obs::RenderExplainReport` / `obs::ExplainJson`). Derives the
+/// solution-interval totals from `result.matches`; `verified` must say
+/// whether `result` came from `SearchVerified`.
+obs::ExplainStats ToExplainStats(const SearchResult& result,
+                                 size_t query_points, size_t dim,
+                                 double epsilon, bool verified, bool disk,
+                                 size_t database_sequences);
+
 namespace internal {
 
 /// Evaluates the paper's Phase 3 (Dnorm pruning + solution-interval
 /// assembly) for one candidate pair. Returns true when the candidate
 /// qualifies and fills `match` (everything except `sequence_id`). Shared by
-/// the in-memory `SimilaritySearch` and the disk-backed engine.
+/// the in-memory `SimilaritySearch` and the disk-backed engine. `trace`
+/// (optional) receives the assembly span.
 bool EvaluatePhase3(const Partition& query_partition, size_t query_length,
                     const Partition& data_partition, size_t data_length,
                     double epsilon, const SearchOptions& options,
-                    SequenceMatch* match, SearchStats* stats);
+                    SequenceMatch* match, SearchStats* stats,
+                    obs::Trace* trace = nullptr);
 
 }  // namespace internal
 

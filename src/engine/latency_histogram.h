@@ -1,6 +1,7 @@
 #ifndef MDSEQ_ENGINE_LATENCY_HISTOGRAM_H_
 #define MDSEQ_ENGINE_LATENCY_HISTOGRAM_H_
 
+#include <algorithm>
 #include <array>
 #include <atomic>
 #include <bit>
@@ -48,7 +49,10 @@ class LatencyHistogram {
   uint64_t MaxMicros() const { return max_.load(std::memory_order_relaxed); }
 
   /// Upper bound of the bucket containing the `p`-th percentile (p in
-  /// [0, 100]); 0 when nothing was recorded.
+  /// [0, 100]), clamped to the recorded maximum so the answer never
+  /// exceeds a value that was actually observed. Edge cases are exact:
+  /// an empty histogram returns 0 (not a bucket bound), and a
+  /// single-sample histogram returns that sample.
   uint64_t PercentileMicros(double p) const {
     std::array<uint64_t, kBuckets> snapshot;
     uint64_t total = 0;
@@ -57,6 +61,8 @@ class LatencyHistogram {
       total += snapshot[b];
     }
     if (total == 0) return 0;
+    const uint64_t max_seen = max_.load(std::memory_order_relaxed);
+    if (total == 1) return max_seen;  // the one sample, exactly
     if (p < 0.0) p = 0.0;
     if (p > 100.0) p = 100.0;
     // Rank of the percentile sample, 1-based (nearest-rank definition).
@@ -66,9 +72,11 @@ class LatencyHistogram {
     uint64_t seen = 0;
     for (size_t b = 0; b < kBuckets; ++b) {
       seen += snapshot[b];
-      if (seen >= rank) return UpperBound(b);
+      // The recorded max is also an upper bound of any percentile, and a
+      // tighter one than the bucket bound in the top bucket.
+      if (seen >= rank) return std::min(UpperBound(b), max_seen);
     }
-    return UpperBound(kBuckets - 1);
+    return std::min(UpperBound(kBuckets - 1), max_seen);
   }
 
   void Reset() {

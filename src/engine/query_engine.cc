@@ -1,5 +1,6 @@
 #include "engine/query_engine.h"
 
+#include <optional>
 #include <utility>
 
 #include "util/check.h"
@@ -29,9 +30,36 @@ struct QueryEngine::Pending {
 
   Sequence query;
   QueryOptions options;
+  /// Engine-assigned, 1-based submission ordinal; labels the query's trace.
+  uint64_t id = 0;
   Clock::time_point submit_time;
   Clock::time_point deadline = Clock::time_point::max();
   std::promise<QueryOutcome> promise;
+};
+
+/// Handles into the registry the engine drives per query. Registered once
+/// at construction (under the registry mutex); after that every update is a
+/// relaxed atomic on the handle — the hot path never locks.
+struct QueryEngine::Metrics {
+  obs::Counter* submitted;
+  obs::Counter* served;
+  obs::Counter* rejected;
+  obs::Counter* shed;
+  obs::Counter* deadline_expired;
+  obs::Counter* cancelled;
+  obs::Counter* node_accesses;
+  obs::Counter* phase2_candidates;
+  obs::Counter* phase3_matches;
+  obs::Counter* dnorm_evaluations;
+  obs::Counter* page_hits;
+  obs::Counter* page_misses;
+  obs::Counter* partition_ns;
+  obs::Counter* first_pruning_ns;
+  obs::Counter* second_pruning_ns;
+  obs::Counter* interval_assembly_ns;
+  obs::Counter* verify_ns;
+  obs::Histogram* latency_seconds;
+  obs::Gauge* queue_depth;
 };
 
 QueryEngine::QueryEngine(const SequenceDatabase* database,
@@ -41,6 +69,7 @@ QueryEngine::QueryEngine(const SequenceDatabase* database,
           std::make_unique<SimilaritySearch>(database, options.search)),
       pool_(std::make_unique<ThreadPool>(PoolOptions(options))) {
   MDSEQ_CHECK(database != nullptr);
+  InstallObservers(options);
 }
 
 QueryEngine::QueryEngine(const DiskDatabase* database,
@@ -49,6 +78,68 @@ QueryEngine::QueryEngine(const DiskDatabase* database,
       pool_(std::make_unique<ThreadPool>(PoolOptions(options))) {
   MDSEQ_CHECK(database != nullptr);
   MDSEQ_CHECK(database->valid());
+  InstallObservers(options);
+}
+
+void QueryEngine::InstallObservers(const EngineOptions& options) {
+  if (options.trace_capacity > 0) {
+    traces_ = std::make_unique<obs::TraceStore>(options.trace_capacity,
+                                                pool_->num_threads());
+  }
+  if (options.metrics == nullptr) return;
+  obs::MetricsRegistry* reg = options.metrics;
+  auto metrics = std::make_unique<Metrics>();
+  metrics->submitted = reg->GetCounter(
+      "mdseq_queries_submitted_total", "Queries submitted to the engine");
+  metrics->served = reg->GetCounter("mdseq_queries_served_total",
+                                    "Queries that ran to completion");
+  metrics->rejected = reg->GetCounter(
+      "mdseq_queries_rejected_total", "Queries refused at admission");
+  metrics->shed = reg->GetCounter("mdseq_queries_shed_total",
+                                  "Queries evicted by shed-oldest");
+  metrics->deadline_expired =
+      reg->GetCounter("mdseq_queries_deadline_expired_total",
+                      "Queries whose deadline passed");
+  metrics->cancelled = reg->GetCounter("mdseq_queries_cancelled_total",
+                                       "Queries cancelled by the submitter");
+  metrics->node_accesses =
+      reg->GetCounter("mdseq_index_node_accesses_total",
+                      "R-tree node pages visited during first pruning");
+  metrics->phase2_candidates =
+      reg->GetCounter("mdseq_phase2_candidates_total",
+                      "Candidate sequences surviving first pruning (ASmbr)");
+  metrics->phase3_matches =
+      reg->GetCounter("mdseq_phase3_matches_total",
+                      "Sequences surviving second pruning (ASnorm)");
+  metrics->dnorm_evaluations = reg->GetCounter(
+      "mdseq_dnorm_evaluations_total", "Dnorm distance evaluations");
+  metrics->page_hits = reg->GetCounter("mdseq_buffer_pool_hits_total",
+                                       "Index page fetches served from the "
+                                       "buffer pool");
+  metrics->page_misses = reg->GetCounter(
+      "mdseq_buffer_pool_misses_total",
+      "Index page fetches that read from disk (the paper's page accesses)");
+  metrics->partition_ns = reg->GetCounter(
+      "mdseq_phase_partition_ns_total", "Wall time in query partitioning");
+  metrics->first_pruning_ns =
+      reg->GetCounter("mdseq_phase_first_pruning_ns_total",
+                      "Wall time in index range search (first pruning)");
+  metrics->second_pruning_ns =
+      reg->GetCounter("mdseq_phase_second_pruning_ns_total",
+                      "Wall time in Dnorm evaluation (second pruning)");
+  metrics->interval_assembly_ns =
+      reg->GetCounter("mdseq_phase_interval_assembly_ns_total",
+                      "Wall time assembling solution intervals (sub-slice "
+                      "of second pruning)");
+  metrics->verify_ns = reg->GetCounter(
+      "mdseq_phase_verify_ns_total", "Wall time in exact verification");
+  metrics->latency_seconds = reg->GetHistogram(
+      "mdseq_query_latency_seconds",
+      "Submit-to-completion latency of served queries",
+      obs::DefaultLatencyBoundsSeconds());
+  metrics->queue_depth = reg->GetGauge("mdseq_engine_queue_depth",
+                                       "Admission queue depth");
+  metrics_ = std::move(metrics);
 }
 
 QueryEngine::~QueryEngine() { Shutdown(); }
@@ -62,7 +153,8 @@ std::future<QueryOutcome> QueryEngine::Submit(Sequence query,
     pending->deadline = pending->submit_time + options.deadline;
   }
   std::future<QueryOutcome> future = pending->promise.get_future();
-  submitted_.fetch_add(1, std::memory_order_relaxed);
+  pending->id = submitted_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (metrics_ != nullptr) metrics_->submitted->Increment();
 
   PoolTask task;
   task.run = [this, pending] { Execute(pending); };
@@ -119,8 +211,27 @@ void QueryEngine::Execute(const std::shared_ptr<Pending>& pending) {
   SearchControl control;
   control.cancel = pending->options.cancel.flag();
   control.deadline = pending->deadline;
-  SearchResult result =
-      RunSearch(pending->query.View(), pending->options, control);
+
+  // With a collector installed, record this query's phase spans; the trace
+  // is written by this worker only and handed to the sharded store at the
+  // end. Without one, `control.trace` stays null and every SpanScope on the
+  // search path inlines to a pointer test.
+  std::optional<obs::Trace> trace;
+  if (traces_ != nullptr) {
+    trace.emplace();
+    trace->set_query_id(pending->id);
+    control.trace = &*trace;
+  }
+
+  SearchResult result;
+  {
+    obs::SpanScope query_span(control.trace, "query");
+    result = RunSearch(pending->query.View(), pending->options, control);
+    query_span.Arg("candidates", result.stats.phase2_candidates);
+    query_span.Arg("matches", result.matches.size());
+    query_span.Arg("interrupted", result.interrupted ? 1 : 0);
+  }
+  if (trace.has_value()) traces_->Add(std::move(*trace));
 
   QueryStatus status = QueryStatus::kOk;
   if (result.interrupted) {
@@ -161,6 +272,18 @@ void QueryEngine::Finish(const std::shared_ptr<Pending>& pending,
                             std::memory_order_relaxed);
   dnorm_evaluations_.fetch_add(result.stats.dnorm_evaluations,
                                std::memory_order_relaxed);
+  page_hits_.fetch_add(result.stats.page_hits, std::memory_order_relaxed);
+  page_misses_.fetch_add(result.stats.page_misses,
+                         std::memory_order_relaxed);
+  partition_ns_.fetch_add(result.stats.partition_ns,
+                          std::memory_order_relaxed);
+  first_pruning_ns_.fetch_add(result.stats.first_pruning_ns,
+                              std::memory_order_relaxed);
+  second_pruning_ns_.fetch_add(result.stats.second_pruning_ns,
+                               std::memory_order_relaxed);
+  interval_assembly_ns_.fetch_add(result.stats.interval_assembly_ns,
+                                  std::memory_order_relaxed);
+  verify_ns_.fetch_add(result.stats.verify_ns, std::memory_order_relaxed);
 
   QueryOutcome outcome;
   outcome.status = status;
@@ -170,6 +293,63 @@ void QueryEngine::Finish(const std::shared_ptr<Pending>& pending,
   if (status == QueryStatus::kOk) {
     latency_.Record(static_cast<uint64_t>(outcome.latency.count()));
   }
+
+  if (metrics_ != nullptr) {
+    const SearchStats& stats = outcome.result.stats;
+    switch (status) {
+      case QueryStatus::kOk:
+        metrics_->served->Increment();
+        break;
+      case QueryStatus::kRejected:
+        metrics_->rejected->Increment();
+        break;
+      case QueryStatus::kShed:
+        metrics_->shed->Increment();
+        break;
+      case QueryStatus::kDeadlineExpired:
+        metrics_->deadline_expired->Increment();
+        break;
+      case QueryStatus::kCancelled:
+        metrics_->cancelled->Increment();
+        break;
+    }
+    if (stats.node_accesses > 0) {
+      metrics_->node_accesses->Increment(stats.node_accesses);
+    }
+    if (stats.phase2_candidates > 0) {
+      metrics_->phase2_candidates->Increment(stats.phase2_candidates);
+    }
+    if (stats.phase3_matches > 0) {
+      metrics_->phase3_matches->Increment(stats.phase3_matches);
+    }
+    if (stats.dnorm_evaluations > 0) {
+      metrics_->dnorm_evaluations->Increment(stats.dnorm_evaluations);
+    }
+    if (stats.page_hits > 0) metrics_->page_hits->Increment(stats.page_hits);
+    if (stats.page_misses > 0) {
+      metrics_->page_misses->Increment(stats.page_misses);
+    }
+    if (stats.partition_ns > 0) {
+      metrics_->partition_ns->Increment(stats.partition_ns);
+    }
+    if (stats.first_pruning_ns > 0) {
+      metrics_->first_pruning_ns->Increment(stats.first_pruning_ns);
+    }
+    if (stats.second_pruning_ns > 0) {
+      metrics_->second_pruning_ns->Increment(stats.second_pruning_ns);
+    }
+    if (stats.interval_assembly_ns > 0) {
+      metrics_->interval_assembly_ns->Increment(stats.interval_assembly_ns);
+    }
+    if (stats.verify_ns > 0) metrics_->verify_ns->Increment(stats.verify_ns);
+    if (status == QueryStatus::kOk) {
+      metrics_->latency_seconds->Observe(
+          static_cast<double>(outcome.latency.count()) / 1e6);
+    }
+    metrics_->queue_depth->Set(
+        static_cast<double>(pool_->queue_depth()));
+  }
+
   pending->promise.set_value(std::move(outcome));
 }
 
@@ -185,11 +365,25 @@ EngineStats QueryEngine::stats() const {
   s.phase2_candidates = phase2_candidates_.load(std::memory_order_relaxed);
   s.phase3_matches = phase3_matches_.load(std::memory_order_relaxed);
   s.dnorm_evaluations = dnorm_evaluations_.load(std::memory_order_relaxed);
+  s.page_hits = page_hits_.load(std::memory_order_relaxed);
+  s.page_misses = page_misses_.load(std::memory_order_relaxed);
+  s.partition_ns = partition_ns_.load(std::memory_order_relaxed);
+  s.first_pruning_ns = first_pruning_ns_.load(std::memory_order_relaxed);
+  s.second_pruning_ns = second_pruning_ns_.load(std::memory_order_relaxed);
+  s.interval_assembly_ns =
+      interval_assembly_ns_.load(std::memory_order_relaxed);
+  s.verify_ns = verify_ns_.load(std::memory_order_relaxed);
+  s.traces_dropped = traces_ != nullptr ? traces_->dropped() : 0;
   s.p50_latency_us = latency_.PercentileMicros(50.0);
   s.p99_latency_us = latency_.PercentileMicros(99.0);
   s.max_latency_us = latency_.MaxMicros();
   s.mean_latency_us = latency_.MeanMicros();
   return s;
+}
+
+std::vector<obs::Trace> QueryEngine::TakeTraces() {
+  if (traces_ == nullptr) return {};
+  return traces_->Take();
 }
 
 }  // namespace mdseq

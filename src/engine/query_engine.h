@@ -13,6 +13,8 @@
 #include "engine/latency_histogram.h"
 #include "engine/thread_pool.h"
 #include "geom/sequence.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "storage/disk_database.h"
 
 namespace mdseq {
@@ -70,6 +72,16 @@ struct EngineOptions {
   /// Start with the workers parked until `Start` — lets tests (and staged
   /// deployments) fill the queue before service begins.
   bool start_suspended = false;
+  /// Optional metrics sink: when set, the engine registers `mdseq_*`
+  /// counters/gauges/histograms there and updates them per query. The
+  /// registry must outlive the engine. Null = no metric overhead beyond
+  /// the engine's own atomics.
+  obs::MetricsRegistry* metrics = nullptr;
+  /// When non-zero, keep a per-query phase trace for up to this many
+  /// completed queries (bounded, sharded per worker; overflow traces are
+  /// dropped and counted). Drain with `TakeTraces`. Zero = tracing off,
+  /// queries run with a null trace sink (inlined no-op).
+  size_t trace_capacity = 0;
 };
 
 /// Point-in-time copy of the engine-wide counters. The per-phase totals
@@ -89,6 +101,22 @@ struct EngineStats {
   uint64_t phase2_candidates = 0;
   uint64_t phase3_matches = 0;
   uint64_t dnorm_evaluations = 0;
+
+  /// Buffer-pool attribution across all executed queries (disk engines;
+  /// zero for in-memory databases).
+  uint64_t page_hits = 0;
+  uint64_t page_misses = 0;
+
+  /// Per-phase wall time summed over all executed queries, nanoseconds.
+  /// `interval_assembly_ns` is a sub-slice of `second_pruning_ns`.
+  uint64_t partition_ns = 0;
+  uint64_t first_pruning_ns = 0;
+  uint64_t second_pruning_ns = 0;
+  uint64_t interval_assembly_ns = 0;
+  uint64_t verify_ns = 0;
+
+  /// Traces not kept because the trace store was full.
+  uint64_t traces_dropped = 0;
 
   /// Latency of served queries (submit to completion), microseconds.
   uint64_t p50_latency_us = 0;
@@ -141,9 +169,16 @@ class QueryEngine {
   size_t queue_depth() const { return pool_->queue_depth(); }
   size_t num_threads() const { return pool_->num_threads(); }
 
+  /// Drains and returns the per-query traces collected so far (empty when
+  /// `EngineOptions::trace_capacity` is 0). Safe to call while queries are
+  /// running; traces of in-flight queries land in a later drain.
+  std::vector<obs::Trace> TakeTraces();
+
  private:
   struct Pending;
+  struct Metrics;
 
+  void InstallObservers(const EngineOptions& options);
   void Execute(const std::shared_ptr<Pending>& pending);
   void Finish(const std::shared_ptr<Pending>& pending, QueryStatus status,
               SearchResult result);
@@ -165,7 +200,19 @@ class QueryEngine {
   std::atomic<uint64_t> phase2_candidates_{0};
   std::atomic<uint64_t> phase3_matches_{0};
   std::atomic<uint64_t> dnorm_evaluations_{0};
+  std::atomic<uint64_t> page_hits_{0};
+  std::atomic<uint64_t> page_misses_{0};
+  std::atomic<uint64_t> partition_ns_{0};
+  std::atomic<uint64_t> first_pruning_ns_{0};
+  std::atomic<uint64_t> second_pruning_ns_{0};
+  std::atomic<uint64_t> interval_assembly_ns_{0};
+  std::atomic<uint64_t> verify_ns_{0};
   LatencyHistogram latency_;
+
+  /// Handles into the user-supplied registry; null when none installed.
+  std::unique_ptr<Metrics> metrics_;
+  /// Bounded per-query trace collection; null when tracing is off.
+  std::unique_ptr<obs::TraceStore> traces_;
 };
 
 }  // namespace mdseq

@@ -65,7 +65,13 @@ struct SweepRow {
   double avg_matches = 0.0;
   double avg_node_accesses = 0.0;
   double avg_scan_ms = 0.0;
+  /// Sum of the per-phase times below — the method's time comes from the
+  /// engine's own `SearchStats` phase clocks, not an external stopwatch,
+  /// so Figure 10 and EXPLAIN report the same numbers.
   double avg_search_ms = 0.0;
+  double avg_partition_ms = 0.0;
+  double avg_first_pruning_ms = 0.0;
+  double avg_second_pruning_ms = 0.0;
 };
 
 /// Options of `RunThresholdSweep`.
@@ -98,6 +104,12 @@ void PrintWorkloadSummary(const WorkloadConfig& config,
 /// Prints sweep rows as a fixed-width table with the given title.
 void PrintSweepRows(const std::string& title,
                     const std::vector<SweepRow>& rows, bool with_time);
+
+/// Prints the per-phase wall-time breakdown (partition / first pruning /
+/// second pruning, as measured by the engine's SearchStats clocks) of a
+/// timed sweep. Only meaningful when the sweep ran with `measure_time`.
+void PrintPhaseBreakdown(const std::string& title,
+                         const std::vector<SweepRow>& rows);
 
 /// Writes sweep rows as CSV (all columns) for external plotting. Returns
 /// false on I/O failure.

@@ -1,0 +1,149 @@
+#include "obs/explain.h"
+
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+
+namespace mdseq::obs {
+
+namespace {
+
+// "12.3 us" / "4.56 ms" / "1.23 s" — three significant-ish digits, unit
+// scaled for readability.
+std::string FormatNs(uint64_t ns) {
+  char buffer[48];
+  const double v = static_cast<double>(ns);
+  if (ns < 1000) {
+    std::snprintf(buffer, sizeof(buffer), "%" PRIu64 " ns", ns);
+  } else if (ns < 1000 * 1000) {
+    std::snprintf(buffer, sizeof(buffer), "%.1f us", v / 1e3);
+  } else if (ns < uint64_t{1000} * 1000 * 1000) {
+    std::snprintf(buffer, sizeof(buffer), "%.2f ms", v / 1e6);
+  } else {
+    std::snprintf(buffer, sizeof(buffer), "%.3f s", v / 1e9);
+  }
+  return buffer;
+}
+
+// Fraction of `in` pruned away when `out` survive, as a percentage.
+double PrunedPercent(size_t in, size_t out) {
+  if (in == 0) return 0.0;
+  return 100.0 * static_cast<double>(in - out) / static_cast<double>(in);
+}
+
+void AppendLine(std::string* out, const char* label,
+                const std::string& body) {
+  char buffer[256];
+  std::snprintf(buffer, sizeof(buffer), "%-24s: %s\n", label, body.c_str());
+  out->append(buffer);
+}
+
+std::string Printf(const char* format, ...)
+    __attribute__((format(printf, 1, 2)));
+
+std::string Printf(const char* format, ...) {
+  char buffer[512];
+  va_list args;
+  va_start(args, format);
+  std::vsnprintf(buffer, sizeof(buffer), format, args);
+  va_end(args);
+  return buffer;
+}
+
+}  // namespace
+
+std::string RenderExplainReport(const ExplainStats& s) {
+  std::string out;
+  out.append("EXPLAIN similarity search");
+  if (s.interrupted) out.append("  [INTERRUPTED — partial numbers]");
+  out.push_back('\n');
+
+  AppendLine(&out, "query",
+             Printf("%zu points, dim %zu, eps %.4f (%s)", s.query_points,
+                    s.dim, s.epsilon,
+                    s.verified ? "filter + verify" : "filter only"));
+  AppendLine(&out, "database",
+             Printf("%zu sequences (%s)", s.database_sequences,
+                    s.disk ? "disk-resident" : "in-memory"));
+
+  AppendLine(&out, "phase 1: partition",
+             Printf("%zu query MBRs                      %s", s.query_mbrs,
+                    FormatNs(s.partition_ns).c_str()));
+
+  std::string phase2 =
+      Printf("%zu -> %zu candidates (%.1f%% pruned), %" PRIu64
+             " node accesses",
+             s.database_sequences, s.phase2_candidates,
+             PrunedPercent(s.database_sequences, s.phase2_candidates),
+             s.node_accesses);
+  if (s.disk) {
+    phase2 += Printf(", %" PRIu64 " page reads + %" PRIu64 " pool hits",
+                     s.page_misses, s.page_hits);
+  }
+  phase2 += Printf("  %s", FormatNs(s.first_pruning_ns).c_str());
+  AppendLine(&out, "phase 2: first pruning", phase2);
+
+  AppendLine(
+      &out, "phase 3: second pruning",
+      Printf("%zu -> %zu matches (%.1f%% pruned), %" PRIu64
+             " Dnorm evaluations  %s",
+             s.phase2_candidates, s.phase3_matches,
+             PrunedPercent(s.phase2_candidates, s.phase3_matches),
+             s.dnorm_evaluations, FormatNs(s.second_pruning_ns).c_str()));
+  AppendLine(&out, "  interval assembly",
+             Printf("%zu intervals covering %zu points  %s",
+                    s.solution_intervals, s.solution_points,
+                    FormatNs(s.interval_assembly_ns).c_str()));
+
+  if (s.verified) {
+    AppendLine(&out, "refine: verification",
+               Printf("%zu -> %zu verified matches  %s", s.phase3_matches,
+                      s.verified_matches, FormatNs(s.verify_ns).c_str()));
+  }
+
+  AppendLine(&out, "total",
+             Printf("%s (partition + pruning%s)",
+                    FormatNs(s.TotalNs()).c_str(),
+                    s.verified ? " + verification" : ""));
+  return out;
+}
+
+std::string ExplainJson(const ExplainStats& s) {
+  std::string out = "{";
+  char buffer[96];
+  auto add_u64 = [&](const char* key, uint64_t value, bool last = false) {
+    std::snprintf(buffer, sizeof(buffer), "\n  \"%s\": %" PRIu64 "%s", key,
+                  value, last ? "" : ",");
+    out.append(buffer);
+  };
+  std::snprintf(buffer, sizeof(buffer), "\n  \"epsilon\": %.17g,",
+                s.epsilon);
+  out.append(buffer);
+  out.append("\n  \"verified\": ").append(s.verified ? "true," : "false,");
+  out.append("\n  \"disk\": ").append(s.disk ? "true," : "false,");
+  out.append("\n  \"interrupted\": ")
+      .append(s.interrupted ? "true," : "false,");
+  add_u64("query_points", s.query_points);
+  add_u64("dim", s.dim);
+  add_u64("database_sequences", s.database_sequences);
+  add_u64("query_mbrs", s.query_mbrs);
+  add_u64("partition_ns", s.partition_ns);
+  add_u64("phase2_candidates", s.phase2_candidates);
+  add_u64("node_accesses", s.node_accesses);
+  add_u64("page_hits", s.page_hits);
+  add_u64("page_misses", s.page_misses);
+  add_u64("first_pruning_ns", s.first_pruning_ns);
+  add_u64("phase3_matches", s.phase3_matches);
+  add_u64("dnorm_evaluations", s.dnorm_evaluations);
+  add_u64("second_pruning_ns", s.second_pruning_ns);
+  add_u64("interval_assembly_ns", s.interval_assembly_ns);
+  add_u64("solution_intervals", s.solution_intervals);
+  add_u64("solution_points", s.solution_points);
+  add_u64("verified_matches", s.verified_matches);
+  add_u64("verify_ns", s.verify_ns);
+  add_u64("total_ns", s.TotalNs(), /*last=*/true);
+  out.append("\n}\n");
+  return out;
+}
+
+}  // namespace mdseq::obs

@@ -1,0 +1,65 @@
+#ifndef MDSEQ_OBS_EXPLAIN_H_
+#define MDSEQ_OBS_EXPLAIN_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace mdseq::obs {
+
+/// Everything an EXPLAIN report needs, as plain numbers. The obs layer is a
+/// leaf library (core depends on it, not the other way around), so callers
+/// copy these out of a `SearchResult` — `mdseq::ToExplainStats` in
+/// core/search.h does exactly that.
+struct ExplainStats {
+  // Query / database shape.
+  size_t query_points = 0;
+  size_t dim = 0;
+  double epsilon = 0.0;
+  bool verified = false;
+  bool disk = false;
+  bool interrupted = false;
+  size_t database_sequences = 0;
+
+  // Phase 1: query partitioning.
+  size_t query_mbrs = 0;
+  uint64_t partition_ns = 0;
+
+  // Phase 2: first pruning (Dmbr via the R-tree).
+  size_t phase2_candidates = 0;
+  uint64_t node_accesses = 0;
+  uint64_t page_hits = 0;    // buffer-pool hits (disk databases only)
+  uint64_t page_misses = 0;  // real page reads (disk databases only)
+  uint64_t first_pruning_ns = 0;
+
+  // Phase 3: second pruning (Dnorm) + solution-interval assembly.
+  size_t phase3_matches = 0;
+  uint64_t dnorm_evaluations = 0;
+  uint64_t second_pruning_ns = 0;   // includes assembly (a sub-slice below)
+  uint64_t interval_assembly_ns = 0;
+  size_t solution_intervals = 0;    // disjoint intervals over all matches
+  size_t solution_points = 0;       // points those intervals cover
+
+  // Optional refinement (SearchVerified).
+  size_t verified_matches = 0;
+  uint64_t verify_ns = 0;
+
+  /// Wall time of the whole search, phase sum (assembly is inside phase 3).
+  uint64_t TotalNs() const {
+    return partition_ns + first_pruning_ns + second_pruning_ns + verify_ns;
+  }
+};
+
+/// Human-readable per-query EXPLAIN report: candidates in/out per phase,
+/// pruning ratios, page reads, and per-phase wall time. Every number is
+/// taken verbatim from `stats`, which is filled from `SearchStats` — so the
+/// report is consistent with the engine counters by construction.
+std::string RenderExplainReport(const ExplainStats& stats);
+
+/// The same report as one machine-readable JSON object (validated by the
+/// CLI smoke test).
+std::string ExplainJson(const ExplainStats& stats);
+
+}  // namespace mdseq::obs
+
+#endif  // MDSEQ_OBS_EXPLAIN_H_

@@ -1,0 +1,240 @@
+#include "obs/json.h"
+
+#include <cctype>
+#include <cstdio>
+
+namespace mdseq::obs {
+
+void JsonEscape(std::string_view text, std::string* out) {
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out->append("\\\"");
+        break;
+      case '\\':
+        out->append("\\\\");
+        break;
+      case '\b':
+        out->append("\\b");
+        break;
+      case '\f':
+        out->append("\\f");
+        break;
+      case '\n':
+        out->append("\\n");
+        break;
+      case '\r':
+        out->append("\\r");
+        break;
+      case '\t':
+        out->append("\\t");
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(c));
+          out->append(buffer);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+}
+
+std::string JsonQuote(std::string_view text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  out.push_back('"');
+  JsonEscape(text, &out);
+  out.push_back('"');
+  return out;
+}
+
+namespace {
+
+// Cursor over the validated text; all Parse* helpers advance it past the
+// construct they accept and return false (with `error` set) on malformed
+// input.
+struct Cursor {
+  std::string_view text;
+  size_t at = 0;
+  std::string* error = nullptr;
+
+  bool Fail(const char* message) {
+    if (error != nullptr) {
+      *error = std::string(message) + " at byte " + std::to_string(at);
+    }
+    return false;
+  }
+  bool AtEnd() const { return at >= text.size(); }
+  char Peek() const { return text[at]; }
+  void SkipWhitespace() {
+    while (!AtEnd() && (text[at] == ' ' || text[at] == '\t' ||
+                        text[at] == '\n' || text[at] == '\r')) {
+      ++at;
+    }
+  }
+};
+
+bool ParseValue(Cursor* c, int depth);
+
+bool ParseLiteral(Cursor* c, std::string_view word) {
+  if (c->text.substr(c->at, word.size()) != word) {
+    return c->Fail("invalid literal");
+  }
+  c->at += word.size();
+  return true;
+}
+
+bool ParseString(Cursor* c) {
+  if (c->AtEnd() || c->Peek() != '"') return c->Fail("expected '\"'");
+  ++c->at;
+  while (!c->AtEnd()) {
+    const char ch = c->text[c->at];
+    if (static_cast<unsigned char>(ch) < 0x20) {
+      return c->Fail("control character in string");
+    }
+    if (ch == '"') {
+      ++c->at;
+      return true;
+    }
+    if (ch == '\\') {
+      ++c->at;
+      if (c->AtEnd()) return c->Fail("dangling escape");
+      const char esc = c->text[c->at];
+      if (esc == 'u') {
+        for (int i = 0; i < 4; ++i) {
+          ++c->at;
+          if (c->AtEnd() || !std::isxdigit(static_cast<unsigned char>(
+                                c->text[c->at]))) {
+            return c->Fail("bad \\u escape");
+          }
+        }
+      } else if (esc != '"' && esc != '\\' && esc != '/' && esc != 'b' &&
+                 esc != 'f' && esc != 'n' && esc != 'r' && esc != 't') {
+        return c->Fail("bad escape character");
+      }
+    }
+    ++c->at;
+  }
+  return c->Fail("unterminated string");
+}
+
+bool ParseNumber(Cursor* c) {
+  const size_t start = c->at;
+  if (!c->AtEnd() && c->Peek() == '-') ++c->at;
+  if (c->AtEnd() || !std::isdigit(static_cast<unsigned char>(c->Peek()))) {
+    return c->Fail("expected digit");
+  }
+  while (!c->AtEnd() && std::isdigit(static_cast<unsigned char>(c->Peek()))) {
+    ++c->at;
+  }
+  if (!c->AtEnd() && c->Peek() == '.') {
+    ++c->at;
+    if (c->AtEnd() || !std::isdigit(static_cast<unsigned char>(c->Peek()))) {
+      return c->Fail("expected fraction digit");
+    }
+    while (!c->AtEnd() &&
+           std::isdigit(static_cast<unsigned char>(c->Peek()))) {
+      ++c->at;
+    }
+  }
+  if (!c->AtEnd() && (c->Peek() == 'e' || c->Peek() == 'E')) {
+    ++c->at;
+    if (!c->AtEnd() && (c->Peek() == '+' || c->Peek() == '-')) ++c->at;
+    if (c->AtEnd() || !std::isdigit(static_cast<unsigned char>(c->Peek()))) {
+      return c->Fail("expected exponent digit");
+    }
+    while (!c->AtEnd() &&
+           std::isdigit(static_cast<unsigned char>(c->Peek()))) {
+      ++c->at;
+    }
+  }
+  return c->at > start;
+}
+
+bool ParseObject(Cursor* c, int depth) {
+  ++c->at;  // consume '{'
+  c->SkipWhitespace();
+  if (!c->AtEnd() && c->Peek() == '}') {
+    ++c->at;
+    return true;
+  }
+  while (true) {
+    c->SkipWhitespace();
+    if (!ParseString(c)) return false;
+    c->SkipWhitespace();
+    if (c->AtEnd() || c->Peek() != ':') return c->Fail("expected ':'");
+    ++c->at;
+    if (!ParseValue(c, depth)) return false;
+    c->SkipWhitespace();
+    if (c->AtEnd()) return c->Fail("unterminated object");
+    if (c->Peek() == ',') {
+      ++c->at;
+      continue;
+    }
+    if (c->Peek() == '}') {
+      ++c->at;
+      return true;
+    }
+    return c->Fail("expected ',' or '}'");
+  }
+}
+
+bool ParseArray(Cursor* c, int depth) {
+  ++c->at;  // consume '['
+  c->SkipWhitespace();
+  if (!c->AtEnd() && c->Peek() == ']') {
+    ++c->at;
+    return true;
+  }
+  while (true) {
+    if (!ParseValue(c, depth)) return false;
+    c->SkipWhitespace();
+    if (c->AtEnd()) return c->Fail("unterminated array");
+    if (c->Peek() == ',') {
+      ++c->at;
+      continue;
+    }
+    if (c->Peek() == ']') {
+      ++c->at;
+      return true;
+    }
+    return c->Fail("expected ',' or ']'");
+  }
+}
+
+bool ParseValue(Cursor* c, int depth) {
+  if (depth > 256) return c->Fail("nesting too deep");
+  c->SkipWhitespace();
+  if (c->AtEnd()) return c->Fail("expected value");
+  switch (c->Peek()) {
+    case '{':
+      return ParseObject(c, depth + 1);
+    case '[':
+      return ParseArray(c, depth + 1);
+    case '"':
+      return ParseString(c);
+    case 't':
+      return ParseLiteral(c, "true");
+    case 'f':
+      return ParseLiteral(c, "false");
+    case 'n':
+      return ParseLiteral(c, "null");
+    default:
+      return ParseNumber(c);
+  }
+}
+
+}  // namespace
+
+bool JsonValidate(std::string_view text, std::string* error) {
+  Cursor cursor{text, 0, error};
+  if (!ParseValue(&cursor, 0)) return false;
+  cursor.SkipWhitespace();
+  if (!cursor.AtEnd()) return cursor.Fail("trailing garbage");
+  return true;
+}
+
+}  // namespace mdseq::obs

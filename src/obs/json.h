@@ -1,0 +1,27 @@
+#ifndef MDSEQ_OBS_JSON_H_
+#define MDSEQ_OBS_JSON_H_
+
+#include <string>
+#include <string_view>
+
+namespace mdseq::obs {
+
+/// Appends `text` to `out` as the body of a JSON string literal (no
+/// surrounding quotes): quotes, backslashes, and control characters are
+/// escaped per RFC 8259.
+void JsonEscape(std::string_view text, std::string* out);
+
+/// Convenience: `"escaped"` with the quotes.
+std::string JsonQuote(std::string_view text);
+
+/// Validates that `text` is one well-formed JSON value (object, array,
+/// string, number, or literal) with nothing but whitespace after it.
+/// A deliberately small recursive-descent checker — enough for tests to
+/// assert that exported metrics/trace/EXPLAIN payloads are parseable
+/// without an external JSON dependency. On failure, `error` (if non-null)
+/// receives a message with the byte offset.
+bool JsonValidate(std::string_view text, std::string* error = nullptr);
+
+}  // namespace mdseq::obs
+
+#endif  // MDSEQ_OBS_JSON_H_

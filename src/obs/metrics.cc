@@ -1,0 +1,225 @@
+#include "obs/metrics.h"
+
+#include <cctype>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+
+#include "obs/json.h"
+#include "util/check.h"
+
+namespace mdseq::obs {
+
+namespace {
+
+// %.17g round-trips doubles; trailing-zero noise is acceptable in an
+// exposition format read by machines.
+std::string FormatDouble(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return buffer;
+}
+
+std::string FormatBound(double bound) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%g", bound);
+  return buffer;
+}
+
+void AppendHelpAndType(const std::string& name, const std::string& help,
+                       const char* type, std::string* out) {
+  if (!help.empty()) {
+    out->append("# HELP ").append(name).push_back(' ');
+    // The text format escapes backslashes and newlines in help strings.
+    for (const char c : help) {
+      if (c == '\\') {
+        out->append("\\\\");
+      } else if (c == '\n') {
+        out->append("\\n");
+      } else {
+        out->push_back(c);
+      }
+    }
+    out->push_back('\n');
+  }
+  out->append("# TYPE ").append(name).push_back(' ');
+  out->append(type).push_back('\n');
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)),
+      counts_(new std::atomic<uint64_t>[bounds_.size() + 1]) {
+  for (size_t i = 1; i < bounds_.size(); ++i) {
+    MDSEQ_CHECK(bounds_[i - 1] < bounds_[i]);
+  }
+  for (size_t i = 0; i <= bounds_.size(); ++i) counts_[i].store(0);
+}
+
+bool MetricsRegistry::ValidName(const std::string& name) {
+  if (name.empty()) return false;
+  auto head = [](char c) {
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_' ||
+           c == ':';
+  };
+  if (!head(name[0])) return false;
+  for (size_t i = 1; i < name.size(); ++i) {
+    if (!head(name[i]) &&
+        !std::isdigit(static_cast<unsigned char>(name[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name,
+                                     const std::string& help) {
+  MDSEQ_CHECK(ValidName(name));
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(name);
+  if (it != entries_.end()) {
+    MDSEQ_CHECK(it->second.kind == Kind::kCounter);
+    return it->second.counter.get();
+  }
+  Entry entry;
+  entry.kind = Kind::kCounter;
+  entry.help = help;
+  entry.counter = std::make_unique<Counter>();
+  Counter* handle = entry.counter.get();
+  entries_.emplace(name, std::move(entry));
+  return handle;
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name,
+                                 const std::string& help) {
+  MDSEQ_CHECK(ValidName(name));
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(name);
+  if (it != entries_.end()) {
+    MDSEQ_CHECK(it->second.kind == Kind::kGauge);
+    return it->second.gauge.get();
+  }
+  Entry entry;
+  entry.kind = Kind::kGauge;
+  entry.help = help;
+  entry.gauge = std::make_unique<Gauge>();
+  Gauge* handle = entry.gauge.get();
+  entries_.emplace(name, std::move(entry));
+  return handle;
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         const std::string& help,
+                                         std::vector<double> bounds) {
+  MDSEQ_CHECK(ValidName(name));
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(name);
+  if (it != entries_.end()) {
+    MDSEQ_CHECK(it->second.kind == Kind::kHistogram);
+    return it->second.histogram.get();
+  }
+  Entry entry;
+  entry.kind = Kind::kHistogram;
+  entry.help = help;
+  entry.histogram = std::make_unique<Histogram>(std::move(bounds));
+  Histogram* handle = entry.histogram.get();
+  entries_.emplace(name, std::move(entry));
+  return handle;
+}
+
+std::string MetricsRegistry::PrometheusText() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out;
+  char line[128];
+  for (const auto& [name, entry] : entries_) {
+    switch (entry.kind) {
+      case Kind::kCounter: {
+        AppendHelpAndType(name, entry.help, "counter", &out);
+        std::snprintf(line, sizeof(line), " %" PRIu64 "\n",
+                      entry.counter->value());
+        out.append(name).append(line);
+        break;
+      }
+      case Kind::kGauge: {
+        AppendHelpAndType(name, entry.help, "gauge", &out);
+        out.append(name).push_back(' ');
+        out.append(FormatDouble(entry.gauge->value())).push_back('\n');
+        break;
+      }
+      case Kind::kHistogram: {
+        AppendHelpAndType(name, entry.help, "histogram", &out);
+        const Histogram& h = *entry.histogram;
+        uint64_t cumulative = 0;
+        for (size_t i = 0; i < h.bounds().size(); ++i) {
+          cumulative += h.bucket_count(i);
+          out.append(name).append("_bucket{le=\"");
+          out.append(FormatBound(h.bounds()[i]));
+          std::snprintf(line, sizeof(line), "\"} %" PRIu64 "\n",
+                        cumulative);
+          out.append(line);
+        }
+        cumulative += h.bucket_count(h.bounds().size());
+        std::snprintf(line, sizeof(line), "\"} %" PRIu64 "\n", cumulative);
+        out.append(name).append("_bucket{le=\"+Inf").append(line);
+        out.append(name).append("_sum ");
+        out.append(FormatDouble(h.sum())).push_back('\n');
+        std::snprintf(line, sizeof(line), "_count %" PRIu64 "\n", h.count());
+        out.append(name).append(line);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string MetricsRegistry::JsonText() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out = "{";
+  char line[64];
+  bool first = true;
+  for (const auto& [name, entry] : entries_) {
+    if (!first) out.push_back(',');
+    first = false;
+    out.append("\n  ").append(JsonQuote(name)).append(": {");
+    switch (entry.kind) {
+      case Kind::kCounter:
+        std::snprintf(line, sizeof(line), "%" PRIu64,
+                      entry.counter->value());
+        out.append("\"type\": \"counter\", \"value\": ").append(line);
+        break;
+      case Kind::kGauge:
+        out.append("\"type\": \"gauge\", \"value\": ");
+        out.append(FormatDouble(entry.gauge->value()));
+        break;
+      case Kind::kHistogram: {
+        const Histogram& h = *entry.histogram;
+        out.append("\"type\": \"histogram\", \"bounds\": [");
+        for (size_t i = 0; i < h.bounds().size(); ++i) {
+          if (i > 0) out.append(", ");
+          out.append(FormatDouble(h.bounds()[i]));
+        }
+        out.append("], \"counts\": [");
+        for (size_t i = 0; i <= h.bounds().size(); ++i) {
+          if (i > 0) out.append(", ");
+          std::snprintf(line, sizeof(line), "%" PRIu64, h.bucket_count(i));
+          out.append(line);
+        }
+        std::snprintf(line, sizeof(line), "%" PRIu64, h.count());
+        out.append("], \"count\": ").append(line);
+        out.append(", \"sum\": ").append(FormatDouble(h.sum()));
+        break;
+      }
+    }
+    out.push_back('}');
+  }
+  out.append("\n}\n");
+  return out;
+}
+
+std::vector<double> DefaultLatencyBoundsSeconds() {
+  return {0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+          0.05,   0.1,     0.25,   0.5,   1.0,    2.5,   5.0,  10.0};
+}
+
+}  // namespace mdseq::obs

@@ -1,0 +1,150 @@
+#ifndef MDSEQ_OBS_METRICS_H_
+#define MDSEQ_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace mdseq::obs {
+
+/// Monotonic counter. `Increment` is a single relaxed atomic add — safe and
+/// contention-free from any number of threads; readers see exact totals once
+/// the writers quiesce (the registry concurrency test relies on this).
+class Counter {
+ public:
+  void Increment(uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Last-write-wins gauge (queue depth, pool occupancy, ...). `Add` uses a
+/// CAS loop rather than `atomic<double>::fetch_add` so pre-C++20-atomics
+/// standard libraries stay supported.
+class Gauge {
+ public:
+  void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+  void Add(double delta) {
+    double seen = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(seen, seen + delta,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram in the Prometheus style: `bounds` are ascending
+/// inclusive upper bounds, with an implicit `+Inf` bucket at the end.
+/// `Observe` is lock-free on the hot path (one relaxed add into the bucket,
+/// one into the count, a CAS loop for the sum).
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void Observe(double value) {
+    size_t bucket = bounds_.size();  // +Inf by default
+    // Buckets are few (tens); a linear scan beats binary search in practice
+    // and keeps the hot path branch-predictable.
+    for (size_t i = 0; i < bounds_.size(); ++i) {
+      if (value <= bounds_[i]) {
+        bucket = i;
+        break;
+      }
+    }
+    counts_[bucket].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    double seen = sum_.load(std::memory_order_relaxed);
+    while (!sum_.compare_exchange_weak(seen, seen + value,
+                                       std::memory_order_relaxed)) {
+    }
+  }
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Count in bucket `i` alone (not cumulative); `i == bounds().size()` is
+  /// the +Inf bucket.
+  uint64_t bucket_count(size_t i) const {
+    return counts_[i].load(std::memory_order_relaxed);
+  }
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<uint64_t>[]> counts_;
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Named metric registry with Prometheus text-format and JSON exposition.
+///
+/// Registration (`GetCounter`/`GetGauge`/`GetHistogram`) takes a mutex and
+/// returns a stable pointer; callers register once at setup and then drive
+/// the returned handle directly, so the query hot path never touches the
+/// registry lock. Re-registering an existing name returns the same handle
+/// (the help text of the first registration wins); registering a name as a
+/// different metric type is a programming error and aborts.
+///
+/// Metric names must match `[a-zA-Z_:][a-zA-Z0-9_:]*` (the Prometheus
+/// grammar). The exposition writers emit metrics in name order, so output
+/// is deterministic — golden tests depend on that.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter* GetCounter(const std::string& name, const std::string& help = "");
+  Gauge* GetGauge(const std::string& name, const std::string& help = "");
+  /// `bounds` must be ascending; ignored (first registration wins) when the
+  /// histogram already exists.
+  Histogram* GetHistogram(const std::string& name, const std::string& help,
+                          std::vector<double> bounds);
+
+  /// Prometheus text exposition format 0.0.4: `# HELP` / `# TYPE` headers
+  /// followed by the samples; histograms expand into cumulative
+  /// `_bucket{le="..."}` series plus `_sum` and `_count`.
+  std::string PrometheusText() const;
+
+  /// One JSON object keyed by metric name:
+  ///   {"name": {"type": "counter", "value": 12}, ...}
+  /// Histograms carry `bounds` (upper bounds), per-bucket `counts` (the
+  /// final entry is the +Inf bucket), `sum`, and `count`.
+  std::string JsonText() const;
+
+  /// True iff `name` is a valid Prometheus metric name.
+  static bool ValidName(const std::string& name);
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+  struct Entry {
+    Kind kind;
+    std::string help;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Entry> entries_;  // ordered => deterministic output
+};
+
+/// Latency bucket ladder shared by the engine and the CLI: 100us .. 10s in
+/// a 1-2.5-5 progression, in seconds.
+std::vector<double> DefaultLatencyBoundsSeconds();
+
+}  // namespace mdseq::obs
+
+#endif  // MDSEQ_OBS_METRICS_H_

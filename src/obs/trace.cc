@@ -1,0 +1,91 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+#include "obs/json.h"
+#include "util/check.h"
+
+namespace mdseq::obs {
+
+TraceStore::TraceStore(size_t capacity, size_t shards) {
+  if (shards == 0) {
+    shards = std::max(1u, std::thread::hardware_concurrency());
+  }
+  shards = std::min(shards, std::max<size_t>(1, capacity));
+  per_shard_capacity_ = (capacity + shards - 1) / shards;
+  shards_.reserve(shards);
+  for (size_t i = 0; i < shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+void TraceStore::Add(Trace&& trace) {
+  const size_t index =
+      std::hash<std::thread::id>{}(std::this_thread::get_id()) %
+      shards_.size();
+  Shard& shard = *shards_[index];
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  if (shard.traces.size() >= per_shard_capacity_) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  shard.traces.push_back(std::move(trace));
+}
+
+std::vector<Trace> TraceStore::Take() {
+  std::vector<Trace> all;
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    for (Trace& trace : shard->traces) all.push_back(std::move(trace));
+    shard->traces.clear();
+  }
+  return all;
+}
+
+std::string ChromeTraceJson(const std::vector<Trace>& traces) {
+  // Rebase to the earliest span start so the viewer's timeline begins at 0.
+  uint64_t epoch_ns = UINT64_MAX;
+  for (const Trace& trace : traces) {
+    for (const TraceSpan& span : trace.spans()) {
+      epoch_ns = std::min(epoch_ns, span.start_ns);
+    }
+  }
+  if (epoch_ns == UINT64_MAX) epoch_ns = 0;
+
+  std::string out = "{\"traceEvents\": [";
+  char buffer[160];
+  bool first = true;
+  for (const Trace& trace : traces) {
+    for (const TraceSpan& span : trace.spans()) {
+      if (!first) out.push_back(',');
+      first = false;
+      const double ts_us =
+          static_cast<double>(span.start_ns - epoch_ns) / 1000.0;
+      const uint64_t end_ns = std::max(span.end_ns, span.start_ns);
+      const double dur_us =
+          static_cast<double>(end_ns - span.start_ns) / 1000.0;
+      out.append("\n  {\"name\": ").append(JsonQuote(span.name));
+      std::snprintf(buffer, sizeof(buffer),
+                    ", \"cat\": \"mdseq\", \"ph\": \"X\", \"ts\": %.3f, "
+                    "\"dur\": %.3f, \"pid\": 1, \"tid\": %" PRIu64,
+                    ts_us, dur_us, trace.tid() % 1000000);
+      out.append(buffer);
+      out.append(", \"args\": {");
+      std::snprintf(buffer, sizeof(buffer), "\"query_id\": %" PRIu64,
+                    trace.query_id());
+      out.append(buffer);
+      for (const auto& [key, value] : span.args) {
+        out.append(", ").append(JsonQuote(key));
+        std::snprintf(buffer, sizeof(buffer), ": %" PRIu64, value);
+        out.append(buffer);
+      }
+      out.append("}}");
+    }
+  }
+  out.append("\n]}\n");
+  return out;
+}
+
+}  // namespace mdseq::obs

@@ -1,0 +1,158 @@
+#ifndef MDSEQ_OBS_TRACE_H_
+#define MDSEQ_OBS_TRACE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace mdseq::obs {
+
+/// One timed span of a query trace. Names and argument keys must be string
+/// literals (the trace stores the pointers, not copies — a span begin/end
+/// is two clock reads and a vector push, nothing else).
+struct TraceSpan {
+  const char* name = "";
+  /// steady_clock nanoseconds since that clock's epoch; absolute so spans
+  /// from many traces (and threads) line up on one timeline.
+  uint64_t start_ns = 0;
+  uint64_t end_ns = 0;
+  /// Nesting depth at begin time (0 = root). Spans nest strictly: a span's
+  /// children begin and end within it.
+  uint32_t depth = 0;
+  /// Small numeric annotations (counters, ids) shown in the trace viewer.
+  std::vector<std::pair<const char*, uint64_t>> args;
+};
+
+/// A per-query buffer of timestamped spans. One trace is written by exactly
+/// one thread (the worker executing the query), so there is no internal
+/// locking — cross-thread aggregation happens afterwards through
+/// `TraceStore`. Instrumented code receives a `Trace*` that is null when no
+/// collector is installed; the `SpanScope` helpers below inline to a single
+/// pointer test in that case, which is what makes tracing zero-cost when
+/// off.
+class Trace {
+ public:
+  Trace() : tid_(std::hash<std::thread::id>{}(std::this_thread::get_id())) {}
+
+  /// Opens a span; returns its index for `EndSpan`/`AddArg`.
+  size_t BeginSpan(const char* name) {
+    TraceSpan span;
+    span.name = name;
+    span.start_ns = NowNs();
+    span.depth = static_cast<uint32_t>(open_.size());
+    spans_.push_back(std::move(span));
+    open_.push_back(spans_.size() - 1);
+    return spans_.size() - 1;
+  }
+
+  void EndSpan(size_t index) {
+    spans_[index].end_ns = NowNs();
+    if (!open_.empty() && open_.back() == index) open_.pop_back();
+  }
+
+  void AddArg(size_t index, const char* key, uint64_t value) {
+    spans_[index].args.emplace_back(key, value);
+  }
+
+  /// Spans in begin order (a pre-order walk of the span tree).
+  const std::vector<TraceSpan>& spans() const { return spans_; }
+
+  /// Hash of the recording thread's id — the `tid` lane in trace viewers.
+  uint64_t tid() const { return tid_; }
+
+  /// Engine-assigned query identity, carried into the exported trace.
+  void set_query_id(uint64_t id) { query_id_ = id; }
+  uint64_t query_id() const { return query_id_; }
+
+  static uint64_t NowNs() {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+  }
+
+ private:
+  std::vector<TraceSpan> spans_;
+  std::vector<size_t> open_;
+  uint64_t tid_;
+  uint64_t query_id_ = 0;
+};
+
+/// RAII span over an optional trace: no-op (one inlined null test) when
+/// `trace` is null. This is the only way instrumented code should open
+/// spans — it guarantees begin/end pairing on every exit path.
+class SpanScope {
+ public:
+  SpanScope(Trace* trace, const char* name) : trace_(trace) {
+    if (trace_ != nullptr) index_ = trace_->BeginSpan(name);
+  }
+  ~SpanScope() {
+    if (trace_ != nullptr) trace_->EndSpan(index_);
+  }
+  SpanScope(const SpanScope&) = delete;
+  SpanScope& operator=(const SpanScope&) = delete;
+
+  /// Attaches a numeric annotation; key must be a string literal.
+  void Arg(const char* key, uint64_t value) {
+    if (trace_ != nullptr) trace_->AddArg(index_, key, value);
+  }
+
+ private:
+  Trace* trace_;
+  size_t index_ = 0;
+};
+
+/// Bounded, sharded sink for completed traces. Each worker thread lands in
+/// its own shard (chosen by thread id), so concurrent `Add` calls from
+/// different workers never contend on one lock — the engine's "per-worker
+/// span buffers". `Take` drains every shard.
+class TraceStore {
+ public:
+  /// Keeps at most `capacity` traces in total (per-shard slices); further
+  /// `Add`s are counted as dropped. `shards == 0` picks one per hardware
+  /// thread.
+  explicit TraceStore(size_t capacity, size_t shards = 0);
+
+  TraceStore(const TraceStore&) = delete;
+  TraceStore& operator=(const TraceStore&) = delete;
+
+  void Add(Trace&& trace);
+
+  /// Removes and returns every stored trace (order: shard-major, insertion
+  /// order within a shard).
+  std::vector<Trace> Take();
+
+  /// Traces discarded because their shard was full.
+  uint64_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+  size_t shard_count() const { return shards_.size(); }
+
+ private:
+  struct Shard {
+    std::mutex mutex;
+    std::vector<Trace> traces;
+  };
+
+  size_t per_shard_capacity_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<uint64_t> dropped_{0};
+};
+
+/// Renders traces as Chrome `trace_event` JSON (the object form with a
+/// `traceEvents` array of complete "X" events) loadable in Perfetto or
+/// chrome://tracing. Timestamps are rebased to the earliest span so the
+/// viewer opens at t=0; each trace's spans land in the lane of the worker
+/// thread that recorded them.
+std::string ChromeTraceJson(const std::vector<Trace>& traces);
+
+}  // namespace mdseq::obs
+
+#endif  // MDSEQ_OBS_TRACE_H_

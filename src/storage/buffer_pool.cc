@@ -134,15 +134,17 @@ bool BufferPool::EvictSomeFrame(size_t* frame_out) {
                                    : EvictLru(frame_out);
 }
 
-size_t BufferPool::Acquire(PageId id, bool load_from_file) {
+size_t BufferPool::Acquire(PageId id, bool load_from_file, bool* was_miss) {
   auto it = table_.find(id);
   if (it != table_.end()) {
     hits_.fetch_add(1, std::memory_order_relaxed);
+    if (was_miss != nullptr) *was_miss = false;
     Touch(it->second);
     ++frames_[it->second].pins;
     return it->second;
   }
   misses_.fetch_add(1, std::memory_order_relaxed);
+  if (was_miss != nullptr) *was_miss = true;
   size_t frame_index = 0;
   if (!EvictSomeFrame(&frame_index)) return SIZE_MAX;
   Frame& frame = frames_[frame_index];
@@ -159,9 +161,9 @@ size_t BufferPool::Acquire(PageId id, bool load_from_file) {
   return frame_index;
 }
 
-PageHandle BufferPool::Fetch(PageId id) {
+PageHandle BufferPool::Fetch(PageId id, bool* was_miss) {
   std::lock_guard<std::mutex> lock(mutex_);
-  const size_t frame = Acquire(id, /*load_from_file=*/true);
+  const size_t frame = Acquire(id, /*load_from_file=*/true, was_miss);
   if (frame == SIZE_MAX) return PageHandle();
   return PageHandle(this, id, frame);
 }

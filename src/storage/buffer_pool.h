@@ -78,8 +78,11 @@ class BufferPool {
 
   /// Pins page `id`, reading it from the file on a miss. Returns an
   /// invalid handle if the id is out of range, on I/O failure, or if every
-  /// frame is pinned.
-  PageHandle Fetch(PageId id);
+  /// frame is pinned. When `was_miss` is non-null it reports whether this
+  /// call read the page from the file — per-call attribution that stays
+  /// exact when concurrent queries share the pool (the cumulative
+  /// `hits()`/`misses()` counters cannot be differenced per query).
+  PageHandle Fetch(PageId id, bool* was_miss = nullptr);
 
   /// Allocates a fresh page in the file and pins it (zeroed, dirty).
   PageHandle Allocate();
@@ -114,8 +117,8 @@ class BufferPool {
   };
 
   // Returns the frame index holding `id`, loading/evicting as needed, or
-  // SIZE_MAX on failure.
-  size_t Acquire(PageId id, bool load_from_file);
+  // SIZE_MAX on failure. `was_miss` (optional) reports a file read.
+  size_t Acquire(PageId id, bool load_from_file, bool* was_miss = nullptr);
   void Unpin(size_t frame);
   void Touch(size_t frame);
   bool EvictSomeFrame(size_t* frame_out);

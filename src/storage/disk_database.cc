@@ -1,15 +1,26 @@
 #include "storage/disk_database.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstring>
 
 #include "core/distance.h"
+#include "obs/trace.h"
 #include "storage/page_stream.h"
 #include "util/check.h"
 
 namespace mdseq {
 
 namespace {
+
+using SteadyClock = std::chrono::steady_clock;
+
+uint64_t ElapsedNs(SteadyClock::time_point start) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          SteadyClock::now() - start)
+          .count());
+}
 
 // Master meta page: ties together the store, the index, the partition
 // region, and the options a query needs to partition itself consistently.
@@ -184,40 +195,82 @@ SearchResult DiskDatabase::Search(SequenceView query, double epsilon,
   MDSEQ_CHECK(epsilon >= 0.0);
 
   SearchResult result;
-  const Partition query_partition = PartitionSequence(query, partitioning_);
 
-  // Phase 2 against the paged index. Node accesses are counted per call
-  // (pages this query visited), not as a pool-miss delta, so the number is
-  // deterministic and exact when other threads share the pool.
-  std::vector<uint64_t> hits;
-  for (const SequenceMbr& piece : query_partition) {
-    tree_->RangeSearch(piece.mbr, epsilon, &hits,
-                       &result.stats.node_accesses);
+  // Phase 1: query partitioning with the stored options.
+  Partition query_partition;
+  {
+    obs::SpanScope span(control.trace, "partition");
+    const auto start = SteadyClock::now();
+    query_partition = PartitionSequence(query, partitioning_);
+    result.stats.partition_ns += ElapsedNs(start);
+    result.stats.query_mbrs = query_partition.size();
+    span.Arg("query_mbrs", query_partition.size());
   }
-  for (uint64_t value : hits) {
-    result.candidates.push_back(SequenceDatabase::UnpackSequenceId(value));
+
+  // Phase 2 against the paged index. Node accesses and pool misses are
+  // counted per call (pages this query visited / read), not as a pool
+  // counter delta, so the numbers are deterministic and exact when other
+  // threads share the pool.
+  {
+    obs::SpanScope span(control.trace, "first_pruning");
+    const auto start = SteadyClock::now();
+    std::vector<uint64_t> hits;
+    for (const SequenceMbr& piece : query_partition) {
+      obs::SpanScope search_span(control.trace, "range_search");
+      const uint64_t visits_before = result.stats.node_accesses;
+      const uint64_t misses_before = result.stats.page_misses;
+      tree_->RangeSearch(piece.mbr, epsilon, &hits,
+                         &result.stats.node_accesses,
+                         &result.stats.page_misses);
+      search_span.Arg("node_visits",
+                      result.stats.node_accesses - visits_before);
+      search_span.Arg("pool_misses",
+                      result.stats.page_misses - misses_before);
+    }
+    result.stats.page_hits =
+        result.stats.node_accesses - result.stats.page_misses;
+    for (uint64_t value : hits) {
+      result.candidates.push_back(SequenceDatabase::UnpackSequenceId(value));
+    }
+    std::sort(result.candidates.begin(), result.candidates.end());
+    result.candidates.erase(
+        std::unique(result.candidates.begin(), result.candidates.end()),
+        result.candidates.end());
+    result.stats.phase2_candidates = result.candidates.size();
+    result.stats.first_pruning_ns += ElapsedNs(start);
+    span.Arg("node_accesses", result.stats.node_accesses);
+    span.Arg("pool_hits", result.stats.page_hits);
+    span.Arg("pool_misses", result.stats.page_misses);
+    span.Arg("candidates", result.candidates.size());
   }
-  std::sort(result.candidates.begin(), result.candidates.end());
-  result.candidates.erase(
-      std::unique(result.candidates.begin(), result.candidates.end()),
-      result.candidates.end());
-  result.stats.phase2_candidates = result.candidates.size();
 
   // Phase 3 on the resident partition catalog.
-  for (size_t id : result.candidates) {
-    if (control.ShouldStop()) {
-      result.interrupted = true;
-      break;
+  {
+    obs::SpanScope span(control.trace, "second_pruning");
+    const auto start = SteadyClock::now();
+    for (size_t id : result.candidates) {
+      if (control.ShouldStop()) {
+        result.interrupted = true;
+        break;
+      }
+      obs::SpanScope candidate_span(control.trace, "candidate");
+      candidate_span.Arg("sequence_id", id);
+      const size_t evals_before = result.stats.dnorm_evaluations;
+      SequenceMatch match;
+      match.sequence_id = id;
+      const bool qualified = internal::EvaluatePhase3(
+          query_partition, query.size(), partitions_[id], lengths_[id],
+          epsilon, options_, &match, &result.stats, control.trace);
+      candidate_span.Arg("dnorm_evaluations",
+                         result.stats.dnorm_evaluations - evals_before);
+      candidate_span.Arg("qualified", qualified ? 1 : 0);
+      if (qualified) result.matches.push_back(std::move(match));
     }
-    SequenceMatch match;
-    match.sequence_id = id;
-    if (internal::EvaluatePhase3(query_partition, query.size(),
-                                 partitions_[id], lengths_[id], epsilon,
-                                 options_, &match, &result.stats)) {
-      result.matches.push_back(std::move(match));
-    }
+    result.stats.second_pruning_ns += ElapsedNs(start);
+    span.Arg("matches", result.matches.size());
   }
   result.stats.phase3_matches = result.matches.size();
+  result.stats.filter_matches = result.matches.size();
   return result;
 }
 
@@ -229,6 +282,8 @@ SearchResult DiskDatabase::SearchVerified(SequenceView query,
 SearchResult DiskDatabase::SearchVerified(SequenceView query, double epsilon,
                                           const SearchControl& control) const {
   SearchResult result = Search(query, epsilon, control);
+  obs::SpanScope span(control.trace, "verify");
+  const auto start = SteadyClock::now();
   std::vector<SequenceMatch> verified;
   verified.reserve(result.matches.size());
   for (SequenceMatch& match : result.matches) {
@@ -236,6 +291,8 @@ SearchResult DiskDatabase::SearchVerified(SequenceView query, double epsilon,
       result.interrupted = true;
       break;
     }
+    obs::SpanScope candidate_span(control.trace, "verify_candidate");
+    candidate_span.Arg("sequence_id", match.sequence_id);
     const auto sequence = store_->Read(match.sequence_id);
     if (!sequence.has_value()) continue;  // I/O failure: drop conservatively
     const double exact = SequenceDistance(query, sequence->View());
@@ -247,6 +304,8 @@ SearchResult DiskDatabase::SearchVerified(SequenceView query, double epsilon,
   }
   result.matches = std::move(verified);
   result.stats.phase3_matches = result.matches.size();
+  result.stats.verify_ns += ElapsedNs(start);
+  span.Arg("verified_matches", result.matches.size());
   return result;
 }
 

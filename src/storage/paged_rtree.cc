@@ -200,7 +200,8 @@ PagedRTree::PagedRTree(size_t dim, BufferPool* pool, PageId root)
 
 bool PagedRTree::RangeSearch(const Mbr& query, double epsilon,
                              std::vector<uint64_t>* out,
-                             uint64_t* pages_visited) const {
+                             uint64_t* pages_visited,
+                             uint64_t* pool_misses) const {
   MDSEQ_CHECK(query.is_valid());
   MDSEQ_CHECK(query.dim() == dim_);
   MDSEQ_CHECK(epsilon >= 0.0);
@@ -209,9 +210,11 @@ bool PagedRTree::RangeSearch(const Mbr& query, double epsilon,
   while (!stack.empty()) {
     const PageId id = stack.back();
     stack.pop_back();
-    PageHandle handle = pool_->Fetch(id);
+    bool was_miss = false;
+    PageHandle handle = pool_->Fetch(id, &was_miss);
     if (!handle.valid()) return false;
     if (pages_visited != nullptr) ++*pages_visited;
+    if (pool_misses != nullptr && was_miss) ++*pool_misses;
     const NodeHeader header = GetHeader(handle.page());
     size_t offset = sizeof(NodeHeader);
     for (size_t i = 0; i < header.count; ++i) {

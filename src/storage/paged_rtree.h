@@ -60,10 +60,13 @@ class PagedRTree {
   /// false on I/O failure (results are then incomplete). When
   /// `pages_visited` is non-null it is incremented once per node page this
   /// call touched (hit or miss) — exact per-query accounting even when
-  /// other threads share the pool.
+  /// other threads share the pool. `pool_misses` (optional) is likewise
+  /// incremented once per visited page that had to be read from the file,
+  /// so `*pages_visited - *pool_misses` is this call's buffer-pool hits.
   bool RangeSearch(const Mbr& query, double epsilon,
                    std::vector<uint64_t>* out,
-                   uint64_t* pages_visited = nullptr) const;
+                   uint64_t* pages_visited = nullptr,
+                   uint64_t* pool_misses = nullptr) const;
 
   /// Inserts one entry (Guttman ChooseLeaf + quadratic split). Dirty pages
   /// stay in the pool until eviction or `BufferPool::Flush`. Returns false

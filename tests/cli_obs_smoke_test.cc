@@ -1,0 +1,121 @@
+// End-to-end smoke test of the CLI observability surface: `mdseq_cli
+// explain` (report, --json, --trace-out) and `mdseq_cli serve-bench`
+// (--metrics-out / --metrics-json / --trace-out) must all run and produce
+// parseable output — JSON payloads are validated in-test with the obs JSON
+// checker, Prometheus text is checked for exposition-format markers.
+//
+// The binary path is injected at configure time via MDSEQ_CLI_PATH.
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "obs/json.h"
+
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "mdseq_cli_obs_" + name;
+}
+
+int RunCli(const std::string& args) {
+  const std::string command =
+      std::string(MDSEQ_CLI_PATH) + " " + args + " > " + TempPath("stdout") +
+      " 2>" + TempPath("stderr");
+  return std::system(command.c_str());
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+std::string Stdout() { return ReadFile(TempPath("stdout")); }
+
+class CliObsSmokeTest : public testing::Test {
+ protected:
+  // One tiny corpus + query CSV shared by every test in the suite.
+  static void SetUpTestSuite() {
+    ASSERT_EQ(RunCli("gen --kind=synthetic --count=40 --min_len=48 "
+                  "--max_len=96 --out=" +
+                  TempPath("corpus.mdsq")),
+              0)
+        << ReadFile(TempPath("stderr"));
+    ASSERT_EQ(RunCli("export --corpus=" + TempPath("corpus.mdsq") +
+                  " --id=3 --out=" + TempPath("query.csv")),
+              0);
+  }
+};
+
+TEST_F(CliObsSmokeTest, ExplainPrintsPhaseReport) {
+  ASSERT_EQ(RunCli("explain --corpus=" + TempPath("corpus.mdsq") +
+                " --query=" + TempPath("query.csv") + " --eps=0.2"),
+            0)
+      << ReadFile(TempPath("stderr"));
+  const std::string report = Stdout();
+  EXPECT_NE(report.find("EXPLAIN similarity search"), std::string::npos);
+  EXPECT_NE(report.find("phase 1: partition"), std::string::npos);
+  EXPECT_NE(report.find("phase 2: first pruning"), std::string::npos);
+  EXPECT_NE(report.find("phase 3: second pruning"), std::string::npos);
+  EXPECT_NE(report.find("total"), std::string::npos);
+}
+
+TEST_F(CliObsSmokeTest, ExplainJsonAndTraceAreValidJson) {
+  const std::string trace_path = TempPath("explain_trace.json");
+  ASSERT_EQ(RunCli("explain --corpus=" + TempPath("corpus.mdsq") +
+                " --query=" + TempPath("query.csv") +
+                " --eps=0.2 --json --trace-out=" + trace_path),
+            0)
+      << ReadFile(TempPath("stderr"));
+  // stdout is the JSON report followed by the trace confirmation line;
+  // the report ends at the first closing brace at column 0.
+  const std::string out = Stdout();
+  const size_t end = out.find("\n}");
+  ASSERT_NE(end, std::string::npos) << out;
+  const std::string report = out.substr(0, end + 2);
+  std::string error;
+  EXPECT_TRUE(mdseq::obs::JsonValidate(report, &error)) << error << report;
+  EXPECT_NE(report.find("\"phase2_candidates\""), std::string::npos);
+
+  const std::string trace = ReadFile(trace_path);
+  EXPECT_TRUE(mdseq::obs::JsonValidate(trace, &error)) << error;
+  EXPECT_NE(trace.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(trace.find("\"query\""), std::string::npos);
+}
+
+TEST_F(CliObsSmokeTest, ServeBenchWritesMetricsAndTraces) {
+  const std::string prom_path = TempPath("metrics.prom");
+  const std::string json_path = TempPath("metrics.json");
+  const std::string trace_path = TempPath("bench_trace.json");
+  ASSERT_EQ(RunCli("serve-bench --corpus=" + TempPath("corpus.mdsq") +
+                " --clients=2 --queries=8 --threads=2 --eps=0.2" +
+                " --metrics-out=" + prom_path +
+                " --metrics-json=" + json_path +
+                " --trace-out=" + trace_path),
+            0)
+      << ReadFile(TempPath("stderr"));
+
+  const std::string prom = ReadFile(prom_path);
+  EXPECT_NE(prom.find("# TYPE mdseq_queries_served_total counter"),
+            std::string::npos);
+  EXPECT_NE(prom.find("# TYPE mdseq_query_latency_seconds histogram"),
+            std::string::npos);
+  EXPECT_NE(prom.find("mdseq_queries_served_total 16"), std::string::npos);
+
+  std::string error;
+  const std::string json = ReadFile(json_path);
+  EXPECT_TRUE(mdseq::obs::JsonValidate(json, &error)) << error;
+  EXPECT_NE(json.find("\"mdseq_queries_served_total\""), std::string::npos);
+
+  const std::string trace = ReadFile(trace_path);
+  EXPECT_TRUE(mdseq::obs::JsonValidate(trace, &error)) << error;
+  EXPECT_NE(trace.find("\"traceEvents\""), std::string::npos);
+}
+
+}  // namespace

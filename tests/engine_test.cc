@@ -147,6 +147,30 @@ TEST(LatencyHistogramTest, PercentilesAndStats) {
   EXPECT_NEAR(hist.MeanMicros(), 0.9 * 10 + 0.1 * 5000, 1.0);
 }
 
+TEST(LatencyHistogramTest, EmptyAndSingleSampleAreExact) {
+  LatencyHistogram hist;
+  // Empty: every percentile is 0, not a bucket upper bound.
+  EXPECT_EQ(hist.PercentileMicros(0.0), 0u);
+  EXPECT_EQ(hist.PercentileMicros(50.0), 0u);
+  EXPECT_EQ(hist.PercentileMicros(100.0), 0u);
+  // One sample: every percentile is that sample (737 sits in the [512,1023]
+  // bucket, whose upper bound 1023 would be the wrong answer).
+  hist.Record(737);
+  EXPECT_EQ(hist.PercentileMicros(0.0), 737u);
+  EXPECT_EQ(hist.PercentileMicros(50.0), 737u);
+  EXPECT_EQ(hist.PercentileMicros(99.0), 737u);
+}
+
+TEST(LatencyHistogramTest, PercentileClampedToRecordedMax) {
+  LatencyHistogram hist;
+  // Both samples land in the [512, 1023] bucket; without the max clamp any
+  // percentile would report 1023.
+  hist.Record(600);
+  hist.Record(700);
+  EXPECT_EQ(hist.PercentileMicros(99.0), 700u);
+  EXPECT_LE(hist.PercentileMicros(50.0), 700u);
+}
+
 TEST(LatencyHistogramTest, ConcurrentRecord) {
   LatencyHistogram hist;
   constexpr int kThreads = 8;

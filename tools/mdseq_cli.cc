@@ -19,21 +19,38 @@
 //   querydb range query against a disk database, reporting page I/O
 //             mdseq_cli querydb --db=corpus.db --query=seq.csv --eps=0.1
 //                               [--pool=256] [--filter-only] [--max_rows=20]
+//   explain run one query and print an EXPLAIN-style per-phase report
+//             mdseq_cli explain --corpus=corpus.mdsq | --db=corpus.db
+//                               --query=seq.csv [--eps=0.1 --verified
+//                               --pool=256 --json --trace-out=trace.json]
+//             --json prints the report as one JSON object; --trace-out
+//             writes the query's span trace as Chrome trace_event JSON
+//             (load in Perfetto or chrome://tracing).
 //   serve-bench  drive the concurrent query engine with N client threads
 //             mdseq_cli serve-bench --corpus=corpus.mdsq | --db=corpus.db
 //                            [--threads=0 --clients=4 --queries=64
 //                             --eps=0.1 --queue=1024
 //                             --policy=block|reject|shed
 //                             --deadline_ms=0 --verified --pool=256
-//                             --seed=42 --min_qlen=32 --max_qlen=128]
+//                             --seed=42 --min_qlen=32 --max_qlen=128
+//                             --metrics-out=metrics.prom
+//                             --metrics-json=metrics.json
+//                             --trace-out=trace.json --trace-cap=4096]
 //             Reports end-to-end QPS and the engine's admission/latency
 //             counters (p50/p99 from the lock-free histogram).
+//             --metrics-out snapshots the engine's metrics registry in
+//             Prometheus text format every 500 ms while the bench runs
+//             (plus a final snapshot); --metrics-json writes the final
+//             registry state as JSON; --trace-out collects per-query
+//             phase traces and writes Chrome trace_event JSON.
 //
 // Exit codes: 0 success, 1 runtime failure, 2 usage error.
 
 #include <chrono>
+#include <condition_variable>
 #include <cstdio>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
@@ -46,6 +63,9 @@
 #include "gen/video.h"
 #include "gen/walk.h"
 #include "io/serialization.h"
+#include "obs/explain.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "storage/disk_database.h"
 #include "util/flags.h"
 #include "util/random.h"
@@ -57,8 +77,8 @@ using namespace mdseq;
 int Usage() {
   std::fprintf(stderr,
                "usage: mdseq_cli "
-               "<gen|info|export|query|topk|builddb|querydb|serve-bench> "
-               "[--flags]\n"
+               "<gen|info|export|query|topk|builddb|querydb|explain|"
+               "serve-bench> [--flags]\n"
                "see the header of tools/mdseq_cli.cc for details\n");
   return 2;
 }
@@ -297,6 +317,111 @@ int RunQueryDb(const Flags& flags) {
   return 0;
 }
 
+bool WriteTextFile(const std::string& path, const std::string& text) {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) return false;
+  const bool ok =
+      std::fwrite(text.data(), 1, text.size(), file) == text.size();
+  return std::fclose(file) == 0 && ok;
+}
+
+// explain: run one query with tracing on and print the per-phase report.
+// Works against an in-memory corpus (--corpus) or a disk database (--db).
+int RunExplain(const Flags& flags) {
+  const std::string corpus_path = flags.GetString("corpus", "");
+  const std::string db_path = flags.GetString("db", "");
+  if (corpus_path.empty() == db_path.empty()) {
+    std::fprintf(stderr,
+                 "explain: exactly one of --corpus / --db is required\n");
+    return 2;
+  }
+  const std::string query_path = flags.GetString("query", "");
+  if (query_path.empty()) {
+    std::fprintf(stderr, "explain: --query=<csv> is required\n");
+    return 2;
+  }
+  auto query = ReadSequenceCsv(query_path);
+  if (!query.has_value()) {
+    std::fprintf(stderr, "explain: failed to read query CSV %s\n",
+                 query_path.c_str());
+    return 1;
+  }
+  const double epsilon = flags.GetDouble("eps", 0.1);
+  const bool verified = flags.Has("verified");
+  const bool disk = !db_path.empty();
+
+  obs::Trace trace;
+  trace.set_query_id(1);
+  SearchControl control;
+  control.trace = &trace;
+
+  SearchResult result;
+  size_t database_sequences = 0;
+  size_t dim = 0;
+  if (!disk) {
+    auto corpus = ReadSequences(corpus_path);
+    if (!corpus.has_value() || corpus->empty()) {
+      std::fprintf(stderr, "explain: failed to read corpus %s\n",
+                   corpus_path.c_str());
+      return 1;
+    }
+    dim = corpus->front().dim();
+    if (query->dim() != dim) {
+      std::fprintf(stderr, "explain: query dimension %zu != corpus %zu\n",
+                   query->dim(), dim);
+      return 1;
+    }
+    SequenceDatabase database(dim);
+    for (const Sequence& s : *corpus) database.Add(s);
+    database_sequences = database.num_sequences();
+    SimilaritySearch engine(&database);
+    obs::SpanScope query_span(control.trace, "query");
+    result = verified
+                 ? engine.SearchVerified(query->View(), epsilon, control)
+                 : engine.Search(query->View(), epsilon, control);
+  } else {
+    DiskDatabase database(db_path, flags.GetSize("pool", 256));
+    if (!database.valid()) {
+      std::fprintf(stderr, "explain: failed to open %s\n", db_path.c_str());
+      return 1;
+    }
+    dim = database.dim();
+    if (query->dim() != dim) {
+      std::fprintf(stderr, "explain: query dimension %zu != database %zu\n",
+                   query->dim(), dim);
+      return 1;
+    }
+    database_sequences = database.num_sequences();
+    obs::SpanScope query_span(control.trace, "query");
+    result = verified
+                 ? database.SearchVerified(query->View(), epsilon, control)
+                 : database.Search(query->View(), epsilon, control);
+  }
+
+  const obs::ExplainStats stats =
+      ToExplainStats(result, query->size(), dim, epsilon, verified, disk,
+                     database_sequences);
+  if (flags.Has("json")) {
+    std::printf("%s\n", obs::ExplainJson(stats).c_str());
+  } else {
+    std::printf("%s", obs::RenderExplainReport(stats).c_str());
+  }
+
+  const std::string trace_out = flags.GetString("trace-out", "");
+  if (!trace_out.empty()) {
+    std::vector<obs::Trace> traces;
+    traces.push_back(std::move(trace));
+    if (!WriteTextFile(trace_out, obs::ChromeTraceJson(traces))) {
+      std::fprintf(stderr, "explain: failed to write %s\n",
+                   trace_out.c_str());
+      return 1;
+    }
+    std::printf("trace: %zu spans -> %s\n", traces.front().spans().size(),
+                trace_out.c_str());
+  }
+  return 0;
+}
+
 // serve-bench: N client threads submit batches of drawn queries into the
 // concurrent engine; reports QPS and the engine counters. Works against an
 // in-memory corpus (--corpus) or a disk database (--db).
@@ -335,6 +460,17 @@ int RunServeBench(const Flags& flags) {
   const size_t deadline_ms = flags.GetSize("deadline_ms", 0);
   if (deadline_ms > 0) {
     query_options.deadline = std::chrono::milliseconds(deadline_ms);
+  }
+
+  const std::string metrics_out = flags.GetString("metrics-out", "");
+  const std::string metrics_json = flags.GetString("metrics-json", "");
+  const std::string trace_out = flags.GetString("trace-out", "");
+  obs::MetricsRegistry registry;
+  if (!metrics_out.empty() || !metrics_json.empty()) {
+    options.metrics = &registry;
+  }
+  if (!trace_out.empty()) {
+    options.trace_capacity = flags.GetSize("trace-cap", 4096);
   }
 
   // The query set is drawn from the stored sequences either way; for a
@@ -389,6 +525,23 @@ int RunServeBench(const Flags& flags) {
           ? std::make_unique<QueryEngine>(memory_database.get(), options)
           : std::make_unique<QueryEngine>(disk_database.get(), options);
 
+  // Periodic metrics exposition while the bench runs: the registry is
+  // snapshotted every 500 ms (what a Prometheus scraper would see), with a
+  // guaranteed final snapshot after the workload drains.
+  std::mutex snapshot_mutex;
+  std::condition_variable snapshot_cv;
+  bool snapshot_stop = false;
+  std::thread snapshot_thread;
+  if (!metrics_out.empty()) {
+    snapshot_thread = std::thread([&] {
+      std::unique_lock<std::mutex> lock(snapshot_mutex);
+      while (!snapshot_stop) {
+        snapshot_cv.wait_for(lock, std::chrono::milliseconds(500));
+        WriteTextFile(metrics_out, registry.PrometheusText());
+      }
+    });
+  }
+
   const auto start = std::chrono::steady_clock::now();
   std::vector<std::thread> threads;
   threads.reserve(clients);
@@ -400,6 +553,20 @@ int RunServeBench(const Flags& flags) {
     });
   }
   for (auto& t : threads) t.join();
+
+  if (snapshot_thread.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(snapshot_mutex);
+      snapshot_stop = true;
+    }
+    snapshot_cv.notify_all();
+    snapshot_thread.join();
+    if (!WriteTextFile(metrics_out, registry.PrometheusText())) {
+      std::fprintf(stderr, "serve-bench: failed to write %s\n",
+                   metrics_out.c_str());
+      return 1;
+    }
+  }
   const double elapsed_s =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     start)
@@ -433,6 +600,36 @@ int RunServeBench(const Flags& flags) {
               static_cast<unsigned long long>(stats.dnorm_evaluations),
               static_cast<unsigned long long>(stats.phase2_candidates),
               static_cast<unsigned long long>(stats.phase3_matches));
+  std::printf("phases    : partition %.1f ms, first pruning %.1f ms, "
+              "second pruning %.1f ms, verify %.1f ms (summed over "
+              "queries)\n",
+              static_cast<double>(stats.partition_ns) / 1e6,
+              static_cast<double>(stats.first_pruning_ns) / 1e6,
+              static_cast<double>(stats.second_pruning_ns) / 1e6,
+              static_cast<double>(stats.verify_ns) / 1e6);
+
+  if (!metrics_out.empty()) {
+    std::printf("metrics   : Prometheus text -> %s\n", metrics_out.c_str());
+  }
+  if (!metrics_json.empty()) {
+    if (!WriteTextFile(metrics_json, registry.JsonText())) {
+      std::fprintf(stderr, "serve-bench: failed to write %s\n",
+                   metrics_json.c_str());
+      return 1;
+    }
+    std::printf("metrics   : JSON -> %s\n", metrics_json.c_str());
+  }
+  if (!trace_out.empty()) {
+    const std::vector<obs::Trace> traces = engine->TakeTraces();
+    if (!WriteTextFile(trace_out, obs::ChromeTraceJson(traces))) {
+      std::fprintf(stderr, "serve-bench: failed to write %s\n",
+                   trace_out.c_str());
+      return 1;
+    }
+    std::printf("traces    : %zu kept (%llu dropped) -> %s\n", traces.size(),
+                static_cast<unsigned long long>(stats.traces_dropped),
+                trace_out.c_str());
+  }
   return 0;
 }
 
@@ -461,6 +658,7 @@ int main(int argc, char** argv) {
   if (command == "topk") return RunTopk(flags);
   if (command == "builddb") return RunBuildDb(flags);
   if (command == "querydb") return RunQueryDb(flags);
+  if (command == "explain") return RunExplain(flags);
   if (command == "serve-bench") return RunServeBench(flags);
   return Usage();
 }
