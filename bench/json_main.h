@@ -1,0 +1,30 @@
+#ifndef MDSEQ_BENCH_JSON_MAIN_H_
+#define MDSEQ_BENCH_JSON_MAIN_H_
+
+// Drop-in replacement for benchmark_main that also accepts a plain
+// `--json` flag (shorthand for --benchmark_format=json), so
+// tools/run_benchmarks.sh can collect machine-readable output. Include
+// from exactly one translation unit of a benchmark binary linked against
+// benchmark::benchmark (not benchmark::benchmark_main).
+
+#include <cstring>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+int main(int argc, char** argv) {
+  char json_flag[] = "--benchmark_format=json";
+  std::vector<char*> args;
+  args.reserve(static_cast<size_t>(argc));
+  for (int i = 0; i < argc; ++i) {
+    args.push_back(std::strcmp(argv[i], "--json") == 0 ? json_flag : argv[i]);
+  }
+  int count = static_cast<int>(args.size());
+  benchmark::Initialize(&count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(count, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+
+#endif  // MDSEQ_BENCH_JSON_MAIN_H_

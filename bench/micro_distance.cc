@@ -1,10 +1,12 @@
 // Microbenchmarks of the distance kernels (point distance, Dmean, window
-// profiles, full sequence distance).
+// profiles, full sequence distance). Supports `--json` (see json_main.h);
+// the bounded/unbounded profile pair feeds tools/run_benchmarks.sh.
 
 #include <benchmark/benchmark.h>
 
 #include "core/distance.h"
 #include "gen/fractal.h"
+#include "json_main.h"
 #include "util/random.h"
 
 namespace {
@@ -46,6 +48,43 @@ void BM_WindowDistanceProfile(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_WindowDistanceProfile)->Arg(16)->Arg(64)->Arg(256);
+
+// The bounded profile against the unbounded one, on a query shifted far
+// from the data so every alignment is abandoned after a handful of points
+// (the verification common case: most candidates don't qualify).
+Sequence MakeShiftedQuery(size_t length, uint64_t seed, double shift) {
+  const Sequence raw = MakeSequence(length, seed);
+  Sequence query(raw.dim());
+  for (size_t i = 0; i < raw.size(); ++i) {
+    Point p(raw.dim());
+    for (size_t t = 0; t < raw.dim(); ++t) p[t] = raw[i][t] + shift;
+    query.Append(p);
+  }
+  return query;
+}
+
+void BM_WindowProfile_Unbounded(benchmark::State& state) {
+  const Sequence query =
+      MakeShiftedQuery(static_cast<size_t>(state.range(0)), 4, 5.0);
+  const Sequence data = MakeSequence(512, 5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(WindowDistanceProfile(query.View(),
+                                                   data.View()));
+  }
+}
+BENCHMARK(BM_WindowProfile_Unbounded)->Arg(64)->Arg(256);
+
+void BM_WindowProfile_Bounded(benchmark::State& state) {
+  const Sequence query =
+      MakeShiftedQuery(static_cast<size_t>(state.range(0)), 4, 5.0);
+  const Sequence data = MakeSequence(512, 5);
+  const double epsilon = 0.1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        WindowDistanceProfileBounded(query.View(), data.View(), epsilon));
+  }
+}
+BENCHMARK(BM_WindowProfile_Bounded)->Arg(64)->Arg(256);
 
 void BM_SequenceDistance(benchmark::State& state) {
   const Sequence query = MakeSequence(static_cast<size_t>(state.range(0)),

@@ -1,5 +1,6 @@
 // Microbenchmarks of the MBR distance metrics (Dmbr, Dnorm) and the full
-// three-phase search.
+// three-phase search. Supports `--json` (see json_main.h); the
+// Reference/PrefixSum pairs feed tools/run_benchmarks.sh.
 
 #include <benchmark/benchmark.h>
 
@@ -8,6 +9,7 @@
 #include "core/search.h"
 #include "gen/fractal.h"
 #include "gen/query_workload.h"
+#include "json_main.h"
 #include "util/random.h"
 
 namespace {
@@ -61,6 +63,61 @@ void BM_NormalizedDistanceAllPairs(benchmark::State& state) {
 }
 BENCHMARK(BM_NormalizedDistanceAllPairs);
 
+// The many-MBR worst case of Definition 5: a finely partitioned target
+// (state.range(0) MBRs of 4 points each) and a probe covering 128 points,
+// so almost every j needs a long window walk. The naive reference
+// re-accumulates each window; the prefix-sum context answers each in O(1).
+struct ManyMbrFixture {
+  Partition target;
+  Mbr probe{Point{0.0, 0.0, 0.0}, Point{0.1, 1.0, 1.0}};
+  std::vector<double> dmbr;
+  size_t probe_count = 128;
+
+  explicit ManyMbrFixture(size_t mbrs) {
+    Rng rng(11);
+    size_t at = 0;
+    for (size_t i = 0; i < mbrs; ++i) {
+      const double lo = rng.Uniform();
+      const Mbr box(Point{lo, 0.0, 0.0}, Point{lo + 0.01, 1.0, 1.0});
+      target.push_back(SequenceMbr{box, at, at + 4});
+      at += 4;
+    }
+    dmbr = ComputeMbrDistances(probe, target);
+  }
+};
+
+void BM_DnormManyMbrs_Reference(benchmark::State& state) {
+  const ManyMbrFixture fixture(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    double best = 1e18;
+    for (size_t j = 0; j < fixture.target.size(); ++j) {
+      best = std::min(best,
+                      ReferenceNormalizedDistance(fixture.probe_count,
+                                                  fixture.target, j,
+                                                  fixture.dmbr)
+                          .distance);
+    }
+    benchmark::DoNotOptimize(best);
+  }
+}
+BENCHMARK(BM_DnormManyMbrs_Reference)->Arg(64)->Arg(256);
+
+void BM_DnormManyMbrs_PrefixSum(benchmark::State& state) {
+  const ManyMbrFixture fixture(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    const DnormContext context =
+        MakeDnormContext(fixture.target, fixture.dmbr);
+    double best = 1e18;
+    for (size_t j = 0; j < fixture.target.size(); ++j) {
+      best = std::min(
+          best,
+          NormalizedDistance(fixture.probe_count, context, j).distance);
+    }
+    benchmark::DoNotOptimize(best);
+  }
+}
+BENCHMARK(BM_DnormManyMbrs_PrefixSum)->Arg(64)->Arg(256);
+
 void BM_FullSearch(benchmark::State& state) {
   const Fixture fixture(static_cast<size_t>(state.range(0)));
   const SimilaritySearch engine(&fixture.database);
@@ -70,6 +127,31 @@ void BM_FullSearch(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_FullSearch)->Arg(100)->Arg(400);
+
+// Full search with per-phase timings (from SearchStats) surfaced as
+// counters, so BENCH_kernels.json records where the time goes.
+void BM_FullSearchPhases(benchmark::State& state) {
+  const Fixture fixture(200);
+  const SimilaritySearch engine(&fixture.database);
+  const double epsilon = 0.15;
+  uint64_t partition_ns = 0, first_ns = 0, second_ns = 0, nodes = 0;
+  uint64_t iterations = 0;
+  for (auto _ : state) {
+    const SearchResult result = engine.Search(fixture.query.View(), epsilon);
+    benchmark::DoNotOptimize(result.matches.size());
+    partition_ns += result.stats.partition_ns;
+    first_ns += result.stats.first_pruning_ns;
+    second_ns += result.stats.second_pruning_ns;
+    nodes += result.stats.node_accesses;
+    ++iterations;
+  }
+  const double n = static_cast<double>(iterations ? iterations : 1);
+  state.counters["partition_ns"] = static_cast<double>(partition_ns) / n;
+  state.counters["first_pruning_ns"] = static_cast<double>(first_ns) / n;
+  state.counters["second_pruning_ns"] = static_cast<double>(second_ns) / n;
+  state.counters["node_accesses"] = static_cast<double>(nodes) / n;
+}
+BENCHMARK(BM_FullSearchPhases);
 
 void BM_Phase2Only(benchmark::State& state) {
   const Fixture fixture(400);

@@ -1,10 +1,12 @@
 // Microbenchmarks of the R*-tree substrate: insertion, bulk loading, and
-// range queries against the flat-scan baseline.
+// range queries against the flat-scan baseline. Supports `--json` (see
+// json_main.h); the PerQuery/Batch pair feeds tools/run_benchmarks.sh.
 
 #include <benchmark/benchmark.h>
 
 #include "index/linear_index.h"
 #include "index/rstar_tree.h"
+#include "json_main.h"
 #include "util/random.h"
 
 namespace {
@@ -63,6 +65,65 @@ void BM_RStarRangeSearch(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_RStarRangeSearch)->Arg(1)->Arg(10)->Arg(30);
+
+// Multi-probe range search, as Phase 2 issues it: state.range(0) clustered
+// probes (the MBRs of one partitioned query) against a packed tree. The
+// per-query variant descends once per probe; the batch variant descends
+// once for all of them. `node_visits` counts the nodes each strategy
+// touched per iteration — the paper's disk-access proxy.
+std::vector<Mbr> MakeClusteredProbes(size_t count, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Mbr> probes;
+  const Point anchor{rng.Uniform() * 0.5, rng.Uniform() * 0.5,
+                     rng.Uniform() * 0.5};
+  for (size_t i = 0; i < count; ++i) {
+    Point low = anchor;
+    for (double& v : low) v += 0.03 * rng.Uniform() * static_cast<double>(i);
+    Point high = low;
+    for (double& v : high) v += 0.05;
+    probes.emplace_back(low, high);
+  }
+  return probes;
+}
+
+void BM_RStarMultiProbe_PerQuery(benchmark::State& state) {
+  const auto entries = MakeEntries(20000, 3);
+  RStarTree tree = RStarTree::BulkLoad(3, entries);
+  const auto probes =
+      MakeClusteredProbes(static_cast<size_t>(state.range(0)), 5);
+  const double epsilon = 0.05;
+  uint64_t visits = 0, iterations = 0;
+  std::vector<uint64_t> out;
+  for (auto _ : state) {
+    for (const Mbr& probe : probes) {
+      out.clear();
+      visits += tree.RangeSearch(probe, epsilon, &out);
+      benchmark::DoNotOptimize(out.size());
+    }
+    ++iterations;
+  }
+  state.counters["node_visits"] =
+      static_cast<double>(visits) / static_cast<double>(iterations);
+}
+BENCHMARK(BM_RStarMultiProbe_PerQuery)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_RStarMultiProbe_Batch(benchmark::State& state) {
+  const auto entries = MakeEntries(20000, 3);
+  RStarTree tree = RStarTree::BulkLoad(3, entries);
+  const auto probes =
+      MakeClusteredProbes(static_cast<size_t>(state.range(0)), 5);
+  const double epsilon = 0.05;
+  uint64_t visits = 0, iterations = 0;
+  std::vector<std::vector<SpatialIndex::BatchHit>> out;
+  for (auto _ : state) {
+    visits += tree.RangeSearchBatch(probes, epsilon, &out);
+    benchmark::DoNotOptimize(out.size());
+    ++iterations;
+  }
+  state.counters["node_visits"] =
+      static_cast<double>(visits) / static_cast<double>(iterations);
+}
+BENCHMARK(BM_RStarMultiProbe_Batch)->Arg(4)->Arg(8)->Arg(16);
 
 void BM_LinearRangeSearch(benchmark::State& state) {
   const auto entries = MakeEntries(20000, 3);

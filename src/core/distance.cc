@@ -37,6 +37,63 @@ std::vector<double> WindowDistanceProfile(SequenceView query,
   return profile;
 }
 
+std::vector<double> WindowDistanceProfileBounded(SequenceView query,
+                                                 SequenceView data,
+                                                 double epsilon) {
+  MDSEQ_CHECK(!query.empty());
+  MDSEQ_CHECK(query.size() <= data.size());
+  MDSEQ_CHECK(query.dim() == data.dim());
+  MDSEQ_CHECK(epsilon >= 0.0);
+  const size_t k = query.size();
+  const size_t dim = query.dim();
+  const size_t num_windows = data.size() - k + 1;
+  const double points = static_cast<double>(k);
+  // Abandon only when the partial sum exceeds epsilon*k with margin: the
+  // relative slack (1e-12, orders of magnitude above the 2^-53 rounding of
+  // the final division) guarantees an abandoned window's mean rounds
+  // strictly above epsilon, and the absolute floor covers epsilon == 0.
+  const double bound = epsilon * points * (1.0 + 1e-12) + 1e-280;
+  const double* query_base = query[0].data();
+  const double* data_base = data[0].data();
+  std::vector<double> profile(num_windows,
+                              std::numeric_limits<double>::infinity());
+  for (size_t j = 0; j < num_windows; ++j) {
+    const double* window = data_base + j * dim;
+    double sum = 0.0;
+    bool abandoned = false;
+    for (size_t i = 0; i < k; ++i) {
+      const double* q = query_base + i * dim;
+      const double* d = window + i * dim;
+      double sq = 0.0;
+      for (size_t t = 0; t < dim; ++t) {
+        const double diff = q[t] - d[t];
+        sq += diff * diff;
+      }
+      sum += std::sqrt(sq);
+      if (sum > bound) {
+        abandoned = true;
+        break;
+      }
+    }
+    if (!abandoned) profile[j] = sum / points;
+  }
+  return profile;
+}
+
+double SequenceDistanceBounded(SequenceView a, SequenceView b,
+                               double epsilon) {
+  MDSEQ_CHECK(!a.empty() && !b.empty());
+  SequenceView shorter = a.size() <= b.size() ? a : b;
+  SequenceView longer = a.size() <= b.size() ? b : a;
+  const std::vector<double> profile =
+      WindowDistanceProfileBounded(shorter, longer, epsilon);
+  // Alignments within epsilon are never abandoned and carry their exact
+  // mean, so when the minimum completed value qualifies it is the exact
+  // SequenceDistance; otherwise the true distance provably exceeds epsilon.
+  const double best = *std::min_element(profile.begin(), profile.end());
+  return best <= epsilon ? best : std::numeric_limits<double>::infinity();
+}
+
 double SequenceDistance(SequenceView a, SequenceView b) {
   MDSEQ_CHECK(!a.empty() && !b.empty());
   // Definition 3 slides the shorter sequence along the longer one.

@@ -31,6 +31,27 @@ double SequenceDistance(SequenceView a, SequenceView b);
 std::vector<double> WindowDistanceProfile(SequenceView query,
                                           SequenceView data);
 
+/// Threshold-aware `WindowDistanceProfile`: a window's point-distance sum
+/// is abandoned as soon as it provably exceeds `epsilon * k` (point
+/// distances are non-negative, so partial sums only grow), and the window
+/// reports +infinity instead of its mean. Windows that complete carry the
+/// bit-identical value `WindowDistanceProfile` would compute (same terms,
+/// same order), and every window whose true mean is within `epsilon`
+/// always completes — the abandon bound carries enough slack to absorb the
+/// final division's rounding, so `profile[j] <= epsilon` decisions are
+/// exactly those of the unbounded profile. The inner loop runs over the
+/// raw contiguous point storage so it auto-vectorizes.
+std::vector<double> WindowDistanceProfileBounded(SequenceView query,
+                                                 SequenceView data,
+                                                 double epsilon);
+
+/// Threshold-aware `SequenceDistance`: returns the exact distance when it
+/// is within `epsilon` (bit-identical to `SequenceDistance`), +infinity
+/// otherwise. Built on `WindowDistanceProfileBounded`, so alignments that
+/// cannot qualify are abandoned early.
+double SequenceDistanceBounded(SequenceView a, SequenceView b,
+                               double epsilon);
+
 /// Maps a distance in the normalized `[0,1]^n` data space to a similarity in
 /// `[0, 1]` (Section 3.1): the maximum possible distance is the cube
 /// diagonal `sqrt(n)`, so `similarity = 1 - distance / sqrt(n)`, clamped to

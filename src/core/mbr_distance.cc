@@ -17,6 +17,31 @@ std::vector<double> ComputeMbrDistances(const Mbr& probe,
   return dmbr;
 }
 
+DnormContext MakeDnormContext(const Partition& target,
+                              const std::vector<double>& dmbr) {
+  MDSEQ_CHECK(!target.empty());
+  MDSEQ_CHECK(dmbr.size() == target.size());
+  DnormContext context;
+  context.target = &target;
+  context.dmbr = &dmbr;
+  const size_t m = target.size();
+  context.prefix_weighted.resize(m + 1);
+  context.prefix_count.resize(m + 1);
+  context.prefix_weighted[0] = 0.0;
+  context.prefix_count[0] = 0;
+  double min_dmbr = std::numeric_limits<double>::infinity();
+  for (size_t t = 0; t < m; ++t) {
+    const size_t count = target[t].count();
+    context.prefix_weighted[t + 1] =
+        context.prefix_weighted[t] + dmbr[t] * static_cast<double>(count);
+    context.prefix_count[t + 1] = context.prefix_count[t] + count;
+    min_dmbr = std::min(min_dmbr, dmbr[t]);
+  }
+  context.total_points = context.prefix_count[m];
+  context.min_dmbr = min_dmbr;
+  return context;
+}
+
 namespace {
 
 // Total number of sequence points covered by the partition.
@@ -24,17 +49,14 @@ size_t TotalPoints(const Partition& target) {
   return target.empty() ? 0 : target.back().end - target.front().begin;
 }
 
-}  // namespace
-
-namespace {
-
 // Enumerates every window of Definition 5 for the pair (probe, target[j])
-// and invokes `visit(distance, point_begin, point_end)` for each. Shared by
-// the minimum and the qualifying-window queries below.
+// and invokes `visit(distance, point_begin, point_end)` for each, by
+// re-accumulating each window's weighted sum from scratch. Retained as the
+// reference the fast path is differentially tested against.
 template <typename Visitor>
-void VisitDnormWindows(size_t probe_count, const Partition& target, size_t j,
-                       const std::vector<double>& dmbr,
-                       const Visitor& visit) {
+void VisitDnormWindowsReference(size_t probe_count, const Partition& target,
+                                size_t j, const std::vector<double>& dmbr,
+                                const Visitor& visit) {
   MDSEQ_CHECK(!target.empty());
   MDSEQ_CHECK(j < target.size());
   MDSEQ_CHECK(probe_count >= 1);
@@ -105,50 +127,163 @@ void VisitDnormWindows(size_t probe_count, const Partition& target, size_t j,
   }
 }
 
+// Prefix-sum window enumeration: same windows in the same order as the
+// reference above, but each one in O(1). A window's fully counted span is a
+// difference of two prefix sums and its boundary MBR is found by a
+// two-pointer that only ever moves in one direction across the loop,
+// because the boundary index is monotone in the window start (LD) / end
+// (RD) — `prefix_count` is non-decreasing.
+template <typename Visitor>
+void VisitDnormWindowsFast(size_t probe_count, const DnormContext& context,
+                           size_t j, const Visitor& visit) {
+  const Partition& target = *context.target;
+  const std::vector<double>& dmbr = *context.dmbr;
+  MDSEQ_CHECK(j < target.size());
+  MDSEQ_CHECK(probe_count >= 1);
+
+  const double probe_points = static_cast<double>(probe_count);
+  const size_t m = target.size();
+
+  // Case 1: the target MBR alone holds enough points.
+  if (target[j].count() >= probe_count) {
+    visit(dmbr[j], target[j].begin, target[j].end);
+    return;
+  }
+
+  // Case 3: the whole sequence is smaller than the probe.
+  if (context.total_points < probe_count) {
+    visit(context.prefix_weighted[m] /
+              static_cast<double>(context.total_points),
+          target.front().begin, target.back().end);
+    return;
+  }
+
+  const std::vector<size_t>& pc = context.prefix_count;
+  const std::vector<double>& pw = context.prefix_weighted;
+
+  // LD windows: for each start k <= j the boundary l(k) is the smallest l
+  // with pc[l+1] - pc[k] >= probe_count; it only decreases as k decreases.
+  {
+    size_t l = m - 1;
+    for (size_t k = j + 1; k-- > 0;) {
+      if (pc[m] - pc[k] < probe_count) continue;  // tail too short
+      while (l > 0 && pc[l] - pc[k] >= probe_count) --l;
+      if (l <= j) break;  // j would not be fully counted
+      const size_t accumulated = pc[l] - pc[k];
+      const size_t partial = probe_count - accumulated;
+      const double weighted =
+          (pw[l] - pw[k]) + dmbr[l] * static_cast<double>(partial);
+      visit(weighted / probe_points, target[k].begin,
+            target[l].begin + partial);
+    }
+  }
+
+  // RD windows: for each end q >= j the boundary p(q) is the largest p
+  // with pc[q+1] - pc[p] >= probe_count; it only increases as q increases.
+  {
+    size_t p = 0;
+    for (size_t q = j; q < m; ++q) {
+      if (pc[q + 1] < probe_count) continue;  // head too short
+      while (p + 1 < m && pc[q + 1] - pc[p + 1] >= probe_count) ++p;
+      if (p >= j) break;  // j would not be fully counted
+      const size_t accumulated = pc[q + 1] - pc[p + 1];
+      const size_t partial = probe_count - accumulated;
+      const double weighted =
+          (pw[q + 1] - pw[p + 1]) + dmbr[p] * static_cast<double>(partial);
+      visit(weighted / probe_points, target[p].end - partial, target[q].end);
+    }
+  }
+}
+
+template <typename Visitor>
+NormalizedDistanceResult MinimumWindow(const Visitor& enumerate) {
+  NormalizedDistanceResult best;
+  best.distance = std::numeric_limits<double>::infinity();
+  enumerate([&best](double distance, size_t begin, size_t end) {
+    if (distance < best.distance) {
+      best.distance = distance;
+      best.point_begin = begin;
+      best.point_end = end;
+    }
+  });
+  MDSEQ_CHECK(best.distance < std::numeric_limits<double>::infinity());
+  return best;
+}
+
+template <typename Visitor>
+double CollectQualifyingWindows(double epsilon,
+                                std::vector<NormalizedDistanceResult>* out,
+                                const Visitor& enumerate) {
+  MDSEQ_CHECK(out != nullptr);
+  double best = std::numeric_limits<double>::infinity();
+  enumerate([&](double distance, size_t begin, size_t end) {
+    best = std::min(best, distance);
+    if (distance <= epsilon) {
+      out->push_back(NormalizedDistanceResult{distance, begin, end});
+    }
+  });
+  MDSEQ_CHECK(best < std::numeric_limits<double>::infinity());
+  return best;
+}
+
 }  // namespace
+
+NormalizedDistanceResult NormalizedDistance(size_t probe_count,
+                                            const DnormContext& context,
+                                            size_t j) {
+  return MinimumWindow([&](const auto& visit) {
+    VisitDnormWindowsFast(probe_count, context, j, visit);
+  });
+}
 
 NormalizedDistanceResult NormalizedDistance(size_t probe_count,
                                             const Partition& target, size_t j,
                                             const std::vector<double>& dmbr) {
-  NormalizedDistanceResult best;
-  best.distance = std::numeric_limits<double>::infinity();
-  VisitDnormWindows(probe_count, target, j, dmbr,
-                    [&best](double distance, size_t begin, size_t end) {
-                      if (distance < best.distance) {
-                        best.distance = distance;
-                        best.point_begin = begin;
-                        best.point_end = end;
-                      }
-                    });
-  MDSEQ_CHECK(best.distance < std::numeric_limits<double>::infinity());
-  return best;
+  const DnormContext context = MakeDnormContext(target, dmbr);
+  return NormalizedDistance(probe_count, context, j);
+}
+
+double QualifyingDnormWindows(size_t probe_count, const DnormContext& context,
+                              size_t j, double epsilon,
+                              std::vector<NormalizedDistanceResult>* out) {
+  return CollectQualifyingWindows(epsilon, out, [&](const auto& visit) {
+    VisitDnormWindowsFast(probe_count, context, j, visit);
+  });
 }
 
 double QualifyingDnormWindows(size_t probe_count, const Partition& target,
                               size_t j, const std::vector<double>& dmbr,
                               double epsilon,
                               std::vector<NormalizedDistanceResult>* out) {
-  MDSEQ_CHECK(out != nullptr);
-  double best = std::numeric_limits<double>::infinity();
-  VisitDnormWindows(
-      probe_count, target, j, dmbr,
-      [&](double distance, size_t begin, size_t end) {
-        best = std::min(best, distance);
-        if (distance <= epsilon) {
-          out->push_back(NormalizedDistanceResult{distance, begin, end});
-        }
-      });
-  MDSEQ_CHECK(best < std::numeric_limits<double>::infinity());
-  return best;
+  const DnormContext context = MakeDnormContext(target, dmbr);
+  return QualifyingDnormWindows(probe_count, context, j, epsilon, out);
+}
+
+NormalizedDistanceResult ReferenceNormalizedDistance(
+    size_t probe_count, const Partition& target, size_t j,
+    const std::vector<double>& dmbr) {
+  return MinimumWindow([&](const auto& visit) {
+    VisitDnormWindowsReference(probe_count, target, j, dmbr, visit);
+  });
+}
+
+double ReferenceQualifyingDnormWindows(
+    size_t probe_count, const Partition& target, size_t j,
+    const std::vector<double>& dmbr, double epsilon,
+    std::vector<NormalizedDistanceResult>* out) {
+  return CollectQualifyingWindows(epsilon, out, [&](const auto& visit) {
+    VisitDnormWindowsReference(probe_count, target, j, dmbr, visit);
+  });
 }
 
 double MinNormalizedDistance(const Mbr& probe, size_t probe_count,
                              const Partition& target) {
   const std::vector<double> dmbr = ComputeMbrDistances(probe, target);
+  const DnormContext context = MakeDnormContext(target, dmbr);
   double best = std::numeric_limits<double>::infinity();
   for (size_t j = 0; j < target.size(); ++j) {
     best = std::min(best,
-                    NormalizedDistance(probe_count, target, j, dmbr).distance);
+                    NormalizedDistance(probe_count, context, j).distance);
   }
   return best;
 }

@@ -2,6 +2,7 @@
 #define MDSEQ_CORE_MBR_DISTANCE_H_
 
 #include <cstddef>
+#include <limits>
 #include <vector>
 
 #include "core/partitioning.h"
@@ -26,6 +27,37 @@ struct NormalizedDistanceResult {
 /// pair.
 std::vector<double> ComputeMbrDistances(const Mbr& probe,
                                         const Partition& target);
+
+/// Precomputed prefix sums over one (probe MBR, target partition) pair that
+/// turn every Definition-5 window evaluation into O(1) work: a window's
+/// weighted distance is a difference of two `prefix_weighted` entries plus
+/// the partially counted boundary MBR, and its boundary is located with a
+/// monotone two-pointer because `prefix_count` is non-decreasing.
+///
+/// Borrowed: `target` and `dmbr` must outlive the context and stay
+/// unmodified. The target partition must cover a contiguous point range
+/// (the `Partition` contract).
+struct DnormContext {
+  const Partition* target = nullptr;
+  const std::vector<double>* dmbr = nullptr;
+  /// `prefix_weighted[t] = sum_{u<t} dmbr[u] * count[u]` (size m+1,
+  /// accumulated left to right, so `prefix_weighted[m]` is bit-identical to
+  /// the naive full-sequence sum).
+  std::vector<double> prefix_weighted;
+  /// `prefix_count[t] = sum_{u<t} count[u]` (size m+1).
+  std::vector<size_t> prefix_count;
+  /// Total points of the partition (== `prefix_count[m]`).
+  size_t total_points = 0;
+  /// `min_t dmbr[t]`; every window's weighted average is >= this, so a
+  /// probe whose `min_dmbr` exceeds the threshold cannot contribute a
+  /// qualifying window (probe-level early abandon).
+  double min_dmbr = std::numeric_limits<double>::infinity();
+};
+
+/// Builds the prefix-sum context for one probe. O(m). `dmbr` must be
+/// `ComputeMbrDistances(probe, target)`; both must outlive the context.
+DnormContext MakeDnormContext(const Partition& target,
+                              const std::vector<double>& dmbr);
 
 /// The paper's normalized distance `Dnorm` (Definition 5) between a probe
 /// MBR holding `probe_count` points (a query MBR in the usual direction) and
@@ -52,6 +84,14 @@ NormalizedDistanceResult NormalizedDistance(size_t probe_count,
                                             const Partition& target, size_t j,
                                             const std::vector<double>& dmbr);
 
+/// As above, but amortized over a prebuilt `DnormContext`: every window is
+/// evaluated in O(1), so one call is O(windows) instead of
+/// O(windows * window length). Evaluating all `j` of one probe costs O(m^2)
+/// instead of O(m^3).
+NormalizedDistanceResult NormalizedDistance(size_t probe_count,
+                                            const DnormContext& context,
+                                            size_t j);
+
 /// Appends to `out` one entry per Definition-5 window of the pair
 /// (probe, target[j]) whose weighted distance is within `epsilon`, and
 /// returns the minimum window distance (the `Dnorm` value). The union of
@@ -62,6 +102,26 @@ double QualifyingDnormWindows(size_t probe_count, const Partition& target,
                               size_t j, const std::vector<double>& dmbr,
                               double epsilon,
                               std::vector<NormalizedDistanceResult>* out);
+
+/// Context-based variant of `QualifyingDnormWindows` (see
+/// `NormalizedDistance` overloads for the cost argument).
+double QualifyingDnormWindows(size_t probe_count, const DnormContext& context,
+                              size_t j, double epsilon,
+                              std::vector<NormalizedDistanceResult>* out);
+
+/// Reference implementations of the two queries above: the naive
+/// re-accumulating window enumeration (O(window length) per window). Kept
+/// for the differential tests (tests/kernel_equivalence_test.cc) and the
+/// old-vs-new microbenchmarks; production code uses the prefix-sum path.
+/// The fast path enumerates windows in the same order and produces the same
+/// spans; window sums agree to within reassociation error (~1 ulp).
+NormalizedDistanceResult ReferenceNormalizedDistance(
+    size_t probe_count, const Partition& target, size_t j,
+    const std::vector<double>& dmbr);
+double ReferenceQualifyingDnormWindows(
+    size_t probe_count, const Partition& target, size_t j,
+    const std::vector<double>& dmbr, double epsilon,
+    std::vector<NormalizedDistanceResult>* out);
 
 /// Minimum of `NormalizedDistance` over every target MBR `j`. Convenience
 /// used by tests and by candidate checks that do not need intervals.

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cmath>
 #include <limits>
+#include <map>
 
 #include "core/distance.h"
 #include "core/mbr_distance.h"
@@ -23,40 +24,94 @@ uint64_t ElapsedNs(SteadyClock::time_point start) {
           .count());
 }
 
-// Phase 2 against any spatial index: one range search per query MBR,
-// deduplicated candidate ids. Shared by `Search` (which already holds the
-// partition) and the public `SearchCandidates`.
-std::vector<size_t> FirstPruning(const SpatialIndex& index,
-                                 const Partition& query_partition,
-                                 double epsilon, SearchStats* stats,
-                                 obs::Trace* trace) {
-  obs::SpanScope phase_span(trace, "first_pruning");
-  const auto start = SteadyClock::now();
-  uint64_t accesses = 0;
-  std::vector<uint64_t> hits;
+// Phase-2 output: deduplicated candidate ids (ascending) plus, aligned with
+// them, the minimum squared Dmbr any (query MBR, hit MBR) pair achieved —
+// the key Phase 3 uses to process the most promising candidates first.
+struct FirstPruningResult {
   std::vector<size_t> candidates;
-  for (const SequenceMbr& piece : query_partition) {
-    obs::SpanScope search_span(trace, "range_search");
-    hits.clear();
-    const uint64_t visits = index.RangeSearch(piece.mbr, epsilon, &hits);
-    accesses += visits;
-    search_span.Arg("node_visits", visits);
-    search_span.Arg("hits", hits.size());
-    for (uint64_t value : hits) {
-      candidates.push_back(SequenceDatabase::UnpackSequenceId(value));
+  std::vector<double> min_dist2;
+};
+
+// Turns per-probe batch hits into the deduplicated candidate list with
+// per-candidate minimum squared Dmbr. Shared by the in-memory and disk
+// Phase-2 paths.
+FirstPruningResult AggregateCandidates(
+    const std::vector<std::vector<SpatialIndex::BatchHit>>& hits) {
+  std::vector<std::pair<size_t, double>> scored;
+  for (const auto& per_query : hits) {
+    for (const SpatialIndex::BatchHit& hit : per_query) {
+      scored.emplace_back(SequenceDatabase::UnpackSequenceId(hit.value),
+                          hit.dist2);
     }
   }
-  std::sort(candidates.begin(), candidates.end());
-  candidates.erase(std::unique(candidates.begin(), candidates.end()),
-                   candidates.end());
+  std::sort(scored.begin(), scored.end());
+  FirstPruningResult result;
+  for (const auto& [id, dist2] : scored) {
+    if (!result.candidates.empty() && result.candidates.back() == id) {
+      result.min_dist2.back() = std::min(result.min_dist2.back(), dist2);
+    } else {
+      result.candidates.push_back(id);
+      result.min_dist2.push_back(dist2);
+    }
+  }
+  return result;
+}
+
+// Phase 2 against any spatial index: one batched descent for all query
+// MBRs (each index node is visited once per query *batch*, not once per
+// query MBR). Shared by `Search` (which already holds the partition) and
+// the public `SearchCandidates`.
+FirstPruningResult FirstPruning(const SpatialIndex& index,
+                                const Partition& query_partition,
+                                double epsilon, SearchStats* stats,
+                                obs::Trace* trace) {
+  obs::SpanScope phase_span(trace, "first_pruning");
+  const auto start = SteadyClock::now();
+  std::vector<Mbr> queries;
+  queries.reserve(query_partition.size());
+  for (const SequenceMbr& piece : query_partition) {
+    queries.push_back(piece.mbr);
+  }
+  std::vector<std::vector<SpatialIndex::BatchHit>> hits;
+  uint64_t accesses = 0;
+  {
+    obs::SpanScope search_span(trace, "range_search");
+    accesses = index.RangeSearchBatch(queries, epsilon, &hits);
+    size_t hit_count = 0;
+    for (const auto& per_query : hits) hit_count += per_query.size();
+    search_span.Arg("probes", queries.size());
+    search_span.Arg("node_visits", accesses);
+    search_span.Arg("hits", hit_count);
+  }
+  FirstPruningResult result = AggregateCandidates(hits);
   if (stats != nullptr) {
     stats->node_accesses += accesses;
-    stats->phase2_candidates = candidates.size();
+    stats->phase2_candidates = result.candidates.size();
     stats->first_pruning_ns += ElapsedNs(start);
   }
   phase_span.Arg("node_accesses", accesses);
-  phase_span.Arg("candidates", candidates.size());
-  return candidates;
+  phase_span.Arg("candidates", result.candidates.size());
+  return result;
+}
+
+// Candidate processing order for Phase 3: ascending minimum Dmbr (ties by
+// id, so the order — and every downstream counter — is deterministic). An
+// interrupted query then spent its budget on the most promising
+// candidates.
+std::vector<size_t> CandidateOrder(const FirstPruningResult& pruned) {
+  std::vector<size_t> order(pruned.candidates.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&pruned](size_t a, size_t b) {
+    if (pruned.min_dist2[a] != pruned.min_dist2[b]) {
+      return pruned.min_dist2[a] < pruned.min_dist2[b];
+    }
+    return pruned.candidates[a] < pruned.candidates[b];
+  });
+  return order;
+}
+
+bool MatchIdLess(const SequenceMatch& a, const SequenceMatch& b) {
+  return a.sequence_id < b.sequence_id;
 }
 
 }  // namespace
@@ -92,17 +147,23 @@ std::vector<Interval> ExactSolutionInterval(SequenceView query,
   MDSEQ_CHECK(!query.empty() && !data.empty());
   MDSEQ_CHECK(epsilon >= 0.0);
   std::vector<Interval> intervals;
+  // The bounded profile abandons alignments that provably exceed the
+  // threshold (they report +inf); alignments within epsilon always
+  // complete with their exact mean, so the intervals are identical to the
+  // unbounded computation.
   if (query.size() > data.size()) {
     // Long query: Definition 3 slides `data` along `query`; when any
     // alignment qualifies, the whole data sequence participates.
-    const std::vector<double> profile = WindowDistanceProfile(data, query);
+    const std::vector<double> profile =
+        WindowDistanceProfileBounded(data, query, epsilon);
     if (*std::min_element(profile.begin(), profile.end()) <= epsilon) {
       intervals.push_back(Interval{0, data.size()});
     }
     return intervals;
   }
   const size_t k = query.size();
-  const std::vector<double> profile = WindowDistanceProfile(query, data);
+  const std::vector<double> profile =
+      WindowDistanceProfileBounded(query, data, epsilon);
   for (size_t j = 0; j < profile.size(); ++j) {
     if (profile[j] <= epsilon) {
       intervals.push_back(Interval{j, j + k});
@@ -133,12 +194,14 @@ std::vector<size_t> SimilaritySearch::SearchCandidates(
     stats->query_mbrs = query_partition.size();
   }
 
-  // Phase 2: one index range search per query MBR; a sequence is a candidate
-  // as soon as one of its MBRs lies within Dmbr <= epsilon of one query MBR.
-  // Accounting uses the per-call visit counts returned by RangeSearch, not
-  // the index's cumulative counter, so concurrent queries stay exact.
+  // Phase 2: one batched index descent for all query MBRs; a sequence is a
+  // candidate as soon as one of its MBRs lies within Dmbr <= epsilon of one
+  // query MBR. Accounting uses the per-call visit count returned by
+  // RangeSearchBatch, not the index's cumulative counter, so concurrent
+  // queries stay exact.
   return FirstPruning(database_->index(), query_partition, epsilon, stats,
-                      nullptr);
+                      nullptr)
+      .candidates;
 }
 
 namespace internal {
@@ -167,12 +230,22 @@ bool EvaluatePhase3(const Partition& query_partition, size_t query_length,
   std::vector<NormalizedDistanceResult> windows;
   for (const SequenceMbr& probe : probes) {
     const std::vector<double> dmbr = ComputeMbrDistances(probe.mbr, targets);
+    const DnormContext context = MakeDnormContext(targets, dmbr);
+    if (!options.composite_bound && context.min_dmbr > epsilon) {
+      // Probe-level early abandon: every Dnorm window is a weighted
+      // average of Dmbr values, so this probe has no qualifying window,
+      // and for a match that qualifies via another probe the reported
+      // min_dnorm (<= epsilon) cannot come from this probe either. Not
+      // taken under the composite bound, which needs every probe's exact
+      // minimum.
+      continue;
+    }
     double probe_min = std::numeric_limits<double>::infinity();
     for (size_t j = 0; j < targets.size(); ++j) {
       ++stats->dnorm_evaluations;
       windows.clear();
       const double dnorm = QualifyingDnormWindows(
-          probe.count(), targets, j, dmbr, epsilon, &windows);
+          probe.count(), context, j, epsilon, &windows);
       probe_min = std::min(probe_min, dnorm);
       if (!windows.empty()) {
         qualified = true;
@@ -236,15 +309,20 @@ SearchResult SimilaritySearch::Search(SequenceView query, double epsilon,
     span.Arg("query_mbrs", query_partition.size());
   }
 
-  result.candidates = FirstPruning(database_->index(), query_partition,
-                                   epsilon, &result.stats, control.trace);
+  FirstPruningResult pruned = FirstPruning(
+      database_->index(), query_partition, epsilon, &result.stats,
+      control.trace);
+  result.candidates = pruned.candidates;
 
-  // Phase 3: second pruning with Dnorm plus solution-interval assembly.
-  // The control is polled per candidate — the unit of abandonable work.
+  // Phase 3: second pruning with Dnorm plus solution-interval assembly,
+  // processing candidates by ascending minimum Dmbr so an interrupted
+  // query covered the most promising ones. The control is polled per
+  // candidate — the unit of abandonable work.
   {
     obs::SpanScope span(control.trace, "second_pruning");
     const auto start = SteadyClock::now();
-    for (size_t id : result.candidates) {
+    for (size_t slot : CandidateOrder(pruned)) {
+      const size_t id = pruned.candidates[slot];
       if (control.ShouldStop()) {
         result.interrupted = true;
         break;
@@ -263,6 +341,9 @@ SearchResult SimilaritySearch::Search(SequenceView query, double epsilon,
       candidate_span.Arg("qualified", qualified ? 1 : 0);
       if (qualified) result.matches.push_back(std::move(match));
     }
+    // The result contract keeps matches ascending by id regardless of the
+    // processing order.
+    std::sort(result.matches.begin(), result.matches.end(), MatchIdLess);
     result.stats.second_pruning_ns += ElapsedNs(start);
     span.Arg("matches", result.matches.size());
   }
@@ -291,7 +372,9 @@ SearchResult SimilaritySearch::SearchVerified(
     obs::SpanScope candidate_span(control.trace, "verify_candidate");
     candidate_span.Arg("sequence_id", match.sequence_id);
     const SequenceView data = database_->sequence(match.sequence_id).View();
-    const double exact = SequenceDistance(query, data);
+    // Early-abandoning verification: exact distance when within epsilon,
+    // +inf (dropped below) when it provably is not.
+    const double exact = SequenceDistanceBounded(query, data, epsilon);
     if (exact > epsilon) continue;
     match.exact_distance = exact;
     match.solution_interval = ExactSolutionInterval(query, data, epsilon);
@@ -343,23 +426,52 @@ std::vector<SequenceMatch> SimilaritySearch::SearchNearest(SequenceView query,
                                                            size_t k) const {
   k = std::min(k, database_->num_live_sequences());
   if (k == 0) return {};
-  // Grow the threshold until k verified matches exist. SearchVerified
-  // returns *every* sequence within the threshold, so once it holds at
-  // least k the global top-k is among them.
+  // Grow the threshold until k verified matches exist. The filter returns
+  // *every* sequence within the threshold, so once k are verified the
+  // global top-k is among them. Exact distances verified in earlier
+  // (smaller-threshold) rounds are cached and reused — a sequence within
+  // an earlier epsilon is within every later one, so each sequence is
+  // verified at most once across the doublings.
   const double max_epsilon =
       std::sqrt(static_cast<double>(database_->dim()));
+  std::map<size_t, double> verified;  // id -> exact SequenceDistance
   double epsilon = 0.05;
   while (true) {
-    SearchResult result = SearchVerified(query, epsilon);
-    if (result.matches.size() >= k || epsilon >= max_epsilon) {
-      std::sort(result.matches.begin(), result.matches.end(),
-                [](const SequenceMatch& a, const SequenceMatch& b) {
-                  return a.exact_distance < b.exact_distance ||
-                         (a.exact_distance == b.exact_distance &&
-                          a.sequence_id < b.sequence_id);
-                });
-      if (result.matches.size() > k) result.matches.resize(k);
-      return std::move(result.matches);
+    SearchResult filtered = Search(query, epsilon);
+    for (const SequenceMatch& match : filtered.matches) {
+      if (verified.count(match.sequence_id) != 0) continue;
+      const double exact = SequenceDistanceBounded(
+          query, database_->sequence(match.sequence_id).View(), epsilon);
+      if (exact <= epsilon) verified.emplace(match.sequence_id, exact);
+    }
+    if (verified.size() >= k || epsilon >= max_epsilon) {
+      // Every cached id re-qualifies at the final (largest) threshold, so
+      // `filtered.matches` carries its current min_dnorm; the exact
+      // solution intervals are computed only for the reported top-k.
+      std::vector<std::pair<double, size_t>> ranked;
+      ranked.reserve(verified.size());
+      for (const auto& [id, exact] : verified) {
+        ranked.emplace_back(exact, id);
+      }
+      std::sort(ranked.begin(), ranked.end());
+      if (ranked.size() > k) ranked.resize(k);
+      std::vector<SequenceMatch> nearest;
+      nearest.reserve(ranked.size());
+      for (const auto& [exact, id] : ranked) {
+        SequenceMatch match;
+        match.sequence_id = id;
+        match.exact_distance = exact;
+        for (const SequenceMatch& filter_match : filtered.matches) {
+          if (filter_match.sequence_id == id) {
+            match.min_dnorm = filter_match.min_dnorm;
+            break;
+          }
+        }
+        match.solution_interval = ExactSolutionInterval(
+            query, database_->sequence(id).View(), epsilon);
+        nearest.push_back(std::move(match));
+      }
+      return nearest;
     }
     epsilon *= 2.0;
   }

@@ -37,4 +37,25 @@ uint64_t LinearIndex::RangeSearch(const Mbr& query, double epsilon,
   return visited;
 }
 
+uint64_t LinearIndex::RangeSearchBatch(
+    const std::vector<Mbr>& queries, double epsilon,
+    std::vector<std::vector<BatchHit>>* out) const {
+  MDSEQ_CHECK(out != nullptr);
+  MDSEQ_CHECK(epsilon >= 0.0);
+  out->assign(queries.size(), {});
+  if (queries.empty()) return 0;
+  const double eps2 = epsilon * epsilon;
+  // A single scan serves every probe, so the simulated pages are read once.
+  const uint64_t visited =
+      (entries_.size() + page_capacity_ - 1) / page_capacity_;
+  node_accesses_.fetch_add(visited, std::memory_order_relaxed);
+  for (const IndexEntry& e : entries_) {
+    for (size_t q = 0; q < queries.size(); ++q) {
+      const double d2 = queries[q].MinDist2(e.mbr);
+      if (d2 <= eps2) (*out)[q].push_back(BatchHit{e.value, d2});
+    }
+  }
+  return visited;
+}
+
 }  // namespace mdseq

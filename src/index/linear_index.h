@@ -23,6 +23,10 @@ class LinearIndex : public SpatialIndex {
   bool Remove(const Mbr& mbr, uint64_t value) override;
   uint64_t RangeSearch(const Mbr& query, double epsilon,
                        std::vector<uint64_t>* out) const override;
+  /// One scan (and one set of simulated page accesses) for all probes.
+  uint64_t RangeSearchBatch(
+      const std::vector<Mbr>& queries, double epsilon,
+      std::vector<std::vector<BatchHit>>* out) const override;
   size_t size() const override { return entries_.size(); }
   uint64_t node_accesses() const override {
     return node_accesses_.load(std::memory_order_relaxed);

@@ -594,6 +594,59 @@ uint64_t RStarTree::RangeSearch(const Mbr& query, double epsilon,
   return visited;
 }
 
+uint64_t RStarTree::RangeSearchBatch(
+    const std::vector<Mbr>& queries, double epsilon,
+    std::vector<std::vector<BatchHit>>* out) const {
+  MDSEQ_CHECK(out != nullptr);
+  MDSEQ_CHECK(epsilon >= 0.0);
+  out->assign(queries.size(), {});
+  if (queries.empty()) return 0;
+  for (const Mbr& query : queries) {
+    MDSEQ_CHECK(query.is_valid());
+    MDSEQ_CHECK(query.dim() == dim_);
+  }
+  const double eps2 = epsilon * epsilon;
+
+  // Depth-first descent where each level carries the subset of queries
+  // whose search region still intersects the node — every query of the
+  // subset would have visited the node on its own, but the batch pays for
+  // it once. Subsets live in one scratch vector per tree level (siblings
+  // reuse their level's scratch), so the walk allocates nothing once the
+  // scratch is warm.
+  std::vector<std::vector<uint32_t>> scratch(height() + 1);
+  scratch[0].resize(queries.size());
+  for (uint32_t i = 0; i < queries.size(); ++i) scratch[0][i] = i;
+  uint64_t visited = 0;
+  const auto descend = [&](const auto& self, const Node* node,
+                           size_t depth) -> void {
+    ++visited;
+    const std::vector<uint32_t>& active = scratch[depth];
+    if (node->is_leaf()) {
+      // Query-major order keeps one query MBR hot across the whole page.
+      for (uint32_t q : active) {
+        const Mbr& query = queries[q];
+        std::vector<BatchHit>& hits = (*out)[q];
+        for (const NodeEntry& e : node->entries) {
+          const double d2 = query.MinDist2(e.mbr);
+          if (d2 <= eps2) hits.push_back(BatchHit{e.value, d2});
+        }
+      }
+      return;
+    }
+    std::vector<uint32_t>& child_active = scratch[depth + 1];
+    for (const NodeEntry& e : node->entries) {
+      child_active.clear();
+      for (uint32_t q : active) {
+        if (queries[q].MinDist2(e.mbr) <= eps2) child_active.push_back(q);
+      }
+      if (!child_active.empty()) self(self, e.child.get(), depth + 1);
+    }
+  };
+  descend(descend, root_.get(), 0);
+  node_accesses_.fetch_add(visited, std::memory_order_relaxed);
+  return visited;
+}
+
 void RStarTree::IntersectSearch(const Mbr& query,
                                 std::vector<uint64_t>* out) const {
   RangeSearch(query, 0.0, out);

@@ -73,6 +73,12 @@ class RStarTree : public SpatialIndex {
   bool Remove(const Mbr& mbr, uint64_t value) override;
   uint64_t RangeSearch(const Mbr& query, double epsilon,
                        std::vector<uint64_t>* out) const override;
+  /// Single descent for all probes: each node is visited once and tested
+  /// against the queries still active for its subtree (see
+  /// `SpatialIndex::RangeSearchBatch`).
+  uint64_t RangeSearchBatch(
+      const std::vector<Mbr>& queries, double epsilon,
+      std::vector<std::vector<BatchHit>>* out) const override;
   size_t size() const override { return size_; }
   uint64_t node_accesses() const override {
     return node_accesses_.load(std::memory_order_relaxed);

@@ -45,6 +45,42 @@ class SpatialIndex {
   virtual uint64_t RangeSearch(const Mbr& query, double epsilon,
                                std::vector<uint64_t>* out) const = 0;
 
+  /// One leaf hit of `RangeSearchBatch`: the entry's payload plus the
+  /// squared `Dmbr` between the entry's rectangle and the probing query
+  /// MBR — already computed by the traversal's distance test, and used by
+  /// the search layer to order Phase-3 candidates most-promising first.
+  struct BatchHit {
+    uint64_t value = 0;
+    double dist2 = 0.0;
+  };
+
+  /// Multi-probe range search: `(*out)[i]` receives, for `queries[i]`,
+  /// exactly the hits a single `RangeSearch(queries[i], epsilon, ...)`
+  /// call would produce (per-query hit *sets* are identical; order within
+  /// a query is implementation-defined). Tree-backed implementations
+  /// descend once, testing each node against all still-active queries, so
+  /// a node shared by several probes is visited (and counted) once — this
+  /// is where batched first pruning gets its node-access reduction. The
+  /// returned visit count covers the whole batch.
+  ///
+  /// The default implementation falls back to one `RangeSearch` per query
+  /// (no visit sharing) and reports `dist2 = 0` — a valid lower bound,
+  /// since `RangeSearch` does not surface distances.
+  virtual uint64_t RangeSearchBatch(
+      const std::vector<Mbr>& queries, double epsilon,
+      std::vector<std::vector<BatchHit>>* out) const {
+    out->assign(queries.size(), {});
+    uint64_t visited = 0;
+    std::vector<uint64_t> hits;
+    for (size_t i = 0; i < queries.size(); ++i) {
+      hits.clear();
+      visited += RangeSearch(queries[i], epsilon, &hits);
+      (*out)[i].reserve(hits.size());
+      for (uint64_t value : hits) (*out)[i].push_back(BatchHit{value, 0.0});
+    }
+    return visited;
+  }
+
   /// Number of stored entries.
   virtual size_t size() const = 0;
 

@@ -207,35 +207,51 @@ SearchResult DiskDatabase::Search(SequenceView query, double epsilon,
     span.Arg("query_mbrs", query_partition.size());
   }
 
-  // Phase 2 against the paged index. Node accesses and pool misses are
-  // counted per call (pages this query visited / read), not as a pool
-  // counter delta, so the numbers are deterministic and exact when other
-  // threads share the pool.
+  // Phase 2 against the paged index: one batched descent for all query
+  // MBRs, so each node page is fetched once per query instead of once per
+  // query MBR. Node accesses and pool misses are counted per call (pages
+  // this query visited / read), not as a pool counter delta, so the
+  // numbers are deterministic and exact when other threads share the pool.
+  std::vector<double> candidate_min_dist2;
   {
     obs::SpanScope span(control.trace, "first_pruning");
     const auto start = SteadyClock::now();
-    std::vector<uint64_t> hits;
+    std::vector<Mbr> queries;
+    queries.reserve(query_partition.size());
     for (const SequenceMbr& piece : query_partition) {
+      queries.push_back(piece.mbr);
+    }
+    std::vector<std::vector<SpatialIndex::BatchHit>> hits;
+    {
       obs::SpanScope search_span(control.trace, "range_search");
-      const uint64_t visits_before = result.stats.node_accesses;
-      const uint64_t misses_before = result.stats.page_misses;
-      tree_->RangeSearch(piece.mbr, epsilon, &hits,
-                         &result.stats.node_accesses,
-                         &result.stats.page_misses);
-      search_span.Arg("node_visits",
-                      result.stats.node_accesses - visits_before);
-      search_span.Arg("pool_misses",
-                      result.stats.page_misses - misses_before);
+      tree_->RangeSearchBatch(queries, epsilon, &hits,
+                              &result.stats.node_accesses,
+                              &result.stats.page_misses);
+      search_span.Arg("probes", queries.size());
+      search_span.Arg("node_visits", result.stats.node_accesses);
+      search_span.Arg("pool_misses", result.stats.page_misses);
     }
     result.stats.page_hits =
         result.stats.node_accesses - result.stats.page_misses;
-    for (uint64_t value : hits) {
-      result.candidates.push_back(SequenceDatabase::UnpackSequenceId(value));
+    // Deduplicate ids, tracking each candidate's minimum squared Dmbr —
+    // the Phase-3 processing order key.
+    std::vector<std::pair<size_t, double>> scored;
+    for (const auto& per_query : hits) {
+      for (const SpatialIndex::BatchHit& hit : per_query) {
+        scored.emplace_back(SequenceDatabase::UnpackSequenceId(hit.value),
+                            hit.dist2);
+      }
     }
-    std::sort(result.candidates.begin(), result.candidates.end());
-    result.candidates.erase(
-        std::unique(result.candidates.begin(), result.candidates.end()),
-        result.candidates.end());
+    std::sort(scored.begin(), scored.end());
+    for (const auto& [id, dist2] : scored) {
+      if (!result.candidates.empty() && result.candidates.back() == id) {
+        candidate_min_dist2.back() =
+            std::min(candidate_min_dist2.back(), dist2);
+      } else {
+        result.candidates.push_back(id);
+        candidate_min_dist2.push_back(dist2);
+      }
+    }
     result.stats.phase2_candidates = result.candidates.size();
     result.stats.first_pruning_ns += ElapsedNs(start);
     span.Arg("node_accesses", result.stats.node_accesses);
@@ -244,11 +260,22 @@ SearchResult DiskDatabase::Search(SequenceView query, double epsilon,
     span.Arg("candidates", result.candidates.size());
   }
 
-  // Phase 3 on the resident partition catalog.
+  // Phase 3 on the resident partition catalog, most promising candidates
+  // (smallest min Dmbr) first so interrupted queries spend their budget
+  // well.
   {
     obs::SpanScope span(control.trace, "second_pruning");
     const auto start = SteadyClock::now();
-    for (size_t id : result.candidates) {
+    std::vector<size_t> order(result.candidates.size());
+    for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      if (candidate_min_dist2[a] != candidate_min_dist2[b]) {
+        return candidate_min_dist2[a] < candidate_min_dist2[b];
+      }
+      return result.candidates[a] < result.candidates[b];
+    });
+    for (size_t slot : order) {
+      const size_t id = result.candidates[slot];
       if (control.ShouldStop()) {
         result.interrupted = true;
         break;
@@ -266,6 +293,10 @@ SearchResult DiskDatabase::Search(SequenceView query, double epsilon,
       candidate_span.Arg("qualified", qualified ? 1 : 0);
       if (qualified) result.matches.push_back(std::move(match));
     }
+    std::sort(result.matches.begin(), result.matches.end(),
+              [](const SequenceMatch& a, const SequenceMatch& b) {
+                return a.sequence_id < b.sequence_id;
+              });
     result.stats.second_pruning_ns += ElapsedNs(start);
     span.Arg("matches", result.matches.size());
   }

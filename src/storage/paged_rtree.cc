@@ -233,6 +233,67 @@ bool PagedRTree::RangeSearch(const Mbr& query, double epsilon,
   return true;
 }
 
+bool PagedRTree::RangeSearchBatch(
+    const std::vector<Mbr>& queries, double epsilon,
+    std::vector<std::vector<SpatialIndex::BatchHit>>* out,
+    uint64_t* pages_visited, uint64_t* pool_misses) const {
+  MDSEQ_CHECK(out != nullptr);
+  MDSEQ_CHECK(epsilon >= 0.0);
+  out->assign(queries.size(), {});
+  if (queries.empty()) return true;
+  for (const Mbr& query : queries) {
+    MDSEQ_CHECK(query.is_valid());
+    MDSEQ_CHECK(query.dim() == dim_);
+  }
+  const double eps2 = epsilon * epsilon;
+
+  // Each frame is a node page plus the probes whose search region reaches
+  // it; a page shared by several probes is fetched (and accounted) once.
+  struct Frame {
+    PageId page;
+    std::vector<uint32_t> active;
+  };
+  std::vector<uint32_t> all(queries.size());
+  for (uint32_t i = 0; i < all.size(); ++i) all[i] = i;
+  std::vector<Frame> stack;
+  stack.push_back(Frame{root_, std::move(all)});
+  while (!stack.empty()) {
+    Frame frame = std::move(stack.back());
+    stack.pop_back();
+    bool was_miss = false;
+    PageHandle handle = pool_->Fetch(frame.page, &was_miss);
+    if (!handle.valid()) return false;
+    if (pages_visited != nullptr) ++*pages_visited;
+    if (pool_misses != nullptr && was_miss) ++*pool_misses;
+    const NodeHeader header = GetHeader(handle.page());
+    size_t offset = sizeof(NodeHeader);
+    for (size_t i = 0; i < header.count; ++i) {
+      Mbr box(dim_);
+      uint64_t payload = 0;
+      GetEntry(handle.page(), offset, dim_, &box, &payload);
+      offset += EntryBytes(dim_);
+      if (header.level == 0) {
+        for (uint32_t q : frame.active) {
+          const double d2 = queries[q].MinDist2(box);
+          if (d2 <= eps2) {
+            (*out)[q].push_back(SpatialIndex::BatchHit{payload, d2});
+          }
+        }
+      } else {
+        std::vector<uint32_t> child_active;
+        for (uint32_t q : frame.active) {
+          if (queries[q].MinDist2(box) <= eps2) child_active.push_back(q);
+        }
+        if (!child_active.empty()) {
+          stack.push_back(Frame{static_cast<PageId>(payload),
+                                std::move(child_active)});
+        }
+      }
+    }
+  }
+  return true;
+}
+
 // ---------------------------------------------------------------------------
 // Dynamic insertion
 // ---------------------------------------------------------------------------

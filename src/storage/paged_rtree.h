@@ -68,6 +68,18 @@ class PagedRTree {
                    uint64_t* pages_visited = nullptr,
                    uint64_t* pool_misses = nullptr) const;
 
+  /// Multi-probe range search with the same per-query hit sets as one
+  /// `RangeSearch` per query (see `SpatialIndex::RangeSearchBatch` for the
+  /// contract, including the per-hit squared distances): a single descent
+  /// fetches every node page once for the whole batch, so page visits and
+  /// buffer-pool misses shrink by roughly the probe count for overlapping
+  /// probes. Returns false on I/O failure (results are then incomplete).
+  bool RangeSearchBatch(
+      const std::vector<Mbr>& queries, double epsilon,
+      std::vector<std::vector<SpatialIndex::BatchHit>>* out,
+      uint64_t* pages_visited = nullptr,
+      uint64_t* pool_misses = nullptr) const;
+
   /// Inserts one entry (Guttman ChooseLeaf + quadratic split). Dirty pages
   /// stay in the pool until eviction or `BufferPool::Flush`. Returns false
   /// on I/O failure. The file's root hint is refreshed when the root

@@ -1,0 +1,373 @@
+// Differential tests proving the PR-3 fast kernels compute the same answers
+// as the retained reference implementations:
+//   - prefix-sum Dnorm (DnormContext) vs the naive window re-accumulation,
+//   - batched range search vs one RangeSearch per probe,
+//   - threshold-aware window profile vs the unbounded one.
+// The fast paths are only allowed to differ where the contract says so
+// (~1 ulp reassociation in partially-counted Dnorm windows; +inf for
+// provably-disqualified bounded-profile windows).
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/distance.h"
+#include "core/mbr_distance.h"
+#include "core/partitioning.h"
+#include "gen/fractal.h"
+#include "index/linear_index.h"
+#include "index/rstar_tree.h"
+#include "storage/buffer_pool.h"
+#include "storage/page_file.h"
+#include "storage/paged_rtree.h"
+#include "util/random.h"
+
+namespace mdseq {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Dnorm: prefix-sum context vs naive reference.
+// ---------------------------------------------------------------------------
+
+void ExpectSameWindows(const std::vector<NormalizedDistanceResult>& fast,
+                       const std::vector<NormalizedDistanceResult>& ref) {
+  ASSERT_EQ(fast.size(), ref.size());
+  for (size_t i = 0; i < fast.size(); ++i) {
+    EXPECT_EQ(fast[i].point_begin, ref[i].point_begin) << "window " << i;
+    EXPECT_EQ(fast[i].point_end, ref[i].point_end) << "window " << i;
+    EXPECT_NEAR(fast[i].distance, ref[i].distance, 1e-12) << "window " << i;
+  }
+}
+
+void CheckDnormAgreement(const Partition& target, const Mbr& probe,
+                         size_t probe_count, double epsilon) {
+  const std::vector<double> dmbr = ComputeMbrDistances(probe, target);
+  const DnormContext context = MakeDnormContext(target, dmbr);
+  for (size_t j = 0; j < target.size(); ++j) {
+    const NormalizedDistanceResult ref =
+        ReferenceNormalizedDistance(probe_count, target, j, dmbr);
+    const NormalizedDistanceResult fast =
+        NormalizedDistance(probe_count, context, j);
+    EXPECT_NEAR(fast.distance, ref.distance, 1e-12) << "j=" << j;
+    EXPECT_EQ(fast.point_begin, ref.point_begin) << "j=" << j;
+    EXPECT_EQ(fast.point_end, ref.point_end) << "j=" << j;
+
+    std::vector<NormalizedDistanceResult> fast_windows;
+    std::vector<NormalizedDistanceResult> ref_windows;
+    const double fast_min = QualifyingDnormWindows(probe_count, context, j,
+                                                   epsilon, &fast_windows);
+    const double ref_min = ReferenceQualifyingDnormWindows(
+        probe_count, target, j, dmbr, epsilon, &ref_windows);
+    EXPECT_NEAR(fast_min, ref_min, 1e-12) << "j=" << j;
+    ExpectSameWindows(fast_windows, ref_windows);
+  }
+}
+
+TEST(DnormEquivalenceTest, RandomPartitionsAgreeWithReference) {
+  Rng rng(401);
+  for (int trial = 0; trial < 30; ++trial) {
+    const Sequence data =
+        GenerateFractalSequence(40 + 8 * trial, FractalOptions(), &rng);
+    PartitioningOptions part;
+    part.max_points = static_cast<size_t>(rng.UniformInt(3, 20));
+    const Partition target = PartitionSequence(data.View(), part);
+    const Sequence probe_seq =
+        GenerateFractalSequence(20, FractalOptions(), &rng);
+    const Mbr probe = probe_seq.BoundingBox();
+    const size_t probe_count = static_cast<size_t>(rng.UniformInt(1, 60));
+    const double epsilon = rng.Uniform() * 0.6;
+    CheckDnormAgreement(target, probe, probe_count, epsilon);
+  }
+}
+
+TEST(DnormEquivalenceTest, SingleMbrTarget) {
+  Rng rng(402);
+  const Sequence data = GenerateFractalSequence(9, FractalOptions(), &rng);
+  Partition target;  // whole sequence in one MBR
+  target.push_back(SequenceMbr{data.BoundingBox(), 0, data.size()});
+  const Mbr probe(Point{0.1, 0.1}, Point{0.2, 0.2});
+  // Case 1 (count >= probe_count) and Case 3 (whole sequence shorter).
+  CheckDnormAgreement(target, probe, 4, 0.3);
+  CheckDnormAgreement(target, probe, 50, 0.3);
+}
+
+TEST(DnormEquivalenceTest, ProbeCountExceedsTotalPointsIsBitIdentical) {
+  // Case 3 accumulates left to right in both paths, so it must match the
+  // reference exactly, not just within reassociation error.
+  Rng rng(403);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Sequence data = GenerateFractalSequence(30, FractalOptions(), &rng);
+    PartitioningOptions part;
+    part.max_points = 4;
+    const Partition target = PartitionSequence(data.View(), part);
+    const Sequence probe_seq =
+        GenerateFractalSequence(10, FractalOptions(), &rng);
+    const Mbr probe = probe_seq.BoundingBox();
+    const std::vector<double> dmbr = ComputeMbrDistances(probe, target);
+    const DnormContext context = MakeDnormContext(target, dmbr);
+    const size_t probe_count = data.size() + 17;  // more than total points
+    for (size_t j = 0; j < target.size(); ++j) {
+      const NormalizedDistanceResult ref =
+          ReferenceNormalizedDistance(probe_count, target, j, dmbr);
+      const NormalizedDistanceResult fast =
+          NormalizedDistance(probe_count, context, j);
+      EXPECT_DOUBLE_EQ(fast.distance, ref.distance);
+      EXPECT_EQ(fast.point_begin, ref.point_begin);
+      EXPECT_EQ(fast.point_end, ref.point_end);
+    }
+  }
+}
+
+TEST(DnormEquivalenceTest, ZeroEpsilonKeepsOnlyExactWindows) {
+  Rng rng(404);
+  const Sequence data = GenerateFractalSequence(60, FractalOptions(), &rng);
+  PartitioningOptions part;
+  part.max_points = 6;
+  const Partition target = PartitionSequence(data.View(), part);
+  // A probe overlapping the whole space: many zero-distance MBRs.
+  const Mbr probe(Point{-1.0, -1.0}, Point{2.0, 2.0});
+  CheckDnormAgreement(target, probe, 12, 0.0);
+  const std::vector<double> dmbr = ComputeMbrDistances(probe, target);
+  const DnormContext context = MakeDnormContext(target, dmbr);
+  for (size_t j = 0; j < target.size(); ++j) {
+    std::vector<NormalizedDistanceResult> windows;
+    QualifyingDnormWindows(12, context, j, 0.0, &windows);
+    for (const NormalizedDistanceResult& w : windows) {
+      EXPECT_EQ(w.distance, 0.0);
+    }
+  }
+}
+
+TEST(DnormEquivalenceTest, ContextPrefixSumsMatchPartition) {
+  Rng rng(405);
+  const Sequence data = GenerateFractalSequence(80, FractalOptions(), &rng);
+  PartitioningOptions part;
+  part.max_points = 7;
+  const Partition target = PartitionSequence(data.View(), part);
+  const Mbr probe(Point{0.3, 0.3}, Point{0.4, 0.4});
+  const std::vector<double> dmbr = ComputeMbrDistances(probe, target);
+  const DnormContext context = MakeDnormContext(target, dmbr);
+  ASSERT_EQ(context.prefix_count.size(), target.size() + 1);
+  size_t points = 0;
+  double min_dmbr = std::numeric_limits<double>::infinity();
+  for (size_t t = 0; t < target.size(); ++t) {
+    EXPECT_EQ(context.prefix_count[t], points);
+    points += target[t].count();
+    min_dmbr = std::min(min_dmbr, dmbr[t]);
+  }
+  EXPECT_EQ(context.prefix_count.back(), points);
+  EXPECT_EQ(context.total_points, points);
+  EXPECT_EQ(context.min_dmbr, min_dmbr);
+}
+
+// ---------------------------------------------------------------------------
+// Batched range search vs per-probe reference.
+// ---------------------------------------------------------------------------
+
+std::vector<Mbr> MakeProbes(Rng* rng, size_t count) {
+  std::vector<Mbr> probes;
+  for (size_t i = 0; i < count; ++i) {
+    Point low{rng->Uniform(), rng->Uniform(), rng->Uniform()};
+    Point high = low;
+    for (double& v : high) v += 0.1 * rng->Uniform();
+    probes.emplace_back(low, high);
+  }
+  return probes;
+}
+
+std::vector<IndexEntry> MakeEntries(Rng* rng, size_t count) {
+  std::vector<IndexEntry> entries;
+  for (uint64_t i = 0; i < count; ++i) {
+    Point low{rng->Uniform(), rng->Uniform(), rng->Uniform()};
+    Point high = low;
+    for (double& v : high) v += 0.05 * rng->Uniform();
+    entries.push_back(IndexEntry{Mbr(low, high), i});
+  }
+  return entries;
+}
+
+// Batch results must equal one single-probe search per query: same payload
+// sets, and each hit's dist2 must be the probe/entry MinDist2.
+void CheckBatchAgainstSingles(const SpatialIndex& index,
+                              const std::vector<IndexEntry>& entries,
+                              const std::vector<Mbr>& probes, double epsilon) {
+  std::vector<std::vector<SpatialIndex::BatchHit>> batch;
+  const uint64_t batch_visits =
+      index.RangeSearchBatch(probes, epsilon, &batch);
+  ASSERT_EQ(batch.size(), probes.size());
+  uint64_t single_visits = 0;
+  for (size_t q = 0; q < probes.size(); ++q) {
+    std::vector<uint64_t> expected;
+    single_visits += index.RangeSearch(probes[q], epsilon, &expected);
+    std::sort(expected.begin(), expected.end());
+    std::vector<uint64_t> actual;
+    for (const SpatialIndex::BatchHit& hit : batch[q]) {
+      actual.push_back(hit.value);
+      const double d2 = probes[q].MinDist2(entries[hit.value].mbr);
+      EXPECT_DOUBLE_EQ(hit.dist2, d2) << "probe " << q;
+    }
+    std::sort(actual.begin(), actual.end());
+    EXPECT_EQ(actual, expected) << "probe " << q;
+  }
+  // The batch descends once, so it can never touch more nodes than the
+  // per-probe searches combined.
+  EXPECT_LE(batch_visits, single_visits);
+}
+
+TEST(BatchRangeSearchTest, RStarTreeMatchesSingleProbeSearches) {
+  Rng rng(406);
+  auto entries = MakeEntries(&rng, 3000);
+  const RStarTree tree = RStarTree::BulkLoad(3, entries);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto probes =
+        MakeProbes(&rng, static_cast<size_t>(rng.UniformInt(1, 12)));
+    CheckBatchAgainstSingles(tree, entries, probes, rng.Uniform() * 0.2);
+  }
+}
+
+TEST(BatchRangeSearchTest, RStarTreeEmptyBatchAndEmptyTree) {
+  const RStarTree empty(3);
+  std::vector<std::vector<SpatialIndex::BatchHit>> out{{}};
+  EXPECT_EQ(empty.RangeSearchBatch({}, 0.1, &out), 0u);
+  EXPECT_TRUE(out.empty());
+  Rng rng(407);
+  const auto probes = MakeProbes(&rng, 3);
+  empty.RangeSearchBatch(probes, 0.1, &out);
+  ASSERT_EQ(out.size(), 3u);
+  for (const auto& hits : out) EXPECT_TRUE(hits.empty());
+}
+
+TEST(BatchRangeSearchTest, LinearIndexMatchesSingleProbeSearches) {
+  Rng rng(408);
+  auto entries = MakeEntries(&rng, 500);
+  LinearIndex index(16);
+  for (const IndexEntry& e : entries) index.Insert(e.mbr, e.value);
+  for (int trial = 0; trial < 5; ++trial) {
+    const auto probes = MakeProbes(&rng, 6);
+    CheckBatchAgainstSingles(index, entries, probes, rng.Uniform() * 0.3);
+  }
+}
+
+TEST(BatchRangeSearchTest, ZeroEpsilonBatchMatchesSingles) {
+  Rng rng(409);
+  auto entries = MakeEntries(&rng, 1000);
+  const RStarTree tree = RStarTree::BulkLoad(3, entries);
+  const auto probes = MakeProbes(&rng, 8);
+  CheckBatchAgainstSingles(tree, entries, probes, 0.0);
+}
+
+class PagedBatchTest : public ::testing::Test {
+ protected:
+  void TearDown() override { std::remove(path_.c_str()); }
+  std::string path_ = testing::TempDir() + "/kernel_equiv_rtree.db";
+};
+
+TEST_F(PagedBatchTest, PagedRTreeBatchMatchesSinglesAndSavesPages) {
+  Rng rng(410);
+  auto entries = MakeEntries(&rng, 4000);
+  {
+    PageFile file;
+    ASSERT_TRUE(file.Create(path_));
+    ASSERT_TRUE(PagedRTree::Build(3, entries, &file));
+  }
+  PageFile file;
+  ASSERT_TRUE(file.Open(path_));
+  BufferPool pool(&file, 256);
+  PagedRTree tree(3, &pool, file);
+  ASSERT_TRUE(tree.valid());
+  for (int trial = 0; trial < 8; ++trial) {
+    const auto probes =
+        MakeProbes(&rng, static_cast<size_t>(rng.UniformInt(1, 10)));
+    const double epsilon = rng.Uniform() * 0.2;
+    std::vector<std::vector<SpatialIndex::BatchHit>> batch;
+    uint64_t batch_pages = 0;
+    ASSERT_TRUE(tree.RangeSearchBatch(probes, epsilon, &batch, &batch_pages));
+    ASSERT_EQ(batch.size(), probes.size());
+    uint64_t single_pages = 0;
+    for (size_t q = 0; q < probes.size(); ++q) {
+      std::vector<uint64_t> expected;
+      ASSERT_TRUE(
+          tree.RangeSearch(probes[q], epsilon, &expected, &single_pages));
+      std::sort(expected.begin(), expected.end());
+      std::vector<uint64_t> actual;
+      for (const SpatialIndex::BatchHit& hit : batch[q]) {
+        actual.push_back(hit.value);
+        EXPECT_DOUBLE_EQ(hit.dist2,
+                         probes[q].MinDist2(entries[hit.value].mbr));
+      }
+      std::sort(actual.begin(), actual.end());
+      EXPECT_EQ(actual, expected) << "probe " << q;
+    }
+    EXPECT_LE(batch_pages, single_pages);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Bounded window profile / bounded sequence distance vs reference.
+// ---------------------------------------------------------------------------
+
+TEST(BoundedProfileTest, CompletedWindowsAreBitIdentical) {
+  Rng rng(411);
+  for (int trial = 0; trial < 25; ++trial) {
+    const Sequence data =
+        GenerateFractalSequence(80 + trial, FractalOptions(), &rng);
+    const Sequence query =
+        GenerateFractalSequence(static_cast<size_t>(rng.UniformInt(1, 40)),
+                                FractalOptions(), &rng);
+    const double epsilon = rng.Uniform() * 0.5;
+    const std::vector<double> ref =
+        WindowDistanceProfile(query.View(), data.View());
+    const std::vector<double> bounded =
+        WindowDistanceProfileBounded(query.View(), data.View(), epsilon);
+    ASSERT_EQ(bounded.size(), ref.size());
+    for (size_t j = 0; j < ref.size(); ++j) {
+      if (std::isinf(bounded[j])) {
+        // Abandoned windows must be genuinely disqualified.
+        EXPECT_GT(ref[j], epsilon) << "j=" << j;
+      } else {
+        // Completed windows reproduce the reference exactly.
+        EXPECT_DOUBLE_EQ(bounded[j], ref[j]) << "j=" << j;
+      }
+      // The qualification decision is never changed by the bound.
+      EXPECT_EQ(bounded[j] <= epsilon, ref[j] <= epsilon) << "j=" << j;
+    }
+  }
+}
+
+TEST(BoundedProfileTest, ZeroEpsilonKeepsExactAlignments) {
+  Rng rng(412);
+  Sequence data = GenerateFractalSequence(50, FractalOptions(), &rng);
+  // Plant an exact copy of the query inside data.
+  const size_t offset = 17;
+  const size_t k = 9;
+  const SequenceView query = data.Slice(offset, offset + k);
+  const std::vector<double> bounded =
+      WindowDistanceProfileBounded(query, data.View(), 0.0);
+  EXPECT_EQ(bounded[offset], 0.0);
+  EXPECT_EQ(SequenceDistanceBounded(query, data.View(), 0.0), 0.0);
+}
+
+TEST(BoundedSequenceDistanceTest, MatchesReferenceWithinThreshold) {
+  Rng rng(413);
+  for (int trial = 0; trial < 30; ++trial) {
+    const Sequence a = GenerateFractalSequence(
+        static_cast<size_t>(rng.UniformInt(1, 60)), FractalOptions(), &rng);
+    const Sequence b = GenerateFractalSequence(
+        static_cast<size_t>(rng.UniformInt(1, 60)), FractalOptions(), &rng);
+    const double epsilon = rng.Uniform() * 0.6;
+    const double ref = SequenceDistance(a.View(), b.View());
+    const double bounded = SequenceDistanceBounded(a.View(), b.View(), epsilon);
+    if (ref <= epsilon) {
+      EXPECT_DOUBLE_EQ(bounded, ref);
+    } else {
+      EXPECT_TRUE(std::isinf(bounded)) << "ref=" << ref << " eps=" << epsilon;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mdseq

@@ -1,0 +1,136 @@
+// Fast performance guardrails (label: perf-smoke): on a fixed seed the new
+// kernels must not be slower than the retained reference implementations,
+// and the batched R-tree descent must visit at most half the nodes of
+// per-probe searches on a clustered multi-probe workload. Workloads are
+// sized so the expected advantage is an order of magnitude — an assertion
+// failure means a real regression, not timer noise. Meant to run on an
+// optimized build (the `release` CMake preset); the relative comparisons
+// also hold unoptimized, only with more noise.
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/distance.h"
+#include "core/mbr_distance.h"
+#include "core/partitioning.h"
+#include "gen/fractal.h"
+#include "index/rstar_tree.h"
+#include "util/random.h"
+
+namespace mdseq {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+template <typename Fn>
+int64_t TimeNs(Fn&& fn) {
+  const auto start = Clock::now();
+  fn();
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                              start)
+      .count();
+}
+
+// Many small MBRs: the worst case for the naive O(m^2)-per-(probe, j)
+// window enumeration and the best case for the prefix-sum context.
+TEST(PerfSmokeTest, PrefixSumDnormIsNotSlowerThanReference) {
+  Rng rng(7001);
+  const Sequence data = GenerateFractalSequence(1024, FractalOptions(), &rng);
+  PartitioningOptions part;
+  part.max_points = 4;  // ~256 MBRs
+  const Partition target = PartitionSequence(data.View(), part);
+  ASSERT_GE(target.size(), 128u);
+  const Sequence probe_seq =
+      GenerateFractalSequence(128, FractalOptions(), &rng);
+  const Mbr probe = probe_seq.BoundingBox();
+  const std::vector<double> dmbr = ComputeMbrDistances(probe, target);
+  const size_t probe_count = 128;
+
+  double ref_sum = 0.0;
+  const int64_t ref_ns = TimeNs([&] {
+    for (size_t j = 0; j < target.size(); ++j) {
+      ref_sum += ReferenceNormalizedDistance(probe_count, target, j, dmbr)
+                     .distance;
+    }
+  });
+  double fast_sum = 0.0;
+  const int64_t fast_ns = TimeNs([&] {
+    const DnormContext context = MakeDnormContext(target, dmbr);
+    for (size_t j = 0; j < target.size(); ++j) {
+      fast_sum += NormalizedDistance(probe_count, context, j).distance;
+    }
+  });
+  EXPECT_NEAR(fast_sum, ref_sum, 1e-9 * target.size());
+  EXPECT_LE(fast_ns, ref_ns)
+      << "prefix-sum Dnorm slower than the naive reference";
+}
+
+// Clustered probes over a packed tree: the batch descent shares the upper
+// levels, so it must visit at most half the nodes the per-probe searches
+// touch. Node counts are deterministic for a fixed seed.
+TEST(PerfSmokeTest, BatchDescentHalvesNodeVisits) {
+  Rng rng(7002);
+  std::vector<IndexEntry> entries;
+  for (uint64_t i = 0; i < 6000; ++i) {
+    Point low{rng.Uniform(), rng.Uniform(), rng.Uniform()};
+    Point high = low;
+    for (double& v : high) v += 0.02 * rng.Uniform();
+    entries.push_back(IndexEntry{Mbr(low, high), i});
+  }
+  const RStarTree tree = RStarTree::BulkLoad(3, entries);
+
+  // Eight probes clustered in one corner of the space, as the MBRs of one
+  // partitioned query sequence would be.
+  std::vector<Mbr> probes;
+  for (int i = 0; i < 8; ++i) {
+    Point low{0.2 + 0.02 * i, 0.2 + 0.01 * i, 0.2};
+    Point high{low[0] + 0.05, low[1] + 0.05, 0.3};
+    probes.emplace_back(low, high);
+  }
+  const double epsilon = 0.05;
+
+  std::vector<std::vector<SpatialIndex::BatchHit>> batch;
+  const uint64_t batch_visits = tree.RangeSearchBatch(probes, epsilon, &batch);
+  uint64_t single_visits = 0;
+  for (const Mbr& probe : probes) {
+    std::vector<uint64_t> hits;
+    single_visits += tree.RangeSearch(probe, epsilon, &hits);
+  }
+  EXPECT_LE(batch_visits * 2, single_visits)
+      << "batch=" << batch_visits << " singles=" << single_visits;
+}
+
+// A query that matches nowhere: the bounded profile abandons every window
+// after a few points, the unbounded one always pays the full window.
+TEST(PerfSmokeTest, BoundedProfileIsNotSlowerThanReference) {
+  Rng rng(7003);
+  const Sequence data = GenerateFractalSequence(4096, FractalOptions(), &rng);
+  const Sequence raw = GenerateFractalSequence(256, FractalOptions(), &rng);
+  // Push the query far away so every alignment exceeds the threshold early.
+  Sequence query(raw.dim());
+  for (size_t i = 0; i < raw.size(); ++i) {
+    Point shifted(raw.dim());
+    for (size_t t = 0; t < raw.dim(); ++t) shifted[t] = raw[i][t] + 10.0;
+    query.Append(shifted);
+  }
+  const double epsilon = 0.05;
+
+  std::vector<double> ref;
+  const int64_t ref_ns =
+      TimeNs([&] { ref = WindowDistanceProfile(query.View(), data.View()); });
+  std::vector<double> bounded;
+  const int64_t bounded_ns = TimeNs([&] {
+    bounded = WindowDistanceProfileBounded(query.View(), data.View(), epsilon);
+  });
+  ASSERT_EQ(bounded.size(), ref.size());
+  for (size_t j = 0; j < ref.size(); ++j) {
+    EXPECT_GT(ref[j], epsilon);  // nothing qualifies...
+  }
+  EXPECT_LE(bounded_ns, ref_ns)
+      << "bounded profile slower than the unbounded reference";
+}
+
+}  // namespace
+}  // namespace mdseq

@@ -1,0 +1,74 @@
+#!/usr/bin/env bash
+# Runs the kernel microbenchmarks in JSON mode and assembles one baseline
+# file (BENCH_kernels.json by default): the old-vs-new kernel pairs
+# introduced by the hot-path overhaul plus the per-phase timings a full
+# search reports through SearchStats. The summary block at the top records
+# the headline ratios:
+#   - dnorm_speedup_*:       naive window re-accumulation vs prefix-sum
+#                            context on a finely partitioned target,
+#   - rtree_visit_ratio_*:   R-tree nodes visited by per-probe descents vs
+#                            one batched descent (the paper's disk-access
+#                            proxy),
+#   - profile_speedup_*:     unbounded vs threshold-aware window profile on
+#                            non-qualifying candidates.
+#
+# Usage: tools/run_benchmarks.sh [build-dir] [out.json]
+# Build an optimized tree first:  cmake --preset release &&
+#                                 cmake --build --preset release -j
+set -euo pipefail
+
+BUILD_DIR="${1:-build-release}"
+OUT="${2:-BENCH_kernels.json}"
+
+if [[ ! -x "$BUILD_DIR/bench/micro_dnorm" ]]; then
+  echo "error: $BUILD_DIR/bench/micro_dnorm not found or not executable." >&2
+  echo "Build it with: cmake --preset release && cmake --build --preset release -j" >&2
+  exit 1
+fi
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+"$BUILD_DIR/bench/micro_dnorm" --json \
+  --benchmark_filter='DnormManyMbrs|FullSearchPhases' >"$tmp/dnorm.json"
+"$BUILD_DIR/bench/micro_rtree" --json \
+  --benchmark_filter='MultiProbe' >"$tmp/rtree.json"
+"$BUILD_DIR/bench/micro_distance" --json \
+  --benchmark_filter='WindowProfile_' >"$tmp/distance.json"
+
+jq -s '
+  def bench(n): (map(.benchmarks[] | select(.name == n)) | first);
+  {
+    summary: {
+      dnorm_speedup_64:
+        (bench("BM_DnormManyMbrs_Reference/64").real_time /
+         bench("BM_DnormManyMbrs_PrefixSum/64").real_time),
+      dnorm_speedup_256:
+        (bench("BM_DnormManyMbrs_Reference/256").real_time /
+         bench("BM_DnormManyMbrs_PrefixSum/256").real_time),
+      rtree_visit_ratio_8:
+        (bench("BM_RStarMultiProbe_PerQuery/8").node_visits /
+         bench("BM_RStarMultiProbe_Batch/8").node_visits),
+      rtree_visit_ratio_16:
+        (bench("BM_RStarMultiProbe_PerQuery/16").node_visits /
+         bench("BM_RStarMultiProbe_Batch/16").node_visits),
+      profile_speedup_64:
+        (bench("BM_WindowProfile_Unbounded/64").real_time /
+         bench("BM_WindowProfile_Bounded/64").real_time),
+      profile_speedup_256:
+        (bench("BM_WindowProfile_Unbounded/256").real_time /
+         bench("BM_WindowProfile_Bounded/256").real_time)
+    },
+    context: (.[0].context | del(.date, .load_avg)),
+    benchmarks: (map(.benchmarks) | add)
+  }' "$tmp/dnorm.json" "$tmp/rtree.json" "$tmp/distance.json" >"$OUT"
+
+echo "wrote $OUT"
+jq '.summary' "$OUT"
+
+# Regression guardrails mirroring the perf-smoke acceptance bars.
+jq -e '.summary.dnorm_speedup_256 >= 3 and .summary.rtree_visit_ratio_8 >= 2' \
+  "$OUT" >/dev/null || {
+  echo "error: kernel speedups below the acceptance bars (>=3x dnorm, >=2x fewer node visits)" >&2
+  exit 1
+}
