@@ -285,6 +285,24 @@ bool EvaluatePhase3(const Partition& query_partition, size_t query_length,
 
 }  // namespace internal
 
+const char* SearchPhaseName(SearchPhase phase) {
+  switch (phase) {
+    case SearchPhase::kQueued:
+      return "queued";
+    case SearchPhase::kPartition:
+      return "partition";
+    case SearchPhase::kFirstPruning:
+      return "first_pruning";
+    case SearchPhase::kSecondPruning:
+      return "second_pruning";
+    case SearchPhase::kVerify:
+      return "verify";
+    case SearchPhase::kDone:
+      return "done";
+  }
+  return "unknown";
+}
+
 SearchResult SimilaritySearch::Search(SequenceView query,
                                       double epsilon) const {
   return Search(query, epsilon, SearchControl());
@@ -298,6 +316,7 @@ SearchResult SimilaritySearch::Search(SequenceView query, double epsilon,
   SearchResult result;
 
   // Phase 1: one partitioning pass shared by both pruning phases.
+  control.SetPhase(SearchPhase::kPartition);
   Partition query_partition;
   {
     obs::SpanScope span(control.trace, "partition");
@@ -309,10 +328,15 @@ SearchResult SimilaritySearch::Search(SequenceView query, double epsilon,
     span.Arg("query_mbrs", query_partition.size());
   }
 
+  control.SetPhase(SearchPhase::kFirstPruning);
   FirstPruningResult pruned = FirstPruning(
       database_->index(), query_partition, epsilon, &result.stats,
       control.trace);
   result.candidates = pruned.candidates;
+  if (control.progress != nullptr) {
+    control.progress->phase2_candidates.store(result.candidates.size(),
+                                              std::memory_order_relaxed);
+  }
 
   // Phase 3: second pruning with Dnorm plus solution-interval assembly,
   // processing candidates by ascending minimum Dmbr so an interrupted
@@ -320,6 +344,7 @@ SearchResult SimilaritySearch::Search(SequenceView query, double epsilon,
   // candidate — the unit of abandonable work.
   {
     obs::SpanScope span(control.trace, "second_pruning");
+    control.SetPhase(SearchPhase::kSecondPruning);
     const auto start = SteadyClock::now();
     for (size_t slot : CandidateOrder(pruned)) {
       const size_t id = pruned.candidates[slot];
@@ -339,7 +364,13 @@ SearchResult SimilaritySearch::Search(SequenceView query, double epsilon,
       candidate_span.Arg("dnorm_evaluations",
                          result.stats.dnorm_evaluations - evals_before);
       candidate_span.Arg("qualified", qualified ? 1 : 0);
-      if (qualified) result.matches.push_back(std::move(match));
+      if (qualified) {
+        result.matches.push_back(std::move(match));
+        if (control.progress != nullptr) {
+          control.progress->phase3_matches.store(
+              result.matches.size(), std::memory_order_relaxed);
+        }
+      }
     }
     // The result contract keeps matches ascending by id regardless of the
     // processing order.
@@ -360,6 +391,7 @@ SearchResult SimilaritySearch::SearchVerified(SequenceView query,
 SearchResult SimilaritySearch::SearchVerified(
     SequenceView query, double epsilon, const SearchControl& control) const {
   SearchResult result = Search(query, epsilon, control);
+  control.SetPhase(SearchPhase::kVerify);
   obs::SpanScope span(control.trace, "verify");
   const auto start = SteadyClock::now();
   std::vector<SequenceMatch> verified;

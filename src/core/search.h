@@ -112,6 +112,39 @@ struct SearchResult {
   bool interrupted = false;
 };
 
+/// Where a query currently is in the three-phase funnel. The numeric order
+/// matches execution order, so monitoring code may compare values.
+enum class SearchPhase : uint32_t {
+  kQueued = 0,
+  kPartition = 1,
+  kFirstPruning = 2,
+  kSecondPruning = 3,
+  kVerify = 4,
+  kDone = 5,
+};
+
+/// "queued" / "partition" / "first_pruning" / ... — stable names used by
+/// `/debug/active` and the structured log.
+const char* SearchPhaseName(SearchPhase phase);
+
+/// Live progress of one in-flight query, written by the searching thread at
+/// the same instrumentation points `SearchStats` uses and read concurrently
+/// by introspection endpoints. All fields are relaxed atomics: readers get
+/// a coherent *recent* view, not a snapshot — that is enough for a
+/// monitoring probe and costs the hot path one store per phase transition.
+struct QueryProgress {
+  std::atomic<uint32_t> phase{0};
+  std::atomic<uint64_t> phase2_candidates{0};
+  std::atomic<uint64_t> phase3_matches{0};
+
+  void SetPhase(SearchPhase p) {
+    phase.store(static_cast<uint32_t>(p), std::memory_order_relaxed);
+  }
+  SearchPhase CurrentPhase() const {
+    return static_cast<SearchPhase>(phase.load(std::memory_order_relaxed));
+  }
+};
+
 /// Cooperative interruption of a running query: a cancellation flag (shared
 /// with the submitter) and an absolute deadline. Polled at the phase
 /// boundaries of the three-phase search — after Phase 2 and between
@@ -121,6 +154,11 @@ struct SearchResult {
 struct SearchControl {
   /// When non-null and set, the search stops at the next checkpoint.
   const std::atomic<bool>* cancel = nullptr;
+  /// Second cancellation flag, same semantics as `cancel`. The engine wires
+  /// the submitter's token into `cancel` and its own `/debug/cancel`-driven
+  /// flag here, so either party can interrupt the query without sharing a
+  /// token.
+  const std::atomic<bool>* cancel2 = nullptr;
   /// Absolute deadline; `max()` means none.
   std::chrono::steady_clock::time_point deadline =
       std::chrono::steady_clock::time_point::max();
@@ -129,13 +167,23 @@ struct SearchControl {
   /// search runs untraced at full speed. The trace must outlive the call
   /// and is written only by the searching thread.
   obs::Trace* trace = nullptr;
+  /// Optional live-progress sink (see `QueryProgress`). When null — the
+  /// default — progress updates inline to a pointer test.
+  QueryProgress* progress = nullptr;
 
   bool ShouldStop() const {
     if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) {
       return true;
     }
+    if (cancel2 != nullptr && cancel2->load(std::memory_order_relaxed)) {
+      return true;
+    }
     return deadline != std::chrono::steady_clock::time_point::max() &&
            std::chrono::steady_clock::now() >= deadline;
+  }
+
+  void SetPhase(SearchPhase p) const {
+    if (progress != nullptr) progress->SetPhase(p);
   }
 };
 

@@ -1,0 +1,79 @@
+#include "engine/active_query_registry.h"
+
+#include <algorithm>
+
+namespace mdseq {
+
+std::shared_ptr<ActiveQuery> ActiveQueryRegistry::Register(uint64_t id,
+                                                           double epsilon,
+                                                           bool verified) {
+  auto entry = std::make_shared<ActiveQuery>();
+  entry->id = id;
+  entry->epsilon = epsilon;
+  entry->verified = verified;
+  entry->start = std::chrono::steady_clock::now();
+  Shard& shard = ShardFor(id);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  shard.entries[id] = entry;
+  return entry;
+}
+
+void ActiveQueryRegistry::Deregister(uint64_t id) {
+  Shard& shard = ShardFor(id);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  shard.entries.erase(id);
+}
+
+bool ActiveQueryRegistry::Cancel(uint64_t id) {
+  std::shared_ptr<ActiveQuery> entry;
+  {
+    Shard& shard = ShardFor(id);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    auto it = shard.entries.find(id);
+    if (it == shard.entries.end()) return false;
+    entry = it->second;
+  }
+  // Fire outside the shard lock — the flag is its own synchronization.
+  entry->cancel.Cancel();
+  return true;
+}
+
+std::vector<ActiveQueryInfo> ActiveQueryRegistry::Snapshot() const {
+  const auto now = std::chrono::steady_clock::now();
+  std::vector<ActiveQueryInfo> infos;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    for (const auto& [id, entry] : shard.entries) {
+      ActiveQueryInfo info;
+      info.id = entry->id;
+      info.epsilon = entry->epsilon;
+      info.verified = entry->verified;
+      info.elapsed_us = static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              now - entry->start)
+              .count());
+      info.phase = entry->progress.CurrentPhase();
+      info.phase2_candidates =
+          entry->progress.phase2_candidates.load(std::memory_order_relaxed);
+      info.phase3_matches =
+          entry->progress.phase3_matches.load(std::memory_order_relaxed);
+      infos.push_back(info);
+    }
+  }
+  std::sort(infos.begin(), infos.end(),
+            [](const ActiveQueryInfo& a, const ActiveQueryInfo& b) {
+              return a.id < b.id;
+            });
+  return infos;
+}
+
+size_t ActiveQueryRegistry::size() const {
+  size_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    total += shard.entries.size();
+  }
+  return total;
+}
+
+}  // namespace mdseq

@@ -1,0 +1,90 @@
+#ifndef MDSEQ_ENGINE_ACTIVE_QUERY_REGISTRY_H_
+#define MDSEQ_ENGINE_ACTIVE_QUERY_REGISTRY_H_
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "core/search.h"
+#include "engine/cancellation.h"
+
+namespace mdseq {
+
+/// Shared state of one in-flight query, created at submission and released
+/// when the query finishes. The searching worker writes `progress` (relaxed
+/// atomics) while `/debug/active` reads it; `cancel` is the engine-owned
+/// kill switch behind `POST /debug/cancel` — distinct from the submitter's
+/// own token, which stays private to the submitter.
+struct ActiveQuery {
+  uint64_t id = 0;
+  double epsilon = 0.0;
+  bool verified = false;
+  std::chrono::steady_clock::time_point start;
+  QueryProgress progress;
+  CancellationSource cancel;
+};
+
+/// What `/debug/active` reports per in-flight query.
+struct ActiveQueryInfo {
+  uint64_t id = 0;
+  double epsilon = 0.0;
+  bool verified = false;
+  /// Since submission (queue wait included).
+  uint64_t elapsed_us = 0;
+  SearchPhase phase = SearchPhase::kQueued;
+  uint64_t phase2_candidates = 0;
+  uint64_t phase3_matches = 0;
+};
+
+/// Registry of every query between submission and completion, sharded by
+/// query id so concurrent Register/Deregister from many workers spread over
+/// independent locks. Entries are `shared_ptr`s: a snapshot or cancel can
+/// hold one safely even as the query finishes and deregisters.
+///
+/// This is always on in the engine — the per-query cost is two sharded map
+/// operations plus the relaxed progress stores the search already makes —
+/// so `/debug/active` needs no opt-in flag.
+class ActiveQueryRegistry {
+ public:
+  ActiveQueryRegistry() = default;
+  ActiveQueryRegistry(const ActiveQueryRegistry&) = delete;
+  ActiveQueryRegistry& operator=(const ActiveQueryRegistry&) = delete;
+
+  /// Creates and stores the entry for `id` (phase starts at kQueued).
+  std::shared_ptr<ActiveQuery> Register(uint64_t id, double epsilon,
+                                        bool verified);
+
+  /// Drops the entry; no-op for unknown ids (a query rejected at admission
+  /// deregisters through the same path as a served one).
+  void Deregister(uint64_t id);
+
+  /// Fires the engine-side cancellation flag of `id`; false when the query
+  /// is not in flight (already finished, or never existed).
+  bool Cancel(uint64_t id);
+
+  /// Point-in-time copy of every in-flight query, ascending by id. The
+  /// progress fields are relaxed-atomic reads — recent, not transactional.
+  std::vector<ActiveQueryInfo> Snapshot() const;
+
+  size_t size() const;
+
+ private:
+  static constexpr size_t kShards = 16;
+
+  struct Shard {
+    mutable std::mutex mutex;
+    std::unordered_map<uint64_t, std::shared_ptr<ActiveQuery>> entries;
+  };
+
+  Shard& ShardFor(uint64_t id) { return shards_[id % kShards]; }
+  const Shard& ShardFor(uint64_t id) const { return shards_[id % kShards]; }
+
+  Shard shards_[kShards];
+};
+
+}  // namespace mdseq
+
+#endif  // MDSEQ_ENGINE_ACTIVE_QUERY_REGISTRY_H_

@@ -1,0 +1,212 @@
+#include "engine/introspection.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <utility>
+
+#include "obs/json.h"
+#include "obs/trace.h"
+
+namespace mdseq {
+
+namespace {
+
+using obs::http::HttpRequest;
+using obs::http::HttpResponse;
+using obs::http::JsonResponse;
+using obs::http::TextResponse;
+
+void AppendU64(std::string* out, const char* key, uint64_t value) {
+  char buffer[96];
+  std::snprintf(buffer, sizeof(buffer), "\"%s\": %" PRIu64, key, value);
+  out->append(buffer);
+}
+
+void AppendF64(std::string* out, const char* key, double value) {
+  char buffer[96];
+  std::snprintf(buffer, sizeof(buffer), "\"%s\": %.17g", key, value);
+  out->append(buffer);
+}
+
+void AppendBool(std::string* out, const char* key, bool value) {
+  out->append("\"").append(key).append("\": ").append(value ? "true"
+                                                           : "false");
+}
+
+/// Parses the `id` query parameter; false on absent/non-numeric.
+bool ParseId(const HttpRequest& request, uint64_t* id) {
+  auto it = request.params.find("id");
+  if (it == request.params.end() || it->second.empty()) return false;
+  uint64_t value = 0;
+  for (char c : it->second) {
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + static_cast<uint64_t>(c - '0');
+  }
+  *id = value;
+  return true;
+}
+
+}  // namespace
+
+std::string HealthJson(const EngineHealth& health) {
+  std::string out = "{";
+  AppendBool(&out, "accepting", health.accepting);
+  out.append(", ");
+  AppendU64(&out, "workers", health.workers);
+  out.append(", ");
+  AppendU64(&out, "queue_depth", health.queue_depth);
+  out.append(", ");
+  AppendU64(&out, "queue_capacity", health.queue_capacity);
+  out.append(", ");
+  AppendU64(&out, "submitted", health.submitted);
+  out.append(", ");
+  AppendU64(&out, "served", health.served);
+  out.append(", ");
+  AppendU64(&out, "active_queries", health.active_queries);
+  out.append(", ");
+  AppendBool(&out, "disk_backed", health.disk_backed);
+  out.append(", \"buffer_pool\": {");
+  AppendU64(&out, "capacity", health.pool.capacity);
+  out.append(", ");
+  AppendU64(&out, "resident", health.pool.resident);
+  out.append(", ");
+  AppendU64(&out, "pinned", health.pool.pinned);
+  out.append(", ");
+  AppendU64(&out, "dirty", health.pool.dirty);
+  out.append(", ");
+  AppendU64(&out, "hits", health.pool.hits);
+  out.append(", ");
+  AppendU64(&out, "misses", health.pool.misses);
+  out.append(", ");
+  AppendU64(&out, "evictions", health.pool.evictions);
+  out.append("}}\n");
+  return out;
+}
+
+std::string ActiveQueriesJson(const std::vector<ActiveQueryInfo>& queries) {
+  std::string out = "{\"active\": [";
+  bool first = true;
+  for (const ActiveQueryInfo& info : queries) {
+    if (!first) out.push_back(',');
+    first = false;
+    out.append("\n  {");
+    AppendU64(&out, "id", info.id);
+    out.append(", ");
+    AppendF64(&out, "epsilon", info.epsilon);
+    out.append(", ");
+    AppendBool(&out, "verified", info.verified);
+    out.append(", ");
+    AppendU64(&out, "elapsed_us", info.elapsed_us);
+    out.append(", \"phase\": ")
+        .append(obs::JsonQuote(SearchPhaseName(info.phase)))
+        .append(", ");
+    AppendU64(&out, "phase2_candidates", info.phase2_candidates);
+    out.append(", ");
+    AppendU64(&out, "phase3_matches", info.phase3_matches);
+    out.push_back('}');
+  }
+  out.append(first ? "]}\n" : "\n]}\n");
+  return out;
+}
+
+std::string SlowQueriesJson(const std::vector<SlowQueryRecord>& records) {
+  std::string out = "{\"slow\": [";
+  bool first = true;
+  for (const SlowQueryRecord& record : records) {
+    if (!first) out.push_back(',');
+    first = false;
+    out.append("\n  {");
+    AppendU64(&out, "id", record.id);
+    out.append(", \"status\": ")
+        .append(obs::JsonQuote(record.status))
+        .append(", ");
+    AppendU64(&out, "latency_us", record.latency_us);
+    out.append(", ");
+    AppendF64(&out, "epsilon", record.epsilon);
+    out.append(", ");
+    AppendBool(&out, "verified", record.verified);
+    out.append(", ");
+    AppendF64(&out, "unix_ts", record.unix_ts);
+    out.append(", ");
+    AppendU64(&out, "matches", record.matches);
+    out.append(", ");
+    AppendU64(&out, "node_accesses", record.stats.node_accesses);
+    out.append(", ");
+    AppendU64(&out, "phase2_candidates", record.stats.phase2_candidates);
+    out.append(", ");
+    AppendU64(&out, "phase3_matches", record.stats.phase3_matches);
+    out.append(", ");
+    AppendU64(&out, "dnorm_evaluations", record.stats.dnorm_evaluations);
+    out.append(", ");
+    AppendU64(&out, "page_misses", record.stats.page_misses);
+    out.append(", ");
+    AppendU64(&out, "partition_ns", record.stats.partition_ns);
+    out.append(", ");
+    AppendU64(&out, "first_pruning_ns", record.stats.first_pruning_ns);
+    out.append(", ");
+    AppendU64(&out, "second_pruning_ns", record.stats.second_pruning_ns);
+    out.append(", ");
+    AppendU64(&out, "verify_ns", record.stats.verify_ns);
+    out.push_back('}');
+  }
+  out.append(first ? "]}\n" : "\n]}\n");
+  return out;
+}
+
+void RegisterEngineEndpoints(obs::http::HttpServer* server,
+                             QueryEngine* engine) {
+  server->Handle("GET", "/metrics", [engine](const HttpRequest&) {
+    obs::MetricsRegistry* registry = engine->metrics_registry();
+    if (registry == nullptr) {
+      return TextResponse(503, "no metrics registry installed\n");
+    }
+    HttpResponse response;
+    response.content_type = "text/plain; version=0.0.4; charset=utf-8";
+    response.body = registry->PrometheusText();
+    return response;
+  });
+
+  server->Handle("GET", "/healthz", [engine](const HttpRequest&) {
+    return JsonResponse(200, HealthJson(engine->Health()));
+  });
+
+  server->Handle("GET", "/debug/active", [engine](const HttpRequest&) {
+    return JsonResponse(200, ActiveQueriesJson(engine->ActiveQueries()));
+  });
+
+  server->Handle("POST", "/debug/cancel",
+                 [engine](const HttpRequest& request) {
+                   uint64_t id = 0;
+                   if (!ParseId(request, &id)) {
+                     return TextResponse(
+                         400, "missing or malformed id parameter\n");
+                   }
+                   if (!engine->CancelQuery(id)) {
+                     return TextResponse(404, "query not in flight\n");
+                   }
+                   std::string body = "{";
+                   AppendU64(&body, "cancelled_id", id);
+                   body.append("}\n");
+                   return JsonResponse(200, std::move(body));
+                 });
+
+  server->Handle("GET", "/debug/slow", [engine](const HttpRequest&) {
+    return JsonResponse(200, SlowQueriesJson(engine->SlowQueries()));
+  });
+
+  server->Handle("GET", "/debug/trace", [engine](const HttpRequest& request) {
+    uint64_t id = 0;
+    if (!ParseId(request, &id)) {
+      return TextResponse(400, "missing or malformed id parameter\n");
+    }
+    std::vector<obs::Trace> traces = engine->SnapshotTraces(id);
+    if (traces.empty()) {
+      return TextResponse(404,
+                          "no trace for that id (tracing off, trace "
+                          "evicted, or query still running)\n");
+    }
+    return JsonResponse(200, obs::ChromeTraceJson(traces));
+  });
+}
+
+}  // namespace mdseq

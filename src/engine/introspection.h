@@ -1,0 +1,35 @@
+#ifndef MDSEQ_ENGINE_INTROSPECTION_H_
+#define MDSEQ_ENGINE_INTROSPECTION_H_
+
+#include <string>
+#include <vector>
+
+#include "engine/query_engine.h"
+#include "obs/http/server.h"
+
+namespace mdseq {
+
+/// Wires the engine's introspection endpoints onto `server` (registered,
+/// not started — the engine starts the server afterwards):
+///
+///   GET  /metrics          Prometheus text exposition of the registry
+///   GET  /healthz          liveness + queue/worker/buffer-pool state
+///   GET  /debug/active     in-flight queries with phase + progress
+///   POST /debug/cancel?id= fire a query's engine-side cancellation flag
+///   GET  /debug/slow       the slow-query ring, newest first
+///   GET  /debug/trace?id=  Chrome trace JSON for one traced query
+///
+/// The engine must outlive the server. Handlers only touch the engine's
+/// thread-safe surface (atomics, internally locked snapshots), so they are
+/// safe to run while queries execute.
+void RegisterEngineEndpoints(obs::http::HttpServer* server,
+                             QueryEngine* engine);
+
+/// JSON renderers behind the endpoints, exposed for tests and the CLI.
+std::string HealthJson(const EngineHealth& health);
+std::string ActiveQueriesJson(const std::vector<ActiveQueryInfo>& queries);
+std::string SlowQueriesJson(const std::vector<SlowQueryRecord>& records);
+
+}  // namespace mdseq
+
+#endif  // MDSEQ_ENGINE_INTROSPECTION_H_

@@ -1,8 +1,11 @@
 #include "engine/query_engine.h"
 
+#include <ctime>
 #include <optional>
 #include <utility>
 
+#include "engine/introspection.h"
+#include "obs/log.h"
 #include "util/check.h"
 
 namespace mdseq {
@@ -10,6 +13,13 @@ namespace mdseq {
 namespace {
 
 using Clock = std::chrono::steady_clock;
+
+double UnixNowSeconds() {
+  std::timespec ts{};
+  std::timespec_get(&ts, TIME_UTC);
+  return static_cast<double>(ts.tv_sec) +
+         static_cast<double>(ts.tv_nsec) / 1e9;
+}
 
 ThreadPool::Options PoolOptions(const EngineOptions& options) {
   ThreadPool::Options pool;
@@ -21,6 +31,22 @@ ThreadPool::Options PoolOptions(const EngineOptions& options) {
 }
 
 }  // namespace
+
+const char* QueryStatusName(QueryStatus status) {
+  switch (status) {
+    case QueryStatus::kOk:
+      return "ok";
+    case QueryStatus::kRejected:
+      return "rejected";
+    case QueryStatus::kShed:
+      return "shed";
+    case QueryStatus::kDeadlineExpired:
+      return "deadline_expired";
+    case QueryStatus::kCancelled:
+      return "cancelled";
+  }
+  return "unknown";
+}
 
 /// Everything a queued query carries: the payload, its promise, and the
 /// timing/cancellation context. Shared between the run and shed callbacks
@@ -34,6 +60,10 @@ struct QueryEngine::Pending {
   uint64_t id = 0;
   Clock::time_point submit_time;
   Clock::time_point deadline = Clock::time_point::max();
+  /// This query's entry in the active-query registry, and a token on its
+  /// engine-side cancellation flag (fired by `CancelQuery`).
+  std::shared_ptr<ActiveQuery> active;
+  CancellationToken engine_cancel;
   std::promise<QueryOutcome> promise;
 };
 
@@ -60,6 +90,9 @@ struct QueryEngine::Metrics {
   obs::Counter* verify_ns;
   obs::Histogram* latency_seconds;
   obs::Gauge* queue_depth;
+  obs::Gauge* queries_active;
+  obs::Counter* traces_dropped;
+  obs::Counter* slow_queries;
 };
 
 QueryEngine::QueryEngine(const SequenceDatabase* database,
@@ -70,6 +103,7 @@ QueryEngine::QueryEngine(const SequenceDatabase* database,
       pool_(std::make_unique<ThreadPool>(PoolOptions(options))) {
   MDSEQ_CHECK(database != nullptr);
   InstallObservers(options);
+  StartIntrospection(options);
 }
 
 QueryEngine::QueryEngine(const DiskDatabase* database,
@@ -79,6 +113,7 @@ QueryEngine::QueryEngine(const DiskDatabase* database,
   MDSEQ_CHECK(database != nullptr);
   MDSEQ_CHECK(database->valid());
   InstallObservers(options);
+  StartIntrospection(options);
 }
 
 void QueryEngine::InstallObservers(const EngineOptions& options) {
@@ -86,8 +121,20 @@ void QueryEngine::InstallObservers(const EngineOptions& options) {
     traces_ = std::make_unique<obs::TraceStore>(options.trace_capacity,
                                                 pool_->num_threads());
   }
-  if (options.metrics == nullptr) return;
-  obs::MetricsRegistry* reg = options.metrics;
+  if (options.slow_query_threshold.count() > 0) {
+    slow_ = std::make_unique<SlowQueryLog>(options.slow_query_threshold,
+                                           options.slow_query_capacity);
+  }
+  registry_ = options.metrics;
+  if (registry_ == nullptr && options.listen_port >= 0) {
+    // The caller asked for a live /metrics endpoint without supplying a
+    // registry: create and own one so the endpoint always has data.
+    owned_registry_ = std::make_unique<obs::MetricsRegistry>();
+    registry_ = owned_registry_.get();
+  }
+  if (registry_ == nullptr) return;
+  obs::MetricsRegistry* reg = registry_;
+  obs::RegisterBuildInfo(reg);
   auto metrics = std::make_unique<Metrics>();
   metrics->submitted = reg->GetCounter(
       "mdseq_queries_submitted_total", "Queries submitted to the engine");
@@ -139,10 +186,42 @@ void QueryEngine::InstallObservers(const EngineOptions& options) {
       obs::DefaultLatencyBoundsSeconds());
   metrics->queue_depth = reg->GetGauge("mdseq_engine_queue_depth",
                                        "Admission queue depth");
+  metrics->queries_active = reg->GetGauge(
+      "mdseq_queries_active", "Queries between submission and completion");
+  metrics->traces_dropped = reg->GetCounter(
+      "mdseq_traces_dropped_total",
+      "Traces evicted because the trace store was full");
+  metrics->slow_queries = reg->GetCounter(
+      "mdseq_slow_queries_total",
+      "Served queries exceeding the slow-query latency threshold");
   metrics_ = std::move(metrics);
 }
 
-QueryEngine::~QueryEngine() { Shutdown(); }
+void QueryEngine::StartIntrospection(const EngineOptions& options) {
+  if (options.listen_port < 0) return;
+  MDSEQ_CHECK(options.listen_port <= 65535);
+  obs::http::HttpServer::Options server_options;
+  server_options.port = static_cast<uint16_t>(options.listen_port);
+  server_ = std::make_unique<obs::http::HttpServer>(server_options);
+  RegisterEngineEndpoints(server_.get(), this);
+  if (!server_->Start()) {
+    obs::Logger::Global()
+        .Error("introspection_bind_failed")
+        .I64("port", options.listen_port);
+    server_.reset();
+    return;
+  }
+  obs::Logger::Global()
+      .Info("introspection_listening")
+      .U64("port", server_->port());
+}
+
+QueryEngine::~QueryEngine() {
+  // The server's handlers walk engine state; take it down before anything
+  // else is torn up.
+  server_.reset();
+  Shutdown();
+}
 
 std::future<QueryOutcome> QueryEngine::Submit(Sequence query,
                                               const QueryOptions& options) {
@@ -154,7 +233,14 @@ std::future<QueryOutcome> QueryEngine::Submit(Sequence query,
   }
   std::future<QueryOutcome> future = pending->promise.get_future();
   pending->id = submitted_.fetch_add(1, std::memory_order_relaxed) + 1;
-  if (metrics_ != nullptr) metrics_->submitted->Increment();
+  // Visible in /debug/active (phase "queued") from this point until Finish.
+  pending->active =
+      active_.Register(pending->id, options.epsilon, options.verified);
+  pending->engine_cancel = pending->active->cancel.token();
+  if (metrics_ != nullptr) {
+    metrics_->submitted->Increment();
+    metrics_->queries_active->Set(static_cast<double>(active_.size()));
+  }
 
   PoolTask task;
   task.run = [this, pending] { Execute(pending); };
@@ -179,7 +265,10 @@ std::vector<std::future<QueryOutcome>> QueryEngine::SubmitBatch(
 
 void QueryEngine::Start() { pool_->Start(); }
 
-void QueryEngine::Shutdown() { pool_->Shutdown(); }
+void QueryEngine::Shutdown() {
+  accepting_.store(false, std::memory_order_release);
+  pool_->Shutdown();
+}
 
 SearchResult QueryEngine::RunSearch(SequenceView query,
                                     const QueryOptions& options,
@@ -198,8 +287,10 @@ SearchResult QueryEngine::RunSearch(SequenceView query,
 
 void QueryEngine::Execute(const std::shared_ptr<Pending>& pending) {
   // Admission-to-execution checkpoint: a query that waited out its budget
-  // (or was cancelled while queued) is dropped before any search work.
-  if (pending->options.cancel.cancelled()) {
+  // (or was cancelled while queued — by the submitter's token or by
+  // /debug/cancel) is dropped before any search work.
+  if (pending->options.cancel.cancelled() ||
+      pending->engine_cancel.cancelled()) {
     Finish(pending, QueryStatus::kCancelled, SearchResult());
     return;
   }
@@ -210,7 +301,9 @@ void QueryEngine::Execute(const std::shared_ptr<Pending>& pending) {
 
   SearchControl control;
   control.cancel = pending->options.cancel.flag();
+  control.cancel2 = pending->engine_cancel.flag();
   control.deadline = pending->deadline;
+  control.progress = &pending->active->progress;
 
   // With a collector installed, record this query's phase spans; the trace
   // is written by this worker only and handed to the sharded store at the
@@ -231,12 +324,19 @@ void QueryEngine::Execute(const std::shared_ptr<Pending>& pending) {
     query_span.Arg("matches", result.matches.size());
     query_span.Arg("interrupted", result.interrupted ? 1 : 0);
   }
-  if (trace.has_value()) traces_->Add(std::move(*trace));
+  if (trace.has_value()) {
+    const bool evicted = traces_->Add(std::move(*trace));
+    if (evicted && metrics_ != nullptr) {
+      metrics_->traces_dropped->Increment();
+    }
+  }
 
   QueryStatus status = QueryStatus::kOk;
   if (result.interrupted) {
-    // Cancellation wins the tie: it is the submitter's explicit signal.
-    status = pending->options.cancel.cancelled()
+    // Cancellation wins the tie: it is an explicit signal (from the
+    // submitter's token or the engine's /debug/cancel flag).
+    status = pending->options.cancel.cancelled() ||
+                     pending->engine_cancel.cancelled()
                  ? QueryStatus::kCancelled
                  : QueryStatus::kDeadlineExpired;
   }
@@ -350,6 +450,67 @@ void QueryEngine::Finish(const std::shared_ptr<Pending>& pending,
         static_cast<double>(pool_->queue_depth()));
   }
 
+  active_.Deregister(pending->id);
+  if (metrics_ != nullptr) {
+    metrics_->queries_active->Set(static_cast<double>(active_.size()));
+  }
+
+  // Anomalous outcomes go to the structured log; kOk stays silent unless
+  // slow. Rejected/shed queries never ran, so they are admission events,
+  // not slow queries.
+  const uint64_t latency_us = static_cast<uint64_t>(outcome.latency.count());
+  obs::Logger& log = obs::Logger::Global();
+  switch (status) {
+    case QueryStatus::kOk:
+      break;
+    case QueryStatus::kRejected:
+      log.Info("query_rejected")
+          .U64("query_id", pending->id)
+          .U64("queue_depth", pool_->queue_depth());
+      break;
+    case QueryStatus::kShed:
+      log.Info("query_shed")
+          .U64("query_id", pending->id)
+          .U64("wait_us", latency_us);
+      break;
+    case QueryStatus::kDeadlineExpired:
+      log.Info("query_deadline_expired")
+          .U64("query_id", pending->id)
+          .U64("latency_us", latency_us)
+          .Bool("ran", outcome.result.interrupted);
+      break;
+    case QueryStatus::kCancelled:
+      log.Info("query_cancelled")
+          .U64("query_id", pending->id)
+          .U64("latency_us", latency_us)
+          .Bool("ran", outcome.result.interrupted);
+      break;
+  }
+  const bool ran = status != QueryStatus::kRejected &&
+                   status != QueryStatus::kShed;
+  if (slow_ != nullptr && ran && slow_->IsSlow(outcome.latency)) {
+    SlowQueryRecord record;
+    record.id = pending->id;
+    record.status = QueryStatusName(status);
+    record.latency_us = latency_us;
+    record.epsilon = pending->options.epsilon;
+    record.verified = pending->options.verified;
+    record.unix_ts = UnixNowSeconds();
+    record.stats = outcome.result.stats;
+    record.matches = outcome.result.matches.size();
+    slow_->Record(std::move(record));
+    if (metrics_ != nullptr) metrics_->slow_queries->Increment();
+    log.Warn("slow_query")
+        .U64("query_id", pending->id)
+        .Str("status", QueryStatusName(status))
+        .U64("latency_us", latency_us)
+        .U64("threshold_us",
+             static_cast<uint64_t>(slow_->threshold().count()))
+        .U64("phase2_candidates", outcome.result.stats.phase2_candidates)
+        .U64("phase3_matches", outcome.result.stats.phase3_matches)
+        .U64("dnorm_evaluations", outcome.result.stats.dnorm_evaluations);
+  }
+
   pending->promise.set_value(std::move(outcome));
 }
 
@@ -384,6 +545,36 @@ EngineStats QueryEngine::stats() const {
 std::vector<obs::Trace> QueryEngine::TakeTraces() {
   if (traces_ == nullptr) return {};
   return traces_->Take();
+}
+
+std::vector<obs::Trace> QueryEngine::SnapshotTraces(uint64_t query_id) const {
+  if (traces_ == nullptr) return {};
+  return traces_->Snapshot(query_id);
+}
+
+std::vector<SlowQueryRecord> QueryEngine::SlowQueries() const {
+  if (slow_ == nullptr) return {};
+  return slow_->Snapshot();
+}
+
+EngineHealth QueryEngine::Health() const {
+  EngineHealth health;
+  health.accepting = accepting_.load(std::memory_order_acquire);
+  health.workers = pool_->num_threads();
+  health.queue_depth = pool_->queue_depth();
+  health.queue_capacity = pool_->queue_capacity();
+  health.submitted = submitted_.load(std::memory_order_relaxed);
+  health.served = served_.load(std::memory_order_relaxed);
+  health.active_queries = active_.size();
+  if (disk_database_ != nullptr) {
+    health.disk_backed = true;
+    health.pool = disk_database_->pool().Health();
+  }
+  return health;
+}
+
+int QueryEngine::introspection_port() const {
+  return server_ != nullptr ? static_cast<int>(server_->port()) : -1;
 }
 
 }  // namespace mdseq

@@ -9,12 +9,16 @@
 #include <vector>
 
 #include "core/search.h"
+#include "engine/active_query_registry.h"
 #include "engine/cancellation.h"
 #include "engine/latency_histogram.h"
+#include "engine/slow_query_log.h"
 #include "engine/thread_pool.h"
 #include "geom/sequence.h"
+#include "obs/http/server.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "storage/buffer_pool.h"
 #include "storage/disk_database.h"
 
 namespace mdseq {
@@ -35,6 +39,10 @@ enum class QueryStatus {
   /// Cancellation token fired — either while queued or mid-search.
   kCancelled,
 };
+
+/// Stable lowercase name ("ok", "rejected", "shed", "deadline_expired",
+/// "cancelled") for logs and introspection endpoints.
+const char* QueryStatusName(QueryStatus status);
 
 /// What the submitter's future resolves to.
 struct QueryOutcome {
@@ -78,10 +86,37 @@ struct EngineOptions {
   /// the engine's own atomics.
   obs::MetricsRegistry* metrics = nullptr;
   /// When non-zero, keep a per-query phase trace for up to this many
-  /// completed queries (bounded, sharded per worker; overflow traces are
-  /// dropped and counted). Drain with `TakeTraces`. Zero = tracing off,
+  /// completed queries (bounded, sharded per worker; each full shard evicts
+  /// its oldest trace, counted in `mdseq_traces_dropped_total`). Drain with
+  /// `TakeTraces` or probe live via `/debug/trace?id=`. Zero = tracing off,
   /// queries run with a null trace sink (inlined no-op).
   size_t trace_capacity = 0;
+  /// Live introspection HTTP server (see src/obs/http/ and
+  /// docs/observability.md): -1 (default) = no server, 0 = bind an
+  /// ephemeral loopback port (read it back via `introspection_port()`),
+  /// 1..65535 = bind that port. When enabled without a `metrics` registry
+  /// the engine creates and owns one so `/metrics` always has data.
+  int listen_port = -1;
+  /// Served queries at or above this latency land in the slow-query ring
+  /// (`/debug/slow`) and the structured log. Zero disables the ring.
+  std::chrono::microseconds slow_query_threshold{0};
+  /// Entries kept in the slow-query ring (oldest evicted first).
+  size_t slow_query_capacity = 64;
+};
+
+/// What `GET /healthz` reports: liveness and the capacity picture.
+struct EngineHealth {
+  /// False once `Shutdown` began — a load balancer should drain.
+  bool accepting = false;
+  size_t workers = 0;
+  size_t queue_depth = 0;
+  size_t queue_capacity = 0;
+  uint64_t submitted = 0;
+  uint64_t served = 0;
+  size_t active_queries = 0;
+  /// Buffer-pool occupancy; all-zero for in-memory databases.
+  bool disk_backed = false;
+  BufferPoolHealth pool;
 };
 
 /// Point-in-time copy of the engine-wide counters. The per-phase totals
@@ -174,11 +209,43 @@ class QueryEngine {
   /// running; traces of in-flight queries land in a later drain.
   std::vector<obs::Trace> TakeTraces();
 
+  /// Copies (without draining) the stored traces of one query — the
+  /// `/debug/trace?id=` path. Empty when tracing is off or nothing matches.
+  std::vector<obs::Trace> SnapshotTraces(uint64_t query_id) const;
+
+  /// Every query currently between submission and completion, with its
+  /// live phase/candidate counters. Always available (the registry is not
+  /// gated on the introspection server).
+  std::vector<ActiveQueryInfo> ActiveQueries() const {
+    return active_.Snapshot();
+  }
+
+  /// Fires the engine-side cancellation flag of an in-flight query (the
+  /// `POST /debug/cancel` path — independent of the submitter's own
+  /// token). False when the id is not in flight.
+  bool CancelQuery(uint64_t id) { return active_.Cancel(id); }
+
+  /// Recent slow queries, newest first; empty when
+  /// `EngineOptions::slow_query_threshold` is zero.
+  std::vector<SlowQueryRecord> SlowQueries() const;
+
+  /// Liveness/capacity snapshot for `/healthz`.
+  EngineHealth Health() const;
+
+  /// Bound port of the embedded introspection server, or -1 when disabled
+  /// (including bind failure at construction).
+  int introspection_port() const;
+
+  /// The registry the engine reports into: the caller-supplied one, the
+  /// engine-owned one created for the introspection server, or null.
+  obs::MetricsRegistry* metrics_registry() const { return registry_; }
+
  private:
   struct Pending;
   struct Metrics;
 
   void InstallObservers(const EngineOptions& options);
+  void StartIntrospection(const EngineOptions& options);
   void Execute(const std::shared_ptr<Pending>& pending);
   void Finish(const std::shared_ptr<Pending>& pending, QueryStatus status,
               SearchResult result);
@@ -189,6 +256,7 @@ class QueryEngine {
   const DiskDatabase* disk_database_ = nullptr;
   std::unique_ptr<SimilaritySearch> memory_search_;
   std::unique_ptr<ThreadPool> pool_;
+  std::atomic<bool> accepting_{true};
 
   std::atomic<uint64_t> submitted_{0};
   std::atomic<uint64_t> served_{0};
@@ -209,10 +277,22 @@ class QueryEngine {
   std::atomic<uint64_t> verify_ns_{0};
   LatencyHistogram latency_;
 
-  /// Handles into the user-supplied registry; null when none installed.
+  /// Handles into the registry; null when none installed.
   std::unique_ptr<Metrics> metrics_;
   /// Bounded per-query trace collection; null when tracing is off.
   std::unique_ptr<obs::TraceStore> traces_;
+
+  /// In-flight query tracking (always on) and the slow-query ring
+  /// (threshold-gated).
+  ActiveQueryRegistry active_;
+  std::unique_ptr<SlowQueryLog> slow_;
+  /// Registry the engine reports into — `owned_registry_` backs it when the
+  /// caller enabled the server without supplying one.
+  std::unique_ptr<obs::MetricsRegistry> owned_registry_;
+  obs::MetricsRegistry* registry_ = nullptr;
+  /// The embedded introspection server; null when `listen_port` is -1 or
+  /// the bind failed.
+  std::unique_ptr<obs::http::HttpServer> server_;
 };
 
 }  // namespace mdseq

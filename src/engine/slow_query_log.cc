@@ -1,0 +1,28 @@
+#include "engine/slow_query_log.h"
+
+#include <algorithm>
+
+namespace mdseq {
+
+SlowQueryLog::SlowQueryLog(std::chrono::microseconds threshold,
+                           size_t capacity)
+    : threshold_(threshold), capacity_(std::max<size_t>(1, capacity)) {}
+
+void SlowQueryLog::Record(SlowQueryRecord record) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++total_;
+  if (ring_.size() >= capacity_) ring_.pop_front();
+  ring_.push_back(std::move(record));
+}
+
+std::vector<SlowQueryRecord> SlowQueryLog::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return std::vector<SlowQueryRecord>(ring_.rbegin(), ring_.rend());
+}
+
+uint64_t SlowQueryLog::total_recorded() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return total_;
+}
+
+}  // namespace mdseq

@@ -1,0 +1,69 @@
+#ifndef MDSEQ_ENGINE_SLOW_QUERY_LOG_H_
+#define MDSEQ_ENGINE_SLOW_QUERY_LOG_H_
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "core/search.h"
+
+namespace mdseq {
+
+/// One entry of the slow-query ring: identity, outcome, and the
+/// EXPLAIN-style per-phase counters of a query that exceeded the latency
+/// threshold.
+struct SlowQueryRecord {
+  uint64_t id = 0;
+  /// Stable status name ("ok", "deadline_expired", ...) — a literal from
+  /// `QueryStatusName`, never freed.
+  const char* status = "ok";
+  uint64_t latency_us = 0;
+  double epsilon = 0.0;
+  bool verified = false;
+  /// Wall-clock seconds since the Unix epoch at completion, for
+  /// correlating with external logs.
+  double unix_ts = 0.0;
+  SearchStats stats;
+  size_t matches = 0;
+};
+
+/// Fixed-capacity ring of the most recent slow queries — the `/debug/slow`
+/// backing store. Mutex-guarded: `Record` runs once per *slow* query (rare
+/// by definition), so a plain lock beats clever lock-free structure here.
+class SlowQueryLog {
+ public:
+  SlowQueryLog(std::chrono::microseconds threshold, size_t capacity);
+
+  SlowQueryLog(const SlowQueryLog&) = delete;
+  SlowQueryLog& operator=(const SlowQueryLog&) = delete;
+
+  /// True when the latency qualifies as slow (callers gate on this before
+  /// building a record).
+  bool IsSlow(std::chrono::microseconds latency) const {
+    return latency >= threshold_;
+  }
+
+  void Record(SlowQueryRecord record);
+
+  /// Most recent first.
+  std::vector<SlowQueryRecord> Snapshot() const;
+
+  /// Slow queries seen since construction (>= what the ring still holds).
+  uint64_t total_recorded() const;
+
+  std::chrono::microseconds threshold() const { return threshold_; }
+  size_t capacity() const { return capacity_; }
+
+ private:
+  const std::chrono::microseconds threshold_;
+  const size_t capacity_;
+  mutable std::mutex mutex_;
+  std::deque<SlowQueryRecord> ring_;
+  uint64_t total_ = 0;
+};
+
+}  // namespace mdseq
+
+#endif  // MDSEQ_ENGINE_SLOW_QUERY_LOG_H_

@@ -1,0 +1,430 @@
+#include "obs/http/server.h"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <cstdio>
+#include <cstring>
+#include <string_view>
+#include <utility>
+
+namespace mdseq::obs::http {
+
+namespace {
+
+constexpr std::string_view kCrlfCrlf = "\r\n\r\n";
+
+const char* StatusReason(int status) {
+  switch (status) {
+    case 200:
+      return "OK";
+    case 400:
+      return "Bad Request";
+    case 404:
+      return "Not Found";
+    case 405:
+      return "Method Not Allowed";
+    case 413:
+      return "Payload Too Large";
+    case 431:
+      return "Request Header Fields Too Large";
+    case 500:
+      return "Internal Server Error";
+    case 503:
+      return "Service Unavailable";
+    default:
+      return "Unknown";
+  }
+}
+
+void SetNonBlocking(int fd) {
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+void CloseFd(int* fd) {
+  if (*fd >= 0) {
+    ::close(*fd);
+    *fd = -1;
+  }
+}
+
+int HexValue(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+// application/x-www-form-urlencoded decoding: '+' is space, %XX is a byte.
+// Malformed escapes are kept literally rather than rejected — introspection
+// clients are trusted, and a lenient parse beats a useless 400.
+std::string UrlDecode(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (size_t i = 0; i < text.size(); ++i) {
+    char c = text[i];
+    if (c == '+') {
+      out.push_back(' ');
+    } else if (c == '%' && i + 2 < text.size() && HexValue(text[i + 1]) >= 0 &&
+               HexValue(text[i + 2]) >= 0) {
+      out.push_back(static_cast<char>(HexValue(text[i + 1]) * 16 +
+                                      HexValue(text[i + 2])));
+      i += 2;
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+void ParseQueryString(std::string_view query,
+                      std::map<std::string, std::string>* params) {
+  size_t start = 0;
+  while (start <= query.size()) {
+    size_t end = query.find('&', start);
+    if (end == std::string_view::npos) end = query.size();
+    std::string_view pair = query.substr(start, end - start);
+    if (!pair.empty()) {
+      size_t eq = pair.find('=');
+      if (eq == std::string_view::npos) {
+        (*params)[UrlDecode(pair)] = "";
+      } else {
+        (*params)[UrlDecode(pair.substr(0, eq))] =
+            UrlDecode(pair.substr(eq + 1));
+      }
+    }
+    start = end + 1;
+  }
+}
+
+// Parses the request line + headers in `head` (which excludes the blank
+// line). Returns false on a malformed request line. Only Content-Length is
+// extracted; other headers are ignored.
+bool ParseHead(std::string_view head, HttpRequest* request,
+               size_t* content_length) {
+  size_t line_end = head.find("\r\n");
+  std::string_view request_line =
+      line_end == std::string_view::npos ? head : head.substr(0, line_end);
+
+  size_t method_end = request_line.find(' ');
+  if (method_end == std::string_view::npos) return false;
+  size_t target_end = request_line.find(' ', method_end + 1);
+  if (target_end == std::string_view::npos) return false;
+  request->method = std::string(request_line.substr(0, method_end));
+  std::string_view target =
+      request_line.substr(method_end + 1, target_end - method_end - 1);
+  if (target.empty() || target[0] != '/') return false;
+
+  size_t question = target.find('?');
+  if (question == std::string_view::npos) {
+    request->path = std::string(target);
+  } else {
+    request->path = std::string(target.substr(0, question));
+    ParseQueryString(target.substr(question + 1), &request->params);
+  }
+
+  *content_length = 0;
+  size_t pos = line_end == std::string_view::npos ? head.size() : line_end + 2;
+  while (pos < head.size()) {
+    size_t eol = head.find("\r\n", pos);
+    if (eol == std::string_view::npos) eol = head.size();
+    std::string_view line = head.substr(pos, eol - pos);
+    size_t colon = line.find(':');
+    if (colon != std::string_view::npos) {
+      std::string name(line.substr(0, colon));
+      for (char& c : name) c = static_cast<char>(std::tolower(c));
+      if (name == "content-length") {
+        std::string_view value = line.substr(colon + 1);
+        while (!value.empty() && value.front() == ' ') value.remove_prefix(1);
+        size_t length = 0;
+        for (char c : value) {
+          if (c < '0' || c > '9') break;
+          length = length * 10 + static_cast<size_t>(c - '0');
+        }
+        *content_length = length;
+      }
+    }
+    pos = eol + 2;
+  }
+  return true;
+}
+
+}  // namespace
+
+HttpResponse TextResponse(int status, std::string body) {
+  HttpResponse response;
+  response.status = status;
+  response.body = std::move(body);
+  return response;
+}
+
+HttpResponse JsonResponse(int status, std::string body) {
+  HttpResponse response;
+  response.status = status;
+  response.content_type = "application/json";
+  response.body = std::move(body);
+  return response;
+}
+
+struct HttpServer::Connection {
+  int fd = -1;
+  std::string in;
+  std::string out;
+  size_t out_pos = 0;
+  // Head parsed, waiting for the rest of the body.
+  bool have_head = false;
+  size_t body_start = 0;
+  size_t content_length = 0;
+  HttpRequest request;
+  // Response queued; once flushed the connection closes.
+  bool responding = false;
+
+  ~Connection() { CloseFd(&fd); }
+};
+
+HttpServer::HttpServer(const Options& options) : options_(options) {}
+
+HttpServer::~HttpServer() { Stop(); }
+
+void HttpServer::Handle(const std::string& method, const std::string& path,
+                        Handler handler) {
+  handlers_[{method, path}] = std::move(handler);
+}
+
+bool HttpServer::Start() {
+  if (running_.load(std::memory_order_acquire)) return true;
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return false;
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(options_.port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+          0 ||
+      ::listen(listen_fd_, 64) != 0) {
+    CloseFd(&listen_fd_);
+    return false;
+  }
+
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                    &bound_len) == 0) {
+    port_.store(ntohs(bound.sin_port), std::memory_order_release);
+  }
+
+  if (::pipe(wake_fds_) != 0) {
+    CloseFd(&listen_fd_);
+    return false;
+  }
+  SetNonBlocking(wake_fds_[0]);
+  SetNonBlocking(listen_fd_);
+
+  stop_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { Serve(); });
+  return true;
+}
+
+void HttpServer::Stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  stop_.store(true, std::memory_order_release);
+  char byte = 'x';
+  // Best-effort wake; the poll loop also times out periodically.
+  (void)!::write(wake_fds_[1], &byte, 1);
+  if (thread_.joinable()) thread_.join();
+  connections_.clear();
+  CloseFd(&listen_fd_);
+  CloseFd(&wake_fds_[0]);
+  CloseFd(&wake_fds_[1]);
+}
+
+void HttpServer::Serve() {
+  std::vector<pollfd> fds;
+  while (!stop_.load(std::memory_order_acquire)) {
+    fds.clear();
+    fds.push_back({wake_fds_[0], POLLIN, 0});
+    fds.push_back({listen_fd_, POLLIN, 0});
+    for (const auto& conn : connections_) {
+      short events = conn->responding ? POLLOUT : POLLIN;
+      fds.push_back({conn->fd, events, 0});
+    }
+
+    int ready = ::poll(fds.data(), fds.size(), /*timeout_ms=*/250);
+    if (stop_.load(std::memory_order_acquire)) break;
+    if (ready <= 0) continue;
+
+    // Connections accepted below were not in this round's poll set, so the
+    // walk must cover only the first `polled` entries — fds[i + 2] pairs
+    // with connections_[i] for exactly those.
+    const size_t polled = fds.size() - 2;
+    if (fds[1].revents & POLLIN) AcceptNew();
+
+    // Walk connections back to front so erasure is cheap and does not
+    // disturb the pollfd pairing.
+    for (size_t i = polled; i-- > 0;) {
+      pollfd& pfd = fds[i + 2];
+      Connection* conn = connections_[i].get();
+      bool keep = true;
+      if (pfd.revents & (POLLERR | POLLHUP | POLLNVAL)) {
+        // Flush whatever response is pending, then drop.
+        keep = conn->responding && WriteSome(conn);
+        if (!conn->responding) keep = false;
+      } else if (pfd.revents & POLLIN) {
+        keep = ReadSome(conn);
+      } else if (pfd.revents & POLLOUT) {
+        keep = WriteSome(conn);
+      }
+      if (!keep) connections_.erase(connections_.begin() + i);
+    }
+  }
+
+  // Drain the wake pipe so repeated Start/Stop cycles start clean.
+  char scratch[64];
+  while (::read(wake_fds_[0], scratch, sizeof(scratch)) > 0) {
+  }
+}
+
+void HttpServer::AcceptNew() {
+  while (true) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) return;
+    SetNonBlocking(fd);
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+    auto conn = std::make_unique<Connection>();
+    conn->fd = fd;
+    if (connections_.size() >= options_.max_connections) {
+      // Over capacity: answer 503 on this connection instead of accepting
+      // work; the write still goes through the normal flush path so short
+      // responses are not torn.
+      PrepareResponse(conn.get(), TextResponse(503, "server busy\n"));
+      if (WriteSome(conn.get())) connections_.push_back(std::move(conn));
+      continue;
+    }
+    connections_.push_back(std::move(conn));
+  }
+}
+
+bool HttpServer::ReadSome(Connection* conn) {
+  char buffer[4096];
+  while (true) {
+    ssize_t n = ::read(conn->fd, buffer, sizeof(buffer));
+    if (n > 0) {
+      conn->in.append(buffer, static_cast<size_t>(n));
+      if (conn->in.size() > options_.max_request_bytes) {
+        PrepareResponse(conn, TextResponse(413, "request too large\n"));
+        return WriteSome(conn);
+      }
+      continue;
+    }
+    if (n == 0) return false;  // peer closed before a full request
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    return false;
+  }
+
+  if (!conn->have_head) {
+    size_t head_end = conn->in.find(kCrlfCrlf);
+    if (head_end == std::string::npos) {
+      if (conn->in.size() > options_.max_request_bytes) {
+        PrepareResponse(conn, TextResponse(431, "headers too large\n"));
+        return WriteSome(conn);
+      }
+      return true;  // need more bytes
+    }
+    if (!ParseHead(std::string_view(conn->in).substr(0, head_end),
+                   &conn->request, &conn->content_length)) {
+      PrepareResponse(conn, TextResponse(400, "malformed request\n"));
+      return WriteSome(conn);
+    }
+    conn->have_head = true;
+    conn->body_start = head_end + kCrlfCrlf.size();
+    if (conn->body_start + conn->content_length >
+        options_.max_request_bytes) {
+      PrepareResponse(conn, TextResponse(413, "request too large\n"));
+      return WriteSome(conn);
+    }
+  }
+
+  if (conn->in.size() < conn->body_start + conn->content_length) {
+    return true;  // body incomplete
+  }
+  conn->request.body =
+      conn->in.substr(conn->body_start, conn->content_length);
+  Dispatch(conn);
+  return WriteSome(conn);
+}
+
+void HttpServer::Dispatch(Connection* conn) {
+  auto it = handlers_.find({conn->request.method, conn->request.path});
+  if (it == handlers_.end()) {
+    // Distinguish wrong-method from unknown-path for a saner curl
+    // experience.
+    bool path_known = false;
+    for (const auto& [key, handler] : handlers_) {
+      if (key.second == conn->request.path) {
+        path_known = true;
+        break;
+      }
+    }
+    PrepareResponse(conn, TextResponse(path_known ? 405 : 404,
+                                       path_known ? "method not allowed\n"
+                                                  : "not found\n"));
+    return;
+  }
+  HttpResponse response;
+  try {
+    response = it->second(conn->request);
+  } catch (...) {
+    response = TextResponse(500, "handler error\n");
+  }
+  PrepareResponse(conn, response);
+}
+
+void HttpServer::PrepareResponse(Connection* conn,
+                                 const HttpResponse& response) {
+  char head[256];
+  std::snprintf(head, sizeof(head),
+                "HTTP/1.1 %d %s\r\n"
+                "Content-Type: %s\r\n"
+                "Content-Length: %zu\r\n"
+                "Connection: close\r\n"
+                "\r\n",
+                response.status, StatusReason(response.status),
+                response.content_type.c_str(), response.body.size());
+  conn->out.assign(head);
+  conn->out.append(response.body);
+  conn->out_pos = 0;
+  conn->responding = true;
+  requests_.fetch_add(1, std::memory_order_relaxed);
+}
+
+bool HttpServer::WriteSome(Connection* conn) {
+  while (conn->out_pos < conn->out.size()) {
+    ssize_t n = ::write(conn->fd, conn->out.data() + conn->out_pos,
+                        conn->out.size() - conn->out_pos);
+    if (n > 0) {
+      conn->out_pos += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return true;
+    if (n < 0 && errno == EINTR) continue;
+    return false;
+  }
+  return false;  // fully flushed: close (Connection: close semantics)
+}
+
+}  // namespace mdseq::obs::http

@@ -1,0 +1,121 @@
+#ifndef MDSEQ_OBS_HTTP_SERVER_H_
+#define MDSEQ_OBS_HTTP_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace mdseq::obs::http {
+
+/// One parsed request. Only the pieces the introspection endpoints need:
+/// method, path (query string stripped), the decoded query parameters, and
+/// the body (POST). Headers beyond Content-Length are parsed and ignored.
+struct HttpRequest {
+  std::string method;
+  std::string path;
+  std::map<std::string, std::string> params;
+  std::string body;
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+/// Ready-made responses.
+HttpResponse TextResponse(int status, std::string body);
+HttpResponse JsonResponse(int status, std::string body);
+
+/// A deliberately small, dependency-free HTTP/1.1 server for live
+/// introspection: one `poll`-based service thread multiplexing a loopback
+/// listener and a bounded set of client connections. Designed for the
+/// scrape/curl workload — short requests, short responses, one request per
+/// connection (`Connection: close`) — not as a general web server.
+///
+/// Handlers are registered before `Start` under an exact (method, path)
+/// key and run on the service thread, so they must be fast and thread-safe
+/// with respect to the state they read (the engine exposes atomics and
+/// internally locked snapshots). Unknown paths get 404, unknown methods on
+/// a known path 405, oversized or malformed requests 400/413/431, and a
+/// full connection table answers 503 immediately.
+///
+/// `Stop` is graceful: the listener closes first, in-flight responses
+/// flush, then the thread joins. The destructor calls it.
+class HttpServer {
+ public:
+  struct Options {
+    /// Port to bind on 127.0.0.1; 0 picks an ephemeral port (see `port()`).
+    uint16_t port = 0;
+    /// Concurrent client connections beyond which new accepts answer 503.
+    size_t max_connections = 32;
+    /// Cap on request head + body; larger requests answer 413.
+    size_t max_request_bytes = 16 * 1024;
+  };
+
+  using Handler = std::function<HttpResponse(const HttpRequest&)>;
+
+  HttpServer() : HttpServer(Options{}) {}
+  explicit HttpServer(const Options& options);
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Registers `handler` for exact `method` + `path`. Must be called
+  /// before `Start`.
+  void Handle(const std::string& method, const std::string& path,
+              Handler handler);
+
+  /// Binds, listens, and spawns the service thread. False when the port
+  /// cannot be bound (the server is then inert; Start may be retried with
+  /// a different port via a fresh instance).
+  bool Start();
+
+  /// Graceful shutdown; idempotent.
+  void Stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// The bound port (resolves port 0 to the kernel's pick); 0 before a
+  /// successful `Start`.
+  uint16_t port() const { return port_.load(std::memory_order_acquire); }
+
+  /// Requests answered (any status) since `Start`.
+  uint64_t requests_served() const {
+    return requests_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Connection;
+
+  void Serve();
+  void AcceptNew();
+  /// Reads what is available; returns false when the connection is done
+  /// (peer closed or fatal error) and should be dropped.
+  bool ReadSome(Connection* conn);
+  /// Returns false when the connection should be dropped.
+  bool WriteSome(Connection* conn);
+  void Dispatch(Connection* conn);
+  void PrepareResponse(Connection* conn, const HttpResponse& response);
+
+  Options options_;
+  std::map<std::pair<std::string, std::string>, Handler> handlers_;
+  int listen_fd_ = -1;
+  int wake_fds_[2] = {-1, -1};
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_{false};
+  std::atomic<uint16_t> port_{0};
+  std::atomic<uint64_t> requests_{0};
+  std::vector<std::unique_ptr<Connection>> connections_;
+  std::thread thread_;
+};
+
+}  // namespace mdseq::obs::http
+
+#endif  // MDSEQ_OBS_HTTP_SERVER_H_

@@ -1,0 +1,186 @@
+#include "obs/log.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <ctime>
+
+#include "obs/json.h"
+
+namespace mdseq::obs {
+
+namespace {
+
+// Per-thread line buffer: a record formats into its thread's buffer and
+// hands the finished line to the sink in one call, so concurrent records
+// never share formatting state.
+std::string* ThreadLineBuffer() {
+  thread_local std::string buffer;
+  return &buffer;
+}
+
+// Wall-clock seconds since the Unix epoch with microsecond resolution —
+// log lines are correlated with external systems, so unlike traces they
+// use the wall clock.
+double UnixNow() {
+  std::timespec ts{};
+  std::timespec_get(&ts, TIME_UTC);
+  return static_cast<double>(ts.tv_sec) +
+         static_cast<double>(ts.tv_nsec) / 1e9;
+}
+
+}  // namespace
+
+const char* LogLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "debug";
+    case LogLevel::kInfo:
+      return "info";
+    case LogLevel::kWarn:
+      return "warn";
+    case LogLevel::kError:
+      return "error";
+    case LogLevel::kOff:
+      return "off";
+  }
+  return "unknown";
+}
+
+bool ParseLogLevel(std::string_view name, LogLevel* level) {
+  if (name == "debug") {
+    *level = LogLevel::kDebug;
+  } else if (name == "info") {
+    *level = LogLevel::kInfo;
+  } else if (name == "warn") {
+    *level = LogLevel::kWarn;
+  } else if (name == "error") {
+    *level = LogLevel::kError;
+  } else if (name == "off") {
+    *level = LogLevel::kOff;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+void StderrLogSink::Write(std::string_view line) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::fwrite(line.data(), 1, line.size(), stderr);
+}
+
+FileLogSink::FileLogSink(const std::string& path)
+    : file_(std::fopen(path.c_str(), "a")) {}
+
+FileLogSink::~FileLogSink() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void FileLogSink::Write(std::string_view line) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (file_ == nullptr) return;
+  std::fwrite(line.data(), 1, line.size(), file_);
+  std::fflush(file_);
+}
+
+void CaptureLogSink::Write(std::string_view line) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  lines_.emplace_back(line);
+}
+
+std::vector<std::string> CaptureLogSink::lines() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return lines_;
+}
+
+void CaptureLogSink::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  lines_.clear();
+}
+
+LogRecord::LogRecord(Logger* logger, LogLevel level, const char* event) {
+  if (logger == nullptr || !logger->Enabled(level)) return;
+  logger_ = logger;
+  line_ = ThreadLineBuffer();
+  line_->clear();
+  char head[64];
+  std::snprintf(head, sizeof(head), "{\"ts\": %.6f, \"level\": \"%s\", ",
+                UnixNow(), LogLevelName(level));
+  line_->append(head);
+  line_->append("\"event\": ").append(JsonQuote(event));
+}
+
+LogRecord::~LogRecord() {
+  if (logger_ == nullptr) return;
+  line_->append("}\n");
+  // Hold the sink alive across the write so a concurrent SetSink cannot
+  // destroy it mid-line.
+  std::shared_ptr<LogSink> sink = logger_->sink();
+  if (sink != nullptr) sink->Write(*line_);
+}
+
+void LogRecord::Key(const char* key) {
+  line_->append(", ").append(JsonQuote(key)).append(": ");
+}
+
+LogRecord& LogRecord::Str(const char* key, std::string_view value) {
+  if (logger_ == nullptr) return *this;
+  Key(key);
+  line_->append(JsonQuote(value));
+  return *this;
+}
+
+LogRecord& LogRecord::U64(const char* key, uint64_t value) {
+  if (logger_ == nullptr) return *this;
+  Key(key);
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%" PRIu64, value);
+  line_->append(buffer);
+  return *this;
+}
+
+LogRecord& LogRecord::I64(const char* key, int64_t value) {
+  if (logger_ == nullptr) return *this;
+  Key(key);
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%" PRId64, value);
+  line_->append(buffer);
+  return *this;
+}
+
+LogRecord& LogRecord::F64(const char* key, double value) {
+  if (logger_ == nullptr) return *this;
+  Key(key);
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  line_->append(buffer);
+  return *this;
+}
+
+LogRecord& LogRecord::Bool(const char* key, bool value) {
+  if (logger_ == nullptr) return *this;
+  Key(key);
+  line_->append(value ? "true" : "false");
+  return *this;
+}
+
+Logger::Logger(LogLevel level)
+    : level_(static_cast<int>(level)),
+      sink_(std::make_shared<StderrLogSink>()) {}
+
+Logger& Logger::Global() {
+  static Logger* logger = new Logger();
+  return *logger;
+}
+
+void Logger::SetSink(std::shared_ptr<LogSink> sink) {
+  if (sink == nullptr) sink = std::make_shared<StderrLogSink>();
+  std::lock_guard<std::mutex> lock(sink_mutex_);
+  sink_ = std::move(sink);
+}
+
+std::shared_ptr<LogSink> Logger::sink() const {
+  std::lock_guard<std::mutex> lock(sink_mutex_);
+  return sink_;
+}
+
+}  // namespace mdseq::obs

@@ -1,0 +1,169 @@
+#ifndef MDSEQ_OBS_LOG_H_
+#define MDSEQ_OBS_LOG_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mdseq::obs {
+
+/// Severity ladder. `kOff` is a level filter only — records are never
+/// emitted at it.
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+  kOff = 4,
+};
+
+/// "debug" / "info" / "warn" / "error".
+const char* LogLevelName(LogLevel level);
+
+/// Parses a level name (as printed by `LogLevelName`, plus "off"); returns
+/// false and leaves `*level` untouched on an unknown name.
+bool ParseLogLevel(std::string_view name, LogLevel* level);
+
+/// Destination for completed log lines. `Write` receives one full JSON
+/// line (newline included) and may be called from any thread — sinks
+/// serialize internally.
+class LogSink {
+ public:
+  virtual ~LogSink() = default;
+  virtual void Write(std::string_view line) = 0;
+};
+
+/// Default sink: one `fwrite` per line to stderr under a mutex, so lines
+/// from concurrent threads never interleave.
+class StderrLogSink : public LogSink {
+ public:
+  void Write(std::string_view line) override;
+
+ private:
+  std::mutex mutex_;
+};
+
+/// Appends lines to a file opened at construction. `ok()` is false when
+/// the file could not be opened (writes are then dropped).
+class FileLogSink : public LogSink {
+ public:
+  explicit FileLogSink(const std::string& path);
+  ~FileLogSink() override;
+  bool ok() const { return file_ != nullptr; }
+  void Write(std::string_view line) override;
+
+ private:
+  std::mutex mutex_;
+  std::FILE* file_ = nullptr;
+};
+
+/// Keeps every line in memory — the test sink.
+class CaptureLogSink : public LogSink {
+ public:
+  void Write(std::string_view line) override;
+  std::vector<std::string> lines() const;
+  void Clear();
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<std::string> lines_;
+};
+
+class Logger;
+
+/// One structured log record, built field by field and emitted as a single
+/// JSON line when the record goes out of scope:
+///
+///   LogRecord(&logger, LogLevel::kWarn, "query_rejected")
+///       .U64("query_id", id)
+///       .U64("queue_depth", depth);
+///
+/// Fields are appended to a per-thread buffer (no allocation after the
+/// first record on a thread), and the finished line is handed to the sink
+/// in one call. A record whose level is below the logger's threshold costs
+/// one atomic load and nothing else.
+class LogRecord {
+ public:
+  LogRecord(Logger* logger, LogLevel level, const char* event);
+  ~LogRecord();
+  LogRecord(const LogRecord&) = delete;
+  LogRecord& operator=(const LogRecord&) = delete;
+
+  LogRecord& Str(const char* key, std::string_view value);
+  LogRecord& U64(const char* key, uint64_t value);
+  LogRecord& I64(const char* key, int64_t value);
+  LogRecord& F64(const char* key, double value);
+  LogRecord& Bool(const char* key, bool value);
+
+ private:
+  void Key(const char* key);
+
+  Logger* logger_ = nullptr;  // null = suppressed record
+  std::string* line_ = nullptr;
+};
+
+/// Leveled structured logger: JSON lines, per-thread formatting buffers,
+/// and an atomically swappable sink. The level gate is one relaxed atomic
+/// load, so disabled log statements are free on the hot path; the sink is
+/// held by `shared_ptr` and swapped under a mutex, so a writer racing a
+/// swap finishes its line on the old sink — no line is torn or lost.
+///
+/// `Logger::Global()` is the process-wide instance the engine logs to
+/// (admission rejections, sheds, deadline expiries, slow queries). Its
+/// default threshold is `kWarn` over stderr, so a quiet process stays
+/// quiet.
+class Logger {
+ public:
+  explicit Logger(LogLevel level = LogLevel::kWarn);
+
+  Logger(const Logger&) = delete;
+  Logger& operator=(const Logger&) = delete;
+
+  static Logger& Global();
+
+  void SetLevel(LogLevel level) {
+    level_.store(static_cast<int>(level), std::memory_order_relaxed);
+  }
+  LogLevel level() const {
+    return static_cast<LogLevel>(level_.load(std::memory_order_relaxed));
+  }
+  bool Enabled(LogLevel level) const {
+    return level != LogLevel::kOff &&
+           static_cast<int>(level) >= level_.load(std::memory_order_relaxed);
+  }
+
+  /// Replaces the sink; in-flight records finish on the sink they started
+  /// with. Null resets to the stderr sink.
+  void SetSink(std::shared_ptr<LogSink> sink);
+  std::shared_ptr<LogSink> sink() const;
+
+  /// Convenience entry points:
+  ///   logger.Warn("event").U64("k", v);
+  LogRecord Debug(const char* event) {
+    return LogRecord(this, LogLevel::kDebug, event);
+  }
+  LogRecord Info(const char* event) {
+    return LogRecord(this, LogLevel::kInfo, event);
+  }
+  LogRecord Warn(const char* event) {
+    return LogRecord(this, LogLevel::kWarn, event);
+  }
+  LogRecord Error(const char* event) {
+    return LogRecord(this, LogLevel::kError, event);
+  }
+
+ private:
+  friend class LogRecord;
+
+  std::atomic<int> level_;
+  mutable std::mutex sink_mutex_;
+  std::shared_ptr<LogSink> sink_;
+};
+
+}  // namespace mdseq::obs
+
+#endif  // MDSEQ_OBS_LOG_H_

@@ -48,6 +48,43 @@ void AppendHelpAndType(const std::string& name, const std::string& help,
 
 }  // namespace
 
+std::string MetricsRegistry::EscapeLabelValue(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    if (c == '\\') {
+      out.append("\\\\");
+    } else if (c == '"') {
+      out.append("\\\"");
+    } else if (c == '\n') {
+      out.append("\\n");
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+namespace {
+
+std::string RenderLabelSuffix(const Labels& labels) {
+  if (labels.empty()) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [key, value] : labels) {
+    MDSEQ_CHECK(MetricsRegistry::ValidName(key));
+    if (!first) out.push_back(',');
+    first = false;
+    out.append(key).append("=\"");
+    out.append(MetricsRegistry::EscapeLabelValue(value));
+    out.push_back('"');
+  }
+  out.push_back('}');
+  return out;
+}
+
+}  // namespace
+
 Histogram::Histogram(std::vector<double> bounds)
     : bounds_(std::move(bounds)),
       counts_(new std::atomic<uint64_t>[bounds_.size() + 1]) {
@@ -75,6 +112,12 @@ bool MetricsRegistry::ValidName(const std::string& name) {
 
 Counter* MetricsRegistry::GetCounter(const std::string& name,
                                      const std::string& help) {
+  return GetCounter(name, help, Labels{});
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name,
+                                     const std::string& help,
+                                     const Labels& labels) {
   MDSEQ_CHECK(ValidName(name));
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = entries_.find(name);
@@ -85,6 +128,8 @@ Counter* MetricsRegistry::GetCounter(const std::string& name,
   Entry entry;
   entry.kind = Kind::kCounter;
   entry.help = help;
+  entry.labels = labels;
+  entry.label_suffix = RenderLabelSuffix(labels);
   entry.counter = std::make_unique<Counter>();
   Counter* handle = entry.counter.get();
   entries_.emplace(name, std::move(entry));
@@ -93,6 +138,12 @@ Counter* MetricsRegistry::GetCounter(const std::string& name,
 
 Gauge* MetricsRegistry::GetGauge(const std::string& name,
                                  const std::string& help) {
+  return GetGauge(name, help, Labels{});
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name,
+                                 const std::string& help,
+                                 const Labels& labels) {
   MDSEQ_CHECK(ValidName(name));
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = entries_.find(name);
@@ -103,6 +154,8 @@ Gauge* MetricsRegistry::GetGauge(const std::string& name,
   Entry entry;
   entry.kind = Kind::kGauge;
   entry.help = help;
+  entry.labels = labels;
+  entry.label_suffix = RenderLabelSuffix(labels);
   entry.gauge = std::make_unique<Gauge>();
   Gauge* handle = entry.gauge.get();
   entries_.emplace(name, std::move(entry));
@@ -138,12 +191,12 @@ std::string MetricsRegistry::PrometheusText() const {
         AppendHelpAndType(name, entry.help, "counter", &out);
         std::snprintf(line, sizeof(line), " %" PRIu64 "\n",
                       entry.counter->value());
-        out.append(name).append(line);
+        out.append(name).append(entry.label_suffix).append(line);
         break;
       }
       case Kind::kGauge: {
         AppendHelpAndType(name, entry.help, "gauge", &out);
-        out.append(name).push_back(' ');
+        out.append(name).append(entry.label_suffix).push_back(' ');
         out.append(FormatDouble(entry.gauge->value())).push_back('\n');
         break;
       }
@@ -182,6 +235,16 @@ std::string MetricsRegistry::JsonText() const {
     if (!first) out.push_back(',');
     first = false;
     out.append("\n  ").append(JsonQuote(name)).append(": {");
+    if (!entry.labels.empty()) {
+      out.append("\"labels\": {");
+      bool first_label = true;
+      for (const auto& [key, value] : entry.labels) {
+        if (!first_label) out.append(", ");
+        first_label = false;
+        out.append(JsonQuote(key)).append(": ").append(JsonQuote(value));
+      }
+      out.append("}, ");
+    }
     switch (entry.kind) {
       case Kind::kCounter:
         std::snprintf(line, sizeof(line), "%" PRIu64,
@@ -220,6 +283,22 @@ std::string MetricsRegistry::JsonText() const {
 std::vector<double> DefaultLatencyBoundsSeconds() {
   return {0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
           0.05,   0.1,     0.25,   0.5,   1.0,    2.5,   5.0,  10.0};
+}
+
+#ifndef MDSEQ_VERSION
+#define MDSEQ_VERSION "unknown"
+#endif
+#ifndef MDSEQ_BUILD_TYPE
+#define MDSEQ_BUILD_TYPE "unknown"
+#endif
+
+void RegisterBuildInfo(MetricsRegistry* registry) {
+  registry
+      ->GetGauge("mdseq_build_info",
+                 "Build identity; value is constant 1, the data is in the "
+                 "labels",
+                 {{"version", MDSEQ_VERSION}, {"build_type", MDSEQ_BUILD_TYPE}})
+      ->Set(1.0);
 }
 
 }  // namespace mdseq::obs

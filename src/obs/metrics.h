@@ -7,9 +7,16 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
 
 namespace mdseq::obs {
+
+/// Constant label set attached to a metric at registration time, rendered
+/// as `{key="value",...}` in the Prometheus exposition. Values are escaped
+/// per the text-format grammar; keys must be valid metric-name identifiers.
+using Labels = std::vector<std::pair<std::string, std::string>>;
 
 /// Monotonic counter. `Increment` is a single relaxed atomic add — safe and
 /// contention-free from any number of threads; readers see exact totals once
@@ -108,6 +115,15 @@ class MetricsRegistry {
 
   Counter* GetCounter(const std::string& name, const std::string& help = "");
   Gauge* GetGauge(const std::string& name, const std::string& help = "");
+
+  /// Labeled variants. The labels are constant for the metric's lifetime
+  /// (build info, instance identity — not per-request dimensions), and like
+  /// help text they follow first-registration-wins: re-registering a name
+  /// returns the existing handle regardless of the labels passed.
+  Counter* GetCounter(const std::string& name, const std::string& help,
+                      const Labels& labels);
+  Gauge* GetGauge(const std::string& name, const std::string& help,
+                  const Labels& labels);
   /// `bounds` must be ascending; ignored (first registration wins) when the
   /// histogram already exists.
   Histogram* GetHistogram(const std::string& name, const std::string& help,
@@ -127,11 +143,18 @@ class MetricsRegistry {
   /// True iff `name` is a valid Prometheus metric name.
   static bool ValidName(const std::string& name);
 
+  /// Escapes a label value per the Prometheus text-format grammar:
+  /// backslash, double-quote, and newline become `\\`, `\"`, and `\n`.
+  static std::string EscapeLabelValue(std::string_view value);
+
  private:
   enum class Kind { kCounter, kGauge, kHistogram };
   struct Entry {
     Kind kind;
     std::string help;
+    /// Prerendered `{k="v",...}` (escaped), or empty for unlabeled metrics.
+    std::string label_suffix;
+    Labels labels;
     std::unique_ptr<Counter> counter;
     std::unique_ptr<Gauge> gauge;
     std::unique_ptr<Histogram> histogram;
@@ -144,6 +167,11 @@ class MetricsRegistry {
 /// Latency bucket ladder shared by the engine and the CLI: 100us .. 10s in
 /// a 1-2.5-5 progression, in seconds.
 std::vector<double> DefaultLatencyBoundsSeconds();
+
+/// Registers the conventional `mdseq_build_info` gauge (constant value 1;
+/// the interesting data lives in its `version` and `build_type` labels) so
+/// every scrape identifies the binary it came from. Idempotent.
+void RegisterBuildInfo(MetricsRegistry* registry);
 
 }  // namespace mdseq::obs
 

@@ -21,17 +21,24 @@ TraceStore::TraceStore(size_t capacity, size_t shards) {
   }
 }
 
-void TraceStore::Add(Trace&& trace) {
+bool TraceStore::Add(Trace&& trace) {
   const size_t index =
       std::hash<std::thread::id>{}(std::this_thread::get_id()) %
       shards_.size();
   Shard& shard = *shards_[index];
   std::lock_guard<std::mutex> lock(shard.mutex);
-  if (shard.traces.size() >= per_shard_capacity_) {
+  if (per_shard_capacity_ == 0) {
     dropped_.fetch_add(1, std::memory_order_relaxed);
-    return;
+    return true;
+  }
+  bool evicted = false;
+  while (shard.traces.size() >= per_shard_capacity_) {
+    shard.traces.pop_front();
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    evicted = true;
   }
   shard.traces.push_back(std::move(trace));
+  return evicted;
 }
 
 std::vector<Trace> TraceStore::Take() {
@@ -42,6 +49,17 @@ std::vector<Trace> TraceStore::Take() {
     shard->traces.clear();
   }
   return all;
+}
+
+std::vector<Trace> TraceStore::Snapshot(uint64_t query_id) const {
+  std::vector<Trace> matches;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    for (const Trace& trace : shard->traces) {
+      if (trace.query_id() == query_id) matches.push_back(trace);
+    }
+  }
+  return matches;
 }
 
 std::string ChromeTraceJson(const std::vector<Trace>& traces) {

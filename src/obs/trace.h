@@ -4,6 +4,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -112,23 +113,33 @@ class SpanScope {
 /// its own shard (chosen by thread id), so concurrent `Add` calls from
 /// different workers never contend on one lock — the engine's "per-worker
 /// span buffers". `Take` drains every shard.
+///
+/// Each shard is a ring: when full it evicts its oldest trace to admit the
+/// new one, so under sustained load memory stays bounded while the *recent*
+/// traces — the ones a live `/debug/trace` probe wants — survive. Evictions
+/// are counted in `dropped()` (exported as `mdseq_traces_dropped_total`).
 class TraceStore {
  public:
-  /// Keeps at most `capacity` traces in total (per-shard slices); further
-  /// `Add`s are counted as dropped. `shards == 0` picks one per hardware
-  /// thread.
+  /// Keeps at most `capacity` traces in total (per-shard slices); once a
+  /// shard fills, each further `Add` evicts that shard's oldest trace and
+  /// counts it as dropped. `shards == 0` picks one per hardware thread.
   explicit TraceStore(size_t capacity, size_t shards = 0);
 
   TraceStore(const TraceStore&) = delete;
   TraceStore& operator=(const TraceStore&) = delete;
 
-  void Add(Trace&& trace);
+  /// Stores the trace; true when an older trace was evicted to make room.
+  bool Add(Trace&& trace);
 
-  /// Removes and returns every stored trace (order: shard-major, insertion
-  /// order within a shard).
+  /// Removes and returns every stored trace (order: shard-major, oldest
+  /// first within a shard).
   std::vector<Trace> Take();
 
-  /// Traces discarded because their shard was full.
+  /// Copies (without draining) every stored trace whose query id matches —
+  /// the live `/debug/trace?id=` path.
+  std::vector<Trace> Snapshot(uint64_t query_id) const;
+
+  /// Traces evicted because their shard was full.
   uint64_t dropped() const {
     return dropped_.load(std::memory_order_relaxed);
   }
@@ -137,8 +148,8 @@ class TraceStore {
 
  private:
   struct Shard {
-    std::mutex mutex;
-    std::vector<Trace> traces;
+    mutable std::mutex mutex;
+    std::deque<Trace> traces;
   };
 
   size_t per_shard_capacity_;

@@ -185,6 +185,22 @@ void BufferPool::Unpin(size_t frame) {
   --frames_[frame].pins;
 }
 
+BufferPoolHealth BufferPool::Health() const {
+  BufferPoolHealth health;
+  health.capacity = frames_.size();
+  health.hits = hits();
+  health.misses = misses();
+  health.evictions = evictions();
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const Frame& frame : frames_) {
+    if (frame.id == kInvalidPageId) continue;
+    ++health.resident;
+    if (frame.pins > 0) ++health.pinned;
+    if (frame.dirty) ++health.dirty;
+  }
+  return health;
+}
+
 bool BufferPool::Flush() {
   std::lock_guard<std::mutex> lock(mutex_);
   bool ok = true;

@@ -14,6 +14,22 @@ namespace mdseq {
 
 class BufferPool;
 
+/// Point-in-time occupancy + cumulative counters of a `BufferPool`, taken
+/// under the pool latch so the occupancy numbers are mutually consistent.
+/// This is the `/healthz` view of the pool.
+struct BufferPoolHealth {
+  size_t capacity = 0;
+  /// Frames currently holding a page.
+  size_t resident = 0;
+  /// Frames with at least one pin (unevictable right now).
+  size_t pinned = 0;
+  /// Frames with unwritten modifications.
+  size_t dirty = 0;
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+};
+
 /// A pinned page in the buffer pool. While a handle is alive the frame is
 /// not evictable; the destructor unpins. Mark modified pages dirty before
 /// releasing.
@@ -91,6 +107,9 @@ class BufferPool {
   bool Flush();
 
   size_t capacity() const { return frames_.size(); }
+
+  /// Consistent occupancy snapshot for health probes; takes the latch.
+  BufferPoolHealth Health() const;
 
   /// Statistics: pool hits, misses (= real page reads through the pool),
   /// and evictions. Cumulative across all threads.

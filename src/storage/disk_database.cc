@@ -197,6 +197,7 @@ SearchResult DiskDatabase::Search(SequenceView query, double epsilon,
   SearchResult result;
 
   // Phase 1: query partitioning with the stored options.
+  control.SetPhase(SearchPhase::kPartition);
   Partition query_partition;
   {
     obs::SpanScope span(control.trace, "partition");
@@ -212,6 +213,7 @@ SearchResult DiskDatabase::Search(SequenceView query, double epsilon,
   // query MBR. Node accesses and pool misses are counted per call (pages
   // this query visited / read), not as a pool counter delta, so the
   // numbers are deterministic and exact when other threads share the pool.
+  control.SetPhase(SearchPhase::kFirstPruning);
   std::vector<double> candidate_min_dist2;
   {
     obs::SpanScope span(control.trace, "first_pruning");
@@ -253,6 +255,10 @@ SearchResult DiskDatabase::Search(SequenceView query, double epsilon,
       }
     }
     result.stats.phase2_candidates = result.candidates.size();
+    if (control.progress != nullptr) {
+      control.progress->phase2_candidates.store(
+          result.candidates.size(), std::memory_order_relaxed);
+    }
     result.stats.first_pruning_ns += ElapsedNs(start);
     span.Arg("node_accesses", result.stats.node_accesses);
     span.Arg("pool_hits", result.stats.page_hits);
@@ -265,6 +271,7 @@ SearchResult DiskDatabase::Search(SequenceView query, double epsilon,
   // well.
   {
     obs::SpanScope span(control.trace, "second_pruning");
+    control.SetPhase(SearchPhase::kSecondPruning);
     const auto start = SteadyClock::now();
     std::vector<size_t> order(result.candidates.size());
     for (size_t i = 0; i < order.size(); ++i) order[i] = i;
@@ -291,7 +298,13 @@ SearchResult DiskDatabase::Search(SequenceView query, double epsilon,
       candidate_span.Arg("dnorm_evaluations",
                          result.stats.dnorm_evaluations - evals_before);
       candidate_span.Arg("qualified", qualified ? 1 : 0);
-      if (qualified) result.matches.push_back(std::move(match));
+      if (qualified) {
+        result.matches.push_back(std::move(match));
+        if (control.progress != nullptr) {
+          control.progress->phase3_matches.store(
+              result.matches.size(), std::memory_order_relaxed);
+        }
+      }
     }
     std::sort(result.matches.begin(), result.matches.end(),
               [](const SequenceMatch& a, const SequenceMatch& b) {
@@ -313,6 +326,7 @@ SearchResult DiskDatabase::SearchVerified(SequenceView query,
 SearchResult DiskDatabase::SearchVerified(SequenceView query, double epsilon,
                                           const SearchControl& control) const {
   SearchResult result = Search(query, epsilon, control);
+  control.SetPhase(SearchPhase::kVerify);
   obs::SpanScope span(control.trace, "verify");
   const auto start = SteadyClock::now();
   std::vector<SequenceMatch> verified;

@@ -1,0 +1,396 @@
+// Socket-level tests for the live introspection server (src/obs/http plus
+// the engine endpoints in src/engine/introspection.cc): every request here
+// goes through a real loopback TCP connection against an engine started
+// with `listen_port = 0`, exactly as curl would. Covers the Prometheus
+// /metrics exposition, /healthz, the active-query registry, remote
+// cancellation via POST /debug/cancel, the slow-query ring, /debug/trace,
+// and the HTTP error paths (400/404/405) — including concurrent scrapes
+// while a SubmitBatch is in flight.
+//
+// The binary carries the `http` and `tsan` ctest labels; build with
+// -DMDSEQ_SANITIZE=thread and run `ctest -L tsan` to prove the scrape
+// path race-free against the worker threads.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "engine/query_engine.h"
+#include "eval/experiment.h"
+#include "obs/json.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+
+namespace mdseq {
+namespace {
+
+// Tests with a 1us slow-query threshold would otherwise spray slow_query
+// warn lines over the gtest output.
+class QuietGlobalLogger {
+ public:
+  QuietGlobalLogger() : saved_(obs::Logger::Global().level()) {
+    obs::Logger::Global().SetLevel(obs::LogLevel::kError);
+  }
+  ~QuietGlobalLogger() { obs::Logger::Global().SetLevel(saved_); }
+
+ private:
+  obs::LogLevel saved_;
+};
+
+// ---------------------------------------------------------------------------
+// A minimal blocking HTTP client: one request, read to EOF (the server
+// always answers Connection: close).
+// ---------------------------------------------------------------------------
+
+struct ClientResponse {
+  bool ok = false;          // transport-level success
+  int status = 0;           // parsed from the status line
+  std::string head;         // status line + headers
+  std::string body;
+  std::string error;        // failed stage + errno, for test diagnostics
+};
+
+ClientResponse Fetch(int port, const std::string& request) {
+  ClientResponse out;
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    out.error = std::string("socket: ") + std::strerror(errno);
+    return out;
+  }
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    out.error = std::string("connect: ") + std::strerror(errno);
+    ::close(fd);
+    return out;
+  }
+  size_t sent = 0;
+  while (sent < request.size()) {
+    const ssize_t n = ::send(fd, request.data() + sent,
+                             request.size() - sent, 0);
+    if (n <= 0) {
+      out.error = std::string("send: ") + std::strerror(errno);
+      ::close(fd);
+      return out;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  std::string raw;
+  char buffer[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+    if (n < 0) {
+      out.error = std::string("recv: ") + std::strerror(errno);
+      ::close(fd);
+      return out;
+    }
+    if (n == 0) break;  // server closed: response complete
+    raw.append(buffer, static_cast<size_t>(n));
+  }
+  ::close(fd);
+
+  const size_t split = raw.find("\r\n\r\n");
+  if (split == std::string::npos || raw.compare(0, 9, "HTTP/1.1 ") != 0) {
+    out.error = "malformed response: [" + raw + "]";
+    return out;
+  }
+  out.head = raw.substr(0, split);
+  out.body = raw.substr(split + 4);
+  out.status = std::atoi(raw.c_str() + 9);
+  out.ok = out.status >= 100;
+  return out;
+}
+
+ClientResponse Get(int port, const std::string& target) {
+  return Fetch(port, "GET " + target +
+                         " HTTP/1.1\r\nHost: 127.0.0.1\r\n"
+                         "Connection: close\r\n\r\n");
+}
+
+ClientResponse Post(int port, const std::string& target) {
+  return Fetch(port, "POST " + target +
+                         " HTTP/1.1\r\nHost: 127.0.0.1\r\n"
+                         "Content-Length: 0\r\nConnection: close\r\n\r\n");
+}
+
+Workload SmallWorkload(uint64_t seed) {
+  WorkloadConfig config;
+  config.kind = DataKind::kSynthetic;
+  config.num_sequences = 80;
+  config.min_length = 56;
+  config.max_length = 192;
+  config.num_queries = 12;
+  config.seed = seed;
+  return BuildWorkload(config);
+}
+
+// ---------------------------------------------------------------------------
+// /metrics and /healthz
+// ---------------------------------------------------------------------------
+
+TEST(HttpIntrospectionTest, MetricsEndpointServesPrometheusText) {
+  const Workload workload = SmallWorkload(21);
+  EngineOptions options;
+  options.num_threads = 2;
+  options.listen_port = 0;  // ephemeral; engine owns the registry
+  QueryEngine engine(workload.database.get(), options);
+  const int port = engine.introspection_port();
+  ASSERT_GT(port, 0);
+
+  QueryOptions query_options;
+  query_options.epsilon = 0.1;
+  auto futures = engine.SubmitBatch(workload.queries, query_options);
+  for (auto& f : futures) ASSERT_EQ(f.get().status, QueryStatus::kOk);
+
+  const ClientResponse response = Get(port, "/metrics");
+  ASSERT_TRUE(response.ok) << response.error;
+  EXPECT_EQ(response.status, 200);
+  EXPECT_NE(response.head.find("text/plain; version=0.0.4"),
+            std::string::npos);
+  // Engine counters and the build-info gauge are both present.
+  EXPECT_NE(response.body.find("# TYPE mdseq_queries_submitted_total "
+                               "counter"),
+            std::string::npos);
+  EXPECT_NE(response.body.find("mdseq_build_info{"), std::string::npos);
+  EXPECT_NE(response.body.find("mdseq_queries_active"), std::string::npos);
+  // The scrape matches what the engine reports directly.
+  ASSERT_NE(engine.metrics_registry(), nullptr);
+  EXPECT_EQ(response.body, engine.metrics_registry()->PrometheusText());
+}
+
+TEST(HttpIntrospectionTest, HealthzReportsCapacityAsJson) {
+  const Workload workload = SmallWorkload(22);
+  EngineOptions options;
+  options.num_threads = 3;
+  options.queue_capacity = 17;
+  options.listen_port = 0;
+  QueryEngine engine(workload.database.get(), options);
+  const int port = engine.introspection_port();
+  ASSERT_GT(port, 0);
+
+  const ClientResponse response = Get(port, "/healthz");
+  ASSERT_TRUE(response.ok) << response.error;
+  EXPECT_EQ(response.status, 200);
+  EXPECT_NE(response.head.find("application/json"), std::string::npos);
+  EXPECT_TRUE(obs::JsonValidate(response.body)) << response.body;
+  EXPECT_NE(response.body.find("\"accepting\": true"), std::string::npos);
+  EXPECT_NE(response.body.find("\"workers\": 3"), std::string::npos);
+  EXPECT_NE(response.body.find("\"queue_capacity\": 17"),
+            std::string::npos);
+  EXPECT_NE(response.body.find("\"buffer_pool\""), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// /debug/active and POST /debug/cancel
+// ---------------------------------------------------------------------------
+
+TEST(HttpIntrospectionTest, DebugActiveListsQueuedQueries) {
+  const Workload workload = SmallWorkload(23);
+  EngineOptions options;
+  options.num_threads = 1;
+  options.start_suspended = true;  // queries stay queued, hence active
+  options.listen_port = 0;
+  QueryEngine engine(workload.database.get(), options);
+  const int port = engine.introspection_port();
+  ASSERT_GT(port, 0);
+
+  QueryOptions query_options;
+  query_options.epsilon = 0.25;
+  auto f1 = engine.Submit(workload.queries[0], query_options);
+  auto f2 = engine.Submit(workload.queries[1], query_options);
+
+  const ClientResponse response = Get(port, "/debug/active");
+  ASSERT_TRUE(response.ok) << response.error;
+  EXPECT_EQ(response.status, 200);
+  EXPECT_TRUE(obs::JsonValidate(response.body)) << response.body;
+  EXPECT_NE(response.body.find("\"id\": 1"), std::string::npos);
+  EXPECT_NE(response.body.find("\"id\": 2"), std::string::npos);
+  EXPECT_NE(response.body.find("\"phase\": \"queued\""),
+            std::string::npos);
+  EXPECT_NE(response.body.find("\"epsilon\": 0.25"), std::string::npos);
+
+  engine.Start();
+  EXPECT_EQ(f1.get().status, QueryStatus::kOk);
+  EXPECT_EQ(f2.get().status, QueryStatus::kOk);
+
+  // Drained: the registry empties once the futures resolve.
+  const ClientResponse after = Get(port, "/debug/active");
+  ASSERT_TRUE(after.ok) << after.error;
+  EXPECT_NE(after.body.find("\"active\": []"), std::string::npos);
+}
+
+TEST(HttpIntrospectionTest, CancelEndpointTerminatesQueuedQuery) {
+  const Workload workload = SmallWorkload(24);
+  EngineOptions options;
+  options.num_threads = 1;
+  options.start_suspended = true;
+  options.listen_port = 0;
+  QueryEngine engine(workload.database.get(), options);
+  const int port = engine.introspection_port();
+  ASSERT_GT(port, 0);
+
+  QueryOptions query_options;
+  query_options.epsilon = 0.1;
+  auto future = engine.Submit(workload.queries[0], query_options);
+
+  const ClientResponse response = Post(port, "/debug/cancel?id=1");
+  ASSERT_TRUE(response.ok) << response.error;
+  EXPECT_EQ(response.status, 200);
+  EXPECT_NE(response.body.find("\"cancelled_id\": 1"), std::string::npos);
+
+  engine.Start();
+  EXPECT_EQ(future.get().status, QueryStatus::kCancelled);
+  EXPECT_EQ(engine.stats().cancelled, 1u);
+  // The engine-owned registry saw the cancellation too.
+  ASSERT_NE(engine.metrics_registry(), nullptr);
+  const std::string text = engine.metrics_registry()->PrometheusText();
+  EXPECT_NE(text.find("mdseq_queries_cancelled_total 1"),
+            std::string::npos);
+
+  // A drained id is no longer in flight.
+  const ClientResponse gone = Post(port, "/debug/cancel?id=1");
+  EXPECT_EQ(gone.status, 404);
+}
+
+// ---------------------------------------------------------------------------
+// /debug/slow and /debug/trace
+// ---------------------------------------------------------------------------
+
+TEST(HttpIntrospectionTest, SlowQueryRingPopulatesOverHttp) {
+  QuietGlobalLogger quiet;
+  const Workload workload = SmallWorkload(25);
+  EngineOptions options;
+  options.num_threads = 2;
+  options.listen_port = 0;
+  // Every served query is "slow" at a 1us threshold.
+  options.slow_query_threshold = std::chrono::microseconds(1);
+  options.slow_query_capacity = 8;
+  QueryEngine engine(workload.database.get(), options);
+  const int port = engine.introspection_port();
+  ASSERT_GT(port, 0);
+
+  QueryOptions query_options;
+  query_options.epsilon = 0.1;
+  auto futures = engine.SubmitBatch(workload.queries, query_options);
+  for (auto& f : futures) ASSERT_EQ(f.get().status, QueryStatus::kOk);
+
+  const ClientResponse response = Get(port, "/debug/slow");
+  ASSERT_TRUE(response.ok) << response.error;
+  EXPECT_EQ(response.status, 200);
+  EXPECT_TRUE(obs::JsonValidate(response.body)) << response.body;
+  EXPECT_NE(response.body.find("\"status\": \"ok\""), std::string::npos);
+  // EXPLAIN-style stats ride along with each record.
+  EXPECT_NE(response.body.find("\"node_accesses\""), std::string::npos);
+  EXPECT_NE(response.body.find("\"dnorm_evaluations\""),
+            std::string::npos);
+  // The ring is bounded: at most slow_query_capacity records serialized.
+  EXPECT_EQ(engine.SlowQueries().size(), 8u);
+}
+
+TEST(HttpIntrospectionTest, TraceEndpointServesChromeTraceJson) {
+  const Workload workload = SmallWorkload(26);
+  EngineOptions options;
+  options.num_threads = 1;
+  options.trace_capacity = 16;
+  options.listen_port = 0;
+  QueryEngine engine(workload.database.get(), options);
+  const int port = engine.introspection_port();
+  ASSERT_GT(port, 0);
+
+  QueryOptions query_options;
+  query_options.epsilon = 0.1;
+  ASSERT_EQ(engine.Submit(workload.queries[0], query_options).get().status,
+            QueryStatus::kOk);
+
+  const ClientResponse hit = Get(port, "/debug/trace?id=1");
+  ASSERT_TRUE(hit.ok) << hit.error;
+  EXPECT_EQ(hit.status, 200);
+  EXPECT_TRUE(obs::JsonValidate(hit.body)) << hit.body;
+  EXPECT_NE(hit.body.find("traceEvents"), std::string::npos);
+
+  EXPECT_EQ(Get(port, "/debug/trace?id=424242").status, 404);
+  EXPECT_EQ(Get(port, "/debug/trace").status, 400);
+  EXPECT_EQ(Get(port, "/debug/trace?id=bogus").status, 400);
+}
+
+// ---------------------------------------------------------------------------
+// HTTP error paths
+// ---------------------------------------------------------------------------
+
+TEST(HttpIntrospectionTest, ErrorStatusesForBadRequests) {
+  const Workload workload = SmallWorkload(27);
+  EngineOptions options;
+  options.num_threads = 1;
+  options.listen_port = 0;
+  QueryEngine engine(workload.database.get(), options);
+  const int port = engine.introspection_port();
+  ASSERT_GT(port, 0);
+
+  EXPECT_EQ(Get(port, "/nope").status, 404);
+  // /debug/cancel exists but only as POST.
+  EXPECT_EQ(Get(port, "/debug/cancel?id=1").status, 405);
+  EXPECT_EQ(Post(port, "/metrics").status, 405);
+  EXPECT_EQ(Post(port, "/debug/cancel").status, 400);
+  EXPECT_EQ(Post(port, "/debug/cancel?id=").status, 400);
+  // Malformed request line.
+  const ClientResponse garbage = Fetch(port, "NOT-HTTP\r\n\r\n");
+  EXPECT_EQ(garbage.status, 400);
+}
+
+// ---------------------------------------------------------------------------
+// Concurrent scrapes while a batch is in flight
+// ---------------------------------------------------------------------------
+
+TEST(HttpIntrospectionTest, ConcurrentScrapesDuringSubmitBatch) {
+  QuietGlobalLogger quiet;
+  const Workload workload = SmallWorkload(28);
+  EngineOptions options;
+  options.num_threads = 4;
+  options.trace_capacity = 64;
+  options.slow_query_threshold = std::chrono::microseconds(1);
+  options.listen_port = 0;
+  QueryEngine engine(workload.database.get(), options);
+  const int port = engine.introspection_port();
+  ASSERT_GT(port, 0);
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> scrapers;
+  const char* targets[] = {"/metrics", "/healthz", "/debug/active",
+                           "/debug/slow"};
+  for (const char* target : targets) {
+    scrapers.emplace_back([port, target, &stop] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        const ClientResponse response = Get(port, target);
+        ASSERT_TRUE(response.ok) << target;
+        EXPECT_EQ(response.status, 200) << target;
+      }
+    });
+  }
+
+  QueryOptions query_options;
+  query_options.epsilon = 0.1;
+  for (int round = 0; round < 4; ++round) {
+    auto futures = engine.SubmitBatch(workload.queries, query_options);
+    for (auto& f : futures) EXPECT_EQ(f.get().status, QueryStatus::kOk);
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& t : scrapers) t.join();
+
+  EXPECT_EQ(engine.stats().served, 4u * workload.queries.size());
+}
+
+}  // namespace
+}  // namespace mdseq

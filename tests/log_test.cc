@@ -1,0 +1,213 @@
+// Tests for the structured logger (src/obs/log): JSON-valid output lines,
+// the level gate, name parsing, string escaping, the atomic sink swap
+// under concurrent writers, and the engine integration — admission
+// rejections and cancellations emit `query_rejected` / `query_cancelled`
+// events through `Logger::Global()`.
+//
+// The binary carries the `log` and `tsan` ctest labels; the concurrent
+// sink-swap test is the interesting one under -DMDSEQ_SANITIZE=thread.
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "engine/query_engine.h"
+#include "eval/experiment.h"
+#include "obs/json.h"
+#include "obs/log.h"
+
+namespace mdseq {
+namespace {
+
+TEST(LogTest, EmitsOneValidJsonLinePerRecord) {
+  obs::Logger logger(obs::LogLevel::kDebug);
+  auto sink = std::make_shared<obs::CaptureLogSink>();
+  logger.SetSink(sink);
+
+  logger.Info("query_served")
+      .U64("query_id", 7)
+      .I64("delta", -3)
+      .F64("epsilon", 0.25)
+      .Bool("verified", true)
+      .Str("status", "ok");
+  logger.Warn("slow_query").U64("latency_us", 1234);
+
+  const std::vector<std::string> lines = sink->lines();
+  ASSERT_EQ(lines.size(), 2u);
+  for (const std::string& line : lines) {
+    ASSERT_FALSE(line.empty());
+    EXPECT_EQ(line.back(), '\n');
+    EXPECT_TRUE(obs::JsonValidate(line)) << line;
+  }
+  EXPECT_NE(lines[0].find("\"event\": \"query_served\""),
+            std::string::npos);
+  EXPECT_NE(lines[0].find("\"level\": \"info\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"query_id\": 7"), std::string::npos);
+  EXPECT_NE(lines[0].find("\"delta\": -3"), std::string::npos);
+  EXPECT_NE(lines[0].find("\"verified\": true"), std::string::npos);
+  EXPECT_NE(lines[0].find("\"status\": \"ok\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"ts\": "), std::string::npos);
+  EXPECT_NE(lines[1].find("\"level\": \"warn\""), std::string::npos);
+}
+
+TEST(LogTest, LevelGateSuppressesBelowThreshold) {
+  obs::Logger logger(obs::LogLevel::kWarn);
+  auto sink = std::make_shared<obs::CaptureLogSink>();
+  logger.SetSink(sink);
+
+  EXPECT_FALSE(logger.Enabled(obs::LogLevel::kDebug));
+  EXPECT_FALSE(logger.Enabled(obs::LogLevel::kInfo));
+  EXPECT_TRUE(logger.Enabled(obs::LogLevel::kWarn));
+  EXPECT_TRUE(logger.Enabled(obs::LogLevel::kError));
+  EXPECT_FALSE(logger.Enabled(obs::LogLevel::kOff));
+
+  logger.Debug("dropped").U64("a", 1);
+  logger.Info("dropped_too");
+  logger.Error("kept");
+  EXPECT_EQ(sink->lines().size(), 1u);
+
+  logger.SetLevel(obs::LogLevel::kOff);
+  logger.Error("silenced");
+  EXPECT_EQ(sink->lines().size(), 1u);
+
+  logger.SetLevel(obs::LogLevel::kDebug);
+  logger.Debug("now_kept");
+  EXPECT_EQ(sink->lines().size(), 2u);
+}
+
+TEST(LogTest, ParseLogLevelRoundTrips) {
+  for (obs::LogLevel level :
+       {obs::LogLevel::kDebug, obs::LogLevel::kInfo, obs::LogLevel::kWarn,
+        obs::LogLevel::kError}) {
+    obs::LogLevel parsed = obs::LogLevel::kOff;
+    ASSERT_TRUE(obs::ParseLogLevel(obs::LogLevelName(level), &parsed));
+    EXPECT_EQ(parsed, level);
+  }
+  obs::LogLevel parsed = obs::LogLevel::kWarn;
+  EXPECT_TRUE(obs::ParseLogLevel("off", &parsed));
+  EXPECT_EQ(parsed, obs::LogLevel::kOff);
+  parsed = obs::LogLevel::kWarn;
+  EXPECT_FALSE(obs::ParseLogLevel("verbose", &parsed));
+  EXPECT_EQ(parsed, obs::LogLevel::kWarn);  // untouched on failure
+  EXPECT_FALSE(obs::ParseLogLevel("", &parsed));
+}
+
+TEST(LogTest, StringFieldsAreEscaped) {
+  obs::Logger logger(obs::LogLevel::kDebug);
+  auto sink = std::make_shared<obs::CaptureLogSink>();
+  logger.SetSink(sink);
+
+  logger.Info("escape").Str("path", "a\"b\\c\nd\te");
+  const std::vector<std::string> lines = sink->lines();
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_TRUE(obs::JsonValidate(lines[0])) << lines[0];
+  EXPECT_NE(lines[0].find("a\\\"b\\\\c\\nd\\te"), std::string::npos)
+      << lines[0];
+}
+
+// Writers hammering the logger while another thread swaps the sink: every
+// line must land whole on exactly one sink, and TSan must see no race on
+// the shared_ptr handoff.
+TEST(LogTest, ConcurrentWritersSurviveSinkSwap) {
+  obs::Logger logger(obs::LogLevel::kDebug);
+  auto first = std::make_shared<obs::CaptureLogSink>();
+  auto second = std::make_shared<obs::CaptureLogSink>();
+  logger.SetSink(first);
+
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 500;
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&logger, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        logger.Info("tick").U64("thread", static_cast<uint64_t>(t)).U64(
+            "i", static_cast<uint64_t>(i));
+      }
+    });
+  }
+  std::thread swapper([&] {
+    for (int i = 0; i < 50; ++i) {
+      logger.SetSink(i % 2 == 0 ? second : first);
+      std::this_thread::yield();
+    }
+  });
+  for (auto& t : writers) t.join();
+  swapper.join();
+
+  const std::vector<std::string> a = first->lines();
+  const std::vector<std::string> b = second->lines();
+  EXPECT_EQ(a.size() + b.size(),
+            static_cast<size_t>(kThreads) * kPerThread);
+  for (const std::string& line : a) {
+    EXPECT_TRUE(obs::JsonValidate(line)) << line;
+  }
+  for (const std::string& line : b) {
+    EXPECT_TRUE(obs::JsonValidate(line)) << line;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Engine integration: rejections and cancellations reach Logger::Global().
+// ---------------------------------------------------------------------------
+
+TEST(LogTest, EngineEmitsAdmissionAndCancellationEvents) {
+  obs::Logger& global = obs::Logger::Global();
+  const obs::LogLevel saved_level = global.level();
+  auto capture = std::make_shared<obs::CaptureLogSink>();
+  global.SetSink(capture);
+  global.SetLevel(obs::LogLevel::kInfo);
+
+  {
+    WorkloadConfig config;
+    config.kind = DataKind::kSynthetic;
+    config.num_sequences = 60;
+    config.min_length = 56;
+    config.max_length = 128;
+    config.num_queries = 4;
+    config.seed = 31;
+    const Workload workload = BuildWorkload(config);
+
+    EngineOptions options;
+    options.num_threads = 1;
+    options.queue_capacity = 1;
+    options.policy = OverloadPolicy::kReject;
+    options.start_suspended = true;
+    QueryEngine engine(workload.database.get(), options);
+
+    QueryOptions query_options;
+    query_options.epsilon = 0.1;
+    CancellationSource source;
+    query_options.cancel = source.token();
+    auto f1 = engine.Submit(workload.queries[0], query_options);
+    auto f2 = engine.Submit(workload.queries[1], query_options);  // rejected
+    EXPECT_EQ(f2.get().status, QueryStatus::kRejected);
+    source.Cancel();
+    engine.Start();
+    EXPECT_EQ(f1.get().status, QueryStatus::kCancelled);
+  }
+
+  global.SetLevel(saved_level);
+  global.SetSink(nullptr);  // back to stderr
+
+  bool saw_rejected = false;
+  bool saw_cancelled = false;
+  for (const std::string& line : capture->lines()) {
+    EXPECT_TRUE(obs::JsonValidate(line)) << line;
+    if (line.find("\"event\": \"query_rejected\"") != std::string::npos) {
+      saw_rejected = true;
+      EXPECT_NE(line.find("\"query_id\": "), std::string::npos);
+    }
+    if (line.find("\"event\": \"query_cancelled\"") != std::string::npos) {
+      saw_cancelled = true;
+    }
+  }
+  EXPECT_TRUE(saw_rejected);
+  EXPECT_TRUE(saw_cancelled);
+}
+
+}  // namespace
+}  // namespace mdseq

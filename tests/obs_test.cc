@@ -9,6 +9,7 @@
 // -DMDSEQ_SANITIZE=thread and run `ctest -L tsan`.
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <thread>
 #include <vector>
@@ -188,6 +189,85 @@ TEST(MetricsTest, DefaultLatencyBoundsAreAscending) {
   }
 }
 
+// Prometheus requires histogram buckets to be cumulative and the +Inf
+// bucket to equal _count. Parse the rendered text and check, rather than
+// trusting the writer.
+TEST(MetricsTest, HistogramBucketsAreCumulativeThroughInf) {
+  obs::MetricsRegistry registry;
+  obs::Histogram* hist = registry.GetHistogram("cum", "", {1.0, 5.0, 25.0});
+  for (int i = 0; i < 50; ++i) hist->Observe(static_cast<double>(i));
+  const std::string text = registry.PrometheusText();
+
+  std::vector<uint64_t> counts;
+  size_t pos = 0;
+  while ((pos = text.find("cum_bucket{le=\"", pos)) != std::string::npos) {
+    const size_t value_pos = text.find("} ", pos);
+    ASSERT_NE(value_pos, std::string::npos);
+    counts.push_back(
+        std::strtoull(text.c_str() + value_pos + 2, nullptr, 10));
+    pos = value_pos;
+  }
+  ASSERT_EQ(counts.size(), 4u);  // three finite bounds plus +Inf
+  // Observed 0..49 with inclusive upper bounds: le=1 holds {0,1}, le=5
+  // holds {0..5}, le=25 holds {0..25}, +Inf holds all 50.
+  EXPECT_EQ(counts[0], 2u);
+  EXPECT_EQ(counts[1], 6u);
+  EXPECT_EQ(counts[2], 26u);
+  EXPECT_EQ(counts[3], 50u);
+  for (size_t i = 1; i < counts.size(); ++i) {
+    EXPECT_GE(counts[i], counts[i - 1]);
+  }
+  EXPECT_EQ(counts.back(), hist->count());
+  EXPECT_NE(text.find("cum_bucket{le=\"+Inf\"} 50"), std::string::npos);
+}
+
+TEST(MetricsTest, EscapesLabelValues) {
+  EXPECT_EQ(obs::MetricsRegistry::EscapeLabelValue("plain"), "plain");
+  EXPECT_EQ(obs::MetricsRegistry::EscapeLabelValue("a\"b"), "a\\\"b");
+  EXPECT_EQ(obs::MetricsRegistry::EscapeLabelValue("a\\b"), "a\\\\b");
+  EXPECT_EQ(obs::MetricsRegistry::EscapeLabelValue("a\nb"), "a\\nb");
+
+  obs::MetricsRegistry registry;
+  registry
+      .GetCounter("odd_total", "help",
+                  obs::Labels{{"path", "a\"b\\c\nd"}})
+      ->Increment();
+  const std::string text = registry.PrometheusText();
+  EXPECT_NE(text.find("odd_total{path=\"a\\\"b\\\\c\\nd\"} 1"),
+            std::string::npos)
+      << text;
+}
+
+TEST(MetricsTest, LabeledMetricsRenderTheirSuffix) {
+  obs::MetricsRegistry registry;
+  registry
+      .GetGauge("tagged", "help",
+                obs::Labels{{"shard", "3"}, {"kind", "x"}})
+      ->Set(2.5);
+  const std::string text = registry.PrometheusText();
+  EXPECT_NE(text.find("tagged{shard=\"3\",kind=\"x\"} 2.5"),
+            std::string::npos)
+      << text;
+  // JSON exposition carries the labels too, and stays valid.
+  const std::string json = registry.JsonText();
+  std::string error;
+  EXPECT_TRUE(obs::JsonValidate(json, &error)) << error << "\n" << json;
+  EXPECT_NE(json.find("\"shard\": \"3\""), std::string::npos);
+}
+
+TEST(MetricsTest, RegisterBuildInfoExportsTheIdiomaticGauge) {
+  obs::MetricsRegistry registry;
+  obs::RegisterBuildInfo(&registry);
+  const std::string text = registry.PrometheusText();
+  EXPECT_NE(text.find("# TYPE mdseq_build_info gauge"), std::string::npos);
+  EXPECT_NE(text.find("mdseq_build_info{version=\""), std::string::npos);
+  EXPECT_NE(text.find("build_type=\""), std::string::npos);
+  EXPECT_NE(text.find("\"} 1\n"), std::string::npos);
+  // Idempotent: a second call reuses the registration.
+  obs::RegisterBuildInfo(&registry);
+  EXPECT_EQ(registry.PrometheusText(), text);
+}
+
 // ---------------------------------------------------------------------------
 // Trace / SpanScope / TraceStore
 // ---------------------------------------------------------------------------
@@ -282,6 +362,41 @@ TEST(TraceStoreTest, DropsWhenFullAndCounts) {
   for (int i = 0; i < 5; ++i) store.Add(obs::Trace());
   EXPECT_EQ(store.Take().size(), 2u);
   EXPECT_EQ(store.dropped(), 3u);
+}
+
+// The store is a ring: a full shard evicts its OLDEST trace, so the most
+// recent queries are the ones still inspectable via /debug/trace.
+TEST(TraceStoreTest, FullShardEvictsOldestKeepsNewest) {
+  obs::TraceStore store(4, 1);
+  for (uint64_t id = 1; id <= 10; ++id) {
+    obs::Trace trace;
+    trace.set_query_id(id);
+    const bool dropped = store.Add(std::move(trace));
+    EXPECT_EQ(dropped, id > 4);  // eviction starts once the ring is full
+  }
+  EXPECT_EQ(store.dropped(), 6u);
+  const std::vector<obs::Trace> kept = store.Take();
+  ASSERT_EQ(kept.size(), 4u);
+  std::vector<bool> seen(11, false);
+  for (const obs::Trace& trace : kept) seen[trace.query_id()] = true;
+  for (uint64_t id = 7; id <= 10; ++id) {
+    EXPECT_TRUE(seen[id]) << "newest trace " << id << " was evicted";
+  }
+}
+
+TEST(TraceStoreTest, SnapshotByIdDoesNotDrain) {
+  obs::TraceStore store(16, 2);
+  for (uint64_t id : {1u, 2u, 2u, 3u}) {
+    obs::Trace trace;
+    trace.set_query_id(id);
+    { obs::SpanScope span(&trace, "work"); }
+    store.Add(std::move(trace));
+  }
+  EXPECT_EQ(store.Snapshot(2).size(), 2u);
+  EXPECT_EQ(store.Snapshot(99).size(), 0u);
+  // Snapshot copied; Take still drains everything.
+  EXPECT_EQ(store.Take().size(), 4u);
+  EXPECT_TRUE(store.Take().empty());
 }
 
 // ---------------------------------------------------------------------------

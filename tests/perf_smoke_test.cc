@@ -15,6 +15,8 @@
 #include "core/distance.h"
 #include "core/mbr_distance.h"
 #include "core/partitioning.h"
+#include "engine/query_engine.h"
+#include "eval/experiment.h"
 #include "gen/fractal.h"
 #include "index/rstar_tree.h"
 #include "util/random.h"
@@ -130,6 +132,47 @@ TEST(PerfSmokeTest, BoundedProfileIsNotSlowerThanReference) {
   }
   EXPECT_LE(bounded_ns, ref_ns)
       << "bounded profile slower than the unbounded reference";
+}
+
+// An idle introspection server must not tax the query path: the listener
+// blocks in poll() and the always-on registry costs one sharded-map insert
+// and erase per query. Generous 2x bound — an assertion failure means the
+// server thread is interfering with serving, not timer noise.
+TEST(PerfSmokeTest, IdleIntrospectionServerDoesNotSlowServing) {
+  WorkloadConfig config;
+  config.kind = DataKind::kSynthetic;
+  config.num_sequences = 100;
+  config.min_length = 56;
+  config.max_length = 192;
+  config.num_queries = 16;
+  config.seed = 7004;
+  const Workload workload = BuildWorkload(config);
+  QueryOptions query_options;
+  query_options.epsilon = 0.1;
+
+  const auto run_batches = [&](int listen_port) {
+    EngineOptions options;
+    options.num_threads = 2;
+    options.listen_port = listen_port;
+    QueryEngine engine(workload.database.get(), options);
+    if (listen_port >= 0) {
+      EXPECT_GT(engine.introspection_port(), 0);
+    }
+    return TimeNs([&] {
+      for (int round = 0; round < 3; ++round) {
+        auto futures = engine.SubmitBatch(workload.queries, query_options);
+        for (auto& f : futures) {
+          EXPECT_EQ(f.get().status, QueryStatus::kOk);
+        }
+      }
+    });
+  };
+
+  run_batches(-1);  // warm-up: page in the code and the database
+  const int64_t without_server = run_batches(-1);
+  const int64_t with_server = run_batches(0);
+  EXPECT_LE(with_server, 2 * without_server)
+      << "with=" << with_server << "ns without=" << without_server << "ns";
 }
 
 }  // namespace

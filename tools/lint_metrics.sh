@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# Keeps the metric catalog honest: every `mdseq_*` metric name registered
+# in src/ must have a row in the docs/observability.md catalog table, and
+# every catalog row must correspond to a registration. Run from anywhere:
+#
+#   tools/lint_metrics.sh [repo-root]
+#
+# Wired into ctest as `lint_metrics` (label: lint). Exits non-zero and
+# prints the drift when the two sets disagree.
+set -euo pipefail
+
+root="${1:-$(cd "$(dirname "$0")/.." && pwd)}"
+docs="$root/docs/observability.md"
+
+if [[ ! -d "$root/src" || ! -f "$docs" ]]; then
+  echo "lint_metrics: bad repo root '$root'" >&2
+  exit 2
+fi
+
+# Registered names: quoted mdseq_* string literals in library code. The
+# grep in the test above (tests/CMakeLists.txt) guarantees src/ holds no
+# other mdseq_-prefixed strings.
+code_names=$(grep -rhoE '"mdseq_[a-zA-Z0-9_:]+"' "$root/src" \
+  | tr -d '"' | sort -u)
+
+# Documented names: backticked first column of catalog table rows.
+doc_names=$(grep -hoE '^\|[[:space:]]*`mdseq_[a-zA-Z0-9_:]+`' "$docs" \
+  | grep -oE 'mdseq_[a-zA-Z0-9_:]+' | sort -u)
+
+status=0
+
+undocumented=$(comm -23 <(printf '%s\n' "$code_names") \
+                        <(printf '%s\n' "$doc_names"))
+if [[ -n "$undocumented" ]]; then
+  echo "metrics registered in src/ but missing from $docs:" >&2
+  printf '  %s\n' $undocumented >&2
+  status=1
+fi
+
+unregistered=$(comm -13 <(printf '%s\n' "$code_names") \
+                        <(printf '%s\n' "$doc_names"))
+if [[ -n "$unregistered" ]]; then
+  echo "metrics documented in $docs but never registered in src/:" >&2
+  printf '  %s\n' $unregistered >&2
+  status=1
+fi
+
+if [[ "$status" -eq 0 ]]; then
+  count=$(printf '%s\n' "$code_names" | wc -l)
+  echo "lint_metrics: $count metric names in sync"
+fi
+exit "$status"

@@ -35,14 +35,24 @@
 //                             --seed=42 --min_qlen=32 --max_qlen=128
 //                             --metrics-out=metrics.prom
 //                             --metrics-json=metrics.json
-//                             --trace-out=trace.json --trace-cap=4096]
+//                             --trace-out=trace.json --trace-cap=4096
+//                             --listen=8080 --slow_ms=50 --linger_s=0
+//                             --log-level=warn]
 //             Reports end-to-end QPS and the engine's admission/latency
 //             counters (p50/p99 from the lock-free histogram).
 //             --metrics-out snapshots the engine's metrics registry in
 //             Prometheus text format every 500 ms while the bench runs
-//             (plus a final snapshot); --metrics-json writes the final
-//             registry state as JSON; --trace-out collects per-query
-//             phase traces and writes Chrome trace_event JSON.
+//             (atomic temp-file + rename writes, plus a final snapshot);
+//             --metrics-json writes the final registry state as JSON;
+//             --trace-out collects per-query phase traces and writes
+//             Chrome trace_event JSON. --listen=<port> starts the live
+//             introspection server on 127.0.0.1 (<port> 0 picks an
+//             ephemeral port, printed at startup) with /metrics /healthz
+//             /debug/active /debug/cancel /debug/slow /debug/trace;
+//             --slow_ms sets the slow-query ring threshold; --linger_s
+//             keeps the server up that many seconds after the bench
+//             drains for manual curl; --log-level=debug|info|warn|error
+//             sets the structured-log threshold (JSON lines on stderr).
 //
 // Exit codes: 0 success, 1 runtime failure, 2 usage error.
 
@@ -64,6 +74,7 @@
 #include "gen/walk.h"
 #include "io/serialization.h"
 #include "obs/explain.h"
+#include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "storage/disk_database.h"
@@ -325,6 +336,15 @@ bool WriteTextFile(const std::string& path, const std::string& text) {
   return std::fclose(file) == 0 && ok;
 }
 
+// Atomic replace: write to a sibling temp file, then rename over the
+// target. A tailer or scraper reading `path` concurrently sees either the
+// previous snapshot or the new one in full — never a torn write.
+bool WriteTextFileAtomic(const std::string& path, const std::string& text) {
+  const std::string tmp = path + ".tmp";
+  if (!WriteTextFile(tmp, text)) return false;
+  return std::rename(tmp.c_str(), path.c_str()) == 0;
+}
+
 // explain: run one query with tracing on and print the per-phase report.
 // Works against an in-memory corpus (--corpus) or a disk database (--db).
 int RunExplain(const Flags& flags) {
@@ -462,14 +482,38 @@ int RunServeBench(const Flags& flags) {
     query_options.deadline = std::chrono::milliseconds(deadline_ms);
   }
 
+  const std::string log_level = flags.GetString("log-level", "");
+  if (!log_level.empty()) {
+    obs::LogLevel level;
+    if (!obs::ParseLogLevel(log_level, &level)) {
+      std::fprintf(stderr, "serve-bench: unknown --log-level=%s\n",
+                   log_level.c_str());
+      return 2;
+    }
+    obs::Logger::Global().SetLevel(level);
+  }
+
+  const bool listen = flags.Has("listen");
   const std::string metrics_out = flags.GetString("metrics-out", "");
   const std::string metrics_json = flags.GetString("metrics-json", "");
   const std::string trace_out = flags.GetString("trace-out", "");
   obs::MetricsRegistry registry;
-  if (!metrics_out.empty() || !metrics_json.empty()) {
+  if (listen || !metrics_out.empty() || !metrics_json.empty()) {
     options.metrics = &registry;
   }
-  if (!trace_out.empty()) {
+  if (listen) {
+    // 0 binds an ephemeral port; the actual one is printed below.
+    options.listen_port = static_cast<int>(flags.GetSize("listen", 0));
+    if (options.listen_port > 65535) {
+      std::fprintf(stderr, "serve-bench: --listen must be <= 65535\n");
+      return 2;
+    }
+  }
+  const size_t slow_ms = flags.GetSize("slow_ms", 0);
+  if (slow_ms > 0) {
+    options.slow_query_threshold = std::chrono::milliseconds(slow_ms);
+  }
+  if (!trace_out.empty() || listen) {
     options.trace_capacity = flags.GetSize("trace-cap", 4096);
   }
 
@@ -524,10 +568,24 @@ int RunServeBench(const Flags& flags) {
       memory_database != nullptr
           ? std::make_unique<QueryEngine>(memory_database.get(), options)
           : std::make_unique<QueryEngine>(disk_database.get(), options);
+  if (listen) {
+    if (engine->introspection_port() < 0) {
+      std::fprintf(stderr, "serve-bench: failed to bind --listen port %d\n",
+                   options.listen_port);
+      return 1;
+    }
+    std::printf("listening : http://127.0.0.1:%d  "
+                "(/metrics /healthz /debug/active /debug/cancel "
+                "/debug/slow /debug/trace)\n",
+                engine->introspection_port());
+    std::fflush(stdout);
+  }
 
   // Periodic metrics exposition while the bench runs: the registry is
   // snapshotted every 500 ms (what a Prometheus scraper would see), with a
-  // guaranteed final snapshot after the workload drains.
+  // guaranteed final snapshot after the workload drains. Snapshots are
+  // written via temp-file + rename so a concurrent reader never sees a
+  // torn file.
   std::mutex snapshot_mutex;
   std::condition_variable snapshot_cv;
   bool snapshot_stop = false;
@@ -537,7 +595,7 @@ int RunServeBench(const Flags& flags) {
       std::unique_lock<std::mutex> lock(snapshot_mutex);
       while (!snapshot_stop) {
         snapshot_cv.wait_for(lock, std::chrono::milliseconds(500));
-        WriteTextFile(metrics_out, registry.PrometheusText());
+        WriteTextFileAtomic(metrics_out, registry.PrometheusText());
       }
     });
   }
@@ -561,7 +619,7 @@ int RunServeBench(const Flags& flags) {
     }
     snapshot_cv.notify_all();
     snapshot_thread.join();
-    if (!WriteTextFile(metrics_out, registry.PrometheusText())) {
+    if (!WriteTextFileAtomic(metrics_out, registry.PrometheusText())) {
       std::fprintf(stderr, "serve-bench: failed to write %s\n",
                    metrics_out.c_str());
       return 1;
@@ -629,6 +687,15 @@ int RunServeBench(const Flags& flags) {
     std::printf("traces    : %zu kept (%llu dropped) -> %s\n", traces.size(),
                 static_cast<unsigned long long>(stats.traces_dropped),
                 trace_out.c_str());
+  }
+
+  // --linger_s keeps the engine (and its introspection server) alive after
+  // the workload drains, so the endpoints can be probed manually.
+  const size_t linger_s = flags.GetSize("linger_s", 0);
+  if (linger_s > 0 && listen) {
+    std::printf("linger    : serving introspection for %zu s\n", linger_s);
+    std::fflush(stdout);
+    std::this_thread::sleep_for(std::chrono::seconds(linger_s));
   }
   return 0;
 }
