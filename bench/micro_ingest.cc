@@ -1,0 +1,185 @@
+// Microbenchmarks of the live ingestion path: append+group-commit
+// throughput (points/s, fsyncs per commit), checkpoint cost, and the
+// query-latency tax of concurrent ingest — the same SearchVerified
+// measured quiescent and under a paced writer, reported with a p99
+// counter so tools/run_benchmarks.sh can diff the two. Supports `--json`
+// (see json_main.h).
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "gen/fractal.h"
+#include "ingest/live_database.h"
+#include "json_main.h"
+#include "util/random.h"
+
+namespace {
+
+using namespace mdseq;
+
+std::string TempDbPath(const char* tag) {
+  return "/tmp/mdseq_micro_ingest_" + std::string(tag) + ".db";
+}
+
+void RemoveDb(const std::string& path) {
+  std::remove(path.c_str());
+  std::remove((path + ".wal").c_str());
+  std::remove((path + ".wal.new").c_str());
+}
+
+std::vector<Sequence> MakeCorpus(size_t count, size_t length,
+                                 uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Sequence> corpus;
+  corpus.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    corpus.push_back(GenerateFractalSequence(length, FractalOptions(), &rng));
+  }
+  return corpus;
+}
+
+// Append + seal + group-commit throughput; arg = sequences per commit.
+// counters: points/s via items, fsyncs_per_commit from the WAL stats.
+void BM_LiveIngest_CommitEvery(benchmark::State& state) {
+  const size_t commit_every = static_cast<size_t>(state.range(0));
+  const auto corpus = MakeCorpus(32, 64, 11);
+  const std::string path = TempDbPath("throughput");
+  int64_t points = 0;
+  double fsyncs_per_commit = 0.0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    RemoveDb(path);
+    LiveDatabase::Create(path, corpus[0].dim());
+    state.ResumeTiming();
+    {
+      LiveDatabase db(path);
+      for (size_t s = 0; s < corpus.size(); ++s) {
+        const uint64_t id = db.BeginSequence();
+        db.AppendPoints(id, corpus[s].View());
+        db.SealSequence(id);
+        points += static_cast<int64_t>(corpus[s].size());
+        if ((s + 1) % commit_every == 0) db.Commit();
+      }
+      db.Commit();
+      const IngestStatus status = db.Status();
+      fsyncs_per_commit =
+          status.wal_commits > 0
+              ? static_cast<double>(status.wal_fsyncs) /
+                    static_cast<double>(status.wal_commits)
+              : 0.0;
+    }
+  }
+  RemoveDb(path);
+  state.SetItemsProcessed(points);
+  state.counters["fsyncs_per_commit"] = fsyncs_per_commit;
+}
+BENCHMARK(BM_LiveIngest_CommitEvery)->Arg(1)->Arg(8)->Arg(32)
+    ->Unit(benchmark::kMillisecond);
+
+// Checkpoint cost for a pending tail of `arg` sealed sequences.
+void BM_LiveIngest_Checkpoint(benchmark::State& state) {
+  const size_t pending = static_cast<size_t>(state.range(0));
+  const auto corpus = MakeCorpus(pending, 64, 23);
+  const std::string path = TempDbPath("checkpoint");
+  for (auto _ : state) {
+    state.PauseTiming();
+    RemoveDb(path);
+    LiveDatabase::Create(path, corpus[0].dim());
+    {
+      LiveDatabase db(path);
+      for (const Sequence& s : corpus) {
+        const uint64_t id = db.BeginSequence();
+        db.AppendPoints(id, s.View());
+        db.SealSequence(id);
+      }
+      db.Commit();
+      state.ResumeTiming();
+      db.Checkpoint();
+      state.PauseTiming();
+    }
+    state.ResumeTiming();
+  }
+  RemoveDb(path);
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(pending));
+}
+BENCHMARK(BM_LiveIngest_Checkpoint)->Arg(8)->Arg(32)
+    ->Unit(benchmark::kMillisecond);
+
+// SearchVerified latency over a populated live database, quiescent or with
+// a background writer committing small appends (the read-while-ingest
+// shape). The p99_us counter is what BENCH_ingest.json diffs.
+void RunQueryLatency(benchmark::State& state, bool ingest_on) {
+  const auto corpus = MakeCorpus(64, 96, 31);
+  Rng rng(47);
+  const Sequence probe = GenerateFractalSequence(32, FractalOptions(), &rng);
+  const std::string path =
+      TempDbPath(ingest_on ? "query_ingest" : "query_quiet");
+  RemoveDb(path);
+  LiveDatabase::Create(path, corpus[0].dim());
+  LiveDatabase db(path);
+  for (const Sequence& s : corpus) {
+    const uint64_t id = db.BeginSequence();
+    db.AppendPoints(id, s.View());
+    db.SealSequence(id);
+  }
+  db.Commit();
+  db.Checkpoint();
+
+  std::atomic<bool> stop{false};
+  std::thread writer;
+  if (ingest_on) {
+    writer = std::thread([&db, &stop] {
+      // Trickle points into one open sequence: WAL fsync + snapshot
+      // publish churn without unbounded data growth skewing the A/B.
+      Rng wrng(53);
+      const uint64_t id = db.BeginSequence();
+      Sequence span = GenerateFractalSequence(4, FractalOptions(), &wrng);
+      while (!stop.load(std::memory_order_acquire)) {
+        db.AppendPoints(id, span.View());
+        db.Commit();
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+      }
+      db.SealSequence(id);
+      db.Commit();
+    });
+  }
+
+  std::vector<double> latencies_us;
+  for (auto _ : state) {
+    const auto t0 = std::chrono::steady_clock::now();
+    benchmark::DoNotOptimize(db.SearchVerified(probe.View(), 1.5));
+    const auto t1 = std::chrono::steady_clock::now();
+    latencies_us.push_back(
+        std::chrono::duration<double, std::micro>(t1 - t0).count());
+  }
+  stop.store(true, std::memory_order_release);
+  if (writer.joinable()) writer.join();
+  RemoveDb(path);
+
+  std::sort(latencies_us.begin(), latencies_us.end());
+  const size_t n = latencies_us.size();
+  state.counters["p99_us"] =
+      n > 0 ? latencies_us[std::min(n - 1, (n * 99) / 100)] : 0.0;
+  state.counters["p50_us"] = n > 0 ? latencies_us[n / 2] : 0.0;
+  state.SetItemsProcessed(static_cast<int64_t>(n));
+}
+
+void BM_LiveQuery_Quiescent(benchmark::State& state) {
+  RunQueryLatency(state, /*ingest_on=*/false);
+}
+BENCHMARK(BM_LiveQuery_Quiescent)->Unit(benchmark::kMicrosecond);
+
+void BM_LiveQuery_UnderIngest(benchmark::State& state) {
+  RunQueryLatency(state, /*ingest_on=*/true);
+}
+BENCHMARK(BM_LiveQuery_UnderIngest)->Unit(benchmark::kMicrosecond);
+
+}  // namespace

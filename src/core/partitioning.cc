@@ -24,40 +24,70 @@ double EstimatedAccessCost(const Mbr& mbr,
   return volume;
 }
 
-Partition PartitionSequence(SequenceView seq,
-                            const PartitioningOptions& options) {
+IncrementalPartitioner::IncrementalPartitioner(
+    size_t dim, const PartitioningOptions& options)
+    : dim_(dim), options_(options), current_(dim) {
   MDSEQ_CHECK(options.max_points >= 1);
-  Partition partition;
-  if (seq.empty()) return partition;
+}
 
-  Mbr current(seq.dim());
-  current.Expand(seq[0]);
-  size_t begin = 0;
-  size_t count = 1;
-  double current_mcost =
-      EstimatedAccessCost(current, options) / static_cast<double>(count);
-
-  for (size_t i = 1; i < seq.size(); ++i) {
-    Mbr grown = current;
-    grown.Expand(seq[i]);
-    const double grown_mcost =
-        EstimatedAccessCost(grown, options) / static_cast<double>(count + 1);
-    if (grown_mcost > current_mcost || count + 1 > options.max_points) {
+std::optional<SequenceMbr> IncrementalPartitioner::Add(PointView p) {
+  MDSEQ_CHECK(p.size() == dim_);
+  std::optional<SequenceMbr> sealed;
+  if (count_ == 0) {
+    current_ = Mbr(dim_);
+    current_.Expand(p);
+    begin_ = total_;
+    count_ = 1;
+    current_mcost_ = EstimatedAccessCost(current_, options_);
+  } else {
+    Mbr grown = current_;
+    grown.Expand(p);
+    const double grown_mcost = EstimatedAccessCost(grown, options_) /
+                               static_cast<double>(count_ + 1);
+    if (grown_mcost > current_mcost_ || count_ + 1 > options_.max_points) {
       // Close the current subsequence and start another MBR at this point.
-      partition.push_back(SequenceMbr{current, begin, i});
-      current = Mbr(seq.dim());
-      current.Expand(seq[i]);
-      begin = i;
-      count = 1;
-      current_mcost =
-          EstimatedAccessCost(current, options) / static_cast<double>(count);
+      sealed = SequenceMbr{current_, begin_, total_};
+      current_ = Mbr(dim_);
+      current_.Expand(p);
+      begin_ = total_;
+      count_ = 1;
+      current_mcost_ = EstimatedAccessCost(current_, options_);
     } else {
-      current = grown;
-      ++count;
-      current_mcost = grown_mcost;
+      current_ = grown;
+      ++count_;
+      current_mcost_ = grown_mcost;
     }
   }
-  partition.push_back(SequenceMbr{current, begin, seq.size()});
+  ++total_;
+  return sealed;
+}
+
+std::optional<SequenceMbr> IncrementalPartitioner::Finish() {
+  if (count_ == 0) return std::nullopt;
+  SequenceMbr tail{current_, begin_, total_};
+  count_ = 0;
+  return tail;
+}
+
+std::optional<SequenceMbr> IncrementalPartitioner::Partial() const {
+  if (count_ == 0) return std::nullopt;
+  return SequenceMbr{current_, begin_, total_};
+}
+
+Partition PartitionSequence(SequenceView seq,
+                            const PartitioningOptions& options) {
+  Partition partition;
+  if (seq.empty()) {
+    MDSEQ_CHECK(options.max_points >= 1);
+    return partition;
+  }
+  IncrementalPartitioner partitioner(seq.dim(), options);
+  for (size_t i = 0; i < seq.size(); ++i) {
+    if (std::optional<SequenceMbr> sealed = partitioner.Add(seq[i])) {
+      partition.push_back(*sealed);
+    }
+  }
+  partition.push_back(*partitioner.Finish());
   return partition;
 }
 

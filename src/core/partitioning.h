@@ -2,6 +2,7 @@
 #define MDSEQ_CORE_PARTITIONING_H_
 
 #include <cstddef>
+#include <optional>
 #include <vector>
 
 #include "geom/mbr.h"
@@ -51,6 +52,44 @@ struct PartitioningOptions {
 /// Estimated disk accesses of an MBR under the given options (the `DA` term
 /// of the marginal cost `MCOST = DA / m`).
 double EstimatedAccessCost(const Mbr& mbr, const PartitioningOptions& options);
+
+/// Streaming form of the paper's greedy marginal-cost rule: feed points one
+/// at a time; a piece is emitted exactly when the criterion cuts. Because
+/// the offline `PartitionSequence` delegates to this class, an online
+/// consumer (the ingest path) produces byte-identical pieces to the offline
+/// run on the final sequence, for any interleaving of `Add` calls.
+class IncrementalPartitioner {
+ public:
+  IncrementalPartitioner(size_t dim, const PartitioningOptions& options);
+
+  /// Feeds the next point. If appending it to the open piece would raise
+  /// MCOST (or overflow `max_points`), the open piece is sealed and
+  /// returned, and `p` starts a new piece; otherwise `p` joins the open
+  /// piece and nothing is emitted.
+  std::optional<SequenceMbr> Add(PointView p);
+
+  /// Seals and returns the trailing open piece (empty if no points were
+  /// fed since construction/the last `Finish`). Leaves the partitioner
+  /// ready for a fresh sequence starting at index `points()`.
+  std::optional<SequenceMbr> Finish();
+
+  /// The open (not yet sealed) trailing piece, if any points are pending.
+  std::optional<SequenceMbr> Partial() const;
+
+  /// Total points fed so far (index of the next point).
+  size_t points() const { return total_; }
+
+  size_t dim() const { return dim_; }
+
+ private:
+  size_t dim_;
+  PartitioningOptions options_;
+  Mbr current_;
+  size_t begin_ = 0;
+  size_t count_ = 0;  // points in the open piece; 0 = no open piece
+  double current_mcost_ = 0.0;
+  size_t total_ = 0;
+};
 
 /// Partitions `seq` into subsequences using the paper's greedy marginal-cost
 /// rule: a point joins the current MBR unless doing so would increase the

@@ -153,6 +153,47 @@ std::string SlowQueriesJson(const std::vector<SlowQueryRecord>& records) {
   return out;
 }
 
+std::string IngestStatusJson(const IngestStatus& status) {
+  std::string out = "{";
+  AppendU64(&out, "dim", status.dim);
+  out.append(", ");
+  AppendU64(&out, "base_sequences", status.base_sequences);
+  out.append(", ");
+  AppendU64(&out, "pending_sequences", status.pending_sequences);
+  out.append(", ");
+  AppendU64(&out, "total_sequences", status.total_sequences);
+  out.append(", ");
+  AppendU64(&out, "points_total", status.points_total);
+  out.append(", \"wal\": {");
+  AppendU64(&out, "records", status.wal_records);
+  out.append(", ");
+  AppendU64(&out, "commits", status.wal_commits);
+  out.append(", ");
+  AppendU64(&out, "fsyncs", status.wal_fsyncs);
+  out.append(", ");
+  AppendU64(&out, "bytes_committed", status.wal_bytes);
+  out.append(", ");
+  AppendU64(&out, "pages", status.wal_pages);
+  out.append(", ");
+  AppendU64(&out, "recovered_records", status.recovered_records);
+  out.append("}, ");
+  AppendU64(&out, "checkpoints", status.checkpoints);
+  out.append(", ");
+  AppendF64(&out, "last_checkpoint_seconds", status.last_checkpoint_seconds);
+  out.append(", ");
+  AppendU64(&out, "epoch", status.epoch);
+  out.append(", ");
+  AppendU64(&out, "retired_pages", status.retired_pages);
+  out.append(", ");
+  AppendU64(&out, "free_pages", status.free_pages);
+  out.append(", ");
+  AppendU64(&out, "tree_inserts", status.tree_inserts);
+  out.append(", ");
+  AppendU64(&out, "file_pages", status.file_pages);
+  out.append("}\n");
+  return out;
+}
+
 void RegisterEngineEndpoints(obs::http::HttpServer* server,
                              QueryEngine* engine) {
   server->Handle("GET", "/metrics", [engine](const HttpRequest&) {
@@ -160,6 +201,7 @@ void RegisterEngineEndpoints(obs::http::HttpServer* server,
     if (registry == nullptr) {
       return TextResponse(503, "no metrics registry installed\n");
     }
+    engine->RefreshStorageGauges();
     HttpResponse response;
     response.content_type = "text/plain; version=0.0.4; charset=utf-8";
     response.body = registry->PrometheusText();
@@ -192,6 +234,14 @@ void RegisterEngineEndpoints(obs::http::HttpServer* server,
 
   server->Handle("GET", "/debug/slow", [engine](const HttpRequest&) {
     return JsonResponse(200, SlowQueriesJson(engine->SlowQueries()));
+  });
+
+  server->Handle("GET", "/debug/ingest", [engine](const HttpRequest&) {
+    LiveDatabase* database = engine->live_database();
+    if (database == nullptr) {
+      return TextResponse(404, "engine is not backed by a live database\n");
+    }
+    return JsonResponse(200, IngestStatusJson(database->Status()));
   });
 
   server->Handle("GET", "/debug/trace", [engine](const HttpRequest& request) {

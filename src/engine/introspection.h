@@ -17,6 +17,7 @@ namespace mdseq {
 ///   GET  /debug/active     in-flight queries with phase + progress
 ///   POST /debug/cancel?id= fire a query's engine-side cancellation flag
 ///   GET  /debug/slow       the slow-query ring, newest first
+///   GET  /debug/ingest     live-ingest state (WAL, checkpoints, epochs)
 ///   GET  /debug/trace?id=  Chrome trace JSON for one traced query
 ///
 /// The engine must outlive the server. Handlers only touch the engine's
@@ -29,6 +30,7 @@ void RegisterEngineEndpoints(obs::http::HttpServer* server,
 std::string HealthJson(const EngineHealth& health);
 std::string ActiveQueriesJson(const std::vector<ActiveQueryInfo>& queries);
 std::string SlowQueriesJson(const std::vector<SlowQueryRecord>& records);
+std::string IngestStatusJson(const IngestStatus& status);
 
 }  // namespace mdseq
 

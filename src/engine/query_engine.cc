@@ -67,6 +67,17 @@ struct QueryEngine::Pending {
   std::promise<QueryOutcome> promise;
 };
 
+/// One queued ingest batch: its payload, promise, and submit time. The
+/// run and shed callbacks of the pool task share it; exactly one of them
+/// completes the promise.
+struct QueryEngine::PendingIngest {
+  explicit PendingIngest(IngestBatch b) : batch(std::move(b)) {}
+
+  IngestBatch batch;
+  Clock::time_point submit_time;
+  std::promise<IngestOutcome> promise;
+};
+
 /// Handles into the registry the engine drives per query. Registered once
 /// at construction (under the registry mutex); after that every update is a
 /// relaxed atomic on the handle — the hot path never locks.
@@ -93,6 +104,22 @@ struct QueryEngine::Metrics {
   obs::Gauge* queries_active;
   obs::Counter* traces_dropped;
   obs::Counter* slow_queries;
+
+  /// Ingest path (live engines only; null otherwise).
+  obs::Counter* ingest_points = nullptr;
+  obs::Counter* ingest_batches = nullptr;
+  obs::Counter* ingest_rejected = nullptr;
+  obs::Counter* wal_fsyncs = nullptr;
+  obs::Histogram* checkpoint_seconds = nullptr;
+
+  /// Storage gauges (disk/live engines only; null otherwise), refreshed by
+  /// `RefreshStorageGauges` at scrape time.
+  obs::Gauge* page_file_reads = nullptr;
+  obs::Gauge* page_file_writes = nullptr;
+  obs::Gauge* page_file_syncs = nullptr;
+  obs::Gauge* pool_hits = nullptr;
+  obs::Gauge* pool_misses = nullptr;
+  obs::Gauge* pool_evictions = nullptr;
 };
 
 QueryEngine::QueryEngine(const SequenceDatabase* database,
@@ -110,6 +137,16 @@ QueryEngine::QueryEngine(const DiskDatabase* database,
                          const EngineOptions& options)
     : disk_database_(database),
       pool_(std::make_unique<ThreadPool>(PoolOptions(options))) {
+  MDSEQ_CHECK(database != nullptr);
+  MDSEQ_CHECK(database->valid());
+  InstallObservers(options);
+  StartIntrospection(options);
+}
+
+QueryEngine::QueryEngine(LiveDatabase* database, const EngineOptions& options)
+    : live_database_(database),
+      pool_(std::make_unique<ThreadPool>(PoolOptions(options))),
+      max_pending_ingest_(options.max_pending_ingest) {
   MDSEQ_CHECK(database != nullptr);
   MDSEQ_CHECK(database->valid());
   InstallObservers(options);
@@ -194,7 +231,63 @@ void QueryEngine::InstallObservers(const EngineOptions& options) {
   metrics->slow_queries = reg->GetCounter(
       "mdseq_slow_queries_total",
       "Served queries exceeding the slow-query latency threshold");
+  if (live_database_ != nullptr) {
+    metrics->ingest_points = reg->GetCounter(
+        "mdseq_ingest_points_total",
+        "Points acknowledged (group-committed) by the ingest path");
+    metrics->ingest_batches = reg->GetCounter(
+        "mdseq_ingest_batches_total", "Ingest batches executed");
+    metrics->ingest_rejected = reg->GetCounter(
+        "mdseq_ingest_rejected_total",
+        "Ingest batches refused by the write-admission knob");
+    metrics->wal_fsyncs = reg->GetCounter(
+        "mdseq_wal_fsyncs_total", "WAL group-commit fsyncs issued");
+    metrics->checkpoint_seconds = reg->GetHistogram(
+        "mdseq_checkpoint_seconds", "Wall time of ingest checkpoints",
+        obs::DefaultLatencyBoundsSeconds());
+  }
+  if (disk_database_ != nullptr || live_database_ != nullptr) {
+    metrics->page_file_reads = reg->GetGauge(
+        "mdseq_page_file_reads",
+        "Lifetime page reads of the database file (refreshed per scrape)");
+    metrics->page_file_writes = reg->GetGauge(
+        "mdseq_page_file_writes",
+        "Lifetime page writes of the database file (refreshed per scrape)");
+    metrics->page_file_syncs = reg->GetGauge(
+        "mdseq_page_file_syncs",
+        "Lifetime fsyncs of the database file (refreshed per scrape)");
+    metrics->pool_hits = reg->GetGauge(
+        "mdseq_buffer_pool_hits",
+        "Pool-wide cumulative buffer-pool hits (refreshed per scrape)");
+    metrics->pool_misses = reg->GetGauge(
+        "mdseq_buffer_pool_misses",
+        "Pool-wide cumulative buffer-pool misses (refreshed per scrape)");
+    metrics->pool_evictions = reg->GetGauge(
+        "mdseq_buffer_pool_evictions",
+        "Pool-wide cumulative buffer-pool evictions (refreshed per scrape)");
+  }
   metrics_ = std::move(metrics);
+}
+
+void QueryEngine::RefreshStorageGauges() {
+  if (metrics_ == nullptr || metrics_->page_file_reads == nullptr) return;
+  const PageFile* file = nullptr;
+  const BufferPool* pool = nullptr;
+  if (disk_database_ != nullptr) {
+    file = &disk_database_->file();
+    pool = &disk_database_->pool();
+  } else if (live_database_ != nullptr) {
+    file = &live_database_->file();
+    pool = &live_database_->pool();
+  } else {
+    return;
+  }
+  metrics_->page_file_reads->Set(static_cast<double>(file->reads()));
+  metrics_->page_file_writes->Set(static_cast<double>(file->writes()));
+  metrics_->page_file_syncs->Set(static_cast<double>(file->syncs()));
+  metrics_->pool_hits->Set(static_cast<double>(pool->hits()));
+  metrics_->pool_misses->Set(static_cast<double>(pool->misses()));
+  metrics_->pool_evictions->Set(static_cast<double>(pool->evictions()));
 }
 
 void QueryEngine::StartIntrospection(const EngineOptions& options) {
@@ -263,6 +356,116 @@ std::vector<std::future<QueryOutcome>> QueryEngine::SubmitBatch(
   return futures;
 }
 
+std::future<IngestOutcome> QueryEngine::SubmitIngest(IngestBatch batch) {
+  auto pending = std::make_shared<PendingIngest>(std::move(batch));
+  pending->submit_time = Clock::now();
+  std::future<IngestOutcome> future = pending->promise.get_future();
+
+  bool admitted = live_database_ != nullptr &&
+                  accepting_.load(std::memory_order_acquire);
+  if (admitted) {
+    // Reserve an admission slot; release on rejection/shed/completion.
+    const size_t prior =
+        ingest_pending_.fetch_add(1, std::memory_order_acq_rel);
+    if (prior >= max_pending_ingest_) {
+      ingest_pending_.fetch_sub(1, std::memory_order_acq_rel);
+      admitted = false;
+    }
+  }
+  if (!admitted) {
+    IngestOutcome outcome;
+    outcome.rejected = true;
+    FinishIngest(pending, std::move(outcome));
+    return future;
+  }
+
+  PoolTask task;
+  task.run = [this, pending] { ExecuteIngest(pending); };
+  task.on_shed = [this, pending] {
+    ingest_pending_.fetch_sub(1, std::memory_order_acq_rel);
+    IngestOutcome outcome;
+    outcome.rejected = true;
+    FinishIngest(pending, std::move(outcome));
+  };
+  if (pool_->Submit(std::move(task)) == AdmitResult::kRejected) {
+    ingest_pending_.fetch_sub(1, std::memory_order_acq_rel);
+    IngestOutcome outcome;
+    outcome.rejected = true;
+    FinishIngest(pending, std::move(outcome));
+  }
+  return future;
+}
+
+void QueryEngine::ExecuteIngest(const std::shared_ptr<PendingIngest>& pending) {
+  IngestOutcome outcome;
+  uint64_t fsync_delta = 0;
+  bool checkpointed = false;
+  {
+    // One batch at a time: its appends land in one WAL group commit, and
+    // the Status() before/after deltas below are unambiguous.
+    std::lock_guard<std::mutex> lock(ingest_mutex_);
+    const IngestStatus before = live_database_->Status();
+    outcome.ok = true;
+    for (IngestOp& op : pending->batch.ops) {
+      uint64_t id = op.sequence_id;
+      if (id == IngestOp::kNewSequence) {
+        id = live_database_->BeginSequence();
+        outcome.sequence_ids.push_back(id);
+      }
+      if (!op.points.empty()) {
+        if (op.points.dim() != live_database_->dim() ||
+            !live_database_->AppendPoints(id, op.points.View())) {
+          outcome.ok = false;
+          continue;
+        }
+        outcome.points += op.points.size();
+      }
+      if (op.seal && !live_database_->SealSequence(id)) outcome.ok = false;
+    }
+    if (!live_database_->Commit()) outcome.ok = false;
+    if (pending->batch.checkpoint) {
+      checkpointed = live_database_->Checkpoint();
+      if (!checkpointed) outcome.ok = false;
+    }
+    const IngestStatus after = live_database_->Status();
+    fsync_delta = after.wal_fsyncs - before.wal_fsyncs;
+    if (metrics_ != nullptr && metrics_->ingest_points != nullptr) {
+      if (outcome.points > 0) {
+        metrics_->ingest_points->Increment(outcome.points);
+      }
+      metrics_->ingest_batches->Increment();
+      if (fsync_delta > 0) metrics_->wal_fsyncs->Increment(fsync_delta);
+      if (checkpointed) {
+        metrics_->checkpoint_seconds->Observe(after.last_checkpoint_seconds);
+      }
+    }
+    ingest_points_.fetch_add(outcome.points, std::memory_order_relaxed);
+    ingest_batches_.fetch_add(1, std::memory_order_relaxed);
+  }
+  ingest_pending_.fetch_sub(1, std::memory_order_acq_rel);
+  obs::Logger::Global()
+      .Info("ingest_commit")
+      .U64("ops", pending->batch.ops.size())
+      .U64("points", outcome.points)
+      .U64("wal_fsyncs", fsync_delta)
+      .Bool("checkpoint", checkpointed)
+      .Bool("ok", outcome.ok);
+  FinishIngest(pending, std::move(outcome));
+}
+
+void QueryEngine::FinishIngest(const std::shared_ptr<PendingIngest>& pending,
+                               IngestOutcome outcome) {
+  if (outcome.rejected) {
+    ingest_rejected_.fetch_add(1, std::memory_order_relaxed);
+    if (metrics_ != nullptr && metrics_->ingest_rejected != nullptr) {
+      metrics_->ingest_rejected->Increment();
+    }
+  }
+  outcome.latency = std::chrono::duration_cast<std::chrono::microseconds>(
+      Clock::now() - pending->submit_time);
+  pending->promise.set_value(std::move(outcome));
+}
+
 void QueryEngine::Start() { pool_->Start(); }
 
 void QueryEngine::Shutdown() {
@@ -278,6 +481,12 @@ SearchResult QueryEngine::RunSearch(SequenceView query,
                ? memory_search_->SearchVerified(query, options.epsilon,
                                                 control)
                : memory_search_->Search(query, options.epsilon, control);
+  }
+  if (live_database_ != nullptr) {
+    return options.verified
+               ? live_database_->SearchVerified(query, options.epsilon,
+                                                control)
+               : live_database_->Search(query, options.epsilon, control);
   }
   return options.verified
              ? disk_database_->SearchVerified(query, options.epsilon,
@@ -569,6 +778,9 @@ EngineHealth QueryEngine::Health() const {
   if (disk_database_ != nullptr) {
     health.disk_backed = true;
     health.pool = disk_database_->pool().Health();
+  } else if (live_database_ != nullptr) {
+    health.disk_backed = true;
+    health.pool = live_database_->pool().Health();
   }
   return health;
 }

@@ -15,6 +15,7 @@
 #include "engine/slow_query_log.h"
 #include "engine/thread_pool.h"
 #include "geom/sequence.h"
+#include "ingest/live_database.h"
 #include "obs/http/server.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -102,6 +103,46 @@ struct EngineOptions {
   std::chrono::microseconds slow_query_threshold{0};
   /// Entries kept in the slow-query ring (oldest evicted first).
   size_t slow_query_capacity = 64;
+  /// Write-admission knob (live databases only): ingest batches queued or
+  /// running at once. A `SubmitIngest` beyond this resolves immediately
+  /// with `rejected == true`, so a slow checkpoint back-pressures writers
+  /// instead of growing an unbounded ingest backlog behind the queries.
+  size_t max_pending_ingest = 4;
+};
+
+/// One ingest operation: points for an existing open sequence, or — with
+/// `sequence_id == kNewSequence` — a freshly opened one. `seal` marks the
+/// sequence complete after the append.
+struct IngestOp {
+  /// Sentinel: open a new sequence for these points.
+  static constexpr uint64_t kNewSequence = ~0ull;
+
+  uint64_t sequence_id = kNewSequence;
+  Sequence points{1};
+  bool seal = false;
+};
+
+/// A batch of ingest operations applied and group-committed as one unit
+/// (one WAL fsync); optionally followed by a checkpoint.
+struct IngestBatch {
+  std::vector<IngestOp> ops;
+  bool checkpoint = false;
+};
+
+/// What a `SubmitIngest` future resolves to.
+struct IngestOutcome {
+  /// True when the write-admission knob (or shutdown/shedding) refused the
+  /// batch; nothing was applied then.
+  bool rejected = false;
+  /// All operations applied and the commit (and checkpoint, if requested)
+  /// reached the disk.
+  bool ok = false;
+  /// Ids assigned to `kNewSequence` ops, in op order.
+  std::vector<uint64_t> sequence_ids;
+  /// Points acknowledged by this batch's commit.
+  uint64_t points = 0;
+  /// Submit-to-durable wall time, including queue wait.
+  std::chrono::microseconds latency{0};
 };
 
 /// What `GET /healthz` reports: liveness and the capacity picture.
@@ -177,6 +218,11 @@ class QueryEngine {
               const EngineOptions& options = EngineOptions());
   QueryEngine(const DiskDatabase* database,
               const EngineOptions& options = EngineOptions());
+  /// Live (ingest-capable) engine: queries run against the database's
+  /// published snapshots, and `SubmitIngest` is enabled. The engine does
+  /// not own the database; it must outlive the engine.
+  QueryEngine(LiveDatabase* database,
+              const EngineOptions& options = EngineOptions());
   ~QueryEngine();
 
   QueryEngine(const QueryEngine&) = delete;
@@ -192,6 +238,14 @@ class QueryEngine {
   /// options for all. Futures arrive in input order.
   std::vector<std::future<QueryOutcome>> SubmitBatch(
       std::vector<Sequence> queries, const QueryOptions& options);
+
+  /// Submits one ingest batch (live engines only — returns an immediate
+  /// `rejected` outcome otherwise). Batches share the worker pool with
+  /// queries; at most `EngineOptions::max_pending_ingest` are queued or
+  /// running at once, and execution is serialized so the WAL sees one
+  /// group commit per batch. The future resolves once the batch is
+  /// durable (commit fsynced) or refused.
+  std::future<IngestOutcome> SubmitIngest(IngestBatch batch);
 
   /// Releases suspended workers (see `EngineOptions::start_suspended`).
   void Start();
@@ -240,8 +294,18 @@ class QueryEngine {
   /// engine-owned one created for the introspection server, or null.
   obs::MetricsRegistry* metrics_registry() const { return registry_; }
 
+  /// The live database, or null for read-only engines (`/debug/ingest`).
+  LiveDatabase* live_database() const { return live_database_; }
+
+  /// Copies the current page-file and buffer-pool counters into their
+  /// `mdseq_page_file_*` / `mdseq_buffer_pool_resident_pages` etc. gauges.
+  /// Called by the `/metrics` handler so every scrape sees fresh storage
+  /// numbers; a no-op for in-memory engines or without a registry.
+  void RefreshStorageGauges();
+
  private:
   struct Pending;
+  struct PendingIngest;
   struct Metrics;
 
   void InstallObservers(const EngineOptions& options);
@@ -252,11 +316,26 @@ class QueryEngine {
   SearchResult RunSearch(SequenceView query, const QueryOptions& options,
                          const SearchControl& control) const;
 
+  void ExecuteIngest(const std::shared_ptr<PendingIngest>& pending);
+  void FinishIngest(const std::shared_ptr<PendingIngest>& pending,
+                    IngestOutcome outcome);
+
   const SequenceDatabase* memory_database_ = nullptr;
   const DiskDatabase* disk_database_ = nullptr;
+  LiveDatabase* live_database_ = nullptr;
   std::unique_ptr<SimilaritySearch> memory_search_;
   std::unique_ptr<ThreadPool> pool_;
   std::atomic<bool> accepting_{true};
+
+  /// Ingest path (live engines): the admission knob, the batch serializer
+  /// (one WAL group commit per batch; also makes the before/after Status()
+  /// delta computation race-free), and the engine-wide totals.
+  size_t max_pending_ingest_ = 0;
+  std::mutex ingest_mutex_;
+  std::atomic<size_t> ingest_pending_{0};
+  std::atomic<uint64_t> ingest_batches_{0};
+  std::atomic<uint64_t> ingest_points_{0};
+  std::atomic<uint64_t> ingest_rejected_{0};
 
   std::atomic<uint64_t> submitted_{0};
   std::atomic<uint64_t> served_{0};

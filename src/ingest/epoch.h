@@ -1,0 +1,136 @@
+#ifndef MDSEQ_INGEST_EPOCH_H_
+#define MDSEQ_INGEST_EPOCH_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "storage/page_file.h"
+#include "util/check.h"
+
+namespace mdseq {
+
+/// Epoch-based reclamation for copy-on-write index pages.
+///
+/// The writer works in the current epoch. Publishing a snapshot tags the
+/// pages its inserts superseded with the current epoch (`Retire`, which
+/// also advances the epoch) and pins the new epoch for the snapshot's
+/// lifetime. A page tagged with epoch E is referenced only by snapshots
+/// pinned at epochs <= E, so it becomes reclaimable once every such pin is
+/// released (`DrainReclaimable`).
+///
+/// Crash-safety note: the live database calls `DrainReclaimable` only
+/// inside `Checkpoint`, *after* the new master page is durable — a page
+/// retired after the last checkpoint may still be referenced by the
+/// on-disk root that recovery would load, so draining it earlier could let
+/// the writer overwrite a page the crash-recovery tree still needs.
+class EpochManager {
+ public:
+  /// RAII pin of one epoch; movable, not copyable. A default-constructed
+  /// pin holds nothing.
+  class Pin {
+   public:
+    Pin() = default;
+    Pin(EpochManager* manager, uint64_t epoch)
+        : manager_(manager), epoch_(epoch) {}
+    ~Pin() { Release(); }
+    Pin(Pin&& other) noexcept
+        : manager_(other.manager_), epoch_(other.epoch_) {
+      other.manager_ = nullptr;
+    }
+    Pin& operator=(Pin&& other) noexcept {
+      if (this != &other) {
+        Release();
+        manager_ = other.manager_;
+        epoch_ = other.epoch_;
+        other.manager_ = nullptr;
+      }
+      return *this;
+    }
+    Pin(const Pin&) = delete;
+    Pin& operator=(const Pin&) = delete;
+
+    void Release() {
+      if (manager_ != nullptr) {
+        manager_->Unpin(epoch_);
+        manager_ = nullptr;
+      }
+    }
+    uint64_t epoch() const { return epoch_; }
+
+   private:
+    EpochManager* manager_ = nullptr;
+    uint64_t epoch_ = 0;
+  };
+
+  /// Pins the current epoch (a reader snapshot holds this).
+  Pin PinCurrent() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++pins_[current_];
+    return Pin(this, current_);
+  }
+
+  /// Tags `pages` with the current epoch and advances to the next one.
+  /// Call at snapshot-publish time with the pages superseded since the
+  /// previous publish.
+  void Retire(std::vector<PageId> pages) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!pages.empty()) {
+      retired_.emplace_back(current_, std::move(pages));
+      retired_count_ += retired_.back().second.size();
+    }
+    ++current_;
+  }
+
+  /// Pages whose tag epoch is below every live pin — no reader can reach
+  /// them anymore. See the class comment for when it is safe to call.
+  std::vector<PageId> DrainReclaimable() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const uint64_t min_pinned =
+        pins_.empty() ? current_ : pins_.begin()->first;
+    std::vector<PageId> out;
+    while (!retired_.empty() && retired_.front().first < min_pinned) {
+      std::vector<PageId>& pages = retired_.front().second;
+      retired_count_ -= pages.size();
+      out.insert(out.end(), pages.begin(), pages.end());
+      retired_.pop_front();
+    }
+    return out;
+  }
+
+  uint64_t current() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return current_;
+  }
+  size_t retired_count() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return retired_count_;
+  }
+  size_t pinned_epochs() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return pins_.size();
+  }
+
+ private:
+  friend class Pin;
+
+  void Unpin(uint64_t epoch) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = pins_.find(epoch);
+    MDSEQ_CHECK(it != pins_.end() && it->second > 0);
+    if (--it->second == 0) pins_.erase(it);
+  }
+
+  mutable std::mutex mutex_;
+  uint64_t current_ = 0;
+  std::map<uint64_t, size_t> pins_;
+  std::deque<std::pair<uint64_t, std::vector<PageId>>> retired_;
+  size_t retired_count_ = 0;
+};
+
+}  // namespace mdseq
+
+#endif  // MDSEQ_INGEST_EPOCH_H_

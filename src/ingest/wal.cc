@@ -1,0 +1,213 @@
+#include "ingest/wal.h"
+
+#include <cstdio>
+#include <cstring>
+
+#include "util/check.h"
+
+namespace mdseq {
+
+namespace {
+
+// Frame header: crc u32 | length u32 | type u8.
+constexpr size_t kFrameHeader = 9;
+// Sanity bound on a single record; anything larger is treated as a torn
+// frame (the writer never produces records near this size).
+constexpr uint32_t kMaxRecordBytes = 1u << 30;
+
+const uint32_t* Crc32Table() {
+  static const uint32_t* table = [] {
+    static uint32_t entries[256];
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc >> 1) ^ (0xEDB88320u & (0u - (crc & 1u)));
+      }
+      entries[i] = crc;
+    }
+    return entries;
+  }();
+  return table;
+}
+
+void PutU32(std::vector<uint8_t>* out, uint32_t value) {
+  const size_t at = out->size();
+  out->resize(at + sizeof(value));
+  std::memcpy(out->data() + at, &value, sizeof(value));
+}
+
+uint32_t ReadU32(const uint8_t* at) {
+  uint32_t value = 0;
+  std::memcpy(&value, at, sizeof(value));
+  return value;
+}
+
+}  // namespace
+
+uint32_t WalCrc32(const void* bytes, size_t count) {
+  const uint32_t* table = Crc32Table();
+  const uint8_t* at = static_cast<const uint8_t*>(bytes);
+  uint32_t crc = 0xFFFFFFFFu;
+  for (size_t i = 0; i < count; ++i) {
+    crc = (crc >> 8) ^ table[(crc ^ at[i]) & 0xFFu];
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+bool WalWriter::Create(const std::string& path) {
+  pending_.clear();
+  records_ = 0;
+  commits_ = 0;
+  bytes_committed_ = 0;
+  return file_.Create(path);
+}
+
+bool WalWriter::OpenExisting(const std::string& path) {
+  pending_.clear();
+  records_ = 0;
+  commits_ = 0;
+  bytes_committed_ = 0;
+  return file_.Open(path);
+}
+
+bool WalWriter::Append(WalRecordType type, const void* payload,
+                       size_t bytes) {
+  if (!file_.is_open()) return false;
+  MDSEQ_CHECK(bytes > 0);  // zero-length frames are the padding sentinel
+  MDSEQ_CHECK(bytes < kMaxRecordBytes);
+  // Frame body (length | type | payload) first, so the crc can cover it.
+  std::vector<uint8_t> body;
+  body.reserve(sizeof(uint32_t) + 1 + bytes);
+  PutU32(&body, static_cast<uint32_t>(bytes));
+  body.push_back(static_cast<uint8_t>(type));
+  const size_t at = body.size();
+  body.resize(at + bytes);
+  std::memcpy(body.data() + at, payload, bytes);
+
+  PutU32(&pending_, WalCrc32(body.data(), body.size()));
+  pending_.insert(pending_.end(), body.begin(), body.end());
+  ++records_;
+  return true;
+}
+
+bool WalWriter::Commit() {
+  if (!file_.is_open()) return false;
+  if (pending_.empty()) return true;
+  const uint64_t payload_bytes = pending_.size();
+  // Pad to a page multiple: every commit occupies freshly allocated whole
+  // pages, so a torn write can never reach back into acknowledged pages.
+  const size_t padded =
+      (pending_.size() + kPageSize - 1) / kPageSize * kPageSize;
+  pending_.resize(padded, 0);
+  Page page;
+  for (size_t at = 0; at < padded; at += kPageSize) {
+    const PageId id = file_.Allocate();
+    if (id == kInvalidPageId) {
+      pending_.resize(payload_bytes);
+      return false;
+    }
+    std::memcpy(page.data, pending_.data() + at, kPageSize);
+    if (!file_.Write(id, page)) {
+      pending_.resize(payload_bytes);
+      return false;
+    }
+  }
+  if (!file_.Sync()) {
+    pending_.resize(payload_bytes);
+    return false;
+  }
+  pending_.clear();
+  ++commits_;
+  bytes_committed_ += payload_bytes;
+  return true;
+}
+
+WalScanResult WalScan(const std::string& path) {
+  WalScanResult result;
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    result.ok = true;  // no log: nothing to replay
+    return result;
+  }
+  std::vector<uint8_t> bytes;
+  {
+    if (std::fseek(file, 0, SEEK_END) != 0) {
+      std::fclose(file);
+      return result;
+    }
+    const long size = std::ftell(file);
+    if (size < 0 || std::fseek(file, 0, SEEK_SET) != 0) {
+      std::fclose(file);
+      return result;
+    }
+    bytes.resize(static_cast<size_t>(size));
+    if (!bytes.empty() &&
+        std::fread(bytes.data(), 1, bytes.size(), file) != bytes.size()) {
+      std::fclose(file);
+      return result;
+    }
+  }
+  std::fclose(file);
+
+  // The header page must carry the page-file magic; the stored page count
+  // is stale by design (see WalWriter) and is ignored — the log is sized
+  // by the raw file length.
+  constexpr char kMagic[8] = {'M', 'D', 'S', 'Q', 'P', 'A', 'G', 'E'};
+  if (bytes.size() < kPageSize ||
+      std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0) {
+    return result;  // torn or foreign header: refuse
+  }
+  result.ok = true;
+
+  const uint8_t* data = bytes.data() + kPageSize;
+  const size_t size = bytes.size() - kPageSize;
+  size_t offset = 0;
+  while (true) {
+    const size_t page_room = kPageSize - offset % kPageSize;
+    if (page_room < kFrameHeader) {
+      offset += page_room;  // a frame header never straddles this sliver
+      continue;
+    }
+    if (offset + kFrameHeader > size) {
+      for (size_t i = offset; i < size; ++i) {
+        if (data[i] != 0) {
+          result.truncated_tail = true;
+          break;
+        }
+      }
+      break;
+    }
+    const uint32_t crc = ReadU32(data + offset);
+    const uint32_t length = ReadU32(data + offset + 4);
+    if (crc == 0 && length == 0) {
+      if (offset % kPageSize == 0) break;  // untouched page: end of log
+      offset += page_room;  // tail padding of a commit
+      continue;
+    }
+    if (length == 0 || length >= kMaxRecordBytes ||
+        offset + kFrameHeader + length > size) {
+      result.truncated_tail = true;
+      break;
+    }
+    const uint8_t* body = data + offset + 4;
+    if (WalCrc32(body, sizeof(uint32_t) + 1 + length) != crc) {
+      result.truncated_tail = true;
+      break;
+    }
+    const uint8_t type = body[4];
+    if (type < static_cast<uint8_t>(WalRecordType::kBeginSequence) ||
+        type > static_cast<uint8_t>(WalRecordType::kIndexedPieces)) {
+      result.truncated_tail = true;
+      break;
+    }
+    WalRecord record;
+    record.type = static_cast<WalRecordType>(type);
+    record.payload.assign(body + 5, body + 5 + length);
+    result.records.push_back(std::move(record));
+    offset += kFrameHeader + length;
+  }
+  result.bytes_scanned = offset;
+  return result;
+}
+
+}  // namespace mdseq

@@ -1,0 +1,118 @@
+#ifndef MDSEQ_INGEST_WAL_H_
+#define MDSEQ_INGEST_WAL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "storage/page_file.h"
+
+namespace mdseq {
+
+/// Record types of the ingest write-ahead log.
+enum class WalRecordType : uint8_t {
+  /// A new sequence was opened: payload `u64 id | u64 dim`.
+  kBeginSequence = 1,
+  /// Points arrived: payload `u64 id | u64 dim | u64 count | count*dim f64`.
+  kAppendPoints = 2,
+  /// The sequence is complete: payload `u64 id`.
+  kSealSequence = 3,
+  /// Replay hint written when the WAL is rewritten (checkpoint/recovery):
+  /// the first `pieces` sealed pieces of sequence `id` are already present
+  /// in the persisted index, so replay must not re-insert them. Payload
+  /// `u64 id | u64 pieces`.
+  kIndexedPieces = 4,
+};
+
+/// One decoded WAL record.
+struct WalRecord {
+  WalRecordType type;
+  std::vector<uint8_t> payload;
+};
+
+/// Result of scanning a WAL file back from disk.
+struct WalScanResult {
+  /// False when the file exists but is not a page file with WAL framing
+  /// (e.g. a torn header) — the caller must refuse to open rather than
+  /// silently ignore it.
+  bool ok = false;
+  /// True when the scan ended at a CRC mismatch or a half-written frame
+  /// (the expected state after a crash mid-commit; the torn tail was never
+  /// acknowledged, so stopping there is correct).
+  bool truncated_tail = false;
+  std::vector<WalRecord> records;
+  uint64_t bytes_scanned = 0;
+};
+
+/// CRC-32 (reflected, polynomial 0xEDB88320) over `bytes`; the checksum
+/// guarding every WAL frame. Exposed for tests.
+uint32_t WalCrc32(const void* bytes, size_t count);
+
+/// Append-only write-ahead log over a `PageFile`.
+///
+/// Frame format, packed back to back in the data pages:
+///   u32 crc | u32 length | u8 type | length bytes payload
+/// where `crc` covers `length | type | payload`. A frame header whose
+/// crc and length are both zero is tail padding: the reader skips to the
+/// next page boundary. Frames may span pages within one commit.
+///
+/// `Commit()` is the group-commit boundary: all records appended since the
+/// previous commit are written to freshly allocated pages (a commit always
+/// starts on a page boundary, so a torn write can only damage records of
+/// the in-flight — unacknowledged — commit), then a single `Sync()` makes
+/// them durable. Only after `Commit` returns are the records acknowledged.
+///
+/// The `PageFile` header is deliberately never rewritten after `Create`
+/// (its page count is stale on disk); recovery sizes the log from the raw
+/// file length instead, so no per-commit header write can tear the log.
+class WalWriter {
+ public:
+  /// Creates (truncating) the log at `path`. Returns false on I/O failure.
+  bool Create(const std::string& path);
+
+  /// Re-attaches to a cleanly closed log to continue appending — used
+  /// after the checkpoint rewrite renames a fresh log into place. Counters
+  /// restart at zero.
+  bool OpenExisting(const std::string& path);
+
+  /// Buffers one record for the next commit. Returns false when the log
+  /// is not open.
+  bool Append(WalRecordType type, const void* payload, size_t bytes);
+
+  /// Writes and fsyncs all buffered records (one fsync per call — the
+  /// group commit). A commit with no buffered records is a no-op. Returns
+  /// false on I/O failure; buffered records are kept for retry.
+  bool Commit();
+
+  void Close() { file_.Close(); }
+  bool is_open() const { return file_.is_open(); }
+
+  /// Records appended (buffered or committed) since `Create`.
+  uint64_t records() const { return records_; }
+  /// Successful `Commit` calls that reached the disk.
+  uint64_t commits() const { return commits_; }
+  /// Fsyncs issued (== commits(); separate for clarity at call sites).
+  uint64_t fsyncs() const { return file_.syncs(); }
+  /// Committed log payload bytes (frame headers included, padding not).
+  uint64_t bytes_committed() const { return bytes_committed_; }
+  /// Data pages the log occupies.
+  uint64_t pages() const { return file_.page_count(); }
+
+ private:
+  PageFile file_;
+  std::vector<uint8_t> pending_;
+  uint64_t records_ = 0;
+  uint64_t commits_ = 0;
+  uint64_t bytes_committed_ = 0;
+};
+
+/// Scans a WAL file written by `WalWriter`, returning every record of
+/// every fully durable commit prefix. Reads the raw file (not the page
+/// file header, whose page count is stale by design) and stops cleanly at
+/// the first torn frame. A missing file yields `ok == true` with no
+/// records (an empty log).
+WalScanResult WalScan(const std::string& path);
+
+}  // namespace mdseq
+
+#endif  // MDSEQ_INGEST_WAL_H_

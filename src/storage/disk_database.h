@@ -67,6 +67,10 @@ class DiskDatabase {
   const BufferPool& pool() const { return *pool_; }
   BufferPool* mutable_pool() { return pool_.get(); }
 
+  /// The underlying page file; its lifetime I/O counters feed the
+  /// `mdseq_page_file_*` gauges.
+  const PageFile& file() const { return file_; }
+
  private:
   bool valid_ = false;
   size_t dim_ = 0;

@@ -1,0 +1,76 @@
+#ifndef MDSEQ_STORAGE_DISK_FORMAT_H_
+#define MDSEQ_STORAGE_DISK_FORMAT_H_
+
+#include <cstdint>
+
+#include "core/partitioning.h"
+#include "storage/page_file.h"
+#include "storage/page_stream.h"
+
+namespace mdseq::diskfmt {
+
+/// Master meta page of a database file: ties together the sequence store,
+/// the index, the partition region, and the options a query needs to
+/// partition itself consistently. Shared by the read-only `DiskDatabase`
+/// and the live ingest path (`LiveDatabase`), which must agree byte for
+/// byte so a checkpointed live database is a valid `DiskDatabase` file.
+struct MasterLayout {
+  uint64_t dim;
+  uint64_t sequence_count;
+  PageId store_meta_page;
+  PageId index_root_page;
+  PageId partitions_first_page;
+  uint32_t partitions_page_count;
+  double side_growth;
+  uint64_t max_points;
+  uint8_t cost_model;  // PartitioningOptions::CostModel
+};
+static_assert(sizeof(MasterLayout) <= kPageSize);
+
+/// Partition region byte format, per sequence:
+///   u64 piece_count, then per piece: u64 begin, u64 end,
+///   dim doubles low, dim doubles high.
+inline bool AppendPartition(PageStreamWriter* out, const Partition& partition,
+                            size_t dim) {
+  const uint64_t pieces = partition.size();
+  if (!out->Append(&pieces, sizeof(pieces))) return false;
+  for (const SequenceMbr& piece : partition) {
+    const uint64_t begin = piece.begin;
+    const uint64_t end = piece.end;
+    if (!out->Append(&begin, sizeof(begin))) return false;
+    if (!out->Append(&end, sizeof(end))) return false;
+    if (!out->Append(piece.mbr.low().data(), dim * sizeof(double))) {
+      return false;
+    }
+    if (!out->Append(piece.mbr.high().data(), dim * sizeof(double))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+inline bool ReadPartition(PageStreamReader* in, size_t dim,
+                          Partition* partition) {
+  uint64_t pieces = 0;
+  if (!in->Read(&pieces, sizeof(pieces))) return false;
+  partition->clear();
+  partition->reserve(pieces);
+  for (uint64_t p = 0; p < pieces; ++p) {
+    uint64_t begin = 0;
+    uint64_t end = 0;
+    Point low(dim);
+    Point high(dim);
+    if (!in->Read(&begin, sizeof(begin))) return false;
+    if (!in->Read(&end, sizeof(end))) return false;
+    if (!in->Read(low.data(), dim * sizeof(double))) return false;
+    if (!in->Read(high.data(), dim * sizeof(double))) return false;
+    partition->push_back(SequenceMbr{Mbr(std::move(low), std::move(high)),
+                                     static_cast<size_t>(begin),
+                                     static_cast<size_t>(end)});
+  }
+  return true;
+}
+
+}  // namespace mdseq::diskfmt
+
+#endif  // MDSEQ_STORAGE_DISK_FORMAT_H_

@@ -2,6 +2,12 @@
 
 #include <cstring>
 
+#if defined(_WIN32)
+#include <io.h>
+#else
+#include <unistd.h>
+#endif
+
 #include "util/check.h"
 
 namespace mdseq {
@@ -29,10 +35,11 @@ bool PageFile::Create(const std::string& path) {
   Close();
   file_ = std::fopen(path.c_str(), "wb+");
   if (file_ == nullptr) return false;
-  page_count_ = 0;
+  page_count_.store(0, std::memory_order_relaxed);
   root_hint_ = kInvalidPageId;
-  reads_ = 0;
-  writes_ = 0;
+  reads_.store(0, std::memory_order_relaxed);
+  writes_.store(0, std::memory_order_relaxed);
+  syncs_.store(0, std::memory_order_relaxed);
   return WriteHeader();
 }
 
@@ -62,7 +69,7 @@ bool PageFile::WriteHeader() {
   HeaderLayout layout;
   std::memcpy(layout.magic, kMagic, sizeof(kMagic));
   layout.version = kVersion;
-  layout.page_count = page_count_;
+  layout.page_count = page_count_.load(std::memory_order_relaxed);
   layout.root_hint = root_hint_;
   std::memcpy(header.data, &layout, sizeof(layout));
   if (std::fseek(file_, 0, SEEK_SET) != 0) return false;
@@ -82,19 +89,20 @@ bool PageFile::ReadHeader() {
   std::memcpy(&layout, header.data, sizeof(layout));
   if (std::memcmp(layout.magic, kMagic, sizeof(kMagic)) != 0) return false;
   if (layout.version != kVersion) return false;
-  page_count_ = layout.page_count;
+  page_count_.store(layout.page_count, std::memory_order_relaxed);
   root_hint_ = layout.root_hint;
   return true;
 }
 
 PageId PageFile::Allocate() {
   if (file_ == nullptr) return kInvalidPageId;
-  const PageId id = page_count_;
+  const PageId id = page_count_.load(std::memory_order_relaxed);
   Page zero;
   std::memset(zero.data, 0, kPageSize);
-  ++page_count_;  // Write() range-checks against the new count
+  // Write() range-checks against the new count.
+  page_count_.store(id + 1, std::memory_order_relaxed);
   if (!Write(id, zero)) {
-    --page_count_;
+    page_count_.store(id, std::memory_order_relaxed);
     return kInvalidPageId;
   }
   return id;
@@ -102,26 +110,42 @@ PageId PageFile::Allocate() {
 
 bool PageFile::Read(PageId id, Page* page) {
   MDSEQ_CHECK(page != nullptr);
-  if (file_ == nullptr || id >= page_count_) return false;
+  if (file_ == nullptr || id >= page_count_.load(std::memory_order_relaxed)) {
+    return false;
+  }
   const long offset = static_cast<long>((id + 1)) *
                       static_cast<long>(kPageSize);
   if (std::fseek(file_, offset, SEEK_SET) != 0) return false;
   if (std::fread(page->data, 1, kPageSize, file_) != kPageSize) {
     return false;
   }
-  ++reads_;
+  reads_.fetch_add(1, std::memory_order_relaxed);
   return true;
 }
 
 bool PageFile::Write(PageId id, const Page& page) {
-  if (file_ == nullptr || id >= page_count_) return false;
+  if (file_ == nullptr || id >= page_count_.load(std::memory_order_relaxed)) {
+    return false;
+  }
   const long offset = static_cast<long>((id + 1)) *
                       static_cast<long>(kPageSize);
   if (std::fseek(file_, offset, SEEK_SET) != 0) return false;
   if (std::fwrite(page.data, 1, kPageSize, file_) != kPageSize) {
     return false;
   }
-  ++writes_;
+  writes_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+bool PageFile::Sync() {
+  if (file_ == nullptr) return false;
+  if (std::fflush(file_) != 0) return false;
+#if defined(_WIN32)
+  if (_commit(_fileno(file_)) != 0) return false;
+#else
+  if (::fsync(fileno(file_)) != 0) return false;
+#endif
+  syncs_.fetch_add(1, std::memory_order_relaxed);
   return true;
 }
 

@@ -1,6 +1,7 @@
 #ifndef MDSEQ_STORAGE_PAGE_FILE_H_
 #define MDSEQ_STORAGE_PAGE_FILE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <cstdio>
 #include <string>
@@ -23,7 +24,8 @@ struct Page {
 
 /// File-backed page store with a small self-describing header. All I/O is
 /// page-granular; failures are reported through return values (no
-/// exceptions). Not thread-safe.
+/// exceptions). Not thread-safe, except that the lifetime I/O counters
+/// may be read concurrently with I/O (they feed the /metrics gauges).
 ///
 /// File layout: page 0 is the header (magic, version, page count, root
 /// page hint for whatever structure lives in the file); data pages follow.
@@ -57,27 +59,40 @@ class PageFile {
   /// Writes `page` to page `id` (must have been allocated).
   bool Write(PageId id, const Page& page);
 
-  /// Number of data pages allocated.
-  uint32_t page_count() const { return page_count_; }
+  /// Durability barrier: flushes stdio buffers and fsyncs the file so every
+  /// completed Write() is on stable storage. Does NOT write the header —
+  /// `set_root_hint` stays the single commit point for structural changes.
+  bool Sync();
+
+  /// Number of data pages allocated. Like the I/O counters, safe to read
+  /// from any thread while another thread performs I/O.
+  uint32_t page_count() const {
+    return page_count_.load(std::memory_order_relaxed);
+  }
 
   /// An application-defined root page id persisted in the header (e.g. the
   /// R-tree root). Defaults to kInvalidPageId.
   PageId root_hint() const { return root_hint_; }
   bool set_root_hint(PageId id);
 
-  /// Lifetime I/O counters (real pread/pwrite operations).
-  uint64_t reads() const { return reads_; }
-  uint64_t writes() const { return writes_; }
+  /// Lifetime I/O counters (real pread/pwrite operations). Safe to read
+  /// from any thread while another thread performs I/O.
+  uint64_t reads() const { return reads_.load(std::memory_order_relaxed); }
+  uint64_t writes() const { return writes_.load(std::memory_order_relaxed); }
+
+  /// Lifetime fsync count (Sync() calls that reached the disk).
+  uint64_t syncs() const { return syncs_.load(std::memory_order_relaxed); }
 
  private:
   bool WriteHeader();
   bool ReadHeader();
 
   std::FILE* file_ = nullptr;
-  uint32_t page_count_ = 0;
+  std::atomic<uint32_t> page_count_{0};
   PageId root_hint_ = kInvalidPageId;
-  uint64_t reads_ = 0;
-  uint64_t writes_ = 0;
+  std::atomic<uint64_t> reads_{0};
+  std::atomic<uint64_t> writes_{0};
+  std::atomic<uint64_t> syncs_{0};
 };
 
 }  // namespace mdseq

@@ -442,6 +442,17 @@ LoadedNode QuadraticSplit(LoadedNode* node, size_t min_fill) {
   return group_b;
 }
 
+// Fresh page for a COW node copy: recycles a reclaimed page when one is
+// available, otherwise grows the file.
+PageId AllocNodePage(PageFile* file, std::vector<PageId>* free_pages) {
+  if (free_pages != nullptr && !free_pages->empty()) {
+    const PageId id = free_pages->back();
+    free_pages->pop_back();
+    return id;
+  }
+  return file->Allocate();
+}
+
 }  // namespace
 
 bool PagedRTree::CreateEmpty(size_t dim, PageFile* file) {
@@ -539,6 +550,108 @@ bool PagedRTree::Insert(const Mbr& mbr, uint64_t value, PageFile* file) {
     root_ = new_root;
     height_ = static_cast<size_t>(root_node.level) + 1;
     if (!file->set_root_hint(root_)) return false;
+  }
+  return true;
+}
+
+bool PagedRTree::InsertCow(const Mbr& mbr, uint64_t value, PageFile* file,
+                           std::vector<PageId>* retired,
+                           std::vector<PageId>* free_pages) {
+  MDSEQ_CHECK(mbr.is_valid());
+  MDSEQ_CHECK(mbr.dim() == dim_);
+  MDSEQ_CHECK(file != nullptr);
+  MDSEQ_CHECK(valid());
+  const size_t capacity = PageCapacity(dim_);
+  const size_t min_fill = std::max<size_t>(1, capacity * 2 / 5);
+
+  // Same ChooseLeaf descent as Insert, remembering the path so every node
+  // on it can be replaced by a fresh copy on the way back up.
+  struct PathStep {
+    PageId page;
+    size_t child_index;
+  };
+  std::vector<PathStep> path;
+  PageId current = root_;
+  LoadedNode node;
+  if (!LoadNode(pool_, current, dim_, &node)) return false;
+  while (node.level > 0) {
+    size_t best = 0;
+    double best_enlargement = std::numeric_limits<double>::infinity();
+    double best_volume = std::numeric_limits<double>::infinity();
+    for (size_t i = 0; i < node.boxes.size(); ++i) {
+      const double enlargement = node.boxes[i].Enlargement(mbr);
+      const double volume = node.boxes[i].Volume();
+      if (enlargement < best_enlargement ||
+          (enlargement == best_enlargement && volume < best_volume)) {
+        best = i;
+        best_enlargement = enlargement;
+        best_volume = volume;
+      }
+    }
+    path.push_back(PathStep{current, best});
+    current = static_cast<PageId>(node.payloads[best]);
+    if (!LoadNode(pool_, current, dim_, &node)) return false;
+  }
+
+  node.boxes.push_back(mbr);
+  node.payloads.push_back(value);
+
+  bool have_split = false;
+  Mbr split_box(dim_);
+  PageId split_page = kInvalidPageId;
+  PageId replacement = kInvalidPageId;
+
+  while (true) {
+    // Write the modified copy of `current` to a fresh page; the original
+    // stays intact for readers pinned to the old root.
+    if (node.boxes.size() <= capacity) {
+      replacement = AllocNodePage(file, free_pages);
+      if (replacement == kInvalidPageId) return false;
+      if (!StoreNode(pool_, replacement, dim_, node)) return false;
+    } else {
+      LoadedNode sibling = QuadraticSplit(&node, min_fill);
+      replacement = AllocNodePage(file, free_pages);
+      if (replacement == kInvalidPageId) return false;
+      const PageId sibling_page = AllocNodePage(file, free_pages);
+      if (sibling_page == kInvalidPageId) return false;
+      if (!StoreNode(pool_, replacement, dim_, node)) return false;
+      if (!StoreNode(pool_, sibling_page, dim_, sibling)) return false;
+      have_split = true;
+      split_box = sibling.BoundingBox(dim_);
+      split_page = sibling_page;
+    }
+    if (retired != nullptr) retired->push_back(current);
+
+    if (path.empty()) break;
+    const PathStep step = path.back();
+    path.pop_back();
+    const Mbr child_box = node.BoundingBox(dim_);
+    if (!LoadNode(pool_, step.page, dim_, &node)) return false;
+    node.boxes[step.child_index] = child_box;
+    node.payloads[step.child_index] = replacement;
+    if (have_split) {
+      node.boxes.push_back(split_box);
+      node.payloads.push_back(split_page);
+      have_split = false;
+    }
+    current = step.page;
+  }
+
+  if (have_split) {
+    // Root split: the new root holds the two halves of the old root's copy.
+    const PageId new_root = AllocNodePage(file, free_pages);
+    if (new_root == kInvalidPageId) return false;
+    LoadedNode root_node;
+    root_node.level = static_cast<uint16_t>(node.level + 1);
+    root_node.boxes.push_back(node.BoundingBox(dim_));
+    root_node.payloads.push_back(replacement);
+    root_node.boxes.push_back(split_box);
+    root_node.payloads.push_back(split_page);
+    if (!StoreNode(pool_, new_root, dim_, root_node)) return false;
+    root_ = new_root;
+    height_ = static_cast<size_t>(root_node.level) + 1;
+  } else {
+    root_ = replacement;
   }
   return true;
 }

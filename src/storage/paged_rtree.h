@@ -86,6 +86,19 @@ class PagedRTree {
   /// splits.
   bool Insert(const Mbr& mbr, uint64_t value, PageFile* file);
 
+  /// Copy-on-write insert: like `Insert`, but no page reachable from the
+  /// pre-call root is modified — every node on the insertion path is
+  /// rewritten to a fresh page (drawn from `*free_pages` when non-empty,
+  /// else allocated at the file end) and the superseded page ids are
+  /// appended to `*retired` (may be null). Readers attached to the old
+  /// root keep seeing a consistent tree. The new root is visible via
+  /// `root()` only; the file header is NOT touched — the caller persists
+  /// the root at its own commit point (see LiveDatabase::Checkpoint).
+  /// Returns false on I/O failure.
+  bool InsertCow(const Mbr& mbr, uint64_t value, PageFile* file,
+                 std::vector<PageId>* retired,
+                 std::vector<PageId>* free_pages);
+
   /// Current root page (changes when the root splits).
   PageId root() const { return root_; }
 

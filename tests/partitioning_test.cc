@@ -141,6 +141,95 @@ TEST(PartitionFixedTest, ExactDivision) {
   for (const SequenceMbr& piece : p) EXPECT_EQ(piece.count(), 20u);
 }
 
+// The ingest path's cornerstone: feeding points one at a time through
+// IncrementalPartitioner yields pieces byte-identical to the offline
+// PartitionSequence run — and at *every* prefix, sealed + partial equals
+// the offline partition of exactly that prefix (sealed pieces are final).
+TEST(IncrementalPartitionerTest, MatchesOfflineAtEveryPrefix) {
+  Rng rng(91);
+  PartitioningOptions options;
+  for (int round = 0; round < 10; ++round) {
+    const size_t length = static_cast<size_t>(rng.UniformInt(1, 300));
+    const Sequence s =
+        GenerateFractalSequence(length, FractalOptions(), &rng);
+    IncrementalPartitioner inc(s.dim(), options);
+    Partition online;
+    for (size_t i = 0; i < s.size(); ++i) {
+      if (auto piece = inc.Add(s.View()[i])) online.push_back(*piece);
+      // sealed-so-far + open partial == offline partition of the prefix.
+      Partition prefix = online;
+      if (auto partial = inc.Partial()) prefix.push_back(*partial);
+      const Partition offline =
+          PartitionSequence(s.View().Prefix(i + 1), options);
+      ASSERT_EQ(prefix.size(), offline.size()) << "prefix " << (i + 1);
+      for (size_t k = 0; k < prefix.size(); ++k) {
+        ASSERT_EQ(prefix[k].begin, offline[k].begin) << "prefix " << (i + 1);
+        ASSERT_EQ(prefix[k].end, offline[k].end) << "prefix " << (i + 1);
+        ASSERT_EQ(prefix[k].mbr.low(), offline[k].mbr.low());
+        ASSERT_EQ(prefix[k].mbr.high(), offline[k].mbr.high());
+      }
+    }
+    if (auto piece = inc.Finish()) online.push_back(*piece);
+    const Partition offline = PartitionSequence(s.View(), options);
+    ASSERT_EQ(online.size(), offline.size());
+    for (size_t k = 0; k < online.size(); ++k) {
+      EXPECT_EQ(online[k].begin, offline[k].begin);
+      EXPECT_EQ(online[k].end, offline[k].end);
+      EXPECT_EQ(online[k].mbr.low(), offline[k].mbr.low());
+      EXPECT_EQ(online[k].mbr.high(), offline[k].mbr.high());
+    }
+  }
+}
+
+TEST(IncrementalPartitionerTest, ChunkingIsIrrelevant) {
+  // Whether points arrive one by one or in bursts cannot matter — the
+  // partitioner sees a point stream either way. (The ingest layer relies
+  // on this to accept arbitrary AppendPoints spans.)
+  Rng rng(92);
+  PartitioningOptions options;
+  const Sequence s = GenerateFractalSequence(257, FractalOptions(), &rng);
+  const Partition offline = PartitionSequence(s.View(), options);
+  for (int round = 0; round < 5; ++round) {
+    IncrementalPartitioner inc(s.dim(), options);
+    Partition online;
+    size_t offset = 0;
+    while (offset < s.size()) {
+      const size_t chunk = std::min<size_t>(
+          static_cast<size_t>(rng.UniformInt(1, 40)), s.size() - offset);
+      for (size_t i = offset; i < offset + chunk; ++i) {
+        if (auto piece = inc.Add(s.View()[i])) online.push_back(*piece);
+      }
+      offset += chunk;
+    }
+    if (auto piece = inc.Finish()) online.push_back(*piece);
+    ASSERT_EQ(online.size(), offline.size());
+    for (size_t k = 0; k < online.size(); ++k) {
+      EXPECT_EQ(online[k].begin, offline[k].begin);
+      EXPECT_EQ(online[k].end, offline[k].end);
+    }
+  }
+}
+
+TEST(IncrementalPartitionerTest, FinishResetsForTheNextSequence) {
+  Rng rng(93);
+  PartitioningOptions options;
+  IncrementalPartitioner inc(3, options);
+  const Sequence a = GenerateFractalSequence(40, FractalOptions(), &rng);
+  for (size_t i = 0; i < a.size(); ++i) inc.Add(a.View()[i]);
+  inc.Finish();
+  EXPECT_EQ(inc.points(), a.size());
+  EXPECT_FALSE(inc.Partial().has_value());
+  // The next piece opens at the running index, as the store layout needs.
+  // (One point only: a longer burst could legitimately seal a piece and
+  // advance the open piece past the boundary.)
+  const Sequence b = GenerateFractalSequence(5, FractalOptions(), &rng);
+  EXPECT_FALSE(inc.Add(b.View()[0]).has_value());
+  const auto partial = inc.Partial();
+  ASSERT_TRUE(partial.has_value());
+  EXPECT_EQ(partial->begin, a.size());
+  EXPECT_EQ(partial->end, a.size() + 1);
+}
+
 TEST(PartitionFixedTest, RemainderPiece) {
   Rng rng(14);
   const Sequence s = GenerateFractalSequence(103, FractalOptions(), &rng);

@@ -26,6 +26,15 @@
 //             --json prints the report as one JSON object; --trace-out
 //             writes the query's span trace as Chrome trace_event JSON
 //             (load in Perfetto or chrome://tracing).
+//   ingest  stream a corpus into a live (WAL-backed) database
+//             mdseq_cli ingest --db=live.db --corpus=corpus.mdsq
+//                              [--create --pool=256 --commit-every=8
+//                               --checkpoint-every=0 --no-checkpoint]
+//             Each sequence is opened, appended, sealed; --commit-every
+//             sets the group-commit batch (sequences per WAL fsync);
+//             --checkpoint-every folds every N sequences; a final
+//             checkpoint (unless --no-checkpoint) leaves the file openable
+//             as a plain disk database. Reports points/s and fsyncs/commit.
 //   serve-bench  drive the concurrent query engine with N client threads
 //             mdseq_cli serve-bench --corpus=corpus.mdsq | --db=corpus.db
 //                            [--threads=0 --clients=4 --queries=64
@@ -33,11 +42,19 @@
 //                             --policy=block|reject|shed
 //                             --deadline_ms=0 --verified --pool=256
 //                             --seed=42 --min_qlen=32 --max_qlen=128
+//                             --ingest-rate=0 --ingest-checkpoint-every=0
 //                             --metrics-out=metrics.prom
 //                             --metrics-json=metrics.json
 //                             --trace-out=trace.json --trace-cap=4096
 //                             --listen=8080 --slow_ms=50 --linger_s=0
 //                             --log-level=warn]
+//             --ingest-rate=<points/s> (requires --db) opens the database
+//             live (WAL-backed) and runs a background writer that ingests
+//             freshly generated sealed sequences at the target rate while
+//             the query clients run — the read-while-write scenario. The
+//             report then includes acknowledged ingest throughput and WAL
+//             fsyncs; --ingest-checkpoint-every checkpoints every N
+//             batches.
 //             Reports end-to-end QPS and the engine's admission/latency
 //             counters (p50/p99 from the lock-free histogram).
 //             --metrics-out snapshots the engine's metrics registry in
@@ -48,7 +65,8 @@
 //             Chrome trace_event JSON. --listen=<port> starts the live
 //             introspection server on 127.0.0.1 (<port> 0 picks an
 //             ephemeral port, printed at startup) with /metrics /healthz
-//             /debug/active /debug/cancel /debug/slow /debug/trace;
+//             /debug/active /debug/cancel /debug/slow /debug/trace
+//             (+ /debug/ingest when live-backed);
 //             --slow_ms sets the slow-query ring threshold; --linger_s
 //             keeps the server up that many seconds after the bench
 //             drains for manual curl; --log-level=debug|info|warn|error
@@ -68,6 +86,7 @@
 
 #include "core/search.h"
 #include "engine/query_engine.h"
+#include "ingest/live_database.h"
 #include "gen/fractal.h"
 #include "gen/query_workload.h"
 #include "gen/video.h"
@@ -89,7 +108,7 @@ int Usage() {
   std::fprintf(stderr,
                "usage: mdseq_cli "
                "<gen|info|export|query|topk|builddb|querydb|explain|"
-               "serve-bench> [--flags]\n"
+               "ingest|serve-bench> [--flags]\n"
                "see the header of tools/mdseq_cli.cc for details\n");
   return 2;
 }
@@ -442,15 +461,128 @@ int RunExplain(const Flags& flags) {
   return 0;
 }
 
+// ingest: stream a corpus into a live database through the WAL-backed
+// write path, reporting acknowledged throughput and fsync economics.
+int RunIngest(const Flags& flags) {
+  const std::string db_path = flags.GetString("db", "");
+  if (db_path.empty()) {
+    std::fprintf(stderr, "ingest: --db is required\n");
+    return 2;
+  }
+  const auto corpus = LoadCorpus(flags);
+  if (!corpus.has_value()) return 1;
+  if (corpus->empty()) {
+    std::fprintf(stderr, "ingest: corpus is empty\n");
+    return 2;
+  }
+  const size_t dim = corpus->front().dim();
+  if (flags.Has("create") && !LiveDatabase::Create(db_path, dim)) {
+    std::fprintf(stderr, "ingest: failed to create %s\n", db_path.c_str());
+    return 1;
+  }
+  LiveDatabaseOptions options;
+  options.pool_pages = flags.GetSize("pool", 256);
+  LiveDatabase database(db_path, options);
+  if (!database.valid()) {
+    std::fprintf(stderr,
+                 "ingest: failed to open %s (missing? pass --create; torn "
+                 "WAL headers are rejected)\n",
+                 db_path.c_str());
+    return 1;
+  }
+  if (database.dim() != dim) {
+    std::fprintf(stderr, "ingest: corpus dimension %zu != database %zu\n",
+                 dim, database.dim());
+    return 2;
+  }
+  const size_t commit_every = flags.GetSize("commit-every", 8);
+  const size_t checkpoint_every = flags.GetSize("checkpoint-every", 0);
+
+  const auto start = std::chrono::steady_clock::now();
+  size_t points = 0;
+  size_t since_commit = 0;
+  for (size_t i = 0; i < corpus->size(); ++i) {
+    const Sequence& s = (*corpus)[i];
+    if (s.dim() != dim) {
+      std::fprintf(stderr, "ingest: sequence %zu has dimension %zu\n", i,
+                   s.dim());
+      return 1;
+    }
+    const uint64_t id = database.BeginSequence();
+    if (!database.AppendPoints(id, s.View()) ||
+        !database.SealSequence(id)) {
+      std::fprintf(stderr, "ingest: append/seal failed for sequence %zu\n",
+                   i);
+      return 1;
+    }
+    points += s.size();
+    if (++since_commit >= commit_every) {
+      if (!database.Commit()) {
+        std::fprintf(stderr, "ingest: commit failed at sequence %zu\n", i);
+        return 1;
+      }
+      since_commit = 0;
+    }
+    if (checkpoint_every > 0 && (i + 1) % checkpoint_every == 0 &&
+        !database.Checkpoint()) {
+      std::fprintf(stderr, "ingest: checkpoint failed at sequence %zu\n", i);
+      return 1;
+    }
+  }
+  if (!database.Commit()) {
+    std::fprintf(stderr, "ingest: final commit failed\n");
+    return 1;
+  }
+  if (!flags.Has("no-checkpoint") && !database.Checkpoint()) {
+    std::fprintf(stderr, "ingest: final checkpoint failed\n");
+    return 1;
+  }
+  const double elapsed_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    start)
+          .count();
+
+  const IngestStatus status = database.Status();
+  std::printf("ingested  : %zu sequences, %zu points -> %s\n",
+              corpus->size(), points, db_path.c_str());
+  std::printf("throughput: %.0f points/s (%.3f s acknowledged)\n",
+              static_cast<double>(points) / elapsed_s, elapsed_s);
+  std::printf("wal       : %llu records, %llu commits, %llu fsyncs "
+              "(%.2f fsyncs/commit), %llu bytes\n",
+              static_cast<unsigned long long>(status.wal_records),
+              static_cast<unsigned long long>(status.wal_commits),
+              static_cast<unsigned long long>(status.wal_fsyncs),
+              status.wal_commits > 0
+                  ? static_cast<double>(status.wal_fsyncs) /
+                        static_cast<double>(status.wal_commits)
+                  : 0.0,
+              static_cast<unsigned long long>(status.wal_bytes));
+  std::printf("checkpoint: %llu run(s), last %.3f s; %llu base + %llu "
+              "pending sequences, %llu file pages\n",
+              static_cast<unsigned long long>(status.checkpoints),
+              status.last_checkpoint_seconds,
+              static_cast<unsigned long long>(status.base_sequences),
+              static_cast<unsigned long long>(status.pending_sequences),
+              static_cast<unsigned long long>(status.file_pages));
+  return 0;
+}
+
 // serve-bench: N client threads submit batches of drawn queries into the
 // concurrent engine; reports QPS and the engine counters. Works against an
-// in-memory corpus (--corpus) or a disk database (--db).
+// in-memory corpus (--corpus) or a disk database (--db). With
+// --ingest-rate a background writer ingests into the (live-opened)
+// database while the clients query it.
 int RunServeBench(const Flags& flags) {
   const std::string corpus_path = flags.GetString("corpus", "");
   const std::string db_path = flags.GetString("db", "");
   if (corpus_path.empty() == db_path.empty()) {
     std::fprintf(stderr,
                  "serve-bench: exactly one of --corpus / --db is required\n");
+    return 2;
+  }
+  const size_t ingest_rate = flags.GetSize("ingest-rate", 0);
+  if (ingest_rate > 0 && db_path.empty()) {
+    std::fprintf(stderr, "serve-bench: --ingest-rate requires --db\n");
     return 2;
   }
 
@@ -522,7 +654,32 @@ int RunServeBench(const Flags& flags) {
   std::vector<Sequence> corpus;
   std::unique_ptr<SequenceDatabase> memory_database;
   std::unique_ptr<DiskDatabase> disk_database;
-  if (!corpus_path.empty()) {
+  std::unique_ptr<LiveDatabase> live_database;
+  if (ingest_rate > 0) {
+    LiveDatabaseOptions live_options;
+    live_options.pool_pages = flags.GetSize("pool", 256);
+    live_database = std::make_unique<LiveDatabase>(db_path, live_options);
+    if (!live_database->valid()) {
+      std::fprintf(stderr, "serve-bench: failed to open %s live\n",
+                   db_path.c_str());
+      return 1;
+    }
+    corpus.reserve(live_database->num_sequences());
+    for (size_t id = 0; id < live_database->num_sequences(); ++id) {
+      auto sequence = live_database->ReadSequence(id);
+      if (!sequence.has_value()) {
+        std::fprintf(stderr, "serve-bench: failed to read sequence %zu\n",
+                     id);
+        return 1;
+      }
+      corpus.push_back(std::move(*sequence));
+    }
+    if (corpus.empty()) {
+      std::fprintf(stderr, "serve-bench: database %s is empty\n",
+                   db_path.c_str());
+      return 1;
+    }
+  } else if (!corpus_path.empty()) {
     auto loaded = ReadSequences(corpus_path);
     if (!loaded.has_value() || loaded->empty()) {
       std::fprintf(stderr, "serve-bench: failed to read corpus %s\n",
@@ -564,10 +721,14 @@ int RunServeBench(const Flags& flags) {
     per_client[c] = DrawQueries(corpus, queries_per_client, workload, &rng);
   }
 
-  auto engine =
-      memory_database != nullptr
-          ? std::make_unique<QueryEngine>(memory_database.get(), options)
-          : std::make_unique<QueryEngine>(disk_database.get(), options);
+  std::unique_ptr<QueryEngine> engine;
+  if (live_database != nullptr) {
+    engine = std::make_unique<QueryEngine>(live_database.get(), options);
+  } else if (memory_database != nullptr) {
+    engine = std::make_unique<QueryEngine>(memory_database.get(), options);
+  } else {
+    engine = std::make_unique<QueryEngine>(disk_database.get(), options);
+  }
   if (listen) {
     if (engine->introspection_port() < 0) {
       std::fprintf(stderr, "serve-bench: failed to bind --listen port %d\n",
@@ -576,8 +737,9 @@ int RunServeBench(const Flags& flags) {
     }
     std::printf("listening : http://127.0.0.1:%d  "
                 "(/metrics /healthz /debug/active /debug/cancel "
-                "/debug/slow /debug/trace)\n",
-                engine->introspection_port());
+                "/debug/slow /debug/trace%s)\n",
+                engine->introspection_port(),
+                ingest_rate > 0 ? " /debug/ingest" : "");
     std::fflush(stdout);
   }
 
@@ -600,7 +762,61 @@ int RunServeBench(const Flags& flags) {
     });
   }
 
+  // Background writer (read-while-write): sealed random-walk sequences of
+  // workload length are submitted as ingest batches, paced to the target
+  // point rate. Each batch's future is awaited, so `ingest_points` counts
+  // only durable (acknowledged) points.
+  std::atomic<bool> ingest_stop{false};
+  std::thread ingest_thread;
+  uint64_t ingest_points = 0;
+  uint64_t ingest_batches = 0;
+  uint64_t ingest_rejected = 0;
+  const size_t ingest_checkpoint_every =
+      flags.GetSize("ingest-checkpoint-every", 0);
+
   const auto start = std::chrono::steady_clock::now();
+  if (ingest_rate > 0) {
+    ingest_thread = std::thread([&] {
+      Rng ingest_rng(flags.GetSize("seed", 42) + 0x9e3779b9u);
+      WalkOptions walk;
+      walk.dim = corpus.front().dim();
+      uint64_t sent_points = 0;
+      while (!ingest_stop.load(std::memory_order_acquire)) {
+        const size_t length = static_cast<size_t>(ingest_rng.UniformInt(
+            static_cast<int64_t>(workload.min_length),
+            static_cast<int64_t>(workload.max_length)));
+        IngestBatch batch;
+        IngestOp op;
+        op.points = GenerateRandomWalk(length, walk, &ingest_rng);
+        op.seal = true;
+        batch.ops.push_back(std::move(op));
+        batch.checkpoint =
+            ingest_checkpoint_every > 0 &&
+            (ingest_batches + 1) % ingest_checkpoint_every == 0;
+        IngestOutcome outcome = engine->SubmitIngest(std::move(batch)).get();
+        if (outcome.rejected) {
+          ++ingest_rejected;
+        } else {
+          ++ingest_batches;
+          ingest_points += outcome.points;
+        }
+        sent_points += length;
+        // Pace to the target: sleep until the point budget catches up.
+        const double target_elapsed =
+            static_cast<double>(sent_points) /
+            static_cast<double>(ingest_rate);
+        const double actual_elapsed =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          start)
+                .count();
+        if (target_elapsed > actual_elapsed) {
+          std::this_thread::sleep_for(std::chrono::duration<double>(
+              target_elapsed - actual_elapsed));
+        }
+      }
+    });
+  }
+
   std::vector<std::thread> threads;
   threads.reserve(clients);
   for (size_t c = 0; c < clients; ++c) {
@@ -611,6 +827,10 @@ int RunServeBench(const Flags& flags) {
     });
   }
   for (auto& t : threads) t.join();
+  if (ingest_thread.joinable()) {
+    ingest_stop.store(true, std::memory_order_release);
+    ingest_thread.join();
+  }
 
   if (snapshot_thread.joinable()) {
     {
@@ -665,6 +885,22 @@ int RunServeBench(const Flags& flags) {
               static_cast<double>(stats.first_pruning_ns) / 1e6,
               static_cast<double>(stats.second_pruning_ns) / 1e6,
               static_cast<double>(stats.verify_ns) / 1e6);
+  if (ingest_rate > 0) {
+    const IngestStatus ingest_status = live_database->Status();
+    std::printf("ingest    : %llu points in %llu batch(es) (%llu rejected) "
+                "-> %.0f points/s acknowledged (target %zu)\n",
+                static_cast<unsigned long long>(ingest_points),
+                static_cast<unsigned long long>(ingest_batches),
+                static_cast<unsigned long long>(ingest_rejected),
+                static_cast<double>(ingest_points) / elapsed_s, ingest_rate);
+    std::printf("wal       : %llu fsyncs, %llu commits, %llu checkpoint(s), "
+                "%llu pending sequences\n",
+                static_cast<unsigned long long>(ingest_status.wal_fsyncs),
+                static_cast<unsigned long long>(ingest_status.wal_commits),
+                static_cast<unsigned long long>(ingest_status.checkpoints),
+                static_cast<unsigned long long>(
+                    ingest_status.pending_sequences));
+  }
 
   if (!metrics_out.empty()) {
     std::printf("metrics   : Prometheus text -> %s\n", metrics_out.c_str());
@@ -697,6 +933,11 @@ int RunServeBench(const Flags& flags) {
     std::fflush(stdout);
     std::this_thread::sleep_for(std::chrono::seconds(linger_s));
   }
+  // Drain the worker pool before any teardown (databases, registry,
+  // lingering server state): without this, a query still in flight when
+  // linger elapsed would race the destructors — the source of
+  // nondeterministic TSan CLI smoke failures.
+  engine->Shutdown();
   return 0;
 }
 
@@ -726,6 +967,7 @@ int main(int argc, char** argv) {
   if (command == "builddb") return RunBuildDb(flags);
   if (command == "querydb") return RunQueryDb(flags);
   if (command == "explain") return RunExplain(flags);
+  if (command == "ingest") return RunIngest(flags);
   if (command == "serve-bench") return RunServeBench(flags);
   return Usage();
 }

@@ -12,13 +12,19 @@
 #   - profile_speedup_*:     unbounded vs threshold-aware window profile on
 #                            non-qualifying candidates.
 #
-# Usage: tools/run_benchmarks.sh [build-dir] [out.json]
+# A second file (BENCH_ingest.json by default) captures the live-ingestion
+# subsystem: append+group-commit throughput (points/s, fsyncs/commit),
+# checkpoint cost, and the p99 SearchVerified latency with a concurrent
+# writer on vs. off.
+#
+# Usage: tools/run_benchmarks.sh [build-dir] [out.json] [ingest-out.json]
 # Build an optimized tree first:  cmake --preset release &&
 #                                 cmake --build --preset release -j
 set -euo pipefail
 
 BUILD_DIR="${1:-build-release}"
 OUT="${2:-BENCH_kernels.json}"
+OUT_INGEST="${3:-BENCH_ingest.json}"
 
 if [[ ! -x "$BUILD_DIR/bench/micro_dnorm" ]]; then
   echo "error: $BUILD_DIR/bench/micro_dnorm not found or not executable." >&2
@@ -72,3 +78,33 @@ jq -e '.summary.dnorm_speedup_256 >= 3 and .summary.rtree_visit_ratio_8 >= 2' \
   echo "error: kernel speedups below the acceptance bars (>=3x dnorm, >=2x fewer node visits)" >&2
   exit 1
 }
+
+# --- Live ingestion baseline ------------------------------------------------
+
+"$BUILD_DIR/bench/micro_ingest" --json \
+  --benchmark_filter='LiveIngest_|LiveQuery_' >"$tmp/ingest.json"
+
+jq '
+  def bench(n): (.benchmarks[] | select(.name == n));
+  {
+    summary: {
+      ingest_points_per_sec:
+        bench("BM_LiveIngest_CommitEvery/8").items_per_second,
+      fsyncs_per_commit_1:
+        bench("BM_LiveIngest_CommitEvery/1").fsyncs_per_commit,
+      fsyncs_per_commit_8:
+        bench("BM_LiveIngest_CommitEvery/8").fsyncs_per_commit,
+      checkpoint_ms_32:
+        (bench("BM_LiveIngest_Checkpoint/32").real_time),
+      query_p99_us_quiescent: bench("BM_LiveQuery_Quiescent").p99_us,
+      query_p99_us_under_ingest: bench("BM_LiveQuery_UnderIngest").p99_us,
+      query_p99_ingest_tax:
+        (bench("BM_LiveQuery_UnderIngest").p99_us /
+         bench("BM_LiveQuery_Quiescent").p99_us)
+    },
+    context: (.context | del(.date, .load_avg)),
+    benchmarks: .benchmarks
+  }' "$tmp/ingest.json" >"$OUT_INGEST"
+
+echo "wrote $OUT_INGEST"
+jq '.summary' "$OUT_INGEST"
