@@ -1,0 +1,162 @@
+// Microbenchmarks of the scatter-gather serving layer (src/shard): the
+// coordinator tax at one shard (fan-out + codec round trip vs calling the
+// search directly), threshold-query scaling as the corpus spreads over
+// more loopback shards, the distributed SearchNearest cutoff exchange,
+// and the raw wire-codec round trip. Per-query fan-out wait and merge
+// time ride along as counters so tools/run_benchmarks.sh can report where
+// coordinator time goes. Supports `--json` (see json_main.h).
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "core/search.h"
+#include "gen/fractal.h"
+#include "gen/query_workload.h"
+#include "json_main.h"
+#include "shard/coordinator.h"
+#include "shard/message.h"
+#include "shard/shard_set.h"
+#include "shard/transport.h"
+#include "util/random.h"
+
+namespace {
+
+using namespace mdseq;
+
+constexpr double kEpsilon = 0.3;
+constexpr size_t kTopK = 10;
+
+struct Fixture {
+  std::vector<Sequence> corpus;
+  std::unique_ptr<SequenceDatabase> database;
+  std::vector<Sequence> queries;
+};
+
+Fixture& SharedFixture() {
+  static Fixture* fixture = [] {
+    auto* f = new Fixture();
+    Rng rng(17);
+    for (size_t i = 0; i < 240; ++i) {
+      f->corpus.push_back(GenerateFractalSequence(
+          static_cast<size_t>(rng.UniformInt(56, 320)), FractalOptions(),
+          &rng));
+    }
+    f->database = std::make_unique<SequenceDatabase>(f->corpus.front().dim());
+    for (const Sequence& s : f->corpus) f->database->Add(s);
+    QueryWorkloadOptions workload;
+    workload.min_length = 48;
+    workload.max_length = 96;
+    f->queries = DrawQueries(f->corpus, 8, workload, &rng);
+    return f;
+  }();
+  return *fixture;
+}
+
+// Baseline: the unsharded three-phase search the coordinator must match.
+void BM_SingleThreshold(benchmark::State& state) {
+  Fixture& f = SharedFixture();
+  SimilaritySearch search(f.database.get());
+  size_t i = 0;
+  size_t matches = 0;
+  for (auto _ : state) {
+    const SearchResult result =
+        search.SearchVerified(f.queries[i++ % f.queries.size()].View(),
+                              kEpsilon);
+    benchmark::DoNotOptimize(matches += result.matches.size());
+  }
+}
+
+// Threshold fan-out over N loopback shards (every call still round-trips
+// the wire codec). Arg = shard count; N=1 isolates the coordinator tax.
+void BM_ScatterThreshold(benchmark::State& state) {
+  Fixture& f = SharedFixture();
+  const size_t shards = static_cast<size_t>(state.range(0));
+  const std::unique_ptr<ShardSet> set =
+      ShardSet::BuildInMemory(*f.database, shards, PlacementPolicy::kHash);
+  LoopbackTransport transport(set->nodes());
+  Coordinator coordinator(&transport, set->placement());
+  size_t i = 0;
+  size_t matches = 0;
+  uint64_t fanout_wait_ns = 0;
+  uint64_t merge_ns = 0;
+  for (auto _ : state) {
+    const SearchResult result = coordinator.SearchVerified(
+        f.queries[i++ % f.queries.size()].View(), kEpsilon);
+    benchmark::DoNotOptimize(matches += result.matches.size());
+    fanout_wait_ns += result.stats.fanout_wait_ns;
+    merge_ns += result.stats.merge_ns;
+  }
+  const double queries = static_cast<double>(i > 0 ? i : 1);
+  state.counters["fanout_wait_ns_per_query"] =
+      static_cast<double>(fanout_wait_ns) / queries;
+  state.counters["merge_ns_per_query"] =
+      static_cast<double>(merge_ns) / queries;
+}
+
+void BM_SingleNearest(benchmark::State& state) {
+  Fixture& f = SharedFixture();
+  SimilaritySearch search(f.database.get());
+  size_t i = 0;
+  size_t found = 0;
+  for (auto _ : state) {
+    const std::vector<SequenceMatch> nearest = search.SearchNearest(
+        f.queries[i++ % f.queries.size()].View(), kTopK);
+    benchmark::DoNotOptimize(found += nearest.size());
+  }
+}
+
+// Distributed top-k: epsilon-doubling rounds with the cutoff exchange
+// (verification waves re-broadcasting the global k-th best distance).
+void BM_ScatterNearest(benchmark::State& state) {
+  Fixture& f = SharedFixture();
+  const size_t shards = static_cast<size_t>(state.range(0));
+  const std::unique_ptr<ShardSet> set =
+      ShardSet::BuildInMemory(*f.database, shards, PlacementPolicy::kHash);
+  LoopbackTransport transport(set->nodes());
+  Coordinator coordinator(&transport, set->placement());
+  size_t i = 0;
+  size_t found = 0;
+  for (auto _ : state) {
+    const std::vector<SequenceMatch> nearest = coordinator.SearchNearest(
+        f.queries[i++ % f.queries.size()].View(), kTopK);
+    benchmark::DoNotOptimize(found += nearest.size());
+  }
+}
+
+// Wire codec round trip of a representative kSearchVerified response
+// (64 matches with intervals) — the per-RPC serialization floor.
+void BM_ShardCodec_ResponseRoundTrip(benchmark::State& state) {
+  ShardResponse response;
+  response.ok = true;
+  response.num_sequences = 1000;
+  for (uint64_t id = 0; id < 64; ++id) {
+    response.candidates.push_back(id);
+    ShardMatch match;
+    match.local_id = id;
+    match.min_dnorm = 0.1 + static_cast<double>(id) * 1e-3;
+    match.exact_distance = match.min_dnorm + 0.05;
+    match.intervals = {{id, id + 40}, {id + 60, id + 90}};
+    response.matches.push_back(match);
+  }
+  size_t bytes = 0;
+  for (auto _ : state) {
+    const std::string wire = EncodeShardResponse(response);
+    ShardResponse decoded;
+    const bool ok = DecodeShardResponse(wire, &decoded);
+    benchmark::DoNotOptimize(ok);
+    bytes += wire.size();
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(bytes));
+}
+
+BENCHMARK(BM_SingleThreshold);
+BENCHMARK(BM_ScatterThreshold)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+BENCHMARK(BM_SingleNearest);
+BENCHMARK(BM_ScatterNearest)->Arg(1)->Arg(4);
+BENCHMARK(BM_ShardCodec_ResponseRoundTrip);
+
+}  // namespace

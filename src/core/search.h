@@ -93,6 +93,15 @@ struct SearchStats {
   uint64_t interval_assembly_ns = 0;
   uint64_t verify_ns = 0;
 
+  /// Coordinator attribution of sharded queries (see src/shard): time
+  /// blocked waiting on the slowest shard, time merging shard responses,
+  /// and shard coverage. Single-database queries leave all four zero;
+  /// `shards_failed > 0` flags a degraded (partial-coverage) result.
+  uint64_t fanout_wait_ns = 0;
+  uint64_t merge_ns = 0;
+  uint32_t shards_total = 0;
+  uint32_t shards_failed = 0;
+
   /// Wall time of the whole search as the phase sum (assembly is inside
   /// the second-pruning slice, so it is not added again).
   uint64_t TotalPhaseNs() const {

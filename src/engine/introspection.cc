@@ -6,6 +6,7 @@
 
 #include "obs/json.h"
 #include "obs/trace.h"
+#include "shard/coordinator.h"
 
 namespace mdseq {
 
@@ -242,6 +243,14 @@ void RegisterEngineEndpoints(obs::http::HttpServer* server,
       return TextResponse(404, "engine is not backed by a live database\n");
     }
     return JsonResponse(200, IngestStatusJson(database->Status()));
+  });
+
+  server->Handle("GET", "/debug/shards", [engine](const HttpRequest&) {
+    Coordinator* coordinator = engine->coordinator();
+    if (coordinator == nullptr) {
+      return TextResponse(404, "engine is not a shard coordinator\n");
+    }
+    return JsonResponse(200, coordinator->DebugJson());
   });
 
   server->Handle("GET", "/debug/trace", [engine](const HttpRequest& request) {

@@ -6,6 +6,7 @@
 
 #include "engine/introspection.h"
 #include "obs/log.h"
+#include "shard/coordinator.h"
 #include "util/check.h"
 
 namespace mdseq {
@@ -153,6 +154,15 @@ QueryEngine::QueryEngine(LiveDatabase* database, const EngineOptions& options)
   StartIntrospection(options);
 }
 
+QueryEngine::QueryEngine(Coordinator* coordinator,
+                         const EngineOptions& options)
+    : coordinator_(coordinator),
+      pool_(std::make_unique<ThreadPool>(PoolOptions(options))) {
+  MDSEQ_CHECK(coordinator != nullptr);
+  InstallObservers(options);
+  StartIntrospection(options);
+}
+
 void QueryEngine::InstallObservers(const EngineOptions& options) {
   if (options.trace_capacity > 0) {
     traces_ = std::make_unique<obs::TraceStore>(options.trace_capacity,
@@ -172,6 +182,7 @@ void QueryEngine::InstallObservers(const EngineOptions& options) {
   if (registry_ == nullptr) return;
   obs::MetricsRegistry* reg = registry_;
   obs::RegisterBuildInfo(reg);
+  if (coordinator_ != nullptr) coordinator_->RegisterMetrics(reg);
   auto metrics = std::make_unique<Metrics>();
   metrics->submitted = reg->GetCounter(
       "mdseq_queries_submitted_total", "Queries submitted to the engine");
@@ -476,6 +487,11 @@ void QueryEngine::Shutdown() {
 SearchResult QueryEngine::RunSearch(SequenceView query,
                                     const QueryOptions& options,
                                     const SearchControl& control) const {
+  if (coordinator_ != nullptr) {
+    return options.verified
+               ? coordinator_->SearchVerified(query, options.epsilon, control)
+               : coordinator_->Search(query, options.epsilon, control);
+  }
   if (memory_database_ != nullptr) {
     return options.verified
                ? memory_search_->SearchVerified(query, options.epsilon,
@@ -593,6 +609,9 @@ void QueryEngine::Finish(const std::shared_ptr<Pending>& pending,
   interval_assembly_ns_.fetch_add(result.stats.interval_assembly_ns,
                                   std::memory_order_relaxed);
   verify_ns_.fetch_add(result.stats.verify_ns, std::memory_order_relaxed);
+  fanout_wait_ns_.fetch_add(result.stats.fanout_wait_ns,
+                            std::memory_order_relaxed);
+  merge_ns_.fetch_add(result.stats.merge_ns, std::memory_order_relaxed);
 
   QueryOutcome outcome;
   outcome.status = status;
@@ -743,6 +762,8 @@ EngineStats QueryEngine::stats() const {
   s.interval_assembly_ns =
       interval_assembly_ns_.load(std::memory_order_relaxed);
   s.verify_ns = verify_ns_.load(std::memory_order_relaxed);
+  s.fanout_wait_ns = fanout_wait_ns_.load(std::memory_order_relaxed);
+  s.merge_ns = merge_ns_.load(std::memory_order_relaxed);
   s.traces_dropped = traces_ != nullptr ? traces_->dropped() : 0;
   s.p50_latency_us = latency_.PercentileMicros(50.0);
   s.p99_latency_us = latency_.PercentileMicros(99.0);

@@ -24,6 +24,8 @@
 
 namespace mdseq {
 
+class Coordinator;
+
 /// Terminal state of a submitted query.
 enum class QueryStatus {
   /// Ran to completion; `result` is the full search result.
@@ -191,6 +193,11 @@ struct EngineStats {
   uint64_t interval_assembly_ns = 0;
   uint64_t verify_ns = 0;
 
+  /// Coordinator engines only (see src/shard): total time blocked on the
+  /// slowest shard and total merge time, summed over executed queries.
+  uint64_t fanout_wait_ns = 0;
+  uint64_t merge_ns = 0;
+
   /// Traces not kept because the trace store was full.
   uint64_t traces_dropped = 0;
 
@@ -222,6 +229,14 @@ class QueryEngine {
   /// published snapshots, and `SubmitIngest` is enabled. The engine does
   /// not own the database; it must outlive the engine.
   QueryEngine(LiveDatabase* database,
+              const EngineOptions& options = EngineOptions());
+  /// Coordinator (sharded) engine: queries fan out across the
+  /// coordinator's shards and merge under its failure policy. The
+  /// coordinator (and everything behind it) must outlive the engine;
+  /// `SubmitIngest` is disabled. When the engine has a metrics registry it
+  /// also registers the coordinator's `mdseq_shard_*` metrics, and the
+  /// introspection server gains `/debug/shards`.
+  QueryEngine(Coordinator* coordinator,
               const EngineOptions& options = EngineOptions());
   ~QueryEngine();
 
@@ -297,6 +312,10 @@ class QueryEngine {
   /// The live database, or null for read-only engines (`/debug/ingest`).
   LiveDatabase* live_database() const { return live_database_; }
 
+  /// The shard coordinator, or null for single-database engines
+  /// (`/debug/shards`).
+  Coordinator* coordinator() const { return coordinator_; }
+
   /// Copies the current page-file and buffer-pool counters into their
   /// `mdseq_page_file_*` / `mdseq_buffer_pool_resident_pages` etc. gauges.
   /// Called by the `/metrics` handler so every scrape sees fresh storage
@@ -323,6 +342,7 @@ class QueryEngine {
   const SequenceDatabase* memory_database_ = nullptr;
   const DiskDatabase* disk_database_ = nullptr;
   LiveDatabase* live_database_ = nullptr;
+  Coordinator* coordinator_ = nullptr;
   std::unique_ptr<SimilaritySearch> memory_search_;
   std::unique_ptr<ThreadPool> pool_;
   std::atomic<bool> accepting_{true};
@@ -354,6 +374,8 @@ class QueryEngine {
   std::atomic<uint64_t> second_pruning_ns_{0};
   std::atomic<uint64_t> interval_assembly_ns_{0};
   std::atomic<uint64_t> verify_ns_{0};
+  std::atomic<uint64_t> fanout_wait_ns_{0};
+  std::atomic<uint64_t> merge_ns_{0};
   LatencyHistogram latency_;
 
   /// Handles into the registry; null when none installed.

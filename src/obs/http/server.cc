@@ -105,10 +105,13 @@ void ParseQueryString(std::string_view query,
 }
 
 // Parses the request line + headers in `head` (which excludes the blank
-// line). Returns false on a malformed request line. Only Content-Length is
-// extracted; other headers are ignored.
+// line). Returns false on a malformed request line. Only Content-Length
+// and Connection are extracted; other headers are ignored. `keep_alive`
+// follows HTTP/1.1 semantics: 1.1 defaults to keep-alive unless the client
+// says `Connection: close`, 1.0 defaults to close unless it says
+// `Connection: keep-alive`.
 bool ParseHead(std::string_view head, HttpRequest* request,
-               size_t* content_length) {
+               size_t* content_length, bool* keep_alive) {
   size_t line_end = head.find("\r\n");
   std::string_view request_line =
       line_end == std::string_view::npos ? head : head.substr(0, line_end);
@@ -121,6 +124,8 @@ bool ParseHead(std::string_view head, HttpRequest* request,
   std::string_view target =
       request_line.substr(method_end + 1, target_end - method_end - 1);
   if (target.empty() || target[0] != '/') return false;
+  const bool http11 = request_line.substr(target_end + 1) == "HTTP/1.1";
+  *keep_alive = http11;
 
   size_t question = target.find('?');
   if (question == std::string_view::npos) {
@@ -140,15 +145,20 @@ bool ParseHead(std::string_view head, HttpRequest* request,
     if (colon != std::string_view::npos) {
       std::string name(line.substr(0, colon));
       for (char& c : name) c = static_cast<char>(std::tolower(c));
+      std::string_view value = line.substr(colon + 1);
+      while (!value.empty() && value.front() == ' ') value.remove_prefix(1);
       if (name == "content-length") {
-        std::string_view value = line.substr(colon + 1);
-        while (!value.empty() && value.front() == ' ') value.remove_prefix(1);
         size_t length = 0;
         for (char c : value) {
           if (c < '0' || c > '9') break;
           length = length * 10 + static_cast<size_t>(c - '0');
         }
         *content_length = length;
+      } else if (name == "connection") {
+        std::string token(value);
+        for (char& c : token) c = static_cast<char>(std::tolower(c));
+        if (token.rfind("close", 0) == 0) *keep_alive = false;
+        if (token.rfind("keep-alive", 0) == 0) *keep_alive = true;
       }
     }
     pos = eol + 2;
@@ -183,8 +193,13 @@ struct HttpServer::Connection {
   size_t body_start = 0;
   size_t content_length = 0;
   HttpRequest request;
-  // Response queued; once flushed the connection closes.
+  // Response queued; once flushed the connection resets (keep-alive) or
+  // closes.
   bool responding = false;
+  // Whether the connection survives the current response. Error paths
+  // (malformed, oversized, over-capacity) force it off — after those the
+  // request framing cannot be trusted.
+  bool keep_alive = false;
 
   ~Connection() { CloseFd(&fd); }
 };
@@ -330,23 +345,31 @@ bool HttpServer::ReadSome(Connection* conn) {
       }
       continue;
     }
-    if (n == 0) return false;  // peer closed before a full request
+    if (n == 0) return false;  // peer closed (or idle keep-alive ended)
     if (errno == EAGAIN || errno == EWOULDBLOCK) break;
     if (errno == EINTR) continue;
     return false;
   }
+  return ProcessInput(conn);
+}
 
+bool HttpServer::ProcessInput(Connection* conn) {
+  if (conn->responding) return true;  // parse resumes after the flush
   if (!conn->have_head) {
     size_t head_end = conn->in.find(kCrlfCrlf);
     if (head_end == std::string::npos) {
       if (conn->in.size() > options_.max_request_bytes) {
+        conn->keep_alive = false;
         PrepareResponse(conn, TextResponse(431, "headers too large\n"));
         return WriteSome(conn);
       }
       return true;  // need more bytes
     }
+    conn->request = HttpRequest();
     if (!ParseHead(std::string_view(conn->in).substr(0, head_end),
-                   &conn->request, &conn->content_length)) {
+                   &conn->request, &conn->content_length,
+                   &conn->keep_alive)) {
+      conn->keep_alive = false;
       PrepareResponse(conn, TextResponse(400, "malformed request\n"));
       return WriteSome(conn);
     }
@@ -354,16 +377,23 @@ bool HttpServer::ReadSome(Connection* conn) {
     conn->body_start = head_end + kCrlfCrlf.size();
     if (conn->body_start + conn->content_length >
         options_.max_request_bytes) {
+      conn->keep_alive = false;
       PrepareResponse(conn, TextResponse(413, "request too large\n"));
       return WriteSome(conn);
     }
   }
 
+  // The body may arrive over any number of reads; wait until the full
+  // Content-Length is buffered.
   if (conn->in.size() < conn->body_start + conn->content_length) {
     return true;  // body incomplete
   }
   conn->request.body =
       conn->in.substr(conn->body_start, conn->content_length);
+  // Consume the request bytes now so a keep-alive reset (or pipelined
+  // follow-up) starts from a clean buffer.
+  conn->in.erase(0, conn->body_start + conn->content_length);
+  conn->have_head = false;
   Dispatch(conn);
   return WriteSome(conn);
 }
@@ -396,15 +426,21 @@ void HttpServer::Dispatch(Connection* conn) {
 
 void HttpServer::PrepareResponse(Connection* conn,
                                  const HttpResponse& response) {
+  // Every error response closes, wherever it came from (parse failures,
+  // unknown routes, handler-reported errors): after a failed exchange the
+  // connection state is not worth trusting, and clients retry on a fresh
+  // connection anyway.
+  if (response.status >= 400) conn->keep_alive = false;
   char head[256];
   std::snprintf(head, sizeof(head),
                 "HTTP/1.1 %d %s\r\n"
                 "Content-Type: %s\r\n"
                 "Content-Length: %zu\r\n"
-                "Connection: close\r\n"
+                "Connection: %s\r\n"
                 "\r\n",
                 response.status, StatusReason(response.status),
-                response.content_type.c_str(), response.body.size());
+                response.content_type.c_str(), response.body.size(),
+                conn->keep_alive ? "keep-alive" : "close");
   conn->out.assign(head);
   conn->out.append(response.body);
   conn->out_pos = 0;
@@ -424,7 +460,14 @@ bool HttpServer::WriteSome(Connection* conn) {
     if (n < 0 && errno == EINTR) continue;
     return false;
   }
-  return false;  // fully flushed: close (Connection: close semantics)
+  // Fully flushed. Close unless the exchange negotiated keep-alive; on
+  // keep-alive, reset for the next request — which may already be sitting
+  // in the input buffer (pipelining), so parsing resumes immediately.
+  if (!conn->keep_alive) return false;
+  conn->out.clear();
+  conn->out_pos = 0;
+  conn->responding = false;
+  return ProcessInput(conn);
 }
 
 }  // namespace mdseq::obs::http

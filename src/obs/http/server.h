@@ -33,10 +33,13 @@ HttpResponse TextResponse(int status, std::string body);
 HttpResponse JsonResponse(int status, std::string body);
 
 /// A deliberately small, dependency-free HTTP/1.1 server for live
-/// introspection: one `poll`-based service thread multiplexing a loopback
-/// listener and a bounded set of client connections. Designed for the
-/// scrape/curl workload — short requests, short responses, one request per
-/// connection (`Connection: close`) — not as a general web server.
+/// introspection and shard RPC: one `poll`-based service thread
+/// multiplexing a loopback listener and a bounded set of client
+/// connections. Request bodies may arrive over any number of reads (up to
+/// `max_request_bytes`), and connections are reused per HTTP/1.1
+/// keep-alive semantics (1.1 defaults to keep-alive, `Connection: close`
+/// opts out; error responses always close). Designed for the scrape/curl/
+/// coordinator workload — not as a general web server.
 ///
 /// Handlers are registered before `Start` under an exact (method, path)
 /// key and run on the service thread, so they must be fast and thread-safe
@@ -99,6 +102,9 @@ class HttpServer {
   /// Reads what is available; returns false when the connection is done
   /// (peer closed or fatal error) and should be dropped.
   bool ReadSome(Connection* conn);
+  /// Parses and dispatches as much buffered input as forms a complete
+  /// request; returns false when the connection should be dropped.
+  bool ProcessInput(Connection* conn);
   /// Returns false when the connection should be dropped.
   bool WriteSome(Connection* conn);
   void Dispatch(Connection* conn);

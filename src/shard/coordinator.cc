@@ -1,0 +1,547 @@
+#include "shard/coordinator.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <condition_variable>
+#include <cstdio>
+#include <deque>
+#include <functional>
+#include <limits>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/check.h"
+
+namespace mdseq {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+uint64_t ElapsedNs(Clock::time_point start) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                           start)
+          .count());
+}
+
+/// Sums one shard's execution counters into the merged query stats.
+void AccumulateStats(const SearchStats& in, SearchStats* out) {
+  out->node_accesses += in.node_accesses;
+  out->phase2_candidates += in.phase2_candidates;
+  out->phase3_matches += in.phase3_matches;
+  out->filter_matches += in.filter_matches;
+  out->dnorm_evaluations += in.dnorm_evaluations;
+  out->query_mbrs += in.query_mbrs;
+  out->page_hits += in.page_hits;
+  out->page_misses += in.page_misses;
+  out->partition_ns += in.partition_ns;
+  out->first_pruning_ns += in.first_pruning_ns;
+  out->second_pruning_ns += in.second_pruning_ns;
+  out->interval_assembly_ns += in.interval_assembly_ns;
+  out->verify_ns += in.verify_ns;
+}
+
+void AppendJsonEscaped(std::string* out, const std::string& text) {
+  for (char c : text) {
+    if (c == '"' || c == '\\') {
+      out->push_back('\\');
+      out->push_back(c);
+    } else if (static_cast<unsigned char>(c) >= 0x20) {
+      out->push_back(c);
+    }
+  }
+}
+
+}  // namespace
+
+const char* FailurePolicyName(CoordinatorOptions::FailurePolicy policy) {
+  switch (policy) {
+    case CoordinatorOptions::FailurePolicy::kFailFast:
+      return "fail_fast";
+    case CoordinatorOptions::FailurePolicy::kDegraded:
+      return "degraded";
+  }
+  return "unknown";
+}
+
+/// Fixed worker pool shared by every concurrent fan-out. Tasks are
+/// independent shard RPCs — no task ever submits or waits on another task,
+/// so a pool smaller than the number of outstanding RPCs only serializes,
+/// never deadlocks.
+class Coordinator::Pool {
+ public:
+  explicit Pool(size_t threads) {
+    MDSEQ_CHECK(threads > 0);
+    threads_.reserve(threads);
+    for (size_t i = 0; i < threads; ++i) {
+      threads_.emplace_back([this] { Worker(); });
+    }
+  }
+
+  ~Pool() {
+    {
+      std::lock_guard lock(mutex_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread& thread : threads_) thread.join();
+  }
+
+  void Submit(std::function<void()> fn) {
+    {
+      std::lock_guard lock(mutex_);
+      queue_.push_back(std::move(fn));
+    }
+    cv_.notify_one();
+  }
+
+ private:
+  void Worker() {
+    while (true) {
+      std::function<void()> fn;
+      {
+        std::unique_lock lock(mutex_);
+        cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+        if (queue_.empty()) return;  // stop_ with a drained queue
+        fn = std::move(queue_.front());
+        queue_.pop_front();
+      }
+      fn();
+    }
+  }
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> threads_;
+};
+
+Coordinator::Coordinator(ShardTransport* transport,
+                         const ShardPlacement* placement,
+                         const CoordinatorOptions& options)
+    : transport_(transport), placement_(placement), options_(options) {
+  MDSEQ_CHECK(transport_ != nullptr && placement_ != nullptr);
+  MDSEQ_CHECK(transport_->num_shards() == placement_->num_shards());
+  size_t threads = options_.fanout_threads;
+  if (threads == 0) threads = std::min<size_t>(placement_->num_shards(), 16);
+  pool_ = std::make_unique<Pool>(std::max<size_t>(threads, 1));
+}
+
+Coordinator::~Coordinator() = default;
+
+void Coordinator::RegisterMetrics(obs::MetricsRegistry* registry) {
+  metrics_.rpcs = registry->GetCounter("mdseq_shard_rpcs_total",
+                                       "Shard RPCs issued by the coordinator");
+  metrics_.rpc_failures = registry->GetCounter(
+      "mdseq_shard_rpc_failures_total",
+      "Shard RPCs that failed (transport error or shard-side error)");
+  metrics_.queries_degraded = registry->GetCounter(
+      "mdseq_shard_queries_degraded_total",
+      "Queries that returned partial coverage under the degraded policy");
+  metrics_.fanout_wait_ns = registry->GetCounter(
+      "mdseq_shard_fanout_wait_ns_total",
+      "Nanoseconds the coordinator blocked waiting on its slowest shard");
+  metrics_.merge_ns = registry->GetCounter(
+      "mdseq_shard_merge_ns_total",
+      "Nanoseconds the coordinator spent merging shard responses");
+  metrics_.cutoff_rounds = registry->GetCounter(
+      "mdseq_shard_cutoff_rounds_total",
+      "Filter rounds executed by the distributed SearchNearest");
+  metrics_.cutoff_skipped = registry->GetCounter(
+      "mdseq_shard_cutoff_skipped_total",
+      "Verifications skipped because the Dnorm bound exceeded the cutoff");
+  metrics_.shard_count =
+      registry->GetGauge("mdseq_shard_count", "Shards behind the coordinator");
+  metrics_.shard_count->Set(static_cast<double>(placement_->num_shards()));
+}
+
+uint64_t Coordinator::FanOut(std::vector<FanoutCall>* calls) const {
+  if (calls->empty()) return 0;
+  const Clock::time_point start = Clock::now();
+  std::mutex mutex;
+  std::condition_variable cv;
+  size_t remaining = calls->size();
+  for (FanoutCall& call : *calls) {
+    pool_->Submit([this, &call, &mutex, &cv, &remaining] {
+      call.transport_ok =
+          transport_->Call(call.shard, call.request, &call.response);
+      if (metrics_.rpcs != nullptr) metrics_.rpcs->Increment();
+      if ((!call.transport_ok || !call.response.ok) &&
+          metrics_.rpc_failures != nullptr) {
+        metrics_.rpc_failures->Increment();
+      }
+      std::lock_guard lock(mutex);
+      if (--remaining == 0) cv.notify_one();
+    });
+  }
+  std::unique_lock lock(mutex);
+  cv.wait(lock, [&remaining] { return remaining == 0; });
+  const uint64_t wait_ns = ElapsedNs(start);
+  if (metrics_.fanout_wait_ns != nullptr) {
+    metrics_.fanout_wait_ns->Increment(wait_ns);
+  }
+  return wait_ns;
+}
+
+uint64_t Coordinator::DeadlineUs(const SearchControl& control) const {
+  uint64_t budget = options_.shard_deadline_us;
+  if (control.deadline != Clock::time_point::max()) {
+    const auto remaining = std::chrono::duration_cast<std::chrono::microseconds>(
+        control.deadline - Clock::now());
+    const uint64_t remaining_us =
+        remaining.count() > 0 ? static_cast<uint64_t>(remaining.count()) : 1;
+    budget = budget > 0 ? std::min(budget, remaining_us) : remaining_us;
+  }
+  return budget;
+}
+
+bool Coordinator::CallFailed(const FanoutCall& call) {
+  return !call.transport_ok || !call.response.ok || call.response.interrupted;
+}
+
+SearchResult Coordinator::RunThreshold(SequenceView query, double epsilon,
+                                       bool verify,
+                                       const SearchControl& control) const {
+  SearchResult out;
+  const size_t shards = placement_->num_shards();
+  out.stats.shards_total = static_cast<uint32_t>(shards);
+
+  std::vector<FanoutCall> calls(shards);
+  ShardRequest base;
+  base.rpc = verify ? ShardRpc::kSearchVerified : ShardRpc::kSearch;
+  base.epsilon = epsilon;
+  base.deadline_us = DeadlineUs(control);
+  base.query = query.Materialize();
+  for (size_t i = 0; i < shards; ++i) {
+    calls[i].shard = static_cast<uint32_t>(i);
+    calls[i].request = base;
+  }
+
+  {
+    obs::SpanScope span(control.trace, "shard_fanout");
+    out.stats.fanout_wait_ns = FanOut(&calls);
+    span.Arg("shards", shards);
+    span.Arg("wait_ns", out.stats.fanout_wait_ns);
+  }
+
+  const Clock::time_point merge_start = Clock::now();
+  obs::SpanScope merge_span(control.trace, "shard_merge");
+  uint32_t failed = 0;
+  for (const FanoutCall& call : calls) {
+    if (CallFailed(call)) {
+      ++failed;
+      if (call.response.interrupted) out.interrupted = true;
+      if (!call.transport_ok || !call.response.ok) continue;
+      // An interrupted shard still merged its partial work below in
+      // degraded mode; fail-fast discards everything at the end anyway.
+    }
+    AccumulateStats(call.response.stats, &out.stats);
+    for (uint64_t local : call.response.candidates) {
+      const uint64_t global = placement_->GlobalOf(call.shard, local);
+      if (global == ShardPlacement::kInvalidId) continue;
+      out.candidates.push_back(static_cast<size_t>(global));
+    }
+    for (const ShardMatch& in : call.response.matches) {
+      const uint64_t global = placement_->GlobalOf(call.shard, in.local_id);
+      if (global == ShardPlacement::kInvalidId) continue;
+      SequenceMatch match;
+      match.sequence_id = static_cast<size_t>(global);
+      match.min_dnorm = in.min_dnorm;
+      match.exact_distance = in.exact_distance;
+      match.solution_interval = in.intervals;
+      out.matches.push_back(std::move(match));
+    }
+  }
+  std::sort(out.candidates.begin(), out.candidates.end());
+  std::sort(out.matches.begin(), out.matches.end(),
+            [](const SequenceMatch& a, const SequenceMatch& b) {
+              return a.sequence_id < b.sequence_id;
+            });
+  out.stats.shards_failed = failed;
+  out.stats.merge_ns = ElapsedNs(merge_start);
+  if (metrics_.merge_ns != nullptr) {
+    metrics_.merge_ns->Increment(out.stats.merge_ns);
+  }
+  merge_span.Arg("failed", failed);
+  merge_span.Arg("matches", out.matches.size());
+  return out;
+}
+
+SearchResult Coordinator::Search(SequenceView query, double epsilon,
+                                 const SearchControl& control) const {
+  SearchResult out = RunThreshold(query, epsilon, /*verify=*/false, control);
+  if (out.stats.shards_failed > 0) {
+    if (options_.failure == CoordinatorOptions::FailurePolicy::kFailFast) {
+      out.candidates.clear();
+      out.matches.clear();
+      out.interrupted = true;
+    } else if (metrics_.queries_degraded != nullptr) {
+      metrics_.queries_degraded->Increment();
+    }
+  }
+  return out;
+}
+
+SearchResult Coordinator::SearchVerified(SequenceView query, double epsilon,
+                                         const SearchControl& control) const {
+  SearchResult out = RunThreshold(query, epsilon, /*verify=*/true, control);
+  if (out.stats.shards_failed > 0) {
+    if (options_.failure == CoordinatorOptions::FailurePolicy::kFailFast) {
+      out.candidates.clear();
+      out.matches.clear();
+      out.interrupted = true;
+    } else if (metrics_.queries_degraded != nullptr) {
+      metrics_.queries_degraded->Increment();
+    }
+  }
+  return out;
+}
+
+std::vector<SequenceMatch> Coordinator::SearchNearest(
+    SequenceView query, size_t k, const SearchControl& control) const {
+  k = std::min(k, placement_->num_sequences());
+  if (k == 0 || query.size() == 0) return {};
+
+  // Same schedule as SimilaritySearch::SearchNearest: epsilon doubles from
+  // 0.05 until k matches are verified or the threshold covers the whole
+  // unit space. Verified exact distances are cached across rounds.
+  const double max_epsilon = std::sqrt(static_cast<double>(query.dim()));
+  std::map<uint64_t, double> verified;  // global id -> exact distance
+  double epsilon = 0.05;
+  double cutoff = -1.0;  // global k-th best exact distance; < 0 = none yet
+  bool stop_early = false;
+
+  // k-th smallest verified distance, or -1 while fewer than k exist.
+  const auto CurrentCutoff = [&verified, k]() -> double {
+    if (verified.size() < k) return -1.0;
+    std::vector<double> values;
+    values.reserve(verified.size());
+    for (const auto& [id, exact] : verified) values.push_back(exact);
+    std::nth_element(values.begin(), values.begin() + (k - 1), values.end());
+    return values[k - 1];
+  };
+
+  while (true) {
+    SearchResult round =
+        RunThreshold(query, epsilon, /*verify=*/false, control);
+    if (metrics_.cutoff_rounds != nullptr) metrics_.cutoff_rounds->Increment();
+    if (round.stats.shards_failed > 0 &&
+        options_.failure == CoordinatorOptions::FailurePolicy::kFailFast) {
+      stop_early = true;
+    }
+
+    // Unverified filter matches, cheapest lower bound first, so the cutoff
+    // tightens as fast as possible once it exists.
+    struct Candidate {
+      double min_dnorm;
+      uint64_t global_id;
+    };
+    std::vector<Candidate> pending;
+    pending.reserve(round.matches.size());
+    for (const SequenceMatch& match : round.matches) {
+      if (verified.count(match.sequence_id) != 0) continue;
+      pending.push_back(
+          {match.min_dnorm, static_cast<uint64_t>(match.sequence_id)});
+    }
+    std::sort(pending.begin(), pending.end(),
+              [](const Candidate& a, const Candidate& b) {
+                return a.min_dnorm != b.min_dnorm
+                           ? a.min_dnorm < b.min_dnorm
+                           : a.global_id < b.global_id;
+              });
+
+    const uint64_t deadline_us = DeadlineUs(control);
+    size_t index = 0;
+    while (index < pending.size() && !stop_early) {
+      if (control.ShouldStop()) {
+        stop_early = true;
+        break;
+      }
+      // Cutoff exchange: once k global matches are verified, any candidate
+      // whose Dnorm lower bound exceeds the k-th best exact distance can
+      // never enter the top-k — and since `pending` is sorted by that
+      // bound, everything from the first such candidate on is skipped.
+      if (cutoff >= 0.0 && pending[index].min_dnorm > cutoff) {
+        if (metrics_.cutoff_skipped != nullptr) {
+          metrics_.cutoff_skipped->Increment(pending.size() - index);
+        }
+        break;
+      }
+      size_t wave_end =
+          std::min(index + std::max<size_t>(options_.verify_wave, 1),
+                   pending.size());
+      if (cutoff >= 0.0) {
+        while (wave_end > index && pending[wave_end - 1].min_dnorm > cutoff) {
+          --wave_end;
+        }
+      }
+
+      // Group the wave by shard and broadcast the current cutoff with it.
+      std::unordered_map<uint32_t, std::vector<uint64_t>> by_shard;
+      for (size_t i = index; i < wave_end; ++i) {
+        const uint64_t global = pending[i].global_id;
+        by_shard[placement_->ShardOf(global)].push_back(
+            placement_->LocalOf(global));
+      }
+      std::vector<FanoutCall> calls;
+      calls.reserve(by_shard.size());
+      for (auto& [shard, locals] : by_shard) {
+        FanoutCall call;
+        call.shard = shard;
+        call.request.rpc = ShardRpc::kVerify;
+        call.request.epsilon = epsilon;
+        call.request.cutoff = cutoff;
+        call.request.deadline_us = deadline_us;
+        call.request.query = query.Materialize();
+        call.request.ids = std::move(locals);
+        calls.push_back(std::move(call));
+      }
+      {
+        obs::SpanScope span(control.trace, "shard_verify_wave");
+        FanOut(&calls);
+        span.Arg("wave", wave_end - index);
+        span.Arg("cutoff_known", cutoff >= 0.0 ? 1 : 0);
+      }
+      const double trust_bound =
+          cutoff >= 0.0 ? std::min(epsilon, cutoff) : epsilon;
+      for (const FanoutCall& call : calls) {
+        if (CallFailed(call)) {
+          if (options_.failure ==
+              CoordinatorOptions::FailurePolicy::kFailFast) {
+            stop_early = true;
+          }
+          if (!call.transport_ok || !call.response.ok) continue;
+        }
+        for (const ShardMatch& match : call.response.matches) {
+          if (match.exact_distance < 0.0 ||
+              match.exact_distance > trust_bound) {
+            continue;  // early-abandoned shard-side; not a real distance
+          }
+          const uint64_t global =
+              placement_->GlobalOf(call.shard, match.local_id);
+          if (global == ShardPlacement::kInvalidId) continue;
+          verified.emplace(global, match.exact_distance);
+        }
+      }
+      cutoff = CurrentCutoff();
+      index = wave_end;
+    }
+
+    if (verified.size() >= k || epsilon >= max_epsilon || stop_early) {
+      // Rank by (exact distance, id), report the top k with the min_dnorm
+      // each carried in the final round's filter and its exact solution
+      // intervals at the final threshold.
+      std::vector<std::pair<double, uint64_t>> ranked;
+      ranked.reserve(verified.size());
+      for (const auto& [id, exact] : verified) ranked.emplace_back(exact, id);
+      std::sort(ranked.begin(), ranked.end());
+      if (ranked.size() > k) ranked.resize(k);
+
+      std::unordered_map<uint64_t, double> dnorm_of;
+      dnorm_of.reserve(round.matches.size());
+      for (const SequenceMatch& match : round.matches) {
+        dnorm_of[match.sequence_id] = match.min_dnorm;
+      }
+
+      std::unordered_map<uint32_t, std::vector<uint64_t>> by_shard;
+      for (const auto& [exact, id] : ranked) {
+        by_shard[placement_->ShardOf(id)].push_back(placement_->LocalOf(id));
+      }
+      std::vector<FanoutCall> calls;
+      calls.reserve(by_shard.size());
+      for (auto& [shard, locals] : by_shard) {
+        FanoutCall call;
+        call.shard = shard;
+        call.request.rpc = ShardRpc::kFinalize;
+        call.request.epsilon = epsilon;
+        call.request.deadline_us = DeadlineUs(control);
+        call.request.query = query.Materialize();
+        call.request.ids = std::move(locals);
+        calls.push_back(std::move(call));
+      }
+      FanOut(&calls);
+      std::unordered_map<uint64_t, std::vector<Interval>> intervals_of;
+      for (const FanoutCall& call : calls) {
+        if (!call.transport_ok || !call.response.ok) continue;
+        for (const ShardMatch& match : call.response.matches) {
+          const uint64_t global =
+              placement_->GlobalOf(call.shard, match.local_id);
+          if (global == ShardPlacement::kInvalidId) continue;
+          intervals_of[global] = match.intervals;
+        }
+      }
+
+      std::vector<SequenceMatch> nearest;
+      nearest.reserve(ranked.size());
+      for (const auto& [exact, id] : ranked) {
+        SequenceMatch match;
+        match.sequence_id = static_cast<size_t>(id);
+        match.exact_distance = exact;
+        const auto dnorm = dnorm_of.find(id);
+        if (dnorm != dnorm_of.end()) match.min_dnorm = dnorm->second;
+        const auto intervals = intervals_of.find(id);
+        if (intervals != intervals_of.end()) {
+          match.solution_interval = std::move(intervals->second);
+        }
+        nearest.push_back(std::move(match));
+      }
+      return nearest;
+    }
+    epsilon *= 2.0;
+  }
+}
+
+std::string Coordinator::DebugJson() const {
+  const size_t shards = placement_->num_shards();
+  std::vector<FanoutCall> calls(shards);
+  for (size_t i = 0; i < shards; ++i) {
+    calls[i].shard = static_cast<uint32_t>(i);
+    calls[i].request.rpc = ShardRpc::kStatus;
+    calls[i].request.deadline_us = 2 * 1000 * 1000;
+  }
+  const uint64_t wait_ns = FanOut(&calls);
+
+  std::string out = "{";
+  char buffer[128];
+  std::snprintf(buffer, sizeof(buffer),
+                "\"num_shards\":%zu,\"sequences\":%zu,", shards,
+                placement_->num_sequences());
+  out += buffer;
+  out += "\"placement\":\"";
+  out += PlacementPolicyName(placement_->policy());
+  out += "\",\"failure_policy\":\"";
+  out += FailurePolicyName(options_.failure);
+  std::snprintf(buffer, sizeof(buffer), "\",\"probe_wait_ns\":%llu,",
+                static_cast<unsigned long long>(wait_ns));
+  out += buffer;
+  out += "\"shards\":[";
+  for (size_t i = 0; i < shards; ++i) {
+    const FanoutCall& call = calls[i];
+    if (i > 0) out += ",";
+    const bool ok = call.transport_ok && call.response.ok;
+    std::snprintf(buffer, sizeof(buffer),
+                  "{\"shard\":%zu,\"ok\":%s,\"sequences\":%llu,"
+                  "\"placed\":%zu",
+                  i, ok ? "true" : "false",
+                  static_cast<unsigned long long>(call.response.num_sequences),
+                  placement_->shard_size(static_cast<uint32_t>(i)));
+    out += buffer;
+    if (!ok) {
+      out += ",\"error\":\"";
+      AppendJsonEscaped(&out, call.response.error);
+      out += "\"";
+    }
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace mdseq

@@ -1,0 +1,152 @@
+#ifndef MDSEQ_SHARD_COORDINATOR_H_
+#define MDSEQ_SHARD_COORDINATOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/search.h"
+#include "shard/placement.h"
+#include "shard/transport.h"
+
+namespace mdseq {
+
+namespace obs {
+class Counter;
+class Gauge;
+class MetricsRegistry;
+}  // namespace obs
+
+struct CoordinatorOptions {
+  /// Threads fanning RPCs out to shards; 0 sizes the pool to the shard
+  /// count (capped at 16). The pool is shared by all concurrent queries.
+  size_t fanout_threads = 0;
+
+  /// Execution budget handed to each shard per RPC, in microseconds;
+  /// 0 = none. A coordinator-side `SearchControl` deadline additionally
+  /// tightens this to the time remaining.
+  uint64_t shard_deadline_us = 0;
+
+  /// What a shard failure (unreachable, shard-side error, or a reply
+  /// flagged interrupted by the shard deadline) does to the query.
+  enum class FailurePolicy : uint32_t {
+    /// The query fails closed: empty results, `interrupted` set.
+    kFailFast = 0,
+    /// The query degrades open: results merge whatever responded, and
+    /// `stats.shards_failed > 0` flags the partial coverage.
+    kDegraded = 1,
+  };
+  FailurePolicy failure = FailurePolicy::kFailFast;
+
+  /// Ids verified per round-trip wave of the distributed `SearchNearest`
+  /// cutoff exchange. Smaller waves tighten the cutoff sooner (more skips);
+  /// larger waves spend fewer round trips.
+  size_t verify_wave = 64;
+};
+
+const char* FailurePolicyName(CoordinatorOptions::FailurePolicy policy);
+
+/// Scatter-gather query execution over a set of shards. The coordinator
+/// owns global semantics only — every distance, filter decision, and
+/// interval is computed shard-side by the unchanged single-database code:
+///
+///  - `Search` / `SearchVerified` fan the threshold query out to every
+///    shard and union the results (the filter predicate is per-sequence,
+///    so the union over disjoint subsets IS the single-database answer).
+///  - `SearchNearest` runs the same epsilon-doubling schedule as
+///    `SimilaritySearch::SearchNearest`, with verification distributed as
+///    a *cutoff exchange*: each round fans out the filter, then verifies
+///    unverified matches in waves ordered by their Dnorm lower bound,
+///    re-broadcasting the current global k-th best exact distance as a
+///    cutoff after every wave so shards early-abandon hopeless
+///    verifications. Results are byte-identical to the single-database
+///    algorithm (a skipped candidate has exact > cutoff >= final k-th
+///    best, and a cutoff exists only once the stop condition already
+///    holds).
+///
+/// All query methods are const and safe to call from many threads at once;
+/// fan-outs share one worker pool. Per-query fan-out wait and merge time
+/// land in `SearchStats::fanout_wait_ns` / `merge_ns`, shard coverage in
+/// `shards_total` / `shards_failed`.
+class Coordinator {
+ public:
+  /// `transport` and `placement` must outlive the coordinator and agree on
+  /// the shard count.
+  Coordinator(ShardTransport* transport, const ShardPlacement* placement,
+              const CoordinatorOptions& options = CoordinatorOptions());
+  ~Coordinator();
+
+  Coordinator(const Coordinator&) = delete;
+  Coordinator& operator=(const Coordinator&) = delete;
+
+  SearchResult Search(SequenceView query, double epsilon,
+                      const SearchControl& control = SearchControl()) const;
+  SearchResult SearchVerified(
+      SequenceView query, double epsilon,
+      const SearchControl& control = SearchControl()) const;
+
+  /// Distributed top-k; same contract as
+  /// `SimilaritySearch::SearchNearest`, ids are global. On interruption
+  /// (control) or fail-fast shard failure the partial best-so-far is
+  /// returned (possibly fewer than `k`).
+  std::vector<SequenceMatch> SearchNearest(
+      SequenceView query, size_t k,
+      const SearchControl& control = SearchControl()) const;
+
+  size_t num_shards() const { return placement_->num_shards(); }
+  size_t num_sequences() const { return placement_->num_sequences(); }
+  const CoordinatorOptions& options() const { return options_; }
+
+  /// Registers the `mdseq_shard_*` metrics and starts driving them.
+  void RegisterMetrics(obs::MetricsRegistry* registry);
+
+  /// Live shard health for `/debug/shards`: fans a status probe out and
+  /// reports per-shard reachability, visible sequence counts, and the
+  /// placement's view of each shard's share.
+  std::string DebugJson() const;
+
+ private:
+  class Pool;
+
+  struct FanoutCall {
+    uint32_t shard = 0;
+    ShardRequest request;
+    ShardResponse response;
+    bool transport_ok = false;
+  };
+
+  /// Runs every call concurrently on the pool; returns nanoseconds blocked
+  /// waiting for the slowest shard.
+  uint64_t FanOut(std::vector<FanoutCall>* calls) const;
+
+  /// Shard RPC deadline for a query under `control`, in microseconds.
+  uint64_t DeadlineUs(const SearchControl& control) const;
+
+  /// True when the call failed for merge purposes under the failure
+  /// policy (transport error, shard error, or shard-side interruption).
+  static bool CallFailed(const FanoutCall& call);
+
+  SearchResult RunThreshold(SequenceView query, double epsilon, bool verify,
+                            const SearchControl& control) const;
+
+  ShardTransport* transport_;
+  const ShardPlacement* placement_;
+  CoordinatorOptions options_;
+  std::unique_ptr<Pool> pool_;
+
+  struct {
+    obs::Counter* rpcs = nullptr;
+    obs::Counter* rpc_failures = nullptr;
+    obs::Counter* queries_degraded = nullptr;
+    obs::Counter* fanout_wait_ns = nullptr;
+    obs::Counter* merge_ns = nullptr;
+    obs::Counter* cutoff_rounds = nullptr;
+    obs::Counter* cutoff_skipped = nullptr;
+    obs::Gauge* shard_count = nullptr;
+  } metrics_;
+};
+
+}  // namespace mdseq
+
+#endif  // MDSEQ_SHARD_COORDINATOR_H_

@@ -1,0 +1,89 @@
+#ifndef MDSEQ_SHARD_MESSAGE_H_
+#define MDSEQ_SHARD_MESSAGE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/search.h"
+#include "geom/sequence.h"
+
+namespace mdseq {
+
+/// The shard protocol verbs. One coordinator round trip is one request +
+/// one response; the coordinator composes global semantics out of them:
+///
+///  - kSearch / kSearchVerified: the paper's three-phase search on the
+///    shard's subset, local ids in the response. Threshold queries are one
+///    such fan-out; SearchNearest uses kSearch rounds as its filter stage.
+///  - kVerify: exact `SequenceDistance` of the listed local ids against the
+///    query, bounded by `epsilon` — the distributed cutoff exchange sends
+///    the current global k-th best distance in `cutoff` so a shard can
+///    early-abandon past it (the returned value is only trusted when
+///    `<= epsilon`).
+///  - kFinalize: exact solution intervals of the listed ids at the final
+///    threshold (the last step of a distributed SearchNearest).
+///  - kStatus: shard liveness + sequence count, for /debug/shards.
+enum class ShardRpc : uint8_t {
+  kSearch = 0,
+  kSearchVerified = 1,
+  kVerify = 2,
+  kFinalize = 3,
+  kStatus = 4,
+};
+
+const char* ShardRpcName(ShardRpc rpc);
+
+struct ShardRequest {
+  ShardRpc rpc = ShardRpc::kStatus;
+  /// Per-shard execution budget in microseconds from receipt; 0 = none.
+  uint64_t deadline_us = 0;
+  double epsilon = 0.0;
+  /// Current global k-th best exact distance (cutoff exchange); < 0 when
+  /// no cutoff is known yet. Verification may early-abandon beyond
+  /// min(epsilon, cutoff) for ids whose result can no longer enter the
+  /// global top-k.
+  double cutoff = -1.0;
+  /// The query sequence (empty for kStatus).
+  Sequence query{1};
+  /// Local ids for kVerify / kFinalize.
+  std::vector<uint64_t> ids;
+};
+
+/// One matched (or verified) sequence in a shard response; ids are
+/// shard-local and translated by the coordinator via the placement map.
+struct ShardMatch {
+  uint64_t local_id = 0;
+  double min_dnorm = 0.0;
+  /// Exact distance; -1 when the RPC did not verify (plain kSearch).
+  double exact_distance = -1.0;
+  std::vector<Interval> intervals;
+};
+
+struct ShardResponse {
+  bool ok = false;
+  /// True when the shard-side search stopped on its deadline.
+  bool interrupted = false;
+  std::string error;
+  /// Live sequences on the shard (every response carries it; also the
+  /// whole payload of kStatus).
+  uint64_t num_sequences = 0;
+  /// Local ids surviving first pruning (kSearch*, ascending).
+  std::vector<uint64_t> candidates;
+  std::vector<ShardMatch> matches;
+  SearchStats stats;
+};
+
+/// Wire codec — little-endian binary with a magic/version header, used by
+/// the HTTP transport (and round-tripped by the loopback transport so
+/// in-process tests exercise the same bytes a real deployment would).
+/// Decode never trusts lengths: truncated or oversized payloads fail
+/// cleanly.
+std::string EncodeShardRequest(const ShardRequest& request);
+bool DecodeShardRequest(const std::string& bytes, ShardRequest* request);
+std::string EncodeShardResponse(const ShardResponse& response);
+bool DecodeShardResponse(const std::string& bytes, ShardResponse* response);
+
+}  // namespace mdseq
+
+#endif  // MDSEQ_SHARD_MESSAGE_H_

@@ -1,0 +1,134 @@
+#include "shard/placement.h"
+
+#include <cstring>
+#include <mutex>
+
+#include "geom/space_filling.h"
+#include "util/check.h"
+
+namespace mdseq {
+
+namespace {
+
+/// splitmix64 finalizer — a full-avalanche mix so dense ids spread
+/// uniformly across shards.
+uint64_t MixId(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// Rank of `id` along the Hilbert curve: the low 32 id bits are treated as
+/// a Morton code of a 2^16 x 2^16 grid cell, and that cell's Hilbert index
+/// is the rank. The first 4^k ids fill the origin-corner 2^k x 2^k block,
+/// whose Hilbert ranks are a permutation of [0, 4^k) — so dealing ranks
+/// round-robin balances shard sizes for dense id spaces of any size while
+/// sending curve-adjacent ids to different shards (declustering).
+uint32_t HilbertRank(uint64_t id) {
+  uint32_t x = 0;
+  uint32_t y = 0;
+  MortonDecode(static_cast<uint32_t>(id), &x, &y);
+  return HilbertIndex(16, x, y);
+}
+
+}  // namespace
+
+bool ParsePlacementPolicy(const char* name, PlacementPolicy* policy) {
+  if (std::strcmp(name, "hash") == 0) {
+    *policy = PlacementPolicy::kHash;
+    return true;
+  }
+  if (std::strcmp(name, "hilbert") == 0) {
+    *policy = PlacementPolicy::kHilbert;
+    return true;
+  }
+  return false;
+}
+
+const char* PlacementPolicyName(PlacementPolicy policy) {
+  switch (policy) {
+    case PlacementPolicy::kHash:
+      return "hash";
+    case PlacementPolicy::kHilbert:
+      return "hilbert";
+  }
+  return "unknown";
+}
+
+uint32_t PlaceSequence(uint64_t global_id, size_t num_shards,
+                       PlacementPolicy policy) {
+  MDSEQ_CHECK(num_shards > 0);
+  if (num_shards == 1) return 0;
+  switch (policy) {
+    case PlacementPolicy::kHash:
+      return static_cast<uint32_t>(MixId(global_id) % num_shards);
+    case PlacementPolicy::kHilbert:
+      return static_cast<uint32_t>(HilbertRank(global_id) % num_shards);
+  }
+  return 0;
+}
+
+ShardPlacement::ShardPlacement(size_t num_shards, PlacementPolicy policy)
+    : num_shards_(num_shards), policy_(policy), global_of_(num_shards) {
+  MDSEQ_CHECK(num_shards > 0);
+}
+
+std::unique_ptr<ShardPlacement> ShardPlacement::Build(size_t count,
+                                                      size_t num_shards,
+                                                      PlacementPolicy policy) {
+  auto placement = std::make_unique<ShardPlacement>(num_shards, policy);
+  placement->shard_of_.reserve(count);
+  placement->local_of_.reserve(count);
+  for (size_t i = 0; i < count; ++i) placement->AddSequenceLocked();
+  return placement;
+}
+
+ShardPlacement::Placed ShardPlacement::AddSequenceLocked() {
+  Placed placed;
+  placed.global_id = shard_of_.size();
+  placed.shard = PlaceSequence(placed.global_id, num_shards_, policy_);
+  placed.local_id = global_of_[placed.shard].size();
+  shard_of_.push_back(placed.shard);
+  local_of_.push_back(placed.local_id);
+  global_of_[placed.shard].push_back(placed.global_id);
+  return placed;
+}
+
+ShardPlacement::Placed ShardPlacement::AddSequence() {
+  std::unique_lock lock(mutex_);
+  return AddSequenceLocked();
+}
+
+uint64_t ShardPlacement::GlobalOf(uint32_t shard, uint64_t local_id) const {
+  std::shared_lock lock(mutex_);
+  if (shard >= num_shards_ || local_id >= global_of_[shard].size()) {
+    return kInvalidId;
+  }
+  return global_of_[shard][local_id];
+}
+
+uint32_t ShardPlacement::ShardOf(uint64_t global_id) const {
+  std::shared_lock lock(mutex_);
+  MDSEQ_CHECK(global_id < shard_of_.size());
+  return shard_of_[global_id];
+}
+
+uint64_t ShardPlacement::LocalOf(uint64_t global_id) const {
+  std::shared_lock lock(mutex_);
+  MDSEQ_CHECK(global_id < local_of_.size());
+  return local_of_[global_id];
+}
+
+size_t ShardPlacement::num_sequences() const {
+  std::shared_lock lock(mutex_);
+  return shard_of_.size();
+}
+
+size_t ShardPlacement::shard_size(uint32_t shard) const {
+  std::shared_lock lock(mutex_);
+  MDSEQ_CHECK(shard < num_shards_);
+  return global_of_[shard].size();
+}
+
+}  // namespace mdseq

@@ -1,0 +1,99 @@
+#ifndef MDSEQ_SHARD_PLACEMENT_H_
+#define MDSEQ_SHARD_PLACEMENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <vector>
+
+namespace mdseq {
+
+/// How global sequence ids are mapped onto shards.
+enum class PlacementPolicy : uint32_t {
+  /// Mixing hash of the id — uniform spread, no locality. The default.
+  kHash = 0,
+  /// Hilbert-curve declustering: the id's bits are Morton-decoded into
+  /// grid coordinates and ranked along the Hilbert curve
+  /// (`src/geom/space_filling`), then curve positions are dealt
+  /// round-robin across the shards. Ids that are adjacent on the curve —
+  /// and therefore likely to co-occur in one query's candidate set — land
+  /// on *different* shards, so a single query's work spreads evenly over
+  /// the fleet instead of hammering one shard.
+  kHilbert = 1,
+};
+
+/// "hash" / "hilbert"; false on unknown names.
+bool ParsePlacementPolicy(const char* name, PlacementPolicy* policy);
+const char* PlacementPolicyName(PlacementPolicy policy);
+
+/// The shard a given global sequence id lives on. Pure function of
+/// (id, num_shards, policy) — placement is stable as the corpus grows, so
+/// an id routed at ingest time stays routable forever without a lookup
+/// table.
+uint32_t PlaceSequence(uint64_t global_id, size_t num_shards,
+                       PlacementPolicy policy);
+
+/// The placement map of a sharded corpus: global id -> (shard, local id)
+/// and the per-shard inverse. Local ids are dense per shard in ascending
+/// global-id order — exactly the ids a shard-local database assigns when
+/// the corpus subset is added in order.
+///
+/// `AddSequence` extends the map (ingest path) under an internal writer
+/// lock; lookups take a shared lock, so the coordinator may translate ids
+/// while a writer registers new sequences.
+class ShardPlacement {
+ public:
+  static constexpr uint64_t kInvalidId = ~0ull;
+
+  ShardPlacement(size_t num_shards, PlacementPolicy policy);
+
+  /// Builds the map for global ids `[0, count)`. (Heap-allocated — the
+  /// internal mutex makes the type immovable.)
+  static std::unique_ptr<ShardPlacement> Build(size_t count,
+                                               size_t num_shards,
+                                               PlacementPolicy policy);
+
+  size_t num_shards() const { return num_shards_; }
+  PlacementPolicy policy() const { return policy_; }
+
+  struct Placed {
+    uint64_t global_id = 0;
+    uint32_t shard = 0;
+    uint64_t local_id = 0;
+  };
+
+  /// Assigns the next global id, places it, and returns the mapping.
+  /// Register the id here *before* making the sequence visible on its
+  /// shard, so every id a shard can ever return is translatable.
+  Placed AddSequence();
+
+  /// Global id of `(shard, local_id)`; `kInvalidId` when unknown.
+  uint64_t GlobalOf(uint32_t shard, uint64_t local_id) const;
+
+  /// Shard of a known global id.
+  uint32_t ShardOf(uint64_t global_id) const;
+
+  /// Local id of a known global id on its shard.
+  uint64_t LocalOf(uint64_t global_id) const;
+
+  /// Global ids ever assigned.
+  size_t num_sequences() const;
+
+  /// Sequences placed on `shard`.
+  size_t shard_size(uint32_t shard) const;
+
+ private:
+  Placed AddSequenceLocked();
+
+  size_t num_shards_;
+  PlacementPolicy policy_;
+  mutable std::shared_mutex mutex_;
+  std::vector<uint32_t> shard_of_;               // global -> shard
+  std::vector<uint64_t> local_of_;               // global -> local
+  std::vector<std::vector<uint64_t>> global_of_; // shard -> local -> global
+};
+
+}  // namespace mdseq
+
+#endif  // MDSEQ_SHARD_PLACEMENT_H_

@@ -1,0 +1,182 @@
+#include "shard/shard_node.h"
+
+#include <chrono>
+
+#include "core/distance.h"
+#include "ingest/live_database.h"
+#include "obs/http/server.h"
+#include "storage/disk_database.h"
+#include "util/check.h"
+
+namespace mdseq {
+
+ShardNode::ShardNode(const SequenceDatabase* memory,
+                     const SearchOptions& options)
+    : memory_(memory) {
+  MDSEQ_CHECK(memory != nullptr);
+  memory_search_.emplace(memory, options);
+}
+
+ShardNode::ShardNode(const DiskDatabase* disk) : disk_(disk) {
+  MDSEQ_CHECK(disk != nullptr && disk->valid());
+}
+
+ShardNode::ShardNode(const LiveDatabase* live) : live_(live) {
+  MDSEQ_CHECK(live != nullptr && live->valid());
+}
+
+size_t ShardNode::dim() const {
+  if (memory_ != nullptr) return memory_->dim();
+  if (disk_ != nullptr) return disk_->dim();
+  return live_->dim();
+}
+
+size_t ShardNode::num_sequences() const {
+  if (memory_ != nullptr) return memory_->num_sequences();
+  if (disk_ != nullptr) return disk_->num_sequences();
+  return live_->num_sequences();
+}
+
+SearchResult ShardNode::RunSearch(SequenceView query, double epsilon,
+                                  bool verify,
+                                  const SearchControl& control) const {
+  if (memory_ != nullptr) {
+    return verify ? memory_search_->SearchVerified(query, epsilon, control)
+                  : memory_search_->Search(query, epsilon, control);
+  }
+  if (disk_ != nullptr) {
+    return verify ? disk_->SearchVerified(query, epsilon, control)
+                  : disk_->Search(query, epsilon, control);
+  }
+  return verify ? live_->SearchVerified(query, epsilon, control)
+                : live_->Search(query, epsilon, control);
+}
+
+std::optional<Sequence> ShardNode::ReadOne(uint64_t local_id) const {
+  if (memory_ != nullptr) {
+    if (local_id >= memory_->num_sequences() ||
+        memory_->is_removed(static_cast<size_t>(local_id))) {
+      return std::nullopt;
+    }
+    return memory_->sequence(static_cast<size_t>(local_id));
+  }
+  if (disk_ != nullptr) {
+    return disk_->ReadSequence(static_cast<size_t>(local_id));
+  }
+  return live_->ReadSequence(local_id);
+}
+
+ShardResponse ShardNode::Execute(const ShardRequest& request) const {
+  ShardResponse response;
+  response.num_sequences = num_sequences();
+
+  if (request.rpc == ShardRpc::kStatus) {
+    response.ok = true;
+    return response;
+  }
+
+  if (request.query.size() == 0 || request.query.dim() != dim()) {
+    response.error = "query dimensionality mismatch";
+    return response;
+  }
+  SearchControl control;
+  if (request.deadline_us > 0) {
+    control.deadline = std::chrono::steady_clock::now() +
+                       std::chrono::microseconds(request.deadline_us);
+  }
+  const SequenceView query = request.query.View();
+
+  switch (request.rpc) {
+    case ShardRpc::kSearch:
+    case ShardRpc::kSearchVerified: {
+      SearchResult result = RunSearch(
+          query, request.epsilon, request.rpc == ShardRpc::kSearchVerified,
+          control);
+      response.interrupted = result.interrupted;
+      response.stats = result.stats;
+      response.candidates.assign(result.candidates.begin(),
+                                 result.candidates.end());
+      response.matches.reserve(result.matches.size());
+      for (SequenceMatch& match : result.matches) {
+        ShardMatch out;
+        out.local_id = match.sequence_id;
+        out.min_dnorm = match.min_dnorm;
+        out.exact_distance = match.exact_distance;
+        out.intervals = std::move(match.solution_interval);
+        response.matches.push_back(std::move(out));
+      }
+      response.ok = true;
+      return response;
+    }
+
+    case ShardRpc::kVerify: {
+      // Exact distances, early-abandoned past min(epsilon, cutoff): a
+      // value beyond that bound can neither be admitted at this threshold
+      // nor enter the global top-k, so the coordinator only trusts returns
+      // within the bound.
+      double bound = request.epsilon;
+      if (request.cutoff >= 0.0 && request.cutoff < bound) {
+        bound = request.cutoff;
+      }
+      response.matches.reserve(request.ids.size());
+      for (uint64_t id : request.ids) {
+        if (control.ShouldStop()) {
+          response.interrupted = true;
+          break;
+        }
+        std::optional<Sequence> sequence = ReadOne(id);
+        if (!sequence.has_value()) {
+          response.error = "unknown local id in verify";
+          return response;
+        }
+        ShardMatch match;
+        match.local_id = id;
+        match.exact_distance =
+            SequenceDistanceBounded(query, sequence->View(), bound);
+        response.matches.push_back(std::move(match));
+      }
+      response.ok = true;
+      return response;
+    }
+
+    case ShardRpc::kFinalize: {
+      response.matches.reserve(request.ids.size());
+      for (uint64_t id : request.ids) {
+        std::optional<Sequence> sequence = ReadOne(id);
+        if (!sequence.has_value()) {
+          response.error = "unknown local id in finalize";
+          return response;
+        }
+        ShardMatch match;
+        match.local_id = id;
+        match.intervals =
+            ExactSolutionInterval(query, sequence->View(), request.epsilon);
+        response.matches.push_back(std::move(match));
+      }
+      response.ok = true;
+      return response;
+    }
+
+    case ShardRpc::kStatus:
+      break;  // handled above
+  }
+  response.error = "unhandled rpc";
+  return response;
+}
+
+void ShardNode::Register(obs::http::HttpServer* server) const {
+  server->Handle(
+      "POST", "/shard/rpc", [this](const obs::http::HttpRequest& http) {
+        ShardRequest request;
+        if (!DecodeShardRequest(http.body, &request)) {
+          return obs::http::TextResponse(400, "undecodable shard request\n");
+        }
+        obs::http::HttpResponse out;
+        out.status = 200;
+        out.content_type = "application/octet-stream";
+        out.body = EncodeShardResponse(Execute(request));
+        return out;
+      });
+}
+
+}  // namespace mdseq

@@ -1,0 +1,63 @@
+#ifndef MDSEQ_SHARD_SHARD_NODE_H_
+#define MDSEQ_SHARD_SHARD_NODE_H_
+
+#include <cstdint>
+#include <optional>
+
+#include "core/database.h"
+#include "core/search.h"
+#include "shard/message.h"
+
+namespace mdseq {
+
+class DiskDatabase;
+class LiveDatabase;
+
+namespace obs::http {
+class HttpServer;
+}  // namespace obs::http
+
+/// One self-contained shard: a database holding its subset of the corpus
+/// (ids are shard-local) plus the RPC surface the coordinator drives. The
+/// node is a thin adapter — searches, verifications, and interval
+/// finalization all run the exact same code paths a single-database
+/// deployment uses, which is what makes sharded results byte-identical to
+/// unsharded ones.
+///
+/// Backends: an in-memory `SequenceDatabase`, a paged `DiskDatabase`, or an
+/// append-capable `LiveDatabase` (snapshot-isolated, so RPCs may run while
+/// the shard ingests). The backing database must outlive the node.
+/// `Execute` is const and thread-safe; any number of RPCs may run at once.
+class ShardNode {
+ public:
+  explicit ShardNode(const SequenceDatabase* memory,
+                     const SearchOptions& options = SearchOptions());
+  explicit ShardNode(const DiskDatabase* disk);
+  explicit ShardNode(const LiveDatabase* live);
+
+  ShardResponse Execute(const ShardRequest& request) const;
+
+  /// Registers `POST /shard/rpc` (binary shard codec both ways) on the
+  /// shard's embedded server. Call before `HttpServer::Start`; the node
+  /// must outlive the server.
+  void Register(obs::http::HttpServer* server) const;
+
+  size_t dim() const;
+  /// Sequences visible to searches right now (for `LiveDatabase` backends
+  /// this is the last published snapshot).
+  size_t num_sequences() const;
+
+ private:
+  SearchResult RunSearch(SequenceView query, double epsilon, bool verify,
+                         const SearchControl& control) const;
+  std::optional<Sequence> ReadOne(uint64_t local_id) const;
+
+  const SequenceDatabase* memory_ = nullptr;
+  const DiskDatabase* disk_ = nullptr;
+  const LiveDatabase* live_ = nullptr;
+  std::optional<SimilaritySearch> memory_search_;
+};
+
+}  // namespace mdseq
+
+#endif  // MDSEQ_SHARD_SHARD_NODE_H_

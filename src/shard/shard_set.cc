@@ -1,0 +1,179 @@
+#include "shard/shard_set.h"
+
+#include <cstdint>
+#include <cstdio>
+
+#include "ingest/live_database.h"
+#include "storage/disk_database.h"
+#include "util/check.h"
+
+namespace mdseq {
+
+namespace {
+
+constexpr uint32_t kManifestMagic = 0x4d445348;  // "MDSH"
+constexpr uint32_t kManifestVersion = 1;
+
+struct Manifest {
+  uint64_t num_shards = 0;
+  uint32_t policy = 0;
+  uint64_t dim = 0;
+  uint64_t count = 0;
+};
+
+std::string ManifestPath(const std::string& dir) {
+  return dir + "/manifest.mdsh";
+}
+
+std::string ShardPath(const std::string& dir, size_t shard) {
+  return dir + "/shard-" + std::to_string(shard) + ".mdseq";
+}
+
+bool WriteManifest(const std::string& dir, const Manifest& manifest) {
+  std::FILE* f = std::fopen(ManifestPath(dir).c_str(), "wb");
+  if (f == nullptr) return false;
+  bool ok = std::fwrite(&kManifestMagic, sizeof(kManifestMagic), 1, f) == 1 &&
+            std::fwrite(&kManifestVersion, sizeof(kManifestVersion), 1, f) ==
+                1 &&
+            std::fwrite(&manifest, sizeof(manifest), 1, f) == 1;
+  ok = std::fclose(f) == 0 && ok;
+  return ok;
+}
+
+bool ReadManifest(const std::string& dir, Manifest* manifest) {
+  std::FILE* f = std::fopen(ManifestPath(dir).c_str(), "rb");
+  if (f == nullptr) return false;
+  uint32_t magic = 0;
+  uint32_t version = 0;
+  const bool ok = std::fread(&magic, sizeof(magic), 1, f) == 1 &&
+                  std::fread(&version, sizeof(version), 1, f) == 1 &&
+                  std::fread(manifest, sizeof(*manifest), 1, f) == 1 &&
+                  magic == kManifestMagic && version == kManifestVersion;
+  std::fclose(f);
+  return ok && manifest->num_shards > 0 && manifest->policy <= 1;
+}
+
+/// Splits `corpus` into per-shard in-memory databases with the corpus's
+/// own options, so shard-local partitioning matches the unsharded build.
+std::vector<std::unique_ptr<SequenceDatabase>> SplitCorpus(
+    const SequenceDatabase& corpus, const ShardPlacement& placement) {
+  std::vector<std::unique_ptr<SequenceDatabase>> shards;
+  shards.reserve(placement.num_shards());
+  for (size_t i = 0; i < placement.num_shards(); ++i) {
+    shards.push_back(std::make_unique<SequenceDatabase>(corpus.dim(),
+                                                        corpus.options()));
+  }
+  for (size_t id = 0; id < corpus.num_sequences(); ++id) {
+    MDSEQ_CHECK(!corpus.is_removed(id));  // sharding a compacted corpus
+    const uint32_t shard = placement.ShardOf(id);
+    const size_t local = shards[shard]->Add(corpus.sequence(id));
+    MDSEQ_CHECK(local == placement.LocalOf(id));
+  }
+  return shards;
+}
+
+}  // namespace
+
+ShardSet::~ShardSet() = default;
+
+std::vector<const ShardNode*> ShardSet::nodes() const {
+  std::vector<const ShardNode*> out;
+  out.reserve(nodes_.size());
+  for (const std::unique_ptr<ShardNode>& node : nodes_) {
+    out.push_back(node.get());
+  }
+  return out;
+}
+
+std::unique_ptr<ShardSet> ShardSet::BuildInMemory(
+    const SequenceDatabase& corpus, size_t num_shards, PlacementPolicy policy,
+    const SearchOptions& search_options) {
+  MDSEQ_CHECK(num_shards > 0);
+  auto set = std::unique_ptr<ShardSet>(new ShardSet());
+  set->dim_ = corpus.dim();
+  set->placement_ =
+      ShardPlacement::Build(corpus.num_sequences(), num_shards, policy);
+  set->memory_shards_ = SplitCorpus(corpus, *set->placement_);
+  for (const std::unique_ptr<SequenceDatabase>& shard : set->memory_shards_) {
+    set->nodes_.push_back(
+        std::make_unique<ShardNode>(shard.get(), search_options));
+  }
+  return set;
+}
+
+bool ShardSet::BuildOnDisk(const SequenceDatabase& corpus,
+                           const std::string& dir, size_t num_shards,
+                           PlacementPolicy policy) {
+  MDSEQ_CHECK(num_shards > 0);
+  const std::unique_ptr<ShardPlacement> placement =
+      ShardPlacement::Build(corpus.num_sequences(), num_shards, policy);
+  const std::vector<std::unique_ptr<SequenceDatabase>> shards =
+      SplitCorpus(corpus, *placement);
+  for (size_t i = 0; i < num_shards; ++i) {
+    if (!DiskDatabase::Save(*shards[i], ShardPath(dir, i))) return false;
+  }
+  Manifest manifest;
+  manifest.num_shards = num_shards;
+  manifest.policy = static_cast<uint32_t>(policy);
+  manifest.dim = corpus.dim();
+  manifest.count = corpus.num_sequences();
+  return WriteManifest(dir, manifest);
+}
+
+std::unique_ptr<ShardSet> ShardSet::OpenOnDisk(
+    const std::string& dir, size_t pool_pages,
+    const SearchOptions& search_options) {
+  Manifest manifest;
+  if (!ReadManifest(dir, &manifest)) return nullptr;
+  auto set = std::unique_ptr<ShardSet>(new ShardSet());
+  set->dim_ = static_cast<size_t>(manifest.dim);
+  set->placement_ = ShardPlacement::Build(
+      static_cast<size_t>(manifest.count),
+      static_cast<size_t>(manifest.num_shards),
+      static_cast<PlacementPolicy>(manifest.policy));
+  for (size_t i = 0; i < manifest.num_shards; ++i) {
+    auto shard = std::make_unique<DiskDatabase>(ShardPath(dir, i), pool_pages,
+                                                search_options);
+    if (!shard->valid()) return nullptr;
+    set->nodes_.push_back(std::make_unique<ShardNode>(shard.get()));
+    set->disk_shards_.push_back(std::move(shard));
+  }
+  return set;
+}
+
+std::unique_ptr<ShardSet> ShardSet::CreateLive(const std::string& dir,
+                                               size_t dim, size_t num_shards,
+                                               PlacementPolicy policy) {
+  MDSEQ_CHECK(num_shards > 0 && dim > 0);
+  auto set = std::unique_ptr<ShardSet>(new ShardSet());
+  set->dim_ = dim;
+  set->placement_ = std::make_unique<ShardPlacement>(num_shards, policy);
+  for (size_t i = 0; i < num_shards; ++i) {
+    const std::string path = ShardPath(dir, i);
+    if (!LiveDatabase::Create(path, dim)) return nullptr;
+    auto shard = std::make_unique<LiveDatabase>(path);
+    if (!shard->valid()) return nullptr;
+    set->nodes_.push_back(std::make_unique<ShardNode>(shard.get()));
+    set->live_shards_.push_back(std::move(shard));
+  }
+  return set;
+}
+
+uint64_t ShardSet::AppendLive(const Sequence& sequence) {
+  MDSEQ_CHECK(!live_shards_.empty());
+  MDSEQ_CHECK(sequence.dim() == dim_ && !sequence.empty());
+  // Register-first: the (shard, local) slot exists in the placement before
+  // the shard publishes the sequence, so a concurrent query can always
+  // translate whatever local ids the shard returns. Single ingest writer;
+  // searches may run concurrently (LiveDatabase snapshots isolate them).
+  const ShardPlacement::Placed placed = placement_->AddSequence();
+  LiveDatabase* live = live_shards_[placed.shard].get();
+  const uint64_t local = live->BeginSequence();
+  MDSEQ_CHECK(local == placed.local_id);
+  MDSEQ_CHECK(live->AppendPoints(local, sequence.View()));
+  MDSEQ_CHECK(live->SealSequence(local));
+  MDSEQ_CHECK(live->Commit());
+  return placed.global_id;
+}
+
+}  // namespace mdseq

@@ -1,0 +1,87 @@
+#ifndef MDSEQ_SHARD_SHARD_SET_H_
+#define MDSEQ_SHARD_SHARD_SET_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/database.h"
+#include "shard/placement.h"
+#include "shard/shard_node.h"
+
+namespace mdseq {
+
+class DiskDatabase;
+class LiveDatabase;
+
+/// A sharded corpus: the placement map plus one self-contained shard
+/// database (and its `ShardNode`) per shard. Three backends:
+///
+///  - `BuildInMemory` splits an existing `SequenceDatabase` into N
+///    in-memory shard databases (same `DatabaseOptions`, so per-sequence
+///    partitions — and therefore query results — are byte-identical to the
+///    unsharded corpus).
+///  - `BuildOnDisk` + `OpenOnDisk` persist the split as one
+///    `DiskDatabase` file per shard plus a small manifest recording the
+///    shard count, placement policy, and corpus size.
+///  - `CreateLive` makes N empty `LiveDatabase` shards; `AppendLive`
+///    routes whole sequences to their shard (register-first: the global id
+///    is placed before the shard publishes it, so every local id a shard
+///    can return is translatable while ingest runs).
+class ShardSet {
+ public:
+  static std::unique_ptr<ShardSet> BuildInMemory(
+      const SequenceDatabase& corpus, size_t num_shards,
+      PlacementPolicy policy,
+      const SearchOptions& search_options = SearchOptions());
+
+  /// Writes `dir/manifest.mdsh` plus `dir/shard-<i>.mdseq`. The directory
+  /// must exist. Returns false on I/O failure.
+  static bool BuildOnDisk(const SequenceDatabase& corpus,
+                          const std::string& dir, size_t num_shards,
+                          PlacementPolicy policy);
+
+  /// Opens a `BuildOnDisk` directory; each shard gets its own buffer pool
+  /// of `pool_pages` frames. Null when the manifest or a shard file is
+  /// missing or corrupt.
+  static std::unique_ptr<ShardSet> OpenOnDisk(
+      const std::string& dir, size_t pool_pages,
+      const SearchOptions& search_options = SearchOptions());
+
+  /// N empty live shards under `dir` (which must exist).
+  static std::unique_ptr<ShardSet> CreateLive(const std::string& dir,
+                                              size_t dim, size_t num_shards,
+                                              PlacementPolicy policy);
+
+  ~ShardSet();
+
+  ShardSet(const ShardSet&) = delete;
+  ShardSet& operator=(const ShardSet&) = delete;
+
+  /// Live backends only: places, appends, seals, and commits one sequence;
+  /// returns its global id. Safe to call concurrently with searches.
+  uint64_t AppendLive(const Sequence& sequence);
+
+  size_t num_shards() const { return placement_->num_shards(); }
+  size_t dim() const { return dim_; }
+  const ShardPlacement* placement() const { return placement_.get(); }
+  ShardPlacement* mutable_placement() { return placement_.get(); }
+  const ShardNode* node(size_t shard) const { return nodes_[shard].get(); }
+
+  /// Borrowed node pointers in shard order (feeds `LoopbackTransport`).
+  std::vector<const ShardNode*> nodes() const;
+
+ private:
+  ShardSet() = default;
+
+  size_t dim_ = 0;
+  std::unique_ptr<ShardPlacement> placement_;
+  std::vector<std::unique_ptr<SequenceDatabase>> memory_shards_;
+  std::vector<std::unique_ptr<DiskDatabase>> disk_shards_;
+  std::vector<std::unique_ptr<LiveDatabase>> live_shards_;
+  std::vector<std::unique_ptr<ShardNode>> nodes_;
+};
+
+}  // namespace mdseq
+
+#endif  // MDSEQ_SHARD_SHARD_SET_H_

@@ -1,0 +1,256 @@
+#include "shard/transport.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <cstdio>
+#include <cstring>
+
+#include "shard/shard_node.h"
+#include "util/check.h"
+
+namespace mdseq {
+
+namespace {
+
+/// Socket timeout when the request carries no deadline.
+constexpr uint64_t kDefaultTimeoutUs = 30ull * 1000 * 1000;
+/// Slack beyond the shard's own execution budget so a shard that answers
+/// exactly at its deadline still gets its response through.
+constexpr uint64_t kTimeoutGraceUs = 2ull * 1000 * 1000;
+
+bool SetSocketTimeout(int fd, uint64_t timeout_us) {
+  timeval tv;
+  tv.tv_sec = static_cast<time_t>(timeout_us / 1000000);
+  tv.tv_usec = static_cast<suseconds_t>(timeout_us % 1000000);
+  return setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) == 0 &&
+         setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv)) == 0;
+}
+
+bool SendAll(int fd, const char* data, size_t size) {
+  size_t sent = 0;
+  while (sent < size) {
+    const ssize_t n = send(fd, data + sent, size - sent, MSG_NOSIGNAL);
+    if (n <= 0) return false;
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+std::string LowerCopy(std::string s) {
+  for (char& c : s) c = static_cast<char>(std::tolower(c));
+  return s;
+}
+
+}  // namespace
+
+LoopbackTransport::LoopbackTransport(std::vector<const ShardNode*> nodes)
+    : nodes_(std::move(nodes)) {
+  for (const ShardNode* node : nodes_) MDSEQ_CHECK(node != nullptr);
+}
+
+bool LoopbackTransport::Call(uint32_t shard, const ShardRequest& request,
+                             ShardResponse* response) {
+  if (shard >= nodes_.size()) {
+    response->error = "unknown shard";
+    return false;
+  }
+  // Encode/decode both directions so loopback covers the codec end to end.
+  ShardRequest decoded;
+  if (!DecodeShardRequest(EncodeShardRequest(request), &decoded)) {
+    response->error = "request codec round-trip failed";
+    return false;
+  }
+  const std::string wire = EncodeShardResponse(nodes_[shard]->Execute(decoded));
+  if (!DecodeShardResponse(wire, response)) {
+    response->error = "response codec round-trip failed";
+    return false;
+  }
+  return true;
+}
+
+HttpShardTransport::HttpShardTransport(std::vector<Endpoint> endpoints)
+    : endpoints_(std::move(endpoints)) {
+  pools_.reserve(endpoints_.size());
+  for (size_t i = 0; i < endpoints_.size(); ++i) {
+    pools_.push_back(std::make_unique<Pool>());
+  }
+}
+
+HttpShardTransport::~HttpShardTransport() {
+  for (const std::unique_ptr<Pool>& pool : pools_) {
+    std::lock_guard lock(pool->mutex);
+    for (int fd : pool->idle) close(fd);
+    pool->idle.clear();
+  }
+}
+
+size_t HttpShardTransport::idle_connections() const {
+  size_t total = 0;
+  for (const std::unique_ptr<Pool>& pool : pools_) {
+    std::lock_guard lock(pool->mutex);
+    total += pool->idle.size();
+  }
+  return total;
+}
+
+int HttpShardTransport::Acquire(uint32_t shard, uint64_t timeout_us,
+                                bool* reused) {
+  {
+    Pool* pool = pools_[shard].get();
+    std::lock_guard lock(pool->mutex);
+    if (!pool->idle.empty()) {
+      const int fd = pool->idle.back();
+      pool->idle.pop_back();
+      *reused = true;
+      SetSocketTimeout(fd, timeout_us);
+      return fd;
+    }
+  }
+  *reused = false;
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(endpoints_[shard].port);
+  if (inet_pton(AF_INET, endpoints_[shard].host.c_str(), &addr.sin_addr) !=
+      1) {
+    close(fd);
+    return -1;
+  }
+  if (!SetSocketTimeout(fd, timeout_us) ||
+      connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    close(fd);
+    return -1;
+  }
+  const int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+void HttpShardTransport::Release(uint32_t shard, int fd) {
+  Pool* pool = pools_[shard].get();
+  std::lock_guard lock(pool->mutex);
+  pool->idle.push_back(fd);
+}
+
+bool HttpShardTransport::Exchange(int fd, const std::string& body,
+                                  uint64_t timeout_us,
+                                  std::string* response_body, bool* keep_alive,
+                                  std::string* error) {
+  (void)timeout_us;  // applied to the socket in Acquire
+  char head[256];
+  const int head_size = std::snprintf(
+      head, sizeof(head),
+      "POST /shard/rpc HTTP/1.1\r\n"
+      "Host: shard\r\n"
+      "Content-Type: application/octet-stream\r\n"
+      "Content-Length: %zu\r\n"
+      "Connection: keep-alive\r\n\r\n",
+      body.size());
+  if (!SendAll(fd, head, static_cast<size_t>(head_size)) ||
+      !SendAll(fd, body.data(), body.size())) {
+    *error = "send failed";
+    return false;
+  }
+
+  std::string in;
+  size_t head_end = std::string::npos;
+  char buffer[4096];
+  while (true) {
+    const ssize_t n = recv(fd, buffer, sizeof(buffer), 0);
+    if (n <= 0) {
+      *error = in.empty() ? "connection closed before response"
+                          : "truncated response head";
+      return false;
+    }
+    in.append(buffer, static_cast<size_t>(n));
+    head_end = in.find("\r\n\r\n");
+    if (head_end != std::string::npos) break;
+    if (in.size() > 64 * 1024) {
+      *error = "oversized response head";
+      return false;
+    }
+  }
+
+  // Status line + headers (Content-Length and Connection are all we need).
+  const std::string head_text = LowerCopy(in.substr(0, head_end));
+  if (head_text.rfind("http/1.1 200", 0) != 0 &&
+      head_text.rfind("http/1.0 200", 0) != 0) {
+    *error = "shard answered " + in.substr(0, in.find("\r\n"));
+    return false;
+  }
+  size_t content_length = 0;
+  {
+    const size_t pos = head_text.find("content-length:");
+    if (pos == std::string::npos) {
+      *error = "response missing content-length";
+      return false;
+    }
+    content_length = std::strtoull(head_text.c_str() + pos + 15, nullptr, 10);
+  }
+  *keep_alive = head_text.find("connection: keep-alive") != std::string::npos;
+
+  const size_t body_start = head_end + 4;
+  while (in.size() - body_start < content_length) {
+    const ssize_t n = recv(fd, buffer, sizeof(buffer), 0);
+    if (n <= 0) {
+      *error = "truncated response body";
+      return false;
+    }
+    in.append(buffer, static_cast<size_t>(n));
+  }
+  response_body->assign(in, body_start, content_length);
+  return true;
+}
+
+bool HttpShardTransport::Call(uint32_t shard, const ShardRequest& request,
+                              ShardResponse* response) {
+  if (shard >= endpoints_.size()) {
+    response->error = "unknown shard";
+    return false;
+  }
+  const uint64_t timeout_us =
+      request.deadline_us > 0 ? request.deadline_us + kTimeoutGraceUs
+                              : kDefaultTimeoutUs;
+  const std::string body = EncodeShardRequest(request);
+
+  // Two attempts: a pooled connection may have been closed by the server
+  // while idle, so a failure on a reused fd is retried on a fresh dial.
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    bool reused = false;
+    const int fd = Acquire(shard, timeout_us, &reused);
+    if (fd < 0) {
+      response->error = "shard unreachable";
+      return false;
+    }
+    std::string wire;
+    bool keep_alive = false;
+    std::string error;
+    if (Exchange(fd, body, timeout_us, &wire, &keep_alive, &error)) {
+      if (keep_alive) {
+        Release(shard, fd);
+      } else {
+        close(fd);
+      }
+      if (!DecodeShardResponse(wire, response)) {
+        response->error = "undecodable shard response";
+        return false;
+      }
+      return true;
+    }
+    close(fd);
+    if (!reused) {
+      response->error = error;
+      return false;
+    }
+  }
+  response->error = "retry exhausted";
+  return false;
+}
+
+}  // namespace mdseq

@@ -1,0 +1,101 @@
+#ifndef MDSEQ_SHARD_TRANSPORT_H_
+#define MDSEQ_SHARD_TRANSPORT_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "shard/message.h"
+
+namespace mdseq {
+
+class ShardNode;
+
+/// The narrow seam between the coordinator and its shards: one synchronous
+/// request/response exchange per call. Implementations must be safe for
+/// concurrent calls from many threads (the coordinator fans one query out
+/// to every shard at once, and the engine runs many queries at once).
+class ShardTransport {
+ public:
+  virtual ~ShardTransport() = default;
+
+  virtual size_t num_shards() const = 0;
+
+  /// Executes `request` against `shard`. Returns false on a *transport*
+  /// failure (unreachable shard, timeout, malformed reply) with
+  /// `response->error` describing it; a shard-side application error comes
+  /// back as a decoded response with `ok == false` and the call returning
+  /// true.
+  virtual bool Call(uint32_t shard, const ShardRequest& request,
+                    ShardResponse* response) = 0;
+};
+
+/// In-process transport over direct `ShardNode` pointers. Every call still
+/// round-trips both payloads through the wire codec, so tests running on
+/// loopback exercise exactly the bytes a networked deployment would.
+class LoopbackTransport : public ShardTransport {
+ public:
+  explicit LoopbackTransport(std::vector<const ShardNode*> nodes);
+
+  size_t num_shards() const override { return nodes_.size(); }
+  bool Call(uint32_t shard, const ShardRequest& request,
+            ShardResponse* response) override;
+
+ private:
+  std::vector<const ShardNode*> nodes_;
+};
+
+/// HTTP transport: `POST /shard/rpc` against each shard's embedded
+/// introspection server (`src/obs/http`), bodies in the binary shard codec.
+/// Connections are kept alive and pooled per shard — a call pops an idle
+/// connection (or dials a new one), and returns it to the pool when the
+/// server agreed to keep-alive. A request that fails on a reused connection
+/// is retried once on a fresh one, since the server may have closed the
+/// idle socket between calls.
+class HttpShardTransport : public ShardTransport {
+ public:
+  struct Endpoint {
+    std::string host = "127.0.0.1";
+    uint16_t port = 0;
+  };
+
+  explicit HttpShardTransport(std::vector<Endpoint> endpoints);
+  ~HttpShardTransport() override;
+
+  HttpShardTransport(const HttpShardTransport&) = delete;
+  HttpShardTransport& operator=(const HttpShardTransport&) = delete;
+
+  size_t num_shards() const override { return endpoints_.size(); }
+  bool Call(uint32_t shard, const ShardRequest& request,
+            ShardResponse* response) override;
+
+  /// Idle pooled connections across all shards (tests assert reuse).
+  size_t idle_connections() const;
+
+ private:
+  struct Pool {
+    std::mutex mutex;
+    std::vector<int> idle;
+  };
+
+  /// -1 when the shard cannot be dialed. `reused` reports whether the fd
+  /// came from the pool.
+  int Acquire(uint32_t shard, uint64_t timeout_us, bool* reused);
+  void Release(uint32_t shard, int fd);
+
+  /// One request/response exchange on `fd`. False on any socket or parse
+  /// failure; `keep_alive` reports whether the server will accept another
+  /// request on this connection.
+  bool Exchange(int fd, const std::string& body, uint64_t timeout_us,
+                std::string* response_body, bool* keep_alive,
+                std::string* error);
+
+  std::vector<Endpoint> endpoints_;
+  std::vector<std::unique_ptr<Pool>> pools_;
+};
+
+}  // namespace mdseq
+
+#endif  // MDSEQ_SHARD_TRANSPORT_H_

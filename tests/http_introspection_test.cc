@@ -48,8 +48,9 @@ class QuietGlobalLogger {
 };
 
 // ---------------------------------------------------------------------------
-// A minimal blocking HTTP client: one request, read to EOF (the server
-// always answers Connection: close).
+// A minimal blocking HTTP client: one request per connection, opting out of
+// keep-alive via `Connection: close` so the response is read to EOF. The
+// keep-alive suite below drives a persistent connection by hand instead.
 // ---------------------------------------------------------------------------
 
 struct ClientResponse {
@@ -348,6 +349,214 @@ TEST(HttpIntrospectionTest, ErrorStatusesForBadRequests) {
   // Malformed request line.
   const ClientResponse garbage = Fetch(port, "NOT-HTTP\r\n\r\n");
   EXPECT_EQ(garbage.status, 400);
+}
+
+// ---------------------------------------------------------------------------
+// Keep-alive: persistent connections, pipelining, bodies in pieces
+// ---------------------------------------------------------------------------
+
+// A persistent connection under manual control: send arbitrary byte
+// chunks, then read exactly one framed response (headers + Content-Length
+// body) without relying on the server closing the socket.
+class RawClient {
+ public:
+  explicit RawClient(int port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<uint16_t>(port));
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+        0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+  ~RawClient() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  bool connected() const { return fd_ >= 0; }
+
+  bool Send(const std::string& bytes) {
+    size_t sent = 0;
+    while (sent < bytes.size()) {
+      const ssize_t n =
+          ::send(fd_, bytes.data() + sent, bytes.size() - sent, 0);
+      if (n <= 0) return false;
+      sent += static_cast<size_t>(n);
+    }
+    return true;
+  }
+
+  // Reads one response; false on EOF/error before it completes.
+  bool ReadResponse(ClientResponse* out) {
+    while (buffer_.find("\r\n\r\n") == std::string::npos) {
+      if (!Fill()) return false;
+    }
+    const size_t split = buffer_.find("\r\n\r\n");
+    out->head = buffer_.substr(0, split);
+    if (out->head.compare(0, 9, "HTTP/1.1 ") != 0) return false;
+    out->status = std::atoi(out->head.c_str() + 9);
+
+    // Frame the body by Content-Length (every server response carries it).
+    const size_t mark = out->head.find("Content-Length: ");
+    if (mark == std::string::npos) return false;
+    const size_t length = static_cast<size_t>(
+        std::atoll(out->head.c_str() + mark + 16));
+    while (buffer_.size() < split + 4 + length) {
+      if (!Fill()) return false;
+    }
+    out->body = buffer_.substr(split + 4, length);
+    buffer_.erase(0, split + 4 + length);
+    out->ok = true;
+    return true;
+  }
+
+  // True when the server has closed its end (EOF on a blocking read).
+  bool ServerClosed() {
+    char byte;
+    return ::recv(fd_, &byte, 1, 0) == 0;
+  }
+
+ private:
+  bool Fill() {
+    char chunk[4096];
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n <= 0) return false;
+    buffer_.append(chunk, static_cast<size_t>(n));
+    return true;
+  }
+
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+TEST(HttpKeepAliveTest, ServesManyRequestsOnOneConnection) {
+  const Workload workload = SmallWorkload(33);
+  EngineOptions options;
+  options.num_threads = 1;
+  options.listen_port = 0;
+  QueryEngine engine(workload.database.get(), options);
+  const int port = engine.introspection_port();
+  ASSERT_GT(port, 0);
+
+  RawClient client(port);
+  ASSERT_TRUE(client.connected());
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(client.Send("GET /healthz HTTP/1.1\r\n"
+                            "Host: 127.0.0.1\r\n\r\n"));
+    ClientResponse response;
+    ASSERT_TRUE(client.ReadResponse(&response)) << "request " << i;
+    EXPECT_EQ(response.status, 200);
+    // HTTP/1.1 with no Connection header defaults to keep-alive, and the
+    // server says so.
+    EXPECT_NE(response.head.find("Connection: keep-alive"),
+              std::string::npos);
+  }
+}
+
+TEST(HttpKeepAliveTest, PipelinedRequestsAnswerInOrder) {
+  const Workload workload = SmallWorkload(34);
+  EngineOptions options;
+  options.num_threads = 1;
+  options.listen_port = 0;
+  QueryEngine engine(workload.database.get(), options);
+  const int port = engine.introspection_port();
+  ASSERT_GT(port, 0);
+
+  RawClient client(port);
+  ASSERT_TRUE(client.connected());
+  // Both requests land in one write; the server must answer both from the
+  // buffered input, the second after flushing the first.
+  ASSERT_TRUE(client.Send(
+      "GET /healthz HTTP/1.1\r\nHost: a\r\n\r\n"
+      "GET /debug/active HTTP/1.1\r\nHost: a\r\nConnection: close\r\n\r\n"));
+  ClientResponse first;
+  ASSERT_TRUE(client.ReadResponse(&first));
+  EXPECT_EQ(first.status, 200);
+  EXPECT_NE(first.body.find("\"accepting\""), std::string::npos);
+  ClientResponse second;
+  ASSERT_TRUE(client.ReadResponse(&second));
+  EXPECT_EQ(second.status, 200);
+  EXPECT_NE(second.body.find("\"active\""), std::string::npos);
+  // The second request asked for close; the server honors it.
+  EXPECT_NE(second.head.find("Connection: close"), std::string::npos);
+  EXPECT_TRUE(client.ServerClosed());
+}
+
+TEST(HttpKeepAliveTest, PostBodyDeliveredInPiecesAcrossWrites) {
+  const Workload workload = SmallWorkload(35);
+  EngineOptions options;
+  options.num_threads = 1;
+  options.start_suspended = true;  // keep query 1 queued and cancellable
+  options.listen_port = 0;
+  QueryEngine engine(workload.database.get(), options);
+  const int port = engine.introspection_port();
+  ASSERT_GT(port, 0);
+
+  QueryOptions query_options;
+  query_options.epsilon = 0.1;
+  auto future = engine.Submit(workload.queries[0], query_options);
+
+  RawClient client(port);
+  ASSERT_TRUE(client.connected());
+  // Head first, then the declared body dribbles in one byte per write; the
+  // server must hold the connection open until Content-Length bytes arrive
+  // and only then dispatch.
+  ASSERT_TRUE(client.Send("POST /debug/cancel?id=1 HTTP/1.1\r\n"
+                          "Host: 127.0.0.1\r\nContent-Length: 6\r\n\r\n"));
+  for (const char byte : {'c', 'a', 'n', 'c', 'e', 'l'}) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    ASSERT_TRUE(client.Send(std::string(1, byte)));
+  }
+  ClientResponse response;
+  ASSERT_TRUE(client.ReadResponse(&response));
+  EXPECT_EQ(response.status, 200);
+  EXPECT_NE(response.body.find("\"cancelled_id\": 1"), std::string::npos);
+
+  // The connection survived the slow body: reuse it for another request.
+  ASSERT_TRUE(client.Send("GET /healthz HTTP/1.1\r\nHost: a\r\n\r\n"));
+  ClientResponse reused;
+  ASSERT_TRUE(client.ReadResponse(&reused));
+  EXPECT_EQ(reused.status, 200);
+
+  engine.Start();
+  EXPECT_EQ(future.get().status, QueryStatus::kCancelled);
+}
+
+TEST(HttpKeepAliveTest, ErrorResponsesAndHttp10Close) {
+  const Workload workload = SmallWorkload(36);
+  EngineOptions options;
+  options.num_threads = 1;
+  options.listen_port = 0;
+  QueryEngine engine(workload.database.get(), options);
+  const int port = engine.introspection_port();
+  ASSERT_GT(port, 0);
+
+  {
+    // A 404 forces close even under HTTP/1.1 keep-alive defaults.
+    RawClient client(port);
+    ASSERT_TRUE(client.connected());
+    ASSERT_TRUE(client.Send("GET /nope HTTP/1.1\r\nHost: a\r\n\r\n"));
+    ClientResponse response;
+    ASSERT_TRUE(client.ReadResponse(&response));
+    EXPECT_EQ(response.status, 404);
+    EXPECT_NE(response.head.find("Connection: close"), std::string::npos);
+    EXPECT_TRUE(client.ServerClosed());
+  }
+  {
+    // HTTP/1.0 defaults to close.
+    RawClient client(port);
+    ASSERT_TRUE(client.connected());
+    ASSERT_TRUE(client.Send("GET /healthz HTTP/1.0\r\nHost: a\r\n\r\n"));
+    ClientResponse response;
+    ASSERT_TRUE(client.ReadResponse(&response));
+    EXPECT_EQ(response.status, 200);
+    EXPECT_NE(response.head.find("Connection: close"), std::string::npos);
+    EXPECT_TRUE(client.ServerClosed());
+  }
 }
 
 // ---------------------------------------------------------------------------

@@ -35,6 +35,10 @@
 //             --checkpoint-every folds every N sequences; a final
 //             checkpoint (unless --no-checkpoint) leaves the file openable
 //             as a plain disk database. Reports points/s and fsyncs/commit.
+//   shard-build  split a corpus into an on-disk shard set (per-shard disk
+//             databases + manifest) for scatter-gather serving
+//             mdseq_cli shard-build --corpus=corpus.mdsq --out=shards/
+//                                   [--shards=2 --placement=hash|hilbert]
 //   serve-bench  drive the concurrent query engine with N client threads
 //             mdseq_cli serve-bench --corpus=corpus.mdsq | --db=corpus.db
 //                            [--threads=0 --clients=4 --queries=64
@@ -42,12 +46,21 @@
 //                             --policy=block|reject|shed
 //                             --deadline_ms=0 --verified --pool=256
 //                             --seed=42 --min_qlen=32 --max_qlen=128
+//                             --shards=0 --placement=hash|hilbert
+//                             --shard-failure=failfast|degraded
 //                             --ingest-rate=0 --ingest-checkpoint-every=0
 //                             --metrics-out=metrics.prom
 //                             --metrics-json=metrics.json
 //                             --trace-out=trace.json --trace-cap=4096
 //                             --listen=8080 --slow_ms=50 --linger_s=0
 //                             --log-level=warn]
+//             --shards=N (requires --corpus) splits the corpus into N
+//             self-contained shards under the chosen --placement and
+//             serves queries through the scatter-gather coordinator
+//             (loopback transport); the report then breaks coordinator
+//             time into fan-out wait vs merge, and the introspection
+//             server gains /debug/shards. --shard-failure picks the
+//             partial-failure policy (fail closed vs degrade open).
 //             --ingest-rate=<points/s> (requires --db) opens the database
 //             live (WAL-backed) and runs a background writer that ingests
 //             freshly generated sealed sequences at the target rate while
@@ -74,6 +87,8 @@
 //
 // Exit codes: 0 success, 1 runtime failure, 2 usage error.
 
+#include <sys/stat.h>
+
 #include <chrono>
 #include <condition_variable>
 #include <cstdio>
@@ -96,6 +111,9 @@
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "shard/coordinator.h"
+#include "shard/shard_set.h"
+#include "shard/transport.h"
 #include "storage/disk_database.h"
 #include "util/flags.h"
 #include "util/random.h"
@@ -108,7 +126,7 @@ int Usage() {
   std::fprintf(stderr,
                "usage: mdseq_cli "
                "<gen|info|export|query|topk|builddb|querydb|explain|"
-               "ingest|serve-bench> [--flags]\n"
+               "ingest|shard-build|serve-bench> [--flags]\n"
                "see the header of tools/mdseq_cli.cc for details\n");
   return 2;
 }
@@ -567,6 +585,55 @@ int RunIngest(const Flags& flags) {
   return 0;
 }
 
+// shard-build: split a corpus into an on-disk shard set — one disk
+// database per shard plus a manifest recording the placement — ready to
+// be served by the scatter-gather coordinator.
+int RunShardBuild(const Flags& flags) {
+  const auto corpus = LoadCorpus(flags);
+  if (!corpus.has_value()) return 1;
+  if (corpus->empty()) {
+    std::fprintf(stderr, "shard-build: corpus is empty\n");
+    return 2;
+  }
+  const std::string out = flags.GetString("out", "");
+  if (out.empty()) {
+    std::fprintf(stderr, "shard-build: --out=<dir> is required\n");
+    return 2;
+  }
+  const size_t shards = flags.GetSize("shards", 2);
+  if (shards == 0) {
+    std::fprintf(stderr, "shard-build: --shards must be >= 1\n");
+    return 2;
+  }
+  const std::string placement_name = flags.GetString("placement", "hash");
+  PlacementPolicy policy;
+  if (!ParsePlacementPolicy(placement_name.c_str(), &policy)) {
+    std::fprintf(stderr, "shard-build: unknown --placement=%s\n",
+                 placement_name.c_str());
+    return 2;
+  }
+  ::mkdir(out.c_str(), 0755);  // fine if it already exists
+
+  SequenceDatabase database(corpus->front().dim());
+  for (const Sequence& s : *corpus) database.Add(s);
+  if (!ShardSet::BuildOnDisk(database, out, shards, policy)) {
+    std::fprintf(stderr, "shard-build: failed to write shard set to %s\n",
+                 out.c_str());
+    return 1;
+  }
+  const std::unique_ptr<ShardPlacement> placement =
+      ShardPlacement::Build(database.num_sequences(), shards, policy);
+  std::printf("wrote shard set: %zu sequences over %zu shard(s), "
+              "%s placement -> %s\n",
+              database.num_sequences(), shards, placement_name.c_str(),
+              out.c_str());
+  for (size_t i = 0; i < shards; ++i) {
+    std::printf("  shard %zu: %zu sequence(s)\n", i,
+                placement->shard_size(static_cast<uint32_t>(i)));
+  }
+  return 0;
+}
+
 // serve-bench: N client threads submit batches of drawn queries into the
 // concurrent engine; reports QPS and the engine counters. Works against an
 // in-memory corpus (--corpus) or a disk database (--db). With
@@ -583,6 +650,29 @@ int RunServeBench(const Flags& flags) {
   const size_t ingest_rate = flags.GetSize("ingest-rate", 0);
   if (ingest_rate > 0 && db_path.empty()) {
     std::fprintf(stderr, "serve-bench: --ingest-rate requires --db\n");
+    return 2;
+  }
+  const size_t num_shards = flags.GetSize("shards", 0);
+  if (num_shards > 0 && corpus_path.empty()) {
+    std::fprintf(stderr, "serve-bench: --shards requires --corpus\n");
+    return 2;
+  }
+  PlacementPolicy placement_policy = PlacementPolicy::kHash;
+  const std::string placement_name = flags.GetString("placement", "hash");
+  if (!ParsePlacementPolicy(placement_name.c_str(), &placement_policy)) {
+    std::fprintf(stderr, "serve-bench: unknown --placement=%s\n",
+                 placement_name.c_str());
+    return 2;
+  }
+  CoordinatorOptions coordinator_options;
+  const std::string failure = flags.GetString("shard-failure", "failfast");
+  if (failure == "failfast") {
+    coordinator_options.failure = CoordinatorOptions::FailurePolicy::kFailFast;
+  } else if (failure == "degraded") {
+    coordinator_options.failure = CoordinatorOptions::FailurePolicy::kDegraded;
+  } else {
+    std::fprintf(stderr, "serve-bench: unknown --shard-failure=%s\n",
+                 failure.c_str());
     return 2;
   }
 
@@ -655,6 +745,11 @@ int RunServeBench(const Flags& flags) {
   std::unique_ptr<SequenceDatabase> memory_database;
   std::unique_ptr<DiskDatabase> disk_database;
   std::unique_ptr<LiveDatabase> live_database;
+  // Sharded serving (--shards): the engine is declared after these, so it
+  // shuts down before the coordinator, transport, and shards tear down.
+  std::unique_ptr<ShardSet> shard_set;
+  std::unique_ptr<LoopbackTransport> shard_transport;
+  std::unique_ptr<Coordinator> coordinator;
   if (ingest_rate > 0) {
     LiveDatabaseOptions live_options;
     live_options.pool_pages = flags.GetSize("pool", 256);
@@ -687,9 +782,21 @@ int RunServeBench(const Flags& flags) {
       return 1;
     }
     corpus = std::move(*loaded);
-    memory_database =
-        std::make_unique<SequenceDatabase>(corpus.front().dim());
-    for (const Sequence& s : corpus) memory_database->Add(s);
+    if (num_shards > 0) {
+      SequenceDatabase full(corpus.front().dim());
+      for (const Sequence& s : corpus) full.Add(s);
+      shard_set =
+          ShardSet::BuildInMemory(full, num_shards, placement_policy);
+      shard_transport =
+          std::make_unique<LoopbackTransport>(shard_set->nodes());
+      coordinator = std::make_unique<Coordinator>(shard_transport.get(),
+                                                  shard_set->placement(),
+                                                  coordinator_options);
+    } else {
+      memory_database =
+          std::make_unique<SequenceDatabase>(corpus.front().dim());
+      for (const Sequence& s : corpus) memory_database->Add(s);
+    }
   } else {
     disk_database = std::make_unique<DiskDatabase>(
         db_path, flags.GetSize("pool", 256));
@@ -722,7 +829,9 @@ int RunServeBench(const Flags& flags) {
   }
 
   std::unique_ptr<QueryEngine> engine;
-  if (live_database != nullptr) {
+  if (coordinator != nullptr) {
+    engine = std::make_unique<QueryEngine>(coordinator.get(), options);
+  } else if (live_database != nullptr) {
     engine = std::make_unique<QueryEngine>(live_database.get(), options);
   } else if (memory_database != nullptr) {
     engine = std::make_unique<QueryEngine>(memory_database.get(), options);
@@ -737,9 +846,10 @@ int RunServeBench(const Flags& flags) {
     }
     std::printf("listening : http://127.0.0.1:%d  "
                 "(/metrics /healthz /debug/active /debug/cancel "
-                "/debug/slow /debug/trace%s)\n",
+                "/debug/slow /debug/trace%s%s)\n",
                 engine->introspection_port(),
-                ingest_rate > 0 ? " /debug/ingest" : "");
+                ingest_rate > 0 ? " /debug/ingest" : "",
+                coordinator != nullptr ? " /debug/shards" : "");
     std::fflush(stdout);
   }
 
@@ -885,6 +995,18 @@ int RunServeBench(const Flags& flags) {
               static_cast<double>(stats.first_pruning_ns) / 1e6,
               static_cast<double>(stats.second_pruning_ns) / 1e6,
               static_cast<double>(stats.verify_ns) / 1e6);
+  if (coordinator != nullptr) {
+    // Coordinator phase breakdown: time blocked on the slowest shard per
+    // fan-out vs time merging shard results, summed over queries. The
+    // shard-side phase totals above already include all shards' work.
+    std::printf("shards    : %zu shard(s), %s placement, %s policy; "
+                "fan-out wait %.1f ms, merge %.1f ms (summed over "
+                "queries)\n",
+                coordinator->num_shards(), placement_name.c_str(),
+                FailurePolicyName(coordinator_options.failure),
+                static_cast<double>(stats.fanout_wait_ns) / 1e6,
+                static_cast<double>(stats.merge_ns) / 1e6);
+  }
   if (ingest_rate > 0) {
     const IngestStatus ingest_status = live_database->Status();
     std::printf("ingest    : %llu points in %llu batch(es) (%llu rejected) "
@@ -968,6 +1090,7 @@ int main(int argc, char** argv) {
   if (command == "querydb") return RunQueryDb(flags);
   if (command == "explain") return RunExplain(flags);
   if (command == "ingest") return RunIngest(flags);
+  if (command == "shard-build") return RunShardBuild(flags);
   if (command == "serve-bench") return RunServeBench(flags);
   return Usage();
 }

@@ -17,7 +17,14 @@
 # checkpoint cost, and the p99 SearchVerified latency with a concurrent
 # writer on vs. off.
 #
-# Usage: tools/run_benchmarks.sh [build-dir] [out.json] [ingest-out.json]
+# A third file (BENCH_shard.json by default) baselines the scatter-gather
+# serving layer: the coordinator tax at one shard (fan-out machinery +
+# wire-codec round trip vs calling the search directly), threshold and
+# top-k latency across loopback shard counts, and the codec throughput
+# floor per RPC.
+#
+# Usage: tools/run_benchmarks.sh [build-dir] [out.json] [ingest-out.json] \
+#                                [shard-out.json]
 # Build an optimized tree first:  cmake --preset release &&
 #                                 cmake --build --preset release -j
 set -euo pipefail
@@ -25,6 +32,7 @@ set -euo pipefail
 BUILD_DIR="${1:-build-release}"
 OUT="${2:-BENCH_kernels.json}"
 OUT_INGEST="${3:-BENCH_ingest.json}"
+OUT_SHARD="${4:-BENCH_shard.json}"
 
 if [[ ! -x "$BUILD_DIR/bench/micro_dnorm" ]]; then
   echo "error: $BUILD_DIR/bench/micro_dnorm not found or not executable." >&2
@@ -108,3 +116,46 @@ jq '
 
 echo "wrote $OUT_INGEST"
 jq '.summary' "$OUT_INGEST"
+
+# --- Sharded scatter-gather baseline ----------------------------------------
+
+"$BUILD_DIR/bench/micro_scatter" --json \
+  --benchmark_filter='SingleThreshold|ScatterThreshold|SingleNearest|ScatterNearest|ShardCodec' \
+  >"$tmp/scatter.json"
+
+jq '
+  def bench(n): (.benchmarks[] | select(.name == n));
+  {
+    summary: {
+      # Coordinator tax: one loopback shard (full fan-out + codec round
+      # trip) vs calling SimilaritySearch directly. ~1.0 means the
+      # scatter-gather machinery is nearly free on top of the search.
+      scatter_overhead_1:
+        (bench("BM_ScatterThreshold/1").real_time /
+         bench("BM_SingleThreshold").real_time),
+      scatter_threshold_scaling_4:
+        (bench("BM_ScatterThreshold/1").real_time /
+         bench("BM_ScatterThreshold/4").real_time),
+      scatter_nearest_overhead_1:
+        (bench("BM_ScatterNearest/1").real_time /
+         bench("BM_SingleNearest").real_time),
+      fanout_wait_share_4:
+        (bench("BM_ScatterThreshold/4").fanout_wait_ns_per_query /
+         bench("BM_ScatterThreshold/4").real_time),
+      merge_ns_per_query_4: bench("BM_ScatterThreshold/4").merge_ns_per_query,
+      codec_roundtrip_us:
+        (bench("BM_ShardCodec_ResponseRoundTrip").real_time / 1000)
+    },
+    context: (.context | del(.date, .load_avg)),
+    benchmarks: .benchmarks
+  }' "$tmp/scatter.json" >"$OUT_SHARD"
+
+echo "wrote $OUT_SHARD"
+jq '.summary' "$OUT_SHARD"
+
+# Guardrail: the coordinator at one loopback shard must stay within 2x of
+# the direct search (it adds one codec round trip and a pool hop).
+jq -e '.summary.scatter_overhead_1 <= 2' "$OUT_SHARD" >/dev/null || {
+  echo "error: single-shard coordinator overhead above the 2x acceptance bar" >&2
+  exit 1
+}
