@@ -238,6 +238,7 @@ bool EvaluatePhase3(const Partition& query_partition, size_t query_length,
       // min_dnorm (<= epsilon) cannot come from this probe either. Not
       // taken under the composite bound, which needs every probe's exact
       // minimum.
+      ++stats->probe_abandons;
       continue;
     }
     double probe_min = std::numeric_limits<double>::infinity();
@@ -301,6 +302,37 @@ const char* SearchPhaseName(SearchPhase phase) {
       return "done";
   }
   return "unknown";
+}
+
+PruningCascadeStats CascadeOf(const SearchStats& stats,
+                              uint64_t total_sequences, bool verified) {
+  PruningCascadeStats cascade;
+  PruningCascadeStats::Stage first;
+  first.name = "first_pruning";
+  first.candidates_in = total_sequences;
+  first.candidates_out = stats.phase2_candidates;
+  first.ns = stats.partition_ns + stats.first_pruning_ns;
+  cascade.stages.push_back(first);
+
+  PruningCascadeStats::Stage second;
+  second.name = "second_pruning";
+  second.candidates_in = stats.phase2_candidates;
+  second.candidates_out = stats.filter_matches;
+  second.abandons = stats.probe_abandons;
+  second.ns = stats.second_pruning_ns;
+  cascade.stages.push_back(second);
+
+  if (verified) {
+    PruningCascadeStats::Stage verify;
+    verify.name = "verify";
+    verify.candidates_in = stats.filter_matches;
+    verify.candidates_out = stats.phase3_matches;
+    verify.abandons = stats.verify_abandons;
+    verify.bytes_read = stats.bytes_read;
+    verify.ns = stats.verify_ns;
+    cascade.stages.push_back(verify);
+  }
+  return cascade;
 }
 
 SearchResult SimilaritySearch::Search(SequenceView query,
@@ -404,10 +436,14 @@ SearchResult SimilaritySearch::SearchVerified(
     obs::SpanScope candidate_span(control.trace, "verify_candidate");
     candidate_span.Arg("sequence_id", match.sequence_id);
     const SequenceView data = database_->sequence(match.sequence_id).View();
+    result.stats.bytes_read += data.size() * data.dim() * sizeof(double);
     // Early-abandoning verification: exact distance when within epsilon,
     // +inf (dropped below) when it provably is not.
     const double exact = SequenceDistanceBounded(query, data, epsilon);
-    if (exact > epsilon) continue;
+    if (exact > epsilon) {
+      ++result.stats.verify_abandons;
+      continue;
+    }
     match.exact_distance = exact;
     match.solution_interval = ExactSolutionInterval(query, data, epsilon);
     verified.push_back(std::move(match));
@@ -446,6 +482,30 @@ obs::ExplainStats ToExplainStats(const SearchResult& result,
   out.interval_assembly_ns = stats.interval_assembly_ns;
   out.verified_matches = verified ? stats.phase3_matches : 0;
   out.verify_ns = stats.verify_ns;
+  out.probe_abandons = stats.probe_abandons;
+  out.verify_abandons = stats.verify_abandons;
+  out.bytes_read = stats.bytes_read;
+  out.shards_total = stats.shards_total;
+  out.shards_failed = stats.shards_failed;
+  out.fanout_wait_ns = stats.fanout_wait_ns;
+  out.merge_ns = stats.merge_ns;
+  for (const ShardQueryStats& shard : result.shard_breakdown) {
+    obs::ExplainStats::ShardRow row;
+    row.shard = shard.shard;
+    row.ok = shard.ok;
+    row.interrupted = shard.interrupted;
+    row.rpc_ns = shard.rpc_ns;
+    row.sequences = shard.num_sequences;
+    row.phase2_candidates = shard.stats.phase2_candidates;
+    row.filter_matches = shard.stats.filter_matches;
+    row.phase3_matches = shard.stats.phase3_matches;
+    row.dnorm_evaluations = shard.stats.dnorm_evaluations;
+    row.probe_abandons = shard.stats.probe_abandons;
+    row.verify_abandons = shard.stats.verify_abandons;
+    row.bytes_read = shard.stats.bytes_read;
+    row.total_ns = shard.stats.TotalPhaseNs();
+    out.shards.push_back(row);
+  }
 
   for (const SequenceMatch& match : result.matches) {
     out.solution_intervals += match.solution_interval.size();

@@ -93,6 +93,17 @@ struct SearchStats {
   uint64_t interval_assembly_ns = 0;
   uint64_t verify_ns = 0;
 
+  /// Pruning-cascade cost accounting (the per-stage pruning-power signal
+  /// the Hydra-style tuning work reads). `probe_abandons` counts Phase-3
+  /// candidates dismissed by the cheap min-Dmbr probe before any Dnorm
+  /// evaluation; `verify_abandons` counts verification distance
+  /// computations abandoned early (exact distance proved > threshold);
+  /// `bytes_read` is the raw sequence payload materialized for
+  /// verification (points × dim × sizeof(double)).
+  uint64_t probe_abandons = 0;
+  uint64_t verify_abandons = 0;
+  uint64_t bytes_read = 0;
+
   /// Coordinator attribution of sharded queries (see src/shard): time
   /// blocked waiting on the slowest shard, time merging shard responses,
   /// and shard coverage. Single-database queries leave all four zero;
@@ -109,6 +120,59 @@ struct SearchStats {
   }
 };
 
+/// The pruning funnel of one query as explicit per-stage rows: how many
+/// candidates entered each stage, how many survived, how many were killed
+/// by an early-abandon shortcut, and what the stage cost. Derived from
+/// `SearchStats` by `CascadeOf` — this is the per-stage pruning-power
+/// signal EXPLAIN, `/debug/slow`, and the `mdseq_prune_*` metrics report.
+struct PruningCascadeStats {
+  struct Stage {
+    /// Stable stage name: "first_pruning", "second_pruning", "verify".
+    const char* name = "";
+    uint64_t candidates_in = 0;
+    uint64_t candidates_out = 0;
+    /// Early-abandon wins inside the stage (min-Dmbr probe dismissals in
+    /// second pruning, bounded-distance abandons in verify).
+    uint64_t abandons = 0;
+    /// Raw sequence bytes the stage materialized (verify only).
+    uint64_t bytes_read = 0;
+    uint64_t ns = 0;
+
+    /// Fraction of entering candidates that survived (1.0 when nothing
+    /// entered, so an empty funnel reads as "nothing pruned").
+    double SurvivorRatio() const {
+      return candidates_in == 0
+                 ? 1.0
+                 : static_cast<double>(candidates_out) /
+                       static_cast<double>(candidates_in);
+    }
+  };
+
+  /// Stages in execution order; verify is present only for verified
+  /// queries.
+  std::vector<Stage> stages;
+};
+
+/// Builds the cascade view of one query. `total_sequences` is the corpus
+/// size the first stage filtered (a shard's subset shard-side); `verified`
+/// adds the verify stage.
+PruningCascadeStats CascadeOf(const SearchStats& stats,
+                              uint64_t total_sequences, bool verified);
+
+/// Per-shard slice of a coordinator query's execution: identity, outcome,
+/// round-trip time, and the shard's own `SearchStats` — kept un-summed so
+/// EXPLAIN and `/debug/slow` can show per-shard skew.
+struct ShardQueryStats {
+  uint32_t shard = 0;
+  bool ok = true;
+  bool interrupted = false;
+  /// Coordinator-observed round trip of the shard's primary search RPC.
+  uint64_t rpc_ns = 0;
+  /// Sequences the shard holds (its stage-1 input).
+  uint64_t num_sequences = 0;
+  SearchStats stats;
+};
+
 /// Full result of one similarity query.
 struct SearchResult {
   /// Ids of Phase-2 candidates (ASmbr), ascending.
@@ -116,6 +180,9 @@ struct SearchResult {
   /// Phase-3 matches (ASnorm) with their solution intervals, ascending id.
   std::vector<SequenceMatch> matches;
   SearchStats stats;
+  /// Coordinator queries only: one entry per shard (failed shards carry
+  /// `ok == false` and zeroed stats). Empty for single-database queries.
+  std::vector<ShardQueryStats> shard_breakdown;
   /// True when the search stopped early because its `SearchControl` fired
   /// (cancellation or deadline); candidates/matches are then partial.
   bool interrupted = false;

@@ -148,7 +148,52 @@ std::string SlowQueriesJson(const std::vector<SlowQueryRecord>& records) {
     AppendU64(&out, "second_pruning_ns", record.stats.second_pruning_ns);
     out.append(", ");
     AppendU64(&out, "verify_ns", record.stats.verify_ns);
-    out.push_back('}');
+    out.append(", ");
+    AppendU64(&out, "probe_abandons", record.stats.probe_abandons);
+    out.append(", ");
+    AppendU64(&out, "verify_abandons", record.stats.verify_abandons);
+    out.append(", ");
+    AppendU64(&out, "bytes_read", record.stats.bytes_read);
+    out.append(", ");
+    AppendU64(&out, "shards_total", record.stats.shards_total);
+    out.append(", ");
+    AppendU64(&out, "shards_failed", record.stats.shards_failed);
+    out.append(", ");
+    AppendU64(&out, "fanout_wait_ns", record.stats.fanout_wait_ns);
+    out.append(", ");
+    AppendU64(&out, "merge_ns", record.stats.merge_ns);
+    out.append(", \"shards\": [");
+    bool first_shard = true;
+    for (const ShardQueryStats& shard : record.shards) {
+      if (!first_shard) out.append(", ");
+      first_shard = false;
+      out.push_back('{');
+      AppendU64(&out, "shard", shard.shard);
+      out.append(", ");
+      AppendBool(&out, "ok", shard.ok);
+      out.append(", ");
+      AppendBool(&out, "interrupted", shard.interrupted);
+      out.append(", ");
+      AppendU64(&out, "rpc_ns", shard.rpc_ns);
+      out.append(", ");
+      AppendU64(&out, "sequences", shard.num_sequences);
+      out.append(", ");
+      AppendU64(&out, "phase2_candidates", shard.stats.phase2_candidates);
+      out.append(", ");
+      AppendU64(&out, "filter_matches", shard.stats.filter_matches);
+      out.append(", ");
+      AppendU64(&out, "phase3_matches", shard.stats.phase3_matches);
+      out.append(", ");
+      AppendU64(&out, "dnorm_evaluations", shard.stats.dnorm_evaluations);
+      out.append(", ");
+      AppendU64(&out, "probe_abandons", shard.stats.probe_abandons);
+      out.append(", ");
+      AppendU64(&out, "verify_abandons", shard.stats.verify_abandons);
+      out.append(", ");
+      AppendU64(&out, "bytes_read", shard.stats.bytes_read);
+      out.push_back('}');
+    }
+    out.append("]}");
   }
   out.append(first ? "]}\n" : "\n]}\n");
   return out;

@@ -22,6 +22,12 @@ double UnixNowSeconds() {
          static_cast<double>(ts.tv_nsec) / 1e9;
 }
 
+/// Bucket ladder for pruning survivor-ratio histograms: ratios live in
+/// [0, 1] and the interesting resolution is near 0 (strong pruning).
+std::vector<double> SurvivorRatioBounds() {
+  return {0.001, 0.01, 0.05, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0};
+}
+
 ThreadPool::Options PoolOptions(const EngineOptions& options) {
   ThreadPool::Options pool;
   pool.num_threads = options.num_threads;
@@ -105,6 +111,20 @@ struct QueryEngine::Metrics {
   obs::Gauge* queries_active;
   obs::Counter* traces_dropped;
   obs::Counter* slow_queries;
+
+  /// Pruning-cascade accounting, driven per executed query from its
+  /// `SearchStats` (see `PruningCascadeStats`).
+  obs::Counter* prune_probe_abandons;
+  obs::Counter* prune_verify_abandons;
+  obs::Counter* prune_bytes_read;
+  obs::Histogram* prune_first_survivor_ratio;
+  obs::Histogram* prune_second_survivor_ratio;
+
+  /// Coordinator engines only (null otherwise): per-query fan-out wait and
+  /// merge time as histograms (the counters of the same name live in the
+  /// coordinator's `mdseq_shard_*` family).
+  obs::Histogram* fanout_wait_seconds = nullptr;
+  obs::Histogram* merge_seconds = nullptr;
 
   /// Ingest path (live engines only; null otherwise).
   obs::Counter* ingest_points = nullptr;
@@ -242,6 +262,37 @@ void QueryEngine::InstallObservers(const EngineOptions& options) {
   metrics->slow_queries = reg->GetCounter(
       "mdseq_slow_queries_total",
       "Served queries exceeding the slow-query latency threshold");
+  metrics->prune_probe_abandons = reg->GetCounter(
+      "mdseq_prune_probe_abandons_total",
+      "Phase-3 candidates dismissed by the min-Dmbr probe before any Dnorm "
+      "evaluation");
+  metrics->prune_verify_abandons = reg->GetCounter(
+      "mdseq_prune_verify_abandons_total",
+      "Verification distance computations abandoned early (exact distance "
+      "proved beyond the threshold)");
+  metrics->prune_bytes_read = reg->GetCounter(
+      "mdseq_prune_bytes_read_total",
+      "Raw sequence bytes materialized for exact verification");
+  metrics->prune_first_survivor_ratio = reg->GetHistogram(
+      "mdseq_prune_first_survivor_ratio",
+      "Per-query fraction of the corpus surviving first pruning (ASmbr / "
+      "database sequences)",
+      SurvivorRatioBounds());
+  metrics->prune_second_survivor_ratio = reg->GetHistogram(
+      "mdseq_prune_second_survivor_ratio",
+      "Per-query fraction of first-pruning candidates surviving the Dnorm "
+      "filter",
+      SurvivorRatioBounds());
+  if (coordinator_ != nullptr) {
+    metrics->fanout_wait_seconds = reg->GetHistogram(
+        "mdseq_shard_fanout_wait_seconds",
+        "Per-query time blocked waiting on the slowest shard",
+        obs::DefaultLatencyBoundsSeconds());
+    metrics->merge_seconds = reg->GetHistogram(
+        "mdseq_shard_merge_seconds",
+        "Per-query time merging shard responses",
+        obs::DefaultLatencyBoundsSeconds());
+  }
   if (live_database_ != nullptr) {
     metrics->ingest_points = reg->GetCounter(
         "mdseq_ingest_points_total",
@@ -510,6 +561,13 @@ SearchResult QueryEngine::RunSearch(SequenceView query,
              : disk_database_->Search(query, options.epsilon, control);
 }
 
+uint64_t QueryEngine::DatabaseSequences() const {
+  if (coordinator_ != nullptr) return coordinator_->num_sequences();
+  if (memory_database_ != nullptr) return memory_database_->num_sequences();
+  if (live_database_ != nullptr) return live_database_->num_sequences();
+  return disk_database_->num_sequences();
+}
+
 void QueryEngine::Execute(const std::shared_ptr<Pending>& pending) {
   // Admission-to-execution checkpoint: a query that waited out its budget
   // (or was cancelled while queued — by the submitter's token or by
@@ -670,9 +728,46 @@ void QueryEngine::Finish(const std::shared_ptr<Pending>& pending,
       metrics_->interval_assembly_ns->Increment(stats.interval_assembly_ns);
     }
     if (stats.verify_ns > 0) metrics_->verify_ns->Increment(stats.verify_ns);
+    if (stats.probe_abandons > 0) {
+      metrics_->prune_probe_abandons->Increment(stats.probe_abandons);
+    }
+    if (stats.verify_abandons > 0) {
+      metrics_->prune_verify_abandons->Increment(stats.verify_abandons);
+    }
+    if (stats.bytes_read > 0) {
+      metrics_->prune_bytes_read->Increment(stats.bytes_read);
+    }
     if (status == QueryStatus::kOk) {
-      metrics_->latency_seconds->Observe(
-          static_cast<double>(outcome.latency.count()) / 1e6);
+      // Survivor ratios only for queries that ran the full funnel — a
+      // partial funnel would skew the pruning-power distribution.
+      const PruningCascadeStats cascade = CascadeOf(
+          stats, DatabaseSequences(), pending->options.verified);
+      if (!cascade.stages.empty()) {
+        metrics_->prune_first_survivor_ratio->Observe(
+            cascade.stages[0].SurvivorRatio());
+      }
+      if (cascade.stages.size() > 1) {
+        metrics_->prune_second_survivor_ratio->Observe(
+            cascade.stages[1].SurvivorRatio());
+      }
+    }
+    if (stats.shards_total > 0 && metrics_->fanout_wait_seconds != nullptr) {
+      metrics_->fanout_wait_seconds->Observe(
+          static_cast<double>(stats.fanout_wait_ns) / 1e9);
+      metrics_->merge_seconds->Observe(
+          static_cast<double>(stats.merge_ns) / 1e9);
+    }
+    if (status == QueryStatus::kOk) {
+      const double seconds =
+          static_cast<double>(outcome.latency.count()) / 1e6;
+      if (traces_ != nullptr) {
+        // The query id doubles as its trace id (see Execute), so the
+        // worst-percentile buckets carry a pointer straight to the trace
+        // of a query that landed there.
+        metrics_->latency_seconds->ObserveWithExemplar(seconds, pending->id);
+      } else {
+        metrics_->latency_seconds->Observe(seconds);
+      }
     }
     metrics_->queue_depth->Set(
         static_cast<double>(pool_->queue_depth()));
@@ -726,6 +821,7 @@ void QueryEngine::Finish(const std::shared_ptr<Pending>& pending,
     record.unix_ts = UnixNowSeconds();
     record.stats = outcome.result.stats;
     record.matches = outcome.result.matches.size();
+    record.shards = outcome.result.shard_breakdown;
     slow_->Record(std::move(record));
     if (metrics_ != nullptr) metrics_->slow_queries->Increment();
     log.Warn("slow_query")

@@ -334,6 +334,9 @@ class QueryEngine {
               SearchResult result);
   SearchResult RunSearch(SequenceView query, const QueryOptions& options,
                          const SearchControl& control) const;
+  /// Sequences visible to queries right now — the first pruning stage's
+  /// input size, whichever backend the engine fronts.
+  uint64_t DatabaseSequences() const;
 
   void ExecuteIngest(const std::shared_ptr<PendingIngest>& pending);
   void FinishIngest(const std::shared_ptr<PendingIngest>& pending,

@@ -27,6 +27,11 @@ struct SlowQueryRecord {
   double unix_ts = 0.0;
   SearchStats stats;
   size_t matches = 0;
+  /// Coordinator queries only: per-shard slices of the query (identity,
+  /// outcome, round trip, and the shard's own stats) so `/debug/slow`
+  /// shows which shard made the query slow. Empty for single-database
+  /// engines.
+  std::vector<ShardQueryStats> shards;
 };
 
 /// Fixed-capacity ring of the most recent slow queries — the `/debug/slow`

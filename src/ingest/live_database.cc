@@ -748,8 +748,12 @@ SearchResult LiveDatabase::SearchVerified(SequenceView query, double epsilon,
     } else {
       continue;
     }
+    result.stats.bytes_read += view.size() * view.dim() * sizeof(double);
     const double exact = SequenceDistance(query, view);
-    if (exact > epsilon) continue;
+    if (exact > epsilon) {
+      ++result.stats.verify_abandons;
+      continue;
+    }
     match.exact_distance = exact;
     match.solution_interval = ExactSolutionInterval(query, view, epsilon);
     verified.push_back(std::move(match));

@@ -90,6 +90,11 @@ std::string RenderExplainReport(const ExplainStats& s) {
              s.phase2_candidates, s.phase3_matches,
              PrunedPercent(s.phase2_candidates, s.phase3_matches),
              s.dnorm_evaluations, FormatNs(s.second_pruning_ns).c_str()));
+  if (s.probe_abandons > 0) {
+    AppendLine(&out, "  probe abandons",
+               Printf("%" PRIu64 " probes dismissed before any Dnorm",
+                      s.probe_abandons));
+  }
   AppendLine(&out, "  interval assembly",
              Printf("%zu intervals covering %zu points  %s",
                     s.solution_intervals, s.solution_points,
@@ -97,8 +102,40 @@ std::string RenderExplainReport(const ExplainStats& s) {
 
   if (s.verified) {
     AppendLine(&out, "refine: verification",
-               Printf("%zu -> %zu verified matches  %s", s.phase3_matches,
-                      s.verified_matches, FormatNs(s.verify_ns).c_str()));
+               Printf("%zu -> %zu verified matches, %" PRIu64
+                      " early abandons, %" PRIu64 " bytes read  %s",
+                      s.phase3_matches, s.verified_matches,
+                      s.verify_abandons, s.bytes_read,
+                      FormatNs(s.verify_ns).c_str()));
+  }
+
+  if (s.shards_total > 0) {
+    AppendLine(&out, "fan-out",
+               Printf("%u shards (%u failed), wait %s, merge %s",
+                      s.shards_total, s.shards_failed,
+                      FormatNs(s.fanout_wait_ns).c_str(),
+                      FormatNs(s.merge_ns).c_str()));
+    // Per-shard pruning cascade — the skew view: which shard burned the
+    // time, and where in its funnel.
+    for (const ExplainStats::ShardRow& row : s.shards) {
+      char label[32];
+      std::snprintf(label, sizeof(label), "  shard %u", row.shard);
+      if (!row.ok) {
+        AppendLine(&out, label, "FAILED (no response merged)");
+        continue;
+      }
+      std::string body = Printf(
+          "%" PRIu64 " seqs -> %" PRIu64 " cand -> %" PRIu64
+          " filt -> %" PRIu64 " match, %" PRIu64 " dnorm, %" PRIu64
+          "+%" PRIu64 " abandons, %" PRIu64 " B read",
+          row.sequences, row.phase2_candidates, row.filter_matches,
+          row.phase3_matches, row.dnorm_evaluations, row.probe_abandons,
+          row.verify_abandons, row.bytes_read);
+      body += Printf("  %s (rpc %s)%s", FormatNs(row.total_ns).c_str(),
+                     FormatNs(row.rpc_ns).c_str(),
+                     row.interrupted ? " [interrupted]" : "");
+      AppendLine(&out, label, body);
+    }
   }
 
   AppendLine(&out, "total",
@@ -141,6 +178,39 @@ std::string ExplainJson(const ExplainStats& s) {
   add_u64("solution_points", s.solution_points);
   add_u64("verified_matches", s.verified_matches);
   add_u64("verify_ns", s.verify_ns);
+  add_u64("probe_abandons", s.probe_abandons);
+  add_u64("verify_abandons", s.verify_abandons);
+  add_u64("bytes_read", s.bytes_read);
+  add_u64("shards_total", s.shards_total);
+  add_u64("shards_failed", s.shards_failed);
+  add_u64("fanout_wait_ns", s.fanout_wait_ns);
+  add_u64("merge_ns", s.merge_ns);
+  out.append("\n  \"shards\": [");
+  for (size_t i = 0; i < s.shards.size(); ++i) {
+    const ExplainStats::ShardRow& row = s.shards[i];
+    if (i > 0) out.push_back(',');
+    std::snprintf(buffer, sizeof(buffer),
+                  "\n    {\"shard\": %u, \"ok\": %s, \"interrupted\": %s,",
+                  row.shard, row.ok ? "true" : "false",
+                  row.interrupted ? "true" : "false");
+    out.append(buffer);
+    auto row_u64 = [&](const char* key, uint64_t value, bool last = false) {
+      std::snprintf(buffer, sizeof(buffer), " \"%s\": %" PRIu64 "%s", key,
+                    value, last ? "}" : ",");
+      out.append(buffer);
+    };
+    row_u64("rpc_ns", row.rpc_ns);
+    row_u64("sequences", row.sequences);
+    row_u64("phase2_candidates", row.phase2_candidates);
+    row_u64("filter_matches", row.filter_matches);
+    row_u64("phase3_matches", row.phase3_matches);
+    row_u64("dnorm_evaluations", row.dnorm_evaluations);
+    row_u64("probe_abandons", row.probe_abandons);
+    row_u64("verify_abandons", row.verify_abandons);
+    row_u64("bytes_read", row.bytes_read);
+    row_u64("total_ns", row.total_ns, /*last=*/true);
+  }
+  out.append(s.shards.empty() ? "],": "\n  ],");
   add_u64("total_ns", s.TotalNs(), /*last=*/true);
   out.append("\n}\n");
   return out;

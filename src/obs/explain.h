@@ -4,6 +4,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 namespace mdseq::obs {
 
@@ -43,6 +44,39 @@ struct ExplainStats {
   // Optional refinement (SearchVerified).
   size_t verified_matches = 0;
   uint64_t verify_ns = 0;
+
+  // Pruning-cascade cost accounting: early-abandon wins per stage and the
+  // raw sequence bytes verification materialized.
+  uint64_t probe_abandons = 0;
+  uint64_t verify_abandons = 0;
+  uint64_t bytes_read = 0;
+
+  // Coordinator queries: shard coverage and fan-out/merge attribution
+  // (all zero for single-database queries, `shards` then empty).
+  uint32_t shards_total = 0;
+  uint32_t shards_failed = 0;
+  uint64_t fanout_wait_ns = 0;
+  uint64_t merge_ns = 0;
+
+  /// One row per shard of a coordinator query — the per-shard
+  /// pruning-cascade table. Plain numbers copied from the coordinator's
+  /// `ShardQueryStats` breakdown.
+  struct ShardRow {
+    uint32_t shard = 0;
+    bool ok = true;
+    bool interrupted = false;
+    uint64_t rpc_ns = 0;
+    uint64_t sequences = 0;
+    uint64_t phase2_candidates = 0;
+    uint64_t filter_matches = 0;
+    uint64_t phase3_matches = 0;
+    uint64_t dnorm_evaluations = 0;
+    uint64_t probe_abandons = 0;
+    uint64_t verify_abandons = 0;
+    uint64_t bytes_read = 0;
+    uint64_t total_ns = 0;
+  };
+  std::vector<ShardRow> shards;
 
   /// Wall time of the whole search, phase sum (assembly is inside phase 3).
   uint64_t TotalNs() const {

@@ -87,7 +87,8 @@ std::string RenderLabelSuffix(const Labels& labels) {
 
 Histogram::Histogram(std::vector<double> bounds)
     : bounds_(std::move(bounds)),
-      counts_(new std::atomic<uint64_t>[bounds_.size() + 1]) {
+      counts_(new std::atomic<uint64_t>[bounds_.size() + 1]),
+      exemplars_(new Exemplar[bounds_.size() + 1]) {
   for (size_t i = 1; i < bounds_.size(); ++i) {
     MDSEQ_CHECK(bounds_[i - 1] < bounds_[i]);
   }
@@ -203,18 +204,33 @@ std::string MetricsRegistry::PrometheusText() const {
       case Kind::kHistogram: {
         AppendHelpAndType(name, entry.help, "histogram", &out);
         const Histogram& h = *entry.histogram;
+        // OpenMetrics-style exemplar suffix on bucket lines that have one;
+        // buckets fed only by plain Observe render exactly as before.
+        auto append_exemplar = [&](size_t bucket) {
+          uint64_t trace_id = 0;
+          double value = 0.0;
+          if (!h.bucket_exemplar(bucket, &trace_id, &value)) {
+            out.push_back('\n');
+            return;
+          }
+          std::snprintf(line, sizeof(line),
+                        " # {trace_id=\"%" PRIu64 "\"} ", trace_id);
+          out.append(line);
+          out.append(FormatDouble(value)).push_back('\n');
+        };
         uint64_t cumulative = 0;
         for (size_t i = 0; i < h.bounds().size(); ++i) {
           cumulative += h.bucket_count(i);
           out.append(name).append("_bucket{le=\"");
           out.append(FormatBound(h.bounds()[i]));
-          std::snprintf(line, sizeof(line), "\"} %" PRIu64 "\n",
-                        cumulative);
+          std::snprintf(line, sizeof(line), "\"} %" PRIu64, cumulative);
           out.append(line);
+          append_exemplar(i);
         }
         cumulative += h.bucket_count(h.bounds().size());
-        std::snprintf(line, sizeof(line), "\"} %" PRIu64 "\n", cumulative);
+        std::snprintf(line, sizeof(line), "\"} %" PRIu64, cumulative);
         out.append(name).append("_bucket{le=\"+Inf").append(line);
+        append_exemplar(h.bounds().size());
         out.append(name).append("_sum ");
         out.append(FormatDouble(h.sum())).push_back('\n');
         std::snprintf(line, sizeof(line), "_count %" PRIu64 "\n", h.count());

@@ -62,21 +62,27 @@ class Histogram {
   Histogram& operator=(const Histogram&) = delete;
 
   void Observe(double value) {
-    size_t bucket = bounds_.size();  // +Inf by default
-    // Buckets are few (tens); a linear scan beats binary search in practice
-    // and keeps the hot path branch-predictable.
-    for (size_t i = 0; i < bounds_.size(); ++i) {
-      if (value <= bounds_[i]) {
-        bucket = i;
-        break;
-      }
-    }
-    counts_[bucket].fetch_add(1, std::memory_order_relaxed);
+    counts_[BucketOf(value)].fetch_add(1, std::memory_order_relaxed);
     count_.fetch_add(1, std::memory_order_relaxed);
     double seen = sum_.load(std::memory_order_relaxed);
     while (!sum_.compare_exchange_weak(seen, seen + value,
                                        std::memory_order_relaxed)) {
     }
+  }
+
+  /// `Observe` plus an exemplar: remembers (value, trace_id) as the
+  /// bucket's most recent annotated sample, rendered OpenMetrics-style
+  /// (`# {trace_id="..."} value`) after that bucket line. Last-write-wins
+  /// per field under concurrency — a scrape may pair one observation's
+  /// value with another's trace id, which is fine for a debugging
+  /// breadcrumb and keeps the hot path lock-free.
+  void ObserveWithExemplar(double value, uint64_t trace_id) {
+    const size_t bucket = BucketOf(value);
+    Observe(value);
+    Exemplar& slot = exemplars_[bucket];
+    slot.value.store(value, std::memory_order_relaxed);
+    slot.trace_id.store(trace_id, std::memory_order_relaxed);
+    slot.set.store(true, std::memory_order_release);
   }
 
   const std::vector<double>& bounds() const { return bounds_; }
@@ -85,12 +91,38 @@ class Histogram {
   uint64_t bucket_count(size_t i) const {
     return counts_[i].load(std::memory_order_relaxed);
   }
+  /// True when bucket `i` holds an exemplar, filling `trace_id`/`value`.
+  /// Buckets only touched by plain `Observe` report false, so expositions
+  /// without exemplars stay byte-identical to the pre-exemplar format.
+  bool bucket_exemplar(size_t i, uint64_t* trace_id, double* value) const {
+    const Exemplar& slot = exemplars_[i];
+    if (!slot.set.load(std::memory_order_acquire)) return false;
+    *trace_id = slot.trace_id.load(std::memory_order_relaxed);
+    *value = slot.value.load(std::memory_order_relaxed);
+    return true;
+  }
   uint64_t count() const { return count_.load(std::memory_order_relaxed); }
   double sum() const { return sum_.load(std::memory_order_relaxed); }
 
  private:
+  struct Exemplar {
+    std::atomic<bool> set{false};
+    std::atomic<uint64_t> trace_id{0};
+    std::atomic<double> value{0.0};
+  };
+
+  size_t BucketOf(double value) const {
+    // Buckets are few (tens); a linear scan beats binary search in practice
+    // and keeps the hot path branch-predictable.
+    for (size_t i = 0; i < bounds_.size(); ++i) {
+      if (value <= bounds_[i]) return i;
+    }
+    return bounds_.size();  // +Inf
+  }
+
   std::vector<double> bounds_;
   std::unique_ptr<std::atomic<uint64_t>[]> counts_;
+  std::unique_ptr<Exemplar[]> exemplars_;
   std::atomic<uint64_t> count_{0};
   std::atomic<double> sum_{0.0};
 };

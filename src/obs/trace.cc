@@ -76,6 +76,18 @@ std::string ChromeTraceJson(const std::vector<Trace>& traces) {
   char buffer[160];
   bool first = true;
   for (const Trace& trace : traces) {
+    // Named lanes (stitched shard tracks) become thread_name metadata
+    // events so the viewer labels each track.
+    for (const auto& [lane, name] : trace.lane_names()) {
+      if (!first) out.push_back(',');
+      first = false;
+      out.append("\n  {\"name\": \"thread_name\", \"ph\": \"M\", "
+                 "\"pid\": 1, ");
+      std::snprintf(buffer, sizeof(buffer), "\"tid\": %" PRIu64, lane);
+      out.append(buffer);
+      out.append(", \"args\": {\"name\": ").append(JsonQuote(name));
+      out.append("}}");
+    }
     for (const TraceSpan& span : trace.spans()) {
       if (!first) out.push_back(',');
       first = false;
@@ -84,11 +96,13 @@ std::string ChromeTraceJson(const std::vector<Trace>& traces) {
       const uint64_t end_ns = std::max(span.end_ns, span.start_ns);
       const double dur_us =
           static_cast<double>(end_ns - span.start_ns) / 1000.0;
+      const uint64_t lane =
+          span.lane != 0 ? span.lane : trace.tid() % 1000000;
       out.append("\n  {\"name\": ").append(JsonQuote(span.name));
       std::snprintf(buffer, sizeof(buffer),
                     ", \"cat\": \"mdseq\", \"ph\": \"X\", \"ts\": %.3f, "
                     "\"dur\": %.3f, \"pid\": 1, \"tid\": %" PRIu64,
-                    ts_us, dur_us, trace.tid() % 1000000);
+                    ts_us, dur_us, lane);
       out.append(buffer);
       out.append(", \"args\": {");
       std::snprintf(buffer, sizeof(buffer), "\"query_id\": %" PRIu64,

@@ -16,7 +16,9 @@ namespace mdseq::obs {
 
 /// One timed span of a query trace. Names and argument keys must be string
 /// literals (the trace stores the pointers, not copies — a span begin/end
-/// is two clock reads and a vector push, nothing else).
+/// is two clock reads and a vector push, nothing else). Names that only
+/// exist at runtime (spans stitched in from a shard response) go through
+/// `Trace::Intern` first.
 struct TraceSpan {
   const char* name = "";
   /// steady_clock nanoseconds since that clock's epoch; absolute so spans
@@ -26,6 +28,10 @@ struct TraceSpan {
   /// Nesting depth at begin time (0 = root). Spans nest strictly: a span's
   /// children begin and end within it.
   uint32_t depth = 0;
+  /// Display track override. 0 (default) renders in the recording thread's
+  /// lane; non-zero spans — stitched-in shard work — get their own track,
+  /// named via `Trace::SetLaneName`.
+  uint64_t lane = 0;
   /// Small numeric annotations (counters, ids) shown in the trace viewer.
   std::vector<std::pair<const char*, uint64_t>> args;
 };
@@ -61,6 +67,35 @@ class Trace {
     spans_[index].args.emplace_back(key, value);
   }
 
+  /// Appends an already-built span (a shard span stitched in after the
+  /// fact) without touching the open-span stack. The caller sets every
+  /// field, including timestamps and lane.
+  void AddSpan(TraceSpan span) { spans_.push_back(std::move(span)); }
+
+  /// Copies a runtime string into the trace and returns a pointer that
+  /// lives as long as the trace (a deque never relocates its elements, even
+  /// when the trace itself is moved). For names arriving off the wire;
+  /// compile-time names stay plain literals.
+  const char* Intern(std::string name) {
+    interned_.push_back(std::move(name));
+    return interned_.back().c_str();
+  }
+
+  /// Names a non-zero span lane ("shard 0", ...) for the trace export.
+  void SetLaneName(uint64_t lane, const char* name) {
+    for (auto& entry : lane_names_) {
+      if (entry.first == lane) {
+        entry.second = name;
+        return;
+      }
+    }
+    lane_names_.emplace_back(lane, name);
+  }
+
+  const std::vector<std::pair<uint64_t, const char*>>& lane_names() const {
+    return lane_names_;
+  }
+
   /// Spans in begin order (a pre-order walk of the span tree).
   const std::vector<TraceSpan>& spans() const { return spans_; }
 
@@ -81,6 +116,8 @@ class Trace {
  private:
   std::vector<TraceSpan> spans_;
   std::vector<size_t> open_;
+  std::deque<std::string> interned_;
+  std::vector<std::pair<uint64_t, const char*>> lane_names_;
   uint64_t tid_;
   uint64_t query_id_ = 0;
 };
@@ -103,6 +140,10 @@ class SpanScope {
   void Arg(const char* key, uint64_t value) {
     if (trace_ != nullptr) trace_->AddArg(index_, key, value);
   }
+
+  /// Index of the opened span (meaningless when the trace is null) — lets
+  /// callers hand the span out as a parent id for cross-process children.
+  size_t index() const { return index_; }
 
  private:
   Trace* trace_;

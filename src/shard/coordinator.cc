@@ -45,6 +45,29 @@ void AccumulateStats(const SearchStats& in, SearchStats* out) {
   out->second_pruning_ns += in.second_pruning_ns;
   out->interval_assembly_ns += in.interval_assembly_ns;
   out->verify_ns += in.verify_ns;
+  out->probe_abandons += in.probe_abandons;
+  out->verify_abandons += in.verify_abandons;
+  out->bytes_read += in.bytes_read;
+}
+
+// Wrapper span for one shard RPC as the coordinator observed it, one name
+// per verb; rendered in the shard's own lane of the stitched trace.
+// Cataloged in docs/observability.md (tools/lint_spans.sh reads the
+// annotations).
+const char* RpcSpanName(ShardRpc rpc) {
+  switch (rpc) {
+    case ShardRpc::kSearch:
+      return "rpc:search";  // span-name: rpc:search
+    case ShardRpc::kSearchVerified:
+      return "rpc:search_verified";  // span-name: rpc:search_verified
+    case ShardRpc::kVerify:
+      return "rpc:verify";  // span-name: rpc:verify
+    case ShardRpc::kFinalize:
+      return "rpc:finalize";  // span-name: rpc:finalize
+    case ShardRpc::kStatus:
+      return "rpc:status";  // span-name: rpc:status
+  }
+  return "rpc:unknown";
 }
 
 void AppendJsonEscaped(std::string* out, const std::string& text) {
@@ -160,6 +183,10 @@ void Coordinator::RegisterMetrics(obs::MetricsRegistry* registry) {
   metrics_.shard_count =
       registry->GetGauge("mdseq_shard_count", "Shards behind the coordinator");
   metrics_.shard_count->Set(static_cast<double>(placement_->num_shards()));
+  metrics_.span_seconds = registry->GetHistogram(
+      "mdseq_shard_span_seconds",
+      "Coordinator-observed round-trip time of individual shard RPCs",
+      obs::DefaultLatencyBoundsSeconds());
 }
 
 uint64_t Coordinator::FanOut(std::vector<FanoutCall>* calls) const {
@@ -170,9 +197,15 @@ uint64_t Coordinator::FanOut(std::vector<FanoutCall>* calls) const {
   size_t remaining = calls->size();
   for (FanoutCall& call : *calls) {
     pool_->Submit([this, &call, &mutex, &cv, &remaining] {
+      call.start_ns = obs::Trace::NowNs();
       call.transport_ok =
           transport_->Call(call.shard, call.request, &call.response);
+      call.end_ns = obs::Trace::NowNs();
       if (metrics_.rpcs != nullptr) metrics_.rpcs->Increment();
+      if (metrics_.span_seconds != nullptr) {
+        metrics_.span_seconds->Observe(
+            static_cast<double>(call.end_ns - call.start_ns) / 1e9);
+      }
       if ((!call.transport_ok || !call.response.ok) &&
           metrics_.rpc_failures != nullptr) {
         metrics_.rpc_failures->Increment();
@@ -206,6 +239,68 @@ bool Coordinator::CallFailed(const FanoutCall& call) {
   return !call.transport_ok || !call.response.ok || call.response.interrupted;
 }
 
+void Coordinator::StampTrace(const SearchControl& control,
+                             ShardRequest* request) {
+  if (control.trace == nullptr) return;
+  request->trace.sampled = true;
+  request->trace.trace_id = control.trace->query_id();
+}
+
+void Coordinator::StitchCalls(const std::vector<FanoutCall>& calls,
+                              const SearchControl& control) const {
+  obs::Trace* trace = control.trace;
+  if (trace == nullptr) return;
+  for (const FanoutCall& call : calls) {
+    // One display lane per shard, offset past the worker-thread lanes
+    // (trace.tid() % 1000000), so every shard gets its own track.
+    const uint64_t lane = 1000000 + call.shard;
+    char lane_name[32];
+    std::snprintf(lane_name, sizeof(lane_name), "shard %u", call.shard);
+    trace->SetLaneName(lane, trace->Intern(lane_name));
+
+    obs::TraceSpan wrapper;
+    wrapper.name = RpcSpanName(call.request.rpc);
+    wrapper.start_ns = call.start_ns;
+    wrapper.end_ns = call.end_ns;
+    wrapper.lane = lane;
+    wrapper.args.emplace_back("shard", call.shard);
+    wrapper.args.emplace_back("transport_ok", call.transport_ok ? 1 : 0);
+    trace->AddSpan(std::move(wrapper));
+    if (call.response.spans.empty()) continue;
+
+    // Rebase shard timestamps into the coordinator's clock domain. An
+    // in-process shard shares the steady clock, so its spans already sit
+    // inside the observed RPC window and keep their real timestamps; a
+    // remote shard's clock has an arbitrary offset, so its root span is
+    // aligned midpoint-to-midpoint with the RPC window (the best estimate
+    // without a clock-sync protocol — one-way delays are unknowable).
+    const ShardSpan& root = call.response.spans.front();
+    int64_t delta = 0;
+    if (root.start_ns < call.start_ns || root.end_ns > call.end_ns) {
+      const uint64_t rpc_mid =
+          call.start_ns + (call.end_ns - call.start_ns) / 2;
+      const uint64_t root_mid =
+          root.start_ns + (root.end_ns - root.start_ns) / 2;
+      delta = static_cast<int64_t>(rpc_mid) - static_cast<int64_t>(root_mid);
+    }
+    for (const ShardSpan& span : call.response.spans) {
+      obs::TraceSpan out;
+      out.name = trace->Intern(span.name);
+      out.start_ns = static_cast<uint64_t>(
+          static_cast<int64_t>(span.start_ns) + delta);
+      out.end_ns =
+          static_cast<uint64_t>(static_cast<int64_t>(span.end_ns) + delta);
+      out.depth = span.depth + 1;
+      out.lane = lane;
+      out.args.reserve(span.args.size());
+      for (const auto& [key, value] : span.args) {
+        out.args.emplace_back(trace->Intern(key), value);
+      }
+      trace->AddSpan(std::move(out));
+    }
+  }
+}
+
 SearchResult Coordinator::RunThreshold(SequenceView query, double epsilon,
                                        bool verify,
                                        const SearchControl& control) const {
@@ -219,22 +314,34 @@ SearchResult Coordinator::RunThreshold(SequenceView query, double epsilon,
   base.epsilon = epsilon;
   base.deadline_us = DeadlineUs(control);
   base.query = query.Materialize();
-  for (size_t i = 0; i < shards; ++i) {
-    calls[i].shard = static_cast<uint32_t>(i);
-    calls[i].request = base;
-  }
+  StampTrace(control, &base);
 
   {
     obs::SpanScope span(control.trace, "shard_fanout");
+    base.trace.parent_span_id = span.index();
+    for (size_t i = 0; i < shards; ++i) {
+      calls[i].shard = static_cast<uint32_t>(i);
+      calls[i].request = base;
+    }
     out.stats.fanout_wait_ns = FanOut(&calls);
     span.Arg("shards", shards);
     span.Arg("wait_ns", out.stats.fanout_wait_ns);
   }
+  StitchCalls(calls, control);
 
   const Clock::time_point merge_start = Clock::now();
   obs::SpanScope merge_span(control.trace, "shard_merge");
   uint32_t failed = 0;
+  out.shard_breakdown.reserve(shards);
   for (const FanoutCall& call : calls) {
+    ShardQueryStats slice;
+    slice.shard = call.shard;
+    slice.ok = call.transport_ok && call.response.ok;
+    slice.interrupted = call.response.interrupted;
+    slice.rpc_ns = call.end_ns - call.start_ns;
+    slice.num_sequences = call.response.num_sequences;
+    if (slice.ok) slice.stats = call.response.stats;
+    out.shard_breakdown.push_back(std::move(slice));
     if (CallFailed(call)) {
       ++failed;
       if (call.response.interrupted) out.interrupted = true;
@@ -329,6 +436,10 @@ std::vector<SequenceMatch> Coordinator::SearchNearest(
   };
 
   while (true) {
+    // One epsilon-doubling round: filter fan-out plus its verify waves.
+    obs::SpanScope round_span(control.trace, "cutoff_round");
+    round_span.Arg("epsilon_milli",
+                   static_cast<uint64_t>(epsilon * 1000.0));
     SearchResult round =
         RunThreshold(query, epsilon, /*verify=*/false, control);
     if (metrics_.cutoff_rounds != nullptr) metrics_.cutoff_rounds->Increment();
@@ -405,10 +516,15 @@ std::vector<SequenceMatch> Coordinator::SearchNearest(
       }
       {
         obs::SpanScope span(control.trace, "shard_verify_wave");
+        for (FanoutCall& call : calls) {
+          StampTrace(control, &call.request);
+          call.request.trace.parent_span_id = span.index();
+        }
         FanOut(&calls);
         span.Arg("wave", wave_end - index);
         span.Arg("cutoff_known", cutoff >= 0.0 ? 1 : 0);
       }
+      StitchCalls(calls, control);
       const double trust_bound =
           cutoff >= 0.0 ? std::min(epsilon, cutoff) : epsilon;
       for (const FanoutCall& call : calls) {
@@ -464,9 +580,11 @@ std::vector<SequenceMatch> Coordinator::SearchNearest(
         call.request.deadline_us = DeadlineUs(control);
         call.request.query = query.Materialize();
         call.request.ids = std::move(locals);
+        StampTrace(control, &call.request);
         calls.push_back(std::move(call));
       }
       FanOut(&calls);
+      StitchCalls(calls, control);
       std::unordered_map<uint64_t, std::vector<Interval>> intervals_of;
       for (const FanoutCall& call : calls) {
         if (!call.transport_ok || !call.response.ok) continue;

@@ -15,6 +15,7 @@ namespace mdseq {
 namespace obs {
 class Counter;
 class Gauge;
+class Histogram;
 class MetricsRegistry;
 }  // namespace obs
 
@@ -114,11 +115,26 @@ class Coordinator {
     ShardRequest request;
     ShardResponse response;
     bool transport_ok = false;
+    /// Coordinator-observed RPC window (steady-clock ns), recorded around
+    /// the transport call — the anchor shard spans are rebased into.
+    uint64_t start_ns = 0;
+    uint64_t end_ns = 0;
   };
 
   /// Runs every call concurrently on the pool; returns nanoseconds blocked
   /// waiting for the slowest shard.
   uint64_t FanOut(std::vector<FanoutCall>* calls) const;
+
+  /// Stamps the trace context of `control` onto a request (sampled iff the
+  /// control carries a trace).
+  static void StampTrace(const SearchControl& control, ShardRequest* request);
+
+  /// Stitches the shard-recorded spans of completed calls into the parent
+  /// trace: one `rpc:<verb>` wrapper span per call in a per-shard lane,
+  /// shard spans rebased into the coordinator's clock domain underneath.
+  /// No-op when `control.trace` is null.
+  void StitchCalls(const std::vector<FanoutCall>& calls,
+                   const SearchControl& control) const;
 
   /// Shard RPC deadline for a query under `control`, in microseconds.
   uint64_t DeadlineUs(const SearchControl& control) const;
@@ -144,6 +160,7 @@ class Coordinator {
     obs::Counter* cutoff_rounds = nullptr;
     obs::Counter* cutoff_skipped = nullptr;
     obs::Gauge* shard_count = nullptr;
+    obs::Histogram* span_seconds = nullptr;
   } metrics_;
 };
 

@@ -8,7 +8,10 @@ namespace {
 
 constexpr uint32_t kRequestMagic = 0x4d535251;   // "MSRQ"
 constexpr uint32_t kResponseMagic = 0x4d535253;  // "MSRS"
-constexpr uint16_t kVersion = 1;
+// v2: trace context on requests, pruning-cascade stats fields and
+// shard-recorded spans on responses. Both ends ship in one binary, so the
+// version is bumped cleanly rather than negotiated.
+constexpr uint16_t kVersion = 2;
 
 /// Sanity bound on decoded element counts: a count larger than the
 /// remaining payload could even theoretically hold is rejected before any
@@ -33,6 +36,7 @@ class Reader {
  public:
   explicit Reader(const std::string& bytes) : data_(bytes) {}
 
+  bool U8(uint8_t* v) { return Raw(v, sizeof(*v)); }
   bool U16(uint16_t* v) { return Raw(v, sizeof(*v)); }
   bool U32(uint32_t* v) { return Raw(v, sizeof(*v)); }
   bool U64(uint64_t* v) { return Raw(v, sizeof(*v)); }
@@ -89,6 +93,9 @@ void PutStats(std::string* out, const SearchStats& stats) {
   PutU64(out, stats.second_pruning_ns);
   PutU64(out, stats.interval_assembly_ns);
   PutU64(out, stats.verify_ns);
+  PutU64(out, stats.probe_abandons);
+  PutU64(out, stats.verify_abandons);
+  PutU64(out, stats.bytes_read);
 }
 
 bool ReadStats(Reader* in, SearchStats* stats) {
@@ -104,7 +111,9 @@ bool ReadStats(Reader* in, SearchStats* stats) {
       !in->U64(&stats->page_hits) || !in->U64(&stats->page_misses) ||
       !in->U64(&stats->partition_ns) || !in->U64(&stats->first_pruning_ns) ||
       !in->U64(&stats->second_pruning_ns) ||
-      !in->U64(&stats->interval_assembly_ns) || !in->U64(&stats->verify_ns)) {
+      !in->U64(&stats->interval_assembly_ns) || !in->U64(&stats->verify_ns) ||
+      !in->U64(&stats->probe_abandons) || !in->U64(&stats->verify_abandons) ||
+      !in->U64(&stats->bytes_read)) {
     return false;
   }
   stats->node_accesses = node_accesses;
@@ -140,6 +149,9 @@ std::string EncodeShardRequest(const ShardRequest& request) {
   PutU16(&out, kVersion);
   out.push_back(static_cast<char>(request.rpc));
   out.push_back(0);  // reserved
+  PutU64(&out, request.trace.trace_id);
+  PutU64(&out, request.trace.parent_span_id);
+  out.push_back(request.trace.sampled ? 1 : 0);
   PutU64(&out, request.deadline_us);
   PutF64(&out, request.epsilon);
   PutF64(&out, request.cutoff);
@@ -164,6 +176,11 @@ bool DecodeShardRequest(const std::string& bytes, ShardRequest* request) {
   const uint8_t rpc = static_cast<uint8_t>(rpc_and_reserved & 0xff);
   if (rpc > static_cast<uint8_t>(ShardRpc::kStatus)) return false;
   request->rpc = static_cast<ShardRpc>(rpc);
+  if (!in.U64(&request->trace.trace_id)) return false;
+  if (!in.U64(&request->trace.parent_span_id)) return false;
+  uint8_t sampled = 0;
+  if (!in.U8(&sampled) || sampled > 1) return false;
+  request->trace.sampled = sampled != 0;
   if (!in.U64(&request->deadline_us)) return false;
   if (!in.F64(&request->epsilon)) return false;
   if (!in.F64(&request->cutoff)) return false;
@@ -211,6 +228,20 @@ std::string EncodeShardResponse(const ShardResponse& response) {
       PutU64(&out, interval.end);
     }
   }
+  PutU64(&out, response.spans.size());
+  for (const ShardSpan& span : response.spans) {
+    PutU64(&out, span.name.size());
+    out.append(span.name);
+    PutU64(&out, span.start_ns);
+    PutU64(&out, span.end_ns);
+    PutU32(&out, span.depth);
+    PutU64(&out, span.args.size());
+    for (const auto& [key, value] : span.args) {
+      PutU64(&out, key.size());
+      out.append(key);
+      PutU64(&out, value);
+    }
+  }
   return out;
 }
 
@@ -255,6 +286,36 @@ bool DecodeShardResponse(const std::string& bytes, ShardResponse* response) {
       interval.end = static_cast<size_t>(end);
     }
     response->matches.push_back(std::move(match));
+  }
+  // Spans: name length + bytes, timestamps, depth, then args. The minimum
+  // footprint of one span (empty name, no args) bounds the count check.
+  uint64_t span_count = 0;
+  if (!in.Count(&span_count, 3 * sizeof(uint64_t) + sizeof(uint32_t) +
+                                sizeof(uint64_t))) {
+    return false;
+  }
+  response->spans.clear();
+  response->spans.reserve(static_cast<size_t>(span_count));
+  for (uint64_t i = 0; i < span_count; ++i) {
+    ShardSpan span;
+    uint64_t name_size = 0;
+    if (!in.Count(&name_size, 1)) return false;
+    if (!in.Bytes(&span.name, static_cast<size_t>(name_size))) return false;
+    if (!in.U64(&span.start_ns) || !in.U64(&span.end_ns)) return false;
+    if (!in.U32(&span.depth)) return false;
+    uint64_t arg_count = 0;
+    if (!in.Count(&arg_count, 2 * sizeof(uint64_t))) return false;
+    span.args.reserve(static_cast<size_t>(arg_count));
+    for (uint64_t a = 0; a < arg_count; ++a) {
+      uint64_t key_size = 0;
+      std::string key;
+      uint64_t value = 0;
+      if (!in.Count(&key_size, 1)) return false;
+      if (!in.Bytes(&key, static_cast<size_t>(key_size))) return false;
+      if (!in.U64(&value)) return false;
+      span.args.emplace_back(std::move(key), value);
+    }
+    response->spans.push_back(std::move(span));
   }
   return in.done();
 }

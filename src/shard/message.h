@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/search.h"
@@ -34,10 +35,23 @@ enum class ShardRpc : uint8_t {
 
 const char* ShardRpcName(ShardRpc rpc);
 
+/// Distributed-tracing context carried by every request. When `sampled`,
+/// the shard records its execution as spans and returns them in the
+/// response for the coordinator to stitch into the parent trace; when not,
+/// shard-side tracing is skipped entirely (zero overhead). `trace_id` is
+/// the coordinator's query id; `parent_span_id` is the index of the
+/// coordinator span the shard's work nests under.
+struct TraceContext {
+  uint64_t trace_id = 0;
+  uint64_t parent_span_id = 0;
+  bool sampled = false;
+};
+
 struct ShardRequest {
   ShardRpc rpc = ShardRpc::kStatus;
   /// Per-shard execution budget in microseconds from receipt; 0 = none.
   uint64_t deadline_us = 0;
+  TraceContext trace;
   double epsilon = 0.0;
   /// Current global k-th best exact distance (cutoff exchange); < 0 when
   /// no cutoff is known yet. Verification may early-abandon beyond
@@ -60,6 +74,19 @@ struct ShardMatch {
   std::vector<Interval> intervals;
 };
 
+/// One shard-recorded span shipped back in a response. Unlike
+/// `obs::TraceSpan` the name is owned (it crossed a process boundary);
+/// the coordinator interns it into the parent trace when stitching.
+/// Timestamps are the shard's own steady-clock nanoseconds — the stitcher
+/// rebases them into the coordinator's clock domain.
+struct ShardSpan {
+  std::string name;
+  uint64_t start_ns = 0;
+  uint64_t end_ns = 0;
+  uint32_t depth = 0;
+  std::vector<std::pair<std::string, uint64_t>> args;
+};
+
 struct ShardResponse {
   bool ok = false;
   /// True when the shard-side search stopped on its deadline.
@@ -72,6 +99,9 @@ struct ShardResponse {
   std::vector<uint64_t> candidates;
   std::vector<ShardMatch> matches;
   SearchStats stats;
+  /// Shard-side spans, filled only when the request's trace context was
+  /// sampled; begin order, depth 0 = the per-verb root span.
+  std::vector<ShardSpan> spans;
 };
 
 /// Wire codec — little-endian binary with a magic/version header, used by

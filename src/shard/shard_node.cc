@@ -5,10 +5,35 @@
 #include "core/distance.h"
 #include "ingest/live_database.h"
 #include "obs/http/server.h"
+#include "obs/trace.h"
 #include "storage/disk_database.h"
 #include "util/check.h"
 
 namespace mdseq {
+
+namespace {
+
+// Root span of a shard-side RPC execution, one name per verb so the
+// stitched coordinator trace reads as "which verb ran where". Cataloged in
+// docs/observability.md (checked by tools/lint_spans.sh via the
+// annotations below).
+const char* ShardVerbSpanName(ShardRpc rpc) {
+  switch (rpc) {
+    case ShardRpc::kSearch:
+      return "shard:search";  // span-name: shard:search
+    case ShardRpc::kSearchVerified:
+      return "shard:search_verified";  // span-name: shard:search_verified
+    case ShardRpc::kVerify:
+      return "shard:verify";  // span-name: shard:verify
+    case ShardRpc::kFinalize:
+      return "shard:finalize";  // span-name: shard:finalize
+    case ShardRpc::kStatus:
+      return "shard:status";  // span-name: shard:status
+  }
+  return "shard:unknown";
+}
+
+}  // namespace
 
 ShardNode::ShardNode(const SequenceDatabase* memory,
                      const SearchOptions& options)
@@ -67,6 +92,37 @@ std::optional<Sequence> ShardNode::ReadOne(uint64_t local_id) const {
 }
 
 ShardResponse ShardNode::Execute(const ShardRequest& request) const {
+  // Unsampled requests skip tracing entirely — the zero-overhead default.
+  if (!request.trace.sampled) return Run(request, nullptr);
+
+  obs::Trace trace;
+  trace.set_query_id(request.trace.trace_id);
+  ShardResponse response;
+  {
+    obs::SpanScope root(&trace, ShardVerbSpanName(request.rpc));
+    response = Run(request, &trace);
+    root.Arg("num_sequences", response.num_sequences);
+  }
+  // Ship the recorded spans back for the coordinator to stitch; the names
+  // cross a process boundary, so they are copied into owned strings.
+  response.spans.reserve(trace.spans().size());
+  for (const obs::TraceSpan& span : trace.spans()) {
+    ShardSpan out;
+    out.name = span.name;
+    out.start_ns = span.start_ns;
+    out.end_ns = span.end_ns;
+    out.depth = span.depth;
+    out.args.reserve(span.args.size());
+    for (const auto& [key, value] : span.args) {
+      out.args.emplace_back(key, value);
+    }
+    response.spans.push_back(std::move(out));
+  }
+  return response;
+}
+
+ShardResponse ShardNode::Run(const ShardRequest& request,
+                             obs::Trace* trace) const {
   ShardResponse response;
   response.num_sequences = num_sequences();
 
@@ -80,6 +136,7 @@ ShardResponse ShardNode::Execute(const ShardRequest& request) const {
     return response;
   }
   SearchControl control;
+  control.trace = trace;
   if (request.deadline_us > 0) {
     control.deadline = std::chrono::steady_clock::now() +
                        std::chrono::microseconds(request.deadline_us);
@@ -129,10 +186,13 @@ ShardResponse ShardNode::Execute(const ShardRequest& request) const {
           response.error = "unknown local id in verify";
           return response;
         }
+        response.stats.bytes_read +=
+            sequence->size() * sequence->dim() * sizeof(double);
         ShardMatch match;
         match.local_id = id;
         match.exact_distance =
             SequenceDistanceBounded(query, sequence->View(), bound);
+        if (match.exact_distance > bound) ++response.stats.verify_abandons;
         response.matches.push_back(std::move(match));
       }
       response.ok = true;

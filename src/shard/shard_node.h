@@ -48,6 +48,9 @@ class ShardNode {
   size_t num_sequences() const;
 
  private:
+  /// The verb dispatch; `trace` (nullable) collects shard-side spans when
+  /// the request's trace context is sampled.
+  ShardResponse Run(const ShardRequest& request, obs::Trace* trace) const;
   SearchResult RunSearch(SequenceView query, double epsilon, bool verify,
                          const SearchControl& control) const;
   std::optional<Sequence> ReadOne(uint64_t local_id) const;

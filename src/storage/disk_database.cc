@@ -289,8 +289,13 @@ SearchResult DiskDatabase::SearchVerified(SequenceView query, double epsilon,
     candidate_span.Arg("sequence_id", match.sequence_id);
     const auto sequence = store_->Read(match.sequence_id);
     if (!sequence.has_value()) continue;  // I/O failure: drop conservatively
+    result.stats.bytes_read +=
+        sequence->size() * sequence->dim() * sizeof(double);
     const double exact = SequenceDistance(query, sequence->View());
-    if (exact > epsilon) continue;
+    if (exact > epsilon) {
+      ++result.stats.verify_abandons;
+      continue;
+    }
     match.exact_distance = exact;
     match.solution_interval =
         ExactSolutionInterval(query, sequence->View(), epsilon);

@@ -8,6 +8,7 @@
 // also hold unoptimized, only with more noise.
 #include <chrono>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -19,6 +20,11 @@
 #include "eval/experiment.h"
 #include "gen/fractal.h"
 #include "index/rstar_tree.h"
+#include "obs/trace.h"
+#include "shard/coordinator.h"
+#include "shard/placement.h"
+#include "shard/shard_set.h"
+#include "shard/transport.h"
 #include "util/random.h"
 
 namespace mdseq {
@@ -173,6 +179,49 @@ TEST(PerfSmokeTest, IdleIntrospectionServerDoesNotSlowServing) {
   const int64_t with_server = run_batches(0);
   EXPECT_LE(with_server, 2 * without_server)
       << "with=" << with_server << "ns without=" << without_server << "ns";
+}
+
+// With no trace attached, the distributed-tracing instrumentation must
+// stay out of the way: every SpanScope inlines to a pointer test, shards
+// skip span recording entirely (unsampled context), and responses carry no
+// span payload. Generous 2x bound against the fully-traced run — if the
+// untraced path costs more than tracing everything, the disabled gate is
+// broken, not the timer.
+TEST(PerfSmokeTest, TraceDisabledShardingPathHasBoundedOverhead) {
+  WorkloadConfig config;
+  config.kind = DataKind::kSynthetic;
+  config.num_sequences = 80;
+  config.min_length = 56;
+  config.max_length = 192;
+  config.num_queries = 8;
+  config.seed = 7005;
+  const Workload workload = BuildWorkload(config);
+  const std::unique_ptr<ShardSet> set =
+      ShardSet::BuildInMemory(*workload.database, 2, PlacementPolicy::kHash);
+  LoopbackTransport transport(set->nodes());
+  const Coordinator coordinator(&transport, set->placement());
+
+  const auto run_rounds = [&](obs::Trace* trace) {
+    SearchControl control;
+    control.trace = trace;
+    return TimeNs([&] {
+      for (int round = 0; round < 3; ++round) {
+        for (const Sequence& query : workload.queries) {
+          const SearchResult result =
+              coordinator.SearchVerified(query.View(), 0.2, control);
+          EXPECT_FALSE(result.interrupted);
+        }
+      }
+    });
+  };
+
+  run_rounds(nullptr);  // warm-up: page in the code and the shards
+  const int64_t untraced_ns = run_rounds(nullptr);
+  obs::Trace trace;
+  const int64_t traced_ns = run_rounds(&trace);
+  EXPECT_FALSE(trace.spans().empty());
+  EXPECT_LE(untraced_ns, 2 * traced_ns)
+      << "untraced=" << untraced_ns << "ns traced=" << traced_ns << "ns";
 }
 
 }  // namespace

@@ -1,0 +1,452 @@
+// Distributed tracing and pruning-cascade accounting (src/shard +
+// src/engine): trace-context propagation through the wire codec, shard-side
+// span recording, coordinator stitching (per-shard lanes, clock rebasing),
+// socket-level propagation over HttpShardTransport including the
+// retry-once stale-connection path, and the engine-side reporting surfaces
+// — `/debug/slow` shard slices, `mdseq_prune_*` / `mdseq_shard_*_seconds`
+// histograms, and latency exemplars carrying the trace id.
+//
+// Labels: `shard`, `obs`, and `tsan`.
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/search.h"
+#include "engine/introspection.h"
+#include "engine/query_engine.h"
+#include "eval/experiment.h"
+#include "obs/http/server.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "shard/coordinator.h"
+#include "shard/message.h"
+#include "shard/placement.h"
+#include "shard/shard_node.h"
+#include "shard/shard_set.h"
+#include "shard/transport.h"
+
+namespace mdseq {
+namespace {
+
+Workload SmallWorkload(uint64_t seed, size_t sequences = 90) {
+  WorkloadConfig config;
+  config.kind = DataKind::kSynthetic;
+  config.num_sequences = sequences;
+  config.min_length = 56;
+  config.max_length = 200;
+  config.num_queries = 6;
+  config.seed = seed;
+  return BuildWorkload(config);
+}
+
+/// Spans of `trace` with the given name, in begin order.
+std::vector<const obs::TraceSpan*> SpansNamed(const obs::Trace& trace,
+                                              const std::string& name) {
+  std::vector<const obs::TraceSpan*> out;
+  for (const obs::TraceSpan& span : trace.spans()) {
+    if (name == span.name) out.push_back(&span);
+  }
+  return out;
+}
+
+bool HasLaneName(const obs::Trace& trace, uint64_t lane,
+                 const std::string& name) {
+  for (const auto& [entry_lane, entry_name] : trace.lane_names()) {
+    if (entry_lane == lane && name == entry_name) return true;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Wire codec: protocol v2 carries the trace context and shard spans
+// ---------------------------------------------------------------------------
+
+TEST(TraceCodecTest, RequestRoundTripsTraceContext) {
+  ShardRequest request;
+  request.rpc = ShardRpc::kSearch;
+  request.epsilon = 0.25;
+  request.trace.trace_id = 0xDEADBEEFCAFEull;
+  request.trace.parent_span_id = 7;
+  request.trace.sampled = true;
+
+  ShardRequest decoded;
+  ASSERT_TRUE(DecodeShardRequest(EncodeShardRequest(request), &decoded));
+  EXPECT_EQ(decoded.trace.trace_id, 0xDEADBEEFCAFEull);
+  EXPECT_EQ(decoded.trace.parent_span_id, 7u);
+  EXPECT_TRUE(decoded.trace.sampled);
+
+  // The unsampled default survives too (no accidental always-on sampling).
+  request.trace = TraceContext{};
+  ASSERT_TRUE(DecodeShardRequest(EncodeShardRequest(request), &decoded));
+  EXPECT_EQ(decoded.trace.trace_id, 0u);
+  EXPECT_FALSE(decoded.trace.sampled);
+}
+
+TEST(TraceCodecTest, ResponseRoundTripsSpansAndRejectsTruncation) {
+  ShardResponse response;
+  response.ok = true;
+  response.num_sequences = 9;
+  ShardSpan root;
+  root.name = "shard:search";
+  root.start_ns = 1000;
+  root.end_ns = 9000;
+  root.depth = 0;
+  root.args = {{"candidates", 4}, {"matches", 2}};
+  ShardSpan child;
+  child.name = "second_pruning";
+  child.start_ns = 2000;
+  child.end_ns = 8000;
+  child.depth = 1;
+  response.spans = {root, child};
+
+  const std::string bytes = EncodeShardResponse(response);
+  ShardResponse decoded;
+  ASSERT_TRUE(DecodeShardResponse(bytes, &decoded));
+  ASSERT_EQ(decoded.spans.size(), 2u);
+  EXPECT_EQ(decoded.spans[0].name, "shard:search");
+  EXPECT_EQ(decoded.spans[0].start_ns, 1000u);
+  EXPECT_EQ(decoded.spans[0].end_ns, 9000u);
+  EXPECT_EQ(decoded.spans[0].depth, 0u);
+  ASSERT_EQ(decoded.spans[0].args.size(), 2u);
+  EXPECT_EQ(decoded.spans[0].args[0].first, "candidates");
+  EXPECT_EQ(decoded.spans[0].args[0].second, 4u);
+  EXPECT_EQ(decoded.spans[1].name, "second_pruning");
+  EXPECT_EQ(decoded.spans[1].depth, 1u);
+
+  // Every strict prefix of a span-bearing payload must fail to decode —
+  // the span section extends the fuzzed no-trusted-lengths guarantee.
+  for (size_t cut = 0; cut < bytes.size(); ++cut) {
+    EXPECT_FALSE(DecodeShardResponse(bytes.substr(0, cut), &decoded))
+        << "cut at " << cut;
+  }
+  EXPECT_FALSE(DecodeShardResponse(bytes + "x", &decoded));
+}
+
+// ---------------------------------------------------------------------------
+// Shard-side recording: sampled requests return spans, unsampled are free
+// ---------------------------------------------------------------------------
+
+TEST(ShardNodeTraceTest, SampledRequestRecordsVerbRootedSpans) {
+  const Workload workload = SmallWorkload(71, 40);
+  const ShardNode node(workload.database.get());
+
+  ShardRequest request;
+  request.rpc = ShardRpc::kSearchVerified;
+  request.epsilon = 0.3;
+  request.query = workload.queries.front().View().Materialize();
+  request.trace.trace_id = 42;
+  request.trace.sampled = true;
+
+  const ShardResponse response = node.Execute(request);
+  ASSERT_TRUE(response.ok);
+  ASSERT_FALSE(response.spans.empty());
+  // The first span is the per-verb root; everything else nests within it.
+  const ShardSpan& root = response.spans.front();
+  EXPECT_EQ(root.name, "shard:search_verified");
+  EXPECT_EQ(root.depth, 0u);
+  EXPECT_GE(root.end_ns, root.start_ns);
+  for (size_t i = 1; i < response.spans.size(); ++i) {
+    const ShardSpan& span = response.spans[i];
+    EXPECT_GE(span.depth, 1u) << span.name;
+    EXPECT_GE(span.start_ns, root.start_ns) << span.name;
+    EXPECT_LE(span.end_ns, root.end_ns) << span.name;
+  }
+
+  request.trace.sampled = false;
+  const ShardResponse untraced = node.Execute(request);
+  ASSERT_TRUE(untraced.ok);
+  EXPECT_TRUE(untraced.spans.empty());
+  // The numeric answer is identical either way.
+  EXPECT_EQ(untraced.candidates, response.candidates);
+  EXPECT_EQ(untraced.matches.size(), response.matches.size());
+}
+
+// ---------------------------------------------------------------------------
+// Coordinator stitching over loopback: one lane per shard, full coverage
+// ---------------------------------------------------------------------------
+
+TEST(StitchTest, ThresholdQueryStitchesEveryShardIntoItsOwnLane) {
+  const Workload workload = SmallWorkload(73);
+  constexpr size_t kShards = 3;
+  const std::unique_ptr<ShardSet> set = ShardSet::BuildInMemory(
+      *workload.database, kShards, PlacementPolicy::kHash);
+  LoopbackTransport transport(set->nodes());
+  const Coordinator coordinator(&transport, set->placement());
+
+  obs::Trace trace;
+  trace.set_query_id(77);
+  SearchControl control;
+  control.trace = &trace;
+  SearchResult result;
+  {
+    obs::SpanScope query_span(&trace, "query");
+    result = coordinator.SearchVerified(workload.queries.front().View(), 0.3,
+                                        control);
+  }
+  ASSERT_FALSE(result.interrupted);
+
+  uint64_t breakdown_sequences = 0;
+  for (size_t shard = 0; shard < kShards; ++shard) {
+    const uint64_t lane = 1000000 + shard;
+    // The coordinator-side RPC wrapper and the shard-recorded root both
+    // land in the shard's display lane, the lane is named, and the shard
+    // span was rebased inside its RPC window.
+    std::vector<const obs::TraceSpan*> wrappers;
+    std::vector<const obs::TraceSpan*> roots;
+    for (const obs::TraceSpan* span :
+         SpansNamed(trace, "rpc:search_verified")) {
+      if (span->lane == lane) wrappers.push_back(span);
+    }
+    for (const obs::TraceSpan* span :
+         SpansNamed(trace, "shard:search_verified")) {
+      if (span->lane == lane) roots.push_back(span);
+    }
+    ASSERT_EQ(wrappers.size(), 1u) << "shard " << shard;
+    ASSERT_EQ(roots.size(), 1u) << "shard " << shard;
+    EXPECT_TRUE(
+        HasLaneName(trace, lane, "shard " + std::to_string(shard)));
+    EXPECT_GE(roots[0]->start_ns, wrappers[0]->start_ns) << "shard " << shard;
+    EXPECT_LE(roots[0]->end_ns, wrappers[0]->end_ns) << "shard " << shard;
+    EXPECT_EQ(roots[0]->depth, 1u);
+
+    // The per-shard breakdown mirrors the fan-out.
+    ASSERT_EQ(result.shard_breakdown.size(), kShards);
+    const ShardQueryStats& slice = result.shard_breakdown[shard];
+    EXPECT_EQ(slice.shard, shard);
+    EXPECT_TRUE(slice.ok);
+    EXPECT_GT(slice.num_sequences, 0u);
+    breakdown_sequences += slice.num_sequences;
+  }
+  EXPECT_EQ(breakdown_sequences, workload.database->num_sequences());
+
+  // The coordinator's own phases are in the trace too, in the query lane.
+  EXPECT_EQ(SpansNamed(trace, "shard_fanout").size(), 1u);
+  EXPECT_EQ(SpansNamed(trace, "shard_merge").size(), 1u);
+
+  // One Chrome-trace export shows the whole fan-out: every shard lane is a
+  // named track and every event carries the query's trace id.
+  const std::string json = obs::ChromeTraceJson({trace});
+  EXPECT_NE(json.find("\"query_id\": 77"), std::string::npos);
+  for (size_t shard = 0; shard < kShards; ++shard) {
+    EXPECT_NE(json.find("shard " + std::to_string(shard)), std::string::npos);
+  }
+}
+
+TEST(StitchTest, NearestQueryStitchesVerifyRounds) {
+  const Workload workload = SmallWorkload(79, 60);
+  constexpr size_t kShards = 2;
+  const std::unique_ptr<ShardSet> set = ShardSet::BuildInMemory(
+      *workload.database, kShards, PlacementPolicy::kHilbert);
+  LoopbackTransport transport(set->nodes());
+  const Coordinator coordinator(&transport, set->placement());
+
+  obs::Trace trace;
+  trace.set_query_id(5);
+  SearchControl control;
+  control.trace = &trace;
+  std::vector<SequenceMatch> nearest;
+  {
+    obs::SpanScope query_span(&trace, "query");
+    nearest =
+        coordinator.SearchNearest(workload.queries.front().View(), 5, control);
+  }
+  ASSERT_EQ(nearest.size(), 5u);
+
+  // The epsilon-doubling rounds and the cutoff-exchange waves are named
+  // spans; the kSearch fan-outs and the final kFinalize wave put every
+  // shard's work in its lane.
+  EXPECT_GE(SpansNamed(trace, "cutoff_round").size(), 1u);
+  EXPECT_GE(SpansNamed(trace, "shard_verify_wave").size(), 1u);
+  EXPECT_GE(SpansNamed(trace, "rpc:search").size(), kShards);
+  EXPECT_GE(SpansNamed(trace, "rpc:finalize").size(), 1u);
+  for (size_t shard = 0; shard < kShards; ++shard) {
+    const uint64_t lane = 1000000 + shard;
+    bool lane_populated = false;
+    for (const obs::TraceSpan& span : trace.spans()) {
+      lane_populated |= span.lane == lane;
+    }
+    EXPECT_TRUE(lane_populated) << "shard " << shard;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Socket-level propagation: spans cross real HTTP connections, and the
+// retry-once stale-socket path keeps the trace intact
+// ---------------------------------------------------------------------------
+
+TEST(HttpTraceTest, SpansPropagateOverSocketsAndSurviveStaleRetry) {
+  const Workload workload = SmallWorkload(83, 50);
+  constexpr size_t kShards = 2;
+  const std::unique_ptr<ShardSet> set = ShardSet::BuildInMemory(
+      *workload.database, kShards, PlacementPolicy::kHash);
+
+  std::vector<std::unique_ptr<obs::http::HttpServer>> servers;
+  std::vector<HttpShardTransport::Endpoint> endpoints;
+  for (size_t i = 0; i < kShards; ++i) {
+    auto server = std::make_unique<obs::http::HttpServer>();
+    set->node(i)->Register(server.get());
+    ASSERT_TRUE(server->Start());
+    endpoints.push_back({"127.0.0.1", server->port()});
+    servers.push_back(std::move(server));
+  }
+  HttpShardTransport transport(endpoints);
+  const Coordinator coordinator(&transport, set->placement());
+  const SequenceView query = workload.queries.front().View();
+
+  const auto run_traced = [&](uint64_t id, obs::Trace* trace) {
+    trace->set_query_id(id);
+    SearchControl control;
+    control.trace = trace;
+    obs::SpanScope query_span(trace, "query");
+    return coordinator.SearchVerified(query, 0.3, control);
+  };
+  const auto expect_all_shards_stitched = [&](const obs::Trace& trace) {
+    for (size_t shard = 0; shard < kShards; ++shard) {
+      const uint64_t lane = 1000000 + shard;
+      size_t roots = 0;
+      for (const obs::TraceSpan* span :
+           SpansNamed(trace, "shard:search_verified")) {
+        roots += span->lane == lane ? 1 : 0;
+      }
+      EXPECT_EQ(roots, 1u) << "shard " << shard;
+    }
+  };
+
+  obs::Trace first;
+  const SearchResult warm = run_traced(11, &first);
+  ASSERT_FALSE(warm.interrupted);
+  expect_all_shards_stitched(first);
+  // Keep-alive parked one connection per shard for the next query.
+  EXPECT_EQ(transport.idle_connections(), kShards);
+
+  // Restart every shard server on its old port: the parked sockets are now
+  // stale, so the next fan-out must take the retry-once path — and the
+  // trace must still come back whole from every shard.
+  for (size_t i = 0; i < kShards; ++i) {
+    const uint16_t port = servers[i]->port();
+    servers[i]->Stop();
+    obs::http::HttpServer::Options options;
+    options.port = port;
+    auto fresh = std::make_unique<obs::http::HttpServer>(options);
+    set->node(i)->Register(fresh.get());
+    ASSERT_TRUE(fresh->Start()) << "rebind shard " << i << " port " << port;
+    servers[i] = std::move(fresh);
+  }
+
+  obs::Trace second;
+  const SearchResult retried = run_traced(12, &second);
+  ASSERT_FALSE(retried.interrupted);
+  expect_all_shards_stitched(second);
+  // Same answer through the retried connections.
+  ASSERT_EQ(retried.matches.size(), warm.matches.size());
+  for (size_t i = 0; i < warm.matches.size(); ++i) {
+    EXPECT_EQ(retried.matches[i].sequence_id, warm.matches[i].sequence_id);
+    EXPECT_EQ(retried.matches[i].exact_distance,
+              warm.matches[i].exact_distance);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Engine reporting: /debug/slow shard slices, cascade metrics, exemplars
+// ---------------------------------------------------------------------------
+
+TEST(EngineTraceTest, CoordinatorEngineReportsCascadeShardsAndExemplars) {
+  const Workload workload = SmallWorkload(89, 60);
+  constexpr size_t kShards = 3;
+  const std::unique_ptr<ShardSet> set = ShardSet::BuildInMemory(
+      *workload.database, kShards, PlacementPolicy::kHash);
+  LoopbackTransport transport(set->nodes());
+  Coordinator coordinator(&transport, set->placement());
+
+  obs::MetricsRegistry registry;
+  EngineOptions options;
+  options.num_threads = 2;
+  options.metrics = &registry;
+  options.trace_capacity = 16;
+  options.slow_query_threshold = std::chrono::microseconds(1);
+  QueryEngine engine(&coordinator, options);
+
+  QueryOptions query_options;
+  query_options.epsilon = 0.3;
+  query_options.verified = true;
+  const QueryOutcome outcome =
+      engine.Submit(Sequence(workload.queries.front()), query_options).get();
+  ASSERT_EQ(outcome.status, QueryStatus::kOk);
+  EXPECT_EQ(outcome.result.stats.shards_total, kShards);
+  ASSERT_EQ(outcome.result.shard_breakdown.size(), kShards);
+
+  // The slow-query ring keeps the per-shard slices...
+  const std::vector<SlowQueryRecord> slow = engine.SlowQueries();
+  ASSERT_FALSE(slow.empty());
+  const SlowQueryRecord& record = slow.front();
+  EXPECT_EQ(record.stats.shards_total, kShards);
+  EXPECT_EQ(record.stats.shards_failed, 0u);
+  ASSERT_EQ(record.shards.size(), kShards);
+  uint64_t slice_sequences = 0;
+  for (const ShardQueryStats& slice : record.shards) {
+    EXPECT_TRUE(slice.ok);
+    slice_sequences += slice.num_sequences;
+  }
+  EXPECT_EQ(slice_sequences, workload.database->num_sequences());
+
+  // ...and /debug/slow renders coverage plus the per-shard cascade rows.
+  const std::string json = SlowQueriesJson(slow);
+  EXPECT_NE(json.find("\"shards_total\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"shards_failed\": 0"), std::string::npos);
+  EXPECT_NE(json.find("\"shards\": ["), std::string::npos);
+  EXPECT_NE(json.find("\"rpc_ns\""), std::string::npos);
+  EXPECT_NE(json.find("\"probe_abandons\""), std::string::npos);
+  EXPECT_NE(json.find("\"bytes_read\""), std::string::npos);
+
+  // Cascade and fan-out histograms are live in the registry, and the
+  // latency histogram carries a trace-id exemplar (tracing is on).
+  const std::string text = registry.PrometheusText();
+  EXPECT_NE(text.find("mdseq_prune_first_survivor_ratio_bucket"),
+            std::string::npos);
+  EXPECT_NE(text.find("mdseq_prune_second_survivor_ratio_bucket"),
+            std::string::npos);
+  EXPECT_NE(text.find("mdseq_shard_fanout_wait_seconds_bucket"),
+            std::string::npos);
+  EXPECT_NE(text.find("mdseq_shard_merge_seconds_bucket"), std::string::npos);
+  EXPECT_NE(text.find("mdseq_shard_span_seconds"), std::string::npos);
+  EXPECT_NE(text.find("# {trace_id=\""), std::string::npos);
+
+  // The kept trace is the fully stitched one.
+  const std::vector<obs::Trace> traces = engine.TakeTraces();
+  ASSERT_FALSE(traces.empty());
+  bool stitched = false;
+  for (const obs::Trace& trace : traces) {
+    stitched |= !SpansNamed(trace, "rpc:search_verified").empty();
+  }
+  EXPECT_TRUE(stitched);
+}
+
+TEST(EngineTraceTest, UntracedEngineRendersNoExemplars) {
+  const Workload workload = SmallWorkload(91, 40);
+  obs::MetricsRegistry registry;
+  EngineOptions options;
+  options.num_threads = 1;
+  options.metrics = &registry;  // tracing off: trace_capacity stays 0
+  QueryEngine engine(workload.database.get(), options);
+
+  QueryOptions query_options;
+  query_options.epsilon = 0.2;
+  const QueryOutcome outcome =
+      engine.Submit(Sequence(workload.queries.front()), query_options).get();
+  ASSERT_EQ(outcome.status, QueryStatus::kOk);
+
+  // The plain Observe path keeps the exposition byte-identical to the
+  // pre-exemplar format: no exemplar suffix anywhere.
+  const std::string text = registry.PrometheusText();
+  EXPECT_NE(text.find("mdseq_query_latency_seconds_bucket"),
+            std::string::npos);
+  EXPECT_EQ(text.find("# {trace_id="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mdseq

@@ -1,0 +1,68 @@
+#!/usr/bin/env bash
+# Keeps the span catalog honest: every span name emitted in src/ must have
+# a row in the docs/observability.md span-catalog table, and every catalog
+# row must correspond to an emission. Span names come from two places:
+#
+#   - string literals at `SpanScope` construction sites, and
+#   - `// span-name: <name>` annotations next to names returned from
+#     functions (e.g. the per-verb ShardVerbSpanName/RpcSpanName switches),
+#     where no literal appears at the construction site.
+#
+# The catalog rows are the backticked first column of the table between the
+# `<!-- span-catalog:begin -->` / `<!-- span-catalog:end -->` markers.
+# Run from anywhere:
+#
+#   tools/lint_spans.sh [repo-root]
+#
+# Wired into ctest as `lint_spans` (label: lint). Exits non-zero and
+# prints the drift when the two sets disagree.
+set -euo pipefail
+
+root="${1:-$(cd "$(dirname "$0")/.." && pwd)}"
+docs="$root/docs/observability.md"
+
+if [[ ! -d "$root/src" || ! -f "$docs" ]]; then
+  echo "lint_spans: bad repo root '$root'" >&2
+  exit 2
+fi
+
+# Emitted names: literals at SpanScope construction sites plus the
+# span-name annotations.
+scope_names=$(grep -rhoE 'SpanScope [A-Za-z_]+\([^)"]*"[a-z_:]+"' \
+  "$root/src" | grep -oE '"[a-z_:]+"' | tr -d '"')
+annotated_names=$(grep -rhoE '// span-name: [a-z_:]+' "$root/src" \
+  | sed 's|.*// span-name: ||')
+code_names=$(printf '%s\n%s\n' "$scope_names" "$annotated_names" \
+  | grep -v '^$' | sort -u)
+
+# Documented names: backticked first column of table rows inside the
+# span-catalog markers.
+doc_names=$(awk '/<!-- span-catalog:begin -->/{in_table=1; next}
+                 /<!-- span-catalog:end -->/{in_table=0}
+                 in_table' "$docs" \
+  | grep -hoE '^\|[[:space:]]*`[a-z_:]+`' \
+  | grep -oE '`[a-z_:]+`' | tr -d '`' | sort -u || true)
+
+status=0
+
+undocumented=$(comm -23 <(printf '%s\n' "$code_names") \
+                        <(printf '%s\n' "$doc_names"))
+if [[ -n "$undocumented" ]]; then
+  echo "spans emitted in src/ but missing from the $docs catalog:" >&2
+  printf '  %s\n' $undocumented >&2
+  status=1
+fi
+
+unemitted=$(comm -13 <(printf '%s\n' "$code_names") \
+                     <(printf '%s\n' "$doc_names"))
+if [[ -n "$unemitted" ]]; then
+  echo "spans cataloged in $docs but never emitted in src/:" >&2
+  printf '  %s\n' $unemitted >&2
+  status=1
+fi
+
+if [[ "$status" -eq 0 ]]; then
+  count=$(printf '%s\n' "$code_names" | wc -l)
+  echo "lint_spans: $count span names in sync"
+fi
+exit "$status"

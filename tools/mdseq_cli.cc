@@ -22,10 +22,16 @@
 //   explain run one query and print an EXPLAIN-style per-phase report
 //             mdseq_cli explain --corpus=corpus.mdsq | --db=corpus.db
 //                               --query=seq.csv [--eps=0.1 --verified
-//                               --pool=256 --json --trace-out=trace.json]
+//                               --pool=256 --json --trace-out=trace.json
+//                               --shards=0 --placement=hash|hilbert]
 //             --json prints the report as one JSON object; --trace-out
 //             writes the query's span trace as Chrome trace_event JSON
-//             (load in Perfetto or chrome://tracing).
+//             (load in Perfetto or chrome://tracing). --shards=N (requires
+//             --corpus) splits the corpus into N in-memory shards and runs
+//             the query through the scatter-gather coordinator instead:
+//             the report gains the fan-out summary and the per-shard
+//             pruning-cascade table, and the trace gains the stitched
+//             shard spans (one track per shard).
 //   ingest  stream a corpus into a live (WAL-backed) database
 //             mdseq_cli ingest --db=live.db --corpus=corpus.mdsq
 //                              [--create --pool=256 --commit-every=8
@@ -406,6 +412,18 @@ int RunExplain(const Flags& flags) {
   const double epsilon = flags.GetDouble("eps", 0.1);
   const bool verified = flags.Has("verified");
   const bool disk = !db_path.empty();
+  const size_t num_shards = flags.GetSize("shards", 0);
+  if (num_shards > 0 && disk) {
+    std::fprintf(stderr, "explain: --shards requires --corpus\n");
+    return 2;
+  }
+  PlacementPolicy placement_policy = PlacementPolicy::kHash;
+  const std::string placement_name = flags.GetString("placement", "hash");
+  if (!ParsePlacementPolicy(placement_name.c_str(), &placement_policy)) {
+    std::fprintf(stderr, "explain: unknown --placement=%s\n",
+                 placement_name.c_str());
+    return 2;
+  }
 
   obs::Trace trace;
   trace.set_query_id(1);
@@ -431,11 +449,27 @@ int RunExplain(const Flags& flags) {
     SequenceDatabase database(dim);
     for (const Sequence& s : *corpus) database.Add(s);
     database_sequences = database.num_sequences();
-    SimilaritySearch engine(&database);
-    obs::SpanScope query_span(control.trace, "query");
-    result = verified
-                 ? engine.SearchVerified(query->View(), epsilon, control)
-                 : engine.Search(query->View(), epsilon, control);
+    if (num_shards > 0) {
+      // Sharded explain: the same corpus split over in-memory shards and
+      // queried through the coordinator, so the report shows the fan-out
+      // summary and the per-shard cascade, and the trace carries every
+      // shard's stitched spans.
+      const std::unique_ptr<ShardSet> shard_set =
+          ShardSet::BuildInMemory(database, num_shards, placement_policy);
+      LoopbackTransport transport(shard_set->nodes());
+      const Coordinator coordinator(&transport, shard_set->placement());
+      obs::SpanScope query_span(control.trace, "query");
+      result = verified
+                   ? coordinator.SearchVerified(query->View(), epsilon,
+                                                control)
+                   : coordinator.Search(query->View(), epsilon, control);
+    } else {
+      SimilaritySearch engine(&database);
+      obs::SpanScope query_span(control.trace, "query");
+      result = verified
+                   ? engine.SearchVerified(query->View(), epsilon, control)
+                   : engine.Search(query->View(), epsilon, control);
+    }
   } else {
     DiskDatabase database(db_path, flags.GetSize("pool", 256));
     if (!database.valid()) {
