@@ -2,12 +2,15 @@
 // profiles, full sequence distance). Supports `--json` (see json_main.h);
 // the bounded/unbounded profile pair feeds tools/run_benchmarks.sh.
 
+#include <limits>
+
 #include <benchmark/benchmark.h>
 
 #include "core/distance.h"
 #include "gen/fractal.h"
 #include "json_main.h"
 #include "util/random.h"
+#include "util/simd.h"
 
 namespace {
 
@@ -85,6 +88,50 @@ void BM_WindowProfile_Bounded(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_WindowProfile_Bounded)->Arg(64)->Arg(256);
+
+// Scalar vs dispatched point-sum kernel — the inner loop of every window
+// profile / mean distance evaluation — on one window of state.range(0)
+// 4-d points. The `simd_level` counter on the dispatched run records which
+// implementation actually ran (0 scalar, 1 avx2, 2 neon), so the
+// simd_speedup_* summary in BENCH_kernels.json can gate its acceptance bar
+// on SIMD being available.
+struct PointSumFixture {
+  std::vector<double> a, b;
+
+  PointSumFixture(size_t points, size_t dim) : a(points * dim), b(points * dim) {
+    Rng rng(21);
+    for (double& v : a) v = rng.Uniform();
+    for (double& v : b) v = rng.Uniform();
+  }
+};
+
+void BM_PointSumKernel_Scalar(benchmark::State& state) {
+  const size_t points = static_cast<size_t>(state.range(0));
+  const PointSumFixture fixture(points, 4);
+  const double inf = std::numeric_limits<double>::infinity();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(simd::PointSumBoundedScalar(
+        fixture.a.data(), fixture.b.data(), points, 4, inf, nullptr));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(points));
+}
+BENCHMARK(BM_PointSumKernel_Scalar)->Arg(64)->Arg(256);
+
+void BM_PointSumKernel_Simd(benchmark::State& state) {
+  const size_t points = static_cast<size_t>(state.range(0));
+  const PointSumFixture fixture(points, 4);
+  const double inf = std::numeric_limits<double>::infinity();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(simd::PointSumBounded(
+        fixture.a.data(), fixture.b.data(), points, 4, inf, nullptr));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(points));
+  state.counters["simd_level"] =
+      static_cast<double>(static_cast<int>(simd::ActiveLevel()));
+}
+BENCHMARK(BM_PointSumKernel_Simd)->Arg(64)->Arg(256);
 
 void BM_SequenceDistance(benchmark::State& state) {
   const Sequence query = MakeSequence(static_cast<size_t>(state.range(0)),

@@ -11,6 +11,7 @@
 #include "gen/query_workload.h"
 #include "json_main.h"
 #include "util/random.h"
+#include "util/simd.h"
 
 namespace {
 
@@ -117,6 +118,50 @@ void BM_DnormManyMbrs_PrefixSum(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_DnormManyMbrs_PrefixSum)->Arg(64)->Arg(256);
+
+// Scalar vs dispatched prefilter kernel (batched centroid squared
+// distances over a dim-major SoA layout, as PrefilterProbe issues it):
+// one probe centroid against state.range(0) 4-d target centroids. The
+// `simd_level` counter on the dispatched run records which implementation
+// actually ran (0 scalar, 1 avx2, 2 neon).
+struct PrefilterFixture {
+  size_t n;
+  size_t dim = 4;
+  std::vector<double> center, centers, out;
+
+  explicit PrefilterFixture(size_t count)
+      : n(count), center(dim), centers(dim * n), out(n) {
+    Rng rng(41);
+    for (double& v : center) v = rng.Uniform();
+    for (double& v : centers) v = rng.Uniform();
+  }
+};
+
+void BM_PrefilterKernel_Scalar(benchmark::State& state) {
+  PrefilterFixture f(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    simd::SquaredDistBatchScalar(f.center.data(), f.centers.data(), f.n,
+                                 f.dim, f.out.data());
+    benchmark::DoNotOptimize(f.out.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(f.n));
+}
+BENCHMARK(BM_PrefilterKernel_Scalar)->Arg(256)->Arg(1024);
+
+void BM_PrefilterKernel_Simd(benchmark::State& state) {
+  PrefilterFixture f(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    simd::SquaredDistBatch(f.center.data(), f.centers.data(), f.n, f.dim,
+                           f.out.data());
+    benchmark::DoNotOptimize(f.out.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(f.n));
+  state.counters["simd_level"] =
+      static_cast<double>(static_cast<int>(simd::ActiveLevel()));
+}
+BENCHMARK(BM_PrefilterKernel_Simd)->Arg(256)->Arg(1024);
 
 void BM_FullSearch(benchmark::State& state) {
   const Fixture fixture(static_cast<size_t>(state.range(0)));

@@ -8,6 +8,7 @@
 #include "index/rstar_tree.h"
 #include "json_main.h"
 #include "util/random.h"
+#include "util/simd.h"
 
 namespace {
 
@@ -124,6 +125,56 @@ void BM_RStarMultiProbe_Batch(benchmark::State& state) {
       static_cast<double>(visits) / static_cast<double>(iterations);
 }
 BENCHMARK(BM_RStarMultiProbe_Batch)->Arg(4)->Arg(8)->Arg(16);
+
+// Scalar vs dispatched Dmbr kernel (batched MINDIST over a dim-major SoA
+// rectangle set, as the batched node probes issue it): state.range(0)
+// 4-d rectangles against one query box. The `simd_level` counter on the
+// dispatched run records which implementation actually ran (0 scalar,
+// 1 avx2, 2 neon).
+struct MinDist2Fixture {
+  size_t n;
+  size_t dim = 4;
+  std::vector<double> qlo, qhi, lo, hi, out;
+
+  explicit MinDist2Fixture(size_t count)
+      : n(count), qlo(dim), qhi(dim), lo(dim * n), hi(dim * n), out(n) {
+    Rng rng(31);
+    for (size_t k = 0; k < dim; ++k) {
+      qlo[k] = rng.Uniform();
+      qhi[k] = qlo[k] + 0.2 * rng.Uniform();
+      for (size_t i = 0; i < n; ++i) {
+        lo[k * n + i] = 2.0 * rng.Uniform() - 0.5;
+        hi[k * n + i] = lo[k * n + i] + 0.1 * rng.Uniform();
+      }
+    }
+  }
+};
+
+void BM_MinDist2Kernel_Scalar(benchmark::State& state) {
+  MinDist2Fixture f(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    simd::MinDist2BatchScalar(f.qlo.data(), f.qhi.data(), f.lo.data(),
+                              f.hi.data(), f.n, f.dim, f.out.data());
+    benchmark::DoNotOptimize(f.out.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(f.n));
+}
+BENCHMARK(BM_MinDist2Kernel_Scalar)->Arg(256)->Arg(1024);
+
+void BM_MinDist2Kernel_Simd(benchmark::State& state) {
+  MinDist2Fixture f(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    simd::MinDist2Batch(f.qlo.data(), f.qhi.data(), f.lo.data(),
+                        f.hi.data(), f.n, f.dim, f.out.data());
+    benchmark::DoNotOptimize(f.out.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(f.n));
+  state.counters["simd_level"] =
+      static_cast<double>(static_cast<int>(simd::ActiveLevel()));
+}
+BENCHMARK(BM_MinDist2Kernel_Simd)->Arg(256)->Arg(1024);
 
 void BM_LinearRangeSearch(benchmark::State& state) {
   const auto entries = MakeEntries(20000, 3);

@@ -5,17 +5,24 @@
 #include <limits>
 
 #include "util/check.h"
+#include "util/simd.h"
 
 namespace mdseq {
+
+// All three profile kernels below run through the one dispatched
+// simd::PointSumBounded (bound = +infinity for the unbounded callers), so
+// their mutual identities — profile[0] == MeanDistance for equal lengths,
+// completed bounded windows bit-identical to the unbounded profile — hold
+// under every dispatch level, not just scalar.
 
 double MeanDistance(SequenceView a, SequenceView b) {
   MDSEQ_CHECK(a.size() == b.size());
   MDSEQ_CHECK(!a.empty());
   MDSEQ_CHECK(a.dim() == b.dim());
-  double sum = 0.0;
-  for (size_t i = 0; i < a.size(); ++i) {
-    sum += PointDistance(a[i], b[i]);
-  }
+  bool abandoned = false;
+  const double sum = simd::PointSumBounded(
+      a[0].data(), b[0].data(), a.size(), a.dim(),
+      std::numeric_limits<double>::infinity(), &abandoned);
   return sum / static_cast<double>(a.size());
 }
 
@@ -25,13 +32,16 @@ std::vector<double> WindowDistanceProfile(SequenceView query,
   MDSEQ_CHECK(query.size() <= data.size());
   MDSEQ_CHECK(query.dim() == data.dim());
   const size_t k = query.size();
+  const size_t dim = query.dim();
   const size_t num_windows = data.size() - k + 1;
+  const double* query_base = query[0].data();
+  const double* data_base = data[0].data();
   std::vector<double> profile(num_windows);
   for (size_t j = 0; j < num_windows; ++j) {
-    double sum = 0.0;
-    for (size_t i = 0; i < k; ++i) {
-      sum += PointDistance(query[i], data[j + i]);
-    }
+    bool abandoned = false;
+    const double sum = simd::PointSumBounded(
+        query_base, data_base + j * dim, k, dim,
+        std::numeric_limits<double>::infinity(), &abandoned);
     profile[j] = sum / static_cast<double>(k);
   }
   return profile;
@@ -58,23 +68,9 @@ std::vector<double> WindowDistanceProfileBounded(SequenceView query,
   std::vector<double> profile(num_windows,
                               std::numeric_limits<double>::infinity());
   for (size_t j = 0; j < num_windows; ++j) {
-    const double* window = data_base + j * dim;
-    double sum = 0.0;
     bool abandoned = false;
-    for (size_t i = 0; i < k; ++i) {
-      const double* q = query_base + i * dim;
-      const double* d = window + i * dim;
-      double sq = 0.0;
-      for (size_t t = 0; t < dim; ++t) {
-        const double diff = q[t] - d[t];
-        sq += diff * diff;
-      }
-      sum += std::sqrt(sq);
-      if (sum > bound) {
-        abandoned = true;
-        break;
-      }
-    }
+    const double sum = simd::PointSumBounded(query_base, data_base + j * dim,
+                                             k, dim, bound, &abandoned);
     if (!abandoned) profile[j] = sum / points;
   }
   return profile;

@@ -1,9 +1,11 @@
 #include "core/mbr_distance.h"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 
 #include "util/check.h"
+#include "util/simd.h"
 
 namespace mdseq {
 
@@ -15,6 +17,79 @@ std::vector<double> ComputeMbrDistances(const Mbr& probe,
     dmbr.push_back(MbrDistance(probe, piece.mbr));
   }
   return dmbr;
+}
+
+PartitionLayout MakePartitionLayout(const Partition& target) {
+  PartitionLayout layout;
+  layout.n = target.size();
+  if (target.empty()) return layout;
+  const size_t n = layout.n;
+  const size_t dim = target.front().mbr.dim();
+  layout.dim = dim;
+  layout.low.resize(n * dim);
+  layout.high.resize(n * dim);
+  layout.center.resize(n * dim);
+  layout.radius.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    const Mbr& mbr = target[i].mbr;
+    double diag2 = 0.0;
+    for (size_t k = 0; k < dim; ++k) {
+      const double lo = mbr.low()[k];
+      const double hi = mbr.high()[k];
+      layout.low[k * n + i] = lo;
+      layout.high[k * n + i] = hi;
+      layout.center[k * n + i] = 0.5 * (lo + hi);
+      const double side = hi - lo;
+      diag2 += side * side;
+    }
+    layout.radius[i] = 0.5 * std::sqrt(diag2);
+  }
+  return layout;
+}
+
+std::vector<double> ComputeMbrDistances(const Mbr& probe,
+                                        const PartitionLayout& layout) {
+  std::vector<double> dmbr(layout.n);
+  if (layout.n == 0) return dmbr;
+  simd::MinDist2Batch(probe.low().data(), probe.high().data(),
+                      layout.low.data(), layout.high.data(), layout.n,
+                      layout.dim, dmbr.data());
+  for (double& d : dmbr) d = std::sqrt(d);
+  return dmbr;
+}
+
+double MbrCenterAndRadius(const Mbr& mbr, double* center) {
+  const size_t dim = mbr.dim();
+  double diag2 = 0.0;
+  for (size_t k = 0; k < dim; ++k) {
+    const double lo = mbr.low()[k];
+    const double hi = mbr.high()[k];
+    center[k] = 0.5 * (lo + hi);
+    const double side = hi - lo;
+    diag2 += side * side;
+  }
+  return 0.5 * std::sqrt(diag2);
+}
+
+bool PrefilterProbe(const double* probe_center, double probe_radius,
+                    const PartitionLayout& layout, double epsilon,
+                    std::vector<double>* scratch) {
+  MDSEQ_CHECK(scratch != nullptr);
+  const size_t n = layout.n;
+  if (n == 0) return false;
+  scratch->resize(n);
+  simd::SquaredDistBatch(probe_center, layout.center.data(), n, layout.dim,
+                         scratch->data());
+  // Survive iff ||c_p - c_i||^2 <= ((epsilon + r_p + r_i) * (1 + slack))^2
+  // for some i — comparing squares avoids n square roots, and the relative
+  // slack absorbs the rounding of the centroid-distance and radius
+  // computations so rounding can only keep probes, never drop them.
+  for (size_t i = 0; i < n; ++i) {
+    const double reach =
+        (epsilon + probe_radius + layout.radius[i]) * (1.0 + 1e-9);
+    if ((*scratch)[i] <= reach * reach) return true;
+  }
+  return false;
 }
 
 DnormContext MakeDnormContext(const Partition& target,

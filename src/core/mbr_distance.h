@@ -28,6 +28,57 @@ struct NormalizedDistanceResult {
 std::vector<double> ComputeMbrDistances(const Mbr& probe,
                                         const Partition& target);
 
+/// Dimension-major SoA mirror of a partition's MBRs plus the O(1) per-MBR
+/// summaries the lower-bound cascade prefilter reads. Coordinate `k` of MBR
+/// `i` lives at `[k * n + i]` (the `util/simd.h` layout contract), so the
+/// batched kernels stream one coordinate of adjacent MBRs per instruction.
+///
+/// Built once per (candidate, query) pair and reused by every probe; the
+/// source partition may be discarded afterwards (the layout owns copies).
+struct PartitionLayout {
+  size_t n = 0;    ///< number of MBRs
+  size_t dim = 0;  ///< dimensionality
+  std::vector<double> low;     ///< `low[k * n + i]`
+  std::vector<double> high;    ///< `high[k * n + i]`
+  std::vector<double> center;  ///< `center[k * n + i]` — MBR centroids
+  /// `radius[i]` — half the MBR's diagonal: the max distance from the
+  /// centroid to any point of the rectangle. Together with `center` it
+  /// yields the cascade's cheapest Dmbr lower bound
+  /// (`PrefilterProbe`).
+  std::vector<double> radius;
+};
+
+/// Gathers `target` into SoA form. O(m * dim).
+PartitionLayout MakePartitionLayout(const Partition& target);
+
+/// SIMD `ComputeMbrDistances`: identical output (bit-for-bit — the batched
+/// rectangle kernel matches `Mbr::MinDist2` per pair and `sqrt` is
+/// correctly rounded), computed in one pass over the layout's contiguous
+/// lo/hi arrays. `layout` must be `MakePartitionLayout(target)`.
+std::vector<double> ComputeMbrDistances(const Mbr& probe,
+                                        const PartitionLayout& layout);
+
+/// The cascade's O(1)-per-pair prefilter: from centroid/radius summaries
+/// alone, `||c_probe - c_i|| - r_probe - r_i` lower-bounds
+/// `Dmbr(probe, target[i])` (triangle inequality; every point of a
+/// rectangle is within its half-diagonal of its centroid). Returns true iff
+/// some target MBR *might* come within `epsilon` of the probe — i.e. the
+/// probe survives into the full Dmbr evaluation. A false return proves
+/// `min_t Dmbr > epsilon`, the exact condition of the existing probe-level
+/// abandon, so skipping the probe is sound.
+///
+/// The comparison carries 1e-9 relative slack so floating-point rounding
+/// can only make the prefilter keep a probe it could have dropped, never
+/// drop one it must keep. `probe_center` is `dim` doubles; `scratch` is
+/// caller-provided to keep the per-probe cost allocation-free.
+bool PrefilterProbe(const double* probe_center, double probe_radius,
+                    const PartitionLayout& layout, double epsilon,
+                    std::vector<double>* scratch);
+
+/// Centroid (into `center`, `dim` doubles) and half-diagonal radius of one
+/// MBR — the probe-side summaries `PrefilterProbe` consumes.
+double MbrCenterAndRadius(const Mbr& mbr, double* center);
+
 /// Precomputed prefix sums over one (probe MBR, target partition) pair that
 /// turn every Definition-5 window evaluation into O(1) work: a window's
 /// weighted distance is a difference of two `prefix_weighted` entries plus

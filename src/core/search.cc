@@ -223,13 +223,51 @@ bool EvaluatePhase3(const Partition& query_partition, size_t query_length,
   const Partition& probes = swapped ? data_partition : query_partition;
   const Partition& targets = swapped ? query_partition : data_partition;
 
+  // SoA mirror of the target MBRs: one gather serves the prefilter, every
+  // probe's batched Dmbr pass, and their centroid/radius summaries.
+  const PartitionLayout layout = MakePartitionLayout(targets);
+
+  // Cascade stage "prefilter": the O(1)-per-pair centroid/radius lower
+  // bound drops probes that provably satisfy min Dmbr > epsilon before the
+  // full Dmbr pass. Disabled under the composite bound (which needs every
+  // probe's exact minimum); when disabled every probe passes through, so
+  // the stage reads as a no-op rather than a wall.
+  const bool use_prefilter = options.prefilter && !options.composite_bound;
+  std::vector<uint8_t> probe_skipped;
+  size_t surviving_probes = probes.size();
+  if (use_prefilter) {
+    const auto prefilter_start = SteadyClock::now();
+    probe_skipped.assign(probes.size(), 0);
+    std::vector<double> center(layout.dim);
+    std::vector<double> scratch;
+    for (size_t p = 0; p < probes.size(); ++p) {
+      const double radius = MbrCenterAndRadius(probes[p].mbr, center.data());
+      if (!PrefilterProbe(center.data(), radius, layout, epsilon, &scratch)) {
+        probe_skipped[p] = 1;
+        --surviving_probes;
+        ++stats->prefilter_abandons;
+      }
+    }
+    stats->prefilter_ns += ElapsedNs(prefilter_start);
+  }
+  if (surviving_probes == 0) return false;
+  ++stats->prefilter_survivors;
+
   // Per-probe minimum Dnorm, for the optional composite bound.
   double composite_weighted = 0.0;
   size_t composite_points = 0;
 
   std::vector<NormalizedDistanceResult> windows;
-  for (const SequenceMbr& probe : probes) {
-    const std::vector<double> dmbr = ComputeMbrDistances(probe.mbr, targets);
+  for (size_t probe_index = 0; probe_index < probes.size(); ++probe_index) {
+    const SequenceMbr& probe = probes[probe_index];
+    if (use_prefilter && probe_skipped[probe_index] != 0) {
+      // A dropped probe provably has min Dmbr > epsilon: no qualifying
+      // window, and (as with the min-Dmbr abandon below) it cannot carry
+      // the reported min_dnorm of a match that qualifies via another
+      // probe.
+      continue;
+    }
+    const std::vector<double> dmbr = ComputeMbrDistances(probe.mbr, layout);
     const DnormContext context = MakeDnormContext(targets, dmbr);
     if (!options.composite_bound && context.min_dmbr > epsilon) {
       // Probe-level early abandon: every Dnorm window is a weighted
@@ -314,12 +352,27 @@ PruningCascadeStats CascadeOf(const SearchStats& stats,
   first.ns = stats.partition_ns + stats.first_pruning_ns;
   cascade.stages.push_back(first);
 
+  // The prefilter prepass runs inside the Phase-3 loop, so its time is a
+  // sub-slice of second_pruning_ns; the second stage reports the exclusive
+  // remainder. A candidate "survives" the prefilter when at least one of
+  // its probes does (with the prefilter off every candidate passes
+  // through).
+  PruningCascadeStats::Stage prefilter;
+  prefilter.name = "prefilter";
+  prefilter.candidates_in = stats.phase2_candidates;
+  prefilter.candidates_out = stats.prefilter_survivors;
+  prefilter.abandons = stats.prefilter_abandons;
+  prefilter.ns = stats.prefilter_ns;
+  cascade.stages.push_back(prefilter);
+
   PruningCascadeStats::Stage second;
   second.name = "second_pruning";
-  second.candidates_in = stats.phase2_candidates;
+  second.candidates_in = stats.prefilter_survivors;
   second.candidates_out = stats.filter_matches;
   second.abandons = stats.probe_abandons;
-  second.ns = stats.second_pruning_ns;
+  second.ns = stats.second_pruning_ns >= stats.prefilter_ns
+                  ? stats.second_pruning_ns - stats.prefilter_ns
+                  : 0;
   cascade.stages.push_back(second);
 
   if (verified) {
@@ -485,6 +538,9 @@ obs::ExplainStats ToExplainStats(const SearchResult& result,
   out.probe_abandons = stats.probe_abandons;
   out.verify_abandons = stats.verify_abandons;
   out.bytes_read = stats.bytes_read;
+  out.prefilter_abandons = stats.prefilter_abandons;
+  out.prefilter_survivors = stats.prefilter_survivors;
+  out.prefilter_ns = stats.prefilter_ns;
   out.shards_total = stats.shards_total;
   out.shards_failed = stats.shards_failed;
   out.fanout_wait_ns = stats.fanout_wait_ns;
@@ -503,6 +559,8 @@ obs::ExplainStats ToExplainStats(const SearchResult& result,
     row.probe_abandons = shard.stats.probe_abandons;
     row.verify_abandons = shard.stats.verify_abandons;
     row.bytes_read = shard.stats.bytes_read;
+    row.prefilter_abandons = shard.stats.prefilter_abandons;
+    row.prefilter_survivors = shard.stats.prefilter_survivors;
     row.total_ns = shard.stats.TotalPhaseNs();
     out.shards.push_back(row);
   }

@@ -104,6 +104,17 @@ struct SearchStats {
   uint64_t verify_abandons = 0;
   uint64_t bytes_read = 0;
 
+  /// The cascade's cheapest stage: the O(1)-per-pair centroid/radius
+  /// prefilter that runs before any full Dmbr evaluation (see
+  /// `PrefilterProbe`). `prefilter_abandons` counts query probes dropped by
+  /// it across all Phase-3 candidates; `prefilter_survivors` counts
+  /// candidates with at least one surviving probe (the second-pruning
+  /// stage's effective input); `prefilter_ns` is the sub-slice of
+  /// `second_pruning_ns` the prefilter prepass itself cost.
+  uint64_t prefilter_abandons = 0;
+  uint64_t prefilter_survivors = 0;
+  uint64_t prefilter_ns = 0;
+
   /// Coordinator attribution of sharded queries (see src/shard): time
   /// blocked waiting on the slowest shard, time merging shard responses,
   /// and shard coverage. Single-database queries leave all four zero;
@@ -127,7 +138,8 @@ struct SearchStats {
 /// signal EXPLAIN, `/debug/slow`, and the `mdseq_prune_*` metrics report.
 struct PruningCascadeStats {
   struct Stage {
-    /// Stable stage name: "first_pruning", "second_pruning", "verify".
+    /// Stable stage name: "first_pruning", "prefilter", "second_pruning",
+    /// "verify".
     const char* name = "";
     uint64_t candidates_in = 0;
     uint64_t candidates_out = 0;
@@ -278,6 +290,14 @@ struct SearchOptions {
   /// pair. Still no false dismissals; strictly better pruning (see
   /// bench/ablation_composite).
   bool composite_bound = false;
+
+  /// Runs the O(1)-per-pair centroid/radius prefilter in front of the full
+  /// Dmbr evaluation of every Phase-3 probe (the cascade's cheapest lower
+  /// bound; see `PrefilterProbe`). Sound — a dropped probe provably has
+  /// `min Dmbr > epsilon` — so results are identical with it on or off;
+  /// only the cost profile changes. Ignored (treated as off) under
+  /// `composite_bound`, which needs every probe's exact minimum Dnorm.
+  bool prefilter = true;
 };
 
 /// The paper's three-phase SIMILARITY_SEARCH algorithm (Section 3.4.2):

@@ -155,6 +155,12 @@ std::string SlowQueriesJson(const std::vector<SlowQueryRecord>& records) {
     out.append(", ");
     AppendU64(&out, "bytes_read", record.stats.bytes_read);
     out.append(", ");
+    AppendU64(&out, "prefilter_abandons", record.stats.prefilter_abandons);
+    out.append(", ");
+    AppendU64(&out, "prefilter_survivors", record.stats.prefilter_survivors);
+    out.append(", ");
+    AppendU64(&out, "prefilter_ns", record.stats.prefilter_ns);
+    out.append(", ");
     AppendU64(&out, "shards_total", record.stats.shards_total);
     out.append(", ");
     AppendU64(&out, "shards_failed", record.stats.shards_failed);
@@ -191,6 +197,11 @@ std::string SlowQueriesJson(const std::vector<SlowQueryRecord>& records) {
       AppendU64(&out, "verify_abandons", shard.stats.verify_abandons);
       out.append(", ");
       AppendU64(&out, "bytes_read", shard.stats.bytes_read);
+      out.append(", ");
+      AppendU64(&out, "prefilter_abandons", shard.stats.prefilter_abandons);
+      out.append(", ");
+      AppendU64(&out, "prefilter_survivors",
+                shard.stats.prefilter_survivors);
       out.push_back('}');
     }
     out.append("]}");

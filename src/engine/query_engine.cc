@@ -117,7 +117,9 @@ struct QueryEngine::Metrics {
   obs::Counter* prune_probe_abandons;
   obs::Counter* prune_verify_abandons;
   obs::Counter* prune_bytes_read;
+  obs::Counter* prune_prefilter_abandons;
   obs::Histogram* prune_first_survivor_ratio;
+  obs::Histogram* prune_prefilter_survivor_ratio;
   obs::Histogram* prune_second_survivor_ratio;
 
   /// Coordinator engines only (null otherwise): per-query fan-out wait and
@@ -273,14 +275,23 @@ void QueryEngine::InstallObservers(const EngineOptions& options) {
   metrics->prune_bytes_read = reg->GetCounter(
       "mdseq_prune_bytes_read_total",
       "Raw sequence bytes materialized for exact verification");
+  metrics->prune_prefilter_abandons = reg->GetCounter(
+      "mdseq_prune_prefilter_abandons_total",
+      "Phase-3 probes dropped by the centroid/radius prefilter before the "
+      "full Dmbr evaluation");
   metrics->prune_first_survivor_ratio = reg->GetHistogram(
       "mdseq_prune_first_survivor_ratio",
       "Per-query fraction of the corpus surviving first pruning (ASmbr / "
       "database sequences)",
       SurvivorRatioBounds());
+  metrics->prune_prefilter_survivor_ratio = reg->GetHistogram(
+      "mdseq_prune_prefilter_survivor_ratio",
+      "Per-query fraction of first-pruning candidates surviving the "
+      "centroid/radius prefilter into second pruning",
+      SurvivorRatioBounds());
   metrics->prune_second_survivor_ratio = reg->GetHistogram(
       "mdseq_prune_second_survivor_ratio",
-      "Per-query fraction of first-pruning candidates surviving the Dnorm "
+      "Per-query fraction of prefilter survivors surviving the Dnorm "
       "filter",
       SurvivorRatioBounds());
   if (coordinator_ != nullptr) {
@@ -737,9 +748,14 @@ void QueryEngine::Finish(const std::shared_ptr<Pending>& pending,
     if (stats.bytes_read > 0) {
       metrics_->prune_bytes_read->Increment(stats.bytes_read);
     }
+    if (stats.prefilter_abandons > 0) {
+      metrics_->prune_prefilter_abandons->Increment(stats.prefilter_abandons);
+    }
     if (status == QueryStatus::kOk) {
       // Survivor ratios only for queries that ran the full funnel — a
-      // partial funnel would skew the pruning-power distribution.
+      // partial funnel would skew the pruning-power distribution. Stage
+      // order is fixed by CascadeOf: first_pruning, prefilter,
+      // second_pruning, then verify for verified queries.
       const PruningCascadeStats cascade = CascadeOf(
           stats, DatabaseSequences(), pending->options.verified);
       if (!cascade.stages.empty()) {
@@ -747,8 +763,12 @@ void QueryEngine::Finish(const std::shared_ptr<Pending>& pending,
             cascade.stages[0].SurvivorRatio());
       }
       if (cascade.stages.size() > 1) {
-        metrics_->prune_second_survivor_ratio->Observe(
+        metrics_->prune_prefilter_survivor_ratio->Observe(
             cascade.stages[1].SurvivorRatio());
+      }
+      if (cascade.stages.size() > 2) {
+        metrics_->prune_second_survivor_ratio->Observe(
+            cascade.stages[2].SurvivorRatio());
       }
     }
     if (stats.shards_total > 0 && metrics_->fanout_wait_seconds != nullptr) {

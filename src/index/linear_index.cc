@@ -1,6 +1,7 @@
 #include "index/linear_index.h"
 
 #include "util/check.h"
+#include "util/simd.h"
 
 namespace mdseq {
 
@@ -49,10 +50,28 @@ uint64_t LinearIndex::RangeSearchBatch(
   const uint64_t visited =
       (entries_.size() + page_capacity_ - 1) / page_capacity_;
   node_accesses_.fetch_add(visited, std::memory_order_relaxed);
-  for (const IndexEntry& e : entries_) {
-    for (size_t q = 0; q < queries.size(); ++q) {
-      const double d2 = queries[q].MinDist2(e.mbr);
-      if (d2 <= eps2) (*out)[q].push_back(BatchHit{e.value, d2});
+  if (entries_.empty()) return visited;
+  // One dimension-major SoA gather of all entries, then one batched
+  // rectangle-kernel pass per query (bit-identical to Mbr::MinDist2, so
+  // hit sets and their entry order match the scalar scan).
+  const size_t n = entries_.size();
+  const size_t dim = entries_.front().mbr.dim();
+  std::vector<double> lo(n * dim);
+  std::vector<double> hi(n * dim);
+  for (size_t i = 0; i < n; ++i) {
+    const Mbr& box = entries_[i].mbr;
+    for (size_t k = 0; k < dim; ++k) {
+      lo[k * n + i] = box.low()[k];
+      hi[k * n + i] = box.high()[k];
+    }
+  }
+  std::vector<double> d2(n);
+  for (size_t q = 0; q < queries.size(); ++q) {
+    simd::MinDist2Batch(queries[q].low().data(), queries[q].high().data(),
+                        lo.data(), hi.data(), n, dim, d2.data());
+    std::vector<BatchHit>& hits = (*out)[q];
+    for (size_t i = 0; i < n; ++i) {
+      if (d2[i] <= eps2) hits.push_back(BatchHit{entries_[i].value, d2[i]});
     }
   }
   return visited;

@@ -8,6 +8,7 @@
 #include <queue>
 
 #include "util/check.h"
+#include "util/simd.h"
 
 namespace mdseq {
 
@@ -610,36 +611,69 @@ uint64_t RStarTree::RangeSearchBatch(
   // Depth-first descent where each level carries the subset of queries
   // whose search region still intersects the node — every query of the
   // subset would have visited the node on its own, but the batch pays for
-  // it once. Subsets live in one scratch vector per tree level (siblings
-  // reuse their level's scratch), so the walk allocates nothing once the
-  // scratch is warm.
-  std::vector<std::vector<uint32_t>> scratch(height() + 1);
-  scratch[0].resize(queries.size());
-  for (uint32_t i = 0; i < queries.size(); ++i) scratch[0][i] = i;
+  // it once. Each level's scratch additionally holds a dimension-major SoA
+  // gather of the node's entry rectangles and the query × entry
+  // squared-distance matrix, filled by one batched rectangle-kernel pass
+  // per active query (util/simd.h) instead of a scalar MinDist2 per pair.
+  // The kernel is bit-identical to Mbr::MinDist2, so hit sets, hit order,
+  // and visit counts match the scalar walk exactly. Siblings reuse their
+  // level's scratch, so the walk allocates nothing once the scratch is
+  // warm.
+  struct LevelScratch {
+    std::vector<uint32_t> active;
+    std::vector<double> lo;  // lo[k * n + i]: coordinate k of entry i
+    std::vector<double> hi;
+    std::vector<double> d2;  // row r: squared distances of query active[r]
+  };
+  std::vector<LevelScratch> scratch(height() + 1);
+  scratch[0].active.resize(queries.size());
+  for (uint32_t i = 0; i < queries.size(); ++i) scratch[0].active[i] = i;
+  const size_t dim = dim_;
   uint64_t visited = 0;
   const auto descend = [&](const auto& self, const Node* node,
                            size_t depth) -> void {
     ++visited;
-    const std::vector<uint32_t>& active = scratch[depth];
+    LevelScratch& s = scratch[depth];
+    const std::vector<uint32_t>& active = s.active;
+    const size_t n = node->entries.size();
+    s.lo.resize(n * dim);
+    s.hi.resize(n * dim);
+    for (size_t i = 0; i < n; ++i) {
+      const Mbr& box = node->entries[i].mbr;
+      for (size_t k = 0; k < dim; ++k) {
+        s.lo[k * n + i] = box.low()[k];
+        s.hi[k * n + i] = box.high()[k];
+      }
+    }
+    s.d2.resize(active.size() * n);
+    for (size_t r = 0; r < active.size(); ++r) {
+      const Mbr& query = queries[active[r]];
+      simd::MinDist2Batch(query.low().data(), query.high().data(),
+                          s.lo.data(), s.hi.data(), n, dim,
+                          s.d2.data() + r * n);
+    }
     if (node->is_leaf()) {
-      // Query-major order keeps one query MBR hot across the whole page.
-      for (uint32_t q : active) {
-        const Mbr& query = queries[q];
-        std::vector<BatchHit>& hits = (*out)[q];
-        for (const NodeEntry& e : node->entries) {
-          const double d2 = query.MinDist2(e.mbr);
-          if (d2 <= eps2) hits.push_back(BatchHit{e.value, d2});
+      // Query-major order keeps one query's hit vector hot per row.
+      for (size_t r = 0; r < active.size(); ++r) {
+        std::vector<BatchHit>& hits = (*out)[active[r]];
+        const double* row = s.d2.data() + r * n;
+        for (size_t i = 0; i < n; ++i) {
+          if (row[i] <= eps2) {
+            hits.push_back(BatchHit{node->entries[i].value, row[i]});
+          }
         }
       }
       return;
     }
-    std::vector<uint32_t>& child_active = scratch[depth + 1];
-    for (const NodeEntry& e : node->entries) {
+    std::vector<uint32_t>& child_active = scratch[depth + 1].active;
+    for (size_t i = 0; i < n; ++i) {
       child_active.clear();
-      for (uint32_t q : active) {
-        if (queries[q].MinDist2(e.mbr) <= eps2) child_active.push_back(q);
+      for (size_t r = 0; r < active.size(); ++r) {
+        if (s.d2[r * n + i] <= eps2) child_active.push_back(active[r]);
       }
-      if (!child_active.empty()) self(self, e.child.get(), depth + 1);
+      if (!child_active.empty()) {
+        self(self, node->entries[i].child.get(), depth + 1);
+      }
     }
   };
   descend(descend, root_.get(), 0);

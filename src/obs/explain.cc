@@ -83,6 +83,15 @@ std::string RenderExplainReport(const ExplainStats& s) {
   phase2 += Printf("  %s", FormatNs(s.first_pruning_ns).c_str());
   AppendLine(&out, "phase 2: first pruning", phase2);
 
+  if (s.prefilter_abandons > 0 || s.prefilter_ns > 0) {
+    AppendLine(&out, "phase 3: prefilter",
+               Printf("%zu -> %" PRIu64
+                      " candidates, %" PRIu64
+                      " probes dropped by centroid bound  %s",
+                      s.phase2_candidates, s.prefilter_survivors,
+                      s.prefilter_abandons,
+                      FormatNs(s.prefilter_ns).c_str()));
+  }
   AppendLine(
       &out, "phase 3: second pruning",
       Printf("%zu -> %zu matches (%.1f%% pruned), %" PRIu64
@@ -181,6 +190,9 @@ std::string ExplainJson(const ExplainStats& s) {
   add_u64("probe_abandons", s.probe_abandons);
   add_u64("verify_abandons", s.verify_abandons);
   add_u64("bytes_read", s.bytes_read);
+  add_u64("prefilter_abandons", s.prefilter_abandons);
+  add_u64("prefilter_survivors", s.prefilter_survivors);
+  add_u64("prefilter_ns", s.prefilter_ns);
   add_u64("shards_total", s.shards_total);
   add_u64("shards_failed", s.shards_failed);
   add_u64("fanout_wait_ns", s.fanout_wait_ns);
@@ -208,6 +220,8 @@ std::string ExplainJson(const ExplainStats& s) {
     row_u64("probe_abandons", row.probe_abandons);
     row_u64("verify_abandons", row.verify_abandons);
     row_u64("bytes_read", row.bytes_read);
+    row_u64("prefilter_abandons", row.prefilter_abandons);
+    row_u64("prefilter_survivors", row.prefilter_survivors);
     row_u64("total_ns", row.total_ns, /*last=*/true);
   }
   out.append(s.shards.empty() ? "],": "\n  ],");

@@ -46,10 +46,16 @@ struct ExplainStats {
   uint64_t verify_ns = 0;
 
   // Pruning-cascade cost accounting: early-abandon wins per stage and the
-  // raw sequence bytes verification materialized.
+  // raw sequence bytes verification materialized. The prefilter triple
+  // mirrors `SearchStats`: probes the centroid/radius pre-check dropped,
+  // candidates it let into second pruning, and its wall time (a sub-slice
+  // of `second_pruning_ns`).
   uint64_t probe_abandons = 0;
   uint64_t verify_abandons = 0;
   uint64_t bytes_read = 0;
+  uint64_t prefilter_abandons = 0;
+  uint64_t prefilter_survivors = 0;
+  uint64_t prefilter_ns = 0;
 
   // Coordinator queries: shard coverage and fan-out/merge attribution
   // (all zero for single-database queries, `shards` then empty).
@@ -74,6 +80,8 @@ struct ExplainStats {
     uint64_t probe_abandons = 0;
     uint64_t verify_abandons = 0;
     uint64_t bytes_read = 0;
+    uint64_t prefilter_abandons = 0;
+    uint64_t prefilter_survivors = 0;
     uint64_t total_ns = 0;
   };
   std::vector<ShardRow> shards;

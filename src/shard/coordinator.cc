@@ -48,6 +48,9 @@ void AccumulateStats(const SearchStats& in, SearchStats* out) {
   out->probe_abandons += in.probe_abandons;
   out->verify_abandons += in.verify_abandons;
   out->bytes_read += in.bytes_read;
+  out->prefilter_abandons += in.prefilter_abandons;
+  out->prefilter_survivors += in.prefilter_survivors;
+  out->prefilter_ns += in.prefilter_ns;
 }
 
 // Wrapper span for one shard RPC as the coordinator observed it, one name

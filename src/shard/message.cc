@@ -9,9 +9,10 @@ namespace {
 constexpr uint32_t kRequestMagic = 0x4d535251;   // "MSRQ"
 constexpr uint32_t kResponseMagic = 0x4d535253;  // "MSRS"
 // v2: trace context on requests, pruning-cascade stats fields and
-// shard-recorded spans on responses. Both ends ship in one binary, so the
-// version is bumped cleanly rather than negotiated.
-constexpr uint16_t kVersion = 2;
+// shard-recorded spans on responses. v3: prefilter-stage counters
+// (abandons, survivors, ns) appended to the stats block. Both ends ship in
+// one binary, so the version is bumped cleanly rather than negotiated.
+constexpr uint16_t kVersion = 3;
 
 /// Sanity bound on decoded element counts: a count larger than the
 /// remaining payload could even theoretically hold is rejected before any
@@ -96,6 +97,9 @@ void PutStats(std::string* out, const SearchStats& stats) {
   PutU64(out, stats.probe_abandons);
   PutU64(out, stats.verify_abandons);
   PutU64(out, stats.bytes_read);
+  PutU64(out, stats.prefilter_abandons);
+  PutU64(out, stats.prefilter_survivors);
+  PutU64(out, stats.prefilter_ns);
 }
 
 bool ReadStats(Reader* in, SearchStats* stats) {
@@ -113,7 +117,9 @@ bool ReadStats(Reader* in, SearchStats* stats) {
       !in->U64(&stats->second_pruning_ns) ||
       !in->U64(&stats->interval_assembly_ns) || !in->U64(&stats->verify_ns) ||
       !in->U64(&stats->probe_abandons) || !in->U64(&stats->verify_abandons) ||
-      !in->U64(&stats->bytes_read)) {
+      !in->U64(&stats->bytes_read) || !in->U64(&stats->prefilter_abandons) ||
+      !in->U64(&stats->prefilter_survivors) ||
+      !in->U64(&stats->prefilter_ns)) {
     return false;
   }
   stats->node_accesses = node_accesses;

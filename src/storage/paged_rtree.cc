@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "util/check.h"
+#include "util/simd.h"
 
 namespace mdseq {
 
@@ -257,6 +258,17 @@ bool PagedRTree::RangeSearchBatch(
   for (uint32_t i = 0; i < all.size(); ++i) all[i] = i;
   std::vector<Frame> stack;
   stack.push_back(Frame{root_, std::move(all)});
+  // Per-frame scratch, reused across the whole walk: the page's entries
+  // decoded once into a dimension-major SoA (plus their payloads), and the
+  // query × entry squared-distance matrix filled by one batched
+  // rectangle-kernel pass per active probe (util/simd.h; bit-identical to
+  // Mbr::MinDist2, so hit sets, hit order, and page-visit accounting match
+  // the scalar walk exactly).
+  std::vector<double> lo;
+  std::vector<double> hi;
+  std::vector<uint64_t> payloads;
+  std::vector<double> d2;
+  Mbr box(dim_);
   while (!stack.empty()) {
     Frame frame = std::move(stack.back());
     stack.pop_back();
@@ -266,26 +278,46 @@ bool PagedRTree::RangeSearchBatch(
     if (pages_visited != nullptr) ++*pages_visited;
     if (pool_misses != nullptr && was_miss) ++*pool_misses;
     const NodeHeader header = GetHeader(handle.page());
+    const size_t n = header.count;
+    lo.resize(n * dim_);
+    hi.resize(n * dim_);
+    payloads.resize(n);
     size_t offset = sizeof(NodeHeader);
-    for (size_t i = 0; i < header.count; ++i) {
-      Mbr box(dim_);
-      uint64_t payload = 0;
-      GetEntry(handle.page(), offset, dim_, &box, &payload);
+    for (size_t i = 0; i < n; ++i) {
+      GetEntry(handle.page(), offset, dim_, &box, &payloads[i]);
       offset += EntryBytes(dim_);
-      if (header.level == 0) {
-        for (uint32_t q : frame.active) {
-          const double d2 = queries[q].MinDist2(box);
-          if (d2 <= eps2) {
-            (*out)[q].push_back(SpatialIndex::BatchHit{payload, d2});
+      for (size_t k = 0; k < dim_; ++k) {
+        lo[k * n + i] = box.low()[k];
+        hi[k * n + i] = box.high()[k];
+      }
+    }
+    d2.resize(frame.active.size() * n);
+    for (size_t r = 0; r < frame.active.size(); ++r) {
+      const Mbr& query = queries[frame.active[r]];
+      simd::MinDist2Batch(query.low().data(), query.high().data(), lo.data(),
+                          hi.data(), n, dim_, d2.data() + r * n);
+    }
+    if (header.level == 0) {
+      for (size_t r = 0; r < frame.active.size(); ++r) {
+        std::vector<SpatialIndex::BatchHit>& hits =
+            (*out)[frame.active[r]];
+        const double* row = d2.data() + r * n;
+        for (size_t i = 0; i < n; ++i) {
+          if (row[i] <= eps2) {
+            hits.push_back(SpatialIndex::BatchHit{payloads[i], row[i]});
           }
         }
-      } else {
+      }
+    } else {
+      for (size_t i = 0; i < n; ++i) {
         std::vector<uint32_t> child_active;
-        for (uint32_t q : frame.active) {
-          if (queries[q].MinDist2(box) <= eps2) child_active.push_back(q);
+        for (size_t r = 0; r < frame.active.size(); ++r) {
+          if (d2[r * n + i] <= eps2) {
+            child_active.push_back(frame.active[r]);
+          }
         }
         if (!child_active.empty()) {
-          stack.push_back(Frame{static_cast<PageId>(payload),
+          stack.push_back(Frame{static_cast<PageId>(payloads[i]),
                                 std::move(child_active)});
         }
       }

@@ -1,0 +1,481 @@
+#include "util/simd.h"
+
+#include <cmath>
+#include <cstdlib>
+
+#if defined(__x86_64__) || defined(_M_X64)
+#define MDSEQ_SIMD_X86 1
+#include <immintrin.h>
+#endif
+
+#if defined(__aarch64__)
+#define MDSEQ_SIMD_NEON 1
+#include <arm_neon.h>
+#endif
+
+namespace mdseq::simd {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Scalar kernels — the dispatch fallback and the differential references.
+// The loop bodies mirror Mbr::MinDist2 / SquaredDistance / the bounded
+// window loop exactly (same operations, same order), so the scalar path is
+// bit-identical to the pre-SIMD code.
+// ---------------------------------------------------------------------------
+
+// Columns [begin, end) of a dim-major rectangle set with row stride
+// `stride`; shared by the scalar kernel and the vector-loop tails.
+void MinDist2Columns(const double* qlo, const double* qhi, const double* lo,
+                     const double* hi, size_t stride, size_t dim,
+                     size_t begin, size_t end, double* out) {
+  for (size_t i = begin; i < end; ++i) {
+    double sum = 0.0;
+    for (size_t k = 0; k < dim; ++k) {
+      const double l = lo[k * stride + i];
+      const double h = hi[k * stride + i];
+      double gap = 0.0;
+      if (qhi[k] < l) {
+        gap = l - qhi[k];
+      } else if (h < qlo[k]) {
+        gap = qlo[k] - h;
+      }
+      sum += gap * gap;
+    }
+    out[i] = sum;
+  }
+}
+
+void SquaredDistColumns(const double* point, const double* points,
+                        size_t stride, size_t dim, size_t begin, size_t end,
+                        double* out) {
+  for (size_t i = begin; i < end; ++i) {
+    double sum = 0.0;
+    for (size_t k = 0; k < dim; ++k) {
+      const double diff = point[k] - points[k * stride + i];
+      sum += diff * diff;
+    }
+    out[i] = sum;
+  }
+}
+
+// One row-major point pair's squared distance, dimension order.
+inline double PointSquaredDist(const double* a, const double* b, size_t dim) {
+  double sq = 0.0;
+  for (size_t t = 0; t < dim; ++t) {
+    const double diff = a[t] - b[t];
+    sq += diff * diff;
+  }
+  return sq;
+}
+
+}  // namespace
+
+void MinDist2BatchScalar(const double* query_low, const double* query_high,
+                         const double* low, const double* high, size_t n,
+                         size_t dim, double* out) {
+  MinDist2Columns(query_low, query_high, low, high, n, dim, 0, n, out);
+}
+
+void SquaredDistBatchScalar(const double* point, const double* points,
+                            size_t n, size_t dim, double* out) {
+  SquaredDistColumns(point, points, n, dim, 0, n, out);
+}
+
+double PointSumBoundedScalar(const double* a, const double* b, size_t count,
+                             size_t dim, double bound, bool* abandoned) {
+  double sum = 0.0;
+  for (size_t i = 0; i < count; ++i) {
+    sum += std::sqrt(PointSquaredDist(a + i * dim, b + i * dim, dim));
+    if (sum > bound) {
+      if (abandoned != nullptr) *abandoned = true;
+      return sum;
+    }
+  }
+  if (abandoned != nullptr) *abandoned = false;
+  return sum;
+}
+
+// ---------------------------------------------------------------------------
+// AVX2 kernels (x86-64). Compiled with a per-function target attribute so
+// the rest of the translation unit stays baseline; only explicit intrinsics
+// appear in the vector loops (no FMA contraction, see the header contract).
+// ---------------------------------------------------------------------------
+
+#if MDSEQ_SIMD_X86
+
+namespace {
+
+__attribute__((target("avx2"))) inline double HorizontalSum(__m256d v) {
+  // Fixed association (v0 + v2) + (v1 + v3): deterministic across calls.
+  const __m128d lo = _mm256_castpd256_pd128(v);
+  const __m128d hi = _mm256_extractf128_pd(v, 1);
+  const __m128d pair = _mm_add_pd(lo, hi);
+  return _mm_cvtsd_f64(pair) +
+         _mm_cvtsd_f64(_mm_unpackhi_pd(pair, pair));
+}
+
+__attribute__((target("avx2"))) void MinDist2BatchAvx2(
+    const double* qlo, const double* qhi, const double* lo, const double* hi,
+    size_t n, size_t dim, double* out) {
+  const __m256d zero = _mm256_setzero_pd();
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    __m256d acc = zero;
+    for (size_t k = 0; k < dim; ++k) {
+      const __m256d l = _mm256_loadu_pd(lo + k * n + i);
+      const __m256d h = _mm256_loadu_pd(hi + k * n + i);
+      // gap = max(l - qhi, qlo - h, 0): identical values to the branchy
+      // scalar gap (exactly one of the differences is positive when the
+      // projections are disjoint, both are <= 0 when they overlap).
+      const __m256d below = _mm256_sub_pd(l, _mm256_set1_pd(qhi[k]));
+      const __m256d above = _mm256_sub_pd(_mm256_set1_pd(qlo[k]), h);
+      const __m256d gap =
+          _mm256_max_pd(_mm256_max_pd(below, above), zero);
+      acc = _mm256_add_pd(acc, _mm256_mul_pd(gap, gap));
+    }
+    _mm256_storeu_pd(out + i, acc);
+  }
+  MinDist2Columns(qlo, qhi, lo, hi, n, dim, i, n, out);
+}
+
+__attribute__((target("avx2"))) void SquaredDistBatchAvx2(
+    const double* point, const double* points, size_t n, size_t dim,
+    double* out) {
+  const __m256d zero = _mm256_setzero_pd();
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    __m256d acc = zero;
+    for (size_t k = 0; k < dim; ++k) {
+      const __m256d diff = _mm256_sub_pd(
+          _mm256_set1_pd(point[k]), _mm256_loadu_pd(points + k * n + i));
+      acc = _mm256_add_pd(acc, _mm256_mul_pd(diff, diff));
+    }
+    _mm256_storeu_pd(out + i, acc);
+  }
+  SquaredDistColumns(point, points, n, dim, i, n, out);
+}
+
+__attribute__((target("avx2"))) double PointSumBoundedAvx2(
+    const double* a, const double* b, size_t count, size_t dim, double bound,
+    bool* abandoned) {
+  const __m256d zero = _mm256_setzero_pd();
+  double sum = 0.0;
+  size_t i = 0;
+  // Blocks of four points: each block yields one vector of four squared
+  // point distances, one vsqrtpd serves all four, and the running total is
+  // checked against the bound once per block (partial sums are monotone,
+  // so a block-granular check abandons iff some per-point check would).
+  if (dim == 1) {
+    for (; i + 4 <= count; i += 4) {
+      const __m256d diff =
+          _mm256_sub_pd(_mm256_loadu_pd(a + i), _mm256_loadu_pd(b + i));
+      const __m256d sq = _mm256_mul_pd(diff, diff);
+      sum += HorizontalSum(_mm256_sqrt_pd(sq));
+      if (sum > bound) {
+        if (abandoned != nullptr) *abandoned = true;
+        return sum;
+      }
+    }
+  } else if (dim == 2) {
+    for (; i + 4 <= count; i += 4) {
+      const double* pa = a + i * 2;
+      const double* pb = b + i * 2;
+      const __m256d d0 =
+          _mm256_sub_pd(_mm256_loadu_pd(pa), _mm256_loadu_pd(pb));
+      const __m256d d1 =
+          _mm256_sub_pd(_mm256_loadu_pd(pa + 4), _mm256_loadu_pd(pb + 4));
+      // hadd pairs lanes within 128-bit halves: the result holds the four
+      // squared distances in permuted order, which the horizontal sum and
+      // the sqrt do not care about.
+      const __m256d sq =
+          _mm256_hadd_pd(_mm256_mul_pd(d0, d0), _mm256_mul_pd(d1, d1));
+      sum += HorizontalSum(_mm256_sqrt_pd(sq));
+      if (sum > bound) {
+        if (abandoned != nullptr) *abandoned = true;
+        return sum;
+      }
+    }
+  } else if (dim == 4) {
+    for (; i + 4 <= count; i += 4) {
+      const double* pa = a + i * 4;
+      const double* pb = b + i * 4;
+      __m256d s0 = _mm256_sub_pd(_mm256_loadu_pd(pa), _mm256_loadu_pd(pb));
+      __m256d s1 =
+          _mm256_sub_pd(_mm256_loadu_pd(pa + 4), _mm256_loadu_pd(pb + 4));
+      __m256d s2 =
+          _mm256_sub_pd(_mm256_loadu_pd(pa + 8), _mm256_loadu_pd(pb + 8));
+      __m256d s3 =
+          _mm256_sub_pd(_mm256_loadu_pd(pa + 12), _mm256_loadu_pd(pb + 12));
+      s0 = _mm256_mul_pd(s0, s0);
+      s1 = _mm256_mul_pd(s1, s1);
+      s2 = _mm256_mul_pd(s2, s2);
+      s3 = _mm256_mul_pd(s3, s3);
+      // 4x4 transpose-reduce: one vector holding the four per-point sums.
+      const __m256d t0 = _mm256_hadd_pd(s0, s1);
+      const __m256d t1 = _mm256_hadd_pd(s2, s3);
+      const __m256d sq =
+          _mm256_add_pd(_mm256_permute2f128_pd(t0, t1, 0x20),
+                        _mm256_permute2f128_pd(t0, t1, 0x31));
+      sum += HorizontalSum(_mm256_sqrt_pd(sq));
+      if (sum > bound) {
+        if (abandoned != nullptr) *abandoned = true;
+        return sum;
+      }
+    }
+  } else {
+    for (; i + 4 <= count; i += 4) {
+      alignas(32) double sq4[4];
+      for (size_t p = 0; p < 4; ++p) {
+        const double* pa = a + (i + p) * dim;
+        const double* pb = b + (i + p) * dim;
+        __m256d acc = zero;
+        size_t t = 0;
+        for (; t + 4 <= dim; t += 4) {
+          const __m256d diff = _mm256_sub_pd(_mm256_loadu_pd(pa + t),
+                                             _mm256_loadu_pd(pb + t));
+          acc = _mm256_add_pd(acc, _mm256_mul_pd(diff, diff));
+        }
+        double sq = HorizontalSum(acc);
+        for (; t < dim; ++t) {
+          const double diff = pa[t] - pb[t];
+          sq += diff * diff;
+        }
+        sq4[p] = sq;
+      }
+      sum += HorizontalSum(_mm256_sqrt_pd(_mm256_load_pd(sq4)));
+      if (sum > bound) {
+        if (abandoned != nullptr) *abandoned = true;
+        return sum;
+      }
+    }
+  }
+  // Tail points that do not fill a block.
+  for (; i < count; ++i) {
+    sum += std::sqrt(PointSquaredDist(a + i * dim, b + i * dim, dim));
+    if (sum > bound) {
+      if (abandoned != nullptr) *abandoned = true;
+      return sum;
+    }
+  }
+  if (abandoned != nullptr) *abandoned = false;
+  return sum;
+}
+
+}  // namespace
+
+#endif  // MDSEQ_SIMD_X86
+
+// ---------------------------------------------------------------------------
+// NEON kernels (aarch64). NEON is baseline on AArch64, so no target
+// attribute or CPU probing is needed; 2-lane double vectors.
+// ---------------------------------------------------------------------------
+
+#if MDSEQ_SIMD_NEON
+
+namespace {
+
+void MinDist2BatchNeon(const double* qlo, const double* qhi,
+                       const double* lo, const double* hi, size_t n,
+                       size_t dim, double* out) {
+  const float64x2_t zero = vdupq_n_f64(0.0);
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    float64x2_t acc = zero;
+    for (size_t k = 0; k < dim; ++k) {
+      const float64x2_t l = vld1q_f64(lo + k * n + i);
+      const float64x2_t h = vld1q_f64(hi + k * n + i);
+      const float64x2_t below = vsubq_f64(l, vdupq_n_f64(qhi[k]));
+      const float64x2_t above = vsubq_f64(vdupq_n_f64(qlo[k]), h);
+      const float64x2_t gap = vmaxq_f64(vmaxq_f64(below, above), zero);
+      acc = vaddq_f64(acc, vmulq_f64(gap, gap));
+    }
+    vst1q_f64(out + i, acc);
+  }
+  MinDist2Columns(qlo, qhi, lo, hi, n, dim, i, n, out);
+}
+
+void SquaredDistBatchNeon(const double* point, const double* points,
+                          size_t n, size_t dim, double* out) {
+  const float64x2_t zero = vdupq_n_f64(0.0);
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    float64x2_t acc = zero;
+    for (size_t k = 0; k < dim; ++k) {
+      const float64x2_t diff =
+          vsubq_f64(vdupq_n_f64(point[k]), vld1q_f64(points + k * n + i));
+      acc = vaddq_f64(acc, vmulq_f64(diff, diff));
+    }
+    vst1q_f64(out + i, acc);
+  }
+  SquaredDistColumns(point, points, n, dim, i, n, out);
+}
+
+double PointSumBoundedNeon(const double* a, const double* b, size_t count,
+                           size_t dim, double bound, bool* abandoned) {
+  double sum = 0.0;
+  size_t i = 0;
+  // Blocks of two points; one vsqrtq serves both lanes.
+  for (; i + 2 <= count; i += 2) {
+    double sq2[2];
+    for (size_t p = 0; p < 2; ++p) {
+      const double* pa = a + (i + p) * dim;
+      const double* pb = b + (i + p) * dim;
+      float64x2_t acc = vdupq_n_f64(0.0);
+      size_t t = 0;
+      for (; t + 2 <= dim; t += 2) {
+        const float64x2_t diff =
+            vsubq_f64(vld1q_f64(pa + t), vld1q_f64(pb + t));
+        acc = vaddq_f64(acc, vmulq_f64(diff, diff));
+      }
+      double sq = vgetq_lane_f64(acc, 0) + vgetq_lane_f64(acc, 1);
+      for (; t < dim; ++t) {
+        const double diff = pa[t] - pb[t];
+        sq += diff * diff;
+      }
+      sq2[p] = sq;
+    }
+    const float64x2_t roots = vsqrtq_f64(vld1q_f64(sq2));
+    sum += vgetq_lane_f64(roots, 0) + vgetq_lane_f64(roots, 1);
+    if (sum > bound) {
+      if (abandoned != nullptr) *abandoned = true;
+      return sum;
+    }
+  }
+  for (; i < count; ++i) {
+    sum += std::sqrt(PointSquaredDist(a + i * dim, b + i * dim, dim));
+    if (sum > bound) {
+      if (abandoned != nullptr) *abandoned = true;
+      return sum;
+    }
+  }
+  if (abandoned != nullptr) *abandoned = false;
+  return sum;
+}
+
+}  // namespace
+
+#endif  // MDSEQ_SIMD_NEON
+
+// ---------------------------------------------------------------------------
+// Runtime dispatch
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct DispatchTable {
+  Level level = Level::kScalar;
+  void (*mindist2)(const double*, const double*, const double*,
+                   const double*, size_t, size_t, double*) =
+      &MinDist2BatchScalar;
+  void (*sqdist)(const double*, const double*, size_t, size_t, double*) =
+      &SquaredDistBatchScalar;
+  double (*point_sum)(const double*, const double*, size_t, size_t, double,
+                      bool*) = &PointSumBoundedScalar;
+};
+
+// -1: follow the environment; 0/1: test override.
+int g_force_scalar_override = -1;
+
+bool EnvForceScalar() {
+  const char* value = std::getenv("MDSEQ_FORCE_SCALAR");
+  return value != nullptr && value[0] != '\0' &&
+         !(value[0] == '0' && value[1] == '\0');
+}
+
+bool ForceScalarActive() {
+#if defined(MDSEQ_FORCE_SCALAR_BUILD)
+  return true;
+#else
+  if (g_force_scalar_override >= 0) return g_force_scalar_override != 0;
+  return EnvForceScalar();
+#endif
+}
+
+DispatchTable MakeTable() {
+  DispatchTable table;
+  if (ForceScalarActive()) return table;
+#if MDSEQ_SIMD_X86
+  if (HostSupportsAvx2()) {
+    table.level = Level::kAvx2;
+    table.mindist2 = &MinDist2BatchAvx2;
+    table.sqdist = &SquaredDistBatchAvx2;
+    table.point_sum = &PointSumBoundedAvx2;
+  }
+#elif MDSEQ_SIMD_NEON
+  table.level = Level::kNeon;
+  table.mindist2 = &MinDist2BatchNeon;
+  table.sqdist = &SquaredDistBatchNeon;
+  table.point_sum = &PointSumBoundedNeon;
+#endif
+  return table;
+}
+
+// Function-local static: thread-safe one-time init, then a plain load per
+// call. The test hooks rewrite it from single-threaded setup code.
+DispatchTable* Table() {
+  static DispatchTable table = MakeTable();
+  return &table;
+}
+
+}  // namespace
+
+const char* LevelName(Level level) {
+  switch (level) {
+    case Level::kScalar:
+      return "scalar";
+    case Level::kAvx2:
+      return "avx2";
+    case Level::kNeon:
+      return "neon";
+  }
+  return "unknown";
+}
+
+Level ActiveLevel() { return Table()->level; }
+
+bool HostSupportsAvx2() {
+#if MDSEQ_SIMD_X86
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+bool HostSupportsNeon() {
+#if MDSEQ_SIMD_NEON
+  return true;
+#else
+  return false;
+#endif
+}
+
+bool ForceScalarConfigured() { return ForceScalarActive(); }
+
+void SetForceScalarForTesting(bool force) {
+  g_force_scalar_override = force ? 1 : 0;
+  *Table() = MakeTable();
+}
+
+void ReinitFromEnvForTesting() {
+  g_force_scalar_override = -1;
+  *Table() = MakeTable();
+}
+
+void MinDist2Batch(const double* query_low, const double* query_high,
+                   const double* low, const double* high, size_t n,
+                   size_t dim, double* out) {
+  Table()->mindist2(query_low, query_high, low, high, n, dim, out);
+}
+
+void SquaredDistBatch(const double* point, const double* points, size_t n,
+                      size_t dim, double* out) {
+  Table()->sqdist(point, points, n, dim, out);
+}
+
+double PointSumBounded(const double* a, const double* b, size_t count,
+                       size_t dim, double bound, bool* abandoned) {
+  return Table()->point_sum(a, b, count, dim, bound, abandoned);
+}
+
+}  // namespace mdseq::simd

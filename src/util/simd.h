@@ -1,0 +1,102 @@
+#ifndef MDSEQ_UTIL_SIMD_H_
+#define MDSEQ_UTIL_SIMD_H_
+
+#include <cstddef>
+
+/// Portable SIMD kernels behind one runtime dispatch point.
+///
+/// The three hot inner loops of the search path — squared rectangle
+/// distance (Dmbr), squared point distance against many points, and the
+/// per-window point-distance sum of the verification profile — are
+/// implemented once per instruction set (AVX2 on x86-64, NEON on aarch64,
+/// plain scalar everywhere) and selected at runtime from cached CPU-feature
+/// detection. Callers see ordinary functions; the indirection is one
+/// function-pointer load.
+///
+/// Layout contract: the batched kernels take *structure-of-arrays* inputs.
+/// A set of `n` rectangles (or points) of dimensionality `dim` is stored
+/// dimension-major: coordinate `k` of element `i` lives at `[k * n + i]`,
+/// so one instruction loads the same coordinate of adjacent elements.
+///
+/// Bit-compatibility contract (checked by tests/kernel_equivalence_test.cc):
+///  - `MinDist2Batch` and `SquaredDistBatch` are bit-identical to their
+///    scalar references for every element: each lane performs the same
+///    subtract / max / multiply / add sequence in the same order, and no
+///    fused-multiply-add contraction is permitted (the kernels use explicit
+///    mul + add intrinsics).
+///  - `PointSumBounded` reassociates the reduction (vector partial sums
+///    within a point, block-wise accumulation across points), so its result
+///    agrees with the scalar reference only to reassociation error
+///    (~1 ulp per term). Differential tests carry an explicit tolerance,
+///    and the early-abandon slack in core/distance.cc (1e-12 relative)
+///    dwarfs the reassociation error, so abandon *decisions* stay sound.
+///
+/// Forcing the scalar path: set the `MDSEQ_FORCE_SCALAR` environment
+/// variable (any value but "0") before the first kernel call, or configure
+/// the build with `-DMDSEQ_FORCE_SCALAR=ON` to compile the dispatch out
+/// entirely. CI uses this to exercise both paths on any machine.
+namespace mdseq::simd {
+
+/// Instruction set the dispatched kernels run on.
+enum class Level {
+  kScalar = 0,
+  kAvx2 = 1,
+  kNeon = 2,
+};
+
+/// "scalar" / "avx2" / "neon" — stable names for logs and benchmarks.
+const char* LevelName(Level level);
+
+/// The level the dispatched entry points currently use. Decided once from
+/// CPU features and `MDSEQ_FORCE_SCALAR`, then cached.
+Level ActiveLevel();
+
+/// Raw host capability, ignoring any force-scalar override.
+bool HostSupportsAvx2();
+bool HostSupportsNeon();
+
+/// True when the scalar path is forced — by the `MDSEQ_FORCE_SCALAR`
+/// environment variable, the CMake toggle, or `SetForceScalarForTesting`.
+bool ForceScalarConfigured();
+
+/// Test/bench hooks: override (or clear back to the environment) the
+/// force-scalar decision and rebuild the dispatch table. Not thread-safe
+/// against concurrently running kernels — call from single-threaded
+/// setup code only.
+void SetForceScalarForTesting(bool force);
+void ReinitFromEnvForTesting();
+
+/// Squared minimum Euclidean distance (the paper's Dmbr, squared) between
+/// one query rectangle `[query_low, query_high]` (plain `dim`-sized arrays)
+/// and `n` rectangles in SoA layout (`low[k * n + i]`, `high[k * n + i]`).
+/// `out[i]` receives the squared distance to rectangle `i`. Bit-identical
+/// to `Mbr::MinDist2` per pair.
+void MinDist2Batch(const double* query_low, const double* query_high,
+                   const double* low, const double* high, size_t n,
+                   size_t dim, double* out);
+void MinDist2BatchScalar(const double* query_low, const double* query_high,
+                         const double* low, const double* high, size_t n,
+                         size_t dim, double* out);
+
+/// Squared Euclidean distance from one point (`dim`-sized array) to `n`
+/// points in SoA layout (`points[k * n + i]`). Bit-identical to the scalar
+/// accumulation in dimension order.
+void SquaredDistBatch(const double* point, const double* points, size_t n,
+                      size_t dim, double* out);
+void SquaredDistBatchScalar(const double* point, const double* points,
+                            size_t n, size_t dim, double* out);
+
+/// Sum over `count` aligned points of the Euclidean point distance between
+/// rows of `a` and `b` (both contiguous row-major, `count * dim` doubles):
+/// the inner kernel of the window distance profile. Stops early once the
+/// partial sum exceeds `bound` (pass +infinity for an exact, unbounded
+/// sum); `*abandoned` reports whether that happened, and the returned
+/// partial sum is then only a witness that the bound was exceeded.
+double PointSumBounded(const double* a, const double* b, size_t count,
+                       size_t dim, double bound, bool* abandoned);
+double PointSumBoundedScalar(const double* a, const double* b, size_t count,
+                             size_t dim, double bound, bool* abandoned);
+
+}  // namespace mdseq::simd
+
+#endif  // MDSEQ_UTIL_SIMD_H_

@@ -2,10 +2,14 @@
 // as the retained reference implementations:
 //   - prefix-sum Dnorm (DnormContext) vs the naive window re-accumulation,
 //   - batched range search vs one RangeSearch per probe,
-//   - threshold-aware window profile vs the unbounded one.
+//   - threshold-aware window profile vs the unbounded one,
+//   - the dispatched SIMD kernels (src/util/simd.h) vs their retained
+//     scalar references, across odd dimensionalities, odd lengths, and
+//     tail remainders that do not fill a vector lane.
 // The fast paths are only allowed to differ where the contract says so
 // (~1 ulp reassociation in partially-counted Dnorm windows; +inf for
-// provably-disqualified bounded-profile windows).
+// provably-disqualified bounded-profile windows; bounded reassociation in
+// the blocked SIMD point-sum).
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
@@ -25,6 +29,7 @@
 #include "storage/page_file.h"
 #include "storage/paged_rtree.h"
 #include "util/random.h"
+#include "util/simd.h"
 
 namespace mdseq {
 namespace {
@@ -368,6 +373,159 @@ TEST(BoundedSequenceDistanceTest, MatchesReferenceWithinThreshold) {
     }
   }
 }
+
+// ---------------------------------------------------------------------------
+// SIMD kernels vs scalar references. Parameterized over forced-scalar
+// (trivially scalar-vs-scalar, proving the override routes correctly) and
+// the host's native dispatch level (the real differential). Shapes cover
+// odd dims (1, 3, 5, 7), counts below one vector lane, and counts that
+// leave every possible tail remainder.
+// ---------------------------------------------------------------------------
+
+constexpr size_t kSimdDims[] = {1, 2, 3, 4, 5, 7, 8};
+constexpr size_t kSimdCounts[] = {1, 2, 3, 4, 5, 6, 7, 8, 9, 13, 31, 64, 65};
+
+class SimdKernelTest : public ::testing::TestWithParam<bool> {
+ protected:
+  void SetUp() override { simd::SetForceScalarForTesting(GetParam()); }
+  void TearDown() override { simd::ReinitFromEnvForTesting(); }
+};
+
+TEST_P(SimdKernelTest, MinDist2BatchIsBitIdenticalToScalarAndMbr) {
+  Rng rng(420);
+  for (const size_t dim : kSimdDims) {
+    for (const size_t n : kSimdCounts) {
+      Point qlo(dim), qhi(dim);
+      for (size_t k = 0; k < dim; ++k) {
+        qlo[k] = rng.Uniform();
+        qhi[k] = qlo[k] + 0.3 * rng.Uniform();
+      }
+      const Mbr probe(qlo, qhi);
+      std::vector<double> lo(dim * n), hi(dim * n);
+      std::vector<Mbr> rects;
+      for (size_t i = 0; i < n; ++i) {
+        Point low(dim), high(dim);
+        for (size_t k = 0; k < dim; ++k) {
+          low[k] = 2.0 * rng.Uniform() - 0.5;
+          high[k] = low[k] + 0.2 * rng.Uniform();
+          lo[k * n + i] = low[k];
+          hi[k * n + i] = high[k];
+        }
+        rects.emplace_back(low, high);
+      }
+      std::vector<double> fast(n), ref(n);
+      simd::MinDist2Batch(qlo.data(), qhi.data(), lo.data(), hi.data(), n,
+                          dim, fast.data());
+      simd::MinDist2BatchScalar(qlo.data(), qhi.data(), lo.data(), hi.data(),
+                                n, dim, ref.data());
+      for (size_t i = 0; i < n; ++i) {
+        // Bit-identical to the scalar kernel *and* to the geometry the
+        // scalar kernel mirrors.
+        EXPECT_DOUBLE_EQ(fast[i], ref[i])
+            << "dim=" << dim << " n=" << n << " i=" << i;
+        EXPECT_DOUBLE_EQ(fast[i], probe.MinDist2(rects[i]))
+            << "dim=" << dim << " n=" << n << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST_P(SimdKernelTest, SquaredDistBatchIsBitIdenticalToScalar) {
+  Rng rng(421);
+  for (const size_t dim : kSimdDims) {
+    for (const size_t n : kSimdCounts) {
+      std::vector<double> point(dim);
+      for (double& v : point) v = rng.Uniform();
+      std::vector<double> points(dim * n);
+      for (double& v : points) v = 2.0 * rng.Uniform() - 0.5;
+      std::vector<double> fast(n), ref(n);
+      simd::SquaredDistBatch(point.data(), points.data(), n, dim,
+                             fast.data());
+      simd::SquaredDistBatchScalar(point.data(), points.data(), n, dim,
+                                   ref.data());
+      for (size_t i = 0; i < n; ++i) {
+        EXPECT_DOUBLE_EQ(fast[i], ref[i])
+            << "dim=" << dim << " n=" << n << " i=" << i;
+        // Independent accumulation in dimension order.
+        double want = 0.0;
+        for (size_t k = 0; k < dim; ++k) {
+          const double diff = point[k] - points[k * n + i];
+          want += diff * diff;
+        }
+        EXPECT_DOUBLE_EQ(fast[i], want)
+            << "dim=" << dim << " n=" << n << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST_P(SimdKernelTest, PointSumBoundedMatchesScalarWithinReassociation) {
+  Rng rng(422);
+  const double inf = std::numeric_limits<double>::infinity();
+  for (const size_t dim : kSimdDims) {
+    for (const size_t n : kSimdCounts) {
+      std::vector<double> a(n * dim), b(n * dim);
+      for (double& v : a) v = rng.Uniform();
+      for (double& v : b) v = rng.Uniform();
+      bool fast_abandoned = true;
+      const double fast = simd::PointSumBounded(a.data(), b.data(), n, dim,
+                                                inf, &fast_abandoned);
+      bool ref_abandoned = true;
+      const double ref = simd::PointSumBoundedScalar(
+          a.data(), b.data(), n, dim, inf, &ref_abandoned);
+      EXPECT_FALSE(fast_abandoned);
+      EXPECT_FALSE(ref_abandoned);
+      // The blocked kernel reassociates the per-point additions; the error
+      // is a few ulps of an O(n)-sized sum.
+      EXPECT_NEAR(fast, ref, 1e-9 * (1.0 + ref))
+          << "dim=" << dim << " n=" << n;
+    }
+  }
+}
+
+TEST_P(SimdKernelTest, PointSumBoundedAbandonDecisionsAgree) {
+  Rng rng(423);
+  const double inf = std::numeric_limits<double>::infinity();
+  for (const size_t dim : kSimdDims) {
+    for (const size_t n : kSimdCounts) {
+      std::vector<double> a(n * dim), b(n * dim);
+      for (double& v : a) v = rng.Uniform();
+      for (double& v : b) v = rng.Uniform();
+      const double total = simd::PointSumBoundedScalar(a.data(), b.data(), n,
+                                                       dim, inf, nullptr);
+      // Bounds well inside / outside the total: both kernels check partial
+      // sums that increase monotonically to the (reassociation-equal)
+      // total, so the flag must agree whenever the bound is not within
+      // rounding error of it.
+      for (const double bound : {0.5 * total, 2.0 * total + 1.0}) {
+        bool fast_abandoned = false;
+        const double fast = simd::PointSumBounded(a.data(), b.data(), n, dim,
+                                                  bound, &fast_abandoned);
+        bool ref_abandoned = false;
+        const double ref = simd::PointSumBoundedScalar(
+            a.data(), b.data(), n, dim, bound, &ref_abandoned);
+        EXPECT_EQ(fast_abandoned, ref_abandoned)
+            << "dim=" << dim << " n=" << n << " bound=" << bound;
+        EXPECT_EQ(fast_abandoned, total > bound)
+            << "dim=" << dim << " n=" << n << " bound=" << bound;
+        if (fast_abandoned) {
+          // Early exits may stop at different points, but both must have
+          // genuinely exceeded the bound.
+          EXPECT_GT(fast, bound);
+          EXPECT_GT(ref, bound);
+        } else {
+          EXPECT_NEAR(fast, ref, 1e-9 * (1.0 + ref));
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(NativeAndForcedScalar, SimdKernelTest,
+                         ::testing::Bool(),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? "ForcedScalar" : "Native";
+                         });
 
 }  // namespace
 }  // namespace mdseq

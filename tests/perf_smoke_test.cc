@@ -16,6 +16,7 @@
 #include "core/distance.h"
 #include "core/mbr_distance.h"
 #include "core/partitioning.h"
+#include "core/search.h"
 #include "engine/query_engine.h"
 #include "eval/experiment.h"
 #include "gen/fractal.h"
@@ -138,6 +139,64 @@ TEST(PerfSmokeTest, BoundedProfileIsNotSlowerThanReference) {
   }
   EXPECT_LE(bounded_ns, ref_ns)
       << "bounded profile slower than the unbounded reference";
+}
+
+// Cascade soundness and cost guarantee: the centroid/radius prefilter is a
+// pure lower-bound stage, so enabling it may only change the cost profile —
+// never the answers, the index node visits (it runs after Phase 2), or the
+// amount of downstream work (verified candidates, Dnorm evaluations).
+TEST(PerfSmokeTest, PrefilterNeverIncreasesWorkOrChangesAnswers) {
+  WorkloadConfig config;
+  config.kind = DataKind::kSynthetic;
+  config.num_sequences = 120;
+  config.min_length = 48;
+  config.max_length = 160;
+  config.num_queries = 10;
+  config.seed = 7006;
+  const Workload workload = BuildWorkload(config);
+  SearchOptions with_prefilter;  // the default: prefilter on
+  SearchOptions without_prefilter;
+  without_prefilter.prefilter = false;
+  const SimilaritySearch filtered(workload.database.get(), with_prefilter);
+  const SimilaritySearch plain(workload.database.get(), without_prefilter);
+
+  uint64_t total_prefilter_abandons = 0;
+  for (const Sequence& query : workload.queries) {
+    for (const double epsilon : {0.02, 0.1, 0.3}) {
+      const SearchResult on = filtered.SearchVerified(query.View(), epsilon);
+      const SearchResult off = plain.SearchVerified(query.View(), epsilon);
+
+      // Identical answers, down to the reported bounds and intervals.
+      EXPECT_EQ(on.candidates, off.candidates);
+      ASSERT_EQ(on.matches.size(), off.matches.size());
+      for (size_t m = 0; m < on.matches.size(); ++m) {
+        EXPECT_EQ(on.matches[m].sequence_id, off.matches[m].sequence_id);
+        EXPECT_DOUBLE_EQ(on.matches[m].min_dnorm, off.matches[m].min_dnorm);
+        EXPECT_DOUBLE_EQ(on.matches[m].exact_distance,
+                         off.matches[m].exact_distance);
+        EXPECT_EQ(on.matches[m].solution_interval,
+                  off.matches[m].solution_interval);
+      }
+
+      // Never more work: node visits untouched, verified candidates and
+      // Dnorm evaluations never increased.
+      EXPECT_EQ(on.stats.node_accesses, off.stats.node_accesses);
+      EXPECT_LE(on.stats.filter_matches, off.stats.filter_matches);
+      EXPECT_LE(on.stats.dnorm_evaluations, off.stats.dnorm_evaluations);
+      // Each prefilter drop replaces a min-Dmbr probe abandon one for one.
+      EXPECT_EQ(on.stats.prefilter_abandons + on.stats.probe_abandons,
+                off.stats.probe_abandons);
+      // Every Phase-2 candidate keeps at least one live probe (the pair
+      // that put it into the candidate set survives the prefilter).
+      EXPECT_EQ(on.stats.prefilter_survivors, on.stats.phase2_candidates);
+      // The disabled run reports a pass-through stage: no drops, no cost.
+      EXPECT_EQ(off.stats.prefilter_abandons, 0u);
+      EXPECT_EQ(off.stats.prefilter_ns, 0u);
+      total_prefilter_abandons += on.stats.prefilter_abandons;
+    }
+  }
+  // The workload is sized so the stage demonstrably fires somewhere.
+  EXPECT_GT(total_prefilter_abandons, 0u);
 }
 
 // An idle introspection server must not tax the query path: the listener

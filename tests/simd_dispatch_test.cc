@@ -1,0 +1,148 @@
+// Dispatch sanity for the SIMD kernel layer (src/util/simd.h): the active
+// kernel level must match what the host CPU actually supports, forcing
+// scalar must work through both the test hook and the MDSEQ_FORCE_SCALAR
+// environment variable, and the dispatched kernels must keep computing
+// correct answers at whichever level ends up selected.
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+#include "util/simd.h"
+
+namespace mdseq {
+namespace {
+
+// What ActiveLevel() must report when no runtime override is in effect:
+// scalar when the build or environment forces it, otherwise the best level
+// the host CPU supports.
+void ExpectHostBestLevel() {
+  if (simd::ForceScalarConfigured()) {
+    EXPECT_EQ(simd::ActiveLevel(), simd::Level::kScalar);
+  } else if (simd::HostSupportsAvx2()) {
+    EXPECT_EQ(simd::ActiveLevel(), simd::Level::kAvx2);
+  } else if (simd::HostSupportsNeon()) {
+    EXPECT_EQ(simd::ActiveLevel(), simd::Level::kNeon);
+  } else {
+    EXPECT_EQ(simd::ActiveLevel(), simd::Level::kScalar);
+  }
+}
+
+// Runs the three dispatched kernels on a small random workload and checks
+// them against their scalar references. Used to prove that whatever level
+// is currently active still computes correct answers.
+void ExpectKernelsCorrect(uint64_t seed) {
+  Rng rng(seed);
+  const size_t n = 11;   // deliberately not a multiple of any lane width
+  const size_t dim = 3;  // odd: every vector loop has a tail
+  std::vector<double> qlo(dim), qhi(dim);
+  std::vector<double> lo(dim * n), hi(dim * n);
+  for (size_t k = 0; k < dim; ++k) {
+    qlo[k] = rng.Uniform();
+    qhi[k] = qlo[k] + rng.Uniform();
+    for (size_t i = 0; i < n; ++i) {
+      lo[k * n + i] = rng.Uniform();
+      hi[k * n + i] = lo[k * n + i] + rng.Uniform();
+    }
+  }
+  std::vector<double> got(n), want(n);
+  simd::MinDist2Batch(qlo.data(), qhi.data(), lo.data(), hi.data(), n, dim,
+                      got.data());
+  simd::MinDist2BatchScalar(qlo.data(), qhi.data(), lo.data(), hi.data(), n,
+                            dim, want.data());
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_DOUBLE_EQ(got[i], want[i]) << "mindist2 column " << i;
+  }
+
+  simd::SquaredDistBatch(qlo.data(), lo.data(), n, dim, got.data());
+  simd::SquaredDistBatchScalar(qlo.data(), lo.data(), n, dim, want.data());
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_DOUBLE_EQ(got[i], want[i]) << "sqdist column " << i;
+  }
+
+  std::vector<double> a(n * dim), b(n * dim);
+  for (double& v : a) v = rng.Uniform();
+  for (double& v : b) v = rng.Uniform();
+  const double inf = std::numeric_limits<double>::infinity();
+  bool abandoned = true;
+  const double sum =
+      simd::PointSumBounded(a.data(), b.data(), n, dim, inf, &abandoned);
+  EXPECT_FALSE(abandoned);
+  const double ref =
+      simd::PointSumBoundedScalar(a.data(), b.data(), n, dim, inf, nullptr);
+  EXPECT_NEAR(sum, ref, 1e-9);
+}
+
+// Each test restores the process to "follow the environment" so the suite
+// leaves no override behind regardless of execution order.
+class SimdDispatchTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const char* env = std::getenv("MDSEQ_FORCE_SCALAR");
+    had_env_ = env != nullptr;
+    if (had_env_) env_value_ = env;
+  }
+  void TearDown() override {
+    if (had_env_) {
+      setenv("MDSEQ_FORCE_SCALAR", env_value_.c_str(), 1);
+    } else {
+      unsetenv("MDSEQ_FORCE_SCALAR");
+    }
+    simd::ReinitFromEnvForTesting();
+  }
+
+ private:
+  bool had_env_ = false;
+  std::string env_value_;
+};
+
+TEST_F(SimdDispatchTest, ActiveLevelMatchesHostCpuFeatures) {
+  simd::ReinitFromEnvForTesting();
+  ExpectHostBestLevel();
+  // The two architectures are mutually exclusive.
+  EXPECT_FALSE(simd::HostSupportsAvx2() && simd::HostSupportsNeon());
+  ExpectKernelsCorrect(9001);
+}
+
+TEST_F(SimdDispatchTest, LevelNamesAreStable) {
+  EXPECT_STREQ(simd::LevelName(simd::Level::kScalar), "scalar");
+  EXPECT_STREQ(simd::LevelName(simd::Level::kAvx2), "avx2");
+  EXPECT_STREQ(simd::LevelName(simd::Level::kNeon), "neon");
+}
+
+TEST_F(SimdDispatchTest, TestHookForcesScalarAndRestores) {
+  simd::SetForceScalarForTesting(true);
+  EXPECT_EQ(simd::ActiveLevel(), simd::Level::kScalar);
+  EXPECT_TRUE(simd::ForceScalarConfigured());
+  ExpectKernelsCorrect(9002);
+
+  simd::SetForceScalarForTesting(false);
+  // Back to the host's best level — unless the build itself pinned scalar
+  // (-DMDSEQ_FORCE_SCALAR=ON), which no runtime hook may override.
+  ExpectHostBestLevel();
+  ExpectKernelsCorrect(9003);
+}
+
+TEST_F(SimdDispatchTest, EnvironmentVariableForcesScalar) {
+  setenv("MDSEQ_FORCE_SCALAR", "1", 1);
+  simd::ReinitFromEnvForTesting();
+  EXPECT_EQ(simd::ActiveLevel(), simd::Level::kScalar);
+  EXPECT_TRUE(simd::ForceScalarConfigured());
+  ExpectKernelsCorrect(9004);
+
+  // "0" and unset both mean "do not force".
+  setenv("MDSEQ_FORCE_SCALAR", "0", 1);
+  simd::ReinitFromEnvForTesting();
+  ExpectHostBestLevel();
+
+  unsetenv("MDSEQ_FORCE_SCALAR");
+  simd::ReinitFromEnvForTesting();
+  ExpectHostBestLevel();
+}
+
+}  // namespace
+}  // namespace mdseq

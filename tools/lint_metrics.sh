@@ -45,8 +45,22 @@ if [[ -n "$unregistered" ]]; then
   status=1
 fi
 
+# Pruning-cascade stage names: every stage literal CascadeOf assigns
+# (src/core/search.cc) must be mentioned (backticked) in the docs, so a
+# new cascade stage cannot ship without documentation.
+stage_names=$(grep -hoE '\.name = "[a-z_]+"' "$root/src/core/search.cc" \
+  | grep -oE '"[a-z_]+"' | tr -d '"' | sort -u)
+for stage in $stage_names; do
+  if ! grep -q "\`$stage\`" "$docs"; then
+    echo "cascade stage '$stage' emitted by src/core/search.cc but not" \
+         "documented in $docs" >&2
+    status=1
+  fi
+done
+
 if [[ "$status" -eq 0 ]]; then
   count=$(printf '%s\n' "$code_names" | wc -l)
-  echo "lint_metrics: $count metric names in sync"
+  stages=$(printf '%s\n' "$stage_names" | wc -l)
+  echo "lint_metrics: $count metric names, $stages cascade stages in sync"
 fi
 exit "$status"

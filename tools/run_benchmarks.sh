@@ -10,7 +10,13 @@
 #                            one batched descent (the paper's disk-access
 #                            proxy),
 #   - profile_speedup_*:     unbounded vs threshold-aware window profile on
-#                            non-qualifying candidates.
+#                            non-qualifying candidates,
+#   - simd_speedup_*:        scalar vs dispatched SIMD kernels (Dmbr
+#                            MINDIST batch, window point-sum, prefilter
+#                            centroid batch) at dim 4; `simd_level` records
+#                            the dispatched level (0 scalar, 1 avx2,
+#                            2 neon) and the >=2x bar only applies when it
+#                            is non-scalar.
 #
 # A second file (BENCH_ingest.json by default) captures the live-ingestion
 # subsystem: append+group-commit throughput (points/s, fsyncs/commit),
@@ -44,11 +50,12 @@ tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT
 
 "$BUILD_DIR/bench/micro_dnorm" --json \
-  --benchmark_filter='DnormManyMbrs|FullSearchPhases' >"$tmp/dnorm.json"
+  --benchmark_filter='DnormManyMbrs|FullSearchPhases|PrefilterKernel' \
+  >"$tmp/dnorm.json"
 "$BUILD_DIR/bench/micro_rtree" --json \
-  --benchmark_filter='MultiProbe' >"$tmp/rtree.json"
+  --benchmark_filter='MultiProbe|MinDist2Kernel' >"$tmp/rtree.json"
 "$BUILD_DIR/bench/micro_distance" --json \
-  --benchmark_filter='WindowProfile_' >"$tmp/distance.json"
+  --benchmark_filter='WindowProfile_|PointSumKernel' >"$tmp/distance.json"
 
 jq -s '
   def bench(n): (map(.benchmarks[] | select(.name == n)) | first);
@@ -71,7 +78,23 @@ jq -s '
          bench("BM_WindowProfile_Bounded/64").real_time),
       profile_speedup_256:
         (bench("BM_WindowProfile_Unbounded/256").real_time /
-         bench("BM_WindowProfile_Bounded/256").real_time)
+         bench("BM_WindowProfile_Bounded/256").real_time),
+      simd_level: bench("BM_MinDist2Kernel_Simd/1024").simd_level,
+      simd_speedup_mindist2_256:
+        (bench("BM_MinDist2Kernel_Scalar/256").real_time /
+         bench("BM_MinDist2Kernel_Simd/256").real_time),
+      simd_speedup_mindist2_1024:
+        (bench("BM_MinDist2Kernel_Scalar/1024").real_time /
+         bench("BM_MinDist2Kernel_Simd/1024").real_time),
+      simd_speedup_pointsum_64:
+        (bench("BM_PointSumKernel_Scalar/64").real_time /
+         bench("BM_PointSumKernel_Simd/64").real_time),
+      simd_speedup_pointsum_256:
+        (bench("BM_PointSumKernel_Scalar/256").real_time /
+         bench("BM_PointSumKernel_Simd/256").real_time),
+      simd_speedup_prefilter_1024:
+        (bench("BM_PrefilterKernel_Scalar/1024").real_time /
+         bench("BM_PrefilterKernel_Simd/1024").real_time)
     },
     context: (.[0].context | del(.date, .load_avg)),
     benchmarks: (map(.benchmarks) | add)
@@ -84,6 +107,16 @@ jq '.summary' "$OUT"
 jq -e '.summary.dnorm_speedup_256 >= 3 and .summary.rtree_visit_ratio_8 >= 2' \
   "$OUT" >/dev/null || {
   echo "error: kernel speedups below the acceptance bars (>=3x dnorm, >=2x fewer node visits)" >&2
+  exit 1
+}
+
+# SIMD guardrail: when a vector level dispatched (simd_level > 0), the Dmbr
+# and window point-sum kernels must beat their scalar references by >=2x at
+# dim 4. A scalar-only host (or MDSEQ_FORCE_SCALAR) skips the bar.
+jq -e '(.summary.simd_level == 0) or
+       (.summary.simd_speedup_mindist2_1024 >= 2 and
+        .summary.simd_speedup_pointsum_256 >= 2)' "$OUT" >/dev/null || {
+  echo "error: SIMD kernel speedups below the 2x acceptance bar" >&2
   exit 1
 }
 
