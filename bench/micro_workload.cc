@@ -1,0 +1,143 @@
+// Microbenchmarks of the workload flight recorder: record encode cost,
+// framed append throughput (the per-query price a recording engine pays
+// off the search path), the full WorkloadRecorder::Record path, and log
+// scan/decode throughput for replay startup. Supports `--json` (see
+// json_main.h).
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "engine/workload_recorder.h"
+#include "gen/walk.h"
+#include "json_main.h"
+#include "obs/workload_log.h"
+#include "util/random.h"
+
+namespace {
+
+using namespace mdseq;
+
+std::string TempLogPath(const char* tag) {
+  return "/tmp/mdseq_micro_workload_" + std::string(tag) + ".mdwl";
+}
+
+void RemoveLog(const std::string& path) {
+  std::remove(path.c_str());
+  std::remove((path + ".1").c_str());
+}
+
+// A representative record: a 96-point dim-2 query, populated cascade
+// counters, and a 4-shard breakdown (the coordinator case).
+WorkloadQueryRecord MakeRecord(uint64_t id) {
+  Rng rng(id + 7);
+  WalkOptions walk;
+  walk.dim = 2;
+  WorkloadQueryRecord record;
+  record.id = id;
+  record.arrival_unix = 1e9 + static_cast<double>(id) * 1e-3;
+  record.completion_unix = record.arrival_unix + 5e-3;
+  record.epsilon = 0.1;
+  record.verified = true;
+  record.signature = id * 0x9e3779b97f4a7c15ull;
+  record.result_digest = id * 0xc2b2ae3d27d4eb4full;
+  record.matches = 3;
+  record.stats.node_accesses = 12;
+  record.stats.phase2_candidates = 40;
+  record.stats.phase3_matches = 6;
+  record.stats.dnorm_evaluations = 300;
+  record.stats.bytes_read = 1 << 16;
+  for (uint32_t shard = 0; shard < 4; ++shard) {
+    ShardQueryStats stats;
+    stats.shard = shard;
+    stats.ok = true;
+    stats.digest = id ^ shard;
+    stats.stats.dnorm_evaluations = 75;
+    record.shards.push_back(stats);
+  }
+  record.query = GenerateRandomWalk(96, walk, &rng);
+  return record;
+}
+
+// Flat-codec encode cost per record; bytes_per_record sizes the log.
+void BM_WorkloadRecordEncode(benchmark::State& state) {
+  const WorkloadQueryRecord record = MakeRecord(1);
+  size_t bytes = 0;
+  for (auto _ : state) {
+    const std::vector<uint8_t> payload = EncodeWorkloadRecord(record);
+    bytes = payload.size();
+    benchmark::DoNotOptimize(payload.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["bytes_per_record"] =
+      benchmark::Counter(static_cast<double>(bytes));
+}
+
+// Encode + CRC-frame + buffered append: the full per-recorded-query cost.
+void BM_WorkloadRecordAppend(benchmark::State& state) {
+  const WorkloadQueryRecord record = MakeRecord(1);
+  const std::string path = TempLogPath("append");
+  RemoveLog(path);
+  obs::WorkloadLogWriter writer;
+  writer.Open(path);
+  for (auto _ : state) {
+    const std::vector<uint8_t> payload = EncodeWorkloadRecord(record);
+    writer.Append(kWorkloadQueryFrame, payload.data(), payload.size());
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetBytesProcessed(
+      static_cast<int64_t>(writer.bytes_written()));
+  writer.Close();
+  RemoveLog(path);
+}
+
+// The recorder entry point the engine calls per completion: sampling,
+// encode, append, and the /debug/workload ring mirror, under its mutex.
+void BM_WorkloadRecorderRecord(benchmark::State& state) {
+  const WorkloadQueryRecord record = MakeRecord(1);
+  const std::string path = TempLogPath("recorder");
+  RemoveLog(path);
+  WorkloadRecorder::Options options;
+  options.path = path;
+  WorkloadRecorder recorder(options);
+  for (auto _ : state) {
+    recorder.Record(record);
+  }
+  state.SetItemsProcessed(state.iterations());
+  RemoveLog(path);
+}
+
+// Scan + CRC-verify + decode a log of `range(0)` records: replay startup.
+void BM_WorkloadLogScan(benchmark::State& state) {
+  const size_t count = static_cast<size_t>(state.range(0));
+  const std::string path = TempLogPath("scan");
+  RemoveLog(path);
+  {
+    obs::WorkloadLogWriter writer;
+    writer.Open(path);
+    for (size_t i = 0; i < count; ++i) {
+      const std::vector<uint8_t> payload =
+          EncodeWorkloadRecord(MakeRecord(i));
+      writer.Append(kWorkloadQueryFrame, payload.data(), payload.size());
+    }
+  }
+  size_t decoded = 0;
+  for (auto _ : state) {
+    const WorkloadReadResult result = ReadWorkloadRecords(path);
+    decoded = result.records.size();
+    benchmark::DoNotOptimize(decoded);
+  }
+  if (decoded != count) state.SkipWithError("scan lost records");
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(count));
+  RemoveLog(path);
+}
+
+BENCHMARK(BM_WorkloadRecordEncode);
+BENCHMARK(BM_WorkloadRecordAppend);
+BENCHMARK(BM_WorkloadRecorderRecord);
+BENCHMARK(BM_WorkloadLogScan)->Arg(256)->Arg(1024);
+
+}  // namespace

@@ -627,4 +627,37 @@ std::vector<SequenceMatch> SimilaritySearch::SearchNearest(SequenceView query,
   }
 }
 
+uint64_t ResultDigest(const SequenceMatch* matches, size_t count,
+                      bool verified) {
+  // (id, quantized distance), sorted by id so the digest is insensitive to
+  // merge order (shard fan-ins append in completion order before sorting).
+  std::vector<std::pair<uint64_t, int64_t>> entries;
+  entries.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    const double distance =
+        verified ? matches[i].exact_distance : matches[i].min_dnorm;
+    entries.emplace_back(static_cast<uint64_t>(matches[i].sequence_id),
+                         llround(distance * 1e9));
+  }
+  std::sort(entries.begin(), entries.end());
+  uint64_t hash = 14695981039346656037ULL;  // FNV-1a offset basis.
+  const auto mix = [&hash](uint64_t value) {
+    for (int byte = 0; byte < 8; ++byte) {
+      hash ^= (value >> (8 * byte)) & 0xff;
+      hash *= 1099511628211ULL;  // FNV-1a prime.
+    }
+  };
+  mix(static_cast<uint64_t>(count));
+  for (const auto& [id, quantized] : entries) {
+    mix(id);
+    mix(static_cast<uint64_t>(quantized));
+  }
+  return hash;
+}
+
+uint64_t ResultDigest(const std::vector<SequenceMatch>& matches,
+                      bool verified) {
+  return ResultDigest(matches.data(), matches.size(), verified);
+}
+
 }  // namespace mdseq

@@ -182,6 +182,10 @@ struct ShardQueryStats {
   uint64_t rpc_ns = 0;
   /// Sequences the shard holds (its stage-1 input).
   uint64_t num_sequences = 0;
+  /// `ResultDigest` of this shard's slice of the merged matches (global
+  /// ids). Lets a replay diff localize a divergence to one shard without
+  /// re-running per-shard queries. 0 for failed shards.
+  uint64_t digest = 0;
   SearchStats stats;
 };
 
@@ -362,6 +366,19 @@ class SimilaritySearch {
   const SequenceDatabase* database_;
   SearchOptions options_;
 };
+
+/// Order-insensitive stable digest of a result's match set: FNV-1a over the
+/// (sequence id, quantized distance) pairs sorted by id. The distance is the
+/// reported one — `exact_distance` for verified results, `min_dnorm`
+/// otherwise — quantized to 1e-9 so bit-for-bit-equal runs hash equal while
+/// the digest stays stable across serialization round trips through text.
+/// Two runs of the same query against the same data on the same build must
+/// produce the same digest; the workload replay harness (src/engine)
+/// compares digests to prove it.
+uint64_t ResultDigest(const SequenceMatch* matches, size_t count,
+                      bool verified);
+uint64_t ResultDigest(const std::vector<SequenceMatch>& matches,
+                      bool verified);
 
 /// Copies one query's counters into the flat struct the obs layer renders
 /// (`obs::RenderExplainReport` / `obs::ExplainJson`). Derives the

@@ -47,6 +47,23 @@ bool ParseId(const HttpRequest& request, uint64_t* id) {
   return true;
 }
 
+/// The optional `limit` query parameter bounding a listing endpoint's
+/// response size. Absent leaves `*limit` untouched (no bound); a
+/// non-numeric value is a client error.
+enum class LimitParse { kAbsent, kOk, kBad };
+LimitParse ParseLimit(const HttpRequest& request, size_t* limit) {
+  auto it = request.params.find("limit");
+  if (it == request.params.end()) return LimitParse::kAbsent;
+  if (it->second.empty()) return LimitParse::kBad;
+  uint64_t value = 0;
+  for (char c : it->second) {
+    if (c < '0' || c > '9') return LimitParse::kBad;
+    value = value * 10 + static_cast<uint64_t>(c - '0');
+  }
+  *limit = static_cast<size_t>(value);
+  return LimitParse::kOk;
+}
+
 }  // namespace
 
 std::string HealthJson(const EngineHealth& health) {
@@ -64,6 +81,10 @@ std::string HealthJson(const EngineHealth& health) {
   AppendU64(&out, "served", health.served);
   out.append(", ");
   AppendU64(&out, "active_queries", health.active_queries);
+  out.append(", ");
+  AppendF64(&out, "start_unix_ts", health.start_unix_ts);
+  out.append(", ");
+  AppendF64(&out, "uptime_seconds", health.uptime_seconds);
   out.append(", ");
   AppendBool(&out, "disk_backed", health.disk_backed);
   out.append(", \"buffer_pool\": {");
@@ -251,6 +272,83 @@ std::string IngestStatusJson(const IngestStatus& status) {
   return out;
 }
 
+std::string WorkloadStatusJson(const WorkloadRecorder& recorder,
+                               size_t limit) {
+  std::string out = "{";
+  AppendBool(&out, "enabled", recorder.ok());
+  out.append(", \"path\": ")
+      .append(obs::JsonQuote(recorder.options().path))
+      .append(", ");
+  AppendU64(&out, "sample_every", recorder.options().sample_every);
+  out.append(", ");
+  AppendU64(&out, "max_bytes", recorder.options().max_bytes);
+  out.append(", ");
+  AppendU64(&out, "records_written", recorder.records_written());
+  out.append(", ");
+  AppendU64(&out, "bytes_written", recorder.bytes_written());
+  out.append(", ");
+  AppendU64(&out, "sampled_out", recorder.sampled_out());
+  out.append(", ");
+  AppendU64(&out, "rotations", recorder.rotations());
+  out.append(", ");
+  AppendU64(&out, "write_failures", recorder.write_failures());
+  out.append(", \"recent\": [");
+  bool first = true;
+  for (const WorkloadQueryRecord& record : recorder.Recent(limit)) {
+    if (!first) out.push_back(',');
+    first = false;
+    out.append("\n  {");
+    AppendU64(&out, "id", record.id);
+    out.append(", \"status\": ")
+        .append(obs::JsonQuote(
+            QueryStatusName(static_cast<QueryStatus>(record.outcome))))
+        .append(", ");
+    AppendF64(&out, "arrival_unix", record.arrival_unix);
+    out.append(", ");
+    AppendF64(&out, "completion_unix", record.completion_unix);
+    out.append(", ");
+    AppendF64(&out, "epsilon", record.epsilon);
+    out.append(", ");
+    AppendBool(&out, "verified", record.verified);
+    out.append(", ");
+    AppendBool(&out, "interrupted", record.interrupted);
+    out.append(", ");
+    AppendU64(&out, "query_points", record.query.size());
+    out.append(", ");
+    AppendU64(&out, "matches", record.matches);
+    out.append(", ");
+    AppendU64(&out, "signature", record.signature);
+    out.append(", ");
+    AppendU64(&out, "result_digest", record.result_digest);
+    out.append(", ");
+    AppendU64(&out, "node_accesses", record.stats.node_accesses);
+    out.append(", ");
+    AppendU64(&out, "phase2_candidates", record.stats.phase2_candidates);
+    out.append(", ");
+    AppendU64(&out, "phase3_matches", record.stats.phase3_matches);
+    out.append(", ");
+    AppendU64(&out, "dnorm_evaluations", record.stats.dnorm_evaluations);
+    out.append(", \"shards\": [");
+    bool first_shard = true;
+    for (const ShardQueryStats& shard : record.shards) {
+      if (!first_shard) out.append(", ");
+      first_shard = false;
+      out.push_back('{');
+      AppendU64(&out, "shard", shard.shard);
+      out.append(", ");
+      AppendBool(&out, "ok", shard.ok);
+      out.append(", ");
+      AppendU64(&out, "digest", shard.digest);
+      out.append(", ");
+      AppendU64(&out, "dnorm_evaluations", shard.stats.dnorm_evaluations);
+      out.push_back('}');
+    }
+    out.append("]}");
+  }
+  out.append(first ? "]}\n" : "\n]}\n");
+  return out;
+}
+
 void RegisterEngineEndpoints(obs::http::HttpServer* server,
                              QueryEngine* engine) {
   server->Handle("GET", "/metrics", [engine](const HttpRequest&) {
@@ -258,7 +356,7 @@ void RegisterEngineEndpoints(obs::http::HttpServer* server,
     if (registry == nullptr) {
       return TextResponse(503, "no metrics registry installed\n");
     }
-    engine->RefreshStorageGauges();
+    engine->RefreshScrapeGauges();
     HttpResponse response;
     response.content_type = "text/plain; version=0.0.4; charset=utf-8";
     response.body = registry->PrometheusText();
@@ -269,8 +367,14 @@ void RegisterEngineEndpoints(obs::http::HttpServer* server,
     return JsonResponse(200, HealthJson(engine->Health()));
   });
 
-  server->Handle("GET", "/debug/active", [engine](const HttpRequest&) {
-    return JsonResponse(200, ActiveQueriesJson(engine->ActiveQueries()));
+  server->Handle("GET", "/debug/active", [engine](const HttpRequest& request) {
+    size_t limit = SIZE_MAX;
+    if (ParseLimit(request, &limit) == LimitParse::kBad) {
+      return TextResponse(400, "malformed limit parameter\n");
+    }
+    std::vector<ActiveQueryInfo> queries = engine->ActiveQueries();
+    if (queries.size() > limit) queries.resize(limit);
+    return JsonResponse(200, ActiveQueriesJson(queries));
   });
 
   server->Handle("POST", "/debug/cancel",
@@ -289,9 +393,30 @@ void RegisterEngineEndpoints(obs::http::HttpServer* server,
                    return JsonResponse(200, std::move(body));
                  });
 
-  server->Handle("GET", "/debug/slow", [engine](const HttpRequest&) {
-    return JsonResponse(200, SlowQueriesJson(engine->SlowQueries()));
+  server->Handle("GET", "/debug/slow", [engine](const HttpRequest& request) {
+    size_t limit = SIZE_MAX;
+    if (ParseLimit(request, &limit) == LimitParse::kBad) {
+      return TextResponse(400, "malformed limit parameter\n");
+    }
+    // Snapshot is newest first, so a limit keeps the most recent records.
+    std::vector<SlowQueryRecord> records = engine->SlowQueries();
+    if (records.size() > limit) records.resize(limit);
+    return JsonResponse(200, SlowQueriesJson(records));
   });
+
+  server->Handle(
+      "GET", "/debug/workload", [engine](const HttpRequest& request) {
+        size_t limit = SIZE_MAX;
+        if (ParseLimit(request, &limit) == LimitParse::kBad) {
+          return TextResponse(400, "malformed limit parameter\n");
+        }
+        WorkloadRecorder* recorder = engine->workload_recorder();
+        if (recorder == nullptr) {
+          return TextResponse(
+              404, "workload recorder off (set workload_log_path)\n");
+        }
+        return JsonResponse(200, WorkloadStatusJson(*recorder, limit));
+      });
 
   server->Handle("GET", "/debug/ingest", [engine](const HttpRequest&) {
     LiveDatabase* database = engine->live_database();
@@ -314,11 +439,37 @@ void RegisterEngineEndpoints(obs::http::HttpServer* server,
     if (!ParseId(request, &id)) {
       return TextResponse(400, "missing or malformed id parameter\n");
     }
+    size_t limit = SIZE_MAX;
+    if (ParseLimit(request, &limit) == LimitParse::kBad) {
+      return TextResponse(400, "malformed limit parameter\n");
+    }
     std::vector<obs::Trace> traces = engine->SnapshotTraces(id);
     if (traces.empty()) {
       return TextResponse(404,
                           "no trace for that id (tracing off, trace "
                           "evicted, or query still running)\n");
+    }
+    if (limit != SIZE_MAX) {
+      // Bound the exported span count per trace: spans are stored in begin
+      // order (pre-order walk), so the first N are the outermost/earliest
+      // work. Span names point into the source traces, which stay alive
+      // through serialization below.
+      std::vector<obs::Trace> bounded;
+      bounded.reserve(traces.size());
+      for (const obs::Trace& trace : traces) {
+        obs::Trace copy;
+        copy.set_query_id(trace.query_id());
+        for (const auto& [lane, name] : trace.lane_names()) {
+          copy.SetLaneName(lane, name);
+        }
+        const size_t count =
+            trace.spans().size() < limit ? trace.spans().size() : limit;
+        for (size_t i = 0; i < count; ++i) {
+          copy.AddSpan(trace.spans()[i]);
+        }
+        bounded.push_back(std::move(copy));
+      }
+      return JsonResponse(200, obs::ChromeTraceJson(bounded));
     }
     return JsonResponse(200, obs::ChromeTraceJson(traces));
   });

@@ -12,13 +12,17 @@ namespace mdseq {
 /// Wires the engine's introspection endpoints onto `server` (registered,
 /// not started — the engine starts the server afterwards):
 ///
-///   GET  /metrics          Prometheus text exposition of the registry
-///   GET  /healthz          liveness + queue/worker/buffer-pool state
-///   GET  /debug/active     in-flight queries with phase + progress
-///   POST /debug/cancel?id= fire a query's engine-side cancellation flag
-///   GET  /debug/slow       the slow-query ring, newest first
-///   GET  /debug/ingest     live-ingest state (WAL, checkpoints, epochs)
-///   GET  /debug/trace?id=  Chrome trace JSON for one traced query
+///   GET  /metrics            Prometheus text exposition of the registry
+///   GET  /healthz            liveness + uptime + queue/worker/pool state
+///   GET  /debug/active       in-flight queries (bound with ?limit=N)
+///   POST /debug/cancel?id=   fire a query's engine-side cancellation flag
+///   GET  /debug/slow         the slow-query ring, newest first (?limit=N)
+///   GET  /debug/workload     flight-recorder status + recent records
+///                            (?limit=N)
+///   GET  /debug/ingest       live-ingest state (WAL, checkpoints, epochs)
+///   GET  /debug/shards       shard coordinator topology and counters
+///   GET  /debug/trace?id=    Chrome trace JSON for one traced query
+///                            (?limit=N bounds the exported spans)
 ///
 /// The engine must outlive the server. Handlers only touch the engine's
 /// thread-safe surface (atomics, internally locked snapshots), so they are
@@ -31,6 +35,8 @@ std::string HealthJson(const EngineHealth& health);
 std::string ActiveQueriesJson(const std::vector<ActiveQueryInfo>& queries);
 std::string SlowQueriesJson(const std::vector<SlowQueryRecord>& records);
 std::string IngestStatusJson(const IngestStatus& status);
+std::string WorkloadStatusJson(const WorkloadRecorder& recorder,
+                               size_t limit);
 
 }  // namespace mdseq
 

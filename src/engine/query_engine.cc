@@ -135,6 +135,9 @@ struct QueryEngine::Metrics {
   obs::Counter* wal_fsyncs = nullptr;
   obs::Histogram* checkpoint_seconds = nullptr;
 
+  /// Refreshed at scrape time by `RefreshScrapeGauges`.
+  obs::Gauge* uptime_seconds = nullptr;
+
   /// Storage gauges (disk/live engines only; null otherwise), refreshed by
   /// `RefreshStorageGauges` at scrape time.
   obs::Gauge* page_file_reads = nullptr;
@@ -186,6 +189,21 @@ QueryEngine::QueryEngine(Coordinator* coordinator,
 }
 
 void QueryEngine::InstallObservers(const EngineOptions& options) {
+  start_unix_ts_ = UnixNowSeconds();
+  search_options_ = options.search;
+  if (!options.workload_log_path.empty()) {
+    WorkloadRecorder::Options workload_options;
+    workload_options.path = options.workload_log_path;
+    workload_options.sample_every = options.workload_sample_every;
+    workload_options.max_bytes = options.workload_max_bytes;
+    workload_options.recent_capacity = options.workload_recent_capacity;
+    workload_ = std::make_unique<WorkloadRecorder>(workload_options);
+    if (!workload_->ok()) {
+      obs::Logger::Global()
+          .Error("workload_log_open_failed")
+          .Str("path", options.workload_log_path.c_str());
+    }
+  }
   if (options.trace_capacity > 0) {
     traces_ = std::make_unique<obs::TraceStore>(options.trace_capacity,
                                                 pool_->num_threads());
@@ -205,7 +223,11 @@ void QueryEngine::InstallObservers(const EngineOptions& options) {
   obs::MetricsRegistry* reg = registry_;
   obs::RegisterBuildInfo(reg);
   if (coordinator_ != nullptr) coordinator_->RegisterMetrics(reg);
+  if (workload_ != nullptr) workload_->RegisterMetrics(reg);
   auto metrics = std::make_unique<Metrics>();
+  metrics->uptime_seconds = reg->GetGauge(
+      "mdseq_uptime_seconds",
+      "Seconds since engine construction (refreshed per scrape)");
   metrics->submitted = reg->GetCounter(
       "mdseq_queries_submitted_total", "Queries submitted to the engine");
   metrics->served = reg->GetCounter("mdseq_queries_served_total",
@@ -361,6 +383,13 @@ void QueryEngine::RefreshStorageGauges() {
   metrics_->pool_hits->Set(static_cast<double>(pool->hits()));
   metrics_->pool_misses->Set(static_cast<double>(pool->misses()));
   metrics_->pool_evictions->Set(static_cast<double>(pool->evictions()));
+}
+
+void QueryEngine::RefreshScrapeGauges() {
+  if (metrics_ != nullptr && metrics_->uptime_seconds != nullptr) {
+    metrics_->uptime_seconds->Set(UnixNowSeconds() - start_unix_ts_);
+  }
+  RefreshStorageGauges();
 }
 
 void QueryEngine::StartIntrospection(const EngineOptions& options) {
@@ -855,6 +884,38 @@ void QueryEngine::Finish(const std::shared_ptr<Pending>& pending,
         .U64("dnorm_evaluations", outcome.result.stats.dnorm_evaluations);
   }
 
+  // Flight recorder: every completion — served or refused — lands in the
+  // workload log (subject to sampling). Appending before the promise
+  // resolves means a submitter that saw the future is guaranteed to find
+  // the record in the log.
+  if (workload_ != nullptr) {
+    WorkloadQueryRecord record;
+    record.id = pending->id;
+    record.completion_unix = UnixNowSeconds();
+    record.arrival_unix =
+        record.completion_unix - static_cast<double>(latency_us) / 1e6;
+    record.outcome = static_cast<uint8_t>(status);
+    record.epsilon = pending->options.epsilon;
+    record.verified = pending->options.verified;
+    record.opt_prefilter = search_options_.prefilter;
+    record.opt_composite = search_options_.composite_bound;
+    record.deadline_us =
+        static_cast<uint64_t>(pending->options.deadline.count());
+    record.signature = WorkloadQuerySignature(
+        pending->query.View(), pending->options.epsilon,
+        pending->options.verified, search_options_.prefilter,
+        search_options_.composite_bound);
+    record.result_digest =
+        ran ? ResultDigest(outcome.result.matches, pending->options.verified)
+            : 0;
+    record.matches = outcome.result.matches.size();
+    record.interrupted = outcome.result.interrupted;
+    record.stats = outcome.result.stats;
+    record.shards = outcome.result.shard_breakdown;
+    record.query = pending->query;
+    workload_->Record(record);
+  }
+
   pending->promise.set_value(std::move(outcome));
 }
 
@@ -912,6 +973,8 @@ EngineHealth QueryEngine::Health() const {
   health.submitted = submitted_.load(std::memory_order_relaxed);
   health.served = served_.load(std::memory_order_relaxed);
   health.active_queries = active_.size();
+  health.start_unix_ts = start_unix_ts_;
+  health.uptime_seconds = UnixNowSeconds() - start_unix_ts_;
   if (disk_database_ != nullptr) {
     health.disk_backed = true;
     health.pool = disk_database_->pool().Health();

@@ -14,6 +14,7 @@
 #include "engine/latency_histogram.h"
 #include "engine/slow_query_log.h"
 #include "engine/thread_pool.h"
+#include "engine/workload_recorder.h"
 #include "geom/sequence.h"
 #include "ingest/live_database.h"
 #include "obs/http/server.h"
@@ -110,6 +111,18 @@ struct EngineOptions {
   /// with `rejected == true`, so a slow checkpoint back-pressures writers
   /// instead of growing an unbounded ingest backlog behind the queries.
   size_t max_pending_ingest = 4;
+  /// Workload flight recorder (see src/engine/workload_recorder.h): when
+  /// non-empty, every completed query — served or refused — is appended to
+  /// this rotating CRC-framed log for replay (`mdseq_cli replay`), subject
+  /// to the sampling knob below. Empty = recorder off; the completion path
+  /// then pays one pointer test.
+  std::string workload_log_path;
+  /// Record every Nth query (1 = all).
+  uint64_t workload_sample_every = 1;
+  /// Rotation byte budget of the workload log (0 = never rotate).
+  uint64_t workload_max_bytes = 64ull << 20;
+  /// Records mirrored in memory for `/debug/workload`.
+  size_t workload_recent_capacity = 64;
 };
 
 /// One ingest operation: points for an existing open sequence, or — with
@@ -157,6 +170,11 @@ struct EngineHealth {
   uint64_t submitted = 0;
   uint64_t served = 0;
   size_t active_queries = 0;
+  /// Process start time (Unix seconds, set at engine construction) and the
+  /// uptime derived from it at snapshot time — the `/healthz` liveness age
+  /// and the `mdseq_uptime_seconds` gauge.
+  double start_unix_ts = 0.0;
+  double uptime_seconds = 0.0;
   /// Buffer-pool occupancy; all-zero for in-memory databases.
   bool disk_backed = false;
   BufferPoolHealth pool;
@@ -322,6 +340,18 @@ class QueryEngine {
   /// numbers; a no-op for in-memory engines or without a registry.
   void RefreshStorageGauges();
 
+  /// Refreshes every scrape-time gauge: `mdseq_uptime_seconds` plus the
+  /// storage gauges above. The `/metrics` handler calls this.
+  void RefreshScrapeGauges();
+
+  /// The workload flight recorder, or null when
+  /// `EngineOptions::workload_log_path` is empty (`/debug/workload`).
+  WorkloadRecorder* workload_recorder() const { return workload_.get(); }
+
+  /// The engine's `SearchOptions` (recorded per query by the flight
+  /// recorder so a replay can pin the same knobs).
+  const SearchOptions& search_options() const { return search_options_; }
+
  private:
   struct Pending;
   struct PendingIngest;
@@ -390,6 +420,13 @@ class QueryEngine {
   /// (threshold-gated).
   ActiveQueryRegistry active_;
   std::unique_ptr<SlowQueryLog> slow_;
+  /// Workload flight recorder; null when the path knob is empty.
+  std::unique_ptr<WorkloadRecorder> workload_;
+  /// Engine-wide search knobs (copied from `EngineOptions::search`).
+  SearchOptions search_options_;
+  /// Unix seconds at construction — `/healthz` start time and the
+  /// `mdseq_uptime_seconds` base.
+  double start_unix_ts_ = 0.0;
   /// Registry the engine reports into — `owned_registry_` backs it when the
   /// caller enabled the server without supplying one.
   std::unique_ptr<obs::MetricsRegistry> owned_registry_;

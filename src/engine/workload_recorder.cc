@@ -1,0 +1,317 @@
+#include "engine/workload_recorder.h"
+
+#include <cstring>
+#include <type_traits>
+
+namespace mdseq {
+
+namespace {
+
+constexpr uint64_t kFnvOffset = 14695981039346656037ULL;
+constexpr uint64_t kFnvPrime = 1099511628211ULL;
+
+void FnvMixBytes(uint64_t* hash, const void* bytes, size_t count) {
+  const uint8_t* at = static_cast<const uint8_t*>(bytes);
+  for (size_t i = 0; i < count; ++i) {
+    *hash ^= at[i];
+    *hash *= kFnvPrime;
+  }
+}
+
+void FnvMixU64(uint64_t* hash, uint64_t value) {
+  FnvMixBytes(hash, &value, sizeof(value));
+}
+
+// --- flat native-endian append/read helpers ---------------------------------
+
+template <typename T>
+void Put(std::vector<uint8_t>* out, const T& value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const size_t at = out->size();
+  out->resize(at + sizeof(T));
+  std::memcpy(out->data() + at, &value, sizeof(T));
+}
+
+struct Cursor {
+  const uint8_t* at;
+  size_t left;
+  bool ok = true;
+
+  template <typename T>
+  T Get() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    T value{};
+    if (left < sizeof(T)) {
+      ok = false;
+      return value;
+    }
+    std::memcpy(&value, at, sizeof(T));
+    at += sizeof(T);
+    left -= sizeof(T);
+    return value;
+  }
+};
+
+// The stats block serializes every SearchStats field in declaration order.
+// Bumping kWorkloadRecordVersion is the compatibility story: a recording is
+// tied to one build lineage, not a wire contract.
+void PutStats(std::vector<uint8_t>* out, const SearchStats& stats) {
+  Put(out, static_cast<uint64_t>(stats.node_accesses));
+  Put(out, static_cast<uint64_t>(stats.phase2_candidates));
+  Put(out, static_cast<uint64_t>(stats.phase3_matches));
+  Put(out, static_cast<uint64_t>(stats.filter_matches));
+  Put(out, static_cast<uint64_t>(stats.dnorm_evaluations));
+  Put(out, static_cast<uint64_t>(stats.query_mbrs));
+  Put(out, stats.page_hits);
+  Put(out, stats.page_misses);
+  Put(out, stats.partition_ns);
+  Put(out, stats.first_pruning_ns);
+  Put(out, stats.second_pruning_ns);
+  Put(out, stats.interval_assembly_ns);
+  Put(out, stats.verify_ns);
+  Put(out, stats.probe_abandons);
+  Put(out, stats.verify_abandons);
+  Put(out, stats.bytes_read);
+  Put(out, stats.prefilter_abandons);
+  Put(out, stats.prefilter_survivors);
+  Put(out, stats.prefilter_ns);
+  Put(out, stats.fanout_wait_ns);
+  Put(out, stats.merge_ns);
+  Put(out, stats.shards_total);
+  Put(out, stats.shards_failed);
+}
+
+void GetStats(Cursor* in, SearchStats* stats) {
+  stats->node_accesses = in->Get<uint64_t>();
+  stats->phase2_candidates = static_cast<size_t>(in->Get<uint64_t>());
+  stats->phase3_matches = static_cast<size_t>(in->Get<uint64_t>());
+  stats->filter_matches = static_cast<size_t>(in->Get<uint64_t>());
+  stats->dnorm_evaluations = static_cast<size_t>(in->Get<uint64_t>());
+  stats->query_mbrs = static_cast<size_t>(in->Get<uint64_t>());
+  stats->page_hits = in->Get<uint64_t>();
+  stats->page_misses = in->Get<uint64_t>();
+  stats->partition_ns = in->Get<uint64_t>();
+  stats->first_pruning_ns = in->Get<uint64_t>();
+  stats->second_pruning_ns = in->Get<uint64_t>();
+  stats->interval_assembly_ns = in->Get<uint64_t>();
+  stats->verify_ns = in->Get<uint64_t>();
+  stats->probe_abandons = in->Get<uint64_t>();
+  stats->verify_abandons = in->Get<uint64_t>();
+  stats->bytes_read = in->Get<uint64_t>();
+  stats->prefilter_abandons = in->Get<uint64_t>();
+  stats->prefilter_survivors = in->Get<uint64_t>();
+  stats->prefilter_ns = in->Get<uint64_t>();
+  stats->fanout_wait_ns = in->Get<uint64_t>();
+  stats->merge_ns = in->Get<uint64_t>();
+  stats->shards_total = in->Get<uint32_t>();
+  stats->shards_failed = in->Get<uint32_t>();
+}
+
+constexpr uint8_t kWorkloadRecordVersion = 1;
+
+}  // namespace
+
+uint64_t WorkloadQuerySignature(SequenceView query, double epsilon,
+                                bool verified, bool prefilter,
+                                bool composite_bound) {
+  uint64_t hash = kFnvOffset;
+  FnvMixU64(&hash, query.dim());
+  FnvMixU64(&hash, query.size());
+  if (!query.empty()) {
+    // Points are contiguous row-major doubles; the first point's span
+    // starts the whole payload.
+    FnvMixBytes(&hash, query[0].data(),
+                query.size() * query.dim() * sizeof(double));
+  }
+  uint64_t epsilon_bits = 0;
+  std::memcpy(&epsilon_bits, &epsilon, sizeof(epsilon));
+  FnvMixU64(&hash, epsilon_bits);
+  FnvMixU64(&hash, (verified ? 1u : 0u) | (prefilter ? 2u : 0u) |
+                       (composite_bound ? 4u : 0u));
+  return hash;
+}
+
+std::vector<uint8_t> EncodeWorkloadRecord(const WorkloadQueryRecord& record) {
+  std::vector<uint8_t> out;
+  out.reserve(512 + record.query.data().size() * sizeof(double));
+  Put(&out, kWorkloadRecordVersion);
+  Put(&out, record.id);
+  Put(&out, record.arrival_unix);
+  Put(&out, record.completion_unix);
+  Put(&out, record.outcome);
+  Put(&out, record.epsilon);
+  Put(&out, static_cast<uint8_t>(record.verified ? 1 : 0));
+  Put(&out, static_cast<uint8_t>(record.opt_prefilter ? 1 : 0));
+  Put(&out, static_cast<uint8_t>(record.opt_composite ? 1 : 0));
+  Put(&out, static_cast<uint8_t>(record.interrupted ? 1 : 0));
+  Put(&out, record.deadline_us);
+  Put(&out, record.signature);
+  Put(&out, record.result_digest);
+  Put(&out, record.matches);
+  PutStats(&out, record.stats);
+  Put(&out, static_cast<uint32_t>(record.shards.size()));
+  for (const ShardQueryStats& shard : record.shards) {
+    Put(&out, shard.shard);
+    Put(&out, static_cast<uint8_t>(shard.ok ? 1 : 0));
+    Put(&out, static_cast<uint8_t>(shard.interrupted ? 1 : 0));
+    Put(&out, shard.rpc_ns);
+    Put(&out, shard.num_sequences);
+    Put(&out, shard.digest);
+    PutStats(&out, shard.stats);
+  }
+  Put(&out, static_cast<uint32_t>(record.query.dim()));
+  Put(&out, static_cast<uint64_t>(record.query.size()));
+  const std::vector<double>& data = record.query.data();
+  const size_t at = out.size();
+  out.resize(at + data.size() * sizeof(double));
+  if (!data.empty()) {
+    std::memcpy(out.data() + at, data.data(), data.size() * sizeof(double));
+  }
+  return out;
+}
+
+bool DecodeWorkloadRecord(const uint8_t* bytes, size_t count,
+                          WorkloadQueryRecord* record) {
+  Cursor in{bytes, count};
+  if (in.Get<uint8_t>() != kWorkloadRecordVersion) return false;
+  record->id = in.Get<uint64_t>();
+  record->arrival_unix = in.Get<double>();
+  record->completion_unix = in.Get<double>();
+  record->outcome = in.Get<uint8_t>();
+  record->epsilon = in.Get<double>();
+  record->verified = in.Get<uint8_t>() != 0;
+  record->opt_prefilter = in.Get<uint8_t>() != 0;
+  record->opt_composite = in.Get<uint8_t>() != 0;
+  record->interrupted = in.Get<uint8_t>() != 0;
+  record->deadline_us = in.Get<uint64_t>();
+  record->signature = in.Get<uint64_t>();
+  record->result_digest = in.Get<uint64_t>();
+  record->matches = in.Get<uint64_t>();
+  GetStats(&in, &record->stats);
+  const uint32_t shard_count = in.Get<uint32_t>();
+  record->shards.clear();
+  for (uint32_t i = 0; in.ok && i < shard_count; ++i) {
+    ShardQueryStats shard;
+    shard.shard = in.Get<uint32_t>();
+    shard.ok = in.Get<uint8_t>() != 0;
+    shard.interrupted = in.Get<uint8_t>() != 0;
+    shard.rpc_ns = in.Get<uint64_t>();
+    shard.num_sequences = in.Get<uint64_t>();
+    shard.digest = in.Get<uint64_t>();
+    GetStats(&in, &shard.stats);
+    record->shards.push_back(std::move(shard));
+  }
+  const uint32_t dim = in.Get<uint32_t>();
+  const uint64_t points = in.Get<uint64_t>();
+  if (!in.ok || dim == 0) return false;
+  const size_t doubles = static_cast<size_t>(points) * dim;
+  if (in.left != doubles * sizeof(double)) return false;
+  Sequence query(dim);
+  if (doubles > 0) {
+    query.Extend(SequenceView(reinterpret_cast<const double*>(in.at),
+                              static_cast<size_t>(points), dim));
+  }
+  record->query = std::move(query);
+  return true;
+}
+
+WorkloadReadResult ReadWorkloadRecords(const std::string& path) {
+  WorkloadReadResult result;
+  const obs::WorkloadScanResult scan =
+      obs::ScanWorkloadLogWithRotation(path);
+  result.clean = scan.clean_eof;
+  for (const obs::WorkloadFrame& frame : scan.frames) {
+    if (frame.type != kWorkloadQueryFrame) {
+      ++result.skipped;
+      continue;
+    }
+    WorkloadQueryRecord record;
+    if (!DecodeWorkloadRecord(frame.payload.data(), frame.payload.size(),
+                              &record)) {
+      ++result.skipped;
+      result.clean = false;
+      continue;
+    }
+    result.records.push_back(std::move(record));
+  }
+  return result;
+}
+
+WorkloadRecorder::WorkloadRecorder(const Options& options)
+    : options_(options) {
+  obs::WorkloadLogWriter::Options log_options;
+  log_options.max_bytes = options_.max_bytes;
+  ok_ = writer_.Open(options_.path, log_options);
+}
+
+void WorkloadRecorder::RegisterMetrics(obs::MetricsRegistry* registry) {
+  metric_records_ = registry->GetCounter(
+      "mdseq_workload_records_total",
+      "Query records appended to the workload flight-recorder log");
+  metric_bytes_ = registry->GetCounter(
+      "mdseq_workload_bytes_total",
+      "Framed bytes appended to the workload flight-recorder log");
+  metric_sampled_out_ = registry->GetCounter(
+      "mdseq_workload_sampled_out_total",
+      "Completed queries skipped by the recorder's sampling knob");
+  metric_rotations_ = registry->GetCounter(
+      "mdseq_workload_rotations_total",
+      "Workload log rotations forced by the byte budget");
+  metric_write_failures_ = registry->GetCounter(
+      "mdseq_workload_write_failures_total",
+      "Workload records lost to append/open failures");
+}
+
+void WorkloadRecorder::Record(const WorkloadQueryRecord& record) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const uint64_t sample_every =
+      options_.sample_every == 0 ? 1 : options_.sample_every;
+  if (seen_++ % sample_every != 0) {
+    sampled_out_.fetch_add(1, std::memory_order_relaxed);
+    if (metric_sampled_out_ != nullptr) metric_sampled_out_->Increment();
+    return;
+  }
+  if (!ok_) {
+    write_failures_.fetch_add(1, std::memory_order_relaxed);
+    if (metric_write_failures_ != nullptr) {
+      metric_write_failures_->Increment();
+    }
+    return;
+  }
+  const std::vector<uint8_t> payload = EncodeWorkloadRecord(record);
+  const uint64_t rotations_before = writer_.rotations();
+  const uint64_t bytes_before = writer_.bytes_written();
+  if (!writer_.Append(kWorkloadQueryFrame, payload.data(), payload.size())) {
+    write_failures_.fetch_add(1, std::memory_order_relaxed);
+    if (metric_write_failures_ != nullptr) {
+      metric_write_failures_->Increment();
+    }
+    return;
+  }
+  const uint64_t appended = writer_.bytes_written() - bytes_before;
+  const uint64_t rotated = writer_.rotations() - rotations_before;
+  records_written_.fetch_add(1, std::memory_order_relaxed);
+  bytes_written_.fetch_add(appended, std::memory_order_relaxed);
+  rotations_.fetch_add(rotated, std::memory_order_relaxed);
+  if (metric_records_ != nullptr) metric_records_->Increment();
+  if (metric_bytes_ != nullptr) metric_bytes_->Increment(appended);
+  if (metric_rotations_ != nullptr && rotated > 0) {
+    metric_rotations_->Increment(rotated);
+  }
+  recent_.push_back(record);
+  while (recent_.size() > options_.recent_capacity) recent_.pop_front();
+}
+
+std::vector<WorkloadQueryRecord> WorkloadRecorder::Recent(
+    size_t limit) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<WorkloadQueryRecord> out;
+  const size_t count = recent_.size() < limit ? recent_.size() : limit;
+  out.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    out.push_back(recent_[recent_.size() - 1 - i]);
+  }
+  return out;
+}
+
+}  // namespace mdseq

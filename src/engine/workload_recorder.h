@@ -1,0 +1,147 @@
+#ifndef MDSEQ_ENGINE_WORKLOAD_RECORDER_H_
+#define MDSEQ_ENGINE_WORKLOAD_RECORDER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/search.h"
+#include "geom/sequence.h"
+#include "obs/metrics.h"
+#include "obs/workload_log.h"
+
+namespace mdseq {
+
+/// One query as captured by the workload flight recorder: everything
+/// needed to (a) re-execute the query against another database or build
+/// and (b) compare the outcome — identity, arrival/completion wall clock,
+/// outcome, the canonical query signature, the stable result digest, the
+/// full pruning-cascade counters, the per-shard breakdown, and the raw
+/// query points themselves.
+struct WorkloadQueryRecord {
+  /// Engine query id — doubles as the trace id (`/debug/trace?id=`).
+  uint64_t id = 0;
+  /// Wall-clock seconds since the Unix epoch. Arrival is derived as
+  /// completion minus measured latency, so both come from one clock read.
+  double arrival_unix = 0.0;
+  double completion_unix = 0.0;
+  /// `QueryStatus` as its numeric value ("ok"/"rejected"/"shed"/
+  /// "deadline_expired"/"cancelled"/"failed").
+  uint8_t outcome = 0;
+  double epsilon = 0.0;
+  bool verified = false;
+  /// Engine-wide `SearchOptions` in force when the query ran.
+  bool opt_prefilter = true;
+  bool opt_composite = false;
+  /// Relative deadline in microseconds; 0 = none.
+  uint64_t deadline_us = 0;
+  /// Canonical query signature: FNV-1a over (dim, raw point bytes,
+  /// epsilon, verified, SearchOptions flags). Partitioning is
+  /// deterministic in the point set, so hashing the points is equivalent
+  /// to hashing the query MBR set while staying exact.
+  uint64_t signature = 0;
+  /// `ResultDigest` of the matches (0 for queries that never ran).
+  uint64_t result_digest = 0;
+  uint64_t matches = 0;
+  bool interrupted = false;
+  SearchStats stats;
+  /// Coordinator engines only: per-shard slices incl. per-shard digests.
+  std::vector<ShardQueryStats> shards;
+  /// The full query points, so the record alone re-executes the query.
+  Sequence query{1};
+};
+
+/// Canonical signature of a query submission (see
+/// `WorkloadQueryRecord::signature`).
+uint64_t WorkloadQuerySignature(SequenceView query, double epsilon,
+                                bool verified, bool prefilter,
+                                bool composite_bound);
+
+/// Flat native-endian codec for one record (the payload inside a
+/// `WorkloadLogWriter` frame of type `kWorkloadQueryFrame`).
+inline constexpr uint8_t kWorkloadQueryFrame = 1;
+std::vector<uint8_t> EncodeWorkloadRecord(const WorkloadQueryRecord& record);
+bool DecodeWorkloadRecord(const uint8_t* bytes, size_t count,
+                          WorkloadQueryRecord* record);
+
+/// All query records of a recording: `<path>.1` (rotated generation, if
+/// any) then `<path>`, in write order. `clean` is false when a torn tail
+/// or an undecodable frame was skipped; `skipped` counts them.
+struct WorkloadReadResult {
+  std::vector<WorkloadQueryRecord> records;
+  bool clean = true;
+  uint64_t skipped = 0;
+};
+WorkloadReadResult ReadWorkloadRecords(const std::string& path);
+
+/// The engine's always-on flight recorder: appends every Nth completed
+/// query to a rotating CRC-framed log and mirrors the most recent records
+/// in a fixed ring for `/debug/workload`. Appends take one mutex and one
+/// buffered write — `Record` is called once per query completion, off the
+/// search hot path.
+class WorkloadRecorder {
+ public:
+  struct Options {
+    std::string path;
+    /// Record every Nth query (1 = all). Sampling is by submission count,
+    /// so a replayed log preserves arrival spacing of what it kept.
+    uint64_t sample_every = 1;
+    /// Rotation byte budget for the log file (0 = never rotate).
+    uint64_t max_bytes = 64ull << 20;
+    /// `/debug/workload` ring capacity.
+    size_t recent_capacity = 64;
+  };
+
+  explicit WorkloadRecorder(const Options& options);
+
+  WorkloadRecorder(const WorkloadRecorder&) = delete;
+  WorkloadRecorder& operator=(const WorkloadRecorder&) = delete;
+
+  /// False when the log file could not be opened; `Record` is then a
+  /// counting no-op (write_failures grows).
+  bool ok() const { return ok_; }
+
+  /// Optional: binds the `mdseq_workload_*` counter family.
+  void RegisterMetrics(obs::MetricsRegistry* registry);
+
+  /// Samples, frames, appends, and mirrors one completed query.
+  void Record(const WorkloadQueryRecord& record);
+
+  /// Most recent records, newest first, at most `limit`.
+  std::vector<WorkloadQueryRecord> Recent(size_t limit) const;
+
+  const Options& options() const { return options_; }
+  uint64_t records_written() const { return records_written_.load(); }
+  uint64_t bytes_written() const { return bytes_written_.load(); }
+  uint64_t sampled_out() const { return sampled_out_.load(); }
+  uint64_t rotations() const { return rotations_.load(); }
+  uint64_t write_failures() const { return write_failures_.load(); }
+
+ private:
+  const Options options_;
+  bool ok_ = false;
+
+  mutable std::mutex mutex_;
+  obs::WorkloadLogWriter writer_;
+  std::deque<WorkloadQueryRecord> recent_;
+  uint64_t seen_ = 0;
+
+  std::atomic<uint64_t> records_written_{0};
+  std::atomic<uint64_t> bytes_written_{0};
+  std::atomic<uint64_t> sampled_out_{0};
+  std::atomic<uint64_t> rotations_{0};
+  std::atomic<uint64_t> write_failures_{0};
+
+  obs::Counter* metric_records_ = nullptr;
+  obs::Counter* metric_bytes_ = nullptr;
+  obs::Counter* metric_sampled_out_ = nullptr;
+  obs::Counter* metric_rotations_ = nullptr;
+  obs::Counter* metric_write_failures_ = nullptr;
+};
+
+}  // namespace mdseq
+
+#endif  // MDSEQ_ENGINE_WORKLOAD_RECORDER_H_

@@ -1,0 +1,278 @@
+#include "engine/workload_replay.h"
+
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <ctime>
+#include <future>
+#include <thread>
+#include <unordered_map>
+
+#include "obs/json.h"
+
+namespace mdseq {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double UnixSeconds() {
+  std::timespec ts{};
+  std::timespec_get(&ts, TIME_UTC);
+  return static_cast<double>(ts.tv_sec) +
+         static_cast<double>(ts.tv_nsec) / 1e9;
+}
+
+/// The deterministic cascade counters a diff compares. Wall times and the
+/// buffer-pool hit/miss split are deliberately absent — both vary between
+/// runs of identical work.
+struct CounterRow {
+  const char* name;
+  uint64_t (*get)(const SearchStats&);
+};
+
+constexpr CounterRow kCounterRows[] = {
+    {"node_accesses", [](const SearchStats& s) { return s.node_accesses; }},
+    {"phase2_candidates",
+     [](const SearchStats& s) {
+       return static_cast<uint64_t>(s.phase2_candidates);
+     }},
+    {"phase3_matches",
+     [](const SearchStats& s) {
+       return static_cast<uint64_t>(s.phase3_matches);
+     }},
+    {"filter_matches",
+     [](const SearchStats& s) {
+       return static_cast<uint64_t>(s.filter_matches);
+     }},
+    {"dnorm_evaluations",
+     [](const SearchStats& s) {
+       return static_cast<uint64_t>(s.dnorm_evaluations);
+     }},
+    {"query_mbrs",
+     [](const SearchStats& s) { return static_cast<uint64_t>(s.query_mbrs); }},
+    {"probe_abandons",
+     [](const SearchStats& s) { return s.probe_abandons; }},
+    {"verify_abandons",
+     [](const SearchStats& s) { return s.verify_abandons; }},
+    {"bytes_read", [](const SearchStats& s) { return s.bytes_read; }},
+    {"prefilter_abandons",
+     [](const SearchStats& s) { return s.prefilter_abandons; }},
+    {"prefilter_survivors",
+     [](const SearchStats& s) { return s.prefilter_survivors; }},
+    {"shards_total",
+     [](const SearchStats& s) {
+       return static_cast<uint64_t>(s.shards_total);
+     }},
+    {"shards_failed",
+     [](const SearchStats& s) {
+       return static_cast<uint64_t>(s.shards_failed);
+     }},
+};
+
+/// Appends "name: a -> b" rows for every diverging counter; returns true
+/// when any diverged.
+bool DiffStats(const SearchStats& a, const SearchStats& b,
+               const char* prefix, std::vector<std::string>* rows) {
+  bool differ = false;
+  for (const CounterRow& row : kCounterRows) {
+    const uint64_t va = row.get(a);
+    const uint64_t vb = row.get(b);
+    if (va == vb) continue;
+    differ = true;
+    char buffer[160];
+    std::snprintf(buffer, sizeof(buffer), "%s%s: %" PRIu64 " -> %" PRIu64,
+                  prefix, row.name, va, vb);
+    rows->push_back(buffer);
+  }
+  return differ;
+}
+
+}  // namespace
+
+ReplayReport RunReplay(QueryEngine* engine,
+                       const std::vector<WorkloadQueryRecord>& recording,
+                       const ReplayOptions& options) {
+  ReplayReport report;
+  if (recording.empty()) return report;
+
+  const Clock::time_point start = Clock::now();
+  const double base_arrival = recording.front().arrival_unix;
+  const double speed = options.speed > 0 ? options.speed : 1.0;
+
+  std::vector<std::future<QueryOutcome>> futures;
+  futures.reserve(recording.size());
+  for (const WorkloadQueryRecord& record : recording) {
+    if (options.pace == ReplayOptions::Pace::kRecorded) {
+      const double offset_s =
+          (record.arrival_unix - base_arrival) / speed;
+      const Clock::time_point target =
+          start + std::chrono::nanoseconds(
+                      static_cast<int64_t>(offset_s * 1e9));
+      std::this_thread::sleep_until(target);
+    }
+    QueryOptions query_options;
+    query_options.epsilon = record.epsilon;
+    query_options.verified = record.verified;
+    if (options.apply_deadlines && record.deadline_us > 0) {
+      query_options.deadline = std::chrono::microseconds(record.deadline_us);
+    }
+    futures.push_back(engine->Submit(record.query, query_options));
+  }
+
+  const SearchOptions& search = engine->search_options();
+  for (size_t i = 0; i < futures.size(); ++i) {
+    const WorkloadQueryRecord& source = recording[i];
+    QueryOutcome outcome = futures[i].get();
+    WorkloadQueryRecord replayed;
+    replayed.id = source.id;
+    replayed.completion_unix = UnixSeconds();
+    replayed.arrival_unix =
+        replayed.completion_unix -
+        static_cast<double>(outcome.latency.count()) / 1e6;
+    replayed.outcome = static_cast<uint8_t>(outcome.status);
+    replayed.epsilon = source.epsilon;
+    replayed.verified = source.verified;
+    replayed.opt_prefilter = search.prefilter;
+    replayed.opt_composite = search.composite_bound;
+    replayed.deadline_us = options.apply_deadlines ? source.deadline_us : 0;
+    replayed.signature = WorkloadQuerySignature(
+        source.query.View(), source.epsilon, source.verified,
+        search.prefilter, search.composite_bound);
+    replayed.result_digest =
+        ResultDigest(outcome.result.matches, source.verified);
+    replayed.matches = outcome.result.matches.size();
+    replayed.interrupted = outcome.result.interrupted;
+    replayed.stats = outcome.result.stats;
+    replayed.shards = outcome.result.shard_breakdown;
+    replayed.query = source.query;
+    report.records.push_back(std::move(replayed));
+    ++report.replayed;
+    if (outcome.status == QueryStatus::kOk) ++report.ok;
+  }
+  report.wall_seconds =
+      std::chrono::duration_cast<std::chrono::duration<double>>(
+          Clock::now() - start)
+          .count();
+  return report;
+}
+
+ReplayDiff DiffWorkloads(const std::vector<WorkloadQueryRecord>& a,
+                         const std::vector<WorkloadQueryRecord>& b) {
+  ReplayDiff diff;
+  std::unordered_map<uint64_t, const WorkloadQueryRecord*> by_id;
+  by_id.reserve(b.size());
+  for (const WorkloadQueryRecord& record : b) {
+    by_id.emplace(record.id, &record);
+  }
+  uint64_t matched = 0;
+  for (const WorkloadQueryRecord& ra : a) {
+    auto it = by_id.find(ra.id);
+    if (it == by_id.end()) {
+      ++diff.unmatched;
+      continue;
+    }
+    ++matched;
+    const WorkloadQueryRecord& rb = *it->second;
+    ++diff.compared;
+
+    ReplayDivergence d;
+    d.id = ra.id;
+    d.outcome_a = QueryStatusName(static_cast<QueryStatus>(ra.outcome));
+    d.outcome_b = QueryStatusName(static_cast<QueryStatus>(rb.outcome));
+    d.outcome_differs = ra.outcome != rb.outcome;
+    d.digest_a = ra.result_digest;
+    d.digest_b = rb.result_digest;
+    d.matches_a = ra.matches;
+    d.matches_b = rb.matches;
+    d.digest_differs = ra.result_digest != rb.result_digest;
+    d.counters_differ = DiffStats(ra.stats, rb.stats, "", &d.counter_diffs);
+
+    // Per-shard attribution: pair shard slices by shard id and flag any
+    // whose digest or deterministic counters moved.
+    std::unordered_map<uint32_t, const ShardQueryStats*> shards_b;
+    for (const ShardQueryStats& shard : rb.shards) {
+      shards_b.emplace(shard.shard, &shard);
+    }
+    for (const ShardQueryStats& sa : ra.shards) {
+      auto sit = shards_b.find(sa.shard);
+      if (sit == shards_b.end()) {
+        d.diverging_shards.push_back(sa.shard);
+        continue;
+      }
+      const ShardQueryStats& sb = *sit->second;
+      char prefix[32];
+      std::snprintf(prefix, sizeof(prefix), "shard %u ", sa.shard);
+      bool shard_differs =
+          DiffStats(sa.stats, sb.stats, prefix, &d.counter_diffs);
+      if (sa.digest != sb.digest) {
+        shard_differs = true;
+        char buffer[160];
+        std::snprintf(buffer, sizeof(buffer),
+                      "shard %u digest: %" PRIu64 " -> %" PRIu64, sa.shard,
+                      sa.digest, sb.digest);
+        d.counter_diffs.push_back(buffer);
+      }
+      if (shard_differs) {
+        d.diverging_shards.push_back(sa.shard);
+        d.counters_differ = d.counters_differ || shard_differs;
+      }
+    }
+
+    if (d.outcome_differs) ++diff.outcome_divergences;
+    if (d.digest_differs) ++diff.digest_divergences;
+    if (d.counters_differ) ++diff.counter_divergences;
+    if (d.outcome_differs || d.digest_differs || d.counters_differ) {
+      diff.divergences.push_back(std::move(d));
+    }
+  }
+  diff.unmatched += static_cast<uint64_t>(b.size()) - matched;
+  return diff;
+}
+
+std::string ReplayDiffJson(const ReplayDiff& diff) {
+  std::string out = "{\n  \"summary\": {";
+  char buffer[256];
+  std::snprintf(buffer, sizeof(buffer),
+                "\"compared\": %" PRIu64 ", \"unmatched\": %" PRIu64
+                ", \"outcome_divergences\": %" PRIu64
+                ", \"digest_divergences\": %" PRIu64
+                ", \"counter_divergences\": %" PRIu64 ", \"clean\": %s",
+                diff.compared, diff.unmatched, diff.outcome_divergences,
+                diff.digest_divergences, diff.counter_divergences,
+                diff.clean() ? "true" : "false");
+  out.append(buffer);
+  out.append("},\n  \"divergences\": [");
+  bool first = true;
+  for (const ReplayDivergence& d : diff.divergences) {
+    if (!first) out.push_back(',');
+    first = false;
+    std::snprintf(buffer, sizeof(buffer),
+                  "\n    {\"id\": %" PRIu64
+                  ", \"outcome_a\": \"%s\", \"outcome_b\": \"%s\""
+                  ", \"digest_a\": %" PRIu64 ", \"digest_b\": %" PRIu64
+                  ", \"matches_a\": %" PRIu64 ", \"matches_b\": %" PRIu64
+                  ", \"digest_differs\": %s, \"counters_differ\": %s",
+                  d.id, d.outcome_a, d.outcome_b, d.digest_a, d.digest_b,
+                  d.matches_a, d.matches_b,
+                  d.digest_differs ? "true" : "false",
+                  d.counters_differ ? "true" : "false");
+    out.append(buffer);
+    out.append(", \"diverging_shards\": [");
+    for (size_t i = 0; i < d.diverging_shards.size(); ++i) {
+      if (i > 0) out.append(", ");
+      std::snprintf(buffer, sizeof(buffer), "%u", d.diverging_shards[i]);
+      out.append(buffer);
+    }
+    out.append("], \"counter_diffs\": [");
+    for (size_t i = 0; i < d.counter_diffs.size(); ++i) {
+      if (i > 0) out.append(", ");
+      out.append(obs::JsonQuote(d.counter_diffs[i]));
+    }
+    out.append("]}");
+  }
+  out.append(first ? "]\n}\n" : "\n  ]\n}\n");
+  return out;
+}
+
+}  // namespace mdseq

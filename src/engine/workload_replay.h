@@ -1,0 +1,101 @@
+#ifndef MDSEQ_ENGINE_WORKLOAD_REPLAY_H_
+#define MDSEQ_ENGINE_WORKLOAD_REPLAY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "engine/query_engine.h"
+#include "engine/workload_recorder.h"
+
+namespace mdseq {
+
+/// How `RunReplay` paces submissions.
+struct ReplayOptions {
+  enum class Pace {
+    /// Closed loop: submit everything immediately and let the engine's
+    /// admission queue provide backpressure — measures max throughput.
+    kMax,
+    /// Recreate the recorded arrival spacing, scaled by `speed`.
+    kRecorded,
+  };
+  Pace pace = Pace::kMax;
+  /// Recorded-pace time scale: 2.0 replays twice as fast ("accelerated"),
+  /// 1.0 is faithful. Ignored under kMax.
+  double speed = 1.0;
+  /// Re-apply recorded per-query deadlines. Off by default: a replay
+  /// usually measures the build's answers, and a deadline that expired in
+  /// the original regime would make results non-comparable.
+  bool apply_deadlines = false;
+};
+
+/// Result of re-executing a recording: one re-recorded
+/// `WorkloadQueryRecord` per input record (same ids, same order), so the
+/// output of a replay can itself be written to a log and diffed.
+struct ReplayReport {
+  std::vector<WorkloadQueryRecord> records;
+  uint64_t replayed = 0;
+  /// Replayed queries that resolved kOk.
+  uint64_t ok = 0;
+  double wall_seconds = 0.0;
+};
+
+/// Re-executes every record of `recording` against `engine`. Queries are
+/// submitted in record order; per-query epsilon/verified come from the
+/// record, while the engine-wide `SearchOptions` are whatever the engine
+/// was built with (pin or change them to probe a knob — the diff below
+/// tells you what changed).
+ReplayReport RunReplay(QueryEngine* engine,
+                       const std::vector<WorkloadQueryRecord>& recording,
+                       const ReplayOptions& options = ReplayOptions());
+
+/// One query whose two executions disagree.
+struct ReplayDivergence {
+  uint64_t id = 0;
+  bool outcome_differs = false;
+  bool digest_differs = false;
+  bool counters_differ = false;
+  const char* outcome_a = "ok";
+  const char* outcome_b = "ok";
+  uint64_t digest_a = 0;
+  uint64_t digest_b = 0;
+  uint64_t matches_a = 0;
+  uint64_t matches_b = 0;
+  /// Human-readable "name: a -> b" rows for every diverging deterministic
+  /// cascade counter.
+  std::vector<std::string> counter_diffs;
+  /// Shards whose slice digest or counters diverge (coordinator records).
+  std::vector<uint32_t> diverging_shards;
+};
+
+/// Per-query comparison of two runs of the same workload (two recordings,
+/// or a replay report against its source recording). Records pair by query
+/// id. Digests compare exactly; counters compare only the deterministic
+/// cascade fields (node accesses, candidates, matches, Dnorm evaluations,
+/// abandons, prefilter counts, bytes read, shard coverage) — never wall
+/// times or buffer-pool hit/miss splits, which legitimately vary run to
+/// run.
+struct ReplayDiff {
+  uint64_t compared = 0;
+  /// Ids present on one side only.
+  uint64_t unmatched = 0;
+  uint64_t outcome_divergences = 0;
+  uint64_t digest_divergences = 0;
+  uint64_t counter_divergences = 0;
+  std::vector<ReplayDivergence> divergences;
+
+  bool clean() const {
+    return unmatched == 0 && outcome_divergences == 0 &&
+           digest_divergences == 0 && counter_divergences == 0;
+  }
+};
+
+ReplayDiff DiffWorkloads(const std::vector<WorkloadQueryRecord>& a,
+                         const std::vector<WorkloadQueryRecord>& b);
+
+/// JSON rendering of a diff (the `mdseq_cli replay --json-out` payload).
+std::string ReplayDiffJson(const ReplayDiff& diff);
+
+}  // namespace mdseq
+
+#endif  // MDSEQ_ENGINE_WORKLOAD_REPLAY_H_

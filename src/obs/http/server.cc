@@ -339,8 +339,16 @@ bool HttpServer::ReadSome(Connection* conn) {
     ssize_t n = ::read(conn->fd, buffer, sizeof(buffer));
     if (n > 0) {
       conn->in.append(buffer, static_cast<size_t>(n));
-      if (conn->in.size() > options_.max_request_bytes) {
-        PrepareResponse(conn, TextResponse(413, "request too large\n"));
+      if (conn->in.size() > options_.max_request_bytes &&
+          !conn->responding) {
+        // Overflow before the head terminator is a runaway request line
+        // or header block (431); past it, an oversized body (413).
+        const bool in_head = !conn->have_head &&
+                             conn->in.find(kCrlfCrlf) == std::string::npos;
+        conn->keep_alive = false;
+        PrepareResponse(conn,
+                        in_head ? TextResponse(431, "headers too large\n")
+                                : TextResponse(413, "request too large\n"));
         return WriteSome(conn);
       }
       continue;

@@ -1,0 +1,165 @@
+#include "obs/workload_log.h"
+
+#include <cstring>
+#include <iterator>
+
+namespace mdseq {
+namespace obs {
+
+namespace {
+
+const uint32_t* Crc32Table() {
+  static const uint32_t* table = [] {
+    static uint32_t entries[256];
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc & 1u) ? (crc >> 1) ^ 0xEDB88320u : crc >> 1;
+      }
+      entries[i] = crc;
+    }
+    return entries;
+  }();
+  return table;
+}
+
+void PutU32(std::vector<uint8_t>* out, uint32_t value) {
+  const size_t at = out->size();
+  out->resize(at + sizeof(value));
+  std::memcpy(out->data() + at, &value, sizeof(value));
+}
+
+uint64_t FileSize(std::FILE* file) {
+  const long at = std::ftell(file);
+  if (at < 0) return 0;
+  if (std::fseek(file, 0, SEEK_END) != 0) return 0;
+  const long end = std::ftell(file);
+  std::fseek(file, at, SEEK_SET);
+  return end < 0 ? 0 : static_cast<uint64_t>(end);
+}
+
+}  // namespace
+
+uint32_t WorkloadCrc32(const void* bytes, size_t count) {
+  const uint32_t* table = Crc32Table();
+  const uint8_t* at = static_cast<const uint8_t*>(bytes);
+  uint32_t crc = 0xFFFFFFFFu;
+  for (size_t i = 0; i < count; ++i) {
+    crc = (crc >> 8) ^ table[(crc ^ at[i]) & 0xFFu];
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+bool WorkloadLogWriter::Open(const std::string& path, const Options& options) {
+  Close();
+  std::FILE* file = std::fopen(path.c_str(), "ab");
+  if (file == nullptr) return false;
+  file_ = file;
+  path_ = path;
+  options_ = options;
+  current_bytes_ = FileSize(file_);
+  bytes_written_ = 0;
+  rotations_ = 0;
+  return true;
+}
+
+bool WorkloadLogWriter::Rotate() {
+  std::fclose(file_);
+  file_ = nullptr;
+  const std::string previous = path_ + ".1";
+  std::remove(previous.c_str());
+  if (std::rename(path_.c_str(), previous.c_str()) != 0) return false;
+  std::FILE* file = std::fopen(path_.c_str(), "ab");
+  if (file == nullptr) return false;
+  file_ = file;
+  current_bytes_ = 0;
+  ++rotations_;
+  return true;
+}
+
+bool WorkloadLogWriter::Append(uint8_t type, const void* payload,
+                               size_t count) {
+  if (file_ == nullptr) return false;
+  // body = length | type | payload; the frame prepends body's crc.
+  std::vector<uint8_t> frame;
+  frame.reserve(sizeof(uint32_t) * 2 + 1 + count);
+  std::vector<uint8_t> body;
+  body.reserve(sizeof(uint32_t) + 1 + count);
+  PutU32(&body, static_cast<uint32_t>(count));
+  body.push_back(type);
+  const size_t at = body.size();
+  body.resize(at + count);
+  if (count > 0) std::memcpy(body.data() + at, payload, count);
+  PutU32(&frame, WorkloadCrc32(body.data(), body.size()));
+  frame.insert(frame.end(), body.begin(), body.end());
+
+  if (options_.max_bytes > 0 && current_bytes_ > 0 &&
+      current_bytes_ + frame.size() > options_.max_bytes) {
+    if (!Rotate()) return false;
+  }
+  if (std::fwrite(frame.data(), 1, frame.size(), file_) != frame.size()) {
+    return false;
+  }
+  std::fflush(file_);
+  current_bytes_ += frame.size();
+  bytes_written_ += frame.size();
+  return true;
+}
+
+void WorkloadLogWriter::Close() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+WorkloadScanResult ScanWorkloadLog(const std::string& path) {
+  WorkloadScanResult result;
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) return result;  // Missing file == empty log.
+  std::vector<uint8_t> head(sizeof(uint32_t) * 2);
+  for (;;) {
+    const size_t got = std::fread(head.data(), 1, head.size(), file);
+    if (got == 0) break;  // Clean EOF on a frame boundary.
+    if (got < head.size()) {
+      result.clean_eof = false;  // Torn frame header.
+      break;
+    }
+    uint32_t crc = 0;
+    uint32_t length = 0;
+    std::memcpy(&crc, head.data(), sizeof(crc));
+    std::memcpy(&length, head.data() + sizeof(crc), sizeof(length));
+    std::vector<uint8_t> body(sizeof(length) + 1 + length);
+    std::memcpy(body.data(), &length, sizeof(length));
+    const size_t rest = 1 + static_cast<size_t>(length);
+    if (std::fread(body.data() + sizeof(length), 1, rest, file) != rest) {
+      result.clean_eof = false;  // Torn payload.
+      break;
+    }
+    if (WorkloadCrc32(body.data(), body.size()) != crc) {
+      result.clean_eof = false;  // Corrupt frame; stop here.
+      break;
+    }
+    WorkloadFrame frame;
+    frame.type = body[sizeof(length)];
+    frame.payload.assign(body.begin() + sizeof(length) + 1, body.end());
+    result.frames.push_back(std::move(frame));
+    result.bytes_scanned += head.size() + body.size();
+  }
+  std::fclose(file);
+  return result;
+}
+
+WorkloadScanResult ScanWorkloadLogWithRotation(const std::string& path) {
+  WorkloadScanResult previous = ScanWorkloadLog(path + ".1");
+  WorkloadScanResult current = ScanWorkloadLog(path);
+  previous.frames.insert(previous.frames.end(),
+                         std::make_move_iterator(current.frames.begin()),
+                         std::make_move_iterator(current.frames.end()));
+  previous.clean_eof = previous.clean_eof && current.clean_eof;
+  previous.bytes_scanned += current.bytes_scanned;
+  return previous;
+}
+
+}  // namespace obs
+}  // namespace mdseq

@@ -1,0 +1,109 @@
+#ifndef MDSEQ_OBS_WORKLOAD_LOG_H_
+#define MDSEQ_OBS_WORKLOAD_LOG_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace mdseq {
+namespace obs {
+
+/// CRC-32, reflected polynomial 0xEDB88320 — the same algorithm and
+/// parameters as the ingest WAL's `WalCrc32`. Duplicated here because obs
+/// is a leaf library (it must not depend on src/ingest); a test asserts the
+/// two implementations stay bit-identical.
+uint32_t WorkloadCrc32(const void* bytes, size_t count);
+
+/// One framed record as read back by `ScanWorkloadLog`.
+struct WorkloadFrame {
+  uint8_t type = 0;
+  std::vector<uint8_t> payload;
+};
+
+/// Result of scanning one log file. `clean_eof` is false when the scan
+/// stopped at a torn or corrupt tail (everything before it is still
+/// returned — the flight-recorder contract is "keep what survived", never
+/// "reject the file").
+struct WorkloadScanResult {
+  std::vector<WorkloadFrame> frames;
+  bool clean_eof = true;
+  uint64_t bytes_scanned = 0;
+};
+
+/// Appends CRC-framed records to a flat file with byte-budget rotation.
+///
+/// Frame layout (the WAL framing idiom, without the WAL's page padding):
+///
+///   u32 crc | u32 length | u8 type | payload[length]
+///
+/// where `crc` covers `length | type | payload`. Appends are buffered
+/// stdio writes flushed per record: the recorder is an observability aid,
+/// not a durability layer, so there is no fsync and a crash may lose an
+/// unflushed tail — `ScanWorkloadLog` tolerates any torn suffix.
+///
+/// Rotation: when `max_bytes > 0` and an append would push the current
+/// file past the budget, the file is renamed to `<path>.1` (replacing any
+/// previous generation) and a fresh `<path>` is started — total footprint
+/// stays under ~2x the budget.
+///
+/// Not thread-safe; callers serialize (the engine's recorder holds a
+/// mutex around appends).
+class WorkloadLogWriter {
+ public:
+  struct Options {
+    /// Rotate when the current file would exceed this many bytes
+    /// (0 = never rotate).
+    uint64_t max_bytes = 0;
+  };
+
+  WorkloadLogWriter() = default;
+  ~WorkloadLogWriter() { Close(); }
+  WorkloadLogWriter(const WorkloadLogWriter&) = delete;
+  WorkloadLogWriter& operator=(const WorkloadLogWriter&) = delete;
+
+  /// Opens `path` for appending (an existing file continues where it left
+  /// off). Returns false when the file cannot be opened.
+  bool Open(const std::string& path, const Options& options);
+  bool Open(const std::string& path) { return Open(path, Options()); }
+
+  /// Frames and appends one record, rotating first if the byte budget
+  /// requires it. Returns false on I/O failure or when not open.
+  bool Append(uint8_t type, const void* payload, size_t count);
+
+  bool is_open() const { return file_ != nullptr; }
+  const std::string& path() const { return path_; }
+  /// Framed bytes appended through this writer (excludes pre-existing
+  /// content of a continued file).
+  uint64_t bytes_written() const { return bytes_written_; }
+  uint64_t rotations() const { return rotations_; }
+  /// Size of the current generation, including pre-existing content.
+  uint64_t current_file_bytes() const { return current_bytes_; }
+
+  void Close();
+
+ private:
+  bool Rotate();
+
+  std::FILE* file_ = nullptr;
+  std::string path_;
+  Options options_;
+  uint64_t current_bytes_ = 0;
+  uint64_t bytes_written_ = 0;
+  uint64_t rotations_ = 0;
+};
+
+/// Scans one log file front to back, validating each frame's CRC. Stops at
+/// the first torn or corrupt frame (see `WorkloadScanResult`). A missing
+/// file returns zero frames with `clean_eof == true`.
+WorkloadScanResult ScanWorkloadLog(const std::string& path);
+
+/// Scans the rotated predecessor `<path>.1` (if present) followed by
+/// `<path>`, concatenating frames in write order. `clean_eof` is the AND
+/// of the two scans.
+WorkloadScanResult ScanWorkloadLogWithRotation(const std::string& path);
+
+}  // namespace obs
+}  // namespace mdseq
+
+#endif  // MDSEQ_OBS_WORKLOAD_LOG_H_

@@ -358,6 +358,7 @@ SearchResult Coordinator::RunThreshold(SequenceView query, double epsilon,
       if (global == ShardPlacement::kInvalidId) continue;
       out.candidates.push_back(static_cast<size_t>(global));
     }
+    const size_t matches_before = out.matches.size();
     for (const ShardMatch& in : call.response.matches) {
       const uint64_t global = placement_->GlobalOf(call.shard, in.local_id);
       if (global == ShardPlacement::kInvalidId) continue;
@@ -368,6 +369,12 @@ SearchResult Coordinator::RunThreshold(SequenceView query, double epsilon,
       match.solution_interval = in.intervals;
       out.matches.push_back(std::move(match));
     }
+    // Per-shard digest over this shard's slice of the merged matches
+    // (global ids — ResultDigest sorts internally). Lets the workload
+    // replay diff pin a divergence to one shard.
+    out.shard_breakdown.back().digest =
+        ResultDigest(out.matches.data() + matches_before,
+                     out.matches.size() - matches_before, verify);
   }
   std::sort(out.candidates.begin(), out.candidates.end());
   std::sort(out.matches.begin(), out.matches.end(),

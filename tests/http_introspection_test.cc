@@ -17,8 +17,11 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <cerrno>
 #include <chrono>
+#include <cstdio>
 #include <cstring>
+#include <future>
 #include <string>
 #include <thread>
 #include <vector>
@@ -414,10 +417,13 @@ class RawClient {
     return true;
   }
 
-  // True when the server has closed its end (EOF on a blocking read).
+  // True when the server has closed its end: EOF on a blocking read, or a
+  // reset — the server closing with unread request bytes still queued
+  // (an oversized request it rejected mid-stream) surfaces as ECONNRESET.
   bool ServerClosed() {
     char byte;
-    return ::recv(fd_, &byte, 1, 0) == 0;
+    const ssize_t n = ::recv(fd_, &byte, 1, 0);
+    return n == 0 || (n < 0 && errno == ECONNRESET);
   }
 
  private:
@@ -557,6 +563,265 @@ TEST(HttpKeepAliveTest, ErrorResponsesAndHttp10Close) {
     EXPECT_NE(response.head.find("Connection: close"), std::string::npos);
     EXPECT_TRUE(client.ServerClosed());
   }
+}
+
+// ---------------------------------------------------------------------------
+// Robustness: oversized requests and unknown methods must produce 4xx
+// without wedging the listener or disturbing other connections
+// ---------------------------------------------------------------------------
+
+TEST(HttpRobustnessTest, OversizedRequestLineRejectedWithoutWedging) {
+  const Workload workload = SmallWorkload(41);
+  EngineOptions options;
+  options.num_threads = 1;
+  options.listen_port = 0;
+  QueryEngine engine(workload.database.get(), options);
+  const int port = engine.introspection_port();
+  ASSERT_GT(port, 0);
+
+  // An innocent keep-alive connection opened before the abuse.
+  RawClient bystander(port);
+  ASSERT_TRUE(bystander.connected());
+  ASSERT_TRUE(bystander.Send("GET /healthz HTTP/1.1\r\nHost: a\r\n\r\n"));
+  ClientResponse before;
+  ASSERT_TRUE(bystander.ReadResponse(&before));
+  EXPECT_EQ(before.status, 200);
+
+  // A request line larger than max_request_bytes (16 KiB default) with no
+  // header terminator: the server must answer 431 and close, not buffer
+  // forever.
+  RawClient attacker(port);
+  ASSERT_TRUE(attacker.connected());
+  ASSERT_TRUE(attacker.Send("GET /" + std::string(20 * 1024, 'a')));
+  ClientResponse rejected;
+  ASSERT_TRUE(attacker.ReadResponse(&rejected));
+  EXPECT_EQ(rejected.status, 431);
+  EXPECT_NE(rejected.head.find("Connection: close"), std::string::npos);
+  EXPECT_TRUE(attacker.ServerClosed());
+
+  // The listener still accepts fresh connections...
+  EXPECT_EQ(Get(port, "/healthz").status, 200);
+  // ...and the bystander's keep-alive state survived untouched.
+  ASSERT_TRUE(bystander.Send("GET /healthz HTTP/1.1\r\nHost: a\r\n\r\n"));
+  ClientResponse after;
+  ASSERT_TRUE(bystander.ReadResponse(&after));
+  EXPECT_EQ(after.status, 200);
+  EXPECT_NE(after.head.find("Connection: keep-alive"), std::string::npos);
+}
+
+TEST(HttpRobustnessTest, OversizedHeaderBlockRejected431) {
+  const Workload workload = SmallWorkload(42);
+  EngineOptions options;
+  options.num_threads = 1;
+  options.listen_port = 0;
+  QueryEngine engine(workload.database.get(), options);
+  const int port = engine.introspection_port();
+  ASSERT_GT(port, 0);
+
+  // Valid request line, then header lines past the byte cap before the
+  // terminating blank line.
+  RawClient client(port);
+  ASSERT_TRUE(client.connected());
+  std::string request = "GET /healthz HTTP/1.1\r\nHost: a\r\n";
+  for (int i = 0; i < 600; ++i) {
+    request += "X-Filler-" + std::to_string(i) + ": " +
+               std::string(32, 'x') + "\r\n";
+  }
+  ASSERT_TRUE(client.Send(request));  // never sends the final \r\n\r\n
+  ClientResponse response;
+  ASSERT_TRUE(client.ReadResponse(&response));
+  EXPECT_EQ(response.status, 431);
+  EXPECT_TRUE(client.ServerClosed());
+  EXPECT_EQ(Get(port, "/healthz").status, 200);
+}
+
+TEST(HttpRobustnessTest, OversizedDeclaredBodyRejected413) {
+  const Workload workload = SmallWorkload(43);
+  EngineOptions options;
+  options.num_threads = 1;
+  options.listen_port = 0;
+  QueryEngine engine(workload.database.get(), options);
+  const int port = engine.introspection_port();
+  ASSERT_GT(port, 0);
+
+  // The head parses, but the declared body would blow the request budget:
+  // rejected up front, before any body bytes arrive.
+  RawClient client(port);
+  ASSERT_TRUE(client.connected());
+  ASSERT_TRUE(client.Send("POST /debug/cancel?id=1 HTTP/1.1\r\n"
+                          "Host: a\r\nContent-Length: 99999999\r\n\r\n"));
+  ClientResponse response;
+  ASSERT_TRUE(client.ReadResponse(&response));
+  EXPECT_EQ(response.status, 413);
+  EXPECT_TRUE(client.ServerClosed());
+  EXPECT_EQ(Get(port, "/healthz").status, 200);
+}
+
+TEST(HttpRobustnessTest, UnknownMethodsGet4xxWithoutWedging) {
+  const Workload workload = SmallWorkload(44);
+  EngineOptions options;
+  options.num_threads = 1;
+  options.listen_port = 0;
+  QueryEngine engine(workload.database.get(), options);
+  const int port = engine.introspection_port();
+  ASSERT_GT(port, 0);
+
+  // Unknown method on a known path: 405 (the path exists under GET).
+  ClientResponse brew = Fetch(port, "BREW /metrics HTTP/1.1\r\nHost: a\r\n"
+                                    "Connection: close\r\n\r\n");
+  EXPECT_EQ(brew.status, 405);
+  // Unknown method on an unknown path: 404.
+  EXPECT_EQ(Fetch(port, "BREW /nope HTTP/1.1\r\nHost: a\r\n"
+                        "Connection: close\r\n\r\n")
+                .status,
+            404);
+  // A method-less garbage line is a parse failure.
+  EXPECT_EQ(Fetch(port, "NONSENSE\r\n\r\n").status, 400);
+  // The listener is unwedged and keep-alive still works afterwards.
+  RawClient client(port);
+  ASSERT_TRUE(client.connected());
+  ASSERT_TRUE(client.Send("GET /healthz HTTP/1.1\r\nHost: a\r\n\r\n"));
+  ClientResponse response;
+  ASSERT_TRUE(client.ReadResponse(&response));
+  EXPECT_EQ(response.status, 200);
+  EXPECT_NE(response.head.find("Connection: keep-alive"),
+            std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// ?limit=N on the listing endpoints, and /debug/workload
+// ---------------------------------------------------------------------------
+
+TEST(HttpIntrospectionTest, LimitParameterBoundsListings) {
+  QuietGlobalLogger quiet;
+  const Workload workload = SmallWorkload(45);
+  EngineOptions options;
+  options.num_threads = 1;
+  options.start_suspended = true;
+  options.slow_query_threshold = std::chrono::microseconds(1);
+  options.listen_port = 0;
+  QueryEngine engine(workload.database.get(), options);
+  const int port = engine.introspection_port();
+  ASSERT_GT(port, 0);
+
+  QueryOptions query_options;
+  query_options.epsilon = 0.1;
+  std::vector<std::future<QueryOutcome>> futures;
+  for (int i = 0; i < 4; ++i) {
+    futures.push_back(engine.Submit(workload.queries[i], query_options));
+  }
+
+  // Four queued queries; ?limit=2 serializes exactly two.
+  const ClientResponse limited = Get(port, "/debug/active?limit=2");
+  ASSERT_TRUE(limited.ok) << limited.error;
+  EXPECT_EQ(limited.status, 200);
+  size_t ids = 0;
+  for (size_t pos = 0;
+       (pos = limited.body.find("\"id\":", pos)) != std::string::npos;
+       ++pos) {
+    ++ids;
+  }
+  EXPECT_EQ(ids, 2u);
+
+  // Malformed limits are a 400, not a silent full listing.
+  EXPECT_EQ(Get(port, "/debug/active?limit=bogus").status, 400);
+  EXPECT_EQ(Get(port, "/debug/slow?limit=-1").status, 400);
+
+  engine.Start();
+  for (auto& f : futures) ASSERT_EQ(f.get().status, QueryStatus::kOk);
+
+  // All four landed in the slow ring; ?limit=1 returns the newest only.
+  const ClientResponse slow = Get(port, "/debug/slow?limit=1");
+  ASSERT_TRUE(slow.ok) << slow.error;
+  EXPECT_EQ(slow.status, 200);
+  size_t rows = 0;
+  for (size_t pos = 0;
+       (pos = slow.body.find("\"status\":", pos)) != std::string::npos;
+       ++pos) {
+    ++rows;
+  }
+  EXPECT_EQ(rows, 1u);
+}
+
+TEST(HttpIntrospectionTest, WorkloadEndpointServesRecorderState) {
+  const Workload workload = SmallWorkload(46);
+  const std::string log_path = "/tmp/mdseq_http_workload_test.mdwl";
+  std::remove(log_path.c_str());
+  std::remove((log_path + ".1").c_str());
+  EngineOptions options;
+  options.num_threads = 1;
+  options.listen_port = 0;
+  options.workload_log_path = log_path;
+  QueryEngine engine(workload.database.get(), options);
+  const int port = engine.introspection_port();
+  ASSERT_GT(port, 0);
+
+  QueryOptions query_options;
+  query_options.epsilon = 0.1;
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_EQ(engine.Submit(workload.queries[i], query_options)
+                  .get()
+                  .status,
+              QueryStatus::kOk);
+  }
+
+  const ClientResponse response = Get(port, "/debug/workload");
+  ASSERT_TRUE(response.ok) << response.error;
+  EXPECT_EQ(response.status, 200);
+  EXPECT_TRUE(obs::JsonValidate(response.body)) << response.body;
+  EXPECT_NE(response.body.find("\"records_written\": 3"),
+            std::string::npos);
+  EXPECT_NE(response.body.find("\"result_digest\""), std::string::npos);
+
+  // ?limit bounds the recent tail; malformed limits are 400.
+  const ClientResponse limited = Get(port, "/debug/workload?limit=1");
+  EXPECT_EQ(limited.status, 200);
+  size_t rows = 0;
+  for (size_t pos = 0;
+       (pos = limited.body.find("\"signature\":", pos)) != std::string::npos;
+       ++pos) {
+    ++rows;
+  }
+  EXPECT_EQ(rows, 1u);
+  EXPECT_EQ(Get(port, "/debug/workload?limit=x").status, 400);
+
+  std::remove(log_path.c_str());
+}
+
+TEST(HttpIntrospectionTest, WorkloadEndpoint404WhenRecorderOff) {
+  const Workload workload = SmallWorkload(47);
+  EngineOptions options;
+  options.num_threads = 1;
+  options.listen_port = 0;
+  QueryEngine engine(workload.database.get(), options);
+  const int port = engine.introspection_port();
+  ASSERT_GT(port, 0);
+  EXPECT_EQ(Get(port, "/debug/workload").status, 404);
+}
+
+TEST(HttpIntrospectionTest, HealthzAndMetricsReportUptime) {
+  const Workload workload = SmallWorkload(48);
+  EngineOptions options;
+  options.num_threads = 1;
+  options.listen_port = 0;
+  QueryEngine engine(workload.database.get(), options);
+  const int port = engine.introspection_port();
+  ASSERT_GT(port, 0);
+
+  const ClientResponse health = Get(port, "/healthz");
+  ASSERT_TRUE(health.ok) << health.error;
+  EXPECT_NE(health.body.find("\"start_unix_ts\":"), std::string::npos);
+  EXPECT_NE(health.body.find("\"uptime_seconds\":"), std::string::npos);
+
+  const ClientResponse metrics = Get(port, "/metrics");
+  ASSERT_TRUE(metrics.ok) << metrics.error;
+  EXPECT_NE(metrics.body.find("# TYPE mdseq_uptime_seconds gauge"),
+            std::string::npos);
+
+  // Uptime is scrape-refreshed and self-consistent with /healthz.
+  const EngineHealth reported = engine.Health();
+  EXPECT_GT(reported.start_unix_ts, 0.0);
+  EXPECT_GE(reported.uptime_seconds, 0.0);
 }
 
 // ---------------------------------------------------------------------------

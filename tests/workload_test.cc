@@ -1,0 +1,605 @@
+// Workload flight recorder + deterministic replay harness
+// (src/obs/workload_log.* and src/engine/workload_recorder.* /
+// workload_replay.*): the CRC-framed log (round trips, byte-budget
+// rotation, torn-tail tolerance, CRC parity with the ingest WAL), the
+// record codec, the result-digest and query-signature functions, the
+// engine-integrated recorder, and the replay/diff loop — including the
+// headline determinism proof that replaying a recorded workload on the
+// same build reproduces byte-identical result digests and cascade
+// counters across in-memory, on-disk, and 4-shard coordinator
+// configurations, and that an injected regression (prefilter disabled) is
+// flagged with per-query, per-shard attribution.
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <random>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "engine/query_engine.h"
+#include "engine/workload_recorder.h"
+#include "engine/workload_replay.h"
+#include "eval/experiment.h"
+#include "ingest/wal.h"
+#include "obs/workload_log.h"
+#include "shard/coordinator.h"
+#include "shard/shard_set.h"
+#include "shard/transport.h"
+#include "storage/disk_database.h"
+
+namespace mdseq {
+namespace {
+
+std::string TempPath(const char* tag) {
+  return "/tmp/mdseq_workload_test_" + std::string(tag);
+}
+
+void RemoveLog(const std::string& path) {
+  std::remove(path.c_str());
+  std::remove((path + ".1").c_str());
+}
+
+uint64_t FileSizeOf(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) return 0;
+  std::fseek(file, 0, SEEK_END);
+  const long size = std::ftell(file);
+  std::fclose(file);
+  return size > 0 ? static_cast<uint64_t>(size) : 0;
+}
+
+Workload SmallWorkload(uint64_t seed) {
+  WorkloadConfig config;
+  config.kind = DataKind::kSynthetic;
+  config.num_sequences = 60;
+  config.min_length = 56;
+  config.max_length = 160;
+  config.num_queries = 10;
+  config.seed = seed;
+  return BuildWorkload(config);
+}
+
+// ---------------------------------------------------------------------------
+// Framed log: CRC, round trips, rotation, torn tails
+// ---------------------------------------------------------------------------
+
+TEST(WorkloadLogTest, CrcMatchesIngestWalCrc) {
+  // The log reuses the WAL's frame discipline; the two CRC32
+  // implementations must stay bit-identical so the framing idiom is one
+  // idiom, not two that happen to look alike.
+  std::mt19937_64 rng(7);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<uint8_t> bytes(static_cast<size_t>(rng() % 512));
+    for (uint8_t& b : bytes) b = static_cast<uint8_t>(rng());
+    EXPECT_EQ(obs::WorkloadCrc32(bytes.data(), bytes.size()),
+              WalCrc32(bytes.data(), bytes.size()));
+  }
+  EXPECT_EQ(obs::WorkloadCrc32(nullptr, 0), WalCrc32(nullptr, 0));
+}
+
+TEST(WorkloadLogTest, AppendScanRoundTrip) {
+  const std::string path = TempPath("roundtrip.mdwl");
+  RemoveLog(path);
+  std::vector<std::vector<uint8_t>> payloads;
+  {
+    obs::WorkloadLogWriter writer;
+    ASSERT_TRUE(writer.Open(path));
+    std::mt19937_64 rng(11);
+    for (int i = 0; i < 20; ++i) {
+      std::vector<uint8_t> payload(static_cast<size_t>(rng() % 300));
+      for (uint8_t& b : payload) b = static_cast<uint8_t>(rng());
+      ASSERT_TRUE(writer.Append(static_cast<uint8_t>(1 + i % 3),
+                                payload.data(), payload.size()));
+      payloads.push_back(std::move(payload));
+    }
+    EXPECT_EQ(writer.rotations(), 0u);
+  }
+  const obs::WorkloadScanResult scan = obs::ScanWorkloadLog(path);
+  EXPECT_TRUE(scan.clean_eof);
+  ASSERT_EQ(scan.frames.size(), payloads.size());
+  for (size_t i = 0; i < payloads.size(); ++i) {
+    EXPECT_EQ(scan.frames[i].type, static_cast<uint8_t>(1 + i % 3));
+    EXPECT_EQ(scan.frames[i].payload, payloads[i]);
+  }
+  RemoveLog(path);
+}
+
+TEST(WorkloadLogTest, MissingFileScansCleanAndEmpty) {
+  const obs::WorkloadScanResult scan =
+      obs::ScanWorkloadLog(TempPath("never_written.mdwl"));
+  EXPECT_TRUE(scan.clean_eof);
+  EXPECT_TRUE(scan.frames.empty());
+}
+
+TEST(WorkloadLogTest, TornTailDropsOnlyTheLastFrame) {
+  const std::string path = TempPath("torn.mdwl");
+  RemoveLog(path);
+  {
+    obs::WorkloadLogWriter writer;
+    ASSERT_TRUE(writer.Open(path));
+    const std::vector<uint8_t> payload(100, 0xAB);
+    for (int i = 0; i < 5; ++i) {
+      ASSERT_TRUE(writer.Append(1, payload.data(), payload.size()));
+    }
+  }
+  // Truncate mid-frame: a crash between fwrite and the end of the record.
+  const uint64_t full = FileSizeOf(path);
+  ASSERT_TRUE(::truncate(path.c_str(), static_cast<off_t>(full - 7)) == 0);
+  const obs::WorkloadScanResult scan = obs::ScanWorkloadLog(path);
+  EXPECT_FALSE(scan.clean_eof);
+  EXPECT_EQ(scan.frames.size(), 4u);
+
+  // A flipped payload byte inside the (now) last intact frame is a CRC
+  // mismatch: the scan keeps only the frames before it. Frames are
+  // 4 (crc) + 4 (length) + 1 (type) + 100 (payload) = 109 bytes, so the
+  // fourth frame's payload spans [336, 436).
+  {
+    std::FILE* file = std::fopen(path.c_str(), "r+b");
+    ASSERT_NE(file, nullptr);
+    std::fseek(file, 3 * 109 + 9 + 50, SEEK_SET);
+    std::fputc(0x5C, file);
+    std::fclose(file);
+  }
+  const obs::WorkloadScanResult corrupt = obs::ScanWorkloadLog(path);
+  EXPECT_FALSE(corrupt.clean_eof);
+  EXPECT_EQ(corrupt.frames.size(), 3u);
+  RemoveLog(path);
+}
+
+TEST(WorkloadLogTest, RotationBoundsFootprintAndScanSeesBothGenerations) {
+  const std::string path = TempPath("rotate.mdwl");
+  RemoveLog(path);
+  obs::WorkloadLogWriter::Options options;
+  options.max_bytes = 1024;
+  obs::WorkloadLogWriter writer;
+  ASSERT_TRUE(writer.Open(path, options));
+  const std::vector<uint8_t> payload(100, 0x42);
+  for (int i = 0; i < 40; ++i) {
+    ASSERT_TRUE(writer.Append(1, payload.data(), payload.size()));
+  }
+  EXPECT_GT(writer.rotations(), 0u);
+  // One rotated generation: footprint stays within ~2x the budget.
+  EXPECT_LE(writer.current_file_bytes(), options.max_bytes);
+  EXPECT_LE(FileSizeOf(path) + FileSizeOf(path + ".1"),
+            2 * options.max_bytes);
+  writer.Close();
+
+  const obs::WorkloadScanResult both =
+      obs::ScanWorkloadLogWithRotation(path);
+  EXPECT_TRUE(both.clean_eof);
+  // The two generations together retain the most recent frames, more than
+  // a single budget's worth.
+  EXPECT_GT(both.frames.size(), 9u);
+  RemoveLog(path);
+}
+
+// ---------------------------------------------------------------------------
+// Record codec, signature, digest
+// ---------------------------------------------------------------------------
+
+WorkloadQueryRecord SampleRecord(uint64_t id) {
+  WorkloadQueryRecord record;
+  record.id = id;
+  record.arrival_unix = 1.7e9 + static_cast<double>(id);
+  record.completion_unix = record.arrival_unix + 0.25;
+  record.outcome = static_cast<uint8_t>(QueryStatus::kOk);
+  record.epsilon = 0.375;
+  record.verified = true;
+  record.opt_prefilter = true;
+  record.opt_composite = false;
+  record.deadline_us = 250000;
+  record.signature = 0x1234567890abcdefull;
+  record.result_digest = 0xfedcba0987654321ull;
+  record.matches = 2;
+  record.interrupted = false;
+  record.stats.node_accesses = 17;
+  record.stats.query_mbrs = 4;
+  record.stats.phase2_candidates = 23;
+  record.stats.phase3_matches = 5;
+  record.stats.filter_matches = 5;
+  record.stats.dnorm_evaluations = 311;
+  record.stats.probe_abandons = 9;
+  record.stats.prefilter_abandons = 6;
+  record.stats.prefilter_survivors = 17;
+  record.stats.bytes_read = 4096;
+  record.stats.shards_total = 2;
+  ShardQueryStats shard;
+  shard.shard = 3;
+  shard.ok = true;
+  shard.rpc_ns = 5555;
+  shard.num_sequences = 15;
+  shard.digest = 0xabcdabcd1234ull;
+  shard.stats.dnorm_evaluations = 150;
+  record.shards.push_back(shard);
+  Sequence query(2);
+  const double points[] = {0.1, 0.2, 0.3, 0.4, 0.5, 0.6};
+  query.Extend(SequenceView(points, 3, 2));
+  record.query = query;
+  return record;
+}
+
+TEST(WorkloadRecordTest, EncodeDecodeRoundTrip) {
+  const WorkloadQueryRecord record = SampleRecord(42);
+  const std::vector<uint8_t> payload = EncodeWorkloadRecord(record);
+  WorkloadQueryRecord decoded;
+  ASSERT_TRUE(
+      DecodeWorkloadRecord(payload.data(), payload.size(), &decoded));
+  EXPECT_EQ(decoded.id, record.id);
+  EXPECT_EQ(decoded.arrival_unix, record.arrival_unix);
+  EXPECT_EQ(decoded.completion_unix, record.completion_unix);
+  EXPECT_EQ(decoded.outcome, record.outcome);
+  EXPECT_EQ(decoded.epsilon, record.epsilon);
+  EXPECT_EQ(decoded.verified, record.verified);
+  EXPECT_EQ(decoded.opt_prefilter, record.opt_prefilter);
+  EXPECT_EQ(decoded.opt_composite, record.opt_composite);
+  EXPECT_EQ(decoded.deadline_us, record.deadline_us);
+  EXPECT_EQ(decoded.signature, record.signature);
+  EXPECT_EQ(decoded.result_digest, record.result_digest);
+  EXPECT_EQ(decoded.matches, record.matches);
+  EXPECT_EQ(decoded.stats.node_accesses, record.stats.node_accesses);
+  EXPECT_EQ(decoded.stats.phase2_candidates,
+            record.stats.phase2_candidates);
+  EXPECT_EQ(decoded.stats.dnorm_evaluations,
+            record.stats.dnorm_evaluations);
+  EXPECT_EQ(decoded.stats.prefilter_abandons,
+            record.stats.prefilter_abandons);
+  EXPECT_EQ(decoded.stats.bytes_read, record.stats.bytes_read);
+  EXPECT_EQ(decoded.stats.shards_total, record.stats.shards_total);
+  ASSERT_EQ(decoded.shards.size(), 1u);
+  EXPECT_EQ(decoded.shards[0].shard, 3u);
+  EXPECT_EQ(decoded.shards[0].ok, true);
+  EXPECT_EQ(decoded.shards[0].rpc_ns, 5555u);
+  EXPECT_EQ(decoded.shards[0].num_sequences, 15u);
+  EXPECT_EQ(decoded.shards[0].digest, 0xabcdabcd1234ull);
+  EXPECT_EQ(decoded.shards[0].stats.dnorm_evaluations, 150u);
+  EXPECT_EQ(decoded.query.dim(), 2u);
+  EXPECT_EQ(decoded.query.size(), 3u);
+  EXPECT_EQ(decoded.query.data(), record.query.data());
+}
+
+TEST(WorkloadRecordTest, DecodeRejectsVersionAndTruncation) {
+  const WorkloadQueryRecord record = SampleRecord(1);
+  std::vector<uint8_t> payload = EncodeWorkloadRecord(record);
+  WorkloadQueryRecord decoded;
+  // Unknown version byte.
+  std::vector<uint8_t> wrong_version = payload;
+  wrong_version[0] = 99;
+  EXPECT_FALSE(DecodeWorkloadRecord(wrong_version.data(),
+                                    wrong_version.size(), &decoded));
+  // Any truncation fails cleanly rather than reading past the end.
+  for (size_t cut : {payload.size() - 1, payload.size() / 2, size_t{3}}) {
+    EXPECT_FALSE(DecodeWorkloadRecord(payload.data(), cut, &decoded))
+        << "cut=" << cut;
+  }
+}
+
+TEST(WorkloadRecordTest, SignatureCanonicalizesTheQuery) {
+  const Workload workload = SmallWorkload(60);
+  const SequenceView query = workload.queries[0].View();
+  const uint64_t base =
+      WorkloadQuerySignature(query, 0.1, true, true, false);
+  // Deterministic across calls.
+  EXPECT_EQ(base, WorkloadQuerySignature(query, 0.1, true, true, false));
+  // Every canonical component moves the signature.
+  EXPECT_NE(base, WorkloadQuerySignature(query, 0.2, true, true, false));
+  EXPECT_NE(base, WorkloadQuerySignature(query, 0.1, false, true, false));
+  EXPECT_NE(base, WorkloadQuerySignature(query, 0.1, true, false, false));
+  EXPECT_NE(base, WorkloadQuerySignature(query, 0.1, true, true, true));
+  EXPECT_NE(base, WorkloadQuerySignature(workload.queries[1].View(), 0.1,
+                                         true, true, false));
+}
+
+TEST(WorkloadRecordTest, ResultDigestIsOrderInvariantAndValueSensitive) {
+  std::vector<SequenceMatch> matches(3);
+  matches[0].sequence_id = 7;
+  matches[0].exact_distance = 0.25;
+  matches[1].sequence_id = 2;
+  matches[1].exact_distance = 0.5;
+  matches[2].sequence_id = 11;
+  matches[2].exact_distance = 0.125;
+  const uint64_t digest = ResultDigest(matches, true);
+
+  std::vector<SequenceMatch> shuffled = {matches[2], matches[0],
+                                         matches[1]};
+  EXPECT_EQ(digest, ResultDigest(shuffled, true));
+
+  std::vector<SequenceMatch> perturbed = matches;
+  perturbed[1].exact_distance += 1e-3;
+  EXPECT_NE(digest, ResultDigest(perturbed, true));
+  std::vector<SequenceMatch> relabeled = matches;
+  relabeled[0].sequence_id = 8;
+  EXPECT_NE(digest, ResultDigest(relabeled, true));
+  // Unverified digests hash min_dnorm instead of exact_distance.
+  EXPECT_NE(digest, ResultDigest(matches, false));
+  EXPECT_EQ(ResultDigest(std::vector<SequenceMatch>(), true),
+            ResultDigest(std::vector<SequenceMatch>(), true));
+}
+
+// ---------------------------------------------------------------------------
+// Recorder: sampling, ring, read-back
+// ---------------------------------------------------------------------------
+
+TEST(WorkloadRecorderTest, SamplingAndRecentRing) {
+  const std::string path = TempPath("recorder.mdwl");
+  RemoveLog(path);
+  WorkloadRecorder::Options options;
+  options.path = path;
+  options.sample_every = 2;
+  options.recent_capacity = 3;
+  WorkloadRecorder recorder(options);
+  ASSERT_TRUE(recorder.ok());
+  for (uint64_t id = 1; id <= 10; ++id) {
+    recorder.Record(SampleRecord(id));
+  }
+  EXPECT_EQ(recorder.records_written(), 5u);
+  EXPECT_EQ(recorder.sampled_out(), 5u);
+  EXPECT_GT(recorder.bytes_written(), 0u);
+
+  // The ring holds the newest `recent_capacity` kept records, newest
+  // first: ids 9, 7, 5 (every other id is sampled out).
+  const std::vector<WorkloadQueryRecord> recent = recorder.Recent(8);
+  ASSERT_EQ(recent.size(), 3u);
+  EXPECT_EQ(recent[0].id, 9u);
+  EXPECT_EQ(recent[1].id, 7u);
+  EXPECT_EQ(recent[2].id, 5u);
+  EXPECT_EQ(recorder.Recent(1).size(), 1u);
+
+  const WorkloadReadResult read = ReadWorkloadRecords(path);
+  EXPECT_TRUE(read.clean);
+  ASSERT_EQ(read.records.size(), 5u);
+  EXPECT_EQ(read.records.front().id, 1u);
+  EXPECT_EQ(read.records.back().id, 9u);
+  RemoveLog(path);
+}
+
+TEST(WorkloadRecorderTest, UnopenablePathCountsFailuresInsteadOfCrashing) {
+  WorkloadRecorder::Options options;
+  options.path = "/nonexistent-dir/never/workload.mdwl";
+  WorkloadRecorder recorder(options);
+  EXPECT_FALSE(recorder.ok());
+  recorder.Record(SampleRecord(1));
+  EXPECT_EQ(recorder.records_written(), 0u);
+  EXPECT_EQ(recorder.write_failures(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// The determinism contract, per configuration
+// ---------------------------------------------------------------------------
+
+// Runs `workload` through an engine built over `database`, recording into
+// a fresh log, and returns the recorded records.
+template <typename Database>
+std::vector<WorkloadQueryRecord> RecordRun(Database* database,
+                                           const Workload& workload,
+                                           const std::string& path,
+                                           double epsilon) {
+  RemoveLog(path);
+  EngineOptions options;
+  options.num_threads = 2;
+  options.workload_log_path = path;
+  QueryEngine engine(database, options);
+  QueryOptions query_options;
+  query_options.epsilon = epsilon;
+  query_options.verified = true;
+  auto futures = engine.SubmitBatch(workload.queries, query_options);
+  for (auto& f : futures) {
+    EXPECT_EQ(f.get().status, QueryStatus::kOk);
+  }
+  engine.Shutdown();
+  const WorkloadReadResult read = ReadWorkloadRecords(path);
+  EXPECT_TRUE(read.clean);
+  EXPECT_EQ(read.records.size(), workload.queries.size());
+  return read.records;
+}
+
+// Replays `recording` against a fresh engine over `database` and asserts
+// the byte-identical digest + deterministic-counter contract.
+template <typename Database>
+void ExpectCleanReplay(Database* database,
+                       const std::vector<WorkloadQueryRecord>& recording) {
+  EngineOptions options;
+  options.num_threads = 2;
+  QueryEngine engine(database, options);
+  const ReplayReport report = RunReplay(&engine, recording);
+  engine.Shutdown();
+  ASSERT_EQ(report.replayed, recording.size());
+  EXPECT_EQ(report.ok, recording.size());
+  const ReplayDiff diff = DiffWorkloads(recording, report.records);
+  EXPECT_EQ(diff.compared, recording.size());
+  EXPECT_TRUE(diff.clean()) << ReplayDiffJson(diff);
+  // Spot-check the strongest claim explicitly: every digest matched
+  // byte for byte.
+  for (size_t i = 0; i < recording.size(); ++i) {
+    EXPECT_EQ(recording[i].result_digest, report.records[i].result_digest);
+  }
+}
+
+TEST(WorkloadReplayTest, InMemoryReplayReproducesDigestsAndCounters) {
+  const Workload workload = SmallWorkload(70);
+  const std::string path = TempPath("replay_mem.mdwl");
+  const std::vector<WorkloadQueryRecord> recording =
+      RecordRun(workload.database.get(), workload, path, 0.2);
+  ExpectCleanReplay(workload.database.get(), recording);
+  RemoveLog(path);
+}
+
+TEST(WorkloadReplayTest, DiskReplayReproducesDigestsAndCounters) {
+  const Workload workload = SmallWorkload(71);
+  const std::string db_path = TempPath("replay_disk.db");
+  std::remove(db_path.c_str());
+  ASSERT_TRUE(DiskDatabase::Save(*workload.database, db_path));
+
+  DiskDatabase recorded(db_path, 64);
+  ASSERT_TRUE(recorded.valid());
+  const std::string path = TempPath("replay_disk.mdwl");
+  const std::vector<WorkloadQueryRecord> recording =
+      RecordRun(&recorded, workload, path, 0.2);
+
+  // A separate instance with a smaller pool: page hits/misses will differ
+  // wildly, digests and deterministic counters must not.
+  DiskDatabase replayed(db_path, 8);
+  ASSERT_TRUE(replayed.valid());
+  ExpectCleanReplay(&replayed, recording);
+  RemoveLog(path);
+  std::remove(db_path.c_str());
+}
+
+TEST(WorkloadReplayTest, FourShardReplayReproducesDigestsPerShard) {
+  const Workload workload = SmallWorkload(72);
+  const std::string path = TempPath("replay_shard.mdwl");
+
+  const std::unique_ptr<ShardSet> record_set =
+      ShardSet::BuildInMemory(*workload.database, 4, PlacementPolicy::kHash);
+  LoopbackTransport record_transport(record_set->nodes());
+  Coordinator record_coordinator(&record_transport,
+                                 record_set->placement());
+  const std::vector<WorkloadQueryRecord> recording =
+      RecordRun(&record_coordinator, workload, path, 0.25);
+
+  // Every record carries the 4-way shard breakdown with per-shard
+  // digests; at least one shard contributed matches somewhere.
+  bool any_shard_digest = false;
+  for (const WorkloadQueryRecord& record : recording) {
+    EXPECT_EQ(record.shards.size(), 4u);
+    for (const ShardQueryStats& shard : record.shards) {
+      any_shard_digest = any_shard_digest || shard.digest != 0;
+    }
+  }
+  EXPECT_TRUE(any_shard_digest);
+
+  // A freshly built, identical shard stack replays clean.
+  const std::unique_ptr<ShardSet> replay_set =
+      ShardSet::BuildInMemory(*workload.database, 4, PlacementPolicy::kHash);
+  LoopbackTransport replay_transport(replay_set->nodes());
+  Coordinator replay_coordinator(&replay_transport,
+                                 replay_set->placement());
+  ExpectCleanReplay(&replay_coordinator, recording);
+  RemoveLog(path);
+}
+
+TEST(WorkloadReplayTest, RecordedPaceReplaysInArrivalOrder) {
+  const Workload workload = SmallWorkload(73);
+  const std::string path = TempPath("replay_pace.mdwl");
+  const std::vector<WorkloadQueryRecord> recording =
+      RecordRun(workload.database.get(), workload, path, 0.2);
+
+  EngineOptions options;
+  options.num_threads = 1;
+  QueryEngine engine(workload.database.get(), options);
+  ReplayOptions replay_options;
+  replay_options.pace = ReplayOptions::Pace::kRecorded;
+  replay_options.speed = 1000.0;  // accelerated: sub-ms recorded gaps
+  const ReplayReport report =
+      RunReplay(&engine, recording, replay_options);
+  engine.Shutdown();
+  EXPECT_EQ(report.replayed, recording.size());
+  EXPECT_TRUE(DiffWorkloads(recording, report.records).clean());
+  RemoveLog(path);
+}
+
+// ---------------------------------------------------------------------------
+// The diff harness flags injected regressions
+// ---------------------------------------------------------------------------
+
+TEST(WorkloadReplayTest, PrefilterRegressionFlaggedByCountersNotDigests) {
+  const Workload workload = SmallWorkload(74);
+  const std::string path = TempPath("replay_prefilter.mdwl");
+  const std::vector<WorkloadQueryRecord> recording =
+      RecordRun(workload.database.get(), workload, path, 0.2);
+
+  EngineOptions options;
+  options.num_threads = 2;
+  options.search.prefilter = false;  // the injected regression
+  QueryEngine engine(workload.database.get(), options);
+  const ReplayReport report = RunReplay(&engine, recording);
+  engine.Shutdown();
+
+  const ReplayDiff diff = DiffWorkloads(recording, report.records);
+  // The prefilter is sound: answers (digests) never move, but the
+  // pruning-cascade counters do — and that is what the diff reports.
+  EXPECT_EQ(diff.digest_divergences, 0u);
+  EXPECT_EQ(diff.outcome_divergences, 0u);
+  EXPECT_GT(diff.counter_divergences, 0u);
+  ASSERT_FALSE(diff.divergences.empty());
+  bool saw_prefilter_row = false;
+  for (const ReplayDivergence& d : diff.divergences) {
+    for (const std::string& row : d.counter_diffs) {
+      saw_prefilter_row =
+          saw_prefilter_row ||
+          row.find("prefilter_abandons") != std::string::npos;
+    }
+  }
+  EXPECT_TRUE(saw_prefilter_row);
+
+  // The JSON payload carries the same verdict for the bench guardrail.
+  const std::string json = ReplayDiffJson(diff);
+  EXPECT_NE(json.find("\"digest_divergences\": 0"), std::string::npos);
+  EXPECT_NE(json.find("\"clean\": false"), std::string::npos);
+  RemoveLog(path);
+}
+
+TEST(WorkloadReplayTest, ShardedRegressionLocalizedToDivergingShards) {
+  const Workload workload = SmallWorkload(75);
+  const std::string path = TempPath("replay_shard_reg.mdwl");
+
+  const std::unique_ptr<ShardSet> record_set =
+      ShardSet::BuildInMemory(*workload.database, 4, PlacementPolicy::kHash);
+  LoopbackTransport record_transport(record_set->nodes());
+  Coordinator record_coordinator(&record_transport,
+                                 record_set->placement());
+  const std::vector<WorkloadQueryRecord> recording =
+      RecordRun(&record_coordinator, workload, path, 0.25);
+
+  // Same corpus and placement, but the shard nodes run with the prefilter
+  // disabled: the divergence must be attributed to specific shards.
+  SearchOptions no_prefilter;
+  no_prefilter.prefilter = false;
+  const std::unique_ptr<ShardSet> replay_set = ShardSet::BuildInMemory(
+      *workload.database, 4, PlacementPolicy::kHash, no_prefilter);
+  LoopbackTransport replay_transport(replay_set->nodes());
+  Coordinator replay_coordinator(&replay_transport,
+                                 replay_set->placement());
+  EngineOptions options;
+  options.num_threads = 2;
+  options.search.prefilter = false;
+  QueryEngine engine(&replay_coordinator, options);
+  const ReplayReport report = RunReplay(&engine, recording);
+  engine.Shutdown();
+
+  const ReplayDiff diff = DiffWorkloads(recording, report.records);
+  EXPECT_EQ(diff.digest_divergences, 0u);
+  EXPECT_GT(diff.counter_divergences, 0u);
+  bool saw_shard_attribution = false;
+  for (const ReplayDivergence& d : diff.divergences) {
+    if (d.diverging_shards.empty()) continue;
+    for (const std::string& row : d.counter_diffs) {
+      saw_shard_attribution =
+          saw_shard_attribution || row.rfind("shard ", 0) == 0;
+    }
+  }
+  EXPECT_TRUE(saw_shard_attribution);
+  RemoveLog(path);
+}
+
+TEST(WorkloadReplayTest, DiffPairsByIdAndCountsUnmatched) {
+  std::vector<WorkloadQueryRecord> a = {SampleRecord(1), SampleRecord(2),
+                                        SampleRecord(3)};
+  std::vector<WorkloadQueryRecord> b = {SampleRecord(2), SampleRecord(3),
+                                        SampleRecord(4)};
+  b[0].result_digest ^= 1;  // id 2 diverges in digest
+  b[1].stats.node_accesses += 5;  // id 3 diverges in a counter
+  const ReplayDiff diff = DiffWorkloads(a, b);
+  EXPECT_EQ(diff.compared, 2u);
+  EXPECT_EQ(diff.unmatched, 2u);  // id 1 only in a, id 4 only in b
+  EXPECT_EQ(diff.digest_divergences, 1u);
+  EXPECT_EQ(diff.counter_divergences, 1u);
+  EXPECT_FALSE(diff.clean());
+  ASSERT_EQ(diff.divergences.size(), 2u);
+}
+
+}  // namespace
+}  // namespace mdseq

@@ -1,0 +1,64 @@
+#!/usr/bin/env bash
+# Keeps the HTTP route catalog honest: every `Handle("METHOD", "/path",
+# ...)` registration in src/ must have a row in the endpoint-catalog table
+# of docs/observability.md (between the endpoint-catalog:begin/end
+# markers), and every catalog row must correspond to a registration. Run
+# from anywhere:
+#
+#   tools/lint_endpoints.sh [repo-root]
+#
+# Wired into ctest as `lint_endpoints` (label: lint). Exits non-zero and
+# prints the drift when the two sets disagree.
+set -euo pipefail
+
+root="${1:-$(cd "$(dirname "$0")/.." && pwd)}"
+docs="$root/docs/observability.md"
+
+if [[ ! -d "$root/src" || ! -f "$docs" ]]; then
+  echo "lint_endpoints: bad repo root '$root'" >&2
+  exit 2
+fi
+
+# Registered routes: Handle("METHOD", "/path", ...) call sites. The match
+# is multi-line aware (-z) because clang-format may break after `Handle(`.
+code_routes=$(grep -rzhoE \
+    'Handle\([[:space:]]*"(GET|POST|PUT|DELETE)",[[:space:]]*"/[^"]*"' \
+    "$root/src" \
+  | tr '\n\0' ' \n' \
+  | sed -E 's/.*"(GET|POST|PUT|DELETE)",[[:space:]]*"([^"]*)"/\1 \2/' \
+  | sort -u)
+
+# Documented routes: backticked `METHOD /path` first column of table rows
+# between the catalog markers.
+doc_routes=$(awk '/endpoint-catalog:begin/,/endpoint-catalog:end/' "$docs" \
+  | grep -oE '^\|[[:space:]]*`(GET|POST|PUT|DELETE) /[^`]*`' \
+  | grep -oE '(GET|POST|PUT|DELETE) /[^`]*' | sort -u)
+
+if [[ -z "$code_routes" || -z "$doc_routes" ]]; then
+  echo "lint_endpoints: extraction came up empty (catalog markers moved?)" >&2
+  exit 2
+fi
+
+status=0
+
+undocumented=$(comm -23 <(printf '%s\n' "$code_routes") \
+                        <(printf '%s\n' "$doc_routes"))
+if [[ -n "$undocumented" ]]; then
+  echo "routes registered in src/ but missing from the $docs catalog:" >&2
+  printf '  %s\n' "$undocumented" >&2
+  status=1
+fi
+
+unregistered=$(comm -13 <(printf '%s\n' "$code_routes") \
+                        <(printf '%s\n' "$doc_routes"))
+if [[ -n "$unregistered" ]]; then
+  echo "routes documented in $docs but never registered in src/:" >&2
+  printf '  %s\n' "$unregistered" >&2
+  status=1
+fi
+
+if [[ "$status" -eq 0 ]]; then
+  count=$(printf '%s\n' "$code_routes" | wc -l)
+  echo "lint_endpoints: $count routes in sync"
+fi
+exit "$status"

@@ -45,6 +45,36 @@
 //             databases + manifest) for scatter-gather serving
 //             mdseq_cli shard-build --corpus=corpus.mdsq --out=shards/
 //                                   [--shards=2 --placement=hash|hilbert]
+//   replay  re-execute a recorded workload log against a build, or diff
+//           two recordings offline
+//             mdseq_cli replay --log=workload.mdwl
+//                              --corpus=corpus.mdsq | --db=corpus.db
+//                              [--shards=0 --placement=hash|hilbert
+//                               --pace=max|recorded --speed=1.0
+//                               --apply-deadlines --prefilter=on|off
+//                               --composite=on|off --pool=256 --threads=0
+//                               --out=replayed.mdwl --json-out=diff.json
+//                               --max_rows=20]
+//             mdseq_cli replay --log=a.mdwl --diff=b.mdwl
+//                              [--json-out=diff.json --max_rows=20]
+//             Run mode re-executes every record (same query, epsilon,
+//             verified flag) against the given corpus/database — or, with
+//             --shards=N, against an N-way in-memory shard coordinator —
+//             and diffs the replayed run against the recording: result
+//             digests exactly, pruning-cascade counters over the
+//             deterministic subset only (never wall times or buffer-pool
+//             hits). --pace=recorded recreates the captured arrival
+//             spacing (divided by --speed; 2.0 = twice as fast);
+//             --pace=max is a closed loop measuring max throughput.
+//             --prefilter/--composite pin the engine's SearchOptions to
+//             probe a knob (e.g. --prefilter=off shows up as per-query
+//             counter divergences, localized per shard for sharded runs).
+//             --out writes the replayed run as a new workload log, so
+//             builds can be compared transitively. --diff skips execution
+//             and compares two existing logs. --json-out writes the diff
+//             as JSON (the BENCH_replay.json payload); exit code is 0
+//             even when runs diverge — divergence is the report, not an
+//             error.
 //   serve-bench  drive the concurrent query engine with N client threads
 //             mdseq_cli serve-bench --corpus=corpus.mdsq | --db=corpus.db
 //                            [--threads=0 --clients=4 --queries=64
@@ -59,7 +89,10 @@
 //                             --metrics-json=metrics.json
 //                             --trace-out=trace.json --trace-cap=4096
 //                             --listen=8080 --slow_ms=50 --linger_s=0
-//                             --log-level=warn]
+//                             --log-level=warn
+//                             --record=workload.mdwl
+//                             --record-sample-every=1
+//                             --record-max-bytes=67108864]
 //             --shards=N (requires --corpus) splits the corpus into N
 //             self-contained shards under the chosen --placement and
 //             serves queries through the scatter-gather coordinator
@@ -90,6 +123,12 @@
 //             keeps the server up that many seconds after the bench
 //             drains for manual curl; --log-level=debug|info|warn|error
 //             sets the structured-log threshold (JSON lines on stderr).
+//             --record=<path> turns on the workload flight recorder: every
+//             completed query is appended to a rotating CRC-framed log
+//             replayable with `mdseq_cli replay`; --record-sample-every=N
+//             keeps every Nth query, --record-max-bytes caps the log file
+//             before rotation. The introspection server then also serves
+//             /debug/workload.
 //
 // Exit codes: 0 success, 1 runtime failure, 2 usage error.
 
@@ -107,6 +146,8 @@
 
 #include "core/search.h"
 #include "engine/query_engine.h"
+#include "engine/workload_recorder.h"
+#include "engine/workload_replay.h"
 #include "ingest/live_database.h"
 #include "gen/fractal.h"
 #include "gen/query_workload.h"
@@ -119,6 +160,7 @@
 #include "obs/trace.h"
 #include "shard/coordinator.h"
 #include "shard/shard_set.h"
+#include "obs/workload_log.h"
 #include "shard/transport.h"
 #include "storage/disk_database.h"
 #include "util/flags.h"
@@ -132,7 +174,7 @@ int Usage() {
   std::fprintf(stderr,
                "usage: mdseq_cli "
                "<gen|info|export|query|topk|builddb|querydb|explain|"
-               "ingest|shard-build|serve-bench> [--flags]\n"
+               "ingest|shard-build|replay|serve-bench> [--flags]\n"
                "see the header of tools/mdseq_cli.cc for details\n");
   return 2;
 }
@@ -668,6 +710,249 @@ int RunShardBuild(const Flags& flags) {
   return 0;
 }
 
+// Parses an on/off knob flag; leaves *value untouched when absent.
+bool ParseOnOff(const Flags& flags, const char* name, const char* command,
+                bool* value, bool* ok) {
+  const std::string text = flags.GetString(name, "");
+  if (text.empty()) return true;
+  if (text == "on") {
+    *value = true;
+  } else if (text == "off") {
+    *value = false;
+  } else {
+    std::fprintf(stderr, "%s: --%s must be on or off (got %s)\n", command,
+                 name, text.c_str());
+    *ok = false;
+    return false;
+  }
+  return true;
+}
+
+void PrintReplayDiff(const ReplayDiff& diff, size_t max_rows) {
+  std::printf("diff      : %llu compared, %llu unmatched; divergences: "
+              "%llu outcome, %llu digest, %llu counter -> %s\n",
+              static_cast<unsigned long long>(diff.compared),
+              static_cast<unsigned long long>(diff.unmatched),
+              static_cast<unsigned long long>(diff.outcome_divergences),
+              static_cast<unsigned long long>(diff.digest_divergences),
+              static_cast<unsigned long long>(diff.counter_divergences),
+              diff.clean() ? "CLEAN" : "DIVERGED");
+  size_t shown = 0;
+  for (const ReplayDivergence& d : diff.divergences) {
+    if (shown++ >= max_rows) {
+      std::printf("  ... %zu more diverging quer(ies) (raise --max_rows)\n",
+                  diff.divergences.size() - max_rows);
+      break;
+    }
+    std::printf("  query %llu: outcome %s -> %s",
+                static_cast<unsigned long long>(d.id), d.outcome_a,
+                d.outcome_b);
+    if (d.digest_differs) {
+      std::printf(", digest %016llx -> %016llx (%llu vs %llu matches)",
+                  static_cast<unsigned long long>(d.digest_a),
+                  static_cast<unsigned long long>(d.digest_b),
+                  static_cast<unsigned long long>(d.matches_a),
+                  static_cast<unsigned long long>(d.matches_b));
+    }
+    if (!d.diverging_shards.empty()) {
+      std::printf(", shards");
+      for (const uint32_t shard : d.diverging_shards) {
+        std::printf(" %u", shard);
+      }
+    }
+    std::printf("\n");
+    for (const std::string& row : d.counter_diffs) {
+      std::printf("    %s\n", row.c_str());
+    }
+  }
+}
+
+bool WriteWorkloadLogFile(const std::string& path,
+                          const std::vector<WorkloadQueryRecord>& records) {
+  std::remove(path.c_str());  // start a fresh log, not an append
+  obs::WorkloadLogWriter writer;
+  if (!writer.Open(path)) return false;
+  for (const WorkloadQueryRecord& record : records) {
+    const std::vector<uint8_t> payload = EncodeWorkloadRecord(record);
+    if (!writer.Append(kWorkloadQueryFrame, payload.data(),
+                       payload.size())) {
+      return false;
+    }
+  }
+  writer.Close();
+  return true;
+}
+
+// replay: re-execute a recorded workload log against a build (in-memory,
+// disk, or sharded) and diff the run against the recording — or, with
+// --diff, compare two recordings offline without executing anything.
+int RunReplayCmd(const Flags& flags) {
+  const std::string log_path = flags.GetString("log", "");
+  if (log_path.empty()) {
+    std::fprintf(stderr, "replay: --log=<workload log> is required\n");
+    return 2;
+  }
+  const WorkloadReadResult recording = ReadWorkloadRecords(log_path);
+  if (recording.records.empty()) {
+    std::fprintf(stderr, "replay: no records in %s%s\n", log_path.c_str(),
+                 recording.clean ? "" : " (torn or corrupt log)");
+    return 1;
+  }
+  std::printf("recording : %zu record(s) from %s%s%s\n",
+              recording.records.size(), log_path.c_str(),
+              recording.clean ? "" : " (torn tail dropped)",
+              recording.skipped > 0 ? " (unknown frames skipped)" : "");
+  const size_t max_rows = flags.GetSize("max_rows", 20);
+  const std::string json_out = flags.GetString("json-out", "");
+
+  const std::string diff_path = flags.GetString("diff", "");
+  if (!diff_path.empty()) {
+    // Offline mode: compare two logs record-by-record, no execution.
+    const WorkloadReadResult other = ReadWorkloadRecords(diff_path);
+    if (other.records.empty()) {
+      std::fprintf(stderr, "replay: no records in %s\n", diff_path.c_str());
+      return 1;
+    }
+    std::printf("against   : %zu record(s) from %s\n", other.records.size(),
+                diff_path.c_str());
+    const ReplayDiff diff =
+        DiffWorkloads(recording.records, other.records);
+    PrintReplayDiff(diff, max_rows);
+    if (!json_out.empty() &&
+        !WriteTextFile(json_out, ReplayDiffJson(diff))) {
+      std::fprintf(stderr, "replay: failed to write %s\n", json_out.c_str());
+      return 1;
+    }
+    return 0;
+  }
+
+  const std::string corpus_path = flags.GetString("corpus", "");
+  const std::string db_path = flags.GetString("db", "");
+  if (corpus_path.empty() == db_path.empty()) {
+    std::fprintf(stderr,
+                 "replay: exactly one of --corpus / --db is required "
+                 "(or --diff for offline mode)\n");
+    return 2;
+  }
+  const size_t num_shards = flags.GetSize("shards", 0);
+  if (num_shards > 0 && corpus_path.empty()) {
+    std::fprintf(stderr, "replay: --shards requires --corpus\n");
+    return 2;
+  }
+  PlacementPolicy placement_policy = PlacementPolicy::kHash;
+  const std::string placement_name = flags.GetString("placement", "hash");
+  if (!ParsePlacementPolicy(placement_name.c_str(), &placement_policy)) {
+    std::fprintf(stderr, "replay: unknown --placement=%s\n",
+                 placement_name.c_str());
+    return 2;
+  }
+
+  ReplayOptions replay_options;
+  const std::string pace = flags.GetString("pace", "max");
+  if (pace == "max") {
+    replay_options.pace = ReplayOptions::Pace::kMax;
+  } else if (pace == "recorded") {
+    replay_options.pace = ReplayOptions::Pace::kRecorded;
+  } else {
+    std::fprintf(stderr, "replay: unknown --pace=%s\n", pace.c_str());
+    return 2;
+  }
+  replay_options.speed = flags.GetDouble("speed", 1.0);
+  if (replay_options.speed <= 0) {
+    std::fprintf(stderr, "replay: --speed must be > 0\n");
+    return 2;
+  }
+  replay_options.apply_deadlines = flags.Has("apply-deadlines");
+
+  EngineOptions options;
+  options.num_threads = flags.GetSize("threads", 0);
+  options.queue_capacity = flags.GetSize("queue", 1024);
+  bool knobs_ok = true;
+  ParseOnOff(flags, "prefilter", "replay", &options.search.prefilter,
+             &knobs_ok);
+  ParseOnOff(flags, "composite", "replay", &options.search.composite_bound,
+             &knobs_ok);
+  if (!knobs_ok) return 2;
+
+  // Build the replay target the same way serve-bench does.
+  std::unique_ptr<SequenceDatabase> memory_database;
+  std::unique_ptr<DiskDatabase> disk_database;
+  std::unique_ptr<ShardSet> shard_set;
+  std::unique_ptr<LoopbackTransport> shard_transport;
+  std::unique_ptr<Coordinator> coordinator;
+  if (!corpus_path.empty()) {
+    auto loaded = ReadSequences(corpus_path);
+    if (!loaded.has_value() || loaded->empty()) {
+      std::fprintf(stderr, "replay: failed to read corpus %s\n",
+                   corpus_path.c_str());
+      return 1;
+    }
+    if (num_shards > 0) {
+      SequenceDatabase full(loaded->front().dim());
+      for (const Sequence& s : *loaded) full.Add(s);
+      // The knob flags must reach the shard nodes too: each shard runs its
+      // own SimilaritySearch with the options it was built with.
+      shard_set = ShardSet::BuildInMemory(full, num_shards,
+                                          placement_policy, options.search);
+      shard_transport =
+          std::make_unique<LoopbackTransport>(shard_set->nodes());
+      coordinator = std::make_unique<Coordinator>(shard_transport.get(),
+                                                  shard_set->placement());
+    } else {
+      memory_database =
+          std::make_unique<SequenceDatabase>(loaded->front().dim());
+      for (const Sequence& s : *loaded) memory_database->Add(s);
+    }
+  } else {
+    disk_database = std::make_unique<DiskDatabase>(
+        db_path, flags.GetSize("pool", 256));
+    if (!disk_database->valid()) {
+      std::fprintf(stderr, "replay: failed to open %s\n", db_path.c_str());
+      return 1;
+    }
+  }
+
+  std::unique_ptr<QueryEngine> engine;
+  if (coordinator != nullptr) {
+    engine = std::make_unique<QueryEngine>(coordinator.get(), options);
+  } else if (memory_database != nullptr) {
+    engine = std::make_unique<QueryEngine>(memory_database.get(), options);
+  } else {
+    engine = std::make_unique<QueryEngine>(disk_database.get(), options);
+  }
+
+  const ReplayReport report =
+      RunReplay(engine.get(), recording.records, replay_options);
+  engine->Shutdown();
+  std::printf("replayed  : %llu quer(ies), %llu ok, %.3f s (%s pace) "
+              "-> %.0f queries/s\n",
+              static_cast<unsigned long long>(report.replayed),
+              static_cast<unsigned long long>(report.ok),
+              report.wall_seconds, pace.c_str(),
+              report.wall_seconds > 0
+                  ? static_cast<double>(report.replayed) /
+                        report.wall_seconds
+                  : 0.0);
+
+  const ReplayDiff diff = DiffWorkloads(recording.records, report.records);
+  PrintReplayDiff(diff, max_rows);
+
+  const std::string out = flags.GetString("out", "");
+  if (!out.empty()) {
+    if (!WriteWorkloadLogFile(out, report.records)) {
+      std::fprintf(stderr, "replay: failed to write %s\n", out.c_str());
+      return 1;
+    }
+    std::printf("replay log: %zu record(s) -> %s\n", report.records.size(),
+                out.c_str());
+  }
+  if (!json_out.empty() && !WriteTextFile(json_out, ReplayDiffJson(diff))) {
+    std::fprintf(stderr, "replay: failed to write %s\n", json_out.c_str());
+    return 1;
+  }
+  return 0;
+}
+
 // serve-bench: N client threads submit batches of drawn queries into the
 // concurrent engine; reports QPS and the engine counters. Works against an
 // in-memory corpus (--corpus) or a disk database (--db). With
@@ -771,6 +1056,19 @@ int RunServeBench(const Flags& flags) {
   }
   if (!trace_out.empty() || listen) {
     options.trace_capacity = flags.GetSize("trace-cap", 4096);
+  }
+  const std::string record_path = flags.GetString("record", "");
+  if (!record_path.empty()) {
+    options.workload_log_path = record_path;
+    options.workload_sample_every =
+        flags.GetSize("record-sample-every", 1);
+    options.workload_max_bytes =
+        flags.GetSize("record-max-bytes", 64ull << 20);
+    if (options.workload_sample_every == 0) {
+      std::fprintf(stderr,
+                   "serve-bench: --record-sample-every must be >= 1\n");
+      return 2;
+    }
   }
 
   // The query set is drawn from the stored sequences either way; for a
@@ -880,10 +1178,11 @@ int RunServeBench(const Flags& flags) {
     }
     std::printf("listening : http://127.0.0.1:%d  "
                 "(/metrics /healthz /debug/active /debug/cancel "
-                "/debug/slow /debug/trace%s%s)\n",
+                "/debug/slow /debug/trace%s%s%s)\n",
                 engine->introspection_port(),
                 ingest_rate > 0 ? " /debug/ingest" : "",
-                coordinator != nullptr ? " /debug/shards" : "");
+                coordinator != nullptr ? " /debug/shards" : "",
+                record_path.empty() ? "" : " /debug/workload");
     std::fflush(stdout);
   }
 
@@ -1081,6 +1380,22 @@ int RunServeBench(const Flags& flags) {
                 trace_out.c_str());
   }
 
+  if (!record_path.empty()) {
+    const WorkloadRecorder* recorder = engine->workload_recorder();
+    if (recorder == nullptr || !recorder->ok()) {
+      std::fprintf(stderr, "serve-bench: failed to open --record=%s\n",
+                   record_path.c_str());
+      return 1;
+    }
+    std::printf("recorded  : %llu record(s), %llu bytes (%llu sampled out, "
+                "%llu rotation(s)) -> %s\n",
+                static_cast<unsigned long long>(recorder->records_written()),
+                static_cast<unsigned long long>(recorder->bytes_written()),
+                static_cast<unsigned long long>(recorder->sampled_out()),
+                static_cast<unsigned long long>(recorder->rotations()),
+                record_path.c_str());
+  }
+
   // --linger_s keeps the engine (and its introspection server) alive after
   // the workload drains, so the endpoints can be probed manually.
   const size_t linger_s = flags.GetSize("linger_s", 0);
@@ -1125,6 +1440,7 @@ int main(int argc, char** argv) {
   if (command == "explain") return RunExplain(flags);
   if (command == "ingest") return RunIngest(flags);
   if (command == "shard-build") return RunShardBuild(flags);
+  if (command == "replay") return RunReplayCmd(flags);
   if (command == "serve-bench") return RunServeBench(flags);
   return Usage();
 }

@@ -29,8 +29,16 @@
 # top-k latency across loopback shard counts, and the codec throughput
 # floor per RPC.
 #
+# A fourth file (BENCH_replay.json by default) baselines the workload
+# flight recorder and replay harness: record encode/append/scan
+# throughput from micro_workload, plus an end-to-end record -> replay ->
+# diff loop through mdseq_cli — a same-build replay must be CLEAN
+# (byte-identical digests and cascade counters), and an injected
+# regression (prefilter disabled) must surface as counter divergences
+# with digests intact.
+#
 # Usage: tools/run_benchmarks.sh [build-dir] [out.json] [ingest-out.json] \
-#                                [shard-out.json]
+#                                [shard-out.json] [replay-out.json]
 # Build an optimized tree first:  cmake --preset release &&
 #                                 cmake --build --preset release -j
 set -euo pipefail
@@ -39,6 +47,7 @@ BUILD_DIR="${1:-build-release}"
 OUT="${2:-BENCH_kernels.json}"
 OUT_INGEST="${3:-BENCH_ingest.json}"
 OUT_SHARD="${4:-BENCH_shard.json}"
+OUT_REPLAY="${5:-BENCH_replay.json}"
 
 if [[ ! -x "$BUILD_DIR/bench/micro_dnorm" ]]; then
   echo "error: $BUILD_DIR/bench/micro_dnorm not found or not executable." >&2
@@ -190,5 +199,62 @@ jq '.summary' "$OUT_SHARD"
 # the direct search (it adds one codec round trip and a pool hop).
 jq -e '.summary.scatter_overhead_1 <= 2' "$OUT_SHARD" >/dev/null || {
   echo "error: single-shard coordinator overhead above the 2x acceptance bar" >&2
+  exit 1
+}
+
+# --- Workload record/replay baseline ----------------------------------------
+
+CLI="$BUILD_DIR/tools/mdseq_cli"
+"$BUILD_DIR/bench/micro_workload" --json \
+  --benchmark_filter='WorkloadRecord|WorkloadLogScan' >"$tmp/workload.json"
+
+# End-to-end determinism loop: record a served workload, replay it on the
+# same build (must be CLEAN), then replay with the prefilter disabled (the
+# injected regression — counters must move, digests must not).
+"$CLI" gen --kind=walk --dim=2 --count=48 --min_len=64 --max_len=192 \
+  --seed=7 --out="$tmp/replay_corpus.mdsq" >/dev/null
+"$CLI" serve-bench --corpus="$tmp/replay_corpus.mdsq" --clients=2 \
+  --queries=24 --eps=0.15 --verified --seed=7 \
+  --record="$tmp/replay_workload.mdwl" >/dev/null
+"$CLI" replay --log="$tmp/replay_workload.mdwl" \
+  --corpus="$tmp/replay_corpus.mdsq" \
+  --json-out="$tmp/replay_same.json" >/dev/null
+"$CLI" replay --log="$tmp/replay_workload.mdwl" \
+  --corpus="$tmp/replay_corpus.mdsq" --prefilter=off \
+  --json-out="$tmp/replay_regression.json" >/dev/null
+
+jq -s '
+  def bench(n): (.[0].benchmarks[] | select(.name == n));
+  {
+    summary: {
+      record_encode_ns: bench("BM_WorkloadRecordEncode").real_time,
+      record_append_ns: bench("BM_WorkloadRecordAppend").real_time,
+      recorder_record_ns: bench("BM_WorkloadRecorderRecord").real_time,
+      record_bytes: bench("BM_WorkloadRecordEncode").bytes_per_record,
+      scan_records_per_sec:
+        bench("BM_WorkloadLogScan/1024").items_per_second,
+      replay_same_build: .[1].summary,
+      replay_prefilter_off: .[2].summary
+    },
+    context: (.[0].context | del(.date, .load_avg)),
+    benchmarks: .[0].benchmarks
+  }' "$tmp/workload.json" "$tmp/replay_same.json" \
+  "$tmp/replay_regression.json" >"$OUT_REPLAY"
+
+echo "wrote $OUT_REPLAY"
+jq '.summary' "$OUT_REPLAY"
+
+# Guardrails: a same-build replay reproduces digests and counters exactly;
+# the injected regression is flagged by counters while digests stay intact
+# (the prefilter is sound — it changes work, never answers).
+jq -e '.summary.replay_same_build.clean == true' "$OUT_REPLAY" \
+  >/dev/null || {
+  echo "error: same-build replay diverged (digests/counters not reproducible)" >&2
+  exit 1
+}
+jq -e '.summary.replay_prefilter_off.counter_divergences > 0 and
+       .summary.replay_prefilter_off.digest_divergences == 0' \
+  "$OUT_REPLAY" >/dev/null || {
+  echo "error: prefilter-off replay was not flagged (or changed answers)" >&2
   exit 1
 }
