@@ -1,0 +1,170 @@
+// Microbenchmarks of the serving QoS subsystem (src/serve): the result
+// cache's hit-vs-miss latency gap through the full engine Submit path,
+// the all-miss overhead an enabled cache + tenant classes add over the
+// plain engine (the "exact serving pays nothing" guardrail), and the
+// approximate tier's speedup-vs-achieved-quality curve across candidate
+// budgets (with the certified error bound reported per budget). Supports
+// `--json` (see json_main.h); tools/run_benchmarks.sh assembles the
+// BENCH_cache.json baseline and guardrails from these.
+
+#include <cstdint>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "core/search.h"
+#include "engine/query_engine.h"
+#include "eval/experiment.h"
+#include "json_main.h"
+
+namespace {
+
+using namespace mdseq;
+
+// A corpus large enough that Phase 3 sees tens-to-hundreds of candidates
+// per query, so the candidate budgets below genuinely bind.
+const Workload& ServeWorkload() {
+  static const Workload workload = [] {
+    WorkloadConfig config;
+    config.kind = DataKind::kSynthetic;
+    config.num_sequences = 400;
+    config.min_length = 56;
+    config.max_length = 256;
+    config.num_queries = 16;
+    config.seed = 1234;
+    return BuildWorkload(config);
+  }();
+  return workload;
+}
+
+constexpr double kEpsilon = 0.15;
+
+// One engine round trip served from the cache: the repeat submission of a
+// warmed query. Hits complete on the caller thread (no queue hop, no
+// search), which is the whole point of the >=10x bar.
+void BM_ServeCacheHit(benchmark::State& state) {
+  const Workload& workload = ServeWorkload();
+  EngineOptions options;
+  options.num_threads = 2;
+  options.cache_bytes = 16 << 20;
+  QueryEngine engine(workload.database.get(), options);
+  QueryOptions query_options;
+  query_options.epsilon = kEpsilon;
+  query_options.verified = true;
+  engine.Submit(workload.queries[0], query_options).get();  // warm
+  for (auto _ : state) {
+    const QueryOutcome outcome =
+        engine.Submit(workload.queries[0], query_options).get();
+    benchmark::DoNotOptimize(outcome.result.matches.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["cache_hits"] = benchmark::Counter(
+      static_cast<double>(engine.result_cache()->GetStats().hits));
+}
+
+// The same round trip on an all-miss stream (every submission a fresh
+// signature via an epsilon nudge): full search plus the cache probe and
+// insert — the denominator of the hit speedup.
+void BM_ServeCacheMiss(benchmark::State& state) {
+  const Workload& workload = ServeWorkload();
+  EngineOptions options;
+  options.num_threads = 2;
+  options.cache_bytes = 16 << 20;
+  QueryEngine engine(workload.database.get(), options);
+  QueryOptions query_options;
+  query_options.verified = true;
+  uint64_t round = 0;
+  for (auto _ : state) {
+    query_options.epsilon = kEpsilon + 1e-9 * static_cast<double>(++round);
+    const QueryOutcome outcome =
+        engine.Submit(workload.queries[0], query_options).get();
+    benchmark::DoNotOptimize(outcome.result.matches.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["cache_insertions"] = benchmark::Counter(
+      static_cast<double>(engine.result_cache()->GetStats().insertions));
+}
+
+// One full workload batch through the engine, QoS subsystem disabled
+// (default options): the baseline the <=5% overhead guardrail compares
+// against.
+void BM_ServeBatchDisabled(benchmark::State& state) {
+  const Workload& workload = ServeWorkload();
+  EngineOptions options;
+  options.num_threads = 2;
+  QueryEngine engine(workload.database.get(), options);
+  QueryOptions query_options;
+  query_options.verified = true;
+  uint64_t round = 0;
+  for (auto _ : state) {
+    query_options.epsilon = kEpsilon + 1e-9 * static_cast<double>(++round);
+    auto futures = engine.SubmitBatch(workload.queries, query_options);
+    for (auto& f : futures) benchmark::DoNotOptimize(f.get().status);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(workload.queries.size()));
+}
+
+// The same batch with the cache and two tenant classes enabled on an
+// all-miss stream (per-round epsilon nudge, so every query pays the
+// probe, the tenant-queue pick, and the insert). Must stay within 5% of
+// the disabled baseline.
+void BM_ServeBatchEnabledMiss(benchmark::State& state) {
+  const Workload& workload = ServeWorkload();
+  EngineOptions options;
+  options.num_threads = 2;
+  options.cache_bytes = 16 << 20;
+  options.tenant_classes = {{"gold", 2}, {"bronze", 1}};
+  QueryEngine engine(workload.database.get(), options);
+  QueryOptions query_options;
+  query_options.verified = true;
+  uint64_t round = 0;
+  for (auto _ : state) {
+    query_options.epsilon = kEpsilon + 1e-9 * static_cast<double>(++round);
+    auto futures = engine.SubmitBatch(workload.queries, query_options);
+    for (auto& f : futures) benchmark::DoNotOptimize(f.get().status);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(workload.queries.size()));
+}
+
+// The approximate tier, straight through the search (no engine noise):
+// one iteration runs the whole query set under a Phase-3 candidate budget
+// of range(0) (0 = exact). Reported counters are the achieved quality —
+// mean certified error bound and mean skipped candidates — so the
+// baseline file carries the speedup *and* the quality it bought.
+void BM_ServeApprox(benchmark::State& state) {
+  const Workload& workload = ServeWorkload();
+  SearchOptions options;
+  options.max_candidates = static_cast<uint64_t>(state.range(0));
+  const SimilaritySearch search(workload.database.get(), options);
+  double certified_sum = 0.0;
+  double skipped_sum = 0.0;
+  for (auto _ : state) {
+    certified_sum = 0.0;
+    skipped_sum = 0.0;
+    for (const Sequence& query : workload.queries) {
+      const SearchResult result =
+          search.SearchVerified(query.View(), kEpsilon);
+      certified_sum += result.stats.approx_certified_epsilon;
+      skipped_sum +=
+          static_cast<double>(result.stats.approx_candidates_skipped);
+      benchmark::DoNotOptimize(result.matches.data());
+    }
+  }
+  const double queries = static_cast<double>(workload.queries.size());
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(workload.queries.size()));
+  state.counters["certified_epsilon"] =
+      benchmark::Counter(certified_sum / queries);
+  state.counters["skipped_per_query"] =
+      benchmark::Counter(skipped_sum / queries);
+}
+
+BENCHMARK(BM_ServeCacheHit);
+BENCHMARK(BM_ServeCacheMiss);
+BENCHMARK(BM_ServeBatchDisabled);
+BENCHMARK(BM_ServeBatchEnabledMiss);
+BENCHMARK(BM_ServeApprox)->Arg(0)->Arg(4)->Arg(16)->Arg(64);
+
+}  // namespace

@@ -431,8 +431,20 @@ SearchResult SimilaritySearch::Search(SequenceView query, double epsilon,
     obs::SpanScope span(control.trace, "second_pruning");
     control.SetPhase(SearchPhase::kSecondPruning);
     const auto start = SteadyClock::now();
-    for (size_t slot : CandidateOrder(pruned)) {
+    const std::vector<size_t> order = CandidateOrder(pruned);
+    for (size_t pos = 0; pos < order.size(); ++pos) {
+      const size_t slot = order[pos];
       const size_t id = pruned.candidates[slot];
+      if (options_.max_candidates > 0 &&
+          pos == options_.max_candidates) {
+        // Budget cut: candidates are ordered by ascending minimum Dmbr, so
+        // every skipped candidate's distance is at least this slot's bound
+        // — the result stays exact below the certified threshold.
+        result.stats.approx_candidates_skipped = order.size() - pos;
+        result.stats.approx_certified_epsilon =
+            std::min(epsilon, std::sqrt(pruned.min_dist2[slot]));
+        break;
+      }
       if (control.ShouldStop()) {
         result.interrupted = true;
         break;
@@ -465,6 +477,11 @@ SearchResult SimilaritySearch::Search(SequenceView query, double epsilon,
   }
   result.stats.phase3_matches = result.matches.size();
   result.stats.filter_matches = result.matches.size();
+  if (result.stats.approx_candidates_skipped == 0) {
+    // The budget did not bind (or none was set): the full answer at the
+    // requested threshold.
+    result.stats.approx_certified_epsilon = epsilon;
+  }
   return result;
 }
 
@@ -541,6 +558,8 @@ obs::ExplainStats ToExplainStats(const SearchResult& result,
   out.prefilter_abandons = stats.prefilter_abandons;
   out.prefilter_survivors = stats.prefilter_survivors;
   out.prefilter_ns = stats.prefilter_ns;
+  out.approx_candidates_skipped = stats.approx_candidates_skipped;
+  out.approx_certified_epsilon = stats.approx_certified_epsilon;
   out.shards_total = stats.shards_total;
   out.shards_failed = stats.shards_failed;
   out.fanout_wait_ns = stats.fanout_wait_ns;
@@ -586,7 +605,9 @@ std::vector<SequenceMatch> SimilaritySearch::SearchNearest(SequenceView query,
       std::sqrt(static_cast<double>(database_->dim()));
   std::map<size_t, double> verified;  // id -> exact SequenceDistance
   double epsilon = 0.05;
+  uint32_t rounds = 0;
   while (true) {
+    ++rounds;
     SearchResult filtered = Search(query, epsilon);
     for (const SequenceMatch& match : filtered.matches) {
       if (verified.count(match.sequence_id) != 0) continue;
@@ -594,7 +615,12 @@ std::vector<SequenceMatch> SimilaritySearch::SearchNearest(SequenceView query,
           query, database_->sequence(match.sequence_id).View(), epsilon);
       if (exact <= epsilon) verified.emplace(match.sequence_id, exact);
     }
-    if (verified.size() >= k || epsilon >= max_epsilon) {
+    // The approximate tier's round cap stops the doubling early: the
+    // matches found so far are exact and correctly ranked, there may just
+    // be fewer than k of them.
+    const bool budget_cut = options_.max_epsilon_rounds > 0 &&
+                            rounds >= options_.max_epsilon_rounds;
+    if (verified.size() >= k || epsilon >= max_epsilon || budget_cut) {
       // Every cached id re-qualifies at the final (largest) threshold, so
       // `filtered.matches` carries its current min_dnorm; the exact
       // solution intervals are computed only for the reported top-k.

@@ -124,6 +124,22 @@ struct SearchStats {
   uint32_t shards_total = 0;
   uint32_t shards_failed = 0;
 
+  /// Approximate-tier quality accounting (see `SearchOptions::
+  /// max_candidates`). `approx_candidates_skipped` counts Phase-3
+  /// candidates left unevaluated because the candidate budget bound; it is
+  /// deterministic (a function of the query, data, and options only), so
+  /// the replay harness diffs it like the other cascade counters.
+  /// `approx_certified_epsilon` is the largest threshold for which the
+  /// result is provably complete: `epsilon` when the budget did not bind
+  /// (the result is exact), otherwise the smallest minimum Dmbr among the
+  /// skipped candidates — every skipped sequence's distance is at least
+  /// that, so no sequence within the certified threshold was missed. For
+  /// coordinator-merged results this is the weakest (smallest) bound any
+  /// surviving shard reported. Interrupted results are partial regardless;
+  /// the bound is only meaningful when `interrupted` is false.
+  uint64_t approx_candidates_skipped = 0;
+  double approx_certified_epsilon = 0.0;
+
   /// Wall time of the whole search as the phase sum (assembly is inside
   /// the second-pruning slice, so it is not added again).
   uint64_t TotalPhaseNs() const {
@@ -302,6 +318,20 @@ struct SearchOptions {
   /// only the cost profile changes. Ignored (treated as off) under
   /// `composite_bound`, which needs every probe's exact minimum Dnorm.
   bool prefilter = true;
+
+  /// Approximate tier (src/serve): caps the Phase-3 candidates evaluated
+  /// per query (0 = unlimited = exact). Candidates are processed in
+  /// ascending minimum-Dmbr order, so a budget cut skips only candidates
+  /// whose distance is at least the first skipped candidate's minimum
+  /// Dmbr; the result is therefore *exact* for every threshold up to
+  /// `SearchStats::approx_certified_epsilon` — no false dismissals below
+  /// the certified bound, ever.
+  uint64_t max_candidates = 0;
+
+  /// Caps the epsilon-doubling rounds of `SearchNearest` (0 = unlimited).
+  /// Under the cap the returned neighbors may be fewer than `k`, but every
+  /// reported match is still exact and correctly ranked.
+  uint32_t max_epsilon_rounds = 0;
 };
 
 /// The paper's three-phase SIMILARITY_SEARCH algorithm (Section 3.4.2):

@@ -426,6 +426,46 @@ void RegisterEngineEndpoints(obs::http::HttpServer* server,
     return JsonResponse(200, IngestStatusJson(database->Status()));
   });
 
+  server->Handle("GET", "/debug/cache", [engine](const HttpRequest&) {
+    ResultCache* cache = engine->result_cache();
+    if (cache == nullptr) {
+      return TextResponse(404, "result cache off (set cache_bytes)\n");
+    }
+    return JsonResponse(200, cache->DebugJson());
+  });
+
+  server->Handle("GET", "/debug/tenants", [engine](const HttpRequest&) {
+    const std::vector<TenantClassStats> classes = engine->TenantStats();
+    if (classes.empty()) {
+      return TextResponse(
+          404, "tenant admission classes off (set tenant_classes)\n");
+    }
+    std::string out = "{\"classes\": [";
+    for (size_t i = 0; i < classes.size(); ++i) {
+      const TenantClassStats& c = classes[i];
+      if (i > 0) out.append(", ");
+      out.append("{\"name\": \"").append(c.name).append("\", ");
+      AppendU64(&out, "weight", c.weight);
+      out.append(", ");
+      AppendU64(&out, "quota", c.quota);
+      out.append(", ");
+      AppendU64(&out, "depth", c.depth);
+      out.append(", ");
+      AppendU64(&out, "submitted", c.submitted);
+      out.append(", ");
+      AppendU64(&out, "admitted", c.admitted);
+      out.append(", ");
+      AppendU64(&out, "rejected", c.rejected);
+      out.append(", ");
+      AppendU64(&out, "shed", c.shed);
+      out.append(", ");
+      AppendU64(&out, "popped", c.popped);
+      out.append("}");
+    }
+    out.append("]}");
+    return JsonResponse(200, std::move(out));
+  });
+
   server->Handle("GET", "/debug/shards", [engine](const HttpRequest&) {
     Coordinator* coordinator = engine->coordinator();
     if (coordinator == nullptr) {

@@ -34,6 +34,7 @@ ThreadPool::Options PoolOptions(const EngineOptions& options) {
   pool.queue_capacity = options.queue_capacity;
   pool.policy = options.policy;
   pool.start_suspended = options.start_suspended;
+  pool.tenant_classes = options.tenant_classes;
   return pool;
 }
 
@@ -63,6 +64,13 @@ struct QueryEngine::Pending {
 
   Sequence query;
   QueryOptions options;
+  /// Result-cache context (cache-enabled engines only): the canonical
+  /// signature key, the snapshot stamp read before execution, and whether
+  /// this query leads the single-flight for its key.
+  uint64_t cache_key = 0;
+  uint64_t cache_stamp = 0;
+  bool cache_probe = false;
+  bool cache_leader = false;
   /// Engine-assigned, 1-based submission ordinal; labels the query's trace.
   uint64_t id = 0;
   Clock::time_point submit_time;
@@ -134,6 +142,28 @@ struct QueryEngine::Metrics {
   obs::Counter* ingest_rejected = nullptr;
   obs::Counter* wal_fsyncs = nullptr;
   obs::Histogram* checkpoint_seconds = nullptr;
+
+  /// Result cache (cache-enabled engines only; null otherwise). Counters
+  /// advance at scrape time by the delta of the cache's own counters.
+  obs::Counter* cache_hits = nullptr;
+  obs::Counter* cache_misses = nullptr;
+  obs::Counter* cache_insertions = nullptr;
+  obs::Counter* cache_evictions = nullptr;
+  obs::Counter* cache_invalidations = nullptr;
+  obs::Counter* cache_singleflight_waits = nullptr;
+  obs::Gauge* cache_bytes = nullptr;
+  obs::Gauge* cache_entries = nullptr;
+
+  /// Tenant QoS (engines with admission classes only; null otherwise).
+  /// The registry has no labels, so these aggregate across classes — the
+  /// per-class breakdown lives in `/debug/tenants`.
+  obs::Gauge* qos_classes = nullptr;
+  obs::Counter* qos_class_shed = nullptr;
+  obs::Counter* qos_class_rejected = nullptr;
+
+  /// Approximate tier, driven per completed query.
+  obs::Counter* approx_queries = nullptr;
+  obs::Counter* approx_candidates_skipped = nullptr;
 
   /// Refreshed at scrape time by `RefreshScrapeGauges`.
   obs::Gauge* uptime_seconds = nullptr;
@@ -211,6 +241,13 @@ void QueryEngine::InstallObservers(const EngineOptions& options) {
   if (options.slow_query_threshold.count() > 0) {
     slow_ = std::make_unique<SlowQueryLog>(options.slow_query_threshold,
                                            options.slow_query_capacity);
+  }
+  if (options.cache_bytes > 0) {
+    ResultCache::Options cache_options;
+    cache_options.bytes = options.cache_bytes;
+    cache_options.shards = options.cache_shards;
+    cache_options.ttl = options.cache_ttl;
+    cache_ = std::make_unique<ResultCache>(cache_options);
   }
   registry_ = options.metrics;
   if (registry_ == nullptr && options.listen_port >= 0) {
@@ -341,6 +378,52 @@ void QueryEngine::InstallObservers(const EngineOptions& options) {
         "mdseq_checkpoint_seconds", "Wall time of ingest checkpoints",
         obs::DefaultLatencyBoundsSeconds());
   }
+  metrics->approx_queries = reg->GetCounter(
+      "mdseq_approx_queries_total",
+      "Served queries whose quality budget was binding (candidates "
+      "skipped; the result carries a certified distance bound)");
+  metrics->approx_candidates_skipped = reg->GetCounter(
+      "mdseq_approx_candidates_skipped_total",
+      "Phase-3 candidates skipped by the approximate-tier budget");
+  if (cache_ != nullptr) {
+    metrics->cache_hits = reg->GetCounter(
+        "mdseq_cache_hits_total", "Result-cache hits (fresh stamp)");
+    metrics->cache_misses = reg->GetCounter(
+        "mdseq_cache_misses_total",
+        "Result-cache misses (absent, stale, or expired entries)");
+    metrics->cache_insertions = reg->GetCounter(
+        "mdseq_cache_insertions_total", "Results inserted into the cache");
+    metrics->cache_evictions = reg->GetCounter(
+        "mdseq_cache_evictions_total",
+        "Cache entries evicted by the byte budget or TTL");
+    metrics->cache_invalidations = reg->GetCounter(
+        "mdseq_cache_invalidations_total",
+        "Cache entries invalidated by a snapshot-stamp mismatch (a commit "
+        "published newer data)");
+    metrics->cache_singleflight_waits = reg->GetCounter(
+        "mdseq_cache_singleflight_waits_total",
+        "Queries that waited behind an identical in-flight miss");
+    metrics->cache_bytes = reg->GetGauge(
+        "mdseq_cache_bytes",
+        "Bytes held by result-cache entries (refreshed per scrape)");
+    metrics->cache_entries = reg->GetGauge(
+        "mdseq_cache_entries",
+        "Result-cache entries (refreshed per scrape)");
+  }
+  if (!options.tenant_classes.empty()) {
+    metrics->qos_classes = reg->GetGauge(
+        "mdseq_qos_classes", "Configured tenant admission classes");
+    metrics->qos_classes->Set(
+        static_cast<double>(options.tenant_classes.size()));
+    metrics->qos_class_shed = reg->GetCounter(
+        "mdseq_qos_class_shed_total",
+        "Queued queries evicted by shed-by-class, summed over classes "
+        "(per-class detail in /debug/tenants)");
+    metrics->qos_class_rejected = reg->GetCounter(
+        "mdseq_qos_class_rejected_total",
+        "Queries refused at a class's quota, summed over classes "
+        "(per-class detail in /debug/tenants)");
+  }
   if (disk_database_ != nullptr || live_database_ != nullptr) {
     metrics->page_file_reads = reg->GetGauge(
         "mdseq_page_file_reads",
@@ -388,6 +471,41 @@ void QueryEngine::RefreshStorageGauges() {
 void QueryEngine::RefreshScrapeGauges() {
   if (metrics_ != nullptr && metrics_->uptime_seconds != nullptr) {
     metrics_->uptime_seconds->Set(UnixNowSeconds() - start_unix_ts_);
+  }
+  // Cache and admission-class counters live inside their components (they
+  // are hot-path mutexed state, not registry handles); sync them into the
+  // registry by delta at scrape time.
+  if (metrics_ != nullptr) {
+    std::lock_guard<std::mutex> lock(scrape_mutex_);
+    if (cache_ != nullptr && metrics_->cache_hits != nullptr) {
+      const ResultCache::Stats now = cache_->GetStats();
+      metrics_->cache_hits->Increment(now.hits - cache_scraped_.hits);
+      metrics_->cache_misses->Increment(now.misses - cache_scraped_.misses);
+      metrics_->cache_insertions->Increment(now.insertions -
+                                            cache_scraped_.insertions);
+      metrics_->cache_evictions->Increment(now.evictions -
+                                           cache_scraped_.evictions);
+      metrics_->cache_invalidations->Increment(now.invalidations -
+                                               cache_scraped_.invalidations);
+      metrics_->cache_singleflight_waits->Increment(
+          now.singleflight_waits - cache_scraped_.singleflight_waits);
+      metrics_->cache_bytes->Set(static_cast<double>(now.bytes));
+      metrics_->cache_entries->Set(static_cast<double>(now.entries));
+      cache_scraped_ = now;
+    }
+    if (metrics_->qos_class_shed != nullptr) {
+      uint64_t shed = 0;
+      uint64_t rejected = 0;
+      for (const TenantClassStats& c : pool_->TenantStats()) {
+        shed += c.shed;
+        rejected += c.rejected;
+      }
+      metrics_->qos_class_shed->Increment(shed - qos_shed_scraped_);
+      metrics_->qos_class_rejected->Increment(rejected -
+                                              qos_rejected_scraped_);
+      qos_shed_scraped_ = shed;
+      qos_rejected_scraped_ = rejected;
+    }
   }
   RefreshStorageGauges();
 }
@@ -437,12 +555,28 @@ std::future<QueryOutcome> QueryEngine::Submit(Sequence query,
     metrics_->queries_active->Set(static_cast<double>(active_.size()));
   }
 
+  if (cache_ != nullptr) {
+    pending->cache_key =
+        WorkloadQuerySignature(pending->query.View(), options.epsilon,
+                               options.verified, search_options_);
+    pending->cache_stamp = SnapshotStamp();
+    pending->cache_probe = true;
+    // Fast path: a fresh hit completes on the caller thread, bypassing the
+    // admission queue and the pool entirely.
+    if (std::optional<SearchResult> hit =
+            cache_->Lookup(pending->cache_key, pending->cache_stamp)) {
+      Finish(pending, QueryStatus::kOk, std::move(*hit));
+      return future;
+    }
+  }
+
   PoolTask task;
   task.run = [this, pending] { Execute(pending); };
   task.on_shed = [this, pending] {
     Finish(pending, QueryStatus::kShed, SearchResult());
   };
-  if (pool_->Submit(std::move(task)) == AdmitResult::kRejected) {
+  if (pool_->Submit(std::move(task), options.tenant) ==
+      AdmitResult::kRejected) {
     Finish(pending, QueryStatus::kRejected, SearchResult());
   }
   return future;
@@ -622,6 +756,27 @@ void QueryEngine::Execute(const std::shared_ptr<Pending>& pending) {
     return;
   }
 
+  if (pending->cache_probe) {
+    // Single-flight: identical concurrent misses collapse onto one leader.
+    // Only workers reach this point, so a follower always waits on a leader
+    // that is already executing — never on a queued task.
+    while (true) {
+      pending->cache_stamp = SnapshotStamp();
+      if (std::optional<SearchResult> hit =
+              cache_->Lookup(pending->cache_key, pending->cache_stamp)) {
+        Finish(pending, QueryStatus::kOk, std::move(*hit));
+        return;
+      }
+      if (cache_->JoinOrLead(pending->cache_key)) {
+        pending->cache_leader = true;
+        break;
+      }
+    }
+    // Re-read the stamp as leader, right before the search runs: captured
+    // before execution, so it can never run ahead of the data it describes.
+    pending->cache_stamp = SnapshotStamp();
+  }
+
   SearchControl control;
   control.cancel = pending->options.cancel.flag();
   control.cancel2 = pending->engine_cancel.flag();
@@ -662,6 +817,12 @@ void QueryEngine::Execute(const std::shared_ptr<Pending>& pending) {
                      pending->engine_cancel.cancelled()
                  ? QueryStatus::kCancelled
                  : QueryStatus::kDeadlineExpired;
+  }
+  if (pending->cache_leader) {
+    if (status == QueryStatus::kOk && !result.interrupted) {
+      cache_->Insert(pending->cache_key, pending->cache_stamp, result);
+    }
+    cache_->Complete(pending->cache_key);
   }
   Finish(pending, status, std::move(result));
 }
@@ -779,6 +940,12 @@ void QueryEngine::Finish(const std::shared_ptr<Pending>& pending,
     }
     if (stats.prefilter_abandons > 0) {
       metrics_->prune_prefilter_abandons->Increment(stats.prefilter_abandons);
+    }
+    if (stats.approx_candidates_skipped > 0 &&
+        metrics_->approx_queries != nullptr) {
+      metrics_->approx_queries->Increment();
+      metrics_->approx_candidates_skipped->Increment(
+          stats.approx_candidates_skipped);
     }
     if (status == QueryStatus::kOk) {
       // Survivor ratios only for queries that ran the full funnel — a
@@ -899,12 +1066,16 @@ void QueryEngine::Finish(const std::shared_ptr<Pending>& pending,
     record.verified = pending->options.verified;
     record.opt_prefilter = search_options_.prefilter;
     record.opt_composite = search_options_.composite_bound;
+    record.approximate = search_options_.max_candidates > 0 ||
+                         search_options_.max_epsilon_rounds > 0;
+    record.opt_max_candidates = search_options_.max_candidates;
+    record.opt_max_epsilon_rounds = search_options_.max_epsilon_rounds;
+    record.tenant = pending->options.tenant;
     record.deadline_us =
         static_cast<uint64_t>(pending->options.deadline.count());
     record.signature = WorkloadQuerySignature(
         pending->query.View(), pending->options.epsilon,
-        pending->options.verified, search_options_.prefilter,
-        search_options_.composite_bound);
+        pending->options.verified, search_options_);
     record.result_digest =
         ran ? ResultDigest(outcome.result.matches, pending->options.verified)
             : 0;

@@ -20,6 +20,8 @@
 #include "obs/http/server.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "serve/result_cache.h"
+#include "serve/tenant_queue.h"
 #include "storage/buffer_pool.h"
 #include "storage/disk_database.h"
 
@@ -69,6 +71,10 @@ struct QueryOptions {
   std::chrono::microseconds deadline{0};
   /// Optional cooperative cancellation; see `CancellationSource`.
   CancellationToken cancel;
+  /// Admission class index (into `EngineOptions::tenant_classes`);
+  /// out-of-range ids fall into class 0. Ignored when no classes are
+  /// configured.
+  uint32_t tenant = 0;
 };
 
 /// Engine-wide configuration.
@@ -123,6 +129,19 @@ struct EngineOptions {
   uint64_t workload_max_bytes = 64ull << 20;
   /// Records mirrored in memory for `/debug/workload`.
   size_t workload_recent_capacity = 64;
+  /// Result cache byte budget; 0 (default) disables the cache entirely —
+  /// exact serving then pays one null-pointer test. Entries are keyed on
+  /// the canonical workload signature and stamped with the live database's
+  /// snapshot epoch (see docs/serving.md).
+  size_t cache_bytes = 0;
+  /// Optional per-entry TTL (0 = none) and the cache's internal shard
+  /// count (concurrency, not placement).
+  std::chrono::milliseconds cache_ttl{0};
+  size_t cache_shards = 8;
+  /// Per-tenant admission classes for the worker pool. Empty (default)
+  /// keeps the plain FIFO; non-empty enables weighted fair pick with
+  /// per-class quotas and shed-by-class (see docs/serving.md).
+  std::vector<TenantClassSpec> tenant_classes;
 };
 
 /// One ingest operation: points for an existing open sequence, or — with
@@ -352,6 +371,16 @@ class QueryEngine {
   /// recorder so a replay can pin the same knobs).
   const SearchOptions& search_options() const { return search_options_; }
 
+  /// The result cache, or null when `EngineOptions::cache_bytes` is 0
+  /// (`/debug/cache`).
+  ResultCache* result_cache() const { return cache_.get(); }
+
+  /// Per-tenant-class accounting; empty when no classes are configured
+  /// (`/debug/tenants` and the serve-bench report).
+  std::vector<TenantClassStats> TenantStats() const {
+    return pool_->TenantStats();
+  }
+
  private:
   struct Pending;
   struct PendingIngest;
@@ -364,6 +393,12 @@ class QueryEngine {
               SearchResult result);
   SearchResult RunSearch(SequenceView query, const QueryOptions& options,
                          const SearchControl& control) const;
+  /// Snapshot epoch cache entries are stamped with: the live database's
+  /// published-snapshot version, or 0 for immutable backends.
+  uint64_t SnapshotStamp() const {
+    return live_database_ != nullptr ? live_database_->snapshot_version()
+                                     : 0;
+  }
   /// Sequences visible to queries right now — the first pruning stage's
   /// input size, whichever backend the engine fronts.
   uint64_t DatabaseSequences() const;
@@ -422,6 +457,15 @@ class QueryEngine {
   std::unique_ptr<SlowQueryLog> slow_;
   /// Workload flight recorder; null when the path knob is empty.
   std::unique_ptr<WorkloadRecorder> workload_;
+  /// Result cache; null when `EngineOptions::cache_bytes` is 0, so the
+  /// disabled path costs one pointer test.
+  std::unique_ptr<ResultCache> cache_;
+  /// Scrape-time sync state: registry counters advance by the delta since
+  /// the last scrape of the cache's and tenant queue's internal counters.
+  std::mutex scrape_mutex_;
+  ResultCache::Stats cache_scraped_;
+  uint64_t qos_shed_scraped_ = 0;
+  uint64_t qos_rejected_scraped_ = 0;
   /// Engine-wide search knobs (copied from `EngineOptions::search`).
   SearchOptions search_options_;
   /// Unix seconds at construction — `/healthz` start time and the

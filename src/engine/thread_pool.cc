@@ -5,8 +5,15 @@
 namespace mdseq {
 
 ThreadPool::ThreadPool(const Options& options)
-    : queue_(options.queue_capacity, options.policy),
+    : queue_capacity_(options.queue_capacity),
       started_(!options.start_suspended) {
+  if (options.tenant_classes.empty()) {
+    queue_ = std::make_unique<AdmissionQueue<PoolTask>>(
+        options.queue_capacity, options.policy);
+  } else {
+    tenant_queue_ = std::make_unique<TenantQueue<PoolTask>>(
+        options.queue_capacity, options.policy, options.tenant_classes);
+  }
   size_t n = options.num_threads;
   if (n == 0) {
     n = std::thread::hardware_concurrency();
@@ -20,9 +27,12 @@ ThreadPool::ThreadPool(const Options& options)
 
 ThreadPool::~ThreadPool() { Shutdown(); }
 
-AdmitResult ThreadPool::Submit(PoolTask task) {
+AdmitResult ThreadPool::Submit(PoolTask task, uint32_t tenant) {
   std::optional<PoolTask> shed;
-  const AdmitResult result = queue_.Push(std::move(task), &shed);
+  const AdmitResult result =
+      tenant_queue_ != nullptr
+          ? tenant_queue_->Push(std::move(task), tenant, &shed)
+          : queue_->Push(std::move(task), &shed);
   if (shed.has_value() && shed->on_shed) shed->on_shed();
   return result;
 }
@@ -36,7 +46,11 @@ void ThreadPool::Start() {
 }
 
 void ThreadPool::Shutdown() {
-  queue_.Close();
+  if (tenant_queue_ != nullptr) {
+    tenant_queue_->Close();
+  } else {
+    queue_->Close();
+  }
   Start();  // suspended workers must wake to drain and exit
   for (std::thread& t : threads_) {
     if (t.joinable()) t.join();
@@ -49,7 +63,11 @@ void ThreadPool::WorkerLoop() {
     start_cv_.wait(lock, [this] { return started_; });
   }
   PoolTask task;
-  while (queue_.Pop(&task)) {
+  const auto pop = [this](PoolTask* out) {
+    return tenant_queue_ != nullptr ? tenant_queue_->Pop(out)
+                                    : queue_->Pop(out);
+  };
+  while (pop(&task)) {
     task.run();
     // Drop the closures before blocking again so captured state (promises,
     // query payloads) dies promptly.

@@ -3,12 +3,15 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
 
 #include "engine/admission_queue.h"
+#include "serve/tenant_queue.h"
 
 namespace mdseq {
 
@@ -39,6 +42,11 @@ class ThreadPool {
     /// When true, workers wait for `Start` before consuming tasks — used
     /// by tests to fill the queue deterministically.
     bool start_suspended = false;
+    /// Per-tenant admission classes. Empty (the default) keeps the plain
+    /// single FIFO — the pre-QoS behavior, bit for bit. Non-empty switches
+    /// to a `TenantQueue` with one bounded FIFO per class and weighted
+    /// fair dequeue; `Submit`'s tenant id then selects the class.
+    std::vector<TenantClassSpec> tenant_classes;
   };
 
   explicit ThreadPool(const Options& options);
@@ -52,7 +60,7 @@ class ThreadPool {
   /// `on_shed` on this thread); kRejected means `task` was refused and none
   /// of its callbacks will ever run — the caller must complete any attached
   /// promise itself.
-  AdmitResult Submit(PoolTask task);
+  AdmitResult Submit(PoolTask task, uint32_t tenant = 0);
 
   /// Releases suspended workers (no-op otherwise).
   void Start();
@@ -62,13 +70,26 @@ class ThreadPool {
   void Shutdown();
 
   size_t num_threads() const { return threads_.size(); }
-  size_t queue_depth() const { return queue_.size(); }
-  size_t queue_capacity() const { return queue_.capacity(); }
+  size_t queue_depth() const {
+    return tenant_queue_ != nullptr ? tenant_queue_->size() : queue_->size();
+  }
+  size_t queue_capacity() const { return queue_capacity_; }
+
+  /// Per-class accounting; empty when no tenant classes are configured.
+  std::vector<TenantClassStats> TenantStats() const {
+    if (tenant_queue_ == nullptr) return {};
+    return tenant_queue_->Stats();
+  }
 
  private:
   void WorkerLoop();
 
-  AdmissionQueue<PoolTask> queue_;
+  const size_t queue_capacity_;
+  // Exactly one of the two queues exists: the plain FIFO when no tenant
+  // classes are configured (the zero-overhead default), the per-class
+  // weighted queue otherwise.
+  std::unique_ptr<AdmissionQueue<PoolTask>> queue_;
+  std::unique_ptr<TenantQueue<PoolTask>> tenant_queue_;
   std::vector<std::thread> threads_;
   std::mutex start_mutex_;
   std::condition_variable start_cv_;

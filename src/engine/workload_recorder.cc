@@ -79,6 +79,8 @@ void PutStats(std::vector<uint8_t>* out, const SearchStats& stats) {
   Put(out, stats.merge_ns);
   Put(out, stats.shards_total);
   Put(out, stats.shards_failed);
+  Put(out, stats.approx_candidates_skipped);
+  Put(out, stats.approx_certified_epsilon);
 }
 
 void GetStats(Cursor* in, SearchStats* stats) {
@@ -105,15 +107,19 @@ void GetStats(Cursor* in, SearchStats* stats) {
   stats->merge_ns = in->Get<uint64_t>();
   stats->shards_total = in->Get<uint32_t>();
   stats->shards_failed = in->Get<uint32_t>();
+  stats->approx_candidates_skipped = in->Get<uint64_t>();
+  stats->approx_certified_epsilon = in->Get<double>();
 }
 
-constexpr uint8_t kWorkloadRecordVersion = 1;
+// v2: approximate-tier fields — the per-query approximate flag, the budget
+// knobs, the tenant class, and the skipped/certified stats columns.
+constexpr uint8_t kWorkloadRecordVersion = 2;
 
 }  // namespace
 
 uint64_t WorkloadQuerySignature(SequenceView query, double epsilon,
-                                bool verified, bool prefilter,
-                                bool composite_bound) {
+                                bool verified,
+                                const SearchOptions& options) {
   uint64_t hash = kFnvOffset;
   FnvMixU64(&hash, query.dim());
   FnvMixU64(&hash, query.size());
@@ -126,8 +132,12 @@ uint64_t WorkloadQuerySignature(SequenceView query, double epsilon,
   uint64_t epsilon_bits = 0;
   std::memcpy(&epsilon_bits, &epsilon, sizeof(epsilon));
   FnvMixU64(&hash, epsilon_bits);
-  FnvMixU64(&hash, (verified ? 1u : 0u) | (prefilter ? 2u : 0u) |
-                       (composite_bound ? 4u : 0u));
+  FnvMixU64(&hash, (verified ? 1u : 0u) | (options.prefilter ? 2u : 0u) |
+                       (options.composite_bound ? 4u : 0u));
+  // The quality budget changes the answer, so it is part of the query's
+  // identity (and of the result-cache key).
+  FnvMixU64(&hash, options.max_candidates);
+  FnvMixU64(&hash, options.max_epsilon_rounds);
   return hash;
 }
 
@@ -143,6 +153,10 @@ std::vector<uint8_t> EncodeWorkloadRecord(const WorkloadQueryRecord& record) {
   Put(&out, static_cast<uint8_t>(record.verified ? 1 : 0));
   Put(&out, static_cast<uint8_t>(record.opt_prefilter ? 1 : 0));
   Put(&out, static_cast<uint8_t>(record.opt_composite ? 1 : 0));
+  Put(&out, static_cast<uint8_t>(record.approximate ? 1 : 0));
+  Put(&out, record.opt_max_candidates);
+  Put(&out, record.opt_max_epsilon_rounds);
+  Put(&out, record.tenant);
   Put(&out, static_cast<uint8_t>(record.interrupted ? 1 : 0));
   Put(&out, record.deadline_us);
   Put(&out, record.signature);
@@ -182,6 +196,10 @@ bool DecodeWorkloadRecord(const uint8_t* bytes, size_t count,
   record->verified = in.Get<uint8_t>() != 0;
   record->opt_prefilter = in.Get<uint8_t>() != 0;
   record->opt_composite = in.Get<uint8_t>() != 0;
+  record->approximate = in.Get<uint8_t>() != 0;
+  record->opt_max_candidates = in.Get<uint64_t>();
+  record->opt_max_epsilon_rounds = in.Get<uint32_t>();
+  record->tenant = in.Get<uint32_t>();
   record->interrupted = in.Get<uint8_t>() != 0;
   record->deadline_us = in.Get<uint64_t>();
   record->signature = in.Get<uint64_t>();

@@ -36,6 +36,17 @@ struct WorkloadQueryRecord {
   /// Engine-wide `SearchOptions` in force when the query ran.
   bool opt_prefilter = true;
   bool opt_composite = false;
+  /// Approximate tier: true when a quality budget was configured for this
+  /// query. `DiffWorkloads` skips the digest comparison for approximate
+  /// records (cut position may differ across builds) but still diffs the
+  /// deterministic budget counters.
+  bool approximate = false;
+  /// The budget knobs in force (`SearchOptions::max_candidates` /
+  /// `max_epsilon_rounds`), so a replay pins the same budget.
+  uint64_t opt_max_candidates = 0;
+  uint32_t opt_max_epsilon_rounds = 0;
+  /// Admission class the query was submitted under (0 = default class).
+  uint32_t tenant = 0;
   /// Relative deadline in microseconds; 0 = none.
   uint64_t deadline_us = 0;
   /// Canonical query signature: FNV-1a over (dim, raw point bytes,
@@ -55,10 +66,13 @@ struct WorkloadQueryRecord {
 };
 
 /// Canonical signature of a query submission (see
-/// `WorkloadQueryRecord::signature`).
+/// `WorkloadQueryRecord::signature`). Mixes the query points, epsilon,
+/// the verified flag, and every result-affecting `SearchOptions` knob
+/// (prefilter, composite bound, and the approximate-tier budgets) — the
+/// result cache keys on this value, so two submissions share an entry iff
+/// they are the same query under the same knobs.
 uint64_t WorkloadQuerySignature(SequenceView query, double epsilon,
-                                bool verified, bool prefilter,
-                                bool composite_bound);
+                                bool verified, const SearchOptions& options);
 
 /// Flat native-endian codec for one record (the payload inside a
 /// `WorkloadLogWriter` frame of type `kWorkloadQueryFrame`).

@@ -68,6 +68,8 @@ constexpr CounterRow kCounterRows[] = {
      [](const SearchStats& s) {
        return static_cast<uint64_t>(s.shards_failed);
      }},
+    {"approx_candidates_skipped",
+     [](const SearchStats& s) { return s.approx_candidates_skipped; }},
 };
 
 /// Appends "name: a -> b" rows for every diverging counter; returns true
@@ -114,6 +116,7 @@ ReplayReport RunReplay(QueryEngine* engine,
     QueryOptions query_options;
     query_options.epsilon = record.epsilon;
     query_options.verified = record.verified;
+    query_options.tenant = record.tenant;
     if (options.apply_deadlines && record.deadline_us > 0) {
       query_options.deadline = std::chrono::microseconds(record.deadline_us);
     }
@@ -135,10 +138,14 @@ ReplayReport RunReplay(QueryEngine* engine,
     replayed.verified = source.verified;
     replayed.opt_prefilter = search.prefilter;
     replayed.opt_composite = search.composite_bound;
+    replayed.approximate =
+        search.max_candidates > 0 || search.max_epsilon_rounds > 0;
+    replayed.opt_max_candidates = search.max_candidates;
+    replayed.opt_max_epsilon_rounds = search.max_epsilon_rounds;
+    replayed.tenant = source.tenant;
     replayed.deadline_us = options.apply_deadlines ? source.deadline_us : 0;
     replayed.signature = WorkloadQuerySignature(
-        source.query.View(), source.epsilon, source.verified,
-        search.prefilter, search.composite_bound);
+        source.query.View(), source.epsilon, source.verified, search);
     replayed.result_digest =
         ResultDigest(outcome.result.matches, source.verified);
     replayed.matches = outcome.result.matches.size();
@@ -185,7 +192,12 @@ ReplayDiff DiffWorkloads(const std::vector<WorkloadQueryRecord>& a,
     d.digest_b = rb.result_digest;
     d.matches_a = ra.matches;
     d.matches_b = rb.matches;
-    d.digest_differs = ra.result_digest != rb.result_digest;
+    // Approximate records carry no digest contract: the budget cut position
+    // is deterministic within one build but free to move across builds, so
+    // only the budget counters (which include the skip count) are diffed.
+    const bool approximate = ra.approximate || rb.approximate;
+    d.digest_differs =
+        !approximate && ra.result_digest != rb.result_digest;
     d.counters_differ = DiffStats(ra.stats, rb.stats, "", &d.counter_diffs);
 
     // Per-shard attribution: pair shard slices by shard id and flag any
@@ -205,7 +217,7 @@ ReplayDiff DiffWorkloads(const std::vector<WorkloadQueryRecord>& a,
       std::snprintf(prefix, sizeof(prefix), "shard %u ", sa.shard);
       bool shard_differs =
           DiffStats(sa.stats, sb.stats, prefix, &d.counter_diffs);
-      if (sa.digest != sb.digest) {
+      if (!approximate && sa.digest != sb.digest) {
         shard_differs = true;
         char buffer[160];
         std::snprintf(buffer, sizeof(buffer),

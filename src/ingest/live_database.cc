@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 
@@ -376,8 +377,13 @@ void LiveDatabase::PublishLocked() {
   epochs_.Retire(std::move(retired_batch_));
   retired_batch_.clear();
   snap->pin = epochs_.PinCurrent();
-  std::lock_guard<std::mutex> lock(snapshot_mutex_);
-  snapshot_ = std::move(snap);
+  {
+    std::lock_guard<std::mutex> lock(snapshot_mutex_);
+    snapshot_ = std::move(snap);
+  }
+  // Bump after the swap: a cache stamp is captured before its query
+  // executes, so the stamp can never run ahead of the data it describes.
+  snapshot_version_.fetch_add(1, std::memory_order_acq_rel);
 }
 
 bool LiveDatabase::RewriteWalLocked() {
@@ -669,8 +675,18 @@ SearchResult LiveDatabase::Search(SequenceView query, double epsilon,
       }
       return result.candidates[a] < result.candidates[b];
     });
-    for (size_t slot : order) {
+    for (size_t pos = 0; pos < order.size(); ++pos) {
+      const size_t slot = order[pos];
       const size_t id = result.candidates[slot];
+      if (options_.max_candidates > 0 && pos == options_.max_candidates) {
+        // Budget cut: candidates are ordered by ascending minimum Dmbr, so
+        // every skipped candidate's distance is at least this slot's bound
+        // — the result stays exact below the certified threshold.
+        result.stats.approx_candidates_skipped = order.size() - pos;
+        result.stats.approx_certified_epsilon =
+            std::min(epsilon, std::sqrt(candidate_min_dist2[slot]));
+        break;
+      }
       if (control.ShouldStop()) {
         result.interrupted = true;
         break;
@@ -713,6 +729,9 @@ SearchResult LiveDatabase::Search(SequenceView query, double epsilon,
   }
   result.stats.phase3_matches = result.matches.size();
   result.stats.filter_matches = result.matches.size();
+  if (result.stats.approx_candidates_skipped == 0) {
+    result.stats.approx_certified_epsilon = epsilon;
+  }
   return result;
 }
 

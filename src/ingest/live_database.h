@@ -148,6 +148,14 @@ class LiveDatabase {
   BufferPool* mutable_pool() { return pool_.get(); }
   const PageFile& file() const { return file_; }
 
+  /// Monotone snapshot epoch: bumped once per published snapshot (commit,
+  /// checkpoint, recovery). Result-cache entries are stamped with the value
+  /// read before their query executed, so an entry is fresh iff its stamp
+  /// still matches.
+  uint64_t snapshot_version() const {
+    return snapshot_version_.load(std::memory_order_acquire);
+  }
+
  private:
   // Immutable per-checkpoint state; snapshots share it.
   struct BaseState {
@@ -222,6 +230,7 @@ class LiveDatabase {
   std::shared_ptr<const Snapshot> snapshot_;
 
   // Monotonic stats, readable without the writer lock.
+  std::atomic<uint64_t> snapshot_version_{0};
   std::atomic<uint64_t> points_total_{0};
   std::atomic<uint64_t> tree_inserts_{0};
   std::atomic<uint64_t> checkpoints_{0};

@@ -109,6 +109,19 @@ std::string RenderExplainReport(const ExplainStats& s) {
                     s.solution_intervals, s.solution_points,
                     FormatNs(s.interval_assembly_ns).c_str()));
 
+  if (s.approx_candidates_skipped > 0) {
+    const size_t visited =
+        s.phase2_candidates > s.approx_candidates_skipped
+            ? s.phase2_candidates - s.approx_candidates_skipped
+            : 0;
+    AppendLine(&out, "approximate",
+               Printf("%" PRIu64
+                      " candidates skipped by budget (%zu/%zu visited), "
+                      "certified eps %.4f",
+                      s.approx_candidates_skipped, visited,
+                      s.phase2_candidates, s.approx_certified_epsilon));
+  }
+
   if (s.verified) {
     AppendLine(&out, "refine: verification",
                Printf("%zu -> %zu verified matches, %" PRIu64
@@ -193,6 +206,13 @@ std::string ExplainJson(const ExplainStats& s) {
   add_u64("prefilter_abandons", s.prefilter_abandons);
   add_u64("prefilter_survivors", s.prefilter_survivors);
   add_u64("prefilter_ns", s.prefilter_ns);
+  add_u64("approx_candidates_skipped", s.approx_candidates_skipped);
+  std::snprintf(buffer, sizeof(buffer),
+                "\n  \"approx_certified_epsilon\": %.17g,",
+                s.approx_certified_epsilon);
+  out.append(buffer);
+  out.append("\n  \"approx_exact\": ")
+      .append(s.approx_candidates_skipped == 0 ? "true," : "false,");
   add_u64("shards_total", s.shards_total);
   add_u64("shards_failed", s.shards_failed);
   add_u64("fanout_wait_ns", s.fanout_wait_ns);

@@ -57,6 +57,13 @@ struct ExplainStats {
   uint64_t prefilter_survivors = 0;
   uint64_t prefilter_ns = 0;
 
+  // Approximate tier: candidates the quality budget skipped and the
+  // certified distance-error bound. `approx_certified_epsilon == epsilon`
+  // (and zero skipped) means the budget was not binding — the answer is
+  // exact. For coordinator queries the bound is the weakest across shards.
+  uint64_t approx_candidates_skipped = 0;
+  double approx_certified_epsilon = 0.0;
+
   // Coordinator queries: shard coverage and fan-out/merge attribution
   // (all zero for single-database queries, `shards` then empty).
   uint32_t shards_total = 0;

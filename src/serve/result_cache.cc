@@ -1,0 +1,157 @@
+#include "serve/result_cache.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+namespace mdseq {
+
+ResultCache::ResultCache(const Options& options)
+    : budget_(options.bytes),
+      shard_budget_(options.bytes / std::max<size_t>(1, options.shards)),
+      ttl_(options.ttl) {
+  const size_t count =
+      budget_ > 0 ? std::max<size_t>(1, options.shards) : 1;
+  shards_.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+size_t ResultCache::EstimateBytes(const SearchResult& result) {
+  size_t bytes = sizeof(SearchResult);
+  bytes += result.candidates.capacity() * sizeof(size_t);
+  bytes += result.matches.capacity() * sizeof(SequenceMatch);
+  for (const SequenceMatch& match : result.matches) {
+    bytes += match.solution_interval.capacity() * sizeof(Interval);
+  }
+  bytes += result.shard_breakdown.capacity() * sizeof(ShardQueryStats);
+  return bytes;
+}
+
+void ResultCache::EraseLocked(Shard* shard,
+                              std::list<Entry>::iterator it) {
+  shard->bytes -= it->bytes;
+  shard->index.erase(it->key);
+  shard->lru.erase(it);
+}
+
+std::optional<SearchResult> ResultCache::Lookup(uint64_t key,
+                                                uint64_t stamp) {
+  if (!enabled()) return std::nullopt;
+  Shard& shard = ShardOf(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto found = shard.index.find(key);
+  if (found == shard.index.end()) {
+    ++shard.misses;
+    return std::nullopt;
+  }
+  auto it = found->second;
+  if (it->stamp != stamp) {
+    // A snapshot was published after this entry was computed: the entry
+    // describes data that no longer exists. Drop it, count the precise
+    // invalidation, and report a miss.
+    ++shard.invalidations;
+    ++shard.misses;
+    EraseLocked(&shard, it);
+    return std::nullopt;
+  }
+  if (ttl_.count() > 0 &&
+      std::chrono::steady_clock::now() - it->inserted > ttl_) {
+    ++shard.evictions;
+    ++shard.misses;
+    EraseLocked(&shard, it);
+    return std::nullopt;
+  }
+  shard.lru.splice(shard.lru.begin(), shard.lru, it);
+  ++shard.hits;
+  return it->result;
+}
+
+void ResultCache::Insert(uint64_t key, uint64_t stamp,
+                         const SearchResult& result) {
+  if (!enabled()) return;
+  const size_t bytes = EstimateBytes(result);
+  if (bytes > shard_budget_) return;  // would evict everything else
+  Shard& shard = ShardOf(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto found = shard.index.find(key);
+  if (found != shard.index.end()) EraseLocked(&shard, found->second);
+  Entry entry;
+  entry.key = key;
+  entry.stamp = stamp;
+  entry.bytes = bytes;
+  entry.inserted = std::chrono::steady_clock::now();
+  entry.result = result;
+  shard.lru.push_front(std::move(entry));
+  shard.index.emplace(key, shard.lru.begin());
+  shard.bytes += bytes;
+  ++shard.insertions;
+  while (shard.bytes > shard_budget_ && shard.lru.size() > 1) {
+    ++shard.evictions;
+    EraseLocked(&shard, std::prev(shard.lru.end()));
+  }
+}
+
+bool ResultCache::JoinOrLead(uint64_t key) {
+  std::unique_lock<std::mutex> lock(flight_mutex_);
+  if (in_flight_.insert(key).second) return true;  // leader
+  ++singleflight_waits_;
+  flight_cv_.wait(lock, [this, key] { return in_flight_.count(key) == 0; });
+  return false;
+}
+
+void ResultCache::Complete(uint64_t key) {
+  {
+    std::lock_guard<std::mutex> lock(flight_mutex_);
+    in_flight_.erase(key);
+  }
+  flight_cv_.notify_all();
+}
+
+ResultCache::Stats ResultCache::GetStats() const {
+  Stats out;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    out.hits += shard->hits;
+    out.misses += shard->misses;
+    out.insertions += shard->insertions;
+    out.evictions += shard->evictions;
+    out.invalidations += shard->invalidations;
+    out.bytes += shard->bytes;
+    out.entries += shard->lru.size();
+  }
+  {
+    std::lock_guard<std::mutex> lock(flight_mutex_);
+    out.singleflight_waits = singleflight_waits_;
+  }
+  return out;
+}
+
+std::string ResultCache::DebugJson() const {
+  const Stats s = GetStats();
+  char buffer[512];
+  std::snprintf(
+      buffer, sizeof(buffer),
+      "{\n"
+      "  \"enabled\": %s,\n"
+      "  \"capacity_bytes\": %zu,\n"
+      "  \"shards\": %zu,\n"
+      "  \"ttl_ms\": %" PRId64 ",\n"
+      "  \"bytes\": %zu,\n"
+      "  \"entries\": %zu,\n"
+      "  \"hits\": %" PRIu64 ",\n"
+      "  \"misses\": %" PRIu64 ",\n"
+      "  \"insertions\": %" PRIu64 ",\n"
+      "  \"evictions\": %" PRIu64 ",\n"
+      "  \"invalidations\": %" PRIu64 ",\n"
+      "  \"singleflight_waits\": %" PRIu64 "\n"
+      "}\n",
+      enabled() ? "true" : "false", budget_, shards_.size(),
+      static_cast<int64_t>(ttl_.count()), s.bytes, s.entries, s.hits,
+      s.misses, s.insertions, s.evictions, s.invalidations,
+      s.singleflight_waits);
+  return buffer;
+}
+
+}  // namespace mdseq

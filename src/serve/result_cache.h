@@ -1,0 +1,139 @@
+#ifndef MDSEQ_SERVE_RESULT_CACHE_H_
+#define MDSEQ_SERVE_RESULT_CACHE_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/search.h"
+
+namespace mdseq {
+
+/// Snapshot-stamped sharded LRU over completed search results.
+///
+/// Keying: the canonical query signature the workload recorder already
+/// computes (`WorkloadQuerySignature` — query bytes + epsilon + verified +
+/// search options), so a cache hit is exactly "the recorder would call
+/// these submissions the same query".
+///
+/// Freshness: every entry carries the snapshot epoch that was current
+/// *before* its query executed. `Lookup` passes the caller's current
+/// epoch; a mismatch means a `LiveDatabase` commit published new data
+/// since the entry was computed, and the entry is erased on the spot
+/// (counted as an invalidation). Static databases use epoch 0 and never
+/// invalidate. TTL (optional) bounds staleness against out-of-band
+/// changes; expiry counts as an eviction.
+///
+/// Concurrency: N independent shards (mutex + LRU list + hash map each)
+/// keyed by signature, so concurrent distinct queries rarely contend.
+/// Single-flight: `JoinOrLead` collapses concurrent identical misses —
+/// one caller leads (computes), the rest block until the leader calls
+/// `Complete`, then re-probe. The wait is deadlock-free in the engine
+/// because only executing workers ever join, and the leader is by
+/// definition already executing.
+class ResultCache {
+ public:
+  struct Options {
+    size_t bytes = 0;  // total budget; 0 disables caching entirely
+    size_t shards = 8;
+    std::chrono::milliseconds ttl{0};  // 0 = no TTL
+  };
+
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t insertions = 0;
+    uint64_t evictions = 0;       // LRU byte-budget + TTL expiry
+    uint64_t invalidations = 0;   // snapshot-stamp mismatches
+    uint64_t singleflight_waits = 0;
+    size_t bytes = 0;
+    size_t entries = 0;
+  };
+
+  explicit ResultCache(const Options& options);
+
+  ResultCache(const ResultCache&) = delete;
+  ResultCache& operator=(const ResultCache&) = delete;
+
+  bool enabled() const { return budget_ > 0; }
+  size_t capacity_bytes() const { return budget_; }
+
+  /// Returns the cached result when an entry exists, its stamp matches
+  /// `stamp`, and it has not outlived the TTL. A stale entry (either
+  /// reason) is erased as a side effect.
+  std::optional<SearchResult> Lookup(uint64_t key, uint64_t stamp);
+
+  /// Inserts (or replaces) the entry for `key`, then evicts LRU tails
+  /// until the shard is back under its byte budget. Results larger than a
+  /// whole shard's budget are not cached.
+  void Insert(uint64_t key, uint64_t stamp, const SearchResult& result);
+
+  /// Single-flight: returns true if the caller is now the leader for
+  /// `key` (it must call `Complete(key)` when done, whether or not it
+  /// inserted). Returns false after blocking until the current leader
+  /// completed — the caller should then re-`Lookup` and, on a miss, call
+  /// `JoinOrLead` again (it will typically lead).
+  bool JoinOrLead(uint64_t key);
+  void Complete(uint64_t key);
+
+  Stats GetStats() const;
+
+  /// `/debug/cache` body: configuration plus the counters in `Stats`.
+  std::string DebugJson() const;
+
+  /// Approximate heap footprint of one cached result (used for the byte
+  /// budget). Exposed for tests.
+  static size_t EstimateBytes(const SearchResult& result);
+
+ private:
+  struct Entry {
+    uint64_t key = 0;
+    uint64_t stamp = 0;
+    size_t bytes = 0;
+    std::chrono::steady_clock::time_point inserted;
+    SearchResult result;
+  };
+
+  struct Shard {
+    mutable std::mutex mutex;
+    std::list<Entry> lru;  // front = most recently used
+    std::unordered_map<uint64_t, std::list<Entry>::iterator> index;
+    size_t bytes = 0;
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t insertions = 0;
+    uint64_t evictions = 0;
+    uint64_t invalidations = 0;
+  };
+
+  Shard& ShardOf(uint64_t key) {
+    // Signatures are FNV-1a outputs (well mixed); fold the high bits so
+    // shard choice and map bucketing use different bit ranges.
+    return *shards_[(key ^ (key >> 32)) % shards_.size()];
+  }
+
+  void EraseLocked(Shard* shard, std::list<Entry>::iterator it);
+
+  const size_t budget_ = 0;        // total bytes across shards
+  const size_t shard_budget_ = 0;  // per-shard slice
+  const std::chrono::milliseconds ttl_{0};
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  mutable std::mutex flight_mutex_;
+  std::condition_variable flight_cv_;
+  std::unordered_set<uint64_t> in_flight_;
+  uint64_t singleflight_waits_ = 0;
+};
+
+}  // namespace mdseq
+
+#endif  // MDSEQ_SERVE_RESULT_CACHE_H_

@@ -1,0 +1,245 @@
+#ifndef MDSEQ_SERVE_TENANT_QUEUE_H_
+#define MDSEQ_SERVE_TENANT_QUEUE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "engine/admission_queue.h"
+#include "util/check.h"
+
+namespace mdseq {
+
+/// One tenant admission class: a name for reporting and a weight for the
+/// fair pick. Quotas are derived from the weights — a class with twice the
+/// weight gets twice the queue slots and twice the service share.
+struct TenantClassSpec {
+  std::string name;
+  uint32_t weight = 1;
+};
+
+/// Point-in-time per-class accounting, for `/debug/tenants` and the
+/// serve-bench report.
+struct TenantClassStats {
+  std::string name;
+  uint32_t weight = 0;
+  size_t quota = 0;    // queue slots reserved for this class
+  size_t depth = 0;    // items currently queued
+  uint64_t submitted = 0;
+  uint64_t admitted = 0;
+  uint64_t rejected = 0;
+  uint64_t shed = 0;    // victims evicted from this class (kShedOldest)
+  uint64_t popped = 0;  // items handed to workers
+};
+
+/// A per-tenant-class bounded MPMC queue with weighted fair dequeue — the
+/// QoS-aware drop-in for `AdmissionQueue` in front of the worker pool.
+///
+/// Admission: each class owns a private FIFO whose capacity is its quota
+/// (total capacity split by weight, at least one slot each). The overload
+/// policy applies *within* the class, so one tenant flooding its queue
+/// blocks/sheds only its own work and can never push another tenant's
+/// items out.
+///
+/// Service: `Pop` runs weighted round-robin with per-class credits — a
+/// class is served up to `weight` times per replenish cycle, skipping
+/// empty classes (work-conserving: an idle class donates its share).
+///
+/// Thread-safe; mirrors `AdmissionQueue`'s Push/Pop/Close contract so the
+/// worker pool can hold either behind one interface.
+template <typename T>
+class TenantQueue {
+ public:
+  TenantQueue(size_t capacity, OverloadPolicy policy,
+              const std::vector<TenantClassSpec>& classes)
+      : policy_(policy) {
+    MDSEQ_CHECK(capacity >= 1);
+    MDSEQ_CHECK(!classes.empty());
+    uint64_t total_weight = 0;
+    for (const TenantClassSpec& spec : classes) {
+      total_weight += std::max<uint32_t>(spec.weight, 1);
+    }
+    classes_.reserve(classes.size());
+    for (const TenantClassSpec& spec : classes) {
+      ClassState state;
+      state.name = spec.name;
+      state.weight = std::max<uint32_t>(spec.weight, 1);
+      state.quota = std::max<size_t>(
+          1, capacity * state.weight / static_cast<size_t>(total_weight));
+      state.credit = state.weight;
+      classes_.push_back(std::move(state));
+    }
+  }
+
+  TenantQueue(const TenantQueue&) = delete;
+  TenantQueue& operator=(const TenantQueue&) = delete;
+
+  size_t num_classes() const { return classes_.size(); }
+
+  /// Offers one item for `tenant` (out-of-range ids fall into class 0, the
+  /// default class). Overload is resolved against the tenant's own quota:
+  /// kBlock waits for a slot in that class, kReject refuses, kShedOldest
+  /// evicts the oldest item *of the same class* into `*shed`.
+  AdmitResult Push(T item, uint32_t tenant, std::optional<T>* shed = nullptr) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    const size_t cls = tenant < classes_.size() ? tenant : 0;
+    ClassState& state = classes_[cls];
+    ++state.submitted;
+    if (policy_ == OverloadPolicy::kBlock) {
+      not_full_.wait(lock, [this, &state] {
+        return closed_ || state.items.size() < state.quota;
+      });
+    }
+    if (closed_) {
+      ++state.rejected;
+      return AdmitResult::kRejected;
+    }
+    if (state.items.size() >= state.quota) {
+      switch (policy_) {
+        case OverloadPolicy::kBlock:
+          MDSEQ_CHECK(false);  // unreachable: the wait above ensured space
+          return AdmitResult::kRejected;
+        case OverloadPolicy::kReject:
+          ++state.rejected;
+          return AdmitResult::kRejected;
+        case OverloadPolicy::kShedOldest: {
+          if (shed != nullptr) shed->emplace(std::move(state.items.front()));
+          state.items.pop_front();
+          state.items.push_back(std::move(item));
+          ++state.shed;
+          ++state.admitted;
+          lock.unlock();
+          not_empty_.notify_one();
+          return AdmitResult::kShed;
+        }
+      }
+    }
+    state.items.push_back(std::move(item));
+    ++state.admitted;
+    lock.unlock();
+    not_empty_.notify_one();
+    return AdmitResult::kAdmitted;
+  }
+
+  /// Blocks until an item is available or the queue is closed and drained.
+  /// Returns false only in the latter case. The pick is weighted
+  /// round-robin over non-empty classes.
+  bool Pop(T* out) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_empty_.wait(lock, [this] { return closed_ || !EmptyLocked(); });
+    if (EmptyLocked()) return false;  // closed and drained
+    PopPickLocked(out);
+    lock.unlock();
+    not_full_.notify_all();
+    return true;
+  }
+
+  /// Non-blocking pop; false when empty.
+  bool TryPop(T* out) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (EmptyLocked()) return false;
+    PopPickLocked(out);
+    lock.unlock();
+    not_full_.notify_all();
+    return true;
+  }
+
+  /// Closes the queue: subsequent pushes are rejected, blocked producers
+  /// and consumers wake up. Items already queued remain poppable.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    size_t total = 0;
+    for (const ClassState& state : classes_) total += state.items.size();
+    return total;
+  }
+
+  std::vector<TenantClassStats> Stats() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<TenantClassStats> out;
+    out.reserve(classes_.size());
+    for (const ClassState& state : classes_) {
+      TenantClassStats row;
+      row.name = state.name;
+      row.weight = state.weight;
+      row.quota = state.quota;
+      row.depth = state.items.size();
+      row.submitted = state.submitted;
+      row.admitted = state.admitted;
+      row.rejected = state.rejected;
+      row.shed = state.shed;
+      row.popped = state.popped;
+      out.push_back(std::move(row));
+    }
+    return out;
+  }
+
+ private:
+  struct ClassState {
+    std::string name;
+    uint32_t weight = 1;
+    size_t quota = 1;
+    uint32_t credit = 0;  // service credits left this replenish cycle
+    std::deque<T> items;
+    uint64_t submitted = 0;
+    uint64_t admitted = 0;
+    uint64_t rejected = 0;
+    uint64_t shed = 0;
+    uint64_t popped = 0;
+  };
+
+  bool EmptyLocked() const {
+    for (const ClassState& state : classes_) {
+      if (!state.items.empty()) return false;
+    }
+    return true;
+  }
+
+  // Weighted round-robin: serve the first non-empty class with credit
+  // starting at the cursor; when no non-empty class has credit left, one
+  // replenish starts the next cycle (guaranteed to pick then, since some
+  // class is non-empty).
+  void PopPickLocked(T* out) {
+    const size_t n = classes_.size();
+    for (int pass = 0; pass < 2; ++pass) {
+      for (size_t i = 0; i < n; ++i) {
+        const size_t idx = (cursor_ + i) % n;
+        ClassState& state = classes_[idx];
+        if (state.items.empty() || state.credit == 0) continue;
+        *out = std::move(state.items.front());
+        state.items.pop_front();
+        ++state.popped;
+        --state.credit;
+        cursor_ = state.credit == 0 ? (idx + 1) % n : idx;
+        return;
+      }
+      for (ClassState& state : classes_) state.credit = state.weight;
+    }
+    MDSEQ_CHECK(false);  // unreachable: caller ensured a non-empty class
+  }
+
+  const OverloadPolicy policy_;
+  mutable std::mutex mutex_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::vector<ClassState> classes_;
+  size_t cursor_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace mdseq
+
+#endif  // MDSEQ_SERVE_TENANT_QUEUE_H_

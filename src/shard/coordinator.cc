@@ -51,6 +51,7 @@ void AccumulateStats(const SearchStats& in, SearchStats* out) {
   out->prefilter_abandons += in.prefilter_abandons;
   out->prefilter_survivors += in.prefilter_survivors;
   out->prefilter_ns += in.prefilter_ns;
+  out->approx_candidates_skipped += in.approx_candidates_skipped;
 }
 
 // Wrapper span for one shard RPC as the coordinator observed it, one name
@@ -310,6 +311,10 @@ SearchResult Coordinator::RunThreshold(SequenceView query, double epsilon,
   SearchResult out;
   const size_t shards = placement_->num_shards();
   out.stats.shards_total = static_cast<uint32_t>(shards);
+  // A merged approximate answer is only as good as its weakest shard:
+  // start at the requested threshold and take the min over every merged
+  // shard's certified bound (an exact shard reports epsilon itself).
+  out.stats.approx_certified_epsilon = epsilon;
 
   std::vector<FanoutCall> calls(shards);
   ShardRequest base;
@@ -353,6 +358,9 @@ SearchResult Coordinator::RunThreshold(SequenceView query, double epsilon,
       // degraded mode; fail-fast discards everything at the end anyway.
     }
     AccumulateStats(call.response.stats, &out.stats);
+    out.stats.approx_certified_epsilon =
+        std::min(out.stats.approx_certified_epsilon,
+                 call.response.stats.approx_certified_epsilon);
     for (uint64_t local : call.response.candidates) {
       const uint64_t global = placement_->GlobalOf(call.shard, local);
       if (global == ShardPlacement::kInvalidId) continue;
@@ -445,7 +453,9 @@ std::vector<SequenceMatch> Coordinator::SearchNearest(
     return values[k - 1];
   };
 
+  uint32_t rounds = 0;
   while (true) {
+    ++rounds;
     // One epsilon-doubling round: filter fan-out plus its verify waves.
     obs::SpanScope round_span(control.trace, "cutoff_round");
     round_span.Arg("epsilon_milli",
@@ -560,7 +570,12 @@ std::vector<SequenceMatch> Coordinator::SearchNearest(
       index = wave_end;
     }
 
-    if (verified.size() >= k || epsilon >= max_epsilon || stop_early) {
+    // Approximate tier: a bounded round budget may stop before k verified
+    // neighbors exist; everything reported is still exact.
+    const bool budget_cut = options_.max_epsilon_rounds > 0 &&
+                            rounds >= options_.max_epsilon_rounds;
+    if (verified.size() >= k || epsilon >= max_epsilon || stop_early ||
+        budget_cut) {
       // Rank by (exact distance, id), report the top k with the min_dnorm
       // each carried in the final round's filter and its exact solution
       // intervals at the final threshold.

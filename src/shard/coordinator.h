@@ -44,6 +44,12 @@ struct CoordinatorOptions {
   /// cutoff exchange. Smaller waves tighten the cutoff sooner (more skips);
   /// larger waves spend fewer round trips.
   size_t verify_wave = 64;
+
+  /// Approximate tier: cap on epsilon-doubling rounds for the distributed
+  /// `SearchNearest` (0 = unlimited). A binding cap can return fewer than
+  /// `k` neighbors, but every reported neighbor is exact. Mirrors
+  /// `SearchOptions::max_epsilon_rounds` on the single-database path.
+  uint32_t max_epsilon_rounds = 0;
 };
 
 const char* FailurePolicyName(CoordinatorOptions::FailurePolicy policy);

@@ -10,9 +10,12 @@ constexpr uint32_t kRequestMagic = 0x4d535251;   // "MSRQ"
 constexpr uint32_t kResponseMagic = 0x4d535253;  // "MSRS"
 // v2: trace context on requests, pruning-cascade stats fields and
 // shard-recorded spans on responses. v3: prefilter-stage counters
-// (abandons, survivors, ns) appended to the stats block. Both ends ship in
-// one binary, so the version is bumped cleanly rather than negotiated.
-constexpr uint16_t kVersion = 3;
+// (abandons, survivors, ns) appended to the stats block. v4: approximate
+// tier — skipped-candidate count and certified distance bound appended to
+// the stats block, so the coordinator can report the weakest shard bound.
+// Both ends ship in one binary, so the version is bumped cleanly rather
+// than negotiated.
+constexpr uint16_t kVersion = 4;
 
 /// Sanity bound on decoded element counts: a count larger than the
 /// remaining payload could even theoretically hold is rejected before any
@@ -100,6 +103,8 @@ void PutStats(std::string* out, const SearchStats& stats) {
   PutU64(out, stats.prefilter_abandons);
   PutU64(out, stats.prefilter_survivors);
   PutU64(out, stats.prefilter_ns);
+  PutU64(out, stats.approx_candidates_skipped);
+  PutF64(out, stats.approx_certified_epsilon);
 }
 
 bool ReadStats(Reader* in, SearchStats* stats) {
@@ -119,7 +124,9 @@ bool ReadStats(Reader* in, SearchStats* stats) {
       !in->U64(&stats->probe_abandons) || !in->U64(&stats->verify_abandons) ||
       !in->U64(&stats->bytes_read) || !in->U64(&stats->prefilter_abandons) ||
       !in->U64(&stats->prefilter_survivors) ||
-      !in->U64(&stats->prefilter_ns)) {
+      !in->U64(&stats->prefilter_ns) ||
+      !in->U64(&stats->approx_candidates_skipped) ||
+      !in->F64(&stats->approx_certified_epsilon)) {
     return false;
   }
   stats->node_accesses = node_accesses;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstring>
 
 #include "core/distance.h"
@@ -230,8 +231,19 @@ SearchResult DiskDatabase::Search(SequenceView query, double epsilon,
       }
       return result.candidates[a] < result.candidates[b];
     });
-    for (size_t slot : order) {
+    for (size_t pos = 0; pos < order.size(); ++pos) {
+      const size_t slot = order[pos];
       const size_t id = result.candidates[slot];
+      if (options_.max_candidates > 0 &&
+          pos == options_.max_candidates) {
+        // Approximate-tier budget cut (same argument as the in-memory
+        // path): the ascending min-Dmbr order certifies everything below
+        // the first skipped candidate's bound.
+        result.stats.approx_candidates_skipped = order.size() - pos;
+        result.stats.approx_certified_epsilon =
+            std::min(epsilon, std::sqrt(candidate_min_dist2[slot]));
+        break;
+      }
       if (control.ShouldStop()) {
         result.interrupted = true;
         break;
@@ -264,6 +276,9 @@ SearchResult DiskDatabase::Search(SequenceView query, double epsilon,
   }
   result.stats.phase3_matches = result.matches.size();
   result.stats.filter_matches = result.matches.size();
+  if (result.stats.approx_candidates_skipped == 0) {
+    result.stats.approx_certified_epsilon = epsilon;
+  }
   return result;
 }
 

@@ -283,6 +283,51 @@ TEST(PerfSmokeTest, WorkloadRecorderHasBoundedServingOverhead) {
       << "on=" << recorder_on << "ns off=" << recorder_off << "ns";
 }
 
+// The serving QoS subsystem disabled (no cache, no tenant classes, no
+// approximate budget) must cost nothing: the cache probe is one
+// null-pointer test and the admission queue is the plain FIFO. Compare a
+// default engine against one with the cache and tenant classes enabled on
+// an all-miss workload (every query distinct per round via epsilon
+// jitter, so the cache never hits and its bookkeeping is all overhead).
+// Generous 2x bound — failing it means the QoS bookkeeping landed on the
+// search hot path, not timer noise.
+TEST(PerfSmokeTest, QosDisabledServingPathHasBoundedOverhead) {
+  WorkloadConfig config;
+  config.kind = DataKind::kSynthetic;
+  config.num_sequences = 100;
+  config.min_length = 56;
+  config.max_length = 192;
+  config.num_queries = 16;
+  config.seed = 7007;
+  const Workload workload = BuildWorkload(config);
+
+  const auto run_batches = [&](bool qos) {
+    EngineOptions options;
+    options.num_threads = 2;
+    if (qos) {
+      options.cache_bytes = 4 << 20;
+      options.tenant_classes = {{"gold", 2}, {"bronze", 1}};
+    }
+    QueryEngine engine(workload.database.get(), options);
+    return TimeNs([&] {
+      for (int round = 0; round < 3; ++round) {
+        QueryOptions query_options;
+        query_options.epsilon = 0.1 + 0.001 * round;  // all-miss rounds
+        auto futures = engine.SubmitBatch(workload.queries, query_options);
+        for (auto& f : futures) {
+          EXPECT_EQ(f.get().status, QueryStatus::kOk);
+        }
+      }
+    });
+  };
+
+  run_batches(false);  // warm-up: page in the code and the database
+  const int64_t disabled = run_batches(false);
+  const int64_t enabled_miss = run_batches(true);
+  EXPECT_LE(enabled_miss, 2 * disabled)
+      << "enabled=" << enabled_miss << "ns disabled=" << disabled << "ns";
+}
+
 // With no trace attached, the distributed-tracing instrumentation must
 // stay out of the way: every SpanScope inlines to a pointer test, shards
 // skip span recording entirely (unsampled context), and responses carry no

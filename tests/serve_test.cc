@@ -1,0 +1,598 @@
+// Serving QoS subsystem (src/serve + engine integration): the approximate
+// search tier (quality budgets with certified distance-error bounds — the
+// headline soundness proof that no exact match below the certified bound
+// is ever dismissed, across dimensionalities 1-8), the snapshot-stamped
+// result cache (LRU byte budget, TTL, single-flight collapse, and the
+// exactness of LiveDatabase commit invalidation), and the per-tenant
+// admission classes (weighted fair service, shed-by-class isolation).
+
+#include <chrono>
+#include <cstdio>
+#include <future>
+#include <optional>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/search.h"
+#include "engine/query_engine.h"
+#include "eval/experiment.h"
+#include "gen/walk.h"
+#include "ingest/live_database.h"
+#include "serve/result_cache.h"
+#include "serve/tenant_queue.h"
+#include "storage/disk_database.h"
+#include "util/random.h"
+
+namespace mdseq {
+namespace {
+
+Workload SmallWorkload(uint64_t seed) {
+  WorkloadConfig config;
+  config.kind = DataKind::kSynthetic;
+  config.num_sequences = 60;
+  config.min_length = 56;
+  config.max_length = 160;
+  config.num_queries = 8;
+  config.seed = seed;
+  return BuildWorkload(config);
+}
+
+// A small corpus of `dim`-dimensional random walks.
+std::vector<Sequence> WalkCorpus(size_t dim, size_t count, uint64_t seed) {
+  Rng rng(seed);
+  WalkOptions walk;
+  walk.dim = dim;
+  std::vector<Sequence> corpus;
+  corpus.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    const size_t length = 40 + static_cast<size_t>(rng.UniformInt(0, 60));
+    corpus.push_back(GenerateRandomWalk(length, walk, &rng));
+  }
+  return corpus;
+}
+
+SearchResult MakeResult(size_t num_matches) {
+  SearchResult result;
+  result.matches.resize(num_matches);
+  for (size_t i = 0; i < num_matches; ++i) {
+    result.matches[i].sequence_id = i;
+    result.matches[i].exact_distance = 0.5;
+  }
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// ResultCache: LRU byte budget, TTL, stamps, single-flight
+// ---------------------------------------------------------------------------
+
+TEST(ResultCacheTest, ZeroBudgetDisablesEverything) {
+  ResultCache::Options options;
+  options.bytes = 0;
+  ResultCache cache(options);
+  EXPECT_FALSE(cache.enabled());
+  cache.Insert(1, 0, MakeResult(1));
+  EXPECT_FALSE(cache.Lookup(1, 0).has_value());
+  const ResultCache::Stats stats = cache.GetStats();
+  EXPECT_EQ(stats.entries, 0u);
+  EXPECT_EQ(stats.misses, 0u);  // disabled lookups are not even misses
+}
+
+TEST(ResultCacheTest, HitReturnsTheStoredResult) {
+  ResultCache::Options options;
+  options.bytes = 1 << 20;
+  ResultCache cache(options);
+  const SearchResult stored = MakeResult(3);
+  EXPECT_FALSE(cache.Lookup(7, 5).has_value());
+  cache.Insert(7, 5, stored);
+  const auto hit = cache.Lookup(7, 5);
+  ASSERT_TRUE(hit.has_value());
+  ASSERT_EQ(hit->matches.size(), stored.matches.size());
+  EXPECT_EQ(ResultDigest(hit->matches, true),
+            ResultDigest(stored.matches, true));
+  const ResultCache::Stats stats = cache.GetStats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.insertions, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+}
+
+TEST(ResultCacheTest, StampMismatchInvalidatesOnTheSpot) {
+  ResultCache::Options options;
+  options.bytes = 1 << 20;
+  ResultCache cache(options);
+  cache.Insert(7, 5, MakeResult(2));
+  // A newer snapshot epoch: the entry must be dropped, not served.
+  EXPECT_FALSE(cache.Lookup(7, 6).has_value());
+  ResultCache::Stats stats = cache.GetStats();
+  EXPECT_EQ(stats.invalidations, 1u);
+  EXPECT_EQ(stats.entries, 0u);
+  // Gone for good — even the original stamp misses now.
+  EXPECT_FALSE(cache.Lookup(7, 5).has_value());
+  stats = cache.GetStats();
+  EXPECT_EQ(stats.invalidations, 1u);  // only the first probe invalidated
+}
+
+TEST(ResultCacheTest, LruEvictionKeepsTheShardUnderItsByteBudget) {
+  const size_t entry_bytes = ResultCache::EstimateBytes(MakeResult(4));
+  ResultCache::Options options;
+  options.shards = 1;  // deterministic: all keys share one budget
+  options.bytes = entry_bytes * 3;
+  ResultCache cache(options);
+  for (uint64_t key = 1; key <= 4; ++key) {
+    cache.Insert(key, 0, MakeResult(4));
+  }
+  const ResultCache::Stats stats = cache.GetStats();
+  EXPECT_EQ(stats.insertions, 4u);
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_LE(stats.bytes, entry_bytes * 3);
+  // The oldest entry went; the newest three remain.
+  EXPECT_FALSE(cache.Lookup(1, 0).has_value());
+  EXPECT_TRUE(cache.Lookup(2, 0).has_value());
+  EXPECT_TRUE(cache.Lookup(3, 0).has_value());
+  EXPECT_TRUE(cache.Lookup(4, 0).has_value());
+}
+
+TEST(ResultCacheTest, LookupRefreshesRecency) {
+  const size_t entry_bytes = ResultCache::EstimateBytes(MakeResult(4));
+  ResultCache::Options options;
+  options.shards = 1;
+  options.bytes = entry_bytes * 2;
+  ResultCache cache(options);
+  cache.Insert(1, 0, MakeResult(4));
+  cache.Insert(2, 0, MakeResult(4));
+  ASSERT_TRUE(cache.Lookup(1, 0).has_value());  // 1 is now most recent
+  cache.Insert(3, 0, MakeResult(4));            // evicts 2, not 1
+  EXPECT_TRUE(cache.Lookup(1, 0).has_value());
+  EXPECT_FALSE(cache.Lookup(2, 0).has_value());
+  EXPECT_TRUE(cache.Lookup(3, 0).has_value());
+}
+
+TEST(ResultCacheTest, OversizedResultsAreNeverCached) {
+  ResultCache::Options options;
+  options.shards = 1;
+  options.bytes = 64;  // smaller than any real result
+  ResultCache cache(options);
+  cache.Insert(1, 0, MakeResult(100));
+  EXPECT_EQ(cache.GetStats().insertions, 0u);
+  EXPECT_FALSE(cache.Lookup(1, 0).has_value());
+}
+
+TEST(ResultCacheTest, TtlExpiryCountsAsEviction) {
+  ResultCache::Options options;
+  options.bytes = 1 << 20;
+  options.ttl = std::chrono::milliseconds(1);
+  ResultCache cache(options);
+  cache.Insert(1, 0, MakeResult(2));
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_FALSE(cache.Lookup(1, 0).has_value());
+  const ResultCache::Stats stats = cache.GetStats();
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.entries, 0u);
+}
+
+TEST(ResultCacheTest, SingleFlightCollapsesConcurrentMisses) {
+  ResultCache::Options options;
+  options.bytes = 1 << 20;
+  ResultCache cache(options);
+  ASSERT_TRUE(cache.JoinOrLead(42));  // this thread leads
+  std::thread follower([&cache] {
+    // Blocks until the leader completes, then reports follower status.
+    EXPECT_FALSE(cache.JoinOrLead(42));
+  });
+  // Give the follower time to actually block on the leader.
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  cache.Insert(42, 0, MakeResult(1));
+  cache.Complete(42);
+  follower.join();
+  EXPECT_EQ(cache.GetStats().singleflight_waits, 1u);
+  EXPECT_TRUE(cache.Lookup(42, 0).has_value());
+  // A fresh key after completion leads immediately again.
+  EXPECT_TRUE(cache.JoinOrLead(42));
+  cache.Complete(42);
+}
+
+// ---------------------------------------------------------------------------
+// TenantQueue: weighted fair service, per-class overload isolation
+// ---------------------------------------------------------------------------
+
+TEST(TenantQueueTest, WeightedRoundRobinServesByCredit) {
+  const std::vector<TenantClassSpec> classes = {{"gold", 2}, {"bronze", 1}};
+  // Capacity 18 = quotas 12/6, so all pushes below admit without blocking.
+  TenantQueue<int> queue(18, OverloadPolicy::kBlock, classes);
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_EQ(queue.Push(100 + i, 0), AdmitResult::kAdmitted);
+    ASSERT_EQ(queue.Push(200 + i, 1), AdmitResult::kAdmitted);
+  }
+  // Weight 2:1 — the service pattern is gold, gold, bronze repeating.
+  std::vector<int> order;
+  int value = 0;
+  while (queue.TryPop(&value)) order.push_back(value);
+  ASSERT_EQ(order.size(), 12u);
+  const std::vector<int> expected = {100, 101, 200, 102, 103, 201,
+                                     104, 105, 202, 203, 204, 205};
+  EXPECT_EQ(order, expected);
+}
+
+TEST(TenantQueueTest, IdleClassDonatesItsShare) {
+  const std::vector<TenantClassSpec> classes = {{"gold", 2}, {"bronze", 1}};
+  TenantQueue<int> queue(12, OverloadPolicy::kBlock, classes);
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_EQ(queue.Push(200 + i, 1), AdmitResult::kAdmitted);
+  }
+  // Gold is empty: bronze drains back-to-back (work-conserving).
+  std::vector<int> order;
+  int value = 0;
+  while (queue.TryPop(&value)) order.push_back(value);
+  EXPECT_EQ(order, (std::vector<int>{200, 201, 202}));
+}
+
+TEST(TenantQueueTest, ShedEvictsOnlyWithinTheClass) {
+  const std::vector<TenantClassSpec> classes = {{"t0", 1}, {"t1", 1}};
+  TenantQueue<int> queue(4, OverloadPolicy::kShedOldest, classes);
+  // Quota 2 per class.
+  ASSERT_EQ(queue.Push(100, 0), AdmitResult::kAdmitted);
+  ASSERT_EQ(queue.Push(101, 0), AdmitResult::kAdmitted);
+  ASSERT_EQ(queue.Push(200, 1), AdmitResult::kAdmitted);
+  std::optional<int> shed;
+  ASSERT_EQ(queue.Push(102, 0, &shed), AdmitResult::kShed);
+  // The victim is tenant 0's own oldest item, never tenant 1's.
+  ASSERT_TRUE(shed.has_value());
+  EXPECT_EQ(*shed, 100);
+  const std::vector<TenantClassStats> stats = queue.Stats();
+  EXPECT_EQ(stats[0].shed, 1u);
+  EXPECT_EQ(stats[1].shed, 0u);
+  EXPECT_EQ(stats[0].depth, 2u);
+  EXPECT_EQ(stats[1].depth, 1u);
+}
+
+TEST(TenantQueueTest, RejectAppliesPerClassQuota) {
+  const std::vector<TenantClassSpec> classes = {{"t0", 1}, {"t1", 1}};
+  TenantQueue<int> queue(4, OverloadPolicy::kReject, classes);
+  ASSERT_EQ(queue.Push(100, 0), AdmitResult::kAdmitted);
+  ASSERT_EQ(queue.Push(101, 0), AdmitResult::kAdmitted);
+  // Tenant 0 is at quota; tenant 1 still has room.
+  EXPECT_EQ(queue.Push(102, 0), AdmitResult::kRejected);
+  EXPECT_EQ(queue.Push(200, 1), AdmitResult::kAdmitted);
+  const std::vector<TenantClassStats> stats = queue.Stats();
+  EXPECT_EQ(stats[0].rejected, 1u);
+  EXPECT_EQ(stats[1].rejected, 0u);
+}
+
+TEST(TenantQueueTest, OutOfRangeTenantFallsIntoClassZero) {
+  const std::vector<TenantClassSpec> classes = {{"t0", 1}, {"t1", 1}};
+  TenantQueue<int> queue(8, OverloadPolicy::kBlock, classes);
+  ASSERT_EQ(queue.Push(1, 99), AdmitResult::kAdmitted);
+  EXPECT_EQ(queue.Stats()[0].submitted, 1u);
+  EXPECT_EQ(queue.Stats()[0].depth, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Approximate tier: certified-bound soundness
+// ---------------------------------------------------------------------------
+
+// An unbinding budget must be invisible: byte-identical digests, zero
+// skipped candidates, and the certified bound equal to the requested
+// threshold — in memory and on disk.
+TEST(ApproxTierTest, UnbindingBudgetIsByteIdenticalToExact) {
+  const Workload workload = SmallWorkload(91);
+  SearchOptions exact_options;
+  SearchOptions budgeted_options;
+  budgeted_options.max_candidates = 1u << 20;  // far beyond any corpus
+  const SimilaritySearch exact(workload.database.get(), exact_options);
+  const SimilaritySearch budgeted(workload.database.get(),
+                                  budgeted_options);
+
+  const std::string db_path =
+      testing::TempDir() + "/serve_test_approx.db";
+  std::remove(db_path.c_str());
+  ASSERT_TRUE(DiskDatabase::Save(*workload.database, db_path));
+  DiskDatabase disk_exact(db_path, 64, exact_options);
+  DiskDatabase disk_budgeted(db_path, 64, budgeted_options);
+  ASSERT_TRUE(disk_exact.valid());
+  ASSERT_TRUE(disk_budgeted.valid());
+
+  const double epsilon = 0.2;
+  for (const Sequence& query : workload.queries) {
+    const SearchResult a = exact.SearchVerified(query.View(), epsilon);
+    const SearchResult b = budgeted.SearchVerified(query.View(), epsilon);
+    EXPECT_EQ(b.stats.approx_candidates_skipped, 0u);
+    EXPECT_EQ(b.stats.approx_certified_epsilon, epsilon);
+    EXPECT_EQ(a.candidates, b.candidates);
+    EXPECT_EQ(ResultDigest(a.matches, true), ResultDigest(b.matches, true));
+
+    const SearchResult da =
+        disk_exact.SearchVerified(query.View(), epsilon);
+    const SearchResult db =
+        disk_budgeted.SearchVerified(query.View(), epsilon);
+    EXPECT_EQ(db.stats.approx_candidates_skipped, 0u);
+    EXPECT_EQ(db.stats.approx_certified_epsilon, epsilon);
+    EXPECT_EQ(ResultDigest(da.matches, true),
+              ResultDigest(db.matches, true));
+    EXPECT_EQ(ResultDigest(a.matches, true),
+              ResultDigest(da.matches, true));
+  }
+  std::remove(db_path.c_str());
+}
+
+// The soundness contract, across dimensionalities 1-8: under any budget,
+// (a) the certified bound never exceeds the requested threshold, (b) the
+// approximate matches are a subset of the exact ones, (c) every exact
+// match strictly below the certified bound is present — recall below the
+// bound is perfect, never merely probable — and (d) tightening the budget
+// never decreases the skip count.
+TEST(ApproxTierTest, CertifiedBoundNeverViolatedAcrossDims1To8) {
+  for (size_t dim = 1; dim <= 8; ++dim) {
+    const std::vector<Sequence> corpus = WalkCorpus(dim, 40, 1000 + dim);
+    SequenceDatabase database(dim);
+    for (const Sequence& s : corpus) database.Add(s);
+    // Corpus-drawn queries guarantee non-trivial match sets.
+    const double epsilon = 0.6;
+    uint64_t prev_skipped = ~0ull;
+    SearchOptions exact_options;
+    const SimilaritySearch exact(&database, exact_options);
+    const SearchResult exact_result =
+        exact.SearchVerified(corpus[5].View(), epsilon);
+    ASSERT_GT(exact_result.matches.size(), 0u) << "dim=" << dim;
+
+    for (const uint64_t budget : {1ull, 2ull, 4ull, 8ull, 16ull}) {
+      SearchOptions options;
+      options.max_candidates = budget;
+      const SimilaritySearch approx(&database, options);
+      const SearchResult result =
+          approx.SearchVerified(corpus[5].View(), epsilon);
+      const double certified = result.stats.approx_certified_epsilon;
+      EXPECT_LE(certified, epsilon) << "dim=" << dim;
+      if (result.stats.approx_candidates_skipped == 0) {
+        EXPECT_EQ(certified, epsilon);
+      }
+      // Monotone: a larger budget skips no more than a smaller one.
+      EXPECT_LE(result.stats.approx_candidates_skipped, prev_skipped);
+      prev_skipped = result.stats.approx_candidates_skipped;
+
+      std::set<size_t> exact_ids;
+      for (const SequenceMatch& m : exact_result.matches) {
+        exact_ids.insert(m.sequence_id);
+      }
+      std::set<size_t> approx_ids;
+      for (const SequenceMatch& m : result.matches) {
+        approx_ids.insert(m.sequence_id);
+        // (b) no fabricated matches.
+        EXPECT_TRUE(exact_ids.count(m.sequence_id)) << "dim=" << dim;
+      }
+      // (c) perfect recall below the certified bound.
+      for (const SequenceMatch& m : exact_result.matches) {
+        if (m.exact_distance < certified - 1e-12) {
+          EXPECT_TRUE(approx_ids.count(m.sequence_id))
+              << "dim=" << dim << " budget=" << budget
+              << " distance=" << m.exact_distance
+              << " certified=" << certified;
+        }
+      }
+    }
+  }
+}
+
+// A bounded SearchNearest returns a prefix of the unbounded ranking:
+// every reported neighbor is exact and correctly ordered, only the tail
+// may be missing.
+TEST(ApproxTierTest, EpsilonRoundCapReturnsExactPrefix) {
+  const Workload workload = SmallWorkload(92);
+  SearchOptions unbounded;
+  SearchOptions capped;
+  capped.max_epsilon_rounds = 2;
+  const SimilaritySearch full(workload.database.get(), unbounded);
+  const SimilaritySearch budgeted(workload.database.get(), capped);
+  const size_t k = 5;
+  for (const Sequence& query : workload.queries) {
+    const std::vector<SequenceMatch> want =
+        full.SearchNearest(query.View(), k);
+    const std::vector<SequenceMatch> got =
+        budgeted.SearchNearest(query.View(), k);
+    ASSERT_LE(got.size(), want.size());
+    for (size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i].sequence_id, want[i].sequence_id);
+      EXPECT_EQ(got[i].exact_distance, want[i].exact_distance);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Engine integration: cache hits, commit invalidation, tenant shed
+// ---------------------------------------------------------------------------
+
+TEST(ServeEngineTest, RepeatQueryHitsTheCacheWithIdenticalResults) {
+  const Workload workload = SmallWorkload(93);
+  EngineOptions options;
+  options.num_threads = 1;
+  options.cache_bytes = 1 << 20;
+  QueryEngine engine(workload.database.get(), options);
+  ASSERT_NE(engine.result_cache(), nullptr);
+
+  QueryOptions query_options;
+  query_options.epsilon = 0.2;
+  query_options.verified = true;
+  const QueryOutcome first =
+      engine.Submit(workload.queries[0], query_options).get();
+  ASSERT_EQ(first.status, QueryStatus::kOk);
+  EXPECT_EQ(engine.result_cache()->GetStats().hits, 0u);
+
+  const QueryOutcome second =
+      engine.Submit(workload.queries[0], query_options).get();
+  ASSERT_EQ(second.status, QueryStatus::kOk);
+  EXPECT_EQ(engine.result_cache()->GetStats().hits, 1u);
+  EXPECT_EQ(ResultDigest(first.result.matches, true),
+            ResultDigest(second.result.matches, true));
+
+  // Different epsilon = different signature = different entry.
+  query_options.epsilon = 0.25;
+  const QueryOutcome third =
+      engine.Submit(workload.queries[0], query_options).get();
+  ASSERT_EQ(third.status, QueryStatus::kOk);
+  EXPECT_EQ(engine.result_cache()->GetStats().hits, 1u);
+  engine.Shutdown();
+}
+
+TEST(ServeEngineTest, CommitInvalidatesExactlyTheStaleEntries) {
+  const std::string path = testing::TempDir() + "/serve_test_live.db";
+  std::remove(path.c_str());
+  const size_t dim = 2;
+  ASSERT_TRUE(LiveDatabase::Create(path, dim));
+  LiveDatabase database(path);
+  ASSERT_TRUE(database.valid());
+
+  EngineOptions options;
+  options.num_threads = 1;
+  options.cache_bytes = 1 << 20;
+  QueryEngine engine(&database, options);
+  ASSERT_NE(engine.result_cache(), nullptr);
+
+  const std::vector<Sequence> corpus = WalkCorpus(dim, 10, 2024);
+  const auto ingest = [&](size_t from, size_t to) {
+    IngestBatch batch;
+    for (size_t i = from; i < to; ++i) {
+      IngestOp op;
+      op.points = corpus[i];
+      op.seal = true;
+      batch.ops.push_back(std::move(op));
+    }
+    const IngestOutcome outcome = engine.SubmitIngest(std::move(batch)).get();
+    ASSERT_FALSE(outcome.rejected);
+  };
+  ingest(0, 8);
+
+  QueryOptions query_options;
+  query_options.epsilon = 0.5;
+  query_options.verified = true;
+  const Sequence& query_a = corpus[0];
+  const Sequence& query_b = corpus[1];
+
+  // Warm, then hit.
+  ASSERT_EQ(engine.Submit(query_a, query_options).get().status,
+            QueryStatus::kOk);
+  ASSERT_EQ(engine.Submit(query_a, query_options).get().status,
+            QueryStatus::kOk);
+  ResultCache::Stats stats = engine.result_cache()->GetStats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.invalidations, 0u);
+
+  // A commit publishes a new snapshot: the warm entry is now stale and
+  // must be invalidated — not served — on the next probe.
+  ingest(8, 10);
+  const QueryOutcome refreshed =
+      engine.Submit(query_a, query_options).get();
+  ASSERT_EQ(refreshed.status, QueryStatus::kOk);
+  stats = engine.result_cache()->GetStats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.invalidations, 1u);
+
+  // The refreshed entry is stamped with the new snapshot: it hits again.
+  ASSERT_EQ(engine.Submit(query_a, query_options).get().status,
+            QueryStatus::kOk);
+  stats = engine.result_cache()->GetStats();
+  EXPECT_EQ(stats.hits, 2u);
+  EXPECT_EQ(stats.invalidations, 1u);
+
+  // Exactness: entries created after the commit are not collateral damage.
+  ASSERT_EQ(engine.Submit(query_b, query_options).get().status,
+            QueryStatus::kOk);
+  ASSERT_EQ(engine.Submit(query_b, query_options).get().status,
+            QueryStatus::kOk);
+  stats = engine.result_cache()->GetStats();
+  EXPECT_EQ(stats.hits, 3u);
+  EXPECT_EQ(stats.invalidations, 1u);
+
+  engine.Shutdown();
+  std::remove(path.c_str());
+}
+
+TEST(ServeEngineTest, TenantShedStaysWithinTheClass) {
+  const Workload workload = SmallWorkload(94);
+  EngineOptions options;
+  options.num_threads = 1;
+  options.queue_capacity = 4;  // quota 2 per class
+  options.policy = OverloadPolicy::kShedOldest;
+  options.start_suspended = true;  // deterministic: everything queues
+  options.tenant_classes = {{"t0", 1}, {"t1", 1}};
+  QueryEngine engine(workload.database.get(), options);
+
+  QueryOptions t0;
+  t0.epsilon = 0.2;
+  t0.tenant = 0;
+  QueryOptions t1 = t0;
+  t1.tenant = 1;
+
+  std::vector<std::future<QueryOutcome>> t0_futures;
+  std::vector<std::future<QueryOutcome>> t1_futures;
+  t0_futures.push_back(engine.Submit(workload.queries[0], t0));
+  t0_futures.push_back(engine.Submit(workload.queries[1], t0));
+  t1_futures.push_back(engine.Submit(workload.queries[2], t1));
+  t1_futures.push_back(engine.Submit(workload.queries[3], t1));
+  // Tenant 0 overflows its quota: its own oldest query is shed; tenant
+  // 1's queue is untouched.
+  t0_futures.push_back(engine.Submit(workload.queries[4], t0));
+  engine.Start();
+
+  size_t t0_shed = 0;
+  for (auto& f : t0_futures) {
+    const QueryOutcome outcome = f.get();
+    if (outcome.status == QueryStatus::kShed) ++t0_shed;
+  }
+  EXPECT_EQ(t0_shed, 1u);
+  for (auto& f : t1_futures) {
+    EXPECT_EQ(f.get().status, QueryStatus::kOk);
+  }
+  const std::vector<TenantClassStats> stats = engine.TenantStats();
+  ASSERT_EQ(stats.size(), 2u);
+  EXPECT_EQ(stats[0].shed, 1u);
+  EXPECT_EQ(stats[1].shed, 0u);
+  engine.Shutdown();
+}
+
+// Acceptance: with the whole subsystem enabled but no budget binding,
+// exact-mode results are byte-identical to a fully disabled engine.
+TEST(ServeEngineTest, QoSEnabledExactModeMatchesDisabledDigests) {
+  const Workload workload = SmallWorkload(95);
+  QueryOptions query_options;
+  query_options.epsilon = 0.2;
+  query_options.verified = true;
+
+  std::vector<uint64_t> disabled_digests;
+  {
+    EngineOptions options;
+    options.num_threads = 2;
+    QueryEngine engine(workload.database.get(), options);
+    for (const Sequence& query : workload.queries) {
+      const QueryOutcome outcome =
+          engine.Submit(query, query_options).get();
+      ASSERT_EQ(outcome.status, QueryStatus::kOk);
+      disabled_digests.push_back(ResultDigest(outcome.result.matches, true));
+    }
+    engine.Shutdown();
+  }
+
+  EngineOptions options;
+  options.num_threads = 2;
+  options.cache_bytes = 1 << 20;
+  options.tenant_classes = {{"gold", 3}, {"bronze", 1}};
+  QueryEngine engine(workload.database.get(), options);
+  for (size_t pass = 0; pass < 2; ++pass) {  // second pass serves from cache
+    for (size_t i = 0; i < workload.queries.size(); ++i) {
+      QueryOptions tenant_options = query_options;
+      tenant_options.tenant = static_cast<uint32_t>(i % 2);
+      const QueryOutcome outcome =
+          engine.Submit(workload.queries[i], tenant_options).get();
+      ASSERT_EQ(outcome.status, QueryStatus::kOk);
+      EXPECT_EQ(ResultDigest(outcome.result.matches, true),
+                disabled_digests[i]);
+    }
+  }
+  EXPECT_GT(engine.result_cache()->GetStats().hits, 0u);
+  engine.Shutdown();
+}
+
+}  // namespace
+}  // namespace mdseq

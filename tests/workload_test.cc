@@ -191,6 +191,10 @@ WorkloadQueryRecord SampleRecord(uint64_t id) {
   record.verified = true;
   record.opt_prefilter = true;
   record.opt_composite = false;
+  record.approximate = true;
+  record.opt_max_candidates = 64;
+  record.opt_max_epsilon_rounds = 5;
+  record.tenant = 2;
   record.deadline_us = 250000;
   record.signature = 0x1234567890abcdefull;
   record.result_digest = 0xfedcba0987654321ull;
@@ -207,6 +211,8 @@ WorkloadQueryRecord SampleRecord(uint64_t id) {
   record.stats.prefilter_survivors = 17;
   record.stats.bytes_read = 4096;
   record.stats.shards_total = 2;
+  record.stats.approx_candidates_skipped = 7;
+  record.stats.approx_certified_epsilon = 0.25;
   ShardQueryStats shard;
   shard.shard = 3;
   shard.ok = true;
@@ -236,6 +242,10 @@ TEST(WorkloadRecordTest, EncodeDecodeRoundTrip) {
   EXPECT_EQ(decoded.verified, record.verified);
   EXPECT_EQ(decoded.opt_prefilter, record.opt_prefilter);
   EXPECT_EQ(decoded.opt_composite, record.opt_composite);
+  EXPECT_EQ(decoded.approximate, record.approximate);
+  EXPECT_EQ(decoded.opt_max_candidates, record.opt_max_candidates);
+  EXPECT_EQ(decoded.opt_max_epsilon_rounds, record.opt_max_epsilon_rounds);
+  EXPECT_EQ(decoded.tenant, record.tenant);
   EXPECT_EQ(decoded.deadline_us, record.deadline_us);
   EXPECT_EQ(decoded.signature, record.signature);
   EXPECT_EQ(decoded.result_digest, record.result_digest);
@@ -249,6 +259,10 @@ TEST(WorkloadRecordTest, EncodeDecodeRoundTrip) {
             record.stats.prefilter_abandons);
   EXPECT_EQ(decoded.stats.bytes_read, record.stats.bytes_read);
   EXPECT_EQ(decoded.stats.shards_total, record.stats.shards_total);
+  EXPECT_EQ(decoded.stats.approx_candidates_skipped,
+            record.stats.approx_candidates_skipped);
+  EXPECT_EQ(decoded.stats.approx_certified_epsilon,
+            record.stats.approx_certified_epsilon);
   ASSERT_EQ(decoded.shards.size(), 1u);
   EXPECT_EQ(decoded.shards[0].shard, 3u);
   EXPECT_EQ(decoded.shards[0].ok, true);
@@ -280,17 +294,27 @@ TEST(WorkloadRecordTest, DecodeRejectsVersionAndTruncation) {
 TEST(WorkloadRecordTest, SignatureCanonicalizesTheQuery) {
   const Workload workload = SmallWorkload(60);
   const SequenceView query = workload.queries[0].View();
-  const uint64_t base =
-      WorkloadQuerySignature(query, 0.1, true, true, false);
+  SearchOptions options;
+  const uint64_t base = WorkloadQuerySignature(query, 0.1, true, options);
   // Deterministic across calls.
-  EXPECT_EQ(base, WorkloadQuerySignature(query, 0.1, true, true, false));
+  EXPECT_EQ(base, WorkloadQuerySignature(query, 0.1, true, options));
   // Every canonical component moves the signature.
-  EXPECT_NE(base, WorkloadQuerySignature(query, 0.2, true, true, false));
-  EXPECT_NE(base, WorkloadQuerySignature(query, 0.1, false, true, false));
-  EXPECT_NE(base, WorkloadQuerySignature(query, 0.1, true, false, false));
-  EXPECT_NE(base, WorkloadQuerySignature(query, 0.1, true, true, true));
+  EXPECT_NE(base, WorkloadQuerySignature(query, 0.2, true, options));
+  EXPECT_NE(base, WorkloadQuerySignature(query, 0.1, false, options));
+  SearchOptions no_prefilter = options;
+  no_prefilter.prefilter = false;
+  EXPECT_NE(base, WorkloadQuerySignature(query, 0.1, true, no_prefilter));
+  SearchOptions composite = options;
+  composite.composite_bound = true;
+  EXPECT_NE(base, WorkloadQuerySignature(query, 0.1, true, composite));
+  SearchOptions budgeted = options;
+  budgeted.max_candidates = 32;
+  EXPECT_NE(base, WorkloadQuerySignature(query, 0.1, true, budgeted));
+  SearchOptions rounds = options;
+  rounds.max_epsilon_rounds = 3;
+  EXPECT_NE(base, WorkloadQuerySignature(query, 0.1, true, rounds));
   EXPECT_NE(base, WorkloadQuerySignature(workload.queries[1].View(), 0.1,
-                                         true, true, false));
+                                         true, options));
 }
 
 TEST(WorkloadRecordTest, ResultDigestIsOrderInvariantAndValueSensitive) {
@@ -590,6 +614,9 @@ TEST(WorkloadReplayTest, DiffPairsByIdAndCountsUnmatched) {
                                         SampleRecord(3)};
   std::vector<WorkloadQueryRecord> b = {SampleRecord(2), SampleRecord(3),
                                         SampleRecord(4)};
+  for (std::vector<WorkloadQueryRecord>* v : {&a, &b}) {
+    for (WorkloadQueryRecord& r : *v) r.approximate = false;
+  }
   b[0].result_digest ^= 1;  // id 2 diverges in digest
   b[1].stats.node_accesses += 5;  // id 3 diverges in a counter
   const ReplayDiff diff = DiffWorkloads(a, b);
@@ -599,6 +626,22 @@ TEST(WorkloadReplayTest, DiffPairsByIdAndCountsUnmatched) {
   EXPECT_EQ(diff.counter_divergences, 1u);
   EXPECT_FALSE(diff.clean());
   ASSERT_EQ(diff.divergences.size(), 2u);
+}
+
+TEST(WorkloadReplayTest, DiffSkipsDigestsButNotCountersForApproximate) {
+  // An approximate record's cut position — and therefore its digest — may
+  // legitimately move between builds; only the counters stay contractual.
+  std::vector<WorkloadQueryRecord> a = {SampleRecord(1), SampleRecord(2)};
+  std::vector<WorkloadQueryRecord> b = {SampleRecord(1), SampleRecord(2)};
+  ASSERT_TRUE(a[0].approximate);
+  b[0].result_digest ^= 1;          // ignored: approximate
+  b[0].shards[0].digest ^= 1;       // ignored: approximate
+  b[1].stats.approx_candidates_skipped += 3;  // still contractual
+  const ReplayDiff diff = DiffWorkloads(a, b);
+  EXPECT_EQ(diff.digest_divergences, 0u);
+  EXPECT_EQ(diff.counter_divergences, 1u);
+  ASSERT_EQ(diff.divergences.size(), 1u);
+  EXPECT_EQ(diff.divergences[0].id, 2u);
 }
 
 }  // namespace

@@ -92,7 +92,9 @@
 //                             --log-level=warn
 //                             --record=workload.mdwl
 //                             --record-sample-every=1
-//                             --record-max-bytes=67108864]
+//                             --record-max-bytes=67108864
+//                             --cache-bytes=0 --approx-budget=0
+//                             --tenants=0 --tenant-mix=""]
 //             --shards=N (requires --corpus) splits the corpus into N
 //             self-contained shards under the chosen --placement and
 //             serves queries through the scatter-gather coordinator
@@ -129,6 +131,16 @@
 //             keeps every Nth query, --record-max-bytes caps the log file
 //             before rotation. The introspection server then also serves
 //             /debug/workload.
+//             Serving QoS (docs/serving.md): --cache-bytes=N turns on the
+//             snapshot-stamped result cache with an N-byte budget (report
+//             gains hit/miss/invalidation counters; server gains
+//             /debug/cache); --approx-budget=N caps Phase-3 candidates per
+//             query (the approximate tier — results stay exact below the
+//             certified bound each query reports); --tenants=N spreads the
+//             clients round-robin over N equal-weight admission classes,
+//             --tenant-mix="4,2,1" sets explicit class weights instead
+//             (report gains per-class served/shed rows; server gains
+//             /debug/tenants).
 //
 // Exit codes: 0 success, 1 runtime failure, 2 usage error.
 
@@ -137,6 +149,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -1015,6 +1028,46 @@ int RunServeBench(const Flags& flags) {
     return 2;
   }
 
+  // Serving QoS subsystem knobs: result cache, approximate tier, and
+  // per-tenant admission classes (docs/serving.md).
+  options.cache_bytes = flags.GetSize("cache-bytes", 0);
+  options.search.max_candidates = flags.GetSize("approx-budget", 0);
+  const std::string tenant_mix = flags.GetString("tenant-mix", "");
+  size_t num_tenants = flags.GetSize("tenants", 0);
+  if (!tenant_mix.empty()) {
+    // "4,2,1" = three classes with weights 4, 2, 1 (overrides --tenants).
+    std::vector<TenantClassSpec> classes;
+    size_t pos = 0;
+    while (pos <= tenant_mix.size()) {
+      size_t comma = tenant_mix.find(',', pos);
+      if (comma == std::string::npos) comma = tenant_mix.size();
+      const std::string token = tenant_mix.substr(pos, comma - pos);
+      char* end = nullptr;
+      const unsigned long weight = std::strtoul(token.c_str(), &end, 10);
+      if (token.empty() || end == nullptr || *end != '\0' || weight == 0) {
+        std::fprintf(stderr,
+                     "serve-bench: --tenant-mix wants comma-separated "
+                     "positive weights, got %s\n",
+                     tenant_mix.c_str());
+        return 2;
+      }
+      TenantClassSpec spec;
+      spec.name = "t" + std::to_string(classes.size());
+      spec.weight = static_cast<uint32_t>(weight);
+      classes.push_back(std::move(spec));
+      pos = comma + 1;
+    }
+    options.tenant_classes = std::move(classes);
+  } else if (num_tenants > 0) {
+    for (size_t i = 0; i < num_tenants; ++i) {
+      TenantClassSpec spec;
+      spec.name = "t" + std::to_string(i);
+      spec.weight = 1;
+      options.tenant_classes.push_back(std::move(spec));
+    }
+  }
+  const size_t num_classes = options.tenant_classes.size();
+
   QueryOptions query_options;
   query_options.epsilon = flags.GetDouble("eps", 0.1);
   query_options.verified = flags.Has("verified");
@@ -1117,8 +1170,10 @@ int RunServeBench(const Flags& flags) {
     if (num_shards > 0) {
       SequenceDatabase full(corpus.front().dim());
       for (const Sequence& s : corpus) full.Add(s);
-      shard_set =
-          ShardSet::BuildInMemory(full, num_shards, placement_policy);
+      // Shard nodes run with the engine's SearchOptions so an
+      // --approx-budget is enforced shard-side too.
+      shard_set = ShardSet::BuildInMemory(full, num_shards, placement_policy,
+                                          options.search);
       shard_transport =
           std::make_unique<LoopbackTransport>(shard_set->nodes());
       coordinator = std::make_unique<Coordinator>(shard_transport.get(),
@@ -1178,11 +1233,13 @@ int RunServeBench(const Flags& flags) {
     }
     std::printf("listening : http://127.0.0.1:%d  "
                 "(/metrics /healthz /debug/active /debug/cancel "
-                "/debug/slow /debug/trace%s%s%s)\n",
+                "/debug/slow /debug/trace%s%s%s%s%s)\n",
                 engine->introspection_port(),
                 ingest_rate > 0 ? " /debug/ingest" : "",
                 coordinator != nullptr ? " /debug/shards" : "",
-                record_path.empty() ? "" : " /debug/workload");
+                record_path.empty() ? "" : " /debug/workload",
+                options.cache_bytes > 0 ? " /debug/cache" : "",
+                num_classes > 0 ? " /debug/tenants" : "");
     std::fflush(stdout);
   }
 
@@ -1264,8 +1321,13 @@ int RunServeBench(const Flags& flags) {
   threads.reserve(clients);
   for (size_t c = 0; c < clients; ++c) {
     threads.emplace_back([&, c] {
+      QueryOptions client_options = query_options;
+      if (num_classes > 0) {
+        // Round-robin clients over the admission classes.
+        client_options.tenant = static_cast<uint32_t>(c % num_classes);
+      }
       auto futures =
-          engine->SubmitBatch(std::move(per_client[c]), query_options);
+          engine->SubmitBatch(std::move(per_client[c]), client_options);
       for (auto& f : futures) f.get();
     });
   }
@@ -1339,6 +1401,37 @@ int RunServeBench(const Flags& flags) {
                 FailurePolicyName(coordinator_options.failure),
                 static_cast<double>(stats.fanout_wait_ns) / 1e6,
                 static_cast<double>(stats.merge_ns) / 1e6);
+  }
+  if (num_classes > 0) {
+    for (const TenantClassStats& c : engine->TenantStats()) {
+      std::printf("tenant %-4s: weight %u, quota %llu; %llu submitted, "
+                  "%llu served, %llu shed, %llu rejected\n",
+                  c.name.c_str(), c.weight,
+                  static_cast<unsigned long long>(c.quota),
+                  static_cast<unsigned long long>(c.submitted),
+                  static_cast<unsigned long long>(c.popped),
+                  static_cast<unsigned long long>(c.shed),
+                  static_cast<unsigned long long>(c.rejected));
+    }
+  }
+  if (engine->result_cache() != nullptr) {
+    const ResultCache::Stats cache = engine->result_cache()->GetStats();
+    std::printf("cache     : %llu hits, %llu misses, %llu insertions, "
+                "%llu evictions, %llu invalidations, %llu single-flight "
+                "waits; %zu entries, %zu / %zu bytes\n",
+                static_cast<unsigned long long>(cache.hits),
+                static_cast<unsigned long long>(cache.misses),
+                static_cast<unsigned long long>(cache.insertions),
+                static_cast<unsigned long long>(cache.evictions),
+                static_cast<unsigned long long>(cache.invalidations),
+                static_cast<unsigned long long>(cache.singleflight_waits),
+                cache.entries, cache.bytes,
+                engine->result_cache()->capacity_bytes());
+  }
+  if (options.search.max_candidates > 0) {
+    std::printf("approx    : budget %llu candidates/query\n",
+                static_cast<unsigned long long>(
+                    options.search.max_candidates));
   }
   if (ingest_rate > 0) {
     const IngestStatus ingest_status = live_database->Status();

@@ -37,8 +37,18 @@
 # regression (prefilter disabled) must surface as counter divergences
 # with digests intact.
 #
+# A fifth file (BENCH_cache.json by default) baselines the serving QoS
+# subsystem: result-cache hit vs miss latency through the full engine
+# Submit path (hits must be >=10x faster at p50), the all-miss overhead
+# of an enabled cache + tenant classes over the plain engine (<=5%, so
+# exact serving pays nothing for the subsystem), and the approximate
+# tier's speedup-vs-quality curve across Phase-3 candidate budgets with
+# the certified error bounds it achieved (speedup and bound both
+# monotone in the budget).
+#
 # Usage: tools/run_benchmarks.sh [build-dir] [out.json] [ingest-out.json] \
-#                                [shard-out.json] [replay-out.json]
+#                                [shard-out.json] [replay-out.json] \
+#                                [cache-out.json]
 # Build an optimized tree first:  cmake --preset release &&
 #                                 cmake --build --preset release -j
 set -euo pipefail
@@ -48,6 +58,7 @@ OUT="${2:-BENCH_kernels.json}"
 OUT_INGEST="${3:-BENCH_ingest.json}"
 OUT_SHARD="${4:-BENCH_shard.json}"
 OUT_REPLAY="${5:-BENCH_replay.json}"
+OUT_CACHE="${6:-BENCH_cache.json}"
 
 if [[ ! -x "$BUILD_DIR/bench/micro_dnorm" ]]; then
   echo "error: $BUILD_DIR/bench/micro_dnorm not found or not executable." >&2
@@ -256,5 +267,85 @@ jq -e '.summary.replay_prefilter_off.counter_divergences > 0 and
        .summary.replay_prefilter_off.digest_divergences == 0' \
   "$OUT_REPLAY" >/dev/null || {
   echo "error: prefilter-off replay was not flagged (or changed answers)" >&2
+  exit 1
+}
+
+# --- Serving QoS baseline ----------------------------------------------------
+
+"$BUILD_DIR/bench/micro_serve" --json \
+  --benchmark_filter='ServeCache|ServeBatch|ServeApprox' >"$tmp/serve.json"
+
+jq '
+  def bench(n): (.benchmarks[] | select(.name == n));
+  {
+    summary: {
+      cache_hit_p50_us: (bench("BM_ServeCacheHit").real_time / 1000),
+      cache_miss_p50_us: (bench("BM_ServeCacheMiss").real_time / 1000),
+      cache_hit_speedup:
+        (bench("BM_ServeCacheMiss").real_time /
+         bench("BM_ServeCacheHit").real_time),
+      # All-miss serving with the cache + tenant classes enabled, relative
+      # to the plain engine: the price exact serving pays for the QoS
+      # subsystem when nothing hits.
+      qos_all_miss_overhead:
+        (bench("BM_ServeBatchEnabledMiss").real_time /
+         bench("BM_ServeBatchDisabled").real_time),
+      # Approximate tier: speedup over exact, and the certified error
+      # bound / skipped-candidate count each budget achieved.
+      approx_speedup_4:
+        (bench("BM_ServeApprox/0").real_time /
+         bench("BM_ServeApprox/4").real_time),
+      approx_speedup_16:
+        (bench("BM_ServeApprox/0").real_time /
+         bench("BM_ServeApprox/16").real_time),
+      approx_speedup_64:
+        (bench("BM_ServeApprox/0").real_time /
+         bench("BM_ServeApprox/64").real_time),
+      approx_certified_epsilon_4:
+        bench("BM_ServeApprox/4").certified_epsilon,
+      approx_certified_epsilon_16:
+        bench("BM_ServeApprox/16").certified_epsilon,
+      approx_certified_epsilon_64:
+        bench("BM_ServeApprox/64").certified_epsilon,
+      approx_skipped_4: bench("BM_ServeApprox/4").skipped_per_query,
+      approx_skipped_16: bench("BM_ServeApprox/16").skipped_per_query,
+      approx_skipped_64: bench("BM_ServeApprox/64").skipped_per_query
+    },
+    context: (.context | del(.date, .load_avg)),
+    benchmarks: .benchmarks
+  }' "$tmp/serve.json" >"$OUT_CACHE"
+
+echo "wrote $OUT_CACHE"
+jq '.summary' "$OUT_CACHE"
+
+# Guardrail: cache hits skip the queue and the search entirely — at least
+# 10x faster than the all-miss path at p50.
+jq -e '.summary.cache_hit_speedup >= 10' "$OUT_CACHE" >/dev/null || {
+  echo "error: cache-hit speedup below the 10x acceptance bar" >&2
+  exit 1
+}
+
+# Guardrail: with the subsystem enabled but nothing hitting, exact serving
+# stays within 5% of the plain engine.
+jq -e '.summary.qos_all_miss_overhead <= 1.05' "$OUT_CACHE" >/dev/null || {
+  echo "error: QoS all-miss overhead above the 5% acceptance bar" >&2
+  exit 1
+}
+
+# Guardrail: the approximate curve is monotone — a tighter budget is never
+# slower, and its certified error bound is never better (larger) than a
+# looser budget's; every bound stays at or below the requested epsilon.
+jq -e '.summary.approx_speedup_4 >= .summary.approx_speedup_16 * 0.9 and
+       .summary.approx_speedup_16 >= .summary.approx_speedup_64 * 0.9 and
+       .summary.approx_speedup_64 >= 0.95 and
+       .summary.approx_certified_epsilon_4
+         <= .summary.approx_certified_epsilon_16 + 1e-12 and
+       .summary.approx_certified_epsilon_16
+         <= .summary.approx_certified_epsilon_64 + 1e-12 and
+       .summary.approx_certified_epsilon_64 <= 0.15 and
+       .summary.approx_skipped_4 >= .summary.approx_skipped_16 and
+       .summary.approx_skipped_16 >= .summary.approx_skipped_64' \
+  "$OUT_CACHE" >/dev/null || {
+  echo "error: approximate speedup/quality curve is not monotone (or a bound exceeded epsilon)" >&2
   exit 1
 }
